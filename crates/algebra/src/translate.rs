@@ -1,0 +1,491 @@
+//! XMAS → algebra translation (the paper's *preprocessing* phase).
+//!
+//! "At compile-time, a XMAS mediator view q is first translated into an
+//! equivalent algebra expression Eq that constitutes the initial plan"
+//! (§3). This module reproduces the translation exemplified by Figure 4:
+//!
+//! * each `source path $V` condition opens a *branch* —
+//!   `source → getDescendants`;
+//! * each `$X path $V` condition appends a `getDescendants` to the branch
+//!   that binds `$X`;
+//! * comparisons within one branch become `select`, comparisons across two
+//!   branches become the `join` predicate merging them; branches never
+//!   related by a predicate are combined with `cross`;
+//! * the head template is translated bottom-up into
+//!   `groupBy → (wrap/constant/concatenate)* → createElement` chains, one
+//!   per element constructor, finished by a single `tupleDestroy`.
+//!
+//! ### Supported head shapes
+//!
+//! The translation threads a single operator chain through the head
+//! template, exactly like Figure 4 does. Since the paper's `groupBy`
+//! reduces its input to one binding per group (keeping only group
+//! variables and collected lists), a *sibling* element constructor cannot
+//! see variables consumed by an earlier sibling's grouping. Such heads are
+//! rejected with a schema error at validation time rather than translated
+//! incorrectly; they would require plan bifurcation and a re-join, which
+//! the paper does not describe.
+
+use crate::plan::{GroupItem, Plan, PlanId, PlanNode};
+use crate::pred::{BindPred, PredOperand};
+use crate::AlgebraError;
+use mix_xml::{Label, Tree};
+use mix_xmas::{Condition, HeadElem, HeadItem, LabelSpec, Operand, Query, Var};
+
+/// Translate a parsed XMAS query into its initial algebra plan.
+pub fn translate(q: &Query) -> Result<Plan, AlgebraError> {
+    q.check_safe().map_err(|e| AlgebraError::new(e.message))?;
+    let mut tr = Translator { plan: Plan::new(), fresh: 0 };
+    let body = tr.translate_body(&q.body)?;
+    if !q.head.group.is_empty() {
+        return Err(AlgebraError::new(
+            "the root element of a XMAS head must construct a single answer: \
+             use `{}` as its group annotation",
+        ));
+    }
+    let (cur, out) = tr.build_elem(&q.head, &[], body)?;
+    let root = tr.plan.add(PlanNode::TupleDestroy { input: cur, var: out });
+    tr.plan.set_root(root);
+    tr.plan.validate()?;
+    Ok(tr.plan)
+}
+
+struct Translator {
+    plan: Plan,
+    fresh: u32,
+}
+
+impl Translator {
+    /// A fresh internal variable; `hint` mirrors the paper's naming
+    /// (e.g. `LSs` for the list of schools).
+    fn fresh_var(&mut self, hint: &str) -> Var {
+        self.fresh += 1;
+        Var::new(format!("{hint}#{}", self.fresh))
+    }
+
+    fn translate_body(&mut self, body: &[Condition]) -> Result<PlanId, AlgebraError> {
+        // Branches of the body, each an independent binding-list plan.
+        let mut branches: Vec<PlanId> = Vec::new();
+
+        let find_branch = |plan: &Plan, branches: &[PlanId], v: &Var| -> Option<usize> {
+            branches.iter().position(|&b| plan.schema(b).contains(v))
+        };
+
+        for cond in body {
+            match cond {
+                Condition::SourcePath { source, path, var } => {
+                    if find_branch(&self.plan, &branches, var).is_some() {
+                        return Err(AlgebraError::new(format!(
+                            "variable {var} bound more than once"
+                        )));
+                    }
+                    let root_var = self.fresh_var("root");
+                    let src = self
+                        .plan
+                        .add(PlanNode::Source { name: source.clone(), out: root_var.clone() });
+                    let gd = self.plan.add(PlanNode::GetDescendants {
+                        input: src,
+                        parent: root_var,
+                        path: path.clone(),
+                        out: var.clone(),
+                    });
+                    branches.push(gd);
+                }
+                Condition::VarPath { from, path, var } => {
+                    if find_branch(&self.plan, &branches, var).is_some() {
+                        return Err(AlgebraError::new(format!(
+                            "variable {var} bound more than once"
+                        )));
+                    }
+                    let b = find_branch(&self.plan, &branches, from).ok_or_else(|| {
+                        AlgebraError::new(format!(
+                            "condition `{from} {path} {var}` uses unbound variable {from}"
+                        ))
+                    })?;
+                    branches[b] = self.plan.add(PlanNode::GetDescendants {
+                        input: branches[b],
+                        parent: from.clone(),
+                        path: path.clone(),
+                        out: var.clone(),
+                    });
+                }
+                Condition::Cmp { left, op, right } => {
+                    let pred = BindPred::Cmp {
+                        left: operand(left),
+                        op: *op,
+                        right: operand(right),
+                    };
+                    let mut touched: Vec<usize> = Vec::new();
+                    for v in pred.vars() {
+                        let b = find_branch(&self.plan, &branches, &v).ok_or_else(|| {
+                            AlgebraError::new(format!(
+                                "comparison uses unbound variable {v}"
+                            ))
+                        })?;
+                        if !touched.contains(&b) {
+                            touched.push(b);
+                        }
+                    }
+                    match touched.len() {
+                        0 => {
+                            // Constant comparison: attach to the first
+                            // branch (or reject when there is none).
+                            let b = *branches.first().ok_or_else(|| {
+                                AlgebraError::new(
+                                    "a comparison needs at least one source condition",
+                                )
+                            })?;
+                            branches[0] =
+                                self.plan.add(PlanNode::Select { input: b, pred });
+                        }
+                        1 => {
+                            let b = touched[0];
+                            branches[b] =
+                                self.plan.add(PlanNode::Select { input: branches[b], pred });
+                        }
+                        2 => {
+                            // Join the two branches; keep branch order
+                            // (earlier = outer input).
+                            let (bi, bj) = (touched[0].min(touched[1]), touched[0].max(touched[1]));
+                            let left = branches[bi];
+                            let right = branches.remove(bj);
+                            branches[bi] =
+                                self.plan.add(PlanNode::Join { left, right, pred });
+                        }
+                        _ => unreachable!("binary comparisons touch at most two branches"),
+                    }
+                }
+            }
+        }
+
+        // Combine remaining branches with cross products.
+        let mut iter = branches.into_iter();
+        let mut cur = iter
+            .next()
+            .ok_or_else(|| AlgebraError::new("the WHERE clause binds no variables"))?;
+        for b in iter {
+            cur = self.plan.add(PlanNode::Cross { left: cur, right: b });
+        }
+        Ok(cur)
+    }
+
+    /// Translate one element constructor; returns the updated chain and the
+    /// variable holding the constructed element (one per group binding).
+    ///
+    /// `ancestors` are the group variables of the enclosing element
+    /// constructors: a nested `<sale> … </sale> {$C}` inside
+    /// `<region> … </region> {$R}` creates one sale per *(R, C)* pair, so
+    /// its groupBy groups by the ancestors' variables as well — which also
+    /// keeps them in scope for the enclosing levels.
+    fn build_elem(
+        &mut self,
+        e: &HeadElem,
+        ancestors: &[Var],
+        mut cur: PlanId,
+    ) -> Result<(PlanId, Var), AlgebraError> {
+        // Effective group: ancestor group vars first, then this element's.
+        let mut group_full: Vec<Var> = ancestors.to_vec();
+        for v in &e.group {
+            if !group_full.contains(v) {
+                group_full.push(v.clone());
+            }
+        }
+        // 1. Recurse into nested element constructors first (they run
+        //    before this level's grouping, cf. Fig. 4 where the med_home
+        //    chain precedes the answer-level groupBy).
+        let mut elem_vars: Vec<Option<Var>> = Vec::with_capacity(e.children.len());
+        for item in &e.children {
+            if let HeadItem::Elem(inner) = item {
+                let (next, var) = self.build_elem(inner, &group_full, cur)?;
+                cur = next;
+                elem_vars.push(Some(var));
+            } else {
+                elem_vars.push(None);
+            }
+        }
+
+        // 2. One groupBy for this level: group by the element's annotation,
+        //    collecting every Collect-variable and nested-element variable.
+        let mut items = Vec::new();
+        let mut content: Vec<ContentVar> = Vec::new();
+        for (i, item) in e.children.iter().enumerate() {
+            match item {
+                HeadItem::Collect(v) => {
+                    let lv = self.fresh_var(&format!("L{}s", v.name()));
+                    items.push(GroupItem { value: v.clone(), out: lv.clone() });
+                    content.push(ContentVar::List(lv));
+                }
+                HeadItem::Elem(_) => {
+                    let ev = elem_vars[i].clone().expect("elem var recorded");
+                    let lv = self.fresh_var(&format!("L{}s", ev.name()));
+                    items.push(GroupItem { value: ev, out: lv.clone() });
+                    content.push(ContentVar::List(lv));
+                }
+                HeadItem::Single(v) => {
+                    if !group_full.contains(v) {
+                        return Err(AlgebraError::new(format!(
+                            "variable {v} appears without a group annotation inside an \
+                             element grouped by {:?}; it must be one of the group \
+                             variables (write `{v} {{{v}}}` to collect all bindings)",
+                            e.group.iter().map(|g| g.to_string()).collect::<Vec<_>>(),
+                        )));
+                    }
+                    content.push(ContentVar::Single(v.clone()));
+                }
+                HeadItem::Text(s) => content.push(ContentVar::Text(s.clone())),
+            }
+        }
+        cur = self.plan.add(PlanNode::GroupBy {
+            input: cur,
+            group: group_full.clone(),
+            items,
+        });
+
+        // 3. Build the ordered content list: wrap singles/texts into
+        //    one-element lists, then concatenate pairwise.
+        let mut list_vars: Vec<Var> = Vec::new();
+        for c in content {
+            match c {
+                ContentVar::List(v) => list_vars.push(v),
+                ContentVar::Single(v) => {
+                    let lv = self.fresh_var(&format!("L{}", v.name()));
+                    cur = self.plan.add(PlanNode::Wrap { input: cur, var: v, out: lv.clone() });
+                    list_vars.push(lv);
+                }
+                ContentVar::Text(s) => {
+                    let tv = self.fresh_var("text");
+                    cur = self.plan.add(PlanNode::Constant {
+                        input: cur,
+                        value: Tree::leaf(s.as_str()),
+                        out: tv.clone(),
+                    });
+                    let lv = self.fresh_var("Ltext");
+                    cur = self.plan.add(PlanNode::Wrap { input: cur, var: tv, out: lv.clone() });
+                    list_vars.push(lv);
+                }
+            }
+        }
+        let ch = match list_vars.len() {
+            0 => {
+                // Empty content: the empty list.
+                let cv = self.fresh_var("empty");
+                cur = self.plan.add(PlanNode::Constant {
+                    input: cur,
+                    value: Tree::leaf(Label::list()),
+                    out: cv.clone(),
+                });
+                cv
+            }
+            1 => list_vars.pop().expect("one element"),
+            _ => {
+                let mut iter = list_vars.into_iter();
+                let mut acc = iter.next().expect("nonempty");
+                for next in iter {
+                    let out = self.fresh_var("cat");
+                    cur = self.plan.add(PlanNode::Concatenate {
+                        input: cur,
+                        x: acc,
+                        y: next,
+                        out: out.clone(),
+                    });
+                    acc = out;
+                }
+                acc
+            }
+        };
+
+        // 4. The element itself.
+        let name_hint = match &e.label {
+            LabelSpec::Const(s) => s.clone(),
+            LabelSpec::Var(v) => format!("E{}", v.name()),
+        };
+        let out = self.fresh_var(&format!("{name_hint}s"));
+        cur = self.plan.add(PlanNode::CreateElement {
+            input: cur,
+            label: e.label.clone(),
+            ch,
+            out: out.clone(),
+        });
+        Ok((cur, out))
+    }
+}
+
+enum ContentVar {
+    List(Var),
+    Single(Var),
+    Text(String),
+}
+
+fn operand(o: &Operand) -> PredOperand {
+    match o {
+        Operand::Var(v) => PredOperand::Var(v.clone()),
+        Operand::Str(s) => PredOperand::Str(s.clone()),
+        Operand::Int(i) => PredOperand::Int(*i),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mix_xmas::parse_query;
+
+    const FIG3: &str = r#"
+        CONSTRUCT <answer>
+                    <med_home> $H
+                      $S {$S}
+                    </med_home> {$H}
+                  </answer> {}
+        WHERE homesSrc homes.home $H AND $H zip._ $V1
+          AND schoolsSrc schools.school $S AND $S zip._ $V2
+          AND $V1 = $V2
+    "#;
+
+    fn ops_in_order(plan: &Plan) -> Vec<&'static str> {
+        // Post-order walk (inputs before the operator), mirroring
+        // bottom-up evaluation.
+        fn walk(plan: &Plan, id: PlanId, out: &mut Vec<&'static str>) {
+            for i in plan.node(id).inputs() {
+                walk(plan, i, out);
+            }
+            out.push(plan.node(id).op_name());
+        }
+        let mut out = Vec::new();
+        walk(plan, plan.root(), &mut out);
+        out
+    }
+
+    #[test]
+    fn figure_3_translates_to_figure_4_shape() {
+        let q = parse_query(FIG3).unwrap();
+        let plan = translate(&q).unwrap();
+        plan.validate().unwrap();
+        assert_eq!(
+            ops_in_order(&plan),
+            vec![
+                // homes branch
+                "source",
+                "getDescendants",
+                "getDescendants",
+                // schools branch
+                "source",
+                "getDescendants",
+                "getDescendants",
+                // join on zip
+                "join",
+                // med_home construction
+                "groupBy",
+                "wrap", // $H into a singleton list (Fig. 4 folds this into concatenate)
+                "concatenate",
+                "createElement",
+                // answer construction
+                "groupBy",
+                "createElement",
+                "tupleDestroy",
+            ]
+        );
+        assert_eq!(plan.source_names(), vec!["homesSrc".to_string(), "schoolsSrc".to_string()]);
+    }
+
+    #[test]
+    fn join_predicate_and_group_vars_survive() {
+        let q = parse_query(FIG3).unwrap();
+        let plan = translate(&q).unwrap();
+        let text = plan.to_string();
+        assert!(text.contains("join $V1 = $V2"), "plan:\n{text}");
+        assert!(text.contains("groupBy {$H} $S ->"), "plan:\n{text}");
+        assert!(text.contains("createElement med_home"), "plan:\n{text}");
+        assert!(text.contains("createElement answer"), "plan:\n{text}");
+    }
+
+    #[test]
+    fn single_branch_with_literal_select() {
+        let q = parse_query(
+            r#"CONSTRUCT <cheap> $H {$H} </cheap> {}
+               WHERE homesSrc homes.home $H AND $H price._ $P AND $P < 500000"#,
+        )
+        .unwrap();
+        let plan = translate(&q).unwrap();
+        let ops = ops_in_order(&plan);
+        assert_eq!(
+            ops,
+            vec![
+                "source",
+                "getDescendants",
+                "getDescendants",
+                "select",
+                "groupBy",
+                "createElement",
+                "tupleDestroy"
+            ]
+        );
+    }
+
+    #[test]
+    fn unrelated_sources_cross() {
+        let q = parse_query(
+            "CONSTRUCT <all> $A {$A} $B {$B} </all> {} WHERE s1 x $A AND s2 y $B",
+        )
+        .unwrap();
+        let plan = translate(&q).unwrap();
+        assert!(ops_in_order(&plan).contains(&"cross"));
+    }
+
+    #[test]
+    fn nested_literal_text() {
+        let q = parse_query(
+            r#"CONSTRUCT <r> "header" $X {$X} </r> {} WHERE s p $X"#,
+        )
+        .unwrap();
+        let plan = translate(&q).unwrap();
+        let ops = ops_in_order(&plan);
+        assert!(ops.contains(&"constant"));
+        assert!(ops.contains(&"concatenate"));
+    }
+
+    #[test]
+    fn empty_element_content() {
+        let q = parse_query("CONSTRUCT <r> </r> {} WHERE s p $X").unwrap();
+        let plan = translate(&q).unwrap();
+        plan.validate().unwrap();
+        let ops = ops_in_order(&plan);
+        assert!(ops.contains(&"constant")); // the empty list
+    }
+
+    #[test]
+    fn single_var_must_be_in_group() {
+        let q = parse_query(
+            "CONSTRUCT <r> $X </r> {} WHERE s p $X", // $X single but group is {}
+        )
+        .unwrap();
+        let err = translate(&q).unwrap_err();
+        assert!(err.message.contains("group"), "{err}");
+    }
+
+    #[test]
+    fn root_group_must_be_empty() {
+        let q = parse_query("CONSTRUCT <r> $X </r> {$X} WHERE s p $X").unwrap();
+        let err = translate(&q).unwrap_err();
+        assert!(err.message.contains("single answer"), "{err}");
+    }
+
+    #[test]
+    fn unbound_path_variable_is_an_error() {
+        let q = parse_query("CONSTRUCT <r> $Y {$Y} </r> {} WHERE $X p $Y").unwrap();
+        let err = translate(&q).unwrap_err();
+        assert!(err.message.contains("unbound"), "{err}");
+    }
+
+    #[test]
+    fn double_binding_is_an_error() {
+        let q =
+            parse_query("CONSTRUCT <r> $X {$X} </r> {} WHERE s p $X AND s q $X").unwrap();
+        assert!(translate(&q).is_err());
+    }
+
+    #[test]
+    fn comparison_on_unbound_variable_is_an_error() {
+        let q = parse_query("CONSTRUCT <r> $X {$X} </r> {} WHERE s p $X AND $Z = 5").unwrap();
+        let err = translate(&q).unwrap_err();
+        assert!(err.message.contains("unbound"), "{err}");
+    }
+}

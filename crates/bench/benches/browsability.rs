@@ -1,0 +1,82 @@
+//! E3 — navigational complexity by browsability class (Example 1, Def. 2).
+//!
+//! Measures the wall-clock of reaching the first answer under the three
+//! classes: bounded (wildcard re-shaping), browsable (label filter at
+//! varying match gaps), unbrowsable (orderBy spliced over the body).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mix_algebra::{Plan, PlanNode};
+use mix_bench::{filter_registry, plan_for, FILTER_QUERY};
+use mix_core::{Engine, EngineConfig};
+use mix_nav::explore::first_k_children;
+use mix_xmas::Var;
+
+fn order_by_plan() -> Plan {
+    let mut plan = plan_for("CONSTRUCT <sorted> $X {$X} </sorted> {} WHERE src items._ $X");
+    let target = plan
+        .reachable()
+        .into_iter()
+        .find(|&id| matches!(plan.node(id), PlanNode::GroupBy { .. }))
+        .unwrap();
+    let PlanNode::GroupBy { input, group, items } = plan.node(target).clone() else {
+        unreachable!()
+    };
+    let ob = plan.add(PlanNode::OrderBy { input, keys: vec![Var::new("X")] });
+    *plan.node_mut(target) = PlanNode::GroupBy { input: ob, group, items };
+    plan.validate().unwrap();
+    plan
+}
+
+fn bench_browsability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("first_result_by_class");
+    group.sample_size(20);
+
+    // Bounded: every child matches, navigation mirrors 1:1.
+    let bounded = plan_for("CONSTRUCT <all> $X {$X} </all> {} WHERE src items._ $X");
+    group.bench_function("bounded(wildcard)", |b| {
+        b.iter_batched(
+            || filter_registry(1_000, 1),
+            |reg| {
+                let mut e =
+                    Engine::with_config(bounded.clone(), &reg, EngineConfig::default()).unwrap();
+                first_k_children(&mut e, 1)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    // Browsable: data-dependent scan to the first match.
+    let filter = plan_for(FILTER_QUERY);
+    for gap in [1usize, 10, 100] {
+        group.bench_with_input(BenchmarkId::new("browsable(filter)", gap), &gap, |b, &gap| {
+            b.iter_batched(
+                || filter_registry(1_000, gap),
+                |reg| {
+                    let mut e =
+                        Engine::with_config(filter.clone(), &reg, EngineConfig::default())
+                            .unwrap();
+                    first_k_children(&mut e, 1)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+
+    // Unbrowsable: full input scan before the first answer.
+    let sorted = order_by_plan();
+    group.bench_function("unbrowsable(orderBy)", |b| {
+        b.iter_batched(
+            || filter_registry(1_000, 1),
+            |reg| {
+                let mut e =
+                    Engine::with_config(sorted.clone(), &reg, EngineConfig::default()).unwrap();
+                first_k_children(&mut e, 1)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_browsability);
+criterion_main!(benches);

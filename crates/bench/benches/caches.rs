@@ -1,0 +1,36 @@
+//! E8 — ablation of the operator caches §3 calls out: the nested-loop
+//! join's inner cache and groupBy's seen-groups buffer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mix_bench::{homes_schools_registry, plan_for, FIG3_QUERY};
+use mix_core::{Engine, EngineConfig};
+use mix_nav::explore::materialize;
+
+fn bench_caches(c: &mut Criterion) {
+    let plan = plan_for(FIG3_QUERY);
+    let mut group = c.benchmark_group("cache_ablation");
+    group.sample_size(10);
+    let n = 60;
+    for (name, join_cache, group_cache) in [
+        ("both_on", true, true),
+        ("join_off", false, true),
+        ("group_off", true, false),
+        ("both_off", false, false),
+    ] {
+        let config = EngineConfig { join_cache, group_cache, ..EngineConfig::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, &config| {
+            b.iter_batched(
+                || homes_schools_registry(2, n, 10),
+                |reg| {
+                    let mut e = Engine::with_config(plan.clone(), &reg, config).unwrap();
+                    materialize(&mut e)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_caches);
+criterion_main!(benches);

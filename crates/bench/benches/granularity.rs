@@ -1,0 +1,54 @@
+//! E5 — wrapper granularity: scanning a relational source through the
+//! buffer at different tuple chunk sizes (§4's bulk transfer), plus the
+//! web wrapper's fill policies (E6 companion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mix_buffer::{BufferNavigator, FillPolicy, TreeWrapper};
+use mix_nav::explore::materialize;
+use mix_wrappers::gen;
+use mix_wrappers::RelationalWrapper;
+
+fn bench_chunk_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relational_scan_by_chunk");
+    group.sample_size(10);
+    let rows = 5_000;
+    for chunk in [1usize, 10, 100, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(chunk), &chunk, |b, &chunk| {
+            b.iter_batched(
+                || {
+                    BufferNavigator::new(
+                        RelationalWrapper::new(gen::homes_database(3, rows, 100), chunk),
+                        "realestate",
+                    )
+                },
+                |mut nav| materialize(&mut nav),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_fill_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("web_scan_by_policy");
+    group.sample_size(10);
+    let page = gen::bookstore_doc(5, "store", 500);
+    for (name, policy) in [
+        ("node_at_a_time", FillPolicy::NodeAtATime),
+        ("chunked_25", FillPolicy::Chunked { n: 25 }),
+        ("size_threshold_20", FillPolicy::SizeThreshold { max_nodes: 20 }),
+        ("whole_subtree", FillPolicy::WholeSubtree),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || BufferNavigator::new(TreeWrapper::single(&page, policy), "doc"),
+                |mut nav| materialize(&mut nav),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chunk_sizes, bench_fill_policies);
+criterion_main!(benches);

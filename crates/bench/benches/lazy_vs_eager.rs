@@ -1,0 +1,53 @@
+//! E2 — time-to-first-result: lazy navigation vs eager materialization.
+//!
+//! The paper's central claim (§1): when a user navigates only the first
+//! few results of a broad query, demand-driven evaluation beats computing
+//! the full answer. Criterion measures wall-clock for (a) lazily pulling
+//! the first result, (b) lazily pulling everything, (c) the eager
+//! baseline, across source sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mix_bench::{homes_schools_registry, plan_for, FIG3_QUERY};
+use mix_core::{eager, Engine, EngineConfig};
+use mix_nav::explore::{first_k_children, materialize};
+
+fn bench_lazy_vs_eager(c: &mut Criterion) {
+    let plan = plan_for(FIG3_QUERY);
+    let mut group = c.benchmark_group("lazy_vs_eager");
+    group.sample_size(10);
+    for n in [100usize, 1_000] {
+        group.bench_with_input(BenchmarkId::new("lazy_first", n), &n, |b, &n| {
+            b.iter_batched(
+                || homes_schools_registry(1, n, n),
+                |reg| {
+                    let mut engine =
+                        Engine::with_config(plan.clone(), &reg, EngineConfig::default()).unwrap();
+                    first_k_children(&mut engine, 1)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("lazy_full", n), &n, |b, &n| {
+            b.iter_batched(
+                || homes_schools_registry(1, n, n),
+                |reg| {
+                    let mut engine =
+                        Engine::with_config(plan.clone(), &reg, EngineConfig::default()).unwrap();
+                    materialize(&mut engine)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("eager_full", n), &n, |b, &n| {
+            b.iter_batched(
+                || homes_schools_registry(1, n, n),
+                |reg| eager::eval(&plan, &reg).unwrap(),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lazy_vs_eager);
+criterion_main!(benches);

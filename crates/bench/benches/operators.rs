@@ -1,0 +1,60 @@
+//! E7 — per-operator lazy-mediator micro-costs (Figures 9 & 10): full
+//! navigation through plans dominated by one operator each.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mix_bench::{filter_registry, homes_schools_registry, plan_for, FILTER_QUERY};
+use mix_core::{Engine, EngineConfig};
+use mix_nav::explore::materialize;
+
+fn bench_operators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("operators");
+    group.sample_size(20);
+
+    let cases = [
+        (
+            "createElement",
+            "CONSTRUCT <out> $X {$X} </out> {} WHERE src items._ $X",
+        ),
+        ("getDescendants_filter", FILTER_QUERY),
+        (
+            "getDescendants_recursive",
+            "CONSTRUCT <out> $X {$X} </out> {} WHERE src items.wanted*._ $X",
+        ),
+        (
+            "groupBy",
+            "CONSTRUCT <out> <g> $X {$X} </g> {} </out> {} WHERE src items.wanted $X",
+        ),
+    ];
+    for (name, q) in cases {
+        let plan = plan_for(q);
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || filter_registry(500, 2),
+                |reg| {
+                    let mut e =
+                        Engine::with_config(plan.clone(), &reg, EngineConfig::default()).unwrap();
+                    materialize(&mut e)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+
+    // The join-dominated running example.
+    let fig3 = plan_for(mix_bench::FIG3_QUERY);
+    group.bench_function("join_fig3", |b| {
+        b.iter_batched(
+            || homes_schools_registry(1, 100, 100),
+            |reg| {
+                let mut e =
+                    Engine::with_config(fig3.clone(), &reg, EngineConfig::default()).unwrap();
+                materialize(&mut e)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators);
+criterion_main!(benches);

@@ -1,0 +1,508 @@
+//! The generic buffer component (paper §4, Figures 7–8).
+//!
+//! A [`BufferNavigator`] exposes the wrapper's view through plain DOM-VXD
+//! navigation while maintaining an *open tree* internally. Navigation that
+//! stays within explored territory is answered from the buffer; navigation
+//! that hits a hole triggers `fill` requests until the requested node
+//! materializes (the recursive `d(p)`/`chase_first` algorithm of Figure 8,
+//! generalized to the most liberal LXP protocol where replies may contain
+//! holes at arbitrary positions).
+//!
+//! Termination relies on the protocol's progress invariant: every fill
+//! either removes a hole (empty reply) or contributes at least one real
+//! node, and the open tree only refines towards the finite source tree.
+
+use crate::fragment::Fragment;
+use crate::lxp::{check_progress, HoleId, LxpWrapper};
+use mix_nav::Navigator;
+use mix_xml::Label;
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Stable identifier of a buffered node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BufNodeId(u32);
+
+impl BufNodeId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Shared counters describing buffer/wrapper traffic.
+#[derive(Clone, Default, Debug)]
+pub struct BufferStats {
+    inner: Rc<StatCells>,
+}
+
+#[derive(Default, Debug)]
+struct StatCells {
+    fills: Cell<u64>,
+    get_roots: Cell<u64>,
+    nodes_received: Cell<u64>,
+    bytes_received: Cell<u64>,
+}
+
+/// A point-in-time copy of [`BufferStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BufferStatsSnapshot {
+    /// `fill` requests sent to the wrapper.
+    pub fills: u64,
+    /// `get_root` requests (0 or 1 per source).
+    pub get_roots: u64,
+    /// Non-hole fragment nodes received.
+    pub nodes_received: u64,
+    /// Approximate bytes received (see `Fragment::wire_bytes`).
+    pub bytes_received: u64,
+}
+
+impl BufferStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        BufferStats::default()
+    }
+
+    /// Read the current totals.
+    pub fn snapshot(&self) -> BufferStatsSnapshot {
+        BufferStatsSnapshot {
+            fills: self.inner.fills.get(),
+            get_roots: self.inner.get_roots.get(),
+            nodes_received: self.inner.nodes_received.get(),
+            bytes_received: self.inner.bytes_received.get(),
+        }
+    }
+
+    /// Reset all counters.
+    pub fn reset(&self) {
+        self.inner.fills.set(0);
+        self.inner.get_roots.set(0);
+        self.inner.nodes_received.set(0);
+        self.inner.bytes_received.set(0);
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Entry {
+    Node(BufNodeId),
+    Hole(HoleId),
+}
+
+#[derive(Debug)]
+struct BufNode {
+    label: Label,
+    children: Vec<Entry>,
+    parent: Option<BufNodeId>,
+    /// Index within the parent's child list; maintained across splices.
+    idx: usize,
+}
+
+/// The buffer component: a [`Navigator`] over the open tree fed by an LXP
+/// wrapper.
+///
+/// # Panics
+/// Navigation panics when the wrapper violates the LXP contract (unknown
+/// holes, progress violations, source errors): in the MIX architecture
+/// these are integration bugs between buffer and wrapper, not data-level
+/// conditions a client could react to.
+pub struct BufferNavigator<W> {
+    wrapper: W,
+    uri: String,
+    nodes: Vec<BufNode>,
+    connected: bool,
+    stats: BufferStats,
+}
+
+impl<W: LxpWrapper> BufferNavigator<W> {
+    /// Create a buffer over `wrapper`, exporting the document at `uri`.
+    /// No wrapper traffic happens until the first navigation.
+    pub fn new(wrapper: W, uri: impl Into<String>) -> Self {
+        BufferNavigator {
+            wrapper,
+            uri: uri.into(),
+            nodes: Vec::new(),
+            connected: false,
+            stats: BufferStats::new(),
+        }
+    }
+
+    /// A shared handle to this buffer's traffic counters.
+    pub fn stats(&self) -> BufferStats {
+        self.stats.clone()
+    }
+
+    /// Tear down the buffer and recover the wrapper (for reading
+    /// wrapper-side statistics after an experiment).
+    pub fn into_wrapper(self) -> W {
+        self.wrapper
+    }
+
+    /// The number of materialized nodes currently buffered.
+    pub fn buffered_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Render the current open tree in the paper's `r[a,◦2]` notation
+    /// (diagnostics and tests).
+    pub fn open_tree(&self) -> Option<Fragment> {
+        if !self.connected {
+            return None;
+        }
+        Some(self.fragment_of(BufNodeId(0)))
+    }
+
+    fn fragment_of(&self, id: BufNodeId) -> Fragment {
+        let n = &self.nodes[id.index()];
+        Fragment::Node {
+            label: n.label.clone(),
+            children: n
+                .children
+                .iter()
+                .map(|e| match e {
+                    Entry::Node(c) => self.fragment_of(*c),
+                    Entry::Hole(h) => Fragment::Hole(h.clone()),
+                })
+                .collect(),
+        }
+    }
+
+    fn do_fill(&mut self, hole: &HoleId) -> Vec<Fragment> {
+        let reply = self
+            .wrapper
+            .fill(hole)
+            .unwrap_or_else(|e| panic!("LXP fill({hole}) failed: {e}"));
+        check_progress(&reply).unwrap_or_else(|e| panic!("wrapper broke LXP progress: {e}"));
+        let cells = &self.stats.inner;
+        cells.fills.set(cells.fills.get() + 1);
+        for f in &reply {
+            cells.nodes_received.set(cells.nodes_received.get() + f.node_count() as u64);
+            cells.bytes_received.set(cells.bytes_received.get() + f.wire_bytes() as u64);
+        }
+        reply
+    }
+
+    fn ensure_connected(&mut self) {
+        if self.connected {
+            return;
+        }
+        let cells = &self.stats.inner;
+        cells.get_roots.set(cells.get_roots.get() + 1);
+        let uri = self.uri.clone();
+        let mut hole = self
+            .wrapper
+            .get_root(&uri)
+            .unwrap_or_else(|e| panic!("LXP get_root({uri}) failed: {e}"));
+        // Chase fills until the single root element appears. Holes around
+        // it necessarily represent zero elements (a document has one root)
+        // and are dropped.
+        let mut fuel = FILL_FUEL;
+        let root_frag = loop {
+            let reply = self.do_fill(&hole);
+            if let Some(node) = reply.iter().find(|f| !f.is_hole()) {
+                break node.clone();
+            }
+            match reply.into_iter().next() {
+                Some(Fragment::Hole(h)) => hole = h,
+                _ => panic!("LXP root fill for `{uri}` reached a dead end without a root"),
+            }
+            fuel -= 1;
+            assert!(fuel > 0, "wrapper failed to produce a root element for `{uri}`");
+        };
+        let root = self.intern(&root_frag, None, 0);
+        debug_assert_eq!(root, BufNodeId(0));
+        self.connected = true;
+    }
+
+    /// Materialize a fragment into the arena; returns the node id.
+    fn intern(&mut self, frag: &Fragment, parent: Option<BufNodeId>, idx: usize) -> BufNodeId {
+        let Fragment::Node { label, children } = frag else {
+            panic!("intern called on a hole");
+        };
+        let id = BufNodeId(u32::try_from(self.nodes.len()).expect("buffer too large"));
+        self.nodes.push(BufNode { label: label.clone(), children: Vec::new(), parent, idx });
+        let entries: Vec<Entry> = children
+            .iter()
+            .enumerate()
+            .map(|(i, c)| match c {
+                Fragment::Hole(h) => Entry::Hole(h.clone()),
+                node => Entry::Node(self.intern(node, Some(id), i)),
+            })
+            .collect();
+        self.nodes[id.index()].children = entries;
+        id
+    }
+
+    /// Replace the hole at `parent.children[i]` with the interned reply,
+    /// shifting sibling indices.
+    fn splice(&mut self, parent: BufNodeId, i: usize, reply: Vec<Fragment>) {
+        let interned: Vec<Entry> = reply
+            .iter()
+            .enumerate()
+            .map(|(k, f)| match f {
+                Fragment::Hole(h) => Entry::Hole(h.clone()),
+                node => Entry::Node(self.intern(node, Some(parent), i + k)),
+            })
+            .collect();
+        let grew = interned.len();
+        let kids = &mut self.nodes[parent.index()].children;
+        kids.splice(i..=i, interned);
+        // Fix cached indices of shifted right siblings.
+        let kids_snapshot: Vec<Entry> = self.nodes[parent.index()].children[i + grew..].to_vec();
+        for (off, e) in kids_snapshot.iter().enumerate() {
+            if let Entry::Node(id) = e {
+                self.nodes[id.index()].idx = i + grew + off;
+            }
+        }
+    }
+
+    /// First materialized node at or after child position `start` of
+    /// `parent`, filling holes as they are encountered (Fig. 8's
+    /// `chase_first`, generalized).
+    fn resolve_from(&mut self, parent: BufNodeId, start: usize) -> Option<BufNodeId> {
+        let i = start;
+        let mut fuel = FILL_FUEL;
+        loop {
+            let entry = self.nodes[parent.index()].children.get(i).cloned()?;
+            match entry {
+                Entry::Node(id) => return Some(id),
+                Entry::Hole(h) => {
+                    let reply = self.do_fill(&h);
+                    self.splice(parent, i, reply);
+                    // Re-examine position i: it now holds the first reply
+                    // fragment, the next original sibling (empty reply), or
+                    // nothing (list exhausted).
+                }
+            }
+            fuel -= 1;
+            assert!(fuel > 0, "wrapper made no progress filling children of a node");
+        }
+    }
+}
+
+/// Upper bound on fills per single navigation command — generous (a fill
+/// may legitimately reveal just one node) but finite, so a non-conforming
+/// wrapper fails loudly instead of hanging.
+const FILL_FUEL: u32 = 1_000_000;
+
+impl<W: LxpWrapper> Navigator for BufferNavigator<W> {
+    type Handle = BufNodeId;
+
+    fn root(&mut self) -> BufNodeId {
+        // Handing out the root handle costs no wrapper traffic (§1); the
+        // connection happens at the first real navigation.
+        BufNodeId(0)
+    }
+
+    fn down(&mut self, p: &BufNodeId) -> Option<BufNodeId> {
+        self.ensure_connected();
+        self.resolve_from(*p, 0)
+    }
+
+    fn right(&mut self, p: &BufNodeId) -> Option<BufNodeId> {
+        self.ensure_connected();
+        let node = &self.nodes[p.index()];
+        let parent = node.parent?;
+        let idx = node.idx;
+        self.resolve_from(parent, idx + 1)
+    }
+
+    fn fetch(&mut self, p: &BufNodeId) -> Label {
+        self.ensure_connected();
+        self.nodes[p.index()].label.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lxp::LxpError;
+    use crate::treewrap::{FillPolicy, TreeWrapper};
+    use mix_nav::explore::materialize;
+    use mix_xml::term::parse_term;
+    use std::collections::VecDeque;
+
+    fn buffered(term: &str, policy: FillPolicy) -> BufferNavigator<TreeWrapper> {
+        let tree = parse_term(term).unwrap();
+        BufferNavigator::new(TreeWrapper::single(&tree, policy), "doc")
+    }
+
+    #[test]
+    fn materializes_identically_under_every_policy() {
+        let term = "view[tuple[a[1],b[2]],tuple[a[3],b[4]],tuple[a[5],b[6]]]";
+        for policy in [
+            FillPolicy::NodeAtATime,
+            FillPolicy::Chunked { n: 2 },
+            FillPolicy::WholeSubtree,
+            FillPolicy::SizeThreshold { max_nodes: 3 },
+        ] {
+            let mut nav = buffered(term, policy);
+            assert_eq!(materialize(&mut nav).to_string(), term, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn root_handle_costs_no_traffic() {
+        let mut nav = buffered("a[b]", FillPolicy::NodeAtATime);
+        let stats = nav.stats();
+        let _root = nav.root();
+        assert_eq!(stats.snapshot().fills, 0);
+        assert_eq!(stats.snapshot().get_roots, 0);
+    }
+
+    #[test]
+    fn coarser_policies_need_fewer_fills() {
+        let term = "r[a[x,y],b[x,y],c[x,y],d[x,y],e[x,y],f[x,y],g[x,y],h[x,y]]";
+        let mut fills = Vec::new();
+        for policy in [
+            FillPolicy::NodeAtATime,
+            FillPolicy::Chunked { n: 4 },
+            FillPolicy::WholeSubtree,
+        ] {
+            let mut nav = buffered(term, policy);
+            let stats = nav.stats();
+            materialize(&mut nav);
+            fills.push(stats.snapshot().fills);
+        }
+        assert!(fills[0] > fills[1], "node-at-a-time {} > chunked {}", fills[0], fills[1]);
+        assert!(fills[1] > fills[2], "chunked {} > whole-subtree {}", fills[1], fills[2]);
+        assert_eq!(fills[2], 1, "whole subtree arrives in the single root fill");
+    }
+
+    #[test]
+    fn revisiting_buffered_nodes_is_free() {
+        let mut nav = buffered("r[a,b,c]", FillPolicy::WholeSubtree);
+        let stats = nav.stats();
+        let root = nav.root();
+        let a = nav.down(&root).unwrap();
+        let after = stats.snapshot();
+        // Walk around the already-buffered region.
+        let b = nav.right(&a).unwrap();
+        let _c = nav.right(&b).unwrap();
+        assert_eq!(nav.fetch(&b), "b");
+        assert_eq!(stats.snapshot(), after, "no further wrapper traffic");
+    }
+
+    #[test]
+    fn partial_navigation_fetches_partial_data() {
+        // Under node-at-a-time, touching the first child must not pull in
+        // the rest of the document.
+        let mut nav = buffered("r[a[deep1,deep2],b[x],c[y]]", FillPolicy::NodeAtATime);
+        let root = nav.root();
+        let a = nav.down(&root).unwrap();
+        assert_eq!(nav.fetch(&a), "a");
+        let open = nav.open_tree().unwrap().to_string();
+        assert!(open.contains('◦'), "open tree still has holes: {open}");
+        assert!(!open.contains('y'), "sibling c's content not fetched: {open}");
+    }
+
+    #[test]
+    fn down_on_leaf_is_none_and_right_at_end_is_none() {
+        let mut nav = buffered("r[a,b]", FillPolicy::NodeAtATime);
+        let root = nav.root();
+        let a = nav.down(&root).unwrap();
+        assert_eq!(nav.down(&a), None);
+        let b = nav.right(&a).unwrap();
+        assert_eq!(nav.right(&b), None);
+        assert_eq!(nav.right(&root), None, "root has no siblings");
+    }
+
+    /// A scripted wrapper replaying the exact liberal trace of Example 7.
+    struct Example7Wrapper {
+        script: VecDeque<(HoleId, Vec<Fragment>)>,
+    }
+
+    impl LxpWrapper for Example7Wrapper {
+        fn get_root(&mut self, _uri: &str) -> Result<HoleId, LxpError> {
+            Ok("0".into())
+        }
+
+        fn fill(&mut self, hole: &HoleId) -> Result<Vec<Fragment>, LxpError> {
+            let (expect, reply) = self
+                .script
+                .pop_front()
+                .ok_or_else(|| LxpError::UnknownHole(hole.clone()))?;
+            assert_eq!(&expect, hole, "fill order");
+            Ok(reply)
+        }
+    }
+
+    #[test]
+    fn example_7_liberal_trace_reconstructs_the_tree() {
+        // u: complete tree t = a[b[d,e],c]; the paper's trace:
+        //   fill(◦0) = [a[◦1]]
+        //   fill(◦1) = [b[◦2], ◦3]
+        //   fill(◦3) = [c]
+        //   fill(◦2) = [◦4, d[◦5], ◦6]
+        //   fill(◦4) = []
+        //   fill(◦5) = []
+        //   fill(◦6) = [e]
+        let h = Fragment::hole;
+        let n = Fragment::node;
+        let l = Fragment::leaf;
+        let script: VecDeque<(HoleId, Vec<Fragment>)> = VecDeque::from(vec![
+            ("0".into(), vec![n("a", vec![h("1")])]),
+            ("1".into(), vec![n("b", vec![h("2")]), h("3")]),
+            ("3".into(), vec![l("c")]),
+            ("2".into(), vec![h("4"), n("d", vec![h("5")]), h("6")]),
+            ("4".into(), vec![]),
+            ("5".into(), vec![]),
+            ("6".into(), vec![l("e")]),
+        ]);
+        let mut nav = BufferNavigator::new(Example7Wrapper { script }, "u");
+
+        // Drive navigation in an order that produces the paper's fills:
+        // down to b, right to c, then down into b (d), probe below d, right to e.
+        let root = nav.root();
+        assert_eq!(nav.fetch(&root), "a"); // fill(0)
+        let b = nav.down(&root).unwrap(); // fill(1)
+        assert_eq!(nav.fetch(&b), "b");
+        let c = nav.right(&b).unwrap(); // fill(3)
+        assert_eq!(nav.fetch(&c), "c");
+        let d = nav.down(&b).unwrap(); // fill(2) then fill(4)
+        assert_eq!(nav.fetch(&d), "d");
+        assert_eq!(nav.down(&d), None); // fill(5)
+        let e = nav.right(&d).unwrap(); // fill(6)
+        assert_eq!(nav.fetch(&e), "e");
+        assert_eq!(nav.right(&e), None);
+        assert_eq!(nav.right(&c), None);
+
+        // Everything explored: the open tree is now closed and equals t.
+        let open = nav.open_tree().unwrap();
+        assert_eq!(open.to_tree().unwrap().to_string(), "a[b[d,e],c]");
+    }
+
+    #[test]
+    #[should_panic(expected = "progress")]
+    fn protocol_violation_panics() {
+        struct Bad;
+        impl LxpWrapper for Bad {
+            fn get_root(&mut self, _uri: &str) -> Result<HoleId, LxpError> {
+                Ok("0".into())
+            }
+            fn fill(&mut self, _hole: &HoleId) -> Result<Vec<Fragment>, LxpError> {
+                Ok(vec![Fragment::hole("1"), Fragment::hole("2")])
+            }
+        }
+        let mut nav = BufferNavigator::new(Bad, "u");
+        let r = nav.root();
+        let _ = nav.down(&r);
+    }
+
+    #[test]
+    fn handles_remain_valid_across_fills() {
+        let mut nav = buffered("r[a,b,c,d]", FillPolicy::NodeAtATime);
+        let root = nav.root();
+        let a = nav.down(&root).unwrap();
+        let b = nav.right(&a).unwrap();
+        let c = nav.right(&b).unwrap();
+        let d = nav.right(&c).unwrap();
+        // All handles still fetch correctly after the list was spliced
+        // repeatedly.
+        assert_eq!(nav.fetch(&a), "a");
+        assert_eq!(nav.fetch(&b), "b");
+        assert_eq!(nav.fetch(&c), "c");
+        assert_eq!(nav.fetch(&d), "d");
+        // And `right` from the middle still works.
+        let c2 = nav.right(&b).unwrap();
+        assert_eq!(c2, c);
+    }
+}

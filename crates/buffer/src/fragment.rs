@@ -1,0 +1,259 @@
+//! Open trees and XML fragments (paper Defs. 3–4, Example 6).
+//!
+//! An element of the form `hole[id]` is a *hole*; a tree containing holes
+//! is *open* (partial), otherwise *closed* (complete). A hole represents
+//! **zero or more** unexplored sibling elements, so the number of items in
+//! an open list generally differs from the length of the complete list it
+//! represents.
+
+use crate::lxp::HoleId;
+use mix_xml::{Label, Tree};
+use std::fmt;
+
+/// One fragment of an open tree: a node (with possibly-open children) or a
+/// hole standing for zero or more unexplored siblings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fragment {
+    /// An element with label and (open) child list.
+    Node { label: Label, children: Vec<Fragment> },
+    /// `hole[id]` — unexplored siblings.
+    Hole(HoleId),
+}
+
+impl Fragment {
+    /// A leaf node.
+    pub fn leaf(label: impl Into<Label>) -> Self {
+        Fragment::Node { label: label.into(), children: Vec::new() }
+    }
+
+    /// A node with children.
+    pub fn node(label: impl Into<Label>, children: Vec<Fragment>) -> Self {
+        Fragment::Node { label: label.into(), children }
+    }
+
+    /// A hole.
+    pub fn hole(id: impl Into<HoleId>) -> Self {
+        Fragment::Hole(id.into())
+    }
+
+    /// True when this fragment is a hole.
+    pub fn is_hole(&self) -> bool {
+        matches!(self, Fragment::Hole(_))
+    }
+
+    /// Convert a complete tree into a (closed) fragment.
+    pub fn from_tree(t: &Tree) -> Self {
+        Fragment::Node {
+            label: t.label().clone(),
+            children: t.children().iter().map(Fragment::from_tree).collect(),
+        }
+    }
+
+    /// Convert back to a tree; fails (returns `None`) if any hole remains.
+    pub fn to_tree(&self) -> Option<Tree> {
+        match self {
+            Fragment::Hole(_) => None,
+            Fragment::Node { label, children } => {
+                let mut out = Vec::with_capacity(children.len());
+                for c in children {
+                    out.push(c.to_tree()?);
+                }
+                Some(Tree::node(label.clone(), out))
+            }
+        }
+    }
+
+    /// True when the fragment contains no holes anywhere.
+    pub fn is_closed(&self) -> bool {
+        match self {
+            Fragment::Hole(_) => false,
+            Fragment::Node { children, .. } => children.iter().all(Fragment::is_closed),
+        }
+    }
+
+    /// Number of (non-hole) nodes — the cost model's unit for fragment
+    /// volume.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Fragment::Hole(_) => 0,
+            Fragment::Node { children, .. } => {
+                1 + children.iter().map(Fragment::node_count).sum::<usize>()
+            }
+        }
+    }
+
+    /// Approximate wire size in bytes: label bytes plus a small framing
+    /// constant per node or hole. Used by the granularity experiments to
+    /// compare protocols.
+    pub fn wire_bytes(&self) -> usize {
+        const FRAME: usize = 8;
+        match self {
+            Fragment::Hole(id) => FRAME + id.len(),
+            Fragment::Node { label, children } => {
+                FRAME + label.len() + children.iter().map(Fragment::wire_bytes).sum::<usize>()
+            }
+        }
+    }
+}
+
+impl fmt::Display for Fragment {
+    /// Term-like syntax with `◦id` for holes, as in the paper's Example 6
+    /// (`r[◦3,b,c,◦4]`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fragment::Hole(id) => write!(f, "◦{id}"),
+            Fragment::Node { label, children } => {
+                write!(f, "{label}")?;
+                if !children.is_empty() {
+                    write!(f, "[")?;
+                    for (i, c) in children.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ",")?;
+                        }
+                        write!(f, "{c}")?;
+                    }
+                    write!(f, "]")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Does the open child list `open` *represent* the complete child list
+/// `complete` (Def. 4)? Each hole may be substituted by zero or more
+/// consecutive elements; non-hole fragments must match recursively in
+/// order.
+pub fn represents(open: &[Fragment], complete: &[Tree]) -> bool {
+    // Backtracking match: holes are `.*` over sibling lists.
+    fn go(open: &[Fragment], complete: &[Tree]) -> bool {
+        match open.first() {
+            None => complete.is_empty(),
+            Some(Fragment::Hole(_)) => {
+                // Try consuming 0..=len elements.
+                (0..=complete.len()).any(|k| go(&open[1..], &complete[k..]))
+            }
+            Some(Fragment::Node { label, children }) => match complete.first() {
+                Some(t) if t.label() == label && go(children, t.children()) => {
+                    go(&open[1..], &complete[1..])
+                }
+                _ => false,
+            },
+        }
+    }
+    go(open, complete)
+}
+
+/// Does a single open tree represent a complete tree?
+pub fn tree_represents(open: &Fragment, complete: &Tree) -> bool {
+    match open {
+        Fragment::Hole(_) => true, // a hole can stand for any single element (or more)
+        Fragment::Node { label, children } => {
+            label == complete.label() && represents(children, complete.children())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mix_xml::term::parse_term;
+
+    fn t(s: &str) -> Tree {
+        parse_term(s).unwrap()
+    }
+
+    #[test]
+    fn example_6_possible_open_trees() {
+        // "Consider the complete tree t = r[a,b,c]. Possible open trees t′
+        //  for t are, e.g., r[◦1], r[a,◦2], and r[◦3,b,c,◦4]."
+        let complete = t("r[a,b,c]");
+        let r1 = Fragment::node("r", vec![Fragment::hole("1")]);
+        let r2 = Fragment::node("r", vec![Fragment::leaf("a"), Fragment::hole("2")]);
+        let r3 = Fragment::node(
+            "r",
+            vec![
+                Fragment::hole("3"),
+                Fragment::leaf("b"),
+                Fragment::leaf("c"),
+                Fragment::hole("4"),
+            ],
+        );
+        assert!(tree_represents(&r1, &complete));
+        assert!(tree_represents(&r2, &complete));
+        assert!(tree_represents(&r3, &complete));
+        // ◦3 represents [a], ◦4 represents [] — both "zero or more".
+    }
+
+    #[test]
+    fn representation_respects_order_and_labels() {
+        let complete = t("r[a,b,c]");
+        // Wrong order.
+        let bad = Fragment::node("r", vec![Fragment::leaf("b"), Fragment::hole("1")]);
+        assert!(!tree_represents(&bad, &complete));
+        // Wrong root label.
+        let bad2 = Fragment::node("x", vec![Fragment::hole("1")]);
+        assert!(!tree_represents(&bad2, &complete));
+        // Fragment with more elements than the complete list.
+        let bad3 = Fragment::node(
+            "r",
+            vec![
+                Fragment::leaf("a"),
+                Fragment::leaf("b"),
+                Fragment::leaf("c"),
+                Fragment::leaf("d"),
+            ],
+        );
+        assert!(!tree_represents(&bad3, &complete));
+    }
+
+    #[test]
+    fn nested_holes() {
+        let complete = t("a[b[d,e],c]");
+        let open = Fragment::node(
+            "a",
+            vec![Fragment::node("b", vec![Fragment::hole("2")]), Fragment::hole("3")],
+        );
+        assert!(tree_represents(&open, &complete));
+    }
+
+    #[test]
+    fn closed_fragment_roundtrip() {
+        let tree = t("a[b[d,e],c]");
+        let frag = Fragment::from_tree(&tree);
+        assert!(frag.is_closed());
+        assert_eq!(frag.to_tree().unwrap(), tree);
+        assert_eq!(frag.node_count(), 5);
+    }
+
+    #[test]
+    fn open_fragment_has_no_tree() {
+        let open = Fragment::node("a", vec![Fragment::hole("1")]);
+        assert!(!open.is_closed());
+        assert!(open.to_tree().is_none());
+        assert_eq!(open.node_count(), 1);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let open = Fragment::node(
+            "r",
+            vec![Fragment::hole("3"), Fragment::leaf("b"), Fragment::leaf("c"), Fragment::hole("4")],
+        );
+        assert_eq!(open.to_string(), "r[◦3,b,c,◦4]");
+    }
+
+    #[test]
+    fn wire_bytes_grow_with_content() {
+        let small = Fragment::leaf("a");
+        let big = Fragment::from_tree(&t("row[att1[v1],att2[v2],att3[v3]]"));
+        assert!(big.wire_bytes() > small.wire_bytes());
+    }
+
+    #[test]
+    fn empty_hole_represents_empty_list() {
+        assert!(represents(&[Fragment::hole("x")], &[]));
+        assert!(represents(&[], &[]));
+        assert!(!represents(&[], &[t("a")]));
+    }
+}

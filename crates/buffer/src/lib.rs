@@ -1,0 +1,51 @@
+//! # mix-buffer — open trees, LXP, and the generic buffer component
+//!
+//! The fine-grained DOM-VXD navigation model is "often prohibitively
+//! expensive for navigating on the sources" (paper §4): every `d`/`r`/`f`
+//! would become a wrapper round-trip. MIX's refined architecture inserts a
+//! *generic buffer component* between each lazy mediator and its wrapper
+//! (Figure 7):
+//!
+//! ```text
+//!   Lazy Mediator
+//!     │  DOM-VXD navigations (d, r, f) — node-at-a-time
+//!   Buffer Component          ← this crate
+//!     │  LXP requests: fill(hole[id]) — wrapper-chosen granularity
+//!   Wrapper → Source
+//! ```
+//!
+//! The buffer stores **open XML trees**: partial versions of the wrapper's
+//! view containing *holes* for unexplored parts (Defs. 3–4). When a
+//! navigation "hits a hole", the buffer issues a `fill` request through the
+//! **Lean XML fragment Protocol** (LXP, two commands: `get_root` and
+//! `fill`); the wrapper replies with a fragment list that may itself
+//! contain further holes, at whatever granularity it prefers — n relational
+//! tuples, a whole page, or single nodes.
+//!
+//! * [`fragment`] — open trees / fragments, the hole-representation
+//!   semantics of Defs. 3–4 and Example 6;
+//! * [`lxp`] — the protocol trait and its progress invariants;
+//! * [`buffer`] — the buffer component: a [`Navigator`] that maintains the
+//!   open tree and chases holes (the `d(p)`/`chase_first` algorithm of
+//!   Figure 8, generalized to the most liberal protocol);
+//! * [`prefetch`] — a readahead adapter rendering §4's "asynchronous
+//!   prefetching strategy": fills answered from the readahead cache leave
+//!   the critical path;
+//! * [`treewrap`] — an LXP wrapper over in-memory documents with pluggable
+//!   [`FillPolicy`]s, used by tests, the web-source simulator, and the
+//!   granularity experiments.
+//!
+//! [`Navigator`]: mix_nav::Navigator
+//! [`FillPolicy`]: treewrap::FillPolicy
+
+pub mod buffer;
+pub mod fragment;
+pub mod lxp;
+pub mod prefetch;
+pub mod treewrap;
+
+pub use buffer::{BufNodeId, BufferNavigator, BufferStats};
+pub use fragment::Fragment;
+pub use lxp::{HoleId, LxpError, LxpWrapper};
+pub use prefetch::Prefetcher;
+pub use treewrap::{FillPolicy, TreeWrapper};

@@ -1,0 +1,125 @@
+//! The Lean XML fragment Protocol (LXP, paper §4).
+//!
+//! "LXP is very simple and comprises only two commands, `get_root` and
+//! `fill`." The buffer (client) asks for a handle to the root of the
+//! wrapper's virtual document, then repeatedly fills holes; the wrapper
+//! answers each fill with a fragment list at *its* preferred granularity,
+//! possibly leaving further holes.
+//!
+//! To ensure correctness and termination the paper requires only that
+//! (i) the refinements extend to the complete source tree, and (ii)
+//! *progress is made*: "a non-empty result list cannot only consist of
+//! holes, and there can be no two adjacent holes". [`check_progress`]
+//! enforces (ii) on every reply; (i) is the wrapper's contract.
+
+use crate::fragment::Fragment;
+use std::fmt;
+
+/// Identifier of a hole. Opaque to the buffer; wrappers usually encode all
+/// the information needed to answer the fill into the id itself (like the
+/// relational wrapper's `db_name.table.row_number`), avoiding lookup
+/// tables.
+pub type HoleId = String;
+
+/// Errors in the buffer/wrapper conversation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LxpError {
+    /// The wrapper does not know the given hole id.
+    UnknownHole(HoleId),
+    /// The source named in `get_root` does not exist.
+    UnknownSource(String),
+    /// A fill reply violated the progress invariant.
+    ProtocolViolation(String),
+    /// Source-side failure (connection lost, page fetch failed, …).
+    SourceError(String),
+}
+
+impl fmt::Display for LxpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LxpError::UnknownHole(id) => write!(f, "unknown hole id `{id}`"),
+            LxpError::UnknownSource(uri) => write!(f, "unknown source `{uri}`"),
+            LxpError::ProtocolViolation(msg) => write!(f, "LXP protocol violation: {msg}"),
+            LxpError::SourceError(msg) => write!(f, "source error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LxpError {}
+
+/// The wrapper side of LXP.
+pub trait LxpWrapper {
+    /// `get_root(URI) → hole[id]`: establish the connection and obtain a
+    /// hole standing for the root element of the exported view.
+    fn get_root(&mut self, uri: &str) -> Result<HoleId, LxpError>;
+
+    /// `fill(hole[id]) → [T]`: partially explore the part of the source
+    /// tree represented by the hole.
+    fn fill(&mut self, hole: &HoleId) -> Result<Vec<Fragment>, LxpError>;
+}
+
+impl<W: LxpWrapper + ?Sized> LxpWrapper for Box<W> {
+    fn get_root(&mut self, uri: &str) -> Result<HoleId, LxpError> {
+        (**self).get_root(uri)
+    }
+
+    fn fill(&mut self, hole: &HoleId) -> Result<Vec<Fragment>, LxpError> {
+        (**self).fill(hole)
+    }
+}
+
+/// Enforce the progress invariant on a fill reply: a non-empty reply must
+/// contain at least one non-hole fragment, and no two holes may be
+/// adjacent.
+pub fn check_progress(reply: &[Fragment]) -> Result<(), LxpError> {
+    if !reply.is_empty() && reply.iter().all(Fragment::is_hole) {
+        return Err(LxpError::ProtocolViolation(
+            "non-empty fill reply consists only of holes".into(),
+        ));
+    }
+    for pair in reply.windows(2) {
+        if pair[0].is_hole() && pair[1].is_hole() {
+            return Err(LxpError::ProtocolViolation("two adjacent holes in fill reply".into()));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn progress_accepts_paper_example_7_replies() {
+        // fill(◦2) = [◦4, d[◦5], ◦6] — legal despite leading/trailing holes.
+        let reply = vec![
+            Fragment::hole("4"),
+            Fragment::node("d", vec![Fragment::hole("5")]),
+            Fragment::hole("6"),
+        ];
+        assert!(check_progress(&reply).is_ok());
+        // fill(◦4) = [] — dead end, legal.
+        assert!(check_progress(&[]).is_ok());
+        // fill(◦6) = [e].
+        assert!(check_progress(&[Fragment::leaf("e")]).is_ok());
+    }
+
+    #[test]
+    fn progress_rejects_all_holes() {
+        let reply = vec![Fragment::hole("1")];
+        let err = check_progress(&reply).unwrap_err();
+        assert!(matches!(err, LxpError::ProtocolViolation(_)));
+    }
+
+    #[test]
+    fn progress_rejects_adjacent_holes() {
+        let reply = vec![Fragment::leaf("a"), Fragment::hole("1"), Fragment::hole("2")];
+        assert!(check_progress(&reply).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(LxpError::UnknownHole("x.y".into()).to_string(), "unknown hole id `x.y`");
+        assert!(LxpError::UnknownSource("db".into()).to_string().contains("db"));
+    }
+}

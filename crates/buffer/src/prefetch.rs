@@ -1,0 +1,194 @@
+//! Prefetching between buffer and wrapper.
+//!
+//! §4: "a buffer can be used to decouple the client-driven view navigation
+//! ('pull from above') and the production of results by the wrapped source
+//! ('push from below') based on an asynchronous prefetching strategy."
+//!
+//! [`Prefetcher`] is a synchronous rendering of that idea: a wrapper
+//! adapter that, after answering a fill, immediately follows up to `depth`
+//! holes of the reply and stores their replies in a readahead cache. A
+//! later fill that hits the cache is answered without touching the inner
+//! wrapper — off the *critical path*, which is what asynchrony buys when
+//! source latency overlaps client think time. The cache-miss count is the
+//! number of round trips the client actually waits for.
+
+use crate::fragment::Fragment;
+use crate::lxp::{HoleId, LxpError, LxpWrapper};
+use std::collections::HashMap;
+
+/// A readahead adapter around any LXP wrapper.
+pub struct Prefetcher<W> {
+    inner: W,
+    /// How many holes of each reply to pre-fill.
+    depth: usize,
+    cache: HashMap<HoleId, Vec<Fragment>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<W: LxpWrapper> Prefetcher<W> {
+    /// Wrap `inner`, pre-filling up to `depth` holes per reply.
+    pub fn new(inner: W, depth: usize) -> Self {
+        Prefetcher { inner, depth, cache: HashMap::new(), hits: 0, misses: 0 }
+    }
+
+    /// Fills answered from the readahead cache (not waited for).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Fills that had to go to the inner wrapper on the critical path.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Holes currently sitting pre-filled in the cache.
+    pub fn cached(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The wrapped wrapper.
+    pub fn inner(&self) -> &W {
+        &self.inner
+    }
+
+    /// Pre-fill up to `budget` holes found in `reply` (breadth-first:
+    /// trailing sibling holes first — the direction a scanning client
+    /// moves), recursing into pre-filled replies while budget remains.
+    fn readahead(&mut self, reply: &[Fragment], budget: &mut usize) {
+        if *budget == 0 {
+            return;
+        }
+        let mut queue: Vec<HoleId> = Vec::new();
+        fn collect(frags: &[Fragment], queue: &mut Vec<HoleId>) {
+            for f in frags {
+                match f {
+                    Fragment::Hole(h) => queue.push(h.clone()),
+                    Fragment::Node { children, .. } => collect(children, queue),
+                }
+            }
+        }
+        collect(reply, &mut queue);
+        let mut i = 0;
+        while i < queue.len() && *budget > 0 {
+            let h = queue[i].clone();
+            i += 1;
+            if self.cache.contains_key(&h) {
+                continue;
+            }
+            let Ok(r) = self.inner.fill(&h) else { continue };
+            *budget -= 1;
+            collect(&r, &mut queue);
+            self.cache.insert(h, r);
+        }
+    }
+}
+
+impl<W: LxpWrapper> LxpWrapper for Prefetcher<W> {
+    fn get_root(&mut self, uri: &str) -> Result<HoleId, LxpError> {
+        self.inner.get_root(uri)
+    }
+
+    fn fill(&mut self, hole: &HoleId) -> Result<Vec<Fragment>, LxpError> {
+        let reply = match self.cache.remove(hole) {
+            Some(r) => {
+                self.hits += 1;
+                r
+            }
+            None => {
+                self.misses += 1;
+                self.inner.fill(hole)?
+            }
+        };
+        let mut budget = self.depth;
+        self.readahead(&reply, &mut budget);
+        Ok(reply)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::BufferNavigator;
+    use crate::treewrap::{FillPolicy, TreeWrapper};
+    use mix_nav::explore::materialize;
+    use mix_xml::term::parse_term;
+    use mix_xml::Tree;
+
+    fn wide_tree(n: usize) -> Tree {
+        let children =
+            (0..n).map(|i| parse_term(&format!("item[v{i}]")).unwrap()).collect();
+        Tree::node("r", children)
+    }
+
+    #[test]
+    fn prefetch_is_transparent() {
+        let tree = wide_tree(20);
+        for depth in [0usize, 1, 4, 16] {
+            let inner = TreeWrapper::single(&tree, FillPolicy::NodeAtATime);
+            let mut nav = BufferNavigator::new(Prefetcher::new(inner, depth), "doc");
+            assert_eq!(materialize(&mut nav), tree, "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn readahead_moves_fills_off_the_critical_path() {
+        let tree = wide_tree(64);
+        let count_misses = |depth: usize| {
+            let inner = TreeWrapper::single(&tree, FillPolicy::NodeAtATime);
+            let pf = Prefetcher::new(inner, depth);
+            let mut nav = BufferNavigator::new(pf, "doc");
+            materialize(&mut nav);
+            // Reach inside: BufferNavigator consumed the prefetcher, so
+            // measure via a fresh scan below instead.
+            nav
+        };
+        // Instead of peeking inside the navigator, measure directly at the
+        // wrapper level: scan all children holes by hand.
+        let scan = |depth: usize| -> (u64, u64) {
+            let inner = TreeWrapper::single(&tree, FillPolicy::NodeAtATime);
+            let mut pf = Prefetcher::new(inner, depth);
+            let root_hole = pf.get_root("doc").unwrap();
+            let mut queue = vec![root_hole];
+            while let Some(h) = queue.pop() {
+                let reply = pf.fill(&h).unwrap();
+                fn holes(frags: &[Fragment], q: &mut Vec<HoleId>) {
+                    for f in frags {
+                        match f {
+                            Fragment::Hole(h) => q.push(h.clone()),
+                            Fragment::Node { children, .. } => holes(children, q),
+                        }
+                    }
+                }
+                holes(&reply, &mut queue);
+            }
+            (pf.hits(), pf.misses())
+        };
+        let (_h0, m0) = scan(0);
+        let (h4, m4) = scan(4);
+        assert_eq!(scan(0).0, 0, "depth 0 never hits");
+        assert!(m4 * 3 < m0, "depth 4 misses {m4} vs no-prefetch misses {m0}");
+        assert!(h4 > 0);
+        let _ = count_misses; // the navigator-level variant is exercised above
+    }
+
+    #[test]
+    fn depth_zero_is_a_plain_passthrough() {
+        let tree = wide_tree(5);
+        let inner = TreeWrapper::single(&tree, FillPolicy::Chunked { n: 2 });
+        let mut pf = Prefetcher::new(inner, 0);
+        let h = pf.get_root("doc").unwrap();
+        let _ = pf.fill(&h).unwrap();
+        assert_eq!(pf.hits(), 0);
+        assert_eq!(pf.misses(), 1);
+        assert_eq!(pf.cached(), 0);
+    }
+
+    #[test]
+    fn errors_pass_through() {
+        let inner = TreeWrapper::single(&wide_tree(2), FillPolicy::NodeAtATime);
+        let mut pf = Prefetcher::new(inner, 2);
+        assert!(pf.get_root("nope").is_err());
+        assert!(pf.fill(&"garbage".to_string()).is_err());
+    }
+}

@@ -1,0 +1,317 @@
+//! An LXP wrapper over in-memory documents with pluggable fill policies.
+//!
+//! [`TreeWrapper`] plays the role of a generic wrapped source: it owns one
+//! or more materialized [`Document`]s and answers `fill` requests at the
+//! granularity chosen by its [`FillPolicy`] — the "wrapper controls the
+//! granularity at which it exports data" principle of §4. The policies
+//! model the paper's examples: node-at-a-time ("ideal" sources), n-at-a-
+//! time bulk transfer ("a relational source may return chunks of 100
+//! tuples at a time"), whole documents, and the size-threshold streaming
+//! of Web wrappers ("start streaming of huge documents by sending complete
+//! elements if their size does not exceed a certain limit, say 50K").
+//!
+//! Hole ids are self-describing (`uri|c|node|index`), so the wrapper keeps
+//! no lookup table — the same trick as the relational wrapper's
+//! `db_name.table.row_number` ids.
+
+use crate::fragment::Fragment;
+use crate::lxp::{HoleId, LxpError, LxpWrapper};
+use mix_xml::{Document, NodeId, Tree};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// How much of the requested region a fill reply carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillPolicy {
+    /// One shallow node per fill (finest granularity; every navigation is
+    /// a round trip — the situation §4 calls prohibitively expensive).
+    NodeAtATime,
+    /// Up to `n` complete sibling subtrees per fill, with a trailing hole
+    /// while more remain (bulk transfer).
+    Chunked { n: usize },
+    /// The whole remaining region in one reply.
+    WholeSubtree,
+    /// All remaining siblings, each sent complete when its subtree has at
+    /// most `max_nodes` nodes and shallow (with a child hole) otherwise —
+    /// the Web wrapper's streaming heuristic.
+    SizeThreshold { max_nodes: usize },
+}
+
+/// LXP wrapper over a registry of in-memory documents.
+pub struct TreeWrapper {
+    docs: HashMap<String, Rc<Document>>,
+    policy: FillPolicy,
+}
+
+impl TreeWrapper {
+    /// An empty registry with the given policy.
+    pub fn new(policy: FillPolicy) -> Self {
+        TreeWrapper { docs: HashMap::new(), policy }
+    }
+
+    /// Register a document under a URI.
+    pub fn add(&mut self, uri: impl Into<String>, doc: Rc<Document>) {
+        self.docs.insert(uri.into(), doc);
+    }
+
+    /// Convenience: a wrapper exporting a single tree as `doc`.
+    pub fn single(tree: &Tree, policy: FillPolicy) -> Self {
+        let mut w = TreeWrapper::new(policy);
+        w.add("doc", Rc::new(Document::from_tree(tree)));
+        w
+    }
+
+    /// The active fill policy.
+    pub fn policy(&self) -> FillPolicy {
+        self.policy
+    }
+
+    fn doc(&self, uri: &str) -> Result<&Rc<Document>, LxpError> {
+        self.docs.get(uri).ok_or_else(|| LxpError::UnknownSource(uri.to_string()))
+    }
+
+    /// Shallow fragment: the node's label with one hole for all children.
+    fn shallow(&self, uri: &str, doc: &Document, node: NodeId) -> Fragment {
+        if doc.down(node).is_none() {
+            Fragment::Node { label: doc.fetch(node).clone(), children: Vec::new() }
+        } else {
+            Fragment::Node {
+                label: doc.fetch(node).clone(),
+                children: vec![Fragment::Hole(children_hole(uri, node, 0))],
+            }
+        }
+    }
+
+    /// Complete fragment for a subtree.
+    fn complete(doc: &Document, node: NodeId) -> Fragment {
+        Fragment::from_tree(&doc.subtree(node))
+    }
+
+    fn fill_children(
+        &self,
+        uri: &str,
+        doc: &Rc<Document>,
+        parent: NodeId,
+        start: usize,
+    ) -> Vec<Fragment> {
+        let kids: Vec<NodeId> = doc.children(parent).collect();
+        if start >= kids.len() {
+            return Vec::new();
+        }
+        let rest = &kids[start..];
+        match self.policy {
+            FillPolicy::NodeAtATime => {
+                let mut out = vec![self.shallow(uri, doc, rest[0])];
+                if rest.len() > 1 {
+                    out.push(Fragment::Hole(children_hole(uri, parent, start + 1)));
+                }
+                out
+            }
+            FillPolicy::Chunked { n } => {
+                let n = n.max(1);
+                let take = n.min(rest.len());
+                let mut out: Vec<Fragment> =
+                    rest[..take].iter().map(|&c| Self::complete(doc, c)).collect();
+                if rest.len() > take {
+                    out.push(Fragment::Hole(children_hole(uri, parent, start + take)));
+                }
+                out
+            }
+            FillPolicy::WholeSubtree => {
+                rest.iter().map(|&c| Self::complete(doc, c)).collect()
+            }
+            FillPolicy::SizeThreshold { max_nodes } => rest
+                .iter()
+                .map(|&c| {
+                    if doc.subtree(c).size() <= max_nodes {
+                        Self::complete(doc, c)
+                    } else {
+                        self.shallow(uri, doc, c)
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+fn children_hole(uri: &str, parent: NodeId, start: usize) -> HoleId {
+    format!("{uri}|c|{}|{start}", parent.index())
+}
+
+fn root_hole(uri: &str) -> HoleId {
+    format!("{uri}|root")
+}
+
+impl LxpWrapper for TreeWrapper {
+    fn get_root(&mut self, uri: &str) -> Result<HoleId, LxpError> {
+        self.doc(uri)?;
+        Ok(root_hole(uri))
+    }
+
+    fn fill(&mut self, hole: &HoleId) -> Result<Vec<Fragment>, LxpError> {
+        let parts: Vec<&str> = hole.split('|').collect();
+        match parts.as_slice() {
+            [uri, "root"] => {
+                let doc = self.doc(uri)?.clone();
+                let frag = match self.policy {
+                    FillPolicy::WholeSubtree => Self::complete(&doc, doc.root()),
+                    _ => self.shallow(uri, &doc, doc.root()),
+                };
+                Ok(vec![frag])
+            }
+            [uri, "c", node, start] => {
+                let doc = self.doc(uri)?.clone();
+                let node: usize = node
+                    .parse()
+                    .map_err(|_| LxpError::UnknownHole(hole.clone()))?;
+                let start: usize = start
+                    .parse()
+                    .map_err(|_| LxpError::UnknownHole(hole.clone()))?;
+                if node >= doc.len() {
+                    return Err(LxpError::UnknownHole(hole.clone()));
+                }
+                Ok(self.fill_children(uri, &doc, NodeId::from_index(node), start))
+            }
+            _ => Err(LxpError::UnknownHole(hole.clone())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lxp::check_progress;
+    use mix_xml::term::parse_term;
+
+    fn wrapper(term: &str, policy: FillPolicy) -> TreeWrapper {
+        TreeWrapper::single(&parse_term(term).unwrap(), policy)
+    }
+
+    #[test]
+    fn get_root_then_fill_yields_root_element() {
+        let mut w = wrapper("a[b,c]", FillPolicy::NodeAtATime);
+        let h = w.get_root("doc").unwrap();
+        let reply = w.fill(&h).unwrap();
+        assert_eq!(reply.len(), 1);
+        let Fragment::Node { label, children } = &reply[0] else { panic!() };
+        assert_eq!(label, "a");
+        assert_eq!(children.len(), 1);
+        assert!(children[0].is_hole());
+    }
+
+    #[test]
+    fn unknown_source_and_holes_error() {
+        let mut w = wrapper("a", FillPolicy::NodeAtATime);
+        assert!(matches!(w.get_root("nope"), Err(LxpError::UnknownSource(_))));
+        assert!(matches!(w.fill(&"garbage".to_string()), Err(LxpError::UnknownHole(_))));
+        assert!(matches!(
+            w.fill(&"doc|c|999|0".to_string()),
+            Err(LxpError::UnknownHole(_))
+        ));
+    }
+
+    #[test]
+    fn node_at_a_time_reveals_one_node_per_fill() {
+        let mut w = wrapper("r[a,b,c]", FillPolicy::NodeAtATime);
+        let reply = w.fill(&"doc|c|0|0".to_string()).unwrap();
+        // [a, ◦next]
+        assert_eq!(reply.len(), 2);
+        assert_eq!(reply[0], Fragment::leaf("a"));
+        assert!(reply[1].is_hole());
+        // Last child: no trailing hole.
+        let last = w.fill(&"doc|c|0|2".to_string()).unwrap();
+        assert_eq!(last, vec![Fragment::leaf("c")]);
+        // Past the end: empty reply.
+        assert_eq!(w.fill(&"doc|c|0|3".to_string()).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn chunked_returns_n_complete_tuples() {
+        // The paper's relational wrapper: n tuples at a time, each
+        // complete ("the wrapper does not have to deal with navigations at
+        // the attribute level").
+        let mut w = wrapper(
+            "view[tuple[a[1]],tuple[a[2]],tuple[a[3]],tuple[a[4]],tuple[a[5]]]",
+            FillPolicy::Chunked { n: 2 },
+        );
+        let reply = w.fill(&"doc|c|0|0".to_string()).unwrap();
+        assert_eq!(reply.len(), 3); // 2 tuples + hole
+        assert!(reply[0].is_closed() && reply[1].is_closed());
+        assert!(reply[2].is_hole());
+        // Follow the hole.
+        let Fragment::Hole(h) = &reply[2] else { panic!() };
+        let reply2 = w.fill(h).unwrap();
+        assert_eq!(reply2.len(), 3); // tuples 3,4 + hole
+        let Fragment::Hole(h2) = &reply2[2] else { panic!() };
+        let reply3 = w.fill(h2).unwrap();
+        assert_eq!(reply3.len(), 1); // final tuple, no hole
+        assert!(reply3[0].is_closed());
+    }
+
+    #[test]
+    fn whole_subtree_sends_everything() {
+        let mut w = wrapper("a[b[d,e],c]", FillPolicy::WholeSubtree);
+        let h = w.get_root("doc").unwrap();
+        let reply = w.fill(&h).unwrap();
+        assert_eq!(reply.len(), 1);
+        assert!(reply[0].is_closed());
+        assert_eq!(reply[0].to_tree().unwrap().to_string(), "a[b[d,e],c]");
+    }
+
+    #[test]
+    fn size_threshold_streams_small_elements_whole() {
+        // big subtree stays shallow, small ones arrive complete.
+        let mut w = wrapper(
+            "page[small[x],huge[a,b,c,d,e,f,g,h],tiny]",
+            FillPolicy::SizeThreshold { max_nodes: 3 },
+        );
+        let reply = w.fill(&"doc|c|0|0".to_string()).unwrap();
+        assert_eq!(reply.len(), 3);
+        assert!(reply[0].is_closed(), "small is complete");
+        assert!(!reply[1].is_closed(), "huge is shallow with a hole");
+        assert!(reply[2].is_closed(), "tiny is complete");
+    }
+
+    #[test]
+    fn every_policy_respects_lxp_progress() {
+        for policy in [
+            FillPolicy::NodeAtATime,
+            FillPolicy::Chunked { n: 1 },
+            FillPolicy::Chunked { n: 3 },
+            FillPolicy::WholeSubtree,
+            FillPolicy::SizeThreshold { max_nodes: 2 },
+        ] {
+            let mut w = wrapper("r[a[p,q],b,c[z]]", policy);
+            // Exhaustively fill everything reachable, checking progress.
+            let mut queue = vec![w.get_root("doc").unwrap()];
+            let mut fills = 0;
+            while let Some(h) = queue.pop() {
+                let reply = w.fill(&h).unwrap();
+                check_progress(&reply).unwrap();
+                fills += 1;
+                assert!(fills < 1000, "non-terminating policy {policy:?}");
+                fn collect(f: &Fragment, q: &mut Vec<HoleId>) {
+                    match f {
+                        Fragment::Hole(h) => q.push(h.clone()),
+                        Fragment::Node { children, .. } => {
+                            children.iter().for_each(|c| collect(c, q))
+                        }
+                    }
+                }
+                reply.iter().for_each(|f| collect(f, &mut queue));
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_documents_under_distinct_uris() {
+        let mut w = TreeWrapper::new(FillPolicy::WholeSubtree);
+        w.add("homes", Rc::new(Document::from_tree(&parse_term("homes[h1]").unwrap())));
+        w.add("schools", Rc::new(Document::from_tree(&parse_term("schools[s1]").unwrap())));
+        let h1 = w.get_root("homes").unwrap();
+        let h2 = w.get_root("schools").unwrap();
+        assert_ne!(h1, h2);
+        assert_eq!(w.fill(&h1).unwrap()[0].to_tree().unwrap().label(), "homes");
+        assert_eq!(w.fill(&h2).unwrap()[0].to_tree().unwrap().label(), "schools");
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the buffer component (experiment E10): under any
+//! fill policy and any navigation order, the buffered view is
+//! indistinguishable from direct navigation, and the maintained open tree
+//! always *represents* the underlying document (Def. 4).
+
+use mix_buffer::fragment::tree_represents;
+use mix_buffer::{BufferNavigator, FillPolicy, Prefetcher, TreeWrapper};
+use mix_nav::explore::materialize;
+use mix_nav::{Cmd, DocNavigator, NavProgram};
+use mix_xml::Tree;
+use proptest::prelude::*;
+
+/// Small random trees.
+fn arb_tree() -> impl Strategy<Value = Tree> {
+    let label = prop_oneof![Just("a"), Just("b"), Just("c"), Just("x"), Just("long-label")];
+    label.clone().prop_map(Tree::leaf).prop_recursive(4, 24, 4, move |inner| {
+        (label.clone(), proptest::collection::vec(inner, 0..4))
+            .prop_map(|(l, children)| Tree::node(l, children))
+    })
+}
+
+fn arb_policy() -> impl Strategy<Value = FillPolicy> {
+    prop_oneof![
+        Just(FillPolicy::NodeAtATime),
+        (1usize..5).prop_map(|n| FillPolicy::Chunked { n }),
+        Just(FillPolicy::WholeSubtree),
+        (1usize..6).prop_map(|max_nodes| FillPolicy::SizeThreshold { max_nodes }),
+    ]
+}
+
+/// Random straight-line navigation programs (chains resume from the
+/// produced pointer; `run` tolerates ⊥).
+fn arb_program() -> impl Strategy<Value = NavProgram> {
+    proptest::collection::vec(
+        prop_oneof![Just(Cmd::Down), Just(Cmd::Right), Just(Cmd::Fetch)],
+        0..20,
+    )
+    .prop_map(NavProgram::chain)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn buffered_navigation_matches_direct(
+        tree in arb_tree(),
+        policy in arb_policy(),
+        prog in arb_program(),
+    ) {
+        let mut direct = DocNavigator::from_tree(&tree);
+        let mut buffered =
+            BufferNavigator::new(TreeWrapper::single(&tree, policy), "doc");
+
+        let a = prog.run(&mut direct);
+        let b = prog.run(&mut buffered);
+        // Same ⊥-pattern and same fetched labels.
+        let a_defined: Vec<bool> = a.ptrs.iter().map(Option::is_some).collect();
+        let b_defined: Vec<bool> = b.ptrs.iter().map(Option::is_some).collect();
+        prop_assert_eq!(a_defined, b_defined);
+        prop_assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn open_tree_always_represents_the_document(
+        tree in arb_tree(),
+        policy in arb_policy(),
+        prog in arb_program(),
+    ) {
+        let mut buffered =
+            BufferNavigator::new(TreeWrapper::single(&tree, policy), "doc");
+        let _ = prog.run(&mut buffered);
+        // Def. 4: the maintained open tree can be completed to the source
+        // tree by substituting its holes.
+        if let Some(open) = buffered.open_tree() {
+            prop_assert!(
+                tree_represents(&open, &tree),
+                "open tree {} does not represent {}",
+                open,
+                tree
+            );
+        }
+    }
+
+    #[test]
+    fn full_materialization_closes_the_open_tree(
+        tree in arb_tree(),
+        policy in arb_policy(),
+    ) {
+        let mut buffered =
+            BufferNavigator::new(TreeWrapper::single(&tree, policy), "doc");
+        let got = materialize(&mut buffered);
+        prop_assert_eq!(&got, &tree);
+        let open = buffered.open_tree().expect("connected after navigation");
+        // Everything explored: no holes remain except possibly trailing
+        // empty ones the protocol already proved empty.
+        let closed = open.to_tree();
+        prop_assert_eq!(closed.as_ref(), Some(&tree));
+    }
+
+    #[test]
+    fn prefetching_never_changes_observations(
+        tree in arb_tree(),
+        policy in arb_policy(),
+        prog in arb_program(),
+        depth in 0usize..6,
+    ) {
+        let mut plain =
+            BufferNavigator::new(TreeWrapper::single(&tree, policy), "doc");
+        let mut pf = BufferNavigator::new(
+            Prefetcher::new(TreeWrapper::single(&tree, policy), depth),
+            "doc",
+        );
+        let a = prog.run(&mut plain);
+        let b = prog.run(&mut pf);
+        prop_assert_eq!(a.labels, b.labels);
+        let a_defined: Vec<bool> = a.ptrs.iter().map(Option::is_some).collect();
+        let b_defined: Vec<bool> = b.ptrs.iter().map(Option::is_some).collect();
+        prop_assert_eq!(a_defined, b_defined);
+    }
+}

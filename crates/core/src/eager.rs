@@ -1,0 +1,448 @@
+//! The eager (fully materializing) evaluator.
+//!
+//! "Current mediator systems, even those based on the virtual approach,
+//! compute and return the results of the user query completely" (§1) —
+//! this module is that baseline: it pulls every source entirely, evaluates
+//! each operator bottom-up over materialized binding lists, and returns
+//! the complete answer tree. It doubles as the differential-testing oracle
+//! for the lazy engine: fully navigating the lazy engine must produce
+//! exactly this tree.
+
+use crate::registry::SourceRegistry;
+use crate::EngineError;
+use mix_algebra::pred::{value_ord, BindPred};
+use mix_algebra::{Plan, PlanId, PlanNode};
+use mix_nav::explore::materialize;
+use mix_xmas::{LabelSpec, Nfa, Var};
+use mix_xml::{Label, Tree};
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+/// One variable binding: `(var, value)` pairs in schema order.
+pub type EagerBinding = Vec<(Var, Rc<Tree>)>;
+
+/// Evaluate a plan eagerly against the registered sources; returns the
+/// answer document.
+pub fn eval(plan: &Plan, registry: &SourceRegistry) -> Result<Tree, EngineError> {
+    plan.validate().map_err(|e| EngineError::new(e.message))?;
+    let mut ev = Eager { plan, registry, sources: HashMap::new() };
+    let root = plan.root();
+    match plan.node(root) {
+        PlanNode::TupleDestroy { input, var } => {
+            let bs = ev.bindings(*input)?;
+            let first = bs.first().ok_or_else(|| {
+                EngineError::new("the query produced no answer document (empty binding list)")
+            })?;
+            let val = lookup(first, var);
+            Ok((**val).clone())
+        }
+        _ => Err(EngineError::new("the plan root must be tupleDestroy")),
+    }
+}
+
+/// Evaluate the binding list of any operator (exposed for tests and
+/// experiments over binding-level plans).
+pub fn eval_bindings(
+    plan: &Plan,
+    op: PlanId,
+    registry: &SourceRegistry,
+) -> Result<Vec<EagerBinding>, EngineError> {
+    let mut ev = Eager { plan, registry, sources: HashMap::new() };
+    ev.bindings(op)
+}
+
+struct Eager<'a> {
+    plan: &'a Plan,
+    registry: &'a SourceRegistry,
+    /// Materialized source documents, one pull per source name.
+    sources: HashMap<String, Rc<Tree>>,
+}
+
+fn lookup<'b>(b: &'b EagerBinding, var: &Var) -> &'b Rc<Tree> {
+    &b.iter().find(|(v, _)| v == var).expect("validated plans bind every used variable").1
+}
+
+impl Eager<'_> {
+    fn source_tree(&mut self, name: &str) -> Result<Rc<Tree>, EngineError> {
+        if let Some(t) = self.sources.get(name) {
+            return Ok(t.clone());
+        }
+        let shared = self.registry.get(name)?;
+        // Wrap the root element in the virtual document node so paths
+        // consume the root element's label as their first step.
+        let root = materialize(&mut **shared.borrow_mut());
+        let tree = Rc::new(Tree::node(crate::values::DOC_LABEL, vec![root]));
+        self.sources.insert(name.to_string(), tree.clone());
+        Ok(tree)
+    }
+
+    fn bindings(&mut self, op: PlanId) -> Result<Vec<EagerBinding>, EngineError> {
+        Ok(match self.plan.node(op) {
+            PlanNode::Source { name, out } => {
+                let tree = self.source_tree(name)?;
+                vec![vec![(out.clone(), tree)]]
+            }
+            PlanNode::GetDescendants { input, parent, path, out } => {
+                let input = self.bindings(*input)?;
+                let nfa = Nfa::compile(path);
+                let mut result = Vec::new();
+                for b in input {
+                    let e = lookup(&b, parent).clone();
+                    for d in matches_in(&nfa, &e) {
+                        let mut nb = b.clone();
+                        nb.push((out.clone(), d));
+                        result.push(nb);
+                    }
+                }
+                result
+            }
+            PlanNode::Select { input, pred } => {
+                let input = self.bindings(*input)?;
+                input.into_iter().filter(|b| eval_pred(pred, b)).collect()
+            }
+            PlanNode::Join { left, right, pred } => {
+                let ls = self.bindings(*left)?;
+                let rs = self.bindings(*right)?;
+                let mut out = Vec::new();
+                for l in &ls {
+                    for r in &rs {
+                        let mut pair = l.clone();
+                        pair.extend(r.iter().cloned());
+                        if eval_pred(pred, &pair) {
+                            out.push(pair);
+                        }
+                    }
+                }
+                out
+            }
+            PlanNode::Cross { left, right } => {
+                let ls = self.bindings(*left)?;
+                let rs = self.bindings(*right)?;
+                let mut out = Vec::new();
+                for l in &ls {
+                    for r in &rs {
+                        let mut pair = l.clone();
+                        pair.extend(r.iter().cloned());
+                        out.push(pair);
+                    }
+                }
+                out
+            }
+            PlanNode::Union { left, right } => {
+                let mut ls = self.bindings(*left)?;
+                ls.extend(self.bindings(*right)?);
+                ls
+            }
+            PlanNode::Difference { left, right } => {
+                let schema = self.plan.schema(*left);
+                let ls = self.bindings(*left)?;
+                let rs = self.bindings(*right)?;
+                let keys: HashSet<String> =
+                    rs.iter().map(|b| binding_key(b, &schema)).collect();
+                ls.into_iter().filter(|b| !keys.contains(&binding_key(b, &schema))).collect()
+            }
+            PlanNode::Project { input, keep } => {
+                let input = self.bindings(*input)?;
+                input
+                    .into_iter()
+                    .map(|b| b.into_iter().filter(|(v, _)| keep.contains(v)).collect())
+                    .collect()
+            }
+            PlanNode::GroupBy { input, group, items } => {
+                let input = self.bindings(*input)?;
+                // Groups in first-occurrence order; members in input order.
+                let mut order: Vec<String> = Vec::new();
+                let mut groups: HashMap<String, Vec<EagerBinding>> = HashMap::new();
+                for b in input {
+                    let key = binding_key(&b, group);
+                    if !groups.contains_key(&key) {
+                        order.push(key.clone());
+                    }
+                    groups.entry(key).or_default().push(b);
+                }
+                if group.is_empty() && order.is_empty() {
+                    // `groupBy {}` over empty input: one group with empty
+                    // lists (keeps the answer root alive) — matches the
+                    // lazy engine.
+                    let mut nb: EagerBinding = Vec::new();
+                    for item in items {
+                        nb.push((item.out.clone(), Rc::new(Tree::leaf(Label::list()))));
+                    }
+                    return Ok(vec![nb]);
+                }
+                let mut out = Vec::new();
+                for key in order {
+                    let members = &groups[&key];
+                    let first = &members[0];
+                    let mut nb: EagerBinding =
+                        group.iter().map(|g| (g.clone(), lookup(first, g).clone())).collect();
+                    for item in items {
+                        let coll: Vec<Tree> = members
+                            .iter()
+                            .map(|m| (**lookup(m, &item.value)).clone())
+                            .collect();
+                        nb.push((item.out.clone(), Rc::new(Tree::node(Label::list(), coll))));
+                    }
+                    out.push(nb);
+                }
+                out
+            }
+            PlanNode::Concatenate { input, x, y, out } => {
+                let input = self.bindings(*input)?;
+                input
+                    .into_iter()
+                    .map(|mut b| {
+                        let xv = lookup(&b, x).clone();
+                        let yv = lookup(&b, y).clone();
+                        let conc = concat_values(&xv, &yv);
+                        b.push((out.clone(), Rc::new(conc)));
+                        b
+                    })
+                    .collect()
+            }
+            PlanNode::CreateElement { input, label, ch, out } => {
+                let input = self.bindings(*input)?;
+                input
+                    .into_iter()
+                    .map(|mut b| {
+                        let l = match label {
+                            LabelSpec::Const(s) => Label::new(s),
+                            LabelSpec::Var(v) => {
+                                let t = lookup(&b, v);
+                                if t.is_leaf() {
+                                    t.label().clone()
+                                } else {
+                                    Label::new(t.text())
+                                }
+                            }
+                        };
+                        let chv = lookup(&b, ch).clone();
+                        let elem = Tree::node(l, chv.children().to_vec());
+                        b.push((out.clone(), Rc::new(elem)));
+                        b
+                    })
+                    .collect()
+            }
+            PlanNode::Constant { input, value, out } => {
+                let input = self.bindings(*input)?;
+                let value = Rc::new(value.clone());
+                input
+                    .into_iter()
+                    .map(|mut b| {
+                        b.push((out.clone(), value.clone()));
+                        b
+                    })
+                    .collect()
+            }
+            PlanNode::Wrap { input, var, out } => {
+                let input = self.bindings(*input)?;
+                input
+                    .into_iter()
+                    .map(|mut b| {
+                        let v = lookup(&b, var).clone();
+                        let wrapped = if v.label() == &Label::list() {
+                            v
+                        } else {
+                            Rc::new(Tree::node(Label::list(), vec![(*v).clone()]))
+                        };
+                        b.push((out.clone(), wrapped));
+                        b
+                    })
+                    .collect()
+            }
+            PlanNode::OrderBy { input, keys } => {
+                let mut input = self.bindings(*input)?;
+                input.sort_by(|a, b| {
+                    for k in keys {
+                        let ord = value_ord(lookup(a, k), lookup(b, k));
+                        if ord != std::cmp::Ordering::Equal {
+                            return ord;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+                input
+            }
+            PlanNode::Materialize { input } => self.bindings(*input)?,
+            PlanNode::TupleDestroy { .. } => {
+                return Err(EngineError::new(
+                    "tupleDestroy exports a document, not bindings",
+                ))
+            }
+        })
+    }
+}
+
+/// All descendants of `e` whose root-to-node path matches the automaton,
+/// in pre-order; includes `e` itself when the path accepts ε (the same
+/// zero-step semantics as the lazy cursor).
+fn matches_in(nfa: &Nfa, e: &Rc<Tree>) -> Vec<Rc<Tree>> {
+    fn go(nfa: &Nfa, node: &Tree, states: &mix_xmas::StateSet, out: &mut Vec<Rc<Tree>>) {
+        for child in node.children() {
+            let next = nfa.step(states, child.label());
+            if next.is_empty() {
+                continue;
+            }
+            if nfa.is_accepting(&next) {
+                out.push(Rc::new(child.clone()));
+            }
+            if nfa.can_continue(&next) {
+                go(nfa, child, &next, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    let start = nfa.start_set();
+    if nfa.is_accepting(&start) {
+        out.push(e.clone());
+    }
+    go(nfa, e, &start, &mut out);
+    out
+}
+
+fn eval_pred(pred: &BindPred, b: &EagerBinding) -> bool {
+    pred.eval(&|v: &Var| b.iter().find(|(bv, _)| bv == v).map(|(_, t)| &**t))
+}
+
+fn binding_key(b: &EagerBinding, vars: &[Var]) -> String {
+    let mut key = String::new();
+    for v in vars {
+        key.push_str(&lookup(b, v).canonical());
+        key.push('\u{1f}');
+    }
+    key
+}
+
+/// The `concatenate` value rules of §3.
+fn concat_values(x: &Tree, y: &Tree) -> Tree {
+    let list = Label::list();
+    let mut items: Vec<Tree> = Vec::new();
+    if x.label() == &list {
+        items.extend(x.children().iter().cloned());
+    } else {
+        items.push(x.clone());
+    }
+    if y.label() == &list {
+        items.extend(y.children().iter().cloned());
+    } else {
+        items.push(y.clone());
+    }
+    Tree::node(list, items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mix_algebra::translate;
+    use mix_xmas::parse_query;
+
+    fn registry() -> SourceRegistry {
+        let mut reg = SourceRegistry::new();
+        reg.add_term(
+            "homesSrc",
+            "homes[home[addr[La Jolla],zip[91220]],home[addr[El Cajon],zip[91223]]]",
+        );
+        reg.add_term(
+            "schoolsSrc",
+            "schools[school[dir[Smith],zip[91220]],school[dir[Bar],zip[91220]],\
+             school[dir[Hart],zip[91223]]]",
+        );
+        reg
+    }
+
+    const FIG3: &str = r#"
+        CONSTRUCT <answer>
+                    <med_home> $H $S {$S} </med_home> {$H}
+                  </answer> {}
+        WHERE homesSrc homes.home $H AND $H zip._ $V1
+          AND schoolsSrc schools.school $S AND $S zip._ $V2
+          AND $V1 = $V2
+    "#;
+
+    #[test]
+    fn running_example_matches_the_paper() {
+        // The data is Example 8's: La Jolla home with Smith & Bar schools,
+        // El Cajon home with Hart school.
+        let plan = translate(&parse_query(FIG3).unwrap()).unwrap();
+        let answer = eval(&plan, &registry()).unwrap();
+        assert_eq!(
+            answer.to_string(),
+            "answer[\
+               med_home[home[addr[La Jolla],zip[91220]],\
+                        school[dir[Smith],zip[91220]],school[dir[Bar],zip[91220]]],\
+               med_home[home[addr[El Cajon],zip[91223]],\
+                        school[dir[Hart],zip[91223]]]]"
+        );
+    }
+
+    #[test]
+    fn selection_with_literal() {
+        let q = parse_query(
+            r#"CONSTRUCT <hits> $H {$H} </hits> {}
+               WHERE homesSrc homes.home $H AND $H addr._ $A AND $A = "La Jolla""#,
+        )
+        .unwrap();
+        let plan = translate(&q).unwrap();
+        let answer = eval(&plan, &registry()).unwrap();
+        assert_eq!(answer.to_string(), "hits[home[addr[La Jolla],zip[91220]]]");
+    }
+
+    #[test]
+    fn empty_result_keeps_root() {
+        let q = parse_query(
+            r#"CONSTRUCT <hits> $H {$H} </hits> {}
+               WHERE homesSrc homes.home $H AND $H addr._ $A AND $A = "Nowhere""#,
+        )
+        .unwrap();
+        let plan = translate(&q).unwrap();
+        let answer = eval(&plan, &registry()).unwrap();
+        assert_eq!(answer.to_string(), "hits");
+    }
+
+    #[test]
+    fn recursive_path_matches_all_depths() {
+        let mut reg = SourceRegistry::new();
+        reg.add_term("cat", "catalog[part[name[p1],part[name[p2],part[name[p3]]]]]");
+        let q = parse_query(
+            "CONSTRUCT <names> $N {$N} </names> {} WHERE cat catalog.part*.name $N",
+        )
+        .unwrap();
+        let plan = translate(&q).unwrap();
+        let answer = eval(&plan, &reg).unwrap();
+        // All part names at any depth, pre-order. Note the path starts at
+        // the catalog root's children, so the leading `part` of each match
+        // chain is consumed by `part*` and `name` may also match directly.
+        assert_eq!(answer.to_string(), "names[name[p1],name[p2],name[p3]]");
+    }
+
+    #[test]
+    fn group_by_collects_in_input_order() {
+        // Example 8's groupBy behavior: members keep input order.
+        let mut reg = SourceRegistry::new();
+        reg.add_term(
+            "pairs",
+            "ps[p[k[1],v[a]],p[k[2],v[b]],p[k[1],v[c]]]",
+        );
+        let q = parse_query(
+            "CONSTRUCT <out> <g> $K $V {$V} </g> {$K} </out> {} \
+             WHERE pairs ps.p $P AND $P k._ $K AND $P v._ $V",
+        )
+        .unwrap();
+        let plan = translate(&q).unwrap();
+        let answer = eval(&plan, &reg).unwrap();
+        assert_eq!(answer.to_string(), "out[g[1,a,c],g[2,b]]");
+    }
+
+    #[test]
+    fn binding_level_eval() {
+        let plan = translate(&parse_query(FIG3).unwrap()).unwrap();
+        // The join feeding the head has 3 bindings (2 + 1 school matches).
+        let join = plan
+            .reachable()
+            .into_iter()
+            .find(|&id| plan.node(id).op_name() == "join")
+            .unwrap();
+        let bs = eval_bindings(&plan, join, &registry()).unwrap();
+        assert_eq!(bs.len(), 3);
+    }
+}

@@ -1,0 +1,366 @@
+//! The engine: a tree of lazy mediators behind one DOM-VXD interface.
+//!
+//! Construction (`Engine::new`) is the tail of the paper's *preprocessing*
+//! phase: the validated plan is compiled into per-operator navigation
+//! state (`OpState`) and the `source` leaves are wired to registered
+//! navigators. Construction performs **no source access** — the client
+//! gets the virtual root handle for free, and every subsequent navigation
+//! pulls exactly the source fragments needed to answer it.
+
+use crate::handle::{VData, VNode};
+use crate::ops::OpState;
+use crate::registry::{SharedSource, SourceRegistry};
+use crate::EngineError;
+use mix_algebra::{Plan, PlanId, PlanNode};
+use mix_nav::{LabelPred, NavCounters, NavStats, Navigator};
+use mix_xml::{Document, Label};
+use std::collections::HashSet;
+use std::rc::Rc;
+
+/// Tuning knobs for the engine; defaults match the paper's system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Cache the inner side of nested-loop joins (binding handles plus the
+    /// attributes participating in the join condition, §3).
+    pub join_cache: bool,
+    /// Keep groupBy's discovered groups and `G_prev` across navigations
+    /// (Fig. 10's buffered seen-groups list).
+    pub group_cache: bool,
+    /// `NC` includes `select_φ`: `getDescendants` jumps between matching
+    /// siblings with one source command instead of an `r`/`f` pair per
+    /// skipped sibling — the upgrade that makes label-selective
+    /// fixed-depth views bounded browsable (§2).
+    pub use_select: bool,
+    /// Index the join's inner cache by the equality key instead of
+    /// scanning it linearly per outer binding. Same source navigations,
+    /// much less in-memory work on large equi-joins — one of the
+    /// "opportunities for optimization" the paper's §6 leaves open.
+    /// Requires `join_cache`.
+    pub hash_join: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        // The minimal command set {d, r, f}: select is an opt-in NC
+        // extension, exactly as in the paper.
+        EngineConfig {
+            join_cache: true,
+            group_cache: true,
+            use_select: false,
+            hash_join: false,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The default configuration with `select_φ` available.
+    pub fn with_select() -> Self {
+        EngineConfig { use_select: true, ..EngineConfig::default() }
+    }
+}
+
+/// One wired source: the shared navigator plus its command counters.
+pub(crate) struct SourceConn {
+    pub name: String,
+    pub nav: SharedSource,
+    pub counters: NavCounters,
+}
+
+/// Per-source navigation statistics.
+#[derive(Debug, Clone)]
+pub struct EngineStats {
+    /// `(source name, commands issued to it)`.
+    pub per_source: Vec<(String, NavStats)>,
+}
+
+impl EngineStats {
+    /// Sum across all sources.
+    pub fn total(&self) -> NavStats {
+        let mut t = NavStats::default();
+        for (_, s) in &self.per_source {
+            t.downs += s.downs;
+            t.rights += s.rights;
+            t.fetches += s.fetches;
+            t.selects += s.selects;
+        }
+        t
+    }
+}
+
+/// The lazy mediator for a whole algebra plan.
+///
+/// `Engine` implements [`Navigator`], so everything generic applies: a
+/// client can [`materialize`] the whole answer, walk the first few
+/// children, or wrap it in [`VirtualDocument`] for the DOM-style API.
+///
+/// [`materialize`]: mix_nav::explore::materialize
+/// [`VirtualDocument`]: crate::VirtualDocument
+pub struct Engine {
+    pub(crate) ops: Vec<OpState>,
+    pub(crate) sources: Vec<SourceConn>,
+    pub(crate) root_op: PlanId,
+    pub(crate) config: EngineConfig,
+    plan: Plan,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("operators", &self.ops.len())
+            .field("sources", &self.sources.iter().map(|s| s.name.as_str()).collect::<Vec<_>>())
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Wire a plan to sources with the default configuration.
+    pub fn new(plan: Plan, registry: &SourceRegistry) -> Result<Self, EngineError> {
+        Engine::with_config(plan, registry, EngineConfig::default())
+    }
+
+    /// Wire a plan to sources with an explicit configuration.
+    pub fn with_config(
+        plan: Plan,
+        registry: &SourceRegistry,
+        config: EngineConfig,
+    ) -> Result<Self, EngineError> {
+        plan.validate().map_err(|e| EngineError::new(e.message))?;
+        let root_op = plan.root();
+        if !matches!(plan.node(root_op), PlanNode::TupleDestroy { .. }) {
+            return Err(EngineError::new(
+                "the plan root must be tupleDestroy to export a client document",
+            ));
+        }
+
+        let mut sources: Vec<SourceConn> = Vec::new();
+        let mut ops: Vec<OpState> = Vec::with_capacity(plan.len());
+        for i in 0..plan.len() {
+            let id = PlanId::from_index(i);
+            ops.push(build_op(&plan, id, registry, &mut sources)?);
+        }
+        Ok(Engine { ops, sources, root_op, config, plan })
+    }
+
+    /// The plan this engine executes.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// Navigation commands issued to each source so far.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            per_source: self
+                .sources
+                .iter()
+                .map(|s| (s.name.clone(), s.counters.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Reset all source navigation counters.
+    pub fn reset_stats(&self) {
+        for s in &self.sources {
+            s.counters.reset();
+        }
+    }
+
+    pub(crate) fn op(&self, id: PlanId) -> &OpState {
+        &self.ops[id.index()]
+    }
+
+    pub(crate) fn op_mut(&mut self, id: PlanId) -> &mut OpState {
+        &mut self.ops[id.index()]
+    }
+
+    // ---- counted source navigation -------------------------------------
+
+    pub(crate) fn src_down(&mut self, src: usize, h: &mix_nav::DynHandle) -> Option<VNode> {
+        let conn = &self.sources[src];
+        conn.counters.bump_down();
+        let out = conn.nav.borrow_mut().down(h)?;
+        Some(VNode::new(VData::Src { src, h: out }))
+    }
+
+    pub(crate) fn src_right(&mut self, src: usize, h: &mix_nav::DynHandle) -> Option<VNode> {
+        let conn = &self.sources[src];
+        conn.counters.bump_right();
+        let out = conn.nav.borrow_mut().right(h)?;
+        Some(VNode::new(VData::Src { src, h: out }))
+    }
+
+    pub(crate) fn src_fetch(&mut self, src: usize, h: &mix_nav::DynHandle) -> Label {
+        let conn = &self.sources[src];
+        conn.counters.bump_fetch();
+        conn.nav.borrow_mut().fetch(h)
+    }
+
+    pub(crate) fn src_select(
+        &mut self,
+        src: usize,
+        h: &mix_nav::DynHandle,
+        pred: &LabelPred,
+    ) -> Option<VNode> {
+        let conn = &self.sources[src];
+        conn.counters.bump_select();
+        let out = conn.nav.borrow_mut().select(h, pred)?;
+        Some(VNode::new(VData::Src { src, h: out }))
+    }
+
+    pub(crate) fn src_root(&mut self, src: usize) -> VNode {
+        // Obtaining the root handle is free (§1).
+        let h = self.sources[src].nav.borrow_mut().root();
+        VNode::new(VData::Src { src, h })
+    }
+}
+
+fn build_op(
+    plan: &Plan,
+    id: PlanId,
+    registry: &SourceRegistry,
+    sources: &mut Vec<SourceConn>,
+) -> Result<OpState, EngineError> {
+    Ok(match plan.node(id) {
+        PlanNode::Source { name, out } => {
+            // Same-named leaves share one connection (and its counters).
+            let idx = match sources.iter().position(|s| &s.name == name) {
+                Some(i) => i,
+                None => {
+                    let nav = registry.get(name)?;
+                    sources.push(SourceConn {
+                        name: name.clone(),
+                        nav,
+                        counters: NavCounters::new(),
+                    });
+                    sources.len() - 1
+                }
+            };
+            OpState::Source { src: idx, out: out.clone() }
+        }
+        PlanNode::GetDescendants { input, parent, path, out } => {
+            let nfa = Rc::new(mix_xmas::Nfa::compile(path));
+            let start_set = nfa.start_set();
+            OpState::GetDesc {
+                input: *input,
+                parent: parent.clone(),
+                out: out.clone(),
+                nfa,
+                start_set,
+            }
+        }
+        PlanNode::Select { input, pred } => {
+            OpState::Select { input: *input, pred: pred.clone() }
+        }
+        PlanNode::Join { left, right, pred } => {
+            let left_schema: HashSet<_> = plan.schema(*left).into_iter().collect();
+            let right_schema: HashSet<_> = plan.schema(*right).into_iter().collect();
+            let right_pred_vars: Vec<_> =
+                pred.vars().into_iter().filter(|v| right_schema.contains(v)).collect();
+            // Hash-joinable shape: a single `=` with one variable per side.
+            let eq_keys = match pred {
+                mix_algebra::BindPred::Cmp {
+                    left: mix_algebra::PredOperand::Var(a),
+                    op: mix_nav::pred::CmpOp::Eq,
+                    right: mix_algebra::PredOperand::Var(b),
+                } => {
+                    if left_schema.contains(a) && right_schema.contains(b) {
+                        Some((a.clone(), b.clone()))
+                    } else if left_schema.contains(b) && right_schema.contains(a) {
+                        Some((b.clone(), a.clone()))
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            };
+            OpState::Join {
+                left: *left,
+                right: *right,
+                pred: pred.clone(),
+                left_schema: Rc::new(left_schema),
+                right_pred_vars,
+                eq_keys,
+                cache: Default::default(),
+            }
+        }
+        PlanNode::Cross { left, right } => OpState::Cross {
+            left: *left,
+            right: *right,
+            left_schema: Rc::new(plan.schema(*left).into_iter().collect()),
+        },
+        PlanNode::Union { left, right } => OpState::Union { left: *left, right: *right },
+        PlanNode::Difference { left, right } => OpState::Difference {
+            left: *left,
+            right: *right,
+            schema: plan.schema(*left),
+            right_keys: None,
+        },
+        PlanNode::Project { input, keep } => {
+            OpState::Project { input: *input, keep: keep.iter().cloned().collect() }
+        }
+        PlanNode::GroupBy { input, group, items } => OpState::GroupBy {
+            input: *input,
+            group: group.clone(),
+            items: items.clone(),
+            cache: Default::default(),
+        },
+        PlanNode::Concatenate { input, x, y, out } => OpState::Concat {
+            input: *input,
+            x: x.clone(),
+            y: y.clone(),
+            out: out.clone(),
+        },
+        PlanNode::CreateElement { input, label, ch, out } => OpState::Create {
+            input: *input,
+            label: label.clone(),
+            ch: ch.clone(),
+            out: out.clone(),
+        },
+        PlanNode::Constant { input, value, out } => OpState::Constant {
+            input: *input,
+            doc: Rc::new(Document::from_tree(value)),
+            out: out.clone(),
+        },
+        PlanNode::Wrap { input, var, out } => {
+            OpState::Wrap { input: *input, var: var.clone(), out: out.clone() }
+        }
+        PlanNode::OrderBy { input, keys } => {
+            OpState::OrderBy { input: *input, keys: keys.clone(), sorted: None }
+        }
+        PlanNode::TupleDestroy { input, var } => {
+            OpState::TupleDestroy { input: *input, var: var.clone(), root: None }
+        }
+        PlanNode::Materialize { input } => OpState::Materialize {
+            input: *input,
+            schema: plan.schema(*input),
+            rows: None,
+        },
+    })
+}
+
+impl Navigator for Engine {
+    type Handle = VNode;
+
+    fn root(&mut self) -> VNode {
+        // "The mediator returns a handle to the root element of the
+        //  virtual XML answer document without even accessing the
+        //  sources."
+        VNode::new(VData::ClientRoot)
+    }
+
+    fn down(&mut self, p: &VNode) -> Option<VNode> {
+        self.val_down(p)
+    }
+
+    fn right(&mut self, p: &VNode) -> Option<VNode> {
+        self.val_right(p)
+    }
+
+    fn fetch(&mut self, p: &VNode) -> Label {
+        self.val_fetch(p)
+    }
+
+    fn select(&mut self, p: &VNode, pred: &LabelPred) -> Option<VNode> {
+        self.val_select(p, pred)
+    }
+}

@@ -1,0 +1,60 @@
+//! The match cursor of the lazy `getDescendants` operator.
+//!
+//! `getDescendants_e,re→ch` enumerates, in document (pre-)order, the
+//! descendants of `bin.e` whose root-to-node label path matches the
+//! regular expression `re`. Lazily, that is a depth-first search through
+//! the value tree driven by NFA state sets, advanced one match at a time
+//! as the operator above asks for the next binding.
+//!
+//! A [`MatchCursor`] is a *persistent snapshot* of that search: the stack
+//! of `(node, states)` frames from the first navigated level down to the
+//! current match. Advancing clones the stack (cheap: nodes are `Rc`
+//! handles, state sets are tiny), so earlier bindings remain fully
+//! navigable — handle persistence is what lets the client "proceed from
+//! multiple nodes" (§1).
+
+use crate::handle::VNode;
+use mix_xmas::{Nfa, StateSet};
+use std::rc::Rc;
+
+/// One DFS frame: a node and the NFA states after consuming its label.
+/// `states` may be empty — a dead branch kept only so its right siblings
+/// remain reachable.
+#[derive(Debug, Clone)]
+pub(crate) struct Frame {
+    pub node: VNode,
+    pub states: StateSet,
+}
+
+/// Persistent DFS position; `frames` empty ⇒ the current match is the
+/// parent value `e` itself (a zero-step match, possible when the path
+/// accepts the empty label sequence, e.g. `part*`).
+#[derive(Debug, Clone)]
+pub struct MatchCursor {
+    pub(crate) frames: Rc<Vec<Frame>>,
+}
+
+impl MatchCursor {
+    pub(crate) fn new(frames: Vec<Frame>) -> Self {
+        MatchCursor { frames: Rc::new(frames) }
+    }
+
+    /// The node the cursor currently designates; `root` is the parent
+    /// value `e` the search started from.
+    pub(crate) fn current(&self, root: &VNode) -> VNode {
+        self.frames.last().map(|f| f.node.clone()).unwrap_or_else(|| root.clone())
+    }
+
+    /// Is the current position an accepting match?
+    pub(crate) fn is_match(&self, nfa: &Nfa, start_set: &StateSet) -> bool {
+        match self.frames.last() {
+            Some(f) => nfa.is_accepting(&f.states),
+            None => nfa.is_accepting(start_set),
+        }
+    }
+
+    /// Depth of the cursor (diagnostics).
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+}

@@ -1,0 +1,163 @@
+//! Per-operator engine state.
+//!
+//! Everything an operator needs at navigation time is preprocessed out of
+//! the plan at engine construction, so navigation never re-inspects the
+//! plan: input operator ids, variables, predicates, compiled NFAs, schema
+//! sets — plus the caches §3 prescribes (groupBy's seen-groups buffer, the
+//! nested-loop join's inner cache) and the materialization state of the
+//! unbrowsable operators.
+
+use crate::handle::{BHandle, VNode};
+use mix_algebra::{BindPred, GroupItem, PlanId};
+use mix_xmas::{LabelSpec, Nfa, StateSet, Var};
+use mix_xml::{Document, Tree};
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+/// One materialized binding: `(variable, its value as an arena document)`.
+pub(crate) type MatRow = Vec<(Var, Rc<Document>)>;
+
+/// Cached inner-side entry of a nested-loop join: the binding handle plus
+/// the materialized values of the predicate variables that live on the
+/// inner side ("it stores the binding nodes along with the attributes that
+/// participate in the join condition", §3).
+pub(crate) struct JoinCacheEntry {
+    pub handle: BHandle,
+    pub pred_vals: Rc<HashMap<Var, Tree>>,
+}
+
+/// Inner-side cache of a join.
+#[derive(Default)]
+pub(crate) struct JoinCache {
+    pub entries: Vec<JoinCacheEntry>,
+    /// The inner input is fully enumerated.
+    pub complete: bool,
+    /// Equality index: canonical inner key → entry indices (ascending).
+    /// Maintained only for pure-equality predicates under
+    /// `EngineConfig::hash_join`.
+    pub index: HashMap<String, Vec<usize>>,
+}
+
+/// The groupBy caches (Fig. 10's buffering remark: "the mediator stores
+/// the list in the buffer and uses a reference to the buffer in the
+/// node-ids"). One shared scan over the input records every binding's
+/// group key exactly once; groups and member navigation work off indices
+/// into that scan.
+#[derive(Default)]
+pub(crate) struct GroupCache {
+    /// Input bindings in order, each with its group key, recorded the
+    /// first time the scan passes over it.
+    pub scanned: Vec<(String, BHandle)>,
+    /// The input is fully scanned.
+    pub exhausted: bool,
+    /// `(key, index into `scanned` of the group's first binding)` per
+    /// discovered group, in output order.
+    pub groups: Vec<(String, usize)>,
+    /// Keys already seen (`G_prev` of Fig. 10).
+    pub seen: HashSet<String>,
+    /// Scan entries `[0, discovered_upto)` have been classified into
+    /// `groups`/`seen` by group discovery (member scans may extend
+    /// `scanned` further without classifying).
+    pub discovered_upto: usize,
+}
+
+/// Navigation-time state per plan operator.
+pub(crate) enum OpState {
+    Source {
+        /// Index into the engine's source table.
+        src: usize,
+        out: Var,
+    },
+    GetDesc {
+        input: PlanId,
+        parent: Var,
+        out: Var,
+        nfa: Rc<Nfa>,
+        start_set: StateSet,
+    },
+    Select {
+        input: PlanId,
+        pred: BindPred,
+    },
+    Join {
+        left: PlanId,
+        right: PlanId,
+        pred: BindPred,
+        left_schema: Rc<HashSet<Var>>,
+        /// Predicate variables that live on the inner (right) side.
+        right_pred_vars: Vec<Var>,
+        /// `Some((outer var, inner var))` when the predicate is a single
+        /// equality spanning the inputs — the hash-joinable shape.
+        eq_keys: Option<(Var, Var)>,
+        cache: JoinCache,
+    },
+    Cross {
+        left: PlanId,
+        right: PlanId,
+        left_schema: Rc<HashSet<Var>>,
+    },
+    Union {
+        left: PlanId,
+        right: PlanId,
+    },
+    Difference {
+        left: PlanId,
+        right: PlanId,
+        schema: Vec<Var>,
+        /// Canonical keys of the right side, materialized on first use.
+        right_keys: Option<Rc<HashSet<String>>>,
+    },
+    Project {
+        input: PlanId,
+        keep: HashSet<Var>,
+    },
+    GroupBy {
+        input: PlanId,
+        group: Vec<Var>,
+        items: Vec<GroupItem>,
+        cache: GroupCache,
+    },
+    Concat {
+        input: PlanId,
+        x: Var,
+        y: Var,
+        out: Var,
+    },
+    Create {
+        input: PlanId,
+        label: LabelSpec,
+        ch: Var,
+        out: Var,
+    },
+    Constant {
+        input: PlanId,
+        doc: Rc<Document>,
+        out: Var,
+    },
+    Wrap {
+        input: PlanId,
+        var: Var,
+        out: Var,
+    },
+    OrderBy {
+        input: PlanId,
+        keys: Vec<Var>,
+        /// Sorted input bindings, materialized on first access (the
+        /// operator is unbrowsable by design).
+        sorted: Option<Rc<Vec<BHandle>>>,
+    },
+    TupleDestroy {
+        input: PlanId,
+        var: Var,
+        /// Resolved client root (cached after the first navigation).
+        root: Option<VNode>,
+    },
+    Materialize {
+        input: PlanId,
+        /// The input schema, in order.
+        schema: Vec<Var>,
+        /// The fully materialized binding list (one document per value),
+        /// filled on first access — the intermediate eager step.
+        rows: Option<Rc<Vec<MatRow>>>,
+    },
+}

@@ -1,0 +1,86 @@
+//! Source registry: wiring plan `source` leaves to navigable sources.
+
+use crate::EngineError;
+use mix_nav::{erase, DocNavigator, DynNavigator, Navigator};
+use mix_xml::Tree;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A shared, interiorly-mutable source connection. Two `source` leaves
+/// naming the same source (a self-join) share one connection — and one set
+/// of navigation counters.
+pub(crate) type SharedSource = Rc<RefCell<Box<dyn DynNavigator>>>;
+
+/// Maps source names (the `homesSrc` of a XMAS query) to navigators.
+///
+/// Anything that navigates can be a source: materialized documents
+/// ([`DocNavigator`]), buffered LXP wrappers (`mix_buffer::BufferNavigator`
+/// over relational / web / OODB wrappers), or another [`Engine`] — lazy
+/// mediators compose, which is how Figure 1 stacks mediator `m_q1` on top
+/// of lower-level mediators and wrappers.
+///
+/// [`Engine`]: crate::Engine
+#[derive(Default)]
+pub struct SourceRegistry {
+    sources: HashMap<String, SharedSource>,
+}
+
+impl SourceRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        SourceRegistry::default()
+    }
+
+    /// Register any navigator under a source name.
+    pub fn add_navigator<N>(&mut self, name: impl Into<String>, nav: N) -> &mut Self
+    where
+        N: Navigator + 'static,
+        N::Handle: 'static,
+    {
+        self.sources.insert(name.into(), Rc::new(RefCell::new(erase(nav))));
+        self
+    }
+
+    /// Register a materialized tree (the "ideal source" of §4).
+    pub fn add_tree(&mut self, name: impl Into<String>, tree: &Tree) -> &mut Self {
+        self.add_navigator(name, DocNavigator::from_tree(tree))
+    }
+
+    /// Register a tree given in the paper's term syntax (tests, examples).
+    /// Panics on malformed input.
+    pub fn add_term(&mut self, name: impl Into<String>, term: &str) -> &mut Self {
+        self.add_navigator(name, DocNavigator::from_term(term))
+    }
+
+    /// Shared handle to the navigator for `name`.
+    pub(crate) fn get(&self, name: &str) -> Result<SharedSource, EngineError> {
+        self.sources.get(name).cloned().ok_or_else(|| {
+            EngineError::new(format!("plan references unknown source `{name}`"))
+        })
+    }
+
+    /// Names currently registered.
+    pub fn names(&self) -> Vec<&str> {
+        self.sources.keys().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_get() {
+        let mut reg = SourceRegistry::new();
+        reg.add_term("homesSrc", "homes[h1]");
+        reg.add_term("schoolsSrc", "schools[s1]");
+        let mut names = reg.names();
+        names.sort_unstable();
+        assert_eq!(names, ["homesSrc", "schoolsSrc"]);
+        let a = reg.get("homesSrc").unwrap();
+        let b = reg.get("homesSrc").unwrap();
+        assert!(Rc::ptr_eq(&a, &b), "same connection shared");
+        assert!(reg.get("never").is_err());
+    }
+}

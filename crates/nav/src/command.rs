@@ -1,0 +1,242 @@
+//! Navigation commands and navigation sequences (paper Def. 1).
+//!
+//! A *navigation* into a document `t` is a sequence
+//!
+//! ```text
+//! p'0 := c1(p0); p'1 := c2(p1); …   where each p_i is a previously
+//!                                   obtained pointer (p0 = root)
+//! ```
+//!
+//! Crucially, a later command may resume from *any* earlier pointer — this
+//! is what distinguishes tree navigation from relational cursors (§1).
+//! [`NavProgram`] represents such sequences as data so tests and
+//! experiments can replay the exact traces in the paper (e.g. Example 1's
+//! client navigation `c = d;f` versus the induced source navigation
+//! `s = d;f;r;f;r;…`).
+
+use crate::pred::LabelPred;
+use crate::Navigator;
+use mix_xml::Label;
+use std::fmt;
+
+/// One navigation command from the set `NC`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cmd {
+    /// `d` — down to the first child.
+    Down,
+    /// `r` — to the right sibling.
+    Right,
+    /// `f` — fetch the label.
+    Fetch,
+    /// `select_φ` — first right sibling whose label satisfies `φ`.
+    Select(LabelPred),
+}
+
+impl fmt::Display for Cmd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cmd::Down => write!(f, "d"),
+            Cmd::Right => write!(f, "r"),
+            Cmd::Fetch => write!(f, "f"),
+            Cmd::Select(p) => write!(f, "select({p})"),
+        }
+    }
+}
+
+/// One step of a navigation sequence: apply `cmd` to pointer slot `on`.
+///
+/// Pointer slots: slot 0 is the root; every `Down`/`Right`/`Select` step
+/// appends one new slot (holding `None` when the command returned `⊥`).
+/// `Fetch` steps record a label instead and do not create a slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// Index of the pointer this command applies to.
+    pub on: usize,
+    /// The command.
+    pub cmd: Cmd,
+}
+
+/// A navigation sequence per Def. 1.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NavProgram {
+    /// The steps, in order.
+    pub steps: Vec<Step>,
+}
+
+/// The outcome of running a [`NavProgram`].
+#[derive(Debug, Clone)]
+pub struct RunResult<H> {
+    /// Pointer slots: slot 0 is the root; one more per pointer-producing
+    /// step, `None` where the command returned `⊥`.
+    pub ptrs: Vec<Option<H>>,
+    /// For each `Fetch` step, the slot fetched and the label (or `None`
+    /// when the slot held `⊥`).
+    pub labels: Vec<(usize, Option<Label>)>,
+}
+
+impl NavProgram {
+    /// The empty program.
+    pub fn new() -> Self {
+        NavProgram::default()
+    }
+
+    /// A *chain*: each pointer-producing command applies to the pointer
+    /// produced by the previous one (starting at the root); each `Fetch`
+    /// applies to the current pointer without advancing it. This covers
+    /// all straight-line traces written in the paper, e.g. `d;f` or
+    /// `d;f;r;f;r`.
+    pub fn chain(cmds: impl IntoIterator<Item = Cmd>) -> Self {
+        let mut steps = Vec::new();
+        let mut cur = 0usize; // slot index of the current pointer
+        let mut next_slot = 1usize;
+        for cmd in cmds {
+            let is_fetch = matches!(cmd, Cmd::Fetch);
+            steps.push(Step { on: cur, cmd });
+            if !is_fetch {
+                cur = next_slot;
+                next_slot += 1;
+            }
+        }
+        NavProgram { steps }
+    }
+
+    /// Append a step applying `cmd` to slot `on`; returns the slot index
+    /// the step will produce (for non-fetch commands).
+    pub fn push(&mut self, on: usize, cmd: Cmd) -> usize {
+        let produces = !matches!(cmd, Cmd::Fetch);
+        self.steps.push(Step { on, cmd });
+        if produces {
+            self.next_slot() - 1
+        } else {
+            on
+        }
+    }
+
+    /// Index the next pointer-producing step would receive.
+    pub fn next_slot(&self) -> usize {
+        1 + self.steps.iter().filter(|s| !matches!(s.cmd, Cmd::Fetch)).count()
+    }
+
+    /// Number of commands (the `n` of Def. 2's bound `m ≤ f(n)`).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True if the program has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Run the program against a navigator. Commands applied to a `⊥`
+    /// pointer produce `⊥` (resp. no label) rather than erroring, so
+    /// programs can be generated blindly in property tests.
+    pub fn run<N: Navigator>(&self, nav: &mut N) -> RunResult<N::Handle> {
+        let root = nav.root();
+        let mut ptrs: Vec<Option<N::Handle>> = vec![Some(root)];
+        let mut labels = Vec::new();
+        for step in &self.steps {
+            let src = ptrs.get(step.on).cloned().flatten();
+            match &step.cmd {
+                Cmd::Down => ptrs.push(src.and_then(|p| nav.down(&p))),
+                Cmd::Right => ptrs.push(src.and_then(|p| nav.right(&p))),
+                Cmd::Select(pred) => ptrs.push(src.and_then(|p| nav.select(&p, pred))),
+                Cmd::Fetch => labels.push((step.on, src.map(|p| nav.fetch(&p)))),
+            }
+        }
+        RunResult { ptrs, labels }
+    }
+}
+
+impl fmt::Display for NavProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 {
+                write!(f, ";")?;
+            }
+            write!(f, "{}(p{})", s.cmd, s.on)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc::DocNavigator;
+
+    #[test]
+    fn chain_d_f_like_example_1() {
+        // "Assume the client asks for the label of the first child in the
+        //  virtual view. This is accomplished by the navigation c = d;f."
+        let prog = NavProgram::chain([Cmd::Down, Cmd::Fetch]);
+        let mut nav = DocNavigator::from_term("view[first,second]");
+        let out = prog.run(&mut nav);
+        assert_eq!(out.labels.len(), 1);
+        assert_eq!(out.labels[0].1.as_ref().unwrap(), "first");
+    }
+
+    #[test]
+    fn chain_walks_and_fetches() {
+        // d;f;r;f;r — the induced source navigation of Example 1.
+        let prog =
+            NavProgram::chain([Cmd::Down, Cmd::Fetch, Cmd::Right, Cmd::Fetch, Cmd::Right]);
+        let mut nav = DocNavigator::from_term("r[a,b,c]");
+        let out = prog.run(&mut nav);
+        let labels: Vec<String> =
+            out.labels.iter().map(|(_, l)| l.clone().unwrap().to_string()).collect();
+        assert_eq!(labels, ["a", "b"]);
+        // Slots: 0=root, 1=a, 2=b, 3=c — all defined.
+        assert!(out.ptrs.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn branching_from_earlier_pointer() {
+        // Navigate to second child, then go *down from the first* again —
+        // the multi-cursor behavior relational pipelines cannot express.
+        let mut prog = NavProgram::new();
+        let p1 = prog.push(0, Cmd::Down); // slot 1 = first child x
+        let p2 = prog.push(p1, Cmd::Right); // slot 2 = second child y
+        prog.push(p2, Cmd::Fetch);
+        let p3 = prog.push(p1, Cmd::Down); // back to x's subtree
+        prog.push(p3, Cmd::Fetch);
+        let mut nav = DocNavigator::from_term("r[x[inner],y]");
+        let out = prog.run(&mut nav);
+        let labels: Vec<String> =
+            out.labels.iter().map(|(_, l)| l.clone().unwrap().to_string()).collect();
+        assert_eq!(labels, ["y", "inner"]);
+    }
+
+    #[test]
+    fn bottom_propagates() {
+        let prog = NavProgram::chain([Cmd::Down, Cmd::Down, Cmd::Fetch, Cmd::Right]);
+        let mut nav = DocNavigator::from_term("a[leaf]");
+        let out = prog.run(&mut nav);
+        // down(leaf) = ⊥, fetch(⊥) = no label, right(⊥) = ⊥.
+        assert_eq!(out.ptrs[2], None);
+        assert_eq!(out.labels[0].1, None);
+        assert_eq!(out.ptrs[3], None);
+    }
+
+    #[test]
+    fn select_step() {
+        let prog =
+            NavProgram::chain([Cmd::Down, Cmd::Select(LabelPred::equals("c")), Cmd::Fetch]);
+        let mut nav = DocNavigator::from_term("r[a,b,c,d]");
+        let out = prog.run(&mut nav);
+        assert_eq!(out.labels[0].1.as_ref().unwrap(), "c");
+    }
+
+    #[test]
+    fn display_trace() {
+        let prog = NavProgram::chain([Cmd::Down, Cmd::Fetch, Cmd::Right]);
+        assert_eq!(prog.to_string(), "d(p0);f(p1);r(p1)");
+    }
+
+    #[test]
+    fn len_counts_commands() {
+        let prog = NavProgram::chain([Cmd::Down, Cmd::Fetch, Cmd::Right, Cmd::Fetch]);
+        assert_eq!(prog.len(), 4);
+        assert!(!prog.is_empty());
+        assert!(NavProgram::new().is_empty());
+    }
+}

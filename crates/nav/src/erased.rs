@@ -1,0 +1,161 @@
+//! Type erasure for heterogeneous sources.
+//!
+//! The mediator integrates sources of different kinds behind one plan
+//! (Figure 1: RDB, Web sites, OODB). Each wrapper has its own handle type,
+//! so the engine talks to sources through the object-safe [`DynNavigator`]
+//! trait whose [`DynHandle`] is a type-erased, reference-counted handle.
+//! [`erase`] adapts any [`Navigator`] with `'static` handles.
+
+use crate::pred::LabelPred;
+use crate::Navigator;
+use mix_xml::Label;
+use std::any::Any;
+use std::rc::Rc;
+
+/// A type-erased node handle. Cheap to clone (an `Rc` bump).
+#[derive(Clone)]
+pub struct DynHandle(Rc<dyn Any>);
+
+impl DynHandle {
+    /// Wrap a concrete handle.
+    pub fn new<H: 'static>(h: H) -> Self {
+        DynHandle(Rc::new(h))
+    }
+
+    /// Downcast to the concrete handle type.
+    ///
+    /// # Panics
+    /// Panics when the handle was produced by a different navigator type;
+    /// that is a plan-construction bug, not a data error.
+    pub fn expect<H: 'static>(&self) -> &H {
+        self.0
+            .downcast_ref::<H>()
+            .expect("DynHandle used with a navigator of a different type")
+    }
+}
+
+impl std::fmt::Debug for DynHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DynHandle")
+    }
+}
+
+/// Object-safe variant of [`Navigator`] used for plan leaves.
+pub trait DynNavigator {
+    /// `root` — see [`Navigator::root`].
+    fn root(&mut self) -> DynHandle;
+    /// `d(p)` — see [`Navigator::down`].
+    fn down(&mut self, p: &DynHandle) -> Option<DynHandle>;
+    /// `r(p)` — see [`Navigator::right`].
+    fn right(&mut self, p: &DynHandle) -> Option<DynHandle>;
+    /// `f(p)` — see [`Navigator::fetch`].
+    fn fetch(&mut self, p: &DynHandle) -> Label;
+    /// `select_φ(p)` — see [`Navigator::select`].
+    fn select(&mut self, p: &DynHandle, pred: &LabelPred) -> Option<DynHandle>;
+}
+
+struct Erased<N>(N);
+
+impl<N> DynNavigator for Erased<N>
+where
+    N: Navigator,
+    N::Handle: 'static,
+{
+    fn root(&mut self) -> DynHandle {
+        DynHandle::new(self.0.root())
+    }
+
+    fn down(&mut self, p: &DynHandle) -> Option<DynHandle> {
+        self.0.down(p.expect::<N::Handle>()).map(DynHandle::new)
+    }
+
+    fn right(&mut self, p: &DynHandle) -> Option<DynHandle> {
+        self.0.right(p.expect::<N::Handle>()).map(DynHandle::new)
+    }
+
+    fn fetch(&mut self, p: &DynHandle) -> Label {
+        self.0.fetch(p.expect::<N::Handle>())
+    }
+
+    fn select(&mut self, p: &DynHandle, pred: &LabelPred) -> Option<DynHandle> {
+        self.0.select(p.expect::<N::Handle>(), pred).map(DynHandle::new)
+    }
+}
+
+/// Erase a concrete navigator into a boxed [`DynNavigator`].
+pub fn erase<N>(nav: N) -> Box<dyn DynNavigator>
+where
+    N: Navigator + 'static,
+    N::Handle: 'static,
+{
+    Box::new(Erased(nav))
+}
+
+// A boxed DynNavigator is itself a Navigator with DynHandle handles, so all
+// generic utilities (materialize, explored_part, CountedNavigator) apply.
+impl Navigator for dyn DynNavigator + '_ {
+    type Handle = DynHandle;
+
+    fn root(&mut self) -> DynHandle {
+        DynNavigator::root(self)
+    }
+
+    fn down(&mut self, p: &DynHandle) -> Option<DynHandle> {
+        DynNavigator::down(self, p)
+    }
+
+    fn right(&mut self, p: &DynHandle) -> Option<DynHandle> {
+        DynNavigator::right(self, p)
+    }
+
+    fn fetch(&mut self, p: &DynHandle) -> Label {
+        DynNavigator::fetch(self, p)
+    }
+
+    fn select(&mut self, p: &DynHandle, pred: &LabelPred) -> Option<DynHandle> {
+        DynNavigator::select(self, p, pred)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc::DocNavigator;
+    use crate::explore::materialize;
+
+    #[test]
+    fn erased_navigation_works() {
+        let mut n = erase(DocNavigator::from_term("a[b[d,e],c]"));
+        let root = n.root();
+        assert_eq!(n.fetch(&root), "a");
+        let b = n.down(&root).unwrap();
+        assert_eq!(n.fetch(&b), "b");
+        let c = n.right(&b).unwrap();
+        assert_eq!(n.fetch(&c), "c");
+        assert!(n.right(&c).is_none());
+    }
+
+    #[test]
+    fn erased_select() {
+        let mut n = erase(DocNavigator::from_term("r[a,b,c]"));
+        let r = n.root();
+        let a = n.down(&r).unwrap();
+        let c = n.select(&a, &LabelPred::equals("c")).unwrap();
+        assert_eq!(n.fetch(&c), "c");
+    }
+
+    #[test]
+    fn generic_utilities_apply_to_erased() {
+        let mut n = erase(DocNavigator::from_term("a[b[d,e],c]"));
+        let t = materialize(&mut *n);
+        assert_eq!(t.to_string(), "a[b[d,e],c]");
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn foreign_handle_panics() {
+        let mut n = erase(DocNavigator::from_term("a"));
+        let foreign = DynHandle::new(123u8);
+        let _ = n.down(&foreign);
+    }
+}

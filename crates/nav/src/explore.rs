@@ -1,0 +1,196 @@
+//! Exploring virtual documents: full materialization and explored parts.
+//!
+//! `materialize` exhaustively navigates a (virtual) document with `d`/`r`/`f`
+//! and rebuilds it as an owned [`Tree`]. It is the bridge between the lazy
+//! world and value-level assertions: the differential tests check
+//! `materialize(lazy engine) == eager evaluation`.
+//!
+//! `explored_part` computes the *result of a navigation* in the sense of
+//! Def. 1: "the unique subtree comprising only those node-ids and labels of
+//! t which have been accessed through c".
+
+use crate::command::{Cmd, NavProgram};
+use crate::Navigator;
+use mix_xml::{Label, Tree};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Fully materialize the virtual document exported by a navigator.
+///
+/// Every node is visited with `d`/`r` and its label fetched with `f` —
+/// i.e. this issues exactly `size` fetches, `size` downs and `size` rights
+/// (each node's missing child/sibling probe included).
+pub fn materialize<N: Navigator + ?Sized>(nav: &mut N) -> Tree {
+    let root = nav.root();
+    materialize_at(nav, &root)
+}
+
+/// Materialize the subtree rooted at an existing handle.
+pub fn materialize_at<N: Navigator + ?Sized>(nav: &mut N, h: &N::Handle) -> Tree {
+    let label = nav.fetch(h);
+    Tree::node(label, materialize_children(nav, h))
+}
+
+/// Materialize all child subtrees of a handle, in order.
+pub fn materialize_children<N: Navigator + ?Sized>(nav: &mut N, h: &N::Handle) -> Vec<Tree> {
+    let mut children = Vec::new();
+    let mut cur = nav.down(h);
+    while let Some(c) = cur {
+        children.push(materialize_at(nav, &c));
+        cur = nav.right(&c);
+    }
+    children
+}
+
+/// Materialize only the first `k` children of the root, each fully. This is
+/// the "user navigates the first few results and then stops" access pattern
+/// that motivates the whole architecture (§1).
+pub fn first_k_children<N: Navigator + ?Sized>(nav: &mut N, k: usize) -> Vec<Tree> {
+    let root = nav.root();
+    let mut out = Vec::new();
+    let mut cur = nav.down(&root);
+    while let Some(c) = cur {
+        if out.len() == k {
+            break;
+        }
+        out.push(materialize_at(nav, &c));
+        cur = nav.right(&c);
+    }
+    out
+}
+
+/// The explored part of a navigation: which pointers were touched, and the
+/// labels that were actually fetched.
+#[derive(Debug, Clone)]
+pub struct Explored<H> {
+    /// Distinct pointers accessed, in first-access order (root first).
+    pub visited: Vec<H>,
+    /// Labels fetched, keyed by position in `visited`.
+    pub labels: HashMap<usize, Label>,
+}
+
+impl<H> Explored<H> {
+    /// Number of distinct nodes accessed.
+    pub fn node_count(&self) -> usize {
+        self.visited.len()
+    }
+}
+
+/// Run `prog` and compute the explored part `c(t)` (Def. 1).
+pub fn explored_part<N>(nav: &mut N, prog: &NavProgram) -> Explored<N::Handle>
+where
+    N: Navigator,
+    N::Handle: Eq + Hash + Clone,
+{
+    let mut order: Vec<N::Handle> = Vec::new();
+    let mut index: HashMap<N::Handle, usize> = HashMap::new();
+    let mut labels: HashMap<usize, Label> = HashMap::new();
+
+    let mut touch = |h: &N::Handle, order: &mut Vec<N::Handle>| -> usize {
+        if let Some(&i) = index.get(h) {
+            return i;
+        }
+        let i = order.len();
+        order.push(h.clone());
+        index.insert(h.clone(), i);
+        i
+    };
+
+    let root = nav.root();
+    touch(&root, &mut order);
+
+    let mut ptrs: Vec<Option<N::Handle>> = vec![Some(root)];
+    for step in &prog.steps {
+        let src = ptrs.get(step.on).cloned().flatten();
+        match &step.cmd {
+            Cmd::Down => {
+                let out = src.and_then(|p| nav.down(&p));
+                if let Some(h) = &out {
+                    touch(h, &mut order);
+                }
+                ptrs.push(out);
+            }
+            Cmd::Right => {
+                let out = src.and_then(|p| nav.right(&p));
+                if let Some(h) = &out {
+                    touch(h, &mut order);
+                }
+                ptrs.push(out);
+            }
+            Cmd::Select(pred) => {
+                let out = src.and_then(|p| nav.select(&p, pred));
+                if let Some(h) = &out {
+                    touch(h, &mut order);
+                }
+                ptrs.push(out);
+            }
+            Cmd::Fetch => {
+                if let Some(p) = src {
+                    let i = touch(&p, &mut order);
+                    let l = nav.fetch(&p);
+                    labels.insert(i, l);
+                }
+            }
+        }
+    }
+    Explored { visited: order, labels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc::DocNavigator;
+
+    #[test]
+    fn materialize_roundtrips() {
+        for s in ["x", "a[b,c]", "a[b[d,e],c]", "bs[b[H[home[addr[La Jolla],zip[91220]]]]]"] {
+            let mut nav = DocNavigator::from_term(s);
+            assert_eq!(materialize(&mut nav).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn materialize_at_subtree() {
+        let mut nav = DocNavigator::from_term("a[b[d,e],c]");
+        let root = nav.root();
+        let b = nav.down(&root).unwrap();
+        assert_eq!(materialize_at(&mut nav, &b).to_string(), "b[d,e]");
+    }
+
+    #[test]
+    fn first_k_stops_early() {
+        let mut nav = DocNavigator::from_term("r[a[x],b[y],c[z],d]");
+        let got = first_k_children(&mut nav, 2);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].to_string(), "a[x]");
+        assert_eq!(got[1].to_string(), "b[y]");
+        // k larger than the child count returns all children.
+        let mut nav2 = DocNavigator::from_term("r[a,b]");
+        assert_eq!(first_k_children(&mut nav2, 10).len(), 2);
+    }
+
+    #[test]
+    fn explored_part_counts_only_touched_nodes() {
+        // c = d;f touches root, first child; fetches the child's label.
+        let prog = NavProgram::chain([Cmd::Down, Cmd::Fetch]);
+        let mut nav = DocNavigator::from_term("view[first[deep],second]");
+        let e = explored_part(&mut nav, &prog);
+        assert_eq!(e.node_count(), 2); // root + first child; `deep`, `second` untouched
+        assert_eq!(e.labels.len(), 1);
+        let label = e.labels.values().next().unwrap();
+        assert_eq!(label, "first");
+    }
+
+    #[test]
+    fn explored_part_deduplicates_revisits() {
+        let mut prog = NavProgram::new();
+        let c1 = prog.push(0, Cmd::Down);
+        prog.push(c1, Cmd::Fetch);
+        prog.push(c1, Cmd::Fetch); // fetch the same node again
+        let c2 = prog.push(0, Cmd::Down); // same child reached twice
+        prog.push(c2, Cmd::Fetch);
+        let mut nav = DocNavigator::from_term("a[b]");
+        let e = explored_part(&mut nav, &prog);
+        assert_eq!(e.node_count(), 2); // root and b, once each
+    }
+}

@@ -1,0 +1,181 @@
+//! Label predicates `φ` for the `select_φ` navigation command and for
+//! algebra selection conditions.
+
+use mix_xml::Label;
+use std::fmt;
+
+/// A predicate over labels. Used by `select_φ` (§2) and by the algebra's
+/// selection operator; kept as data (not closures) so predicates can be
+//  compared, printed in plans, and pushed through the rewriter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LabelPred {
+    /// Always true (`_` — matches any label).
+    Any,
+    /// Label equals the given string.
+    Equals(Label),
+    /// Label differs from the given string.
+    NotEquals(Label),
+    /// Label is one of the given strings.
+    OneOf(Vec<Label>),
+    /// Label starts with the given prefix.
+    Prefix(String),
+    /// Label contains the given substring.
+    Contains(String),
+    /// Label parses as an integer satisfying the comparison.
+    IntCmp(CmpOp, i64),
+    /// Conjunction.
+    And(Box<LabelPred>, Box<LabelPred>),
+    /// Disjunction.
+    Or(Box<LabelPred>, Box<LabelPred>),
+    /// Negation.
+    Not(Box<LabelPred>),
+}
+
+/// Comparison operators for numeric label predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Lt,
+    Le,
+    Eq,
+    Ne,
+    Ge,
+    Gt,
+}
+
+impl CmpOp {
+    /// Apply the comparison to two ordered values.
+    pub fn eval<T: PartialOrd>(self, a: &T, b: &T) -> bool {
+        match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Gt => a > b,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Ge => ">=",
+            CmpOp::Gt => ">",
+        })
+    }
+}
+
+impl LabelPred {
+    /// Convenience constructor for equality.
+    pub fn equals(s: impl Into<Label>) -> Self {
+        LabelPred::Equals(s.into())
+    }
+
+    /// Evaluate the predicate on a label.
+    pub fn matches(&self, label: &Label) -> bool {
+        match self {
+            LabelPred::Any => true,
+            LabelPred::Equals(l) => label == l,
+            LabelPred::NotEquals(l) => label != l,
+            LabelPred::OneOf(ls) => ls.iter().any(|l| l == label),
+            LabelPred::Prefix(p) => label.as_str().starts_with(p.as_str()),
+            LabelPred::Contains(s) => label.as_str().contains(s.as_str()),
+            LabelPred::IntCmp(op, rhs) => label.as_int().is_some_and(|v| op.eval(&v, rhs)),
+            LabelPred::And(a, b) => a.matches(label) && b.matches(label),
+            LabelPred::Or(a, b) => a.matches(label) || b.matches(label),
+            LabelPred::Not(p) => !p.matches(label),
+        }
+    }
+}
+
+impl fmt::Display for LabelPred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LabelPred::Any => write!(f, "_"),
+            LabelPred::Equals(l) => write!(f, "= {l}"),
+            LabelPred::NotEquals(l) => write!(f, "!= {l}"),
+            LabelPred::OneOf(ls) => {
+                write!(f, "in {{")?;
+                for (i, l) in ls.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{l}")?;
+                }
+                write!(f, "}}")
+            }
+            LabelPred::Prefix(p) => write!(f, "prefix {p:?}"),
+            LabelPred::Contains(s) => write!(f, "contains {s:?}"),
+            LabelPred::IntCmp(op, v) => write!(f, "int {op} {v}"),
+            LabelPred::And(a, b) => write!(f, "({a} and {b})"),
+            LabelPred::Or(a, b) => write!(f, "({a} or {b})"),
+            LabelPred::Not(p) => write!(f, "not ({p})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(s: &str) -> Label {
+        Label::new(s)
+    }
+
+    #[test]
+    fn basic_predicates() {
+        assert!(LabelPred::Any.matches(&l("anything")));
+        assert!(LabelPred::equals("home").matches(&l("home")));
+        assert!(!LabelPred::equals("home").matches(&l("school")));
+        assert!(LabelPred::NotEquals(l("x")).matches(&l("y")));
+        assert!(LabelPred::OneOf(vec![l("a"), l("b")]).matches(&l("b")));
+        assert!(!LabelPred::OneOf(vec![]).matches(&l("b")));
+        assert!(LabelPred::Prefix("sch".into()).matches(&l("school")));
+        assert!(LabelPred::Contains("Jol".into()).matches(&l("La Jolla")));
+    }
+
+    #[test]
+    fn numeric_predicates() {
+        let p = LabelPred::IntCmp(CmpOp::Ge, 91000);
+        assert!(p.matches(&l("91220")));
+        assert!(!p.matches(&l("90000")));
+        // Non-numeric labels never satisfy numeric comparisons.
+        assert!(!p.matches(&l("El Cajon")));
+        assert!(LabelPred::IntCmp(CmpOp::Ne, 5).matches(&l("6")));
+        assert!(!LabelPred::IntCmp(CmpOp::Ne, 5).matches(&l("5")));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let p = LabelPred::And(
+            Box::new(LabelPred::Prefix("9".into())),
+            Box::new(LabelPred::IntCmp(CmpOp::Lt, 91223)),
+        );
+        assert!(p.matches(&l("91220")));
+        assert!(!p.matches(&l("91223")));
+        let q = LabelPred::Or(Box::new(LabelPred::equals("a")), Box::new(LabelPred::equals("b")));
+        assert!(q.matches(&l("a")) && q.matches(&l("b")) && !q.matches(&l("c")));
+        assert!(!LabelPred::Not(Box::new(LabelPred::Any)).matches(&l("x")));
+    }
+
+    #[test]
+    fn cmp_op_table() {
+        assert!(CmpOp::Lt.eval(&1, &2));
+        assert!(CmpOp::Le.eval(&2, &2));
+        assert!(CmpOp::Eq.eval(&2, &2));
+        assert!(CmpOp::Ne.eval(&1, &2));
+        assert!(CmpOp::Ge.eval(&2, &2));
+        assert!(CmpOp::Gt.eval(&3, &2));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(LabelPred::Any.to_string(), "_");
+        assert_eq!(LabelPred::equals("x").to_string(), "= x");
+        assert_eq!(LabelPred::IntCmp(CmpOp::Gt, 7).to_string(), "int > 7");
+    }
+}

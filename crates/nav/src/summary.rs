@@ -1,0 +1,327 @@
+//! Structural summaries (lightweight DTD inference).
+//!
+//! The paper's BBQ client is a "DTD-oriented query interface … which
+//! blends browsing and querying" (§6), and the authors' companion work
+//! \[LPVV99\] infers DTDs for XMAS views. This module provides the
+//! navigation-side ingredient: a *structural summary* of any (virtual)
+//! document, built purely through the DOM-VXD interface — one summary node
+//! per distinct label path (a DataGuide), annotated with the content-model
+//! cardinality of each child (`1`, `?`, `+`, `*`).
+//!
+//! Because it works on any [`Navigator`], it summarizes wrapped sources
+//! and virtual mediated views alike — the structure a BBQ-style UI would
+//! present for query-by-browsing.
+
+use crate::Navigator;
+use mix_xml::Label;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Content-model cardinality of a child label within one parent label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cardinality {
+    /// Exactly one occurrence in every instance (`1`).
+    One,
+    /// Zero or one (`?`).
+    Optional,
+    /// One or more (`+`).
+    Plus,
+    /// Zero or more (`*`).
+    Star,
+}
+
+impl Cardinality {
+    fn from_minmax(min: u64, max: u64) -> Self {
+        match (min, max) {
+            (0, 1) => Cardinality::Optional,
+            (1, 1) => Cardinality::One,
+            (0, _) => Cardinality::Star,
+            _ => Cardinality::Plus,
+        }
+    }
+
+    /// The DTD suffix (`""`, `"?"`, `"+"`, `"*"`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Cardinality::One => "",
+            Cardinality::Optional => "?",
+            Cardinality::Plus => "+",
+            Cardinality::Star => "*",
+        }
+    }
+}
+
+/// One summary node: a distinct label path.
+#[derive(Debug, Clone)]
+pub struct SummaryNode {
+    /// The element label.
+    pub label: Label,
+    /// Instances of this label path seen.
+    pub count: u64,
+    /// Instances that were leaves (atomic content / empty elements).
+    pub leaf_count: u64,
+    /// Child summary nodes with their cardinalities, in first-seen order.
+    pub children: Vec<(usize, Cardinality)>,
+}
+
+/// A DataGuide-style structural summary.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    nodes: Vec<SummaryNode>,
+    root: usize,
+}
+
+impl Summary {
+    /// The root summary node's index.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Look up a node.
+    pub fn node(&self, i: usize) -> &SummaryNode {
+        &self.nodes[i]
+    }
+
+    /// Number of distinct label paths.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the summary is empty (never: a document has a root).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Infer a summary by exhaustively navigating the document below the
+    /// navigator's root (capped at `max_depth` levels; summaries of
+    /// recursive data stay finite because label paths collapse).
+    ///
+    /// ```
+    /// use mix_nav::{DocNavigator, Summary};
+    ///
+    /// let mut nav = DocNavigator::from_term(
+    ///     "homes[home[addr[a1],zip[1]],home[addr[a2],zip[2],price[3]]]");
+    /// let guide = Summary::infer(&mut nav, 8).to_string();
+    /// assert!(guide.contains("homes → home+"));
+    /// assert!(guide.contains("price?")); // missing from the first home
+    /// ```
+    pub fn infer<N: Navigator + ?Sized>(nav: &mut N, max_depth: usize) -> Summary {
+        let root_h = nav.root();
+        Summary::infer_at(nav, &root_h, max_depth)
+    }
+
+    /// Infer a summary of the subtree below an existing handle (e.g. the
+    /// part of a virtual view a BBQ-style browser currently shows).
+    pub fn infer_at<N: Navigator + ?Sized>(
+        nav: &mut N,
+        at: &N::Handle,
+        max_depth: usize,
+    ) -> Summary {
+        let mut b = Builder { nodes: Vec::new(), index: HashMap::new() };
+        let root_label = nav.fetch(at);
+        let root = b.intern(usize::MAX, &root_label);
+        b.walk(nav, at, root, max_depth);
+        Summary { nodes: b.nodes, root }
+    }
+}
+
+struct Builder {
+    nodes: Vec<SummaryNode>,
+    /// `(parent summary index, label)` → summary index.
+    index: HashMap<(usize, Label), usize>,
+}
+
+impl Builder {
+    fn intern(&mut self, parent: usize, label: &Label) -> usize {
+        if let Some(&i) = self.index.get(&(parent, label.clone())) {
+            return i;
+        }
+        let i = self.nodes.len();
+        self.nodes.push(SummaryNode {
+            label: label.clone(),
+            count: 0,
+            leaf_count: 0,
+            children: Vec::new(),
+        });
+        self.index.insert((parent, label.clone()), i);
+        i
+    }
+
+    fn walk<N: Navigator + ?Sized>(
+        &mut self,
+        nav: &mut N,
+        h: &N::Handle,
+        me: usize,
+        depth_left: usize,
+    ) {
+        self.nodes[me].count += 1;
+        if depth_left == 0 {
+            // Frontier of the exploration cap: don't touch children.
+            return;
+        }
+        // Count children per label for cardinality bookkeeping.
+        let mut per_label: HashMap<Label, u64> = HashMap::new();
+        let mut kids: Vec<(N::Handle, Label)> = Vec::new();
+        let mut cur = nav.down(h);
+        while let Some(c) = cur {
+            let l = nav.fetch(&c);
+            *per_label.entry(l.clone()).or_insert(0) += 1;
+            kids.push((c.clone(), l));
+            cur = nav.right(&c);
+        }
+        if kids.is_empty() {
+            self.nodes[me].leaf_count += 1;
+        }
+
+        // Update child cardinalities: a label absent from this instance
+        // but known from earlier instances becomes optional/star; one seen
+        // more than once becomes plus/star.
+        let known: Vec<(usize, Label)> = self.nodes[me]
+            .children
+            .iter()
+            .map(|&(ci, _)| (ci, self.nodes[ci].label.clone()))
+            .collect();
+        for (ci, l) in &known {
+            let n = per_label.get(l).copied().unwrap_or(0);
+            let pos = self.nodes[me]
+                .children
+                .iter()
+                .position(|&(c, _)| c == *ci)
+                .expect("known child");
+            let old = self.nodes[me].children[pos].1;
+            let (omin, omax) = match old {
+                Cardinality::One => (1, 1),
+                Cardinality::Optional => (0, 1),
+                Cardinality::Plus => (1, 2),
+                Cardinality::Star => (0, 2),
+            };
+            let updated =
+                Cardinality::from_minmax(omin.min(n), omax.max(n).min(2));
+            self.nodes[me].children[pos].1 = updated;
+        }
+        // New labels in this instance (in document order): optional when
+        // earlier instances of `me` existed without them.
+        let first_instance = self.nodes[me].count == 1;
+        let mut added: Vec<Label> = Vec::new();
+        for (_, l) in &kids {
+            if known.iter().any(|(_, kl)| kl == l) || added.contains(l) {
+                continue;
+            }
+            added.push(l.clone());
+            let n = per_label[l];
+            let ci = self.intern(me, l);
+            let min = if first_instance { n.min(1) } else { 0 };
+            let card = Cardinality::from_minmax(min, n.min(2));
+            self.nodes[me].children.push((ci, card));
+        }
+
+        for (c, l) in kids {
+            let ci = self.intern(me, &l);
+            self.walk(nav, &c, ci, depth_left - 1);
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    /// DTD-like rendering:
+    ///
+    /// ```text
+    /// homes → home*
+    /// home → addr, zip, price?
+    /// ```
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(
+            s: &Summary,
+            i: usize,
+            seen: &mut Vec<usize>,
+            f: &mut fmt::Formatter<'_>,
+        ) -> fmt::Result {
+            if seen.contains(&i) {
+                return Ok(());
+            }
+            seen.push(i);
+            let n = s.node(i);
+            if n.children.is_empty() {
+                return Ok(());
+            }
+            write!(f, "{} → ", n.label)?;
+            for (k, &(ci, card)) in n.children.iter().enumerate() {
+                if k > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}{}", s.node(ci).label, card.suffix())?;
+            }
+            writeln!(f)?;
+            for &(ci, _) in &n.children {
+                go(s, ci, seen, f)?;
+            }
+            Ok(())
+        }
+        let mut seen = Vec::new();
+        go(self, self.root, &mut seen, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc::DocNavigator;
+
+    fn summarize(term: &str) -> Summary {
+        let mut nav = DocNavigator::from_term(term);
+        Summary::infer(&mut nav, 16)
+    }
+
+    #[test]
+    fn homes_summary_matches_expectation() {
+        let s = summarize(
+            "homes[home[addr[a1],zip[1]],home[addr[a2],zip[2],price[3]]]",
+        );
+        let text = s.to_string();
+        assert!(text.contains("homes → home+"), "{text}");
+        // price is missing from the first home: optional.
+        assert!(text.contains("price?"), "{text}");
+        assert!(text.contains("home → addr, zip"), "{text}");
+    }
+
+    #[test]
+    fn cardinalities() {
+        // b occurs twice in one instance → plus; c missing somewhere and
+        // repeated elsewhere → star.
+        let s = summarize("r[x[b,b,c,c],x[b]]");
+        let text = s.to_string();
+        assert!(text.contains("b+"), "{text}");
+        assert!(text.contains("c*"), "{text}");
+    }
+
+    #[test]
+    fn recursive_documents_collapse() {
+        let s = summarize("part[name[n1],part[name[n2],part[name[n3]]]]");
+        // Distinct label paths: part, name, content leaves — summary stays
+        // small although instances nest (the part under part path is one
+        // node per depth level in a path summary).
+        assert!(s.len() < 12, "summary has {} nodes", s.len());
+        let text = s.to_string();
+        assert!(text.contains("part → name"), "{text}");
+    }
+
+    #[test]
+    fn leaf_counting() {
+        let s = summarize("r[a[1],a[2],b]");
+        let root = s.node(s.root());
+        assert_eq!(root.count, 1);
+        // Find `a` and `b` nodes.
+        let a = root.children.iter().find(|&&(ci, _)| s.node(ci).label == "a").unwrap();
+        assert_eq!(s.node(a.0).count, 2);
+        let b = root.children.iter().find(|&&(ci, _)| s.node(ci).label == "b").unwrap();
+        assert_eq!(s.node(b.0).leaf_count, 1);
+    }
+
+    #[test]
+    fn depth_cap_limits_exploration() {
+        let mut nav = DocNavigator::from_term("a[b[c[d[e[f]]]]]");
+        let s = Summary::infer(&mut nav, 2);
+        // Levels: a (root) + b + c — the cap stops below depth 2.
+        assert!(s.len() <= 3, "{} nodes", s.len());
+    }
+}

@@ -1,0 +1,129 @@
+//! Stateful cursors — "the tuple is the quantum of navigation in
+//! relational databases" (paper Example 5).
+//!
+//! A [`Cursor`] tracks a position inside one table and supports the two
+//! operations a wrapper needs: advance-and-fetch (`next`) and absolute
+//! repositioning (`seek`, for fills of non-sequential hole ids). The
+//! cursor counts how often it touched the storage layer, so experiments
+//! can report database-side work alongside wire traffic.
+
+use crate::table::{Row, Table};
+
+/// A cursor over a table's rows.
+#[derive(Debug, Clone)]
+pub struct Cursor {
+    pos: usize,
+    fetched: u64,
+    seeks: u64,
+}
+
+impl Cursor {
+    /// A cursor positioned before the first row.
+    pub fn open() -> Self {
+        Cursor { pos: 0, fetched: 0, seeks: 0 }
+    }
+
+    /// Current position (index of the next row to fetch).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Advance and fetch the next complete tuple, if any.
+    pub fn next<'t>(&mut self, table: &'t Table) -> Option<&'t Row> {
+        let row = table.row(self.pos)?;
+        self.pos += 1;
+        self.fetched += 1;
+        Some(row)
+    }
+
+    /// Fetch up to `n` tuples ("chunks of 100 tuples at a time", §4).
+    pub fn next_n<'t>(&mut self, table: &'t Table, n: usize) -> Vec<&'t Row> {
+        let mut out = Vec::with_capacity(n.min(16));
+        for _ in 0..n {
+            match self.next(table) {
+                Some(r) => out.push(r),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Reposition to an absolute row index (counts as a seek when the
+    /// position actually changes).
+    pub fn seek(&mut self, pos: usize) {
+        if pos != self.pos {
+            self.seeks += 1;
+            self.pos = pos;
+        }
+    }
+
+    /// Rows fetched through this cursor.
+    pub fn fetched(&self) -> u64 {
+        self.fetched
+    }
+
+    /// Repositionings performed.
+    pub fn seeks(&self) -> u64 {
+        self.seeks
+    }
+}
+
+impl Default for Cursor {
+    fn default() -> Self {
+        Cursor::open()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{Column, TableSchema};
+    use crate::value::DataType;
+
+    fn table(n: i64) -> Table {
+        let mut t = Table::new(TableSchema::new(
+            "t",
+            vec![Column::new("k", DataType::Int)],
+        ));
+        for i in 0..n {
+            t.insert(vec![i.into()]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn sequential_scan() {
+        let t = table(3);
+        let mut c = Cursor::open();
+        assert_eq!(c.next(&t).unwrap()[0].to_string(), "0");
+        assert_eq!(c.next(&t).unwrap()[0].to_string(), "1");
+        assert_eq!(c.next(&t).unwrap()[0].to_string(), "2");
+        assert!(c.next(&t).is_none());
+        assert_eq!(c.fetched(), 3);
+        assert_eq!(c.seeks(), 0);
+    }
+
+    #[test]
+    fn chunked_fetch() {
+        let t = table(5);
+        let mut c = Cursor::open();
+        assert_eq!(c.next_n(&t, 2).len(), 2);
+        assert_eq!(c.next_n(&t, 2).len(), 2);
+        assert_eq!(c.next_n(&t, 2).len(), 1); // only one row left
+        assert_eq!(c.next_n(&t, 2).len(), 0);
+        assert_eq!(c.position(), 5);
+    }
+
+    #[test]
+    fn seek_repositions() {
+        let t = table(10);
+        let mut c = Cursor::open();
+        c.next_n(&t, 3);
+        c.seek(8);
+        assert_eq!(c.next(&t).unwrap()[0].to_string(), "8");
+        assert_eq!(c.seeks(), 1);
+        // Seeking to the current position is free.
+        c.seek(c.position());
+        assert_eq!(c.seeks(), 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! The database: a named collection of tables.
+
+use crate::table::{Row, Table, TableSchema};
+use crate::DbError;
+
+/// An in-memory database.
+#[derive(Debug, Clone)]
+pub struct Database {
+    name: String,
+    tables: Vec<Table>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new(name: impl Into<String>) -> Self {
+        Database { name: name.into(), tables: Vec::new() }
+    }
+
+    /// The database name (used in wrapper URIs and hole ids).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Create a table; fails when the name is taken.
+    pub fn create_table(&mut self, schema: TableSchema) -> Result<(), DbError> {
+        if self.table(&schema.name).is_some() {
+            return Err(DbError::new(format!("table `{}` already exists", schema.name)));
+        }
+        self.tables.push(Table::new(schema));
+        Ok(())
+    }
+
+    /// Look up a table by name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.iter().find(|t| t.schema().name == name)
+    }
+
+    /// Mutable lookup.
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables.iter_mut().find(|t| t.schema().name == name)
+    }
+
+    /// All tables in creation order.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.iter()
+    }
+
+    /// Insert one row.
+    pub fn insert(&mut self, table: &str, row: Row) -> Result<(), DbError> {
+        self.table_mut(table)
+            .ok_or_else(|| DbError::new(format!("no table `{table}`")))?
+            .insert(row)
+    }
+
+    /// Insert many rows.
+    pub fn insert_rows(
+        &mut self,
+        table: &str,
+        rows: impl IntoIterator<Item = Row>,
+    ) -> Result<(), DbError> {
+        let t = self
+            .table_mut(table)
+            .ok_or_else(|| DbError::new(format!("no table `{table}`")))?;
+        for r in rows {
+            t.insert(r)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Column;
+    use crate::value::DataType;
+
+    #[test]
+    fn create_insert_lookup() {
+        let mut db = Database::new("realestate");
+        db.create_table(TableSchema::new(
+            "homes",
+            vec![Column::new("addr", DataType::Text), Column::new("zip", DataType::Int)],
+        ))
+        .unwrap();
+        db.insert("homes", vec!["La Jolla".into(), 91220.into()]).unwrap();
+        db.insert_rows(
+            "homes",
+            vec![
+                vec!["El Cajon".into(), 91223.into()],
+                vec!["Del Mar".into(), 92014.into()],
+            ],
+        )
+        .unwrap();
+        assert_eq!(db.table("homes").unwrap().len(), 3);
+        assert_eq!(db.name(), "realestate");
+    }
+
+    #[test]
+    fn duplicate_table_and_missing_table_errors() {
+        let mut db = Database::new("d");
+        let schema = TableSchema::new("t", vec![Column::new("x", DataType::Int)]);
+        db.create_table(schema.clone()).unwrap();
+        assert!(db.create_table(schema).is_err());
+        assert!(db.insert("missing", vec![1.into()]).is_err());
+        assert!(db.table("missing").is_none());
+    }
+
+    #[test]
+    fn tables_iterate_in_creation_order() {
+        let mut db = Database::new("d");
+        for name in ["c", "a", "b"] {
+            db.create_table(TableSchema::new(name, vec![Column::new("x", DataType::Int)]))
+                .unwrap();
+        }
+        let names: Vec<&str> = db.tables().map(|t| t.schema().name.as_str()).collect();
+        assert_eq!(names, ["c", "a", "b"]);
+    }
+}

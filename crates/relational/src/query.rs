@@ -1,0 +1,253 @@
+//! A minimal SELECT layer — the SQL the relational wrapper "translates a
+//! XMAS query into" (paper Example 5).
+//!
+//! Deliberately tiny: conjunctive comparisons against literals plus
+//! projection, executed through the same cursors the wrapper uses. The
+//! point is architectural fidelity (the wrapper pushes work into the
+//! database and exports the *query result* as its XML view, Fig. 6), not
+//! SQL coverage.
+
+use crate::table::{Row, Table};
+use crate::value::Value;
+use crate::DbError;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Comparison operators of the WHERE clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SqlOp {
+    Lt,
+    Le,
+    Eq,
+    Ne,
+    Ge,
+    Gt,
+}
+
+impl SqlOp {
+    fn eval(self, ord: Ordering) -> bool {
+        match self {
+            SqlOp::Lt => ord == Ordering::Less,
+            SqlOp::Le => ord != Ordering::Greater,
+            SqlOp::Eq => ord == Ordering::Equal,
+            SqlOp::Ne => ord != Ordering::Equal,
+            SqlOp::Ge => ord != Ordering::Less,
+            SqlOp::Gt => ord == Ordering::Greater,
+        }
+    }
+}
+
+impl fmt::Display for SqlOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SqlOp::Lt => "<",
+            SqlOp::Le => "<=",
+            SqlOp::Eq => "=",
+            SqlOp::Ne => "<>",
+            SqlOp::Ge => ">=",
+            SqlOp::Gt => ">",
+        })
+    }
+}
+
+/// One conjunct: `column op literal`.
+#[derive(Debug, Clone)]
+pub struct SqlCond {
+    pub column: String,
+    pub op: SqlOp,
+    pub value: Value,
+}
+
+/// `SELECT projection FROM table WHERE conds…` (conjunctive).
+#[derive(Debug, Clone)]
+pub struct SqlQuery {
+    /// The table scanned.
+    pub table: String,
+    /// Projected columns in output order; empty = `*`.
+    pub projection: Vec<String>,
+    /// Conjunctive WHERE clause.
+    pub conds: Vec<SqlCond>,
+}
+
+impl SqlQuery {
+    /// `SELECT * FROM table`.
+    pub fn scan(table: impl Into<String>) -> Self {
+        SqlQuery { table: table.into(), projection: Vec::new(), conds: Vec::new() }
+    }
+
+    /// Add a WHERE conjunct.
+    pub fn filter(mut self, column: impl Into<String>, op: SqlOp, value: impl Into<Value>) -> Self {
+        self.conds.push(SqlCond { column: column.into(), op, value: value.into() });
+        self
+    }
+
+    /// Project to the given columns.
+    pub fn select(mut self, columns: &[&str]) -> Self {
+        self.projection = columns.iter().map(|c| c.to_string()).collect();
+        self
+    }
+
+    /// The output column names against a table schema.
+    pub fn output_columns(&self, table: &Table) -> Result<Vec<String>, DbError> {
+        if self.projection.is_empty() {
+            return Ok(table.schema().columns.iter().map(|c| c.name.clone()).collect());
+        }
+        for c in &self.projection {
+            if table.schema().col_index(c).is_none() {
+                return Err(DbError::new(format!("no column `{c}` in {}", self.table)));
+            }
+        }
+        Ok(self.projection.clone())
+    }
+
+    /// Does a row satisfy the WHERE clause?
+    pub fn matches(&self, table: &Table, row: &Row) -> Result<bool, DbError> {
+        for cond in &self.conds {
+            let i = table
+                .schema()
+                .col_index(&cond.column)
+                .ok_or_else(|| DbError::new(format!("no column `{}`", cond.column)))?;
+            if !cond.op.eval(row[i].sql_cmp(&cond.value)) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Project one row to the output columns.
+    pub fn project_row(&self, table: &Table, row: &Row) -> Result<Row, DbError> {
+        if self.projection.is_empty() {
+            return Ok(row.clone());
+        }
+        self.projection
+            .iter()
+            .map(|c| {
+                table
+                    .schema()
+                    .col_index(c)
+                    .map(|i| row[i].clone())
+                    .ok_or_else(|| DbError::new(format!("no column `{c}`")))
+            })
+            .collect()
+    }
+
+    /// Execute against a table: the materialized result rows.
+    pub fn run(&self, table: &Table) -> Result<Vec<Row>, DbError> {
+        let mut out = Vec::new();
+        for row in table.scan() {
+            if self.matches(table, row)? {
+                out.push(self.project_row(table, row)?);
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for SqlQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.projection.is_empty() {
+            write!(f, "*")?;
+        } else {
+            write!(f, "{}", self.projection.join(", "))?;
+        }
+        write!(f, " FROM {}", self.table)?;
+        for (i, c) in self.conds.iter().enumerate() {
+            write!(f, " {} {} {} ", if i == 0 { "WHERE" } else { "AND" }, c.column, c.op)?;
+            match &c.value {
+                Value::Text(s) => write!(f, "'{s}'")?,
+                other => write!(f, "{other}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{Column, TableSchema};
+    use crate::value::DataType;
+
+    fn homes() -> Table {
+        let mut t = Table::new(TableSchema::new(
+            "homes",
+            vec![
+                Column::new("addr", DataType::Text),
+                Column::new("zip", DataType::Int),
+                Column::new("price", DataType::Int),
+            ],
+        ));
+        t.insert(vec!["La Jolla".into(), 91220.into(), 950_000.into()]).unwrap();
+        t.insert(vec!["El Cajon".into(), 91223.into(), 450_000.into()]).unwrap();
+        t.insert(vec!["Santee".into(), 91220.into(), 280_000.into()]).unwrap();
+        t
+    }
+
+    #[test]
+    fn scan_all() {
+        let t = homes();
+        let rows = SqlQuery::scan("homes").run(&t).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].len(), 3);
+    }
+
+    #[test]
+    fn conjunctive_filter() {
+        let t = homes();
+        let q = SqlQuery::scan("homes")
+            .filter("zip", SqlOp::Eq, 91220)
+            .filter("price", SqlOp::Lt, 500_000);
+        let rows = q.run(&t).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0].to_string(), "Santee");
+    }
+
+    #[test]
+    fn projection() {
+        let t = homes();
+        let q = SqlQuery::scan("homes").select(&["price", "addr"]);
+        let rows = q.run(&t).unwrap();
+        assert_eq!(rows[0].len(), 2);
+        assert_eq!(rows[0][0].to_string(), "950000");
+        assert_eq!(rows[0][1].to_string(), "La Jolla");
+        assert_eq!(
+            q.output_columns(&t).unwrap(),
+            vec!["price".to_string(), "addr".to_string()]
+        );
+    }
+
+    #[test]
+    fn text_comparison_and_errors() {
+        let t = homes();
+        let q = SqlQuery::scan("homes").filter("addr", SqlOp::Eq, "Santee");
+        assert_eq!(q.run(&t).unwrap().len(), 1);
+        let bad = SqlQuery::scan("homes").filter("nope", SqlOp::Eq, 1);
+        assert!(bad.run(&t).is_err());
+        let badp = SqlQuery::scan("homes").select(&["nope"]);
+        assert!(badp.output_columns(&t).is_err());
+    }
+
+    #[test]
+    fn display_renders_sql() {
+        let q = SqlQuery::scan("homes")
+            .select(&["addr"])
+            .filter("zip", SqlOp::Eq, 91220)
+            .filter("addr", SqlOp::Ne, "X");
+        assert_eq!(
+            q.to_string(),
+            "SELECT addr FROM homes WHERE zip = 91220 AND addr <> 'X'"
+        );
+    }
+
+    #[test]
+    fn op_table() {
+        use Ordering::*;
+        assert!(SqlOp::Lt.eval(Less) && !SqlOp::Lt.eval(Equal));
+        assert!(SqlOp::Le.eval(Equal) && !SqlOp::Le.eval(Greater));
+        assert!(SqlOp::Eq.eval(Equal) && !SqlOp::Eq.eval(Less));
+        assert!(SqlOp::Ne.eval(Less) && !SqlOp::Ne.eval(Equal));
+        assert!(SqlOp::Ge.eval(Greater) && SqlOp::Ge.eval(Equal));
+        assert!(SqlOp::Gt.eval(Greater) && !SqlOp::Gt.eval(Equal));
+    }
+}

@@ -1,0 +1,196 @@
+//! Schemas, rows and tables.
+
+use crate::value::{DataType, Value};
+use crate::DbError;
+
+/// One column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    pub name: String,
+    pub ty: DataType,
+}
+
+impl Column {
+    /// Shorthand constructor.
+    pub fn new(name: impl Into<String>, ty: DataType) -> Self {
+        Column { name: name.into(), ty }
+    }
+}
+
+/// A table schema: name plus ordered columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    pub name: String,
+    pub columns: Vec<Column>,
+}
+
+impl TableSchema {
+    /// Define a schema.
+    pub fn new(name: impl Into<String>, columns: Vec<Column>) -> Self {
+        TableSchema { name: name.into(), columns }
+    }
+
+    /// Index of a column by name.
+    pub fn col_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+/// One row: values in column order.
+pub type Row = Vec<Value>;
+
+/// A table: schema plus rows in insertion order.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: TableSchema,
+    rows: Vec<Row>,
+}
+
+impl Table {
+    /// An empty table with the given schema.
+    pub fn new(schema: TableSchema) -> Self {
+        Table { schema, rows: Vec::new() }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Insert a row after arity/type checking.
+    pub fn insert(&mut self, row: Row) -> Result<(), DbError> {
+        if row.len() != self.schema.arity() {
+            return Err(DbError::new(format!(
+                "table {}: expected {} values, got {}",
+                self.schema.name,
+                self.schema.arity(),
+                row.len()
+            )));
+        }
+        for (v, c) in row.iter().zip(&self.schema.columns) {
+            if !v.fits(c.ty) {
+                return Err(DbError::new(format!(
+                    "table {}: value `{v}` does not fit column {} ({})",
+                    self.schema.name, c.name, c.ty
+                )));
+            }
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Row by position (insertion order).
+    pub fn row(&self, i: usize) -> Option<&Row> {
+        self.rows.get(i)
+    }
+
+    /// Full scan.
+    pub fn scan(&self) -> impl Iterator<Item = &Row> {
+        self.rows.iter()
+    }
+
+    /// Filtered scan (σ with an arbitrary row predicate).
+    pub fn select<'a>(
+        &'a self,
+        pred: impl Fn(&Row) -> bool + 'a,
+    ) -> impl Iterator<Item = &'a Row> + 'a {
+        self.rows.iter().filter(move |r| pred(r))
+    }
+
+    /// Projection to a set of columns (π), by name.
+    pub fn project(&self, cols: &[&str]) -> Result<Vec<Row>, DbError> {
+        let idx: Vec<usize> = cols
+            .iter()
+            .map(|c| {
+                self.schema
+                    .col_index(c)
+                    .ok_or_else(|| DbError::new(format!("no column `{c}`")))
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(self.rows.iter().map(|r| idx.iter().map(|&i| r[i].clone()).collect()).collect())
+    }
+
+    /// Sort rows in place by a column (ascending SQL order).
+    pub fn order_by(&mut self, col: &str) -> Result<(), DbError> {
+        let i = self
+            .schema
+            .col_index(col)
+            .ok_or_else(|| DbError::new(format!("no column `{col}`")))?;
+        self.rows.sort_by(|a, b| a[i].sql_cmp(&b[i]));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn homes_schema() -> TableSchema {
+        TableSchema::new(
+            "homes",
+            vec![
+                Column::new("addr", DataType::Text),
+                Column::new("zip", DataType::Int),
+                Column::new("price", DataType::Int),
+            ],
+        )
+    }
+
+    #[test]
+    fn insert_and_scan() {
+        let mut t = Table::new(homes_schema());
+        t.insert(vec!["La Jolla".into(), 91220.into(), 950000.into()]).unwrap();
+        t.insert(vec!["El Cajon".into(), 91223.into(), 450000.into()]).unwrap();
+        assert_eq!(t.len(), 2);
+        let addrs: Vec<String> = t.scan().map(|r| r[0].to_string()).collect();
+        assert_eq!(addrs, ["La Jolla", "El Cajon"]);
+    }
+
+    #[test]
+    fn arity_and_type_checks() {
+        let mut t = Table::new(homes_schema());
+        assert!(t.insert(vec!["x".into()]).is_err());
+        assert!(t.insert(vec![1.into(), 2.into(), 3.into()]).is_err()); // addr must be text
+        assert!(t.insert(vec!["x".into(), Value::Null, 3.into()]).is_ok()); // null ok
+    }
+
+    #[test]
+    fn select_and_project() {
+        let mut t = Table::new(homes_schema());
+        t.insert(vec!["a".into(), 91220.into(), 100.into()]).unwrap();
+        t.insert(vec!["b".into(), 91223.into(), 200.into()]).unwrap();
+        t.insert(vec!["c".into(), 91220.into(), 300.into()]).unwrap();
+        let hits: Vec<&Row> = t.select(|r| r[1] == Value::Int(91220)).collect();
+        assert_eq!(hits.len(), 2);
+        let proj = t.project(&["zip"]).unwrap();
+        assert_eq!(proj[1], vec![Value::Int(91223)]);
+        assert!(t.project(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn order_by_sorts() {
+        let mut t = Table::new(homes_schema());
+        t.insert(vec!["b".into(), 3.into(), 1.into()]).unwrap();
+        t.insert(vec!["a".into(), 1.into(), 2.into()]).unwrap();
+        t.insert(vec!["c".into(), 2.into(), 3.into()]).unwrap();
+        t.order_by("zip").unwrap();
+        let zips: Vec<String> = t.scan().map(|r| r[1].to_string()).collect();
+        assert_eq!(zips, ["1", "2", "3"]);
+        assert!(t.order_by("nope").is_err());
+    }
+}

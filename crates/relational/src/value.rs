@@ -1,0 +1,141 @@
+//! Typed cell values.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Column data types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    Int,
+    Float,
+    Text,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Text => "TEXT",
+        })
+    }
+}
+
+/// One cell value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Int(i64),
+    Float(f64),
+    Text(String),
+    Null,
+}
+
+impl Value {
+    /// Does the value belong to the column type? `Null` fits every type.
+    pub fn fits(&self, ty: DataType) -> bool {
+        matches!(
+            (self, ty),
+            (Value::Null, _)
+                | (Value::Int(_), DataType::Int)
+                | (Value::Float(_), DataType::Float)
+                | (Value::Text(_), DataType::Text)
+        )
+    }
+
+    /// SQL-style ordering: `Null` sorts first, numerics numerically, text
+    /// lexicographically. Cross-type comparisons order by type rank (used
+    /// only by ORDER BY over heterogeneous data, which well-typed tables
+    /// never produce).
+    pub fn sql_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Int(_) | Value::Float(_) => 1,
+                Value::Text(_) => 2,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.partial_cmp(b).unwrap_or(Ordering::Equal),
+            (Value::Int(a), Value::Float(b)) => {
+                (*a as f64).partial_cmp(b).unwrap_or(Ordering::Equal)
+            }
+            (Value::Float(a), Value::Int(b)) => {
+                a.partial_cmp(&(*b as f64)).unwrap_or(Ordering::Equal)
+            }
+            (Value::Text(a), Value::Text(b)) => a.cmp(b),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Text(s) => f.write_str(s),
+            Value::Null => f.write_str(""),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_fit() {
+        assert!(Value::Int(1).fits(DataType::Int));
+        assert!(!Value::Int(1).fits(DataType::Text));
+        assert!(Value::Null.fits(DataType::Float));
+        assert!(Value::from("x").fits(DataType::Text));
+    }
+
+    #[test]
+    fn ordering() {
+        assert_eq!(Value::Int(3).sql_cmp(&Value::Int(10)), Ordering::Less);
+        assert_eq!(Value::Float(2.5).sql_cmp(&Value::Int(2)), Ordering::Greater);
+        assert_eq!(Value::from("a").sql_cmp(&Value::from("b")), Ordering::Less);
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(0)), Ordering::Less);
+        assert_eq!(Value::Null.sql_cmp(&Value::Null), Ordering::Equal);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Int(91220).to_string(), "91220");
+        assert_eq!(Value::from("La Jolla").to_string(), "La Jolla");
+        assert_eq!(Value::Null.to_string(), "");
+    }
+}

@@ -1,0 +1,327 @@
+//! Deterministic workload generators.
+//!
+//! Every generator takes an explicit seed, so experiments are exactly
+//! reproducible. The scenarios mirror the paper's: the homes/schools
+//! running example (Figures 3–4) with a zip-code pool controlling join
+//! selectivity, the `allbooks` bookseller integration of §1, recursive
+//! parts catalogs exercising `part*` paths, the filter views of Example 1,
+//! and general random labeled trees for property tests.
+
+use mix_relational::{Column, DataType, Database, TableSchema};
+use mix_xml::Tree;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const STREETS: &[&str] = &[
+    "La Jolla", "El Cajon", "Del Mar", "Hillcrest", "Encinitas", "Poway", "Carlsbad",
+    "Santee", "Vista", "Coronado",
+];
+
+const DIRECTORS: &[&str] =
+    &["Smith", "Bar", "Hart", "Nguyen", "Garcia", "Okafor", "Ivanov", "Meyer"];
+
+const TITLES: &[&str] = &[
+    "Database Systems", "TCP Illustrated", "Compilers", "The Art of Indexing",
+    "Mediators in Practice", "Semistructured Data", "XML and Beyond", "Query Processing",
+    "Views and Materialization", "Lazy Evaluation",
+];
+
+const AUTHORS: &[&str] =
+    &["Ullman", "Stevens", "Aho", "Gray", "Wiederhold", "Abiteboul", "Widom", "Codd"];
+
+/// The homes source of the running example:
+/// `homes[home[addr[…],zip[…],price[…]], …]`.
+pub fn homes_doc(seed: u64, n_homes: usize, n_zips: usize) -> Tree {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let homes = (0..n_homes)
+        .map(|i| {
+            let zip = 91000 + rng.gen_range(0..n_zips.max(1)) as i64;
+            let street = STREETS[rng.gen_range(0..STREETS.len())];
+            let price = 200_000 + rng.gen_range(0..900) as i64 * 1000;
+            Tree::node(
+                "home",
+                vec![
+                    Tree::node("addr", vec![Tree::leaf(format!("{street} #{i}"))]),
+                    Tree::node("zip", vec![Tree::leaf(zip.to_string())]),
+                    Tree::node("price", vec![Tree::leaf(price.to_string())]),
+                ],
+            )
+        })
+        .collect();
+    Tree::node("homes", homes)
+}
+
+/// The schools source: `schools[school[dir[…],zip[…]], …]`.
+pub fn schools_doc(seed: u64, n_schools: usize, n_zips: usize) -> Tree {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let schools = (0..n_schools)
+        .map(|_| {
+            let zip = 91000 + rng.gen_range(0..n_zips.max(1)) as i64;
+            let dir = DIRECTORS[rng.gen_range(0..DIRECTORS.len())];
+            Tree::node(
+                "school",
+                vec![
+                    Tree::node("dir", vec![Tree::leaf(dir)]),
+                    Tree::node("zip", vec![Tree::leaf(zip.to_string())]),
+                ],
+            )
+        })
+        .collect();
+    Tree::node("schools", schools)
+}
+
+/// A bookseller catalog for the `allbooks` scenario (§1):
+/// `books[book[title[…],author[…],price[…],availability[…]], …]`.
+/// Different stores (seeds) carry overlapping titles at different prices.
+pub fn bookstore_doc(seed: u64, store: &str, n_books: usize) -> Tree {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let books = (0..n_books)
+        .map(|_| {
+            let title = TITLES[rng.gen_range(0..TITLES.len())];
+            let author = AUTHORS[rng.gen_range(0..AUTHORS.len())];
+            let price = 15 + rng.gen_range(0..80) as i64;
+            let avail = if rng.gen_bool(0.8) { "in_stock" } else { "backorder" };
+            Tree::node(
+                "book",
+                vec![
+                    Tree::node("title", vec![Tree::leaf(title)]),
+                    Tree::node("author", vec![Tree::leaf(author)]),
+                    Tree::node("price", vec![Tree::leaf(price.to_string())]),
+                    Tree::node("availability", vec![Tree::leaf(avail)]),
+                    Tree::node("store", vec![Tree::leaf(store)]),
+                ],
+            )
+        })
+        .collect();
+    Tree::node("books", books)
+}
+
+/// A recursive parts catalog for `part*.name` paths: every part has a
+/// name and up to `fanout` sub-parts, `depth` levels deep.
+pub fn parts_doc(seed: u64, depth: usize, fanout: usize) -> Tree {
+    fn part(rng: &mut SmallRng, depth: usize, fanout: usize, id: &mut u32) -> Tree {
+        *id += 1;
+        let mut children =
+            vec![Tree::node("name", vec![Tree::leaf(format!("part-{id}"))])];
+        if depth > 0 {
+            let n = rng.gen_range(1..=fanout.max(1));
+            for _ in 0..n {
+                children.push(Tree::node(
+                    "part",
+                    part(rng, depth - 1, fanout, id).children().to_vec(),
+                ));
+            }
+        }
+        Tree::node("part", children)
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut id = 0;
+    Tree::node("catalog", vec![part(&mut rng, depth, fanout, &mut id)])
+}
+
+/// Example 1's filter scenario: a flat list whose children match a label
+/// predicate with period `match_every`: child `i` is labeled `wanted` when
+/// `i % match_every == match_every - 1`, else `chaff`. The position of the
+/// first match (and hence the data-dependent navigation cost) is
+/// `match_every - 1`.
+pub fn filter_doc(n: usize, match_every: usize) -> Tree {
+    let k = match_every.max(1);
+    let children = (0..n)
+        .map(|i| {
+            if i % k == k - 1 {
+                Tree::node("wanted", vec![Tree::leaf(format!("v{i}"))])
+            } else {
+                Tree::node("chaff", vec![Tree::leaf(format!("x{i}"))])
+            }
+        })
+        .collect();
+    Tree::node("items", children)
+}
+
+/// An XMark-style auction site document: sellers, items with nested
+/// descriptions, and open auctions with bid histories — deeper and more
+/// heterogeneous than the running example, used to exercise recursive
+/// paths and mixed content models.
+pub fn auction_doc(seed: u64, n_items: usize, n_bidders: usize) -> Tree {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let items: Vec<Tree> = (0..n_items)
+        .map(|i| {
+            let seller = format!("seller{}", rng.gen_range(0..n_bidders.max(1)));
+            let mut paragraphs: Vec<Tree> = Vec::new();
+            for _ in 0..rng.gen_range(1..4) {
+                let title = TITLES[rng.gen_range(0..TITLES.len())];
+                paragraphs.push(Tree::node("parlist", vec![Tree::node(
+                    "text",
+                    vec![Tree::leaf(title)],
+                )]));
+            }
+            let bids: Vec<Tree> = (0..rng.gen_range(0..6))
+                .map(|_| {
+                    let who = format!("bidder{}", rng.gen_range(0..n_bidders.max(1)));
+                    let amount = 10 + rng.gen_range(0..990) as i64;
+                    Tree::node(
+                        "bid",
+                        vec![
+                            Tree::node("bidder", vec![Tree::leaf(who)]),
+                            Tree::node("amount", vec![Tree::leaf(amount.to_string())]),
+                        ],
+                    )
+                })
+                .collect();
+            Tree::node(
+                "item",
+                vec![
+                    Tree::node("id", vec![Tree::leaf(format!("item{i}"))]),
+                    Tree::node("seller", vec![Tree::leaf(seller)]),
+                    Tree::node("description", paragraphs),
+                    Tree::node("bids", bids),
+                ],
+            )
+        })
+        .collect();
+    Tree::node("site", vec![Tree::node("items", items)])
+}
+
+/// A random labeled tree (property tests, fuzzing). `labels` is the label
+/// pool; the tree has at most `max_nodes` nodes.
+pub fn random_tree(seed: u64, max_nodes: usize, labels: &[&str]) -> Tree {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut budget = max_nodes.max(1) - 1;
+    fn grow(rng: &mut SmallRng, budget: &mut usize, labels: &[&str], depth: usize) -> Tree {
+        let label = labels[rng.gen_range(0..labels.len())];
+        let mut children = Vec::new();
+        while *budget > 0 && depth < 8 && rng.gen_bool(0.6) {
+            *budget -= 1;
+            children.push(grow(rng, budget, labels, depth + 1));
+        }
+        Tree::node(label, children)
+    }
+    grow(&mut rng, &mut budget, labels, 0)
+}
+
+/// The homes scenario as a relational database (for the RDB-XML wrapper):
+/// table `homes(addr, zip, price)`.
+pub fn homes_database(seed: u64, n_homes: usize, n_zips: usize) -> Database {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut db = Database::new("realestate");
+    db.create_table(TableSchema::new(
+        "homes",
+        vec![
+            Column::new("addr", DataType::Text),
+            Column::new("zip", DataType::Int),
+            Column::new("price", DataType::Int),
+        ],
+    ))
+    .expect("fresh database");
+    for i in 0..n_homes {
+        let zip = 91000 + rng.gen_range(0..n_zips.max(1)) as i64;
+        let street = STREETS[rng.gen_range(0..STREETS.len())];
+        let price = 200_000 + rng.gen_range(0..900) as i64 * 1000;
+        db.insert(
+            "homes",
+            vec![format!("{street} #{i}").into(), zip.into(), price.into()],
+        )
+        .expect("row fits schema");
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(homes_doc(7, 20, 5), homes_doc(7, 20, 5));
+        assert_ne!(homes_doc(7, 20, 5), homes_doc(8, 20, 5));
+        assert_eq!(bookstore_doc(1, "amazon", 10), bookstore_doc(1, "amazon", 10));
+        assert_eq!(random_tree(42, 30, &["a", "b"]), random_tree(42, 30, &["a", "b"]));
+    }
+
+    #[test]
+    fn homes_shape() {
+        let t = homes_doc(1, 5, 3);
+        assert_eq!(t.label(), "homes");
+        assert_eq!(t.children().len(), 5);
+        for h in t.children() {
+            assert_eq!(h.label(), "home");
+            assert!(h.child("zip").is_some());
+            assert!(h.child("addr").is_some());
+            let zip: i64 = h.child("zip").unwrap().text().parse().unwrap();
+            assert!((91000..91003).contains(&zip));
+        }
+    }
+
+    #[test]
+    fn schools_shape() {
+        let t = schools_doc(2, 4, 2);
+        assert_eq!(t.label(), "schools");
+        assert_eq!(t.children().len(), 4);
+        assert!(t.children()[0].child("dir").is_some());
+    }
+
+    #[test]
+    fn join_selectivity_via_zip_pool() {
+        // One zip → every home matches every school; many zips → sparse.
+        let h = homes_doc(1, 50, 1);
+        let s = schools_doc(2, 50, 1);
+        let hz = h.children()[0].child("zip").unwrap().text();
+        assert!(s
+            .children()
+            .iter()
+            .all(|sc| sc.child("zip").unwrap().text() == hz));
+    }
+
+    #[test]
+    fn filter_doc_first_match_position() {
+        let t = filter_doc(10, 4);
+        let labels: Vec<&str> =
+            t.children().iter().map(|c| c.label().as_str()).collect();
+        assert_eq!(labels[3], "wanted");
+        assert_eq!(labels[0], "chaff");
+        assert_eq!(labels.iter().filter(|l| **l == "wanted").count(), 2);
+        // match_every = 1 → everything matches.
+        let all = filter_doc(5, 1);
+        assert!(all.children().iter().all(|c| c.label() == "wanted"));
+    }
+
+    #[test]
+    fn parts_depth_bounded_and_named() {
+        let t = parts_doc(3, 3, 2);
+        assert_eq!(t.label(), "catalog");
+        assert!(t.height() <= 3 + 3); // catalog/part nesting + name/leaf levels
+        fn count_parts(t: &Tree) -> usize {
+            let me = usize::from(t.label() == "part");
+            me + t.children().iter().map(count_parts).sum::<usize>()
+        }
+        assert!(count_parts(&t) >= 2);
+    }
+
+    #[test]
+    fn random_tree_respects_budget() {
+        for seed in 0..20 {
+            let t = random_tree(seed, 25, &["a", "b", "c"]);
+            assert!(t.size() <= 25, "size {} for seed {seed}", t.size());
+        }
+    }
+
+    #[test]
+    fn auction_doc_shape() {
+        let t = auction_doc(4, 12, 5);
+        assert_eq!(t.label(), "site");
+        let items = t.child("items").unwrap();
+        assert_eq!(items.children().len(), 12);
+        let item = &items.children()[0];
+        assert!(item.child("description").is_some());
+        assert!(item.child("bids").is_some());
+        assert_eq!(auction_doc(4, 12, 5), auction_doc(4, 12, 5));
+    }
+
+    #[test]
+    fn relational_homes_match_schema() {
+        let db = homes_database(5, 30, 4);
+        let t = db.table("homes").unwrap();
+        assert_eq!(t.len(), 30);
+        assert_eq!(t.schema().arity(), 3);
+    }
+}

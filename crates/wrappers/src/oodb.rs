@@ -1,0 +1,258 @@
+//! OODB substrate and wrapper (the OODB-XML wrapper of Figure 1).
+//!
+//! A minimal object database: objects have a class, scalar attributes, and
+//! references to other objects. The wrapper exports the graph as an XML
+//! tree rooted at a designated object, unfolding references depth-first —
+//! an object already on the current path is emitted as a `ref[oid]` leaf,
+//! so cyclic graphs export as finite trees. Export is object-at-a-time:
+//! each fill reveals one object's attributes with holes for its referenced
+//! objects, which matches how an OODB faults in objects.
+
+use mix_buffer::{Fragment, HoleId, LxpError, LxpWrapper};
+use std::collections::HashMap;
+
+/// Identifier of an object in the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjId(pub u32);
+
+#[derive(Debug, Clone)]
+struct Object {
+    class: String,
+    attrs: Vec<(String, String)>,
+    refs: Vec<(String, ObjId)>,
+}
+
+/// An in-memory object store.
+#[derive(Debug, Clone, Default)]
+pub struct ObjectStore {
+    objects: Vec<Object>,
+    roots: HashMap<String, ObjId>,
+}
+
+impl ObjectStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        ObjectStore::default()
+    }
+
+    /// Create an object of the given class; returns its id.
+    pub fn create(&mut self, class: impl Into<String>) -> ObjId {
+        let id = ObjId(u32::try_from(self.objects.len()).expect("store too large"));
+        self.objects.push(Object { class: class.into(), attrs: Vec::new(), refs: Vec::new() });
+        id
+    }
+
+    /// Add a scalar attribute.
+    pub fn set_attr(&mut self, obj: ObjId, name: impl Into<String>, value: impl Into<String>) {
+        self.objects[obj.0 as usize].attrs.push((name.into(), value.into()));
+    }
+
+    /// Add a reference to another object.
+    pub fn add_ref(&mut self, obj: ObjId, name: impl Into<String>, target: ObjId) {
+        self.objects[obj.0 as usize].refs.push((name.into(), target));
+    }
+
+    /// Publish an object as the root of an exported view.
+    pub fn publish(&mut self, uri: impl Into<String>, root: ObjId) {
+        self.roots.insert(uri.into(), root);
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when the store holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+}
+
+/// LXP wrapper exporting an [`ObjectStore`] object-at-a-time.
+pub struct OodbWrapper {
+    store: ObjectStore,
+    /// Objects faulted in so far (database-side work measure).
+    faults: u64,
+}
+
+impl OodbWrapper {
+    /// Wrap a store.
+    pub fn new(store: ObjectStore) -> Self {
+        OodbWrapper { store, faults: 0 }
+    }
+
+    /// Objects faulted in so far.
+    pub fn faults(&self) -> u64 {
+        self.faults
+    }
+
+    /// Fragment for one object: class element containing attribute
+    /// elements and one hole per reference. The hole id carries the target
+    /// object, the reference name, and the *path* of object ids leading
+    /// here, so cycles are detected without wrapper state.
+    fn object_fragment(&mut self, obj: ObjId, path: &[ObjId]) -> Fragment {
+        self.faults += 1;
+        let o = self.store.objects[obj.0 as usize].clone();
+        let mut children: Vec<Fragment> = o
+            .attrs
+            .iter()
+            .map(|(k, v)| Fragment::node(k.as_str(), vec![Fragment::leaf(v.as_str())]))
+            .collect();
+        for (name, target) in &o.refs {
+            if path.contains(target) || *target == obj {
+                // Back-edge: emit a reference leaf instead of recursing.
+                children.push(Fragment::node(
+                    name.as_str(),
+                    vec![Fragment::node("ref", vec![Fragment::leaf(target.0.to_string())])],
+                ));
+            } else {
+                let mut new_path: Vec<String> =
+                    path.iter().map(|p| p.0.to_string()).collect();
+                new_path.push(obj.0.to_string());
+                children.push(Fragment::node(
+                    name.as_str(),
+                    vec![Fragment::hole(format!(
+                        "obj:{}:{}",
+                        target.0,
+                        new_path.join(",")
+                    ))],
+                ));
+            }
+        }
+        Fragment::node(o.class.as_str(), children)
+    }
+}
+
+impl LxpWrapper for OodbWrapper {
+    fn get_root(&mut self, uri: &str) -> Result<HoleId, LxpError> {
+        let root = self
+            .store
+            .roots
+            .get(uri)
+            .ok_or_else(|| LxpError::UnknownSource(uri.to_string()))?;
+        Ok(format!("obj:{}:", root.0))
+    }
+
+    fn fill(&mut self, hole: &HoleId) -> Result<Vec<Fragment>, LxpError> {
+        let mut parts = hole.splitn(3, ':');
+        let (Some("obj"), Some(id), Some(path)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(LxpError::UnknownHole(hole.clone()));
+        };
+        let id: u32 = id.parse().map_err(|_| LxpError::UnknownHole(hole.clone()))?;
+        if id as usize >= self.store.objects.len() {
+            return Err(LxpError::UnknownHole(hole.clone()));
+        }
+        let path: Vec<ObjId> = if path.is_empty() {
+            Vec::new()
+        } else {
+            path.split(',')
+                .map(|p| p.parse().map(ObjId).map_err(|_| LxpError::UnknownHole(hole.clone())))
+                .collect::<Result<_, _>>()?
+        };
+        Ok(vec![self.object_fragment(ObjId(id), &path)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mix_buffer::BufferNavigator;
+    use mix_nav::explore::materialize;
+    use mix_nav::Navigator;
+
+    /// A tiny department/employee graph.
+    fn demo_store() -> ObjectStore {
+        let mut s = ObjectStore::new();
+        let dept = s.create("department");
+        s.set_attr(dept, "name", "databases");
+        let alice = s.create("employee");
+        s.set_attr(alice, "name", "Alice");
+        let bob = s.create("employee");
+        s.set_attr(bob, "name", "Bob");
+        s.add_ref(dept, "member", alice);
+        s.add_ref(dept, "member", bob);
+        // Back references: employee → department (a cycle).
+        s.add_ref(alice, "works_in", dept);
+        s.publish("hr", dept);
+        s
+    }
+
+    #[test]
+    fn exports_object_graph_as_tree() {
+        let mut nav = BufferNavigator::new(OodbWrapper::new(demo_store()), "hr");
+        let t = materialize(&mut nav);
+        assert_eq!(
+            t.to_string(),
+            "department[name[databases],member[employee[name[Alice],works_in[ref[0]]]],\
+             member[employee[name[Bob]]]]"
+        );
+    }
+
+    #[test]
+    fn objects_fault_in_lazily() {
+        let mut nav = BufferNavigator::new(OodbWrapper::new(demo_store()), "hr");
+        let root = nav.root();
+        assert_eq!(nav.fetch(&root), "department");
+        // Only the department object was faulted; walking to the first
+        // member faults Alice, Bob stays cold.
+        let name = nav.down(&root).unwrap();
+        assert_eq!(nav.fetch(&name), "name");
+        let member1 = nav.right(&name).unwrap();
+        let alice = nav.down(&member1).unwrap();
+        assert_eq!(nav.fetch(&alice), "employee");
+        let open = nav.open_tree().unwrap().to_string();
+        assert!(!open.contains("Bob"), "Bob not faulted yet: {open}");
+    }
+
+    #[test]
+    fn cycles_become_ref_leaves() {
+        let mut s = ObjectStore::new();
+        let a = s.create("a");
+        let b = s.create("b");
+        s.add_ref(a, "next", b);
+        s.add_ref(b, "back", a);
+        s.publish("g", a);
+        let mut nav = BufferNavigator::new(OodbWrapper::new(s), "g");
+        let t = materialize(&mut nav);
+        assert_eq!(t.to_string(), "a[next[b[back[ref[0]]]]]");
+    }
+
+    #[test]
+    fn self_reference() {
+        let mut s = ObjectStore::new();
+        let a = s.create("node");
+        s.add_ref(a, "self", a);
+        s.publish("g", a);
+        let mut nav = BufferNavigator::new(OodbWrapper::new(s), "g");
+        let t = materialize(&mut nav);
+        assert_eq!(t.to_string(), "node[self[ref[0]]]");
+    }
+
+    #[test]
+    fn diamond_shapes_duplicate_like_tree_unfolding() {
+        // a → b, a → c, b → d, c → d: d appears under both b and c (it is
+        // not on either path, so no ref leaf).
+        let mut s = ObjectStore::new();
+        let a = s.create("a");
+        let b = s.create("b");
+        let c = s.create("c");
+        let d = s.create("d");
+        s.add_ref(a, "l", b);
+        s.add_ref(a, "r", c);
+        s.add_ref(b, "x", d);
+        s.add_ref(c, "x", d);
+        s.publish("g", a);
+        let mut nav = BufferNavigator::new(OodbWrapper::new(s), "g");
+        let t = materialize(&mut nav);
+        assert_eq!(t.to_string(), "a[l[b[x[d]]],r[c[x[d]]]]");
+    }
+
+    #[test]
+    fn unknown_uri_rejected() {
+        let mut w = OodbWrapper::new(demo_store());
+        assert!(matches!(w.get_root("nope"), Err(LxpError::UnknownSource(_))));
+        assert!(matches!(w.fill(&"junk".to_string()), Err(LxpError::UnknownHole(_))));
+        assert!(matches!(w.fill(&"obj:999:".to_string()), Err(LxpError::UnknownHole(_))));
+    }
+}

@@ -1,0 +1,226 @@
+//! A Web-source simulator (the HTML-XML wrapper of Figure 1).
+//!
+//! The paper's motivating sources are live web sites — "one cannot obtain
+//! the complete dataset of the booksellers" (§1). This reproduction
+//! substitutes generated page trees served through a simulated [`Network`]
+//! that accounts a cost per request and per byte, so the granularity
+//! claims of §4 ("each navigation command results in packets being sent
+//! over the wire") become measurable: the same navigation against the same
+//! pages under different fill policies yields different simulated wire
+//! time.
+//!
+//! The wrapper streams data the way §4 describes for Web sources: "ship
+//! data at a page-at-a-time granularity (for small pages), or start
+//! streaming of huge documents by sending complete elements if their size
+//! does not exceed a certain limit (say 50K)" — that is
+//! [`FillPolicy::SizeThreshold`], the default here.
+
+use mix_buffer::{FillPolicy, Fragment, HoleId, LxpError, LxpWrapper, TreeWrapper};
+use mix_xml::{Document, Tree};
+use parking_lot::Mutex;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// A point-in-time copy of the simulated network counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetworkStats {
+    /// Requests (fills and get_roots) that crossed the network.
+    pub requests: u64,
+    /// Payload bytes shipped.
+    pub bytes: u64,
+    /// Total simulated time units: `requests × per_request + bytes × per_byte`.
+    pub simulated_cost: u64,
+}
+
+/// The simulated network shared by all web wrappers of one experiment.
+///
+/// `per_request_cost` models round-trip latency (the dominant term the
+/// buffer architecture attacks), `per_byte_cost` models bandwidth.
+#[derive(Debug)]
+pub struct Network {
+    per_request_cost: u64,
+    per_byte_cost: u64,
+    state: Mutex<NetworkStats>,
+}
+
+impl Network {
+    /// A network with the given cost model.
+    pub fn new(per_request_cost: u64, per_byte_cost: u64) -> Arc<Self> {
+        Arc::new(Network {
+            per_request_cost,
+            per_byte_cost,
+            state: Mutex::new(NetworkStats::default()),
+        })
+    }
+
+    /// Account one request carrying `bytes` of payload.
+    pub fn account(&self, bytes: u64) {
+        let mut s = self.state.lock();
+        s.requests += 1;
+        s.bytes += bytes;
+        s.simulated_cost += self.per_request_cost + self.per_byte_cost * bytes;
+    }
+
+    /// Read the counters.
+    pub fn stats(&self) -> NetworkStats {
+        *self.state.lock()
+    }
+
+    /// Zero the counters.
+    pub fn reset(&self) {
+        *self.state.lock() = NetworkStats::default();
+    }
+}
+
+/// LXP wrapper over generated web pages, accounting traffic on a shared
+/// [`Network`].
+pub struct WebWrapper {
+    inner: TreeWrapper,
+    network: Arc<Network>,
+}
+
+impl WebWrapper {
+    /// A web site with the given pages (URI → page tree), served under the
+    /// size-threshold streaming policy.
+    pub fn new(network: Arc<Network>, threshold_nodes: usize) -> Self {
+        WebWrapper {
+            inner: TreeWrapper::new(FillPolicy::SizeThreshold { max_nodes: threshold_nodes }),
+            network,
+        }
+    }
+
+    /// A web site with an explicit policy (for granularity comparisons).
+    pub fn with_policy(network: Arc<Network>, policy: FillPolicy) -> Self {
+        WebWrapper { inner: TreeWrapper::new(policy), network }
+    }
+
+    /// Publish a page under a URI.
+    pub fn add_page(&mut self, uri: impl Into<String>, page: &Tree) {
+        self.inner.add(uri, Rc::new(Document::from_tree(page)));
+    }
+
+    /// The shared network (for reading stats).
+    pub fn network(&self) -> &Arc<Network> {
+        &self.network
+    }
+}
+
+impl LxpWrapper for WebWrapper {
+    fn get_root(&mut self, uri: &str) -> Result<HoleId, LxpError> {
+        let id = self.inner.get_root(uri)?;
+        // The handle handshake is one small request.
+        self.network.account(id.len() as u64);
+        Ok(id)
+    }
+
+    fn fill(&mut self, hole: &HoleId) -> Result<Vec<Fragment>, LxpError> {
+        let reply = self.inner.fill(hole)?;
+        let bytes: usize = reply.iter().map(Fragment::wire_bytes).sum();
+        self.network.account(bytes as u64);
+        Ok(reply)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mix_buffer::BufferNavigator;
+    use mix_nav::explore::materialize;
+    use mix_nav::Navigator;
+    use mix_xml::term::parse_term;
+
+    fn page() -> Tree {
+        parse_term(
+            "catalog[book[title[TCP Illustrated],price[55]],\
+                     book[title[Database Systems],price[70]],\
+                     book[title[Compilers],price[65]]]",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn serves_pages_and_accounts_cost() {
+        let net = Network::new(100, 1);
+        let mut w = WebWrapper::new(net.clone(), 50);
+        w.add_page("catalog", &page());
+        let mut nav = BufferNavigator::new(w, "catalog");
+        let t = materialize(&mut nav);
+        assert_eq!(t.children().len(), 3);
+        let s = net.stats();
+        assert!(s.requests >= 2); // handshake + at least one fill
+        assert!(s.bytes > 0);
+        assert_eq!(s.simulated_cost, s.requests * 100 + s.bytes);
+    }
+
+    #[test]
+    fn request_cost_dominates_fine_granularity() {
+        // Same page, same navigation; node-at-a-time pays far more
+        // simulated latency than page-at-a-time.
+        let mut costs = Vec::new();
+        for policy in [FillPolicy::NodeAtATime, FillPolicy::WholeSubtree] {
+            let net = Network::new(1000, 1);
+            let mut w = WebWrapper::with_policy(net.clone(), policy);
+            w.add_page("catalog", &page());
+            let mut nav = BufferNavigator::new(w, "catalog");
+            materialize(&mut nav);
+            costs.push(net.stats().simulated_cost);
+        }
+        assert!(
+            costs[0] > 3 * costs[1],
+            "node-at-a-time {} should dwarf page-at-a-time {}",
+            costs[0],
+            costs[1]
+        );
+    }
+
+    #[test]
+    fn size_threshold_keeps_small_books_whole() {
+        let net = Network::new(10, 1);
+        let mut w = WebWrapper::new(net.clone(), 10);
+        w.add_page("catalog", &page());
+        let mut nav = BufferNavigator::new(w, "catalog");
+        let root = nav.root();
+        let book1 = nav.down(&root).unwrap();
+        let fills_after_first = net.stats().requests;
+        // The whole first book arrived in that fill; its attributes are
+        // local.
+        let title = nav.down(&book1).unwrap();
+        assert_eq!(nav.fetch(&title), "title");
+        assert_eq!(net.stats().requests, fills_after_first);
+    }
+
+    #[test]
+    fn network_reset_zeroes_counters() {
+        let net = Network::new(5, 2);
+        net.account(10);
+        let s = net.stats();
+        assert_eq!(s.requests, 1);
+        assert_eq!(s.bytes, 10);
+        assert_eq!(s.simulated_cost, 5 + 20);
+        net.reset();
+        assert_eq!(net.stats(), NetworkStats::default());
+    }
+
+    #[test]
+    fn unknown_page_is_rejected() {
+        let net = Network::new(1, 1);
+        let mut w = WebWrapper::new(net, 10);
+        assert!(w.get_root("missing").is_err());
+        assert!(w.fill(&"missing|root".to_string()).is_err());
+    }
+
+    #[test]
+    fn shared_network_aggregates_two_sites() {
+        let net = Network::new(1, 0);
+        let mut amazon = WebWrapper::new(net.clone(), 50);
+        amazon.add_page("amazon", &parse_term("books[b1]").unwrap());
+        let mut bn = WebWrapper::new(net.clone(), 50);
+        bn.add_page("bn", &parse_term("books[b2]").unwrap());
+
+        let mut nav_a = BufferNavigator::new(amazon, "amazon");
+        let mut nav_b = BufferNavigator::new(bn, "bn");
+        materialize(&mut nav_a);
+        materialize(&mut nav_b);
+        assert!(net.stats().requests >= 4);
+    }
+}

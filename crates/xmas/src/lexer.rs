@@ -1,0 +1,461 @@
+//! Tokenizer for XMAS query text.
+//!
+//! Notable surface details taken from the paper's Figure 3: `%` starts a
+//! line comment, tags are written `<name>`/`</name>`, variables `$Name`,
+//! group annotations `{…}`, and the body is a conjunction joined by `AND`.
+
+use crate::XmasError;
+
+/// One token with its byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub offset: usize,
+    pub kind: TokenKind,
+}
+
+/// The token kinds of XMAS.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// `CONSTRUCT` keyword (case-insensitive).
+    Construct,
+    /// `WHERE` keyword.
+    Where,
+    /// `AND` keyword.
+    And,
+    /// `IN` keyword (reserved for the tree-pattern syntax of footnote 6).
+    In,
+    /// `<name>` or `<$V>`.
+    OpenTag(TagName),
+    /// `</name>` or `</$V>` or `</>`.
+    CloseTag(Option<TagName>),
+    /// `$Name`.
+    Dollar(String),
+    /// A bare identifier (source names, path steps).
+    Ident(String),
+    /// `"..."` string literal.
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `.`
+    Dot,
+    /// `,`
+    Comma,
+    /// `:` (tree-pattern binders, footnote 6)
+    Colon,
+    /// `|`
+    Pipe,
+    /// `*`
+    Star,
+    /// `_` (path wildcard)
+    Underscore,
+    /// `=`, `!=`, `<=`, `>=`, `<`, `>` — note `<` only lexes as an operator
+    /// when it cannot start a tag.
+    Op(String),
+    /// End of input.
+    Eof,
+}
+
+/// A tag name: constant or variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TagName {
+    Const(String),
+    Var(String),
+}
+
+/// Tokenize a query string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, XmasError> {
+    let mut lx = Lexer { input, pos: 0, out: Vec::new() };
+    lx.run()?;
+    Ok(lx.out)
+}
+
+struct Lexer<'a> {
+    input: &'a str,
+    pos: usize,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<char> {
+        self.input[self.pos..].chars().next()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        let mut it = self.input[self.pos..].chars();
+        it.next();
+        it.next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn push(&mut self, offset: usize, kind: TokenKind) {
+        self.out.push(Token { offset, kind });
+    }
+
+    fn run(&mut self) -> Result<(), XmasError> {
+        loop {
+            // Skip whitespace and `%` line comments.
+            loop {
+                match self.peek() {
+                    Some(c) if c.is_whitespace() => {
+                        self.bump();
+                    }
+                    Some('%') => {
+                        while !matches!(self.peek(), None | Some('\n')) {
+                            self.bump();
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            let start = self.pos;
+            let Some(c) = self.peek() else {
+                self.push(start, TokenKind::Eof);
+                return Ok(());
+            };
+            match c {
+                '<' => {
+                    // `<name>`, `</name>`, `</>`, `<$V>` — or the
+                    // comparison operators `<`, `<=`.
+                    if self.looks_like_tag() {
+                        self.lex_tag(start)?;
+                    } else {
+                        self.bump();
+                        if self.peek() == Some('=') {
+                            self.bump();
+                            self.push(start, TokenKind::Op("<=".into()));
+                        } else {
+                            self.push(start, TokenKind::Op("<".into()));
+                        }
+                    }
+                }
+                '>' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        self.push(start, TokenKind::Op(">=".into()));
+                    } else {
+                        self.push(start, TokenKind::Op(">".into()));
+                    }
+                }
+                '=' => {
+                    self.bump();
+                    self.push(start, TokenKind::Op("=".into()));
+                }
+                '!' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        self.push(start, TokenKind::Op("!=".into()));
+                    } else {
+                        return Err(XmasError::new(start, "expected `!=`"));
+                    }
+                }
+                '$' => {
+                    self.bump();
+                    let name = self.ident_text();
+                    if name.is_empty() {
+                        return Err(XmasError::new(start, "expected a variable name after `$`"));
+                    }
+                    self.push(start, TokenKind::Dollar(name));
+                }
+                '"' => {
+                    self.bump();
+                    let mut s = String::new();
+                    loop {
+                        match self.bump() {
+                            None => return Err(XmasError::new(start, "unterminated string")),
+                            Some('"') => break,
+                            Some('\\') => match self.bump() {
+                                Some(e) => s.push(e),
+                                None => {
+                                    return Err(XmasError::new(start, "unterminated escape"))
+                                }
+                            },
+                            Some(other) => s.push(other),
+                        }
+                    }
+                    self.push(start, TokenKind::Str(s));
+                }
+                '{' => {
+                    self.bump();
+                    self.push(start, TokenKind::LBrace);
+                }
+                '}' => {
+                    self.bump();
+                    self.push(start, TokenKind::RBrace);
+                }
+                '(' => {
+                    self.bump();
+                    self.push(start, TokenKind::LParen);
+                }
+                ')' => {
+                    self.bump();
+                    self.push(start, TokenKind::RParen);
+                }
+                '.' => {
+                    self.bump();
+                    self.push(start, TokenKind::Dot);
+                }
+                ',' => {
+                    self.bump();
+                    self.push(start, TokenKind::Comma);
+                }
+                ':' => {
+                    self.bump();
+                    self.push(start, TokenKind::Colon);
+                }
+                '|' => {
+                    self.bump();
+                    self.push(start, TokenKind::Pipe);
+                }
+                '*' => {
+                    self.bump();
+                    self.push(start, TokenKind::Star);
+                }
+                c if c.is_ascii_digit() || (c == '-' && matches!(self.peek2(), Some(d) if d.is_ascii_digit())) =>
+                {
+                    let neg = c == '-';
+                    if neg {
+                        self.bump();
+                    }
+                    let ds = self.pos;
+                    while matches!(self.peek(), Some(d) if d.is_ascii_digit()) {
+                        self.bump();
+                    }
+                    let text = &self.input[ds..self.pos];
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| XmasError::new(start, "integer literal out of range"))?;
+                    self.push(start, TokenKind::Int(if neg { -v } else { v }));
+                }
+                c if c.is_alphanumeric() || c == '_' || c == '-' => {
+                    let word = self.ident_text();
+                    let kind = match word.to_ascii_uppercase().as_str() {
+                        "CONSTRUCT" => TokenKind::Construct,
+                        "WHERE" => TokenKind::Where,
+                        "AND" => TokenKind::And,
+                        "IN" => TokenKind::In,
+                        _ if word == "_" => TokenKind::Underscore,
+                        _ => TokenKind::Ident(word),
+                    };
+                    self.push(start, kind);
+                }
+                other => {
+                    return Err(XmasError::new(start, format!("unexpected character `{other}`")));
+                }
+            }
+        }
+    }
+
+    fn ident_text(&mut self) -> String {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-') {
+            self.bump();
+        }
+        self.input[start..self.pos].to_string()
+    }
+
+    /// Lookahead: does the `<` at the cursor start a tag?
+    fn looks_like_tag(&self) -> bool {
+        let rest = &self.input[self.pos + 1..];
+        let mut chars = rest.chars();
+        match chars.next() {
+            Some('/') | Some('$') => true,
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                // `<ident>` is a tag only if an ident run is followed by `>`.
+                let rest2 = rest.trim_start_matches(|c: char| {
+                    c.is_alphanumeric() || c == '_' || c == '-'
+                });
+                rest2.starts_with('>')
+            }
+            _ => false,
+        }
+    }
+
+    fn lex_tag(&mut self, start: usize) -> Result<(), XmasError> {
+        self.bump(); // '<'
+        let closing = if self.peek() == Some('/') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let name = if self.peek() == Some('$') {
+            self.bump();
+            let n = self.ident_text();
+            if n.is_empty() {
+                return Err(XmasError::new(start, "expected a variable name after `<$`"));
+            }
+            Some(TagName::Var(n))
+        } else {
+            let n = self.ident_text();
+            if n.is_empty() {
+                if closing {
+                    None // `</>`
+                } else {
+                    return Err(XmasError::new(start, "expected a tag name"));
+                }
+            } else {
+                Some(TagName::Const(n))
+            }
+        };
+        if self.peek() != Some('>') {
+            return Err(XmasError::new(self.pos, "expected `>` to close the tag"));
+        }
+        self.bump();
+        if closing {
+            self.push(start, TokenKind::CloseTag(name));
+        } else {
+            // `<…>` open tags always carry a name.
+            let name = name.expect("open tags carry a name");
+            self.push(start, TokenKind::OpenTag(name));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tags_and_vars() {
+        assert_eq!(
+            kinds("<answer> $H </answer>"),
+            vec![
+                TokenKind::OpenTag(TagName::Const("answer".into())),
+                TokenKind::Dollar("H".into()),
+                TokenKind::CloseTag(Some(TagName::Const("answer".into()))),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn variable_tags_and_anonymous_close() {
+        assert_eq!(
+            kinds("<$L> x </>"),
+            vec![
+                TokenKind::OpenTag(TagName::Var("L".into())),
+                TokenKind::Ident("x".into()),
+                TokenKind::CloseTag(None),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_vs_tag_disambiguation() {
+        // `<` followed by a variable-with-int is an operator, not a tag.
+        assert_eq!(
+            kinds("$X < 5"),
+            vec![
+                TokenKind::Dollar("X".into()),
+                TokenKind::Op("<".into()),
+                TokenKind::Int(5),
+                TokenKind::Eof
+            ]
+        );
+        assert_eq!(
+            kinds("$X <= $Y"),
+            vec![
+                TokenKind::Dollar("X".into()),
+                TokenKind::Op("<=".into()),
+                TokenKind::Dollar("Y".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn percent_comments_are_skipped() {
+        let toks = kinds("CONSTRUCT % Construct the root element\n WHERE");
+        assert_eq!(toks, vec![TokenKind::Construct, TokenKind::Where, TokenKind::Eof]);
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            kinds("construct where and"),
+            vec![TokenKind::Construct, TokenKind::Where, TokenKind::And, TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn path_tokens() {
+        assert_eq!(
+            kinds("homes.home (a|b)*._"),
+            vec![
+                TokenKind::Ident("homes".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("home".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("a".into()),
+                TokenKind::Pipe,
+                TokenKind::Ident("b".into()),
+                TokenKind::RParen,
+                TokenKind::Star,
+                TokenKind::Dot,
+                TokenKind::Underscore,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_ints() {
+        assert_eq!(
+            kinds(r#"$X = "La Jolla" AND $Y != -42"#),
+            vec![
+                TokenKind::Dollar("X".into()),
+                TokenKind::Op("=".into()),
+                TokenKind::Str("La Jolla".into()),
+                TokenKind::And,
+                TokenKind::Dollar("Y".into()),
+                TokenKind::Op("!=".into()),
+                TokenKind::Int(-42),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn group_braces() {
+        assert_eq!(
+            kinds("{$H} {}"),
+            vec![
+                TokenKind::LBrace,
+                TokenKind::Dollar("H".into()),
+                TokenKind::RBrace,
+                TokenKind::LBrace,
+                TokenKind::RBrace,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(tokenize("$").is_err());
+        assert!(tokenize("\"abc").is_err());
+        assert!(tokenize("!x").is_err());
+        assert!(tokenize("#").is_err());
+    }
+}

@@ -1,0 +1,282 @@
+//! Thompson-construction NFAs for generalized path expressions.
+//!
+//! The lazy `getDescendants` operator matches a path expression while
+//! navigating *downwards only* (`d`/`r` commands), so it simulates the NFA
+//! along each root-to-node label sequence. [`StateSet`]s are small sorted
+//! vectors; the typical path has a handful of states.
+
+use crate::path::PathExpr;
+use mix_xml::Label;
+
+/// A set of NFA states, kept sorted and deduplicated.
+pub type StateSet = Vec<u32>;
+
+#[derive(Debug, Clone, Default)]
+struct State {
+    /// ε-transitions.
+    eps: Vec<u32>,
+    /// Label transitions: `(test, target)`.
+    trans: Vec<(StepTest, u32)>,
+}
+
+/// The test on one label step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum StepTest {
+    /// Matches exactly this label.
+    Label(String),
+    /// `_` — matches any label.
+    Any,
+}
+
+/// A compiled path-expression NFA.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    states: Vec<State>,
+    start: u32,
+    accept: u32,
+}
+
+impl Nfa {
+    /// Compile a path expression.
+    pub fn compile(expr: &PathExpr) -> Nfa {
+        let mut nfa = Nfa { states: Vec::new(), start: 0, accept: 0 };
+        let start = nfa.new_state();
+        let accept = nfa.new_state();
+        nfa.start = start;
+        nfa.accept = accept;
+        nfa.build(expr, start, accept);
+        nfa
+    }
+
+    fn new_state(&mut self) -> u32 {
+        let id = self.states.len() as u32;
+        self.states.push(State::default());
+        id
+    }
+
+    fn build(&mut self, expr: &PathExpr, from: u32, to: u32) {
+        match expr {
+            PathExpr::Label(l) => {
+                self.states[from as usize].trans.push((StepTest::Label(l.clone()), to));
+            }
+            PathExpr::Wildcard => {
+                self.states[from as usize].trans.push((StepTest::Any, to));
+            }
+            PathExpr::Seq(parts) => {
+                let mut cur = from;
+                for (i, p) in parts.iter().enumerate() {
+                    let next = if i + 1 == parts.len() { to } else { self.new_state() };
+                    self.build(p, cur, next);
+                    cur = next;
+                }
+                if parts.is_empty() {
+                    self.states[from as usize].eps.push(to);
+                }
+            }
+            PathExpr::Alt(parts) => {
+                for p in parts {
+                    self.build(p, from, to);
+                }
+            }
+            PathExpr::Star(inner) => {
+                let s = self.new_state();
+                self.states[from as usize].eps.push(s);
+                self.states[s as usize].eps.push(to);
+                let t = self.new_state();
+                self.build(inner, s, t);
+                self.states[t as usize].eps.push(s);
+            }
+        }
+    }
+
+    /// The ε-closed start state set.
+    pub fn start_set(&self) -> StateSet {
+        let mut set = vec![self.start];
+        self.close(&mut set);
+        set
+    }
+
+    /// Advance a state set over one label; returns the ε-closed result
+    /// (possibly empty — a dead end).
+    pub fn step(&self, set: &StateSet, label: &Label) -> StateSet {
+        let mut out: StateSet = Vec::new();
+        for &s in set {
+            for (test, target) in &self.states[s as usize].trans {
+                let hit = match test {
+                    StepTest::Any => true,
+                    StepTest::Label(l) => label.as_str() == l,
+                };
+                if hit && !out.contains(target) {
+                    out.push(*target);
+                }
+            }
+        }
+        self.close(&mut out);
+        out.sort_unstable();
+        out
+    }
+
+    /// ε-close a state set in place.
+    fn close(&self, set: &mut StateSet) {
+        let mut i = 0;
+        while i < set.len() {
+            let s = set[i];
+            for &e in &self.states[s as usize].eps {
+                if !set.contains(&e) {
+                    set.push(e);
+                }
+            }
+            i += 1;
+        }
+        set.sort_unstable();
+    }
+
+    /// True when the set contains the accepting state — the node reached by
+    /// the label sequence so far is a match.
+    pub fn is_accepting(&self, set: &StateSet) -> bool {
+        set.binary_search(&self.accept).is_ok()
+    }
+
+    /// True when at least one transition leaves the set — descending
+    /// further might still produce matches. The lazy `getDescendants`
+    /// prunes its DFS on `!can_continue`.
+    pub fn can_continue(&self, set: &StateSet) -> bool {
+        set.iter().any(|&s| !self.states[s as usize].trans.is_empty())
+    }
+
+    /// The set of labels that can advance this state set, or `None` when a
+    /// wildcard transition leaves it (any label advances). Used by the
+    /// lazy `getDescendants` to translate sibling scans into `select_φ`
+    /// commands when the navigation set `NC` provides them (§2).
+    pub fn label_frontier(&self, set: &StateSet) -> Option<Vec<String>> {
+        let mut labels: Vec<String> = Vec::new();
+        for &s in set {
+            for (test, _) in &self.states[s as usize].trans {
+                match test {
+                    StepTest::Any => return None,
+                    StepTest::Label(l) => {
+                        if !labels.contains(l) {
+                            labels.push(l.clone());
+                        }
+                    }
+                }
+            }
+        }
+        Some(labels)
+    }
+
+    /// Match a complete label sequence end to end.
+    pub fn matches(&self, labels: &[Label]) -> bool {
+        let mut set = self.start_set();
+        for l in labels {
+            set = self.step(&set, l);
+            if set.is_empty() {
+                return false;
+            }
+        }
+        self.is_accepting(&set)
+    }
+
+    /// Number of states (for plan cost heuristics / tests).
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::parse_path;
+
+    fn nfa(s: &str) -> Nfa {
+        Nfa::compile(&parse_path(s).unwrap())
+    }
+
+    fn labels(words: &[&str]) -> Vec<Label> {
+        words.iter().map(Label::new).collect()
+    }
+
+    #[test]
+    fn single_label() {
+        let n = nfa("home");
+        assert!(n.matches(&labels(&["home"])));
+        assert!(!n.matches(&labels(&["school"])));
+        assert!(!n.matches(&labels(&[])));
+        assert!(!n.matches(&labels(&["home", "home"])));
+    }
+
+    #[test]
+    fn sequence_matches_paper_paths() {
+        let n = nfa("homes.home");
+        assert!(n.matches(&labels(&["homes", "home"])));
+        assert!(!n.matches(&labels(&["homes"])));
+        let z = nfa("zip._");
+        assert!(z.matches(&labels(&["zip", "91220"])));
+        assert!(z.matches(&labels(&["zip", "anything"])));
+        assert!(!z.matches(&labels(&["zap", "91220"])));
+    }
+
+    #[test]
+    fn alternation() {
+        let n = nfa("home|apartment");
+        assert!(n.matches(&labels(&["home"])));
+        assert!(n.matches(&labels(&["apartment"])));
+        assert!(!n.matches(&labels(&["condo"])));
+    }
+
+    #[test]
+    fn star_zero_or_more() {
+        let n = nfa("section*.title");
+        assert!(n.matches(&labels(&["title"])));
+        assert!(n.matches(&labels(&["section", "title"])));
+        assert!(n.matches(&labels(&["section", "section", "section", "title"])));
+        assert!(!n.matches(&labels(&["section", "section"])));
+    }
+
+    #[test]
+    fn star_of_alternation() {
+        let n = nfa("(a|b)*.c");
+        assert!(n.matches(&labels(&["c"])));
+        assert!(n.matches(&labels(&["a", "b", "a", "c"])));
+        assert!(!n.matches(&labels(&["a", "x", "c"])));
+    }
+
+    #[test]
+    fn incremental_stepping_and_pruning() {
+        let n = nfa("homes.home");
+        let s0 = n.start_set();
+        assert!(!n.is_accepting(&s0));
+        assert!(n.can_continue(&s0));
+
+        let s1 = n.step(&s0, &Label::new("homes"));
+        assert!(!s1.is_empty());
+        assert!(!n.is_accepting(&s1));
+        assert!(n.can_continue(&s1));
+
+        let s2 = n.step(&s1, &Label::new("home"));
+        assert!(n.is_accepting(&s2));
+        // Accepting state of a fixed path has no outgoing transitions:
+        // DFS below the match is pruned.
+        assert!(!n.can_continue(&s2));
+
+        let dead = n.step(&s0, &Label::new("schools"));
+        assert!(dead.is_empty());
+    }
+
+    #[test]
+    fn recursive_path_keeps_continuing() {
+        let n = nfa("part*");
+        let s0 = n.start_set();
+        assert!(n.is_accepting(&s0)); // zero repetitions: start matches
+        let s1 = n.step(&s0, &Label::new("part"));
+        assert!(n.is_accepting(&s1));
+        assert!(n.can_continue(&s1)); // could descend further
+    }
+
+    #[test]
+    fn wildcard_star_matches_everything_nonempty_or_empty() {
+        let n = nfa("_*");
+        assert!(n.matches(&labels(&[])));
+        assert!(n.matches(&labels(&["a", "b", "c"])));
+    }
+}

@@ -1,0 +1,648 @@
+//! Recursive-descent parser for XMAS queries.
+
+use crate::ast::{CmpOp, Condition, HeadElem, HeadItem, LabelSpec, Operand, Query, Var};
+use crate::lexer::{tokenize, TagName, Token, TokenKind};
+use crate::path::{parse_path, PathExpr};
+use crate::XmasError;
+
+/// Parse a complete XMAS query (`CONSTRUCT … WHERE …`).
+pub fn parse_query(input: &str) -> Result<Query, XmasError> {
+    let tokens = tokenize(input)?;
+    let mut p = QueryParser { tokens, pos: 0 };
+    p.expect(&TokenKind::Construct)?;
+    let head = p.elem()?;
+    p.expect(&TokenKind::Where)?;
+    let mut body = p.condition()?;
+    while p.eat(&TokenKind::And) {
+        body.extend(p.condition()?);
+    }
+    p.expect(&TokenKind::Eof)?;
+    Ok(Query { head, body })
+}
+
+struct QueryParser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl QueryParser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), XmasError> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(XmasError::new(
+                self.offset(),
+                format!("expected {kind:?}, found {:?}", self.peek()),
+            ))
+        }
+    }
+
+    /// `<tag> item* </tag> {group}` — the group annotation is optional and
+    /// defaults to `{}` (create exactly one instance).
+    fn elem(&mut self) -> Result<HeadElem, XmasError> {
+        let off = self.offset();
+        let open = match self.bump() {
+            TokenKind::OpenTag(name) => name,
+            other => {
+                return Err(XmasError::new(off, format!("expected an open tag, found {other:?}")))
+            }
+        };
+        let label = match &open {
+            TagName::Const(s) => LabelSpec::Const(s.clone()),
+            TagName::Var(v) => LabelSpec::Var(Var::new(v.clone())),
+        };
+        let mut children = Vec::new();
+        loop {
+            match self.peek() {
+                TokenKind::CloseTag(close) => {
+                    // Validate tag matching; `</>` closes anything.
+                    if let Some(c) = close {
+                        if *c != open {
+                            return Err(XmasError::new(
+                                self.offset(),
+                                format!("mismatched close tag: <{open:?}> closed by {c:?}"),
+                            ));
+                        }
+                    }
+                    self.bump();
+                    break;
+                }
+                TokenKind::OpenTag(_) => children.push(HeadItem::Elem(self.elem()?)),
+                TokenKind::Dollar(name) => {
+                    let var = Var::new(name.clone());
+                    self.bump();
+                    if self.peek() == &TokenKind::LBrace {
+                        let group = self.group()?;
+                        if group.len() != 1 || group[0] != var {
+                            return Err(XmasError::new(
+                                self.offset(),
+                                format!(
+                                    "a collected variable's annotation must repeat it: \
+                                     expected {var} {{{var}}}"
+                                ),
+                            ));
+                        }
+                        children.push(HeadItem::Collect(var));
+                    } else {
+                        children.push(HeadItem::Single(var));
+                    }
+                }
+                TokenKind::Str(s) => {
+                    children.push(HeadItem::Text(s.clone()));
+                    self.bump();
+                }
+                TokenKind::Ident(s) => {
+                    // Bare words inside an element are literal text
+                    // (XMAS heads in the paper contain only tags and
+                    // variables, but literals are convenient).
+                    children.push(HeadItem::Text(s.clone()));
+                    self.bump();
+                }
+                other => {
+                    return Err(XmasError::new(
+                        self.offset(),
+                        format!("unexpected {other:?} in element content"),
+                    ))
+                }
+            }
+        }
+        let group = if self.peek() == &TokenKind::LBrace { self.group()? } else { Vec::new() };
+        Ok(HeadElem { label, children, group })
+    }
+
+    /// `{}` or `{$A}` or `{$A,$B}`.
+    fn group(&mut self) -> Result<Vec<Var>, XmasError> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut vars = Vec::new();
+        if self.eat(&TokenKind::RBrace) {
+            return Ok(vars);
+        }
+        loop {
+            match self.bump() {
+                TokenKind::Dollar(name) => vars.push(Var::new(name)),
+                other => {
+                    return Err(XmasError::new(
+                        self.offset(),
+                        format!("expected a variable in group annotation, found {other:?}"),
+                    ))
+                }
+            }
+            if self.eat(&TokenKind::RBrace) {
+                return Ok(vars);
+            }
+            self.expect(&TokenKind::Comma)?;
+        }
+    }
+
+    /// One surface condition; tree patterns desugar into several
+    /// path conditions, hence the `Vec`.
+    fn condition(&mut self) -> Result<Vec<Condition>, XmasError> {
+        let off = self.offset();
+        // Tree-pattern conditions start with a tag (footnote 6):
+        // `<homes> $H: <home> <zip>$V1</zip> </home> </homes> IN homesSrc`.
+        if matches!(self.peek(), TokenKind::OpenTag(_)) {
+            return self.pattern_condition();
+        }
+        match self.bump() {
+            // `source path $V`
+            TokenKind::Ident(source) => {
+                let path = self.path()?;
+                let var = self.dollar()?;
+                Ok(vec![Condition::SourcePath { source, path, var }])
+            }
+            // `$X path $V`  or  `$X op operand`
+            TokenKind::Dollar(from) => {
+                let from = Var::new(from);
+                if let TokenKind::Op(op) = self.peek().clone() {
+                    self.bump();
+                    let right = self.operand()?;
+                    Ok(vec![Condition::Cmp {
+                        left: Operand::Var(from),
+                        op: parse_cmp(&op, off)?,
+                        right,
+                    }])
+                } else {
+                    let path = self.path()?;
+                    let var = self.dollar()?;
+                    Ok(vec![Condition::VarPath { from, path, var }])
+                }
+            }
+            // literal op operand (rare but legal)
+            TokenKind::Str(s) => {
+                let op = self.op()?;
+                let right = self.operand()?;
+                Ok(vec![Condition::Cmp { left: Operand::Str(s), op, right }])
+            }
+            TokenKind::Int(i) => {
+                let op = self.op()?;
+                let right = self.operand()?;
+                Ok(vec![Condition::Cmp { left: Operand::Int(i), op, right }])
+            }
+            other => Err(XmasError::new(off, format!("expected a condition, found {other:?}"))),
+        }
+    }
+
+    /// Tree-pattern condition (footnote 6): parse the pattern, expect
+    /// `IN source`, and desugar into the equivalent path conditions —
+    /// the paper states the equivalence explicitly for the Fig. 3 query.
+    fn pattern_condition(&mut self) -> Result<Vec<Condition>, XmasError> {
+        let pattern = self.pattern_elem()?;
+        self.expect(&TokenKind::In)?;
+        let off = self.offset();
+        let source = match self.bump() {
+            TokenKind::Ident(s) => s,
+            other => {
+                return Err(XmasError::new(
+                    off,
+                    format!("expected a source name after IN, found {other:?}"),
+                ))
+            }
+        };
+        let mut out = Vec::new();
+        // The outermost pattern element matches the source's root element,
+        // so item paths start with its label.
+        desugar_pattern(
+            &pattern,
+            Anchor::Source(source),
+            vec![pattern.label.clone()],
+            &mut out,
+        )?;
+        if out.is_empty() {
+            return Err(XmasError::new(
+                off,
+                "a tree pattern must bind at least one variable",
+            ));
+        }
+        Ok(out)
+    }
+
+    /// `<name> pitem* </name>` with pitems: `$X:` ⟨pattern⟩, nested
+    /// patterns, or a bare `$X` (binds any child of the enclosing
+    /// element).
+    fn pattern_elem(&mut self) -> Result<PatternElem, XmasError> {
+        let off = self.offset();
+        let open = match self.bump() {
+            TokenKind::OpenTag(TagName::Const(name)) => name,
+            other => {
+                return Err(XmasError::new(
+                    off,
+                    format!("tree patterns use constant tags, found {other:?}"),
+                ))
+            }
+        };
+        let mut items = Vec::new();
+        loop {
+            match self.peek().clone() {
+                TokenKind::CloseTag(close) => {
+                    if let Some(TagName::Const(c)) = &close {
+                        if *c != open {
+                            return Err(XmasError::new(
+                                self.offset(),
+                                format!("mismatched pattern tags <{open}> … </{c}>"),
+                            ));
+                        }
+                    }
+                    self.bump();
+                    break;
+                }
+                TokenKind::Dollar(name) => {
+                    self.bump();
+                    // `$X :` binds the next nested pattern's element;
+                    // a bare `$X` binds any child.
+                    if self.eat(&TokenKind::Colon) {
+                        let inner = self.pattern_elem()?;
+                        items.push(PatternItem::Bound(Var::new(name), inner));
+                    } else {
+                        items.push(PatternItem::AnyChild(Var::new(name)));
+                    }
+                }
+                TokenKind::OpenTag(_) => {
+                    let inner = self.pattern_elem()?;
+                    items.push(PatternItem::Unbound(inner));
+                }
+                other => {
+                    return Err(XmasError::new(
+                        self.offset(),
+                        format!("unexpected {other:?} inside a tree pattern"),
+                    ))
+                }
+            }
+        }
+        Ok(PatternElem { label: open, items })
+    }
+
+    fn dollar(&mut self) -> Result<Var, XmasError> {
+        let off = self.offset();
+        match self.bump() {
+            TokenKind::Dollar(name) => Ok(Var::new(name)),
+            other => Err(XmasError::new(off, format!("expected a variable, found {other:?}"))),
+        }
+    }
+
+    fn op(&mut self) -> Result<CmpOp, XmasError> {
+        let off = self.offset();
+        match self.bump() {
+            TokenKind::Op(op) => parse_cmp(&op, off),
+            other => {
+                Err(XmasError::new(off, format!("expected a comparison operator, found {other:?}")))
+            }
+        }
+    }
+
+    fn operand(&mut self) -> Result<Operand, XmasError> {
+        let off = self.offset();
+        match self.bump() {
+            TokenKind::Dollar(name) => Ok(Operand::Var(Var::new(name))),
+            TokenKind::Str(s) => Ok(Operand::Str(s)),
+            TokenKind::Int(i) => Ok(Operand::Int(i)),
+            other => Err(XmasError::new(off, format!("expected an operand, found {other:?}"))),
+        }
+    }
+
+    /// Collect the tokens of a path expression and delegate to the
+    /// dedicated path parser, so both surfaces share one grammar.
+    fn path(&mut self) -> Result<PathExpr, XmasError> {
+        let off = self.offset();
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                TokenKind::Ident(s) => text.push_str(s),
+                TokenKind::Underscore => text.push('_'),
+                TokenKind::Dot => text.push('.'),
+                TokenKind::Pipe => text.push('|'),
+                TokenKind::Star => text.push('*'),
+                TokenKind::LParen => text.push('('),
+                TokenKind::RParen => text.push(')'),
+                TokenKind::Int(i) => text.push_str(&i.to_string()),
+                _ => break,
+            }
+            self.bump();
+        }
+        if text.is_empty() {
+            return Err(XmasError::new(off, "expected a path expression"));
+        }
+        parse_path(&text).map_err(|e| XmasError::new(off, e.message))
+    }
+}
+
+/// A parsed tree pattern (footnote 6).
+struct PatternElem {
+    label: String,
+    items: Vec<PatternItem>,
+}
+
+enum PatternItem {
+    /// `$X: <elem>…</elem>` — binds the matched element.
+    Bound(Var, PatternElem),
+    /// `<elem>…</elem>` — structural constraint without a binder.
+    Unbound(PatternElem),
+    /// `$X` — binds any child of the enclosing element.
+    AnyChild(Var),
+}
+
+/// Where a pattern element is matched from: the source root, or an
+/// already-bound variable.
+enum Anchor {
+    Source(String),
+    Var(Var),
+}
+
+/// Desugar a pattern into path conditions. `steps` is the label path
+/// from the anchor down to element `e` (empty when `e` is the anchor's
+/// own bound element); each item of `e` lives at `steps + [child…]`.
+fn desugar_pattern(
+    e: &PatternElem,
+    anchor: Anchor,
+    steps: Vec<String>,
+    out: &mut Vec<Condition>,
+) -> Result<(), XmasError> {
+    fn path_of(parts: Vec<PathExpr>) -> PathExpr {
+        if parts.len() == 1 {
+            parts.into_iter().next().expect("one part")
+        } else {
+            PathExpr::Seq(parts)
+        }
+    }
+    fn emit(out: &mut Vec<Condition>, anchor: &Anchor, path: PathExpr, var: Var) {
+        match anchor {
+            Anchor::Source(s) => {
+                out.push(Condition::SourcePath { source: s.clone(), path, var })
+            }
+            Anchor::Var(v) => out.push(Condition::VarPath { from: v.clone(), path, var }),
+        }
+    }
+
+    for item in &e.items {
+        match item {
+            PatternItem::AnyChild(v) => {
+                let mut parts: Vec<PathExpr> =
+                    steps.iter().cloned().map(PathExpr::Label).collect();
+                parts.push(PathExpr::Wildcard);
+                emit(out, &anchor, path_of(parts), v.clone());
+            }
+            PatternItem::Bound(v, inner) => {
+                let mut parts: Vec<PathExpr> =
+                    steps.iter().cloned().map(PathExpr::Label).collect();
+                parts.push(PathExpr::Label(inner.label.clone()));
+                emit(out, &anchor, path_of(parts), v.clone());
+                // The bound element becomes the anchor for its own items.
+                desugar_pattern(inner, Anchor::Var(v.clone()), Vec::new(), out)?;
+            }
+            PatternItem::Unbound(inner) => {
+                let mut next = steps.clone();
+                next.push(inner.label.clone());
+                let anchor2 = match &anchor {
+                    Anchor::Source(s) => Anchor::Source(s.clone()),
+                    Anchor::Var(v) => Anchor::Var(v.clone()),
+                };
+                desugar_pattern(inner, anchor2, next, out)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn parse_cmp(op: &str, off: usize) -> Result<CmpOp, XmasError> {
+    Ok(match op {
+        "=" => CmpOp::Eq,
+        "!=" => CmpOp::Ne,
+        "<" => CmpOp::Lt,
+        "<=" => CmpOp::Le,
+        ">" => CmpOp::Gt,
+        ">=" => CmpOp::Ge,
+        other => return Err(XmasError::new(off, format!("unknown operator `{other}`"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 3, including its `%` comments.
+    const FIG3: &str = r#"
+CONSTRUCT <answer>                      % Construct the root element containing ...
+            <med_home> $H               % ... med_home elements followed by
+              $S {$S}                   % ... school elements (one for each $S)
+            </med_home> {$H}            % (one med_home element for each $H)
+          </answer> {}                  % create one answer element (= for each {})
+WHERE homesSrc homes.home $H AND $H zip._ $V1   % get home elements $H and their zip code $V1
+  AND schoolsSrc schools.school $S AND $S zip._ $V2 % ... similarly for schools
+  AND $V1 = $V2                         % ... join on the zip code
+"#;
+
+    #[test]
+    fn parses_figure_3_verbatim() {
+        let q = parse_query(FIG3).unwrap();
+
+        // Head: <answer> … </answer> {}
+        assert_eq!(q.head.label, LabelSpec::Const("answer".into()));
+        assert_eq!(q.head.group, Vec::<Var>::new());
+        assert_eq!(q.head.children.len(), 1);
+        let HeadItem::Elem(med) = &q.head.children[0] else {
+            panic!("expected nested med_home element");
+        };
+        assert_eq!(med.label, LabelSpec::Const("med_home".into()));
+        assert_eq!(med.group, vec![Var::new("H")]);
+        assert_eq!(
+            med.children,
+            vec![HeadItem::Single(Var::new("H")), HeadItem::Collect(Var::new("S"))]
+        );
+
+        // Body: five conditions.
+        assert_eq!(q.body.len(), 5);
+        assert_eq!(
+            q.body[0],
+            Condition::SourcePath {
+                source: "homesSrc".into(),
+                path: parse_path("homes.home").unwrap(),
+                var: Var::new("H"),
+            }
+        );
+        assert_eq!(
+            q.body[1],
+            Condition::VarPath {
+                from: Var::new("H"),
+                path: parse_path("zip._").unwrap(),
+                var: Var::new("V1"),
+            }
+        );
+        assert_eq!(
+            q.body[4],
+            Condition::Cmp {
+                left: Operand::Var(Var::new("V1")),
+                op: CmpOp::Eq,
+                right: Operand::Var(Var::new("V2")),
+            }
+        );
+    }
+
+    #[test]
+    fn literal_comparisons() {
+        let q = parse_query(
+            r#"CONSTRUCT <r> $X </r> {} WHERE s a.b $X AND $X = "La Jolla" AND $X != 7"#,
+        )
+        .unwrap();
+        assert_eq!(q.body.len(), 3);
+        assert!(matches!(
+            &q.body[1],
+            Condition::Cmp { op: CmpOp::Eq, right: Operand::Str(s), .. } if s == "La Jolla"
+        ));
+        assert!(matches!(
+            &q.body[2],
+            Condition::Cmp { op: CmpOp::Ne, right: Operand::Int(7), .. }
+        ));
+    }
+
+    #[test]
+    fn numeric_comparison_operators() {
+        for (src, op) in [
+            ("$X < 5", CmpOp::Lt),
+            ("$X <= 5", CmpOp::Le),
+            ("$X > 5", CmpOp::Gt),
+            ("$X >= 5", CmpOp::Ge),
+        ] {
+            let q =
+                parse_query(&format!("CONSTRUCT <r> $X </r> {{}} WHERE s p $X AND {src}")).unwrap();
+            assert!(
+                matches!(&q.body[1], Condition::Cmp { op: o, .. } if *o == op),
+                "operator in {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn variable_label_tags() {
+        let q = parse_query("CONSTRUCT <$L> $X </> {} WHERE s p.q $X AND $X t $L").unwrap();
+        assert_eq!(q.head.label, LabelSpec::Var(Var::new("L")));
+    }
+
+    #[test]
+    fn recursive_paths_in_body() {
+        let q = parse_query("CONSTRUCT <r> $X {$X} </r> {} WHERE s part*.name $X").unwrap();
+        let Condition::SourcePath { path, .. } = &q.body[0] else { panic!() };
+        assert!(path.is_recursive());
+        assert_eq!(path.to_string(), "part*.name");
+    }
+
+    #[test]
+    fn group_annotation_with_multiple_vars() {
+        let q = parse_query("CONSTRUCT <r> $X </r> {$X,$Y} WHERE s p $X AND $X q $Y").unwrap();
+        assert_eq!(q.head.group, vec![Var::new("X"), Var::new("Y")]);
+    }
+
+    #[test]
+    fn parse_errors() {
+        // Missing WHERE.
+        assert!(parse_query("CONSTRUCT <a> </a> {}").is_err());
+        // Mismatched tags.
+        assert!(parse_query("CONSTRUCT <a> </b> {} WHERE s p $X").is_err());
+        // Collect annotation not repeating the variable.
+        assert!(parse_query("CONSTRUCT <a> $X {$Y} </a> {} WHERE s p $X AND s p $Y").is_err());
+        // Condition missing its variable.
+        assert!(parse_query("CONSTRUCT <a> </a> {} WHERE s p.q").is_err());
+        // Garbage after the query.
+        assert!(parse_query("CONSTRUCT <a> </a> {} WHERE s p $X extra junk $Y $Z").is_err());
+    }
+
+    #[test]
+    fn tree_pattern_of_footnote_6_desugars_to_path_conditions() {
+        // "<homes> $H: <home> <zip>$V1</zip> </home> </homes> IN homesSrc
+        //  is the equivalent of the first line in the WHERE clause".
+        let pattern = parse_query(
+            "CONSTRUCT <r> $H {$H} </r> {} WHERE \
+             <homes> $H: <home> <zip> $V1 </zip> </home> </homes> IN homesSrc",
+        )
+        .unwrap();
+        let paths = parse_query(
+            "CONSTRUCT <r> $H {$H} </r> {} WHERE homesSrc homes.home $H AND $H zip._ $V1",
+        )
+        .unwrap();
+        assert_eq!(pattern.body, paths.body);
+    }
+
+    #[test]
+    fn tree_pattern_full_figure_3_equivalence() {
+        let pattern = parse_query(
+            "CONSTRUCT <answer> <med_home> $H $S {$S} </med_home> {$H} </answer> {} \
+             WHERE <homes> $H: <home> <zip> $V1 </zip> </home> </homes> IN homesSrc \
+               AND <schools> $S: <school> <zip> $V2 </zip> </school> </schools> IN schoolsSrc \
+               AND $V1 = $V2",
+        )
+        .unwrap();
+        let paths = parse_query(
+            "CONSTRUCT <answer> <med_home> $H $S {$S} </med_home> {$H} </answer> {} \
+             WHERE homesSrc homes.home $H AND $H zip._ $V1 \
+               AND schoolsSrc schools.school $S AND $S zip._ $V2 AND $V1 = $V2",
+        )
+        .unwrap();
+        assert_eq!(pattern, paths);
+    }
+
+    #[test]
+    fn tree_pattern_unbound_intermediate_elements() {
+        // Unbound elements just extend the path.
+        let pattern = parse_query(
+            "CONSTRUCT <r> $N {$N} </r> {} WHERE \
+             <site> <people> $P: <person> <name> $N </name> </person> </people> </site> IN db",
+        )
+        .unwrap();
+        let paths = parse_query(
+            "CONSTRUCT <r> $N {$N} </r> {} \
+             WHERE db site.people.person $P AND $P name._ $N",
+        )
+        .unwrap();
+        assert_eq!(pattern.body, paths.body);
+    }
+
+    #[test]
+    fn tree_pattern_errors() {
+        // Must bind something.
+        assert!(parse_query(
+            "CONSTRUCT <r> $X {$X} </r> {} WHERE <a> <b> </b> </a> IN src AND src c $X"
+        )
+        .is_err());
+        // Mismatched tags.
+        assert!(parse_query(
+            "CONSTRUCT <r> $X {$X} </r> {} WHERE <a> $X: <b> </c> </a> IN src"
+        )
+        .is_err());
+        // Missing IN.
+        assert!(parse_query(
+            "CONSTRUCT <r> $X {$X} </r> {} WHERE <a> $X: <b> </b> </a> src"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn numeric_path_steps() {
+        // Labels may be numeric (e.g. row numbers exported by wrappers).
+        let q = parse_query("CONSTRUCT <r> $X </r> {} WHERE s table.5 $X").unwrap();
+        let Condition::SourcePath { path, .. } = &q.body[0] else { panic!() };
+        assert_eq!(path.to_string(), "table.5");
+    }
+}

@@ -1,0 +1,348 @@
+//! Generalized path expressions.
+//!
+//! The body of a XMAS query binds variables by matching *generalized path
+//! expressions* against documents, "as in Lorel" (§3): sequences of label
+//! steps combined with the usual regular operators — `.` (concatenation),
+//! `|` (alternation), `*` (Kleene star) — where `_` matches any label
+//! (Fig. 4 uses `zip._` to reach the atomic content below a `zip`
+//! element).
+//!
+//! Grammar (whitespace-free; parsed either standalone or inside a query):
+//!
+//! ```text
+//! path   ::= alt
+//! alt    ::= seq ('|' seq)*
+//! seq    ::= rep ('.' rep)*
+//! rep    ::= atom '*'?
+//! atom   ::= label | '_' | '(' alt ')'
+//! label  ::= [A-Za-z0-9_-]+      (a bare `_` alone is the wildcard)
+//! ```
+//!
+//! A path is matched against the *sequence of labels* on the way down from
+//! (but excluding) the start node; the node reached by the last step is the
+//! extracted descendant.
+
+use crate::XmasError;
+use std::fmt;
+
+/// A generalized path expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathExpr {
+    /// A single label step, e.g. `home`.
+    Label(String),
+    /// The wildcard step `_` (matches any label).
+    Wildcard,
+    /// Concatenation `a.b`.
+    Seq(Vec<PathExpr>),
+    /// Alternation `a|b`.
+    Alt(Vec<PathExpr>),
+    /// Kleene star `a*` (zero or more repetitions).
+    Star(Box<PathExpr>),
+}
+
+impl PathExpr {
+    /// Concatenate two paths.
+    pub fn then(self, other: PathExpr) -> PathExpr {
+        match self {
+            PathExpr::Seq(mut v) => {
+                v.push(other);
+                PathExpr::Seq(v)
+            }
+            first => PathExpr::Seq(vec![first, other]),
+        }
+    }
+
+    /// True if the expression contains a star — such paths are *recursive*
+    /// and make the lazy `getDescendants` operator cache visited input
+    /// nodes (§3: "when the getDescendants operator has a recursive
+    /// regular path expression as a parameter it stores a part of the
+    /// already visited input").
+    pub fn is_recursive(&self) -> bool {
+        match self {
+            PathExpr::Label(_) | PathExpr::Wildcard => false,
+            PathExpr::Seq(v) | PathExpr::Alt(v) => v.iter().any(PathExpr::is_recursive),
+            PathExpr::Star(_) => true,
+        }
+    }
+
+    /// True if every step is a plain label or wildcard chained by `.` —
+    /// i.e. the path has a fixed depth. Fixed-depth, label-selective steps
+    /// are exactly the ones the `select_φ` navigation command makes
+    /// bounded (§2).
+    pub fn is_fixed_depth(&self) -> bool {
+        self.depth_range().1.is_some()
+    }
+
+    /// (min, max) number of steps; `max = None` when unbounded (a star).
+    pub fn depth_range(&self) -> (usize, Option<usize>) {
+        match self {
+            PathExpr::Label(_) | PathExpr::Wildcard => (1, Some(1)),
+            PathExpr::Seq(v) => v.iter().fold((0, Some(0)), |(lo, hi), p| {
+                let (plo, phi) = p.depth_range();
+                (lo + plo, hi.zip(phi).map(|(a, b)| a + b))
+            }),
+            PathExpr::Alt(v) => {
+                let mut lo = usize::MAX;
+                let mut hi = Some(0);
+                for p in v {
+                    let (plo, phi) = p.depth_range();
+                    lo = lo.min(plo);
+                    hi = hi.zip(phi).map(|(a, b)| a.max(b));
+                }
+                (if lo == usize::MAX { 0 } else { lo }, hi)
+            }
+            PathExpr::Star(_) => (0, None),
+        }
+    }
+}
+
+impl fmt::Display for PathExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn prec(p: &PathExpr) -> u8 {
+            match p {
+                PathExpr::Alt(_) => 0,
+                PathExpr::Seq(_) => 1,
+                PathExpr::Star(_) => 2,
+                PathExpr::Label(_) | PathExpr::Wildcard => 3,
+            }
+        }
+        fn go(p: &PathExpr, parent: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            let mine = prec(p);
+            let need_parens = mine < parent;
+            if need_parens {
+                write!(f, "(")?;
+            }
+            match p {
+                PathExpr::Label(l) => write!(f, "{l}")?,
+                PathExpr::Wildcard => write!(f, "_")?,
+                PathExpr::Seq(v) => {
+                    for (i, q) in v.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ".")?;
+                        }
+                        go(q, 1, f)?;
+                    }
+                }
+                PathExpr::Alt(v) => {
+                    for (i, q) in v.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, "|")?;
+                        }
+                        go(q, 0, f)?;
+                    }
+                }
+                PathExpr::Star(inner) => {
+                    go(inner, 3, f)?;
+                    write!(f, "*")?;
+                }
+            }
+            if need_parens {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        go(self, 0, f)
+    }
+}
+
+/// Parse a path expression from text (e.g. `homes.home`, `zip._`,
+/// `(a|b)*.c`).
+pub fn parse_path(input: &str) -> Result<PathExpr, XmasError> {
+    let mut p = PathParser { input, pos: 0 };
+    p.skip_ws();
+    let e = p.alt()?;
+    p.skip_ws();
+    if p.pos != p.input.len() {
+        return Err(XmasError::new(p.pos, "trailing input after path expression"));
+    }
+    Ok(e)
+}
+
+struct PathParser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> PathParser<'a> {
+    fn peek(&self) -> Option<char> {
+        self.input[self.pos..].chars().next()
+    }
+
+    fn bump(&mut self) {
+        if let Some(c) = self.peek() {
+            self.pos += c.len_utf8();
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn alt(&mut self) -> Result<PathExpr, XmasError> {
+        let mut parts = vec![self.seq()?];
+        loop {
+            self.skip_ws();
+            if self.peek() == Some('|') {
+                self.bump();
+                self.skip_ws();
+                parts.push(self.seq()?);
+            } else {
+                break;
+            }
+        }
+        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { PathExpr::Alt(parts) })
+    }
+
+    fn seq(&mut self) -> Result<PathExpr, XmasError> {
+        let mut parts = vec![self.rep()?];
+        loop {
+            self.skip_ws();
+            if self.peek() == Some('.') {
+                self.bump();
+                self.skip_ws();
+                parts.push(self.rep()?);
+            } else {
+                break;
+            }
+        }
+        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { PathExpr::Seq(parts) })
+    }
+
+    fn rep(&mut self) -> Result<PathExpr, XmasError> {
+        let mut e = self.atom()?;
+        loop {
+            self.skip_ws();
+            if self.peek() == Some('*') {
+                self.bump();
+                e = PathExpr::Star(Box::new(e));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<PathExpr, XmasError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('(') => {
+                self.bump();
+                let e = self.alt()?;
+                self.skip_ws();
+                if self.peek() != Some(')') {
+                    return Err(XmasError::new(self.pos, "expected ')' in path expression"));
+                }
+                self.bump();
+                Ok(e)
+            }
+            Some(c) if c.is_alphanumeric() || c == '_' || c == '-' => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-')
+                {
+                    self.bump();
+                }
+                let word = &self.input[start..self.pos];
+                if word == "_" {
+                    Ok(PathExpr::Wildcard)
+                } else {
+                    Ok(PathExpr::Label(word.to_string()))
+                }
+            }
+            _ => Err(XmasError::new(self.pos, "expected a path step")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> PathExpr {
+        parse_path(s).unwrap()
+    }
+
+    #[test]
+    fn simple_paths_from_the_paper() {
+        assert_eq!(
+            p("homes.home"),
+            PathExpr::Seq(vec![
+                PathExpr::Label("homes".into()),
+                PathExpr::Label("home".into())
+            ])
+        );
+        assert_eq!(
+            p("zip._"),
+            PathExpr::Seq(vec![PathExpr::Label("zip".into()), PathExpr::Wildcard])
+        );
+    }
+
+    #[test]
+    fn regular_operators() {
+        let e = p("(a|b)*.c");
+        assert_eq!(
+            e,
+            PathExpr::Seq(vec![
+                PathExpr::Star(Box::new(PathExpr::Alt(vec![
+                    PathExpr::Label("a".into()),
+                    PathExpr::Label("b".into())
+                ]))),
+                PathExpr::Label("c".into())
+            ])
+        );
+        assert!(e.is_recursive());
+        assert!(!p("a.b|c").is_recursive());
+    }
+
+    #[test]
+    fn alternation_binds_loosest() {
+        // a.b|c = (a.b)|c
+        assert_eq!(
+            p("a.b|c"),
+            PathExpr::Alt(vec![
+                PathExpr::Seq(vec![PathExpr::Label("a".into()), PathExpr::Label("b".into())]),
+                PathExpr::Label("c".into())
+            ])
+        );
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for s in ["a", "_", "a.b", "a.b.c", "a|b", "(a|b)*.c", "a.(b|c)", "a*", "(a.b)*"] {
+            let e = p(s);
+            assert_eq!(p(&e.to_string()), e, "roundtrip via {}", e);
+        }
+    }
+
+    #[test]
+    fn depth_ranges() {
+        assert_eq!(p("a.b").depth_range(), (2, Some(2)));
+        assert_eq!(p("a|b.c").depth_range(), (1, Some(2)));
+        assert_eq!(p("a*").depth_range(), (0, None));
+        assert_eq!(p("a.b*").depth_range(), (1, None));
+        assert!(p("a.b").is_fixed_depth());
+        assert!(!p("a.b*").is_fixed_depth());
+    }
+
+    #[test]
+    fn underscore_prefixed_names_are_labels() {
+        // `_x` is a label, only a lone `_` is the wildcard.
+        assert_eq!(p("_x"), PathExpr::Label("_x".into()));
+        assert_eq!(p("_"), PathExpr::Wildcard);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_path("").is_err());
+        assert!(parse_path("a.").is_err());
+        assert!(parse_path("(a").is_err());
+        assert!(parse_path("a||b").is_err());
+        assert!(parse_path("a b").is_err());
+    }
+
+    #[test]
+    fn then_concatenates() {
+        let e = p("a").then(p("b")).then(p("c"));
+        assert_eq!(e, p("a.b.c"));
+    }
+}

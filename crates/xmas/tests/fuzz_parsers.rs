@@ -1,0 +1,31 @@
+//! Parser robustness: arbitrary printable input must produce `Ok` or a
+//! positioned error — never a panic — for every surface parser.
+
+use mix_xmas::{parse_path, parse_query};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn query_parser_never_panics(s in "[ -~\\n\\t]{0,200}") {
+        let _ = parse_query(&s);
+    }
+
+    #[test]
+    fn path_parser_never_panics(s in "[ -~]{0,80}") {
+        let _ = parse_path(&s);
+    }
+
+    #[test]
+    fn query_parser_handles_tag_like_noise(s in "[<>$/{}()=!%.*|_a-z0-9 ]{0,150}") {
+        let _ = parse_query(&s);
+    }
+
+    #[test]
+    fn errors_carry_positions_within_input(s in "[ -~]{1,100}") {
+        if let Err(e) = parse_query(&s) {
+            prop_assert!(e.offset <= s.len(), "offset {} in input of {}", e.offset, s.len());
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests: the Thompson NFA agrees with a naive recursive
+//! matcher on random path expressions and label sequences, and the
+//! incremental `step` interface is consistent with whole-sequence
+//! matching.
+
+use mix_xmas::path::PathExpr;
+use mix_xmas::Nfa;
+use mix_xml::Label;
+use proptest::prelude::*;
+
+/// Ground-truth matcher by structural recursion.
+fn naive_matches(e: &PathExpr, labels: &[&str]) -> bool {
+    match e {
+        PathExpr::Label(l) => labels.len() == 1 && labels[0] == l,
+        PathExpr::Wildcard => labels.len() == 1,
+        PathExpr::Seq(parts) => {
+            fn seq(parts: &[PathExpr], labels: &[&str]) -> bool {
+                match parts.first() {
+                    None => labels.is_empty(),
+                    Some(p) => (0..=labels.len()).any(|k| {
+                        naive_matches(p, &labels[..k]) && seq(&parts[1..], &labels[k..])
+                    }),
+                }
+            }
+            seq(parts, labels)
+        }
+        PathExpr::Alt(parts) => parts.iter().any(|p| naive_matches(p, labels)),
+        PathExpr::Star(inner) => {
+            if labels.is_empty() {
+                return true;
+            }
+            // Try every non-empty split of a first repetition.
+            (1..=labels.len()).any(|k| {
+                naive_matches(inner, &labels[..k])
+                    && naive_matches(e, &labels[k..])
+            })
+        }
+    }
+}
+
+fn arb_path() -> impl Strategy<Value = PathExpr> {
+    let leaf = prop_oneof![
+        prop_oneof![Just("a"), Just("b"), Just("c")]
+            .prop_map(|l| PathExpr::Label(l.to_string())),
+        Just(PathExpr::Wildcard),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(PathExpr::Seq),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(PathExpr::Alt),
+            inner.prop_map(|e| PathExpr::Star(Box::new(e))),
+        ]
+    })
+}
+
+fn arb_labels() -> impl Strategy<Value = Vec<&'static str>> {
+    proptest::collection::vec(prop_oneof![Just("a"), Just("b"), Just("c"), Just("d")], 0..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn nfa_agrees_with_naive_matcher(e in arb_path(), labels in arb_labels()) {
+        let nfa = Nfa::compile(&e);
+        let owned: Vec<Label> = labels.iter().map(Label::new).collect();
+        prop_assert_eq!(nfa.matches(&owned), naive_matches(&e, &labels),
+            "path {} on {:?}", e, labels);
+    }
+
+    #[test]
+    fn stepping_equals_whole_sequence(e in arb_path(), labels in arb_labels()) {
+        let nfa = Nfa::compile(&e);
+        let mut set = nfa.start_set();
+        let mut alive = true;
+        for l in &labels {
+            set = nfa.step(&set, &Label::new(l));
+            if set.is_empty() {
+                alive = false;
+                break;
+            }
+        }
+        let owned: Vec<Label> = labels.iter().map(Label::new).collect();
+        prop_assert_eq!(alive && nfa.is_accepting(&set), nfa.matches(&owned));
+    }
+
+    #[test]
+    fn display_parse_roundtrip_preserves_semantics(e in arb_path(), labels in arb_labels()) {
+        // The printed form may re-associate, so compare by behavior.
+        let reparsed = mix_xmas::parse_path(&e.to_string()).expect("display parses");
+        let owned: Vec<Label> = labels.iter().map(Label::new).collect();
+        prop_assert_eq!(
+            Nfa::compile(&e).matches(&owned),
+            Nfa::compile(&reparsed).matches(&owned),
+            "path {}", e
+        );
+    }
+
+    #[test]
+    fn dead_states_never_resurrect(e in arb_path(), labels in arb_labels()) {
+        let nfa = Nfa::compile(&e);
+        let mut set = nfa.start_set();
+        for l in &labels {
+            let next = nfa.step(&set, &Label::new(l));
+            if set.is_empty() {
+                prop_assert!(next.is_empty());
+            }
+            set = next;
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Arena-backed documents with stable node-ids.
+//!
+//! DOM-VXD navigation (`d` = first child, `r` = right sibling, `f` = label)
+//! maps directly onto a first-child/next-sibling representation. A
+//! [`Document`] stores every node of a tree in one flat arena; [`NodeId`]s
+//! are indices into it and remain valid for the document's lifetime, which
+//! is what the paper's navigations require ("an incoming navigation command
+//! `c(p)` may involve any previously encountered pointer `p`", §3).
+
+use crate::label::Label;
+use crate::tree::Tree;
+
+/// Identifier of a node inside a [`Document`]. Stable for the document's
+/// lifetime; cheap to copy and hash.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The root node of every document.
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// Raw index (useful for encoding into wrapper hole-ids).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuild from a raw index. The caller must know the index is valid
+    /// for the target document; out-of-range ids make navigation panic.
+    pub fn from_index(i: usize) -> Self {
+        NodeId(u32::try_from(i).expect("document too large for u32 node ids"))
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    label: Label,
+    first_child: Option<NodeId>,
+    next_sibling: Option<NodeId>,
+    parent: Option<NodeId>,
+}
+
+/// An immutable tree flattened into an arena, supporting O(1) `down`,
+/// `right`, and `fetch`.
+#[derive(Debug, Clone)]
+pub struct Document {
+    nodes: Vec<Node>,
+}
+
+impl Document {
+    /// Flatten an owned [`Tree`] into a document. Node 0 is the root and
+    /// children receive consecutive ids in pre-order.
+    pub fn from_tree(tree: &Tree) -> Self {
+        let mut doc = Document { nodes: Vec::with_capacity(tree.size()) };
+        doc.add_subtree(tree, None);
+        doc
+    }
+
+    fn add_subtree(&mut self, t: &Tree, parent: Option<NodeId>) -> NodeId {
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(Node {
+            label: t.label().clone(),
+            first_child: None,
+            next_sibling: None,
+            parent,
+        });
+        let mut prev: Option<NodeId> = None;
+        for child in t.children() {
+            let cid = self.add_subtree(child, Some(id));
+            match prev {
+                None => self.nodes[id.index()].first_child = Some(cid),
+                Some(p) => self.nodes[p.index()].next_sibling = Some(cid),
+            }
+            prev = Some(cid);
+        }
+        id
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        NodeId::ROOT
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the document is empty. (A document built from a tree is
+    /// never empty — the root always exists.)
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// `d(p)`: first child of `p`, or `None` if `p` is a leaf.
+    pub fn down(&self, p: NodeId) -> Option<NodeId> {
+        self.nodes[p.index()].first_child
+    }
+
+    /// `r(p)`: right sibling of `p`, or `None`.
+    pub fn right(&self, p: NodeId) -> Option<NodeId> {
+        self.nodes[p.index()].next_sibling
+    }
+
+    /// `f(p)`: the label of `p`.
+    pub fn fetch(&self, p: NodeId) -> &Label {
+        &self.nodes[p.index()].label
+    }
+
+    /// Parent of `p` (not part of DOM-VXD; used by wrappers and tests).
+    pub fn parent(&self, p: NodeId) -> Option<NodeId> {
+        self.nodes[p.index()].parent
+    }
+
+    /// Iterate the children of `p` in order.
+    pub fn children(&self, p: NodeId) -> ChildIter<'_> {
+        ChildIter { doc: self, next: self.down(p) }
+    }
+
+    /// Rebuild the subtree rooted at `p` as an owned [`Tree`].
+    pub fn subtree(&self, p: NodeId) -> Tree {
+        let children = self.children(p).map(|c| self.subtree(c)).collect();
+        Tree::node(self.fetch(p).clone(), children)
+    }
+
+    /// Rebuild the whole document as an owned [`Tree`].
+    pub fn to_tree(&self) -> Tree {
+        self.subtree(self.root())
+    }
+}
+
+impl From<&Tree> for Document {
+    fn from(t: &Tree) -> Self {
+        Document::from_tree(t)
+    }
+}
+
+impl From<Tree> for Document {
+    fn from(t: Tree) -> Self {
+        Document::from_tree(&t)
+    }
+}
+
+/// Iterator over the children of one node.
+pub struct ChildIter<'a> {
+    doc: &'a Document,
+    next: Option<NodeId>,
+}
+
+impl Iterator for ChildIter<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.next?;
+        self.next = self.doc.right(id);
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::parse_term;
+
+    fn doc(s: &str) -> Document {
+        Document::from_tree(&parse_term(s).unwrap())
+    }
+
+    #[test]
+    fn navigation_matches_paper_semantics() {
+        let d = doc("a[b[d,e],c]");
+        let root = d.root();
+        assert_eq!(d.fetch(root), "a");
+
+        // d(root) = first child b
+        let b = d.down(root).unwrap();
+        assert_eq!(d.fetch(b), "b");
+        // r(b) = c
+        let c = d.right(b).unwrap();
+        assert_eq!(d.fetch(c), "c");
+        // r(c) = ⊥
+        assert_eq!(d.right(c), None);
+        // d on a leaf = ⊥  ("if p is a leaf then d(p) = ⊥")
+        assert_eq!(d.down(c), None);
+
+        let dd = d.down(b).unwrap();
+        assert_eq!(d.fetch(dd), "d");
+        let e = d.right(dd).unwrap();
+        assert_eq!(d.fetch(e), "e");
+        assert_eq!(d.right(e), None);
+    }
+
+    #[test]
+    fn parents() {
+        let d = doc("a[b[d,e],c]");
+        let b = d.down(d.root()).unwrap();
+        let dn = d.down(b).unwrap();
+        assert_eq!(d.parent(dn), Some(b));
+        assert_eq!(d.parent(b), Some(d.root()));
+        assert_eq!(d.parent(d.root()), None);
+    }
+
+    #[test]
+    fn children_iterator() {
+        let d = doc("r[x,y,z]");
+        let labels: Vec<String> =
+            d.children(d.root()).map(|c| d.fetch(c).to_string()).collect();
+        assert_eq!(labels, ["x", "y", "z"]);
+        // Leaf has no children.
+        let x = d.down(d.root()).unwrap();
+        assert_eq!(d.children(x).count(), 0);
+    }
+
+    #[test]
+    fn roundtrip_tree_document_tree() {
+        let t = parse_term("view[tuple[att1[v11],att2[v12]],tuple[att1[v21],att2[v22]]]").unwrap();
+        let d = Document::from_tree(&t);
+        assert_eq!(d.to_tree(), t);
+        assert_eq!(d.len(), t.size());
+    }
+
+    #[test]
+    fn subtree_extraction() {
+        let d = doc("a[b[d,e],c]");
+        let b = d.down(d.root()).unwrap();
+        assert_eq!(d.subtree(b).to_string(), "b[d,e]");
+    }
+
+    #[test]
+    fn node_ids_are_preorder() {
+        let d = doc("a[b[d,e],c]");
+        // Pre-order: a=0, b=1, d=2, e=3, c=4.
+        assert_eq!(d.fetch(NodeId::from_index(0)), "a");
+        assert_eq!(d.fetch(NodeId::from_index(1)), "b");
+        assert_eq!(d.fetch(NodeId::from_index(2)), "d");
+        assert_eq!(d.fetch(NodeId::from_index(3)), "e");
+        assert_eq!(d.fetch(NodeId::from_index(4)), "c");
+    }
+
+    #[test]
+    fn single_node_document() {
+        let d = doc("only");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.down(d.root()), None);
+        assert_eq!(d.right(d.root()), None);
+    }
+}

@@ -1,0 +1,203 @@
+//! String labels over the underlying domain `D`.
+//!
+//! The paper's domain `D` "includes all string-like data, i.e., element
+//! names, character content, and attribute names/values" (§2, footnote 4).
+//! We represent every member of `D` as a [`Label`]: a reference-counted
+//! immutable string, cheap to clone and hash.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+/// A member of the underlying domain `D`: an element name or atomic content.
+///
+/// `Label` is an `Arc<str>` newtype: cloning is a reference-count bump, so
+/// labels can be freely duplicated into node-ids, caches and group keys
+/// without copying string data.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(Arc<str>);
+
+impl Label {
+    /// Create a label from anything string-like.
+    pub fn new(s: impl AsRef<str>) -> Self {
+        Label(Arc::from(s.as_ref()))
+    }
+
+    /// The label's text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Byte length of the label; used by the granularity cost model to
+    /// approximate wire sizes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the label is the empty string.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The reserved label marking holes in open trees (`hole` in Def. 3).
+    pub fn hole() -> Self {
+        Label::new(RESERVED_HOLE)
+    }
+
+    /// The reserved label used by the algebra for explicit lists
+    /// (the `list` label of the `groupBy`/`concatenate` operators, §3).
+    pub fn list() -> Self {
+        Label::new(RESERVED_LIST)
+    }
+
+    /// The reserved label of a binding-list root (`bs[...]`, §3).
+    pub fn bs() -> Self {
+        Label::new(RESERVED_BS)
+    }
+
+    /// The reserved label of a single variable binding (`b[...]`, §3).
+    pub fn b() -> Self {
+        Label::new(RESERVED_B)
+    }
+
+    /// Attempt to read the label as an integer (for value predicates).
+    pub fn as_int(&self) -> Option<i64> {
+        self.0.trim().parse().ok()
+    }
+
+    /// Attempt to read the label as a float (for value predicates).
+    pub fn as_float(&self) -> Option<f64> {
+        self.0.trim().parse().ok()
+    }
+}
+
+/// Label of the virtual document node above each source's root element.
+/// XMAS paths consume the root element's label as their first step, so
+/// sources bind a node *above* it; `#` is not a path character, so no
+/// path can name this node.
+pub const DOC_LABEL: &str = "#document";
+
+/// Reserved name for holes in open trees (Def. 3: "`hole` ∈ D is a reserved
+/// name").
+pub const RESERVED_HOLE: &str = "hole";
+/// Reserved name for list values produced by `groupBy`/`concatenate`.
+pub const RESERVED_LIST: &str = "list";
+/// Reserved name for binding-list roots.
+pub const RESERVED_BS: &str = "bs";
+/// Reserved name for individual bindings.
+pub const RESERVED_B: &str = "b";
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Label {
+    fn from(s: &str) -> Self {
+        Label::new(s)
+    }
+}
+
+impl From<String> for Label {
+    fn from(s: String) -> Self {
+        Label(Arc::from(s))
+    }
+}
+
+impl From<&String> for Label {
+    fn from(s: &String) -> Self {
+        Label::new(s)
+    }
+}
+
+impl Borrow<str> for Label {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for Label {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl PartialEq<str> for Label {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Label {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn label_roundtrip() {
+        let l = Label::new("home");
+        assert_eq!(l.as_str(), "home");
+        assert_eq!(l, "home");
+        assert_eq!(l.to_string(), "home");
+    }
+
+    #[test]
+    fn clone_is_shared() {
+        let l = Label::new("zip");
+        let m = l.clone();
+        assert_eq!(l, m);
+        // Same allocation: Arc pointer equality.
+        assert!(Arc::ptr_eq(&l.0, &m.0));
+    }
+
+    #[test]
+    fn reserved_labels() {
+        assert_eq!(Label::hole(), "hole");
+        assert_eq!(Label::list(), "list");
+        assert_eq!(Label::bs(), "bs");
+        assert_eq!(Label::b(), "b");
+    }
+
+    #[test]
+    fn numeric_views() {
+        assert_eq!(Label::new("91220").as_int(), Some(91220));
+        assert_eq!(Label::new(" 42 ").as_int(), Some(42));
+        assert_eq!(Label::new("La Jolla").as_int(), None);
+        assert_eq!(Label::new("3.5").as_float(), Some(3.5));
+        assert_eq!(Label::new("3.5").as_int(), None);
+    }
+
+    #[test]
+    fn works_as_hash_key_borrowed_by_str() {
+        let mut set = HashSet::new();
+        set.insert(Label::new("school"));
+        assert!(set.contains("school"));
+        assert!(!set.contains("home"));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(Label::new("a") < Label::new("b"));
+        assert!(Label::new("abc") < Label::new("abd"));
+    }
+
+    #[test]
+    fn empty_label() {
+        let l = Label::new("");
+        assert!(l.is_empty());
+        assert_eq!(l.len(), 0);
+    }
+}

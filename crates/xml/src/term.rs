@@ -1,0 +1,257 @@
+//! The paper's term syntax for trees: `a[b[d,e],c]`.
+//!
+//! Every example in the paper writes trees this way
+//! (`bs[ b[ H[home[...]], V1[91220] ] ]`, `r[a,◦2]`, …). We use the same
+//! syntax in tests, fixtures, and `Display` output, so code can be checked
+//! against the paper line by line.
+//!
+//! Grammar:
+//!
+//! ```text
+//! tree   ::= label | label '[' trees? ']'
+//! trees  ::= tree (',' tree)*
+//! label  ::= bare | quoted
+//! bare   ::= [^\[\],'"]+        (trimmed; may contain spaces, e.g. "La Jolla")
+//! quoted ::= '"' ([^"\\] | '\\' any)* '"'
+//! ```
+//!
+//! Bare labels are trimmed of surrounding whitespace so that
+//! `a[ b , c ]` parses like `a[b,c]`. Labels that contain `[`, `]`, `,`
+//! or leading/trailing spaces must be quoted.
+
+use crate::label::Label;
+use crate::tree::Tree;
+use crate::ParseError;
+
+/// Parse a tree from term syntax.
+pub fn parse_term(input: &str) -> Result<Tree, ParseError> {
+    let mut p = Parser { input, pos: 0 };
+    p.skip_ws();
+    let t = p.tree()?;
+    p.skip_ws();
+    if p.pos != p.input.len() {
+        return Err(ParseError::new(p.pos, "trailing input after tree"));
+    }
+    Ok(t)
+}
+
+/// Parse a comma-separated list of trees (useful for LXP fragment lists,
+/// e.g. `b[◦2],◦3`).
+pub fn parse_term_list(input: &str) -> Result<Vec<Tree>, ParseError> {
+    let mut p = Parser { input, pos: 0 };
+    p.skip_ws();
+    if p.pos == p.input.len() {
+        return Ok(Vec::new());
+    }
+    let mut out = vec![p.tree()?];
+    p.skip_ws();
+    while p.eat(',') {
+        p.skip_ws();
+        out.push(p.tree()?);
+        p.skip_ws();
+    }
+    if p.pos != p.input.len() {
+        return Err(ParseError::new(p.pos, "trailing input after tree list"));
+    }
+    Ok(out)
+}
+
+/// Render a tree in term syntax.
+pub fn to_term(t: &Tree) -> String {
+    let mut out = String::with_capacity(t.size() * 8);
+    write_term(t, &mut out);
+    out
+}
+
+fn write_term(t: &Tree, out: &mut String) {
+    write_label(t.label(), out);
+    if !t.is_leaf() {
+        out.push('[');
+        for (i, c) in t.children().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_term(c, out);
+        }
+        out.push(']');
+    }
+}
+
+fn write_label(l: &Label, out: &mut String) {
+    let s = l.as_str();
+    let needs_quote = s.is_empty()
+        || s.starts_with(char::is_whitespace)
+        || s.ends_with(char::is_whitespace)
+        || s.contains(['[', ']', ',', '"']);
+    if needs_quote {
+        out.push('"');
+        for ch in s.chars() {
+            if ch == '"' || ch == '\\' {
+                out.push('\\');
+            }
+            out.push(ch);
+        }
+        out.push('"');
+    } else {
+        out.push_str(s);
+    }
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<char> {
+        self.input[self.pos..].chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn tree(&mut self) -> Result<Tree, ParseError> {
+        let label = self.label()?;
+        self.skip_ws();
+        if self.eat('[') {
+            self.skip_ws();
+            let mut children = Vec::new();
+            if !self.eat(']') {
+                loop {
+                    children.push(self.tree()?);
+                    self.skip_ws();
+                    if self.eat(']') {
+                        break;
+                    }
+                    if !self.eat(',') {
+                        return Err(ParseError::new(self.pos, "expected ',' or ']'"));
+                    }
+                    self.skip_ws();
+                }
+            }
+            Ok(Tree::node(label, children))
+        } else {
+            Ok(Tree::leaf(label))
+        }
+    }
+
+    fn label(&mut self) -> Result<Label, ParseError> {
+        if self.eat('"') {
+            let mut s = String::new();
+            loop {
+                match self.bump() {
+                    None => return Err(ParseError::new(self.pos, "unterminated quoted label")),
+                    Some('"') => break,
+                    Some('\\') => match self.bump() {
+                        Some(c) => s.push(c),
+                        None => {
+                            return Err(ParseError::new(self.pos, "unterminated escape"));
+                        }
+                    },
+                    Some(c) => s.push(c),
+                }
+            }
+            Ok(Label::new(s))
+        } else {
+            let start = self.pos;
+            while matches!(self.peek(), Some(c) if !['[', ']', ',', '"'].contains(&c)) {
+                self.bump();
+            }
+            let raw = self.input[start..self.pos].trim();
+            if raw.is_empty() {
+                return Err(ParseError::new(start, "expected a label"));
+            }
+            Ok(Label::new(raw))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree;
+
+    #[test]
+    fn parses_paper_example_7_tree() {
+        // t = a[b[d,e],c]
+        let t = parse_term("a[b[d,e],c]").unwrap();
+        assert_eq!(t, tree!("a" => [tree!("b" => [tree!("d"), tree!("e")]), tree!("c")]));
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        for s in ["x", "a[b]", "a[b,c]", "bs[b[H[home[addr[El Cajon],zip[91223]]]]]"] {
+            let t = parse_term(s).unwrap();
+            assert_eq!(to_term(&t), s, "roundtrip of {s}");
+        }
+    }
+
+    #[test]
+    fn labels_with_spaces() {
+        let t = parse_term("addr[La Jolla]").unwrap();
+        assert_eq!(t.children()[0].label(), "La Jolla");
+        // Interior spaces survive a print/parse roundtrip unquoted.
+        assert_eq!(parse_term(&to_term(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn whitespace_tolerant() {
+        let a = parse_term("a[ b , c[ d ] ]").unwrap();
+        let b = parse_term("a[b,c[d]]").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quoted_labels() {
+        let t = parse_term(r#""a,b"["x[y]", "say \"hi\""]"#).unwrap();
+        assert_eq!(t.label(), "a,b");
+        assert_eq!(t.children()[0].label(), "x[y]");
+        assert_eq!(t.children()[1].label(), "say \"hi\"");
+        // And the printer quotes them back.
+        assert_eq!(parse_term(&to_term(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn empty_child_list_is_leaf() {
+        let t = parse_term("a[]").unwrap();
+        assert!(t.is_leaf());
+        assert_eq!(to_term(&t), "a");
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_term("").is_err());
+        assert!(parse_term("a[b").is_err());
+        assert!(parse_term("a]").is_err());
+        assert!(parse_term("a[b,]").is_err());
+        assert!(parse_term("a b[c] d[e]").is_err()); // would need quoting
+        assert!(parse_term(r#""unterminated"#).is_err());
+    }
+
+    #[test]
+    fn parse_list() {
+        let l = parse_term_list("b[x],c,d[e]").unwrap();
+        assert_eq!(l.len(), 3);
+        assert_eq!(l[1].label(), "c");
+        assert_eq!(parse_term_list("").unwrap(), Vec::new());
+        assert_eq!(parse_term_list("  ").unwrap(), Vec::new());
+    }
+}

@@ -1,0 +1,372 @@
+//! Minimal XML surface syntax.
+//!
+//! The MIX data model excludes attributes (§2, footnote 3), so this module
+//! implements exactly the fragment needed to exchange labeled ordered trees
+//! as XML text: start/end tags, self-closing tags, character content, the
+//! five predefined entities, comments (skipped), and an optional XML
+//! declaration/doctype (skipped). Attributes in the input are rejected with
+//! a clear error rather than silently dropped.
+//!
+//! Text content becomes leaf nodes whose label is the (entity-decoded,
+//! whitespace-trimmed) character data; purely-whitespace text between
+//! elements is ignored, matching how the paper's examples treat documents.
+
+use crate::tree::Tree;
+use crate::ParseError;
+
+/// Parse an XML document into a tree.
+pub fn parse_xml(input: &str) -> Result<Tree, ParseError> {
+    let mut p = XmlParser { input, pos: 0 };
+    p.skip_misc()?;
+    let t = p.element()?;
+    p.skip_misc()?;
+    if p.pos != p.input.len() {
+        return Err(ParseError::new(p.pos, "trailing content after root element"));
+    }
+    Ok(t)
+}
+
+/// Serialize a tree as XML text. Inner nodes become elements; leaves become
+/// character content unless they are valid XML names, in which case they are
+/// rendered as empty elements only when `leaf_elements` is set.
+pub fn to_xml(t: &Tree) -> String {
+    let mut out = String::with_capacity(t.size() * 16);
+    write_xml(t, &mut out, 0, false);
+    out
+}
+
+/// Like [`to_xml`] but with two-space indentation for readability.
+pub fn to_xml_pretty(t: &Tree) -> String {
+    let mut out = String::with_capacity(t.size() * 24);
+    write_xml(t, &mut out, 0, true);
+    out
+}
+
+fn write_xml(t: &Tree, out: &mut String, depth: usize, pretty: bool) {
+    let indent = |out: &mut String, d: usize| {
+        if pretty {
+            for _ in 0..d {
+                out.push_str("  ");
+            }
+        }
+    };
+    if t.is_leaf() {
+        indent(out, depth);
+        if is_name(t.label().as_str()) {
+            // An empty element: `zip` prints as `<zip/>`? No — a leaf is
+            // atomic data far more often than an empty element in the
+            // paper's examples, so leaves always print as text unless they
+            // are at the document root.
+            if depth == 0 {
+                out.push('<');
+                out.push_str(t.label().as_str());
+                out.push_str("/>");
+            } else {
+                escape_into(t.label().as_str(), out);
+            }
+        } else {
+            escape_into(t.label().as_str(), out);
+        }
+        if pretty {
+            out.push('\n');
+        }
+        return;
+    }
+    indent(out, depth);
+    out.push('<');
+    out.push_str(t.label().as_str());
+    out.push('>');
+    if pretty {
+        out.push('\n');
+    }
+    for c in t.children() {
+        write_xml(c, out, depth + 1, pretty);
+    }
+    indent(out, depth);
+    out.push_str("</");
+    out.push_str(t.label().as_str());
+    out.push('>');
+    if pretty {
+        out.push('\n');
+    }
+}
+
+fn is_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_alphanumeric() || ['_', '-', '.', ':'].contains(&c))
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+struct XmlParser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> XmlParser<'a> {
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.rest().starts_with(s)
+    }
+
+    fn expect_str(&mut self, s: &str) -> Result<(), ParseError> {
+        if self.starts_with(s) {
+            self.pos += s.len();
+            Ok(())
+        } else {
+            Err(ParseError::new(self.pos, format!("expected `{s}`")))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    /// Skip whitespace, comments, XML declarations and doctypes.
+    fn skip_misc(&mut self) -> Result<(), ParseError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                match self.rest().find("-->") {
+                    Some(i) => self.pos += i + 3,
+                    None => return Err(ParseError::new(self.pos, "unterminated comment")),
+                }
+            } else if self.starts_with("<?") {
+                match self.rest().find("?>") {
+                    Some(i) => self.pos += i + 2,
+                    None => return Err(ParseError::new(self.pos, "unterminated processing instruction")),
+                }
+            } else if self.starts_with("<!DOCTYPE") || self.starts_with("<!doctype") {
+                match self.rest().find('>') {
+                    Some(i) => self.pos += i + 1,
+                    None => return Err(ParseError::new(self.pos, "unterminated doctype")),
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn name(&mut self) -> Result<&'a str, ParseError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || ['_', '-', '.', ':'].contains(&c))
+        {
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(ParseError::new(start, "expected an element name"));
+        }
+        Ok(&self.input[start..self.pos])
+    }
+
+    fn element(&mut self) -> Result<Tree, ParseError> {
+        self.expect_str("<")?;
+        let name = self.name()?;
+        self.skip_ws();
+        match self.peek() {
+            Some('/') => {
+                self.expect_str("/>")?;
+                Ok(Tree::leaf(name))
+            }
+            Some('>') => {
+                self.bump();
+                let children = self.content(name)?;
+                Ok(Tree::node(name, children))
+            }
+            _ => Err(ParseError::new(
+                self.pos,
+                "attributes are not part of the MIX tree abstraction (paper §2); \
+                 expected `>` or `/>`",
+            )),
+        }
+    }
+
+    fn content(&mut self, open: &str) -> Result<Vec<Tree>, ParseError> {
+        let mut children = Vec::new();
+        loop {
+            if self.starts_with("</") {
+                self.pos += 2;
+                let name = self.name()?;
+                if name != open {
+                    return Err(ParseError::new(
+                        self.pos,
+                        format!("mismatched close tag: expected </{open}>, got </{name}>"),
+                    ));
+                }
+                self.skip_ws();
+                self.expect_str(">")?;
+                return Ok(children);
+            } else if self.starts_with("<!--") {
+                self.skip_misc()?;
+            } else if self.starts_with("<") {
+                children.push(self.element()?);
+            } else if self.peek().is_none() {
+                return Err(ParseError::new(self.pos, format!("unclosed element <{open}>")));
+            } else {
+                let text = self.text()?;
+                let trimmed = text.trim();
+                if !trimmed.is_empty() {
+                    children.push(Tree::leaf(trimmed));
+                }
+            }
+        }
+    }
+
+    fn text(&mut self) -> Result<String, ParseError> {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c == '<' {
+                break;
+            }
+            if c == '&' {
+                self.bump();
+                let start = self.pos;
+                while matches!(self.peek(), Some(c) if c != ';') {
+                    self.bump();
+                }
+                let ent = &self.input[start..self.pos];
+                if self.bump() != Some(';') {
+                    return Err(ParseError::new(start, "unterminated entity reference"));
+                }
+                match ent {
+                    "lt" => s.push('<'),
+                    "gt" => s.push('>'),
+                    "amp" => s.push('&'),
+                    "quot" => s.push('"'),
+                    "apos" => s.push('\''),
+                    other => {
+                        if let Some(num) = other.strip_prefix("#x").or(other.strip_prefix("#X")) {
+                            let cp = u32::from_str_radix(num, 16)
+                                .ok()
+                                .and_then(char::from_u32)
+                                .ok_or_else(|| ParseError::new(start, "bad character reference"))?;
+                            s.push(cp);
+                        } else if let Some(num) = other.strip_prefix('#') {
+                            let cp = num
+                                .parse::<u32>()
+                                .ok()
+                                .and_then(char::from_u32)
+                                .ok_or_else(|| ParseError::new(start, "bad character reference"))?;
+                            s.push(cp);
+                        } else {
+                            return Err(ParseError::new(
+                                start,
+                                format!("unknown entity &{other};"),
+                            ));
+                        }
+                    }
+                }
+            } else {
+                s.push(c);
+                self.bump();
+            }
+        }
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::parse_term;
+
+    #[test]
+    fn parses_elements_and_text() {
+        let t = parse_xml("<home><addr>La Jolla</addr><zip>91220</zip></home>").unwrap();
+        assert_eq!(t, parse_term("home[addr[La Jolla],zip[91220]]").unwrap());
+    }
+
+    #[test]
+    fn self_closing_and_empty() {
+        let t = parse_xml("<a><b/><c></c></a>").unwrap();
+        assert_eq!(t.to_string(), "a[b,c]");
+    }
+
+    #[test]
+    fn skips_decl_doctype_comments_whitespace() {
+        let t = parse_xml(
+            "<?xml version=\"1.0\"?>\n<!DOCTYPE a>\n<!-- hi -->\n<a>\n  <b>x</b>\n  <!-- inner -->\n</a>",
+        )
+        .unwrap();
+        assert_eq!(t.to_string(), "a[b[x]]");
+    }
+
+    #[test]
+    fn entities_decode() {
+        let t = parse_xml("<t>a &lt; b &amp; c &gt; d &#65; &#x42;</t>").unwrap();
+        assert_eq!(t.children()[0].label(), "a < b & c > d A B");
+    }
+
+    #[test]
+    fn attributes_are_rejected_with_explanation() {
+        let err = parse_xml("<a id=\"1\">x</a>").unwrap_err();
+        assert!(err.message.contains("attributes"), "{err}");
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        assert!(parse_xml("<a><b></a></b>").is_err());
+        assert!(parse_xml("<a>").is_err());
+        assert!(parse_xml("<a></a><b></b>").is_err());
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let t = parse_term("homes[home[addr[La Jolla],zip[91220]],home[addr[El Cajon],zip[91223]]]")
+            .unwrap();
+        let xml = to_xml(&t);
+        assert_eq!(parse_xml(&xml).unwrap(), t);
+    }
+
+    #[test]
+    fn escaping_roundtrip() {
+        let t = Tree::node("t", vec![Tree::leaf("a < b & \"c\"")]);
+        let xml = to_xml(&t);
+        assert_eq!(parse_xml(&xml).unwrap(), t);
+    }
+
+    #[test]
+    fn pretty_print_is_parseable() {
+        let t = parse_term("a[b[x],c]").unwrap();
+        let xml = to_xml_pretty(&t);
+        assert!(xml.contains('\n'));
+        assert_eq!(parse_xml(&xml).unwrap(), t);
+    }
+
+    #[test]
+    fn root_leaf_prints_as_empty_element() {
+        let t = Tree::leaf("root");
+        assert_eq!(to_xml(&t), "<root/>");
+        assert_eq!(parse_xml("<root/>").unwrap(), t);
+    }
+}

@@ -1,0 +1,32 @@
+//! Parser robustness for the tree syntaxes: arbitrary input never panics.
+
+use mix_xml::term::{parse_term, parse_term_list};
+use mix_xml::xmlio::parse_xml;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn term_parser_never_panics(s in "[ -~]{0,150}") {
+        let _ = parse_term(&s);
+        let _ = parse_term_list(&s);
+    }
+
+    #[test]
+    fn xml_parser_never_panics(s in "[ -~\\n]{0,200}") {
+        let _ = parse_xml(&s);
+    }
+
+    #[test]
+    fn xml_parser_survives_markup_noise(s in "[<>/!&;a-z \"=-]{0,150}") {
+        let _ = parse_xml(&s);
+    }
+
+    #[test]
+    fn term_errors_have_positions(s in "[ -~]{1,100}") {
+        if let Err(e) = parse_term(&s) {
+            prop_assert!(e.offset <= s.len());
+        }
+    }
+}

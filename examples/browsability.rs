@@ -1,0 +1,155 @@
+//! Browsability in practice — the three views of the paper's Example 1.
+//!
+//! * `q_conc` (bounded browsable): source navigations mirror client
+//!   navigations;
+//! * the filter view (browsable): the cost of the *same* client navigation
+//!   depends on where the first matching element sits in the data — and
+//!   becomes bounded once `NC` includes `select_φ`;
+//! * the orderBy view (unbrowsable): the first answer already requires the
+//!   complete list.
+//!
+//! The static classifier's verdicts (Def. 2) are printed next to measured
+//! source-navigation counts.
+//!
+//! Run with: `cargo run --example browsability`
+
+use mix::algebra::{GroupItem, PlanNode};
+use mix::prelude::*;
+use mix::wrappers::gen::filter_doc;
+use mix::xmas::Var;
+
+/// Source navigations for (a) reaching the first answer child, (b) the
+/// full answer.
+fn measure(plan: &Plan, registry: impl Fn() -> SourceRegistry, config: EngineConfig) -> (u64, u64) {
+    let mut engine = Engine::with_config(plan.clone(), &registry(), config).unwrap();
+    let _first = mix::nav::explore::first_k_children(&mut engine, 1);
+    let first_cost = engine.stats().total().total();
+
+    let mut engine_all = Engine::with_config(plan.clone(), &registry(), config).unwrap();
+    materialize(&mut engine_all);
+    let full_cost = engine_all.stats().total().total();
+    (first_cost, full_cost)
+}
+
+fn row(name: &str, class: Browsability, f: u64, a: u64) {
+    println!("{name:<30}  {:<20}  {f:>16}  {a:>9}", class.to_string());
+}
+
+/// q_conc, built directly in the algebra (XMAS's CONSTRUCT cannot union
+/// two sources in one query): decapitate both roots, union the first-level
+/// children, re-wrap under one element.
+fn qconc_plan() -> Plan {
+    let mut p = Plan::new();
+    let v = Var::new;
+    let branch = |p: &mut Plan, src: &str| {
+        let s = p.add(PlanNode::Source { name: src.into(), out: v("R") });
+        let g = p.add(PlanNode::GetDescendants {
+            input: s,
+            parent: v("R"),
+            path: parse_path("_._").unwrap(), // root element, then each child
+            out: v("X"),
+        });
+        p.add(PlanNode::Project { input: g, keep: vec![v("X")] })
+    };
+    let b1 = branch(&mut p, "src1");
+    let b2 = branch(&mut p, "src2");
+    let u = p.add(PlanNode::Union { left: b1, right: b2 });
+    let gb = p.add(PlanNode::GroupBy {
+        input: u,
+        group: vec![],
+        items: vec![GroupItem { value: v("X"), out: v("LX") }],
+    });
+    let ce = p.add(PlanNode::CreateElement {
+        input: gb,
+        label: mix::xmas::LabelSpec::Const("conc".into()),
+        ch: v("LX"),
+        out: v("C"),
+    });
+    let td = p.add(PlanNode::TupleDestroy { input: ce, var: v("C") });
+    p.set_root(td);
+    p.validate().unwrap();
+    p
+}
+
+fn main() {
+    println!(
+        "{:<30}  {:<20}  {:>16}  {:>9}",
+        "view", "class (Def. 2)", "first-result navs", "full navs"
+    );
+    println!("{}", "-".repeat(82));
+
+    let minimal = EngineConfig::default();
+
+    // ---- q_conc ---------------------------------------------------------
+    let plan = qconc_plan();
+    let class = classify(&plan, NcCapabilities::with_select()).overall;
+    let reg = || {
+        let mut r = SourceRegistry::new();
+        r.add_tree("src1", &filter_doc(100, 1));
+        r.add_tree("src2", &filter_doc(100, 1));
+        r
+    };
+    let (f, a) = measure(&plan, reg, minimal);
+    row("q_conc (Example 1)", class, f, a);
+
+    // ---- the filter view under minimal NC --------------------------------
+    let q = "CONSTRUCT <picked> $X {$X} </picked> {} WHERE src items.wanted $X";
+    let plan = translate(&parse_query(q).unwrap()).unwrap();
+    let class_min = classify(&plan, NcCapabilities::minimal()).overall;
+    for match_every in [1usize, 10, 50] {
+        let reg = move || {
+            let mut r = SourceRegistry::new();
+            r.add_tree("src", &filter_doc(100, match_every));
+            r
+        };
+        let (f, a) = measure(&plan, reg, minimal);
+        row(&format!("filter, match gap {match_every}"), class_min, f, a);
+    }
+
+    // ---- the same view with select_φ in NC --------------------------------
+    let class_sel = classify(&plan, NcCapabilities::with_select()).overall;
+    for match_every in [1usize, 10, 50] {
+        let reg = move || {
+            let mut r = SourceRegistry::new();
+            r.add_tree("src", &filter_doc(100, match_every));
+            r
+        };
+        let (f, a) = measure(&plan, reg, EngineConfig::with_select());
+        row(&format!("filter + select, gap {match_every}"), class_sel, f, a);
+    }
+
+    // ---- the orderBy view -------------------------------------------------
+    let q = "CONSTRUCT <sorted> $X {$X} </sorted> {} WHERE src items._ $X";
+    let mut plan = translate(&parse_query(q).unwrap()).unwrap();
+    splice_order_by(&mut plan);
+    let class = classify(&plan, NcCapabilities::with_select()).overall;
+    let reg = || {
+        let mut r = SourceRegistry::new();
+        r.add_tree("src", &filter_doc(100, 1));
+        r
+    };
+    let (f, a) = measure(&plan, reg, minimal);
+    row("orderBy view", class, f, a);
+
+    println!(
+        "\nThe bounded view's first answer costs a handful of navigations; the \
+         filter view's cost scales with the match gap under minimal NC but \
+         flattens once select_φ is available; the orderBy view pays almost the \
+         full cost before its first answer."
+    );
+}
+
+/// Insert `orderBy $X` between the body and the head of a translated plan.
+fn splice_order_by(plan: &mut Plan) {
+    let target = plan
+        .reachable()
+        .into_iter()
+        .find(|&id| matches!(plan.node(id), PlanNode::GroupBy { .. }))
+        .expect("translated plans group the head");
+    let PlanNode::GroupBy { input, group, items } = plan.node(target).clone() else {
+        unreachable!()
+    };
+    let ob = plan.add(PlanNode::OrderBy { input, keys: vec![Var::new("X")] });
+    *plan.node_mut(target) = PlanNode::GroupBy { input: ob, group, items };
+    plan.validate().expect("orderBy splice keeps the plan valid");
+}

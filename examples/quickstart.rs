@@ -1,0 +1,75 @@
+//! Quickstart: the paper's running example (Figures 3 & 4) end to end.
+//!
+//! Parses the XMAS "homes with local schools" query, translates it into an
+//! algebra plan, wires the plan to two sources, and navigates the virtual
+//! answer — printing how few source navigations each step costs.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use mix::prelude::*;
+
+fn main() {
+    // The two sources of the running example (Example 8's data).
+    let mut sources = SourceRegistry::new();
+    sources.add_term(
+        "homesSrc",
+        "homes[home[addr[La Jolla],zip[91220]],home[addr[El Cajon],zip[91223]]]",
+    );
+    sources.add_term(
+        "schoolsSrc",
+        "schools[school[dir[Smith],zip[91220]],school[dir[Bar],zip[91220]],\
+         school[dir[Hart],zip[91223]]]",
+    );
+
+    // Figure 3, verbatim (% comments included).
+    let query_text = r#"
+CONSTRUCT <answer>
+            <med_home> $H               % ... med_home elements followed by
+              $S {$S}                   % ... school elements (one for each $S)
+            </med_home> {$H}            % (one med_home element for each $H)
+          </answer> {}                  % create one answer element
+WHERE homesSrc homes.home $H AND $H zip._ $V1
+  AND schoolsSrc schools.school $S AND $S zip._ $V2
+  AND $V1 = $V2                         % join on the zip code
+"#;
+    let query = parse_query(query_text).expect("Figure 3 parses");
+    println!("XMAS query:\n{query_text}");
+
+    let plan = translate(&query).expect("Figure 4 translation");
+    println!("Algebra plan (Figure 4):\n{plan}");
+
+    let report = classify(&plan, NcCapabilities::with_select());
+    println!("Browsability: {}\n", report.overall);
+
+    // Wire up the engine. No source access happens here: the client gets
+    // the virtual root for free.
+    let doc = VirtualDocument::new(Engine::new(plan, &sources).unwrap());
+    let root = doc.root();
+    println!("root handle obtained — source navigations so far: {}", doc.stats().total());
+
+    println!("root label: {}", root.label());
+
+    // Navigate into the first med_home only.
+    let first = root.down().expect("at least one med_home");
+    let home = first.down().expect("the home");
+    println!(
+        "first result: {} in zip {}",
+        home.child("addr").map(|a| a.text()).unwrap_or_default(),
+        home.child("zip").map(|z| z.text()).unwrap_or_default(),
+    );
+    let after_first = doc.stats().total();
+    println!("source navigations after first result: {after_first}");
+
+    // Its schools:
+    for school in first.children().skip(1) {
+        println!("  school dir: {}", school.child("dir").map(|d| d.text()).unwrap_or_default());
+    }
+
+    // Now pull the whole answer and compare the cost.
+    let full = root.to_tree();
+    println!("\nfull answer:\n{}", mix::xml::xmlio::to_xml_pretty(&full));
+    println!("source navigations after full materialization: {}", doc.stats().total());
+    for (name, stats) in &doc.stats().per_source {
+        println!("  {name}: {stats}");
+    }
+}

@@ -1,0 +1,119 @@
+//! An interactive DOM-VXD console — the Rust analogue of the paper's §5
+//! "interface to a Python interpreter that allows the user to interactively
+//! issue Java calls that correspond to the navigation commands".
+//!
+//! Commands (one per line on stdin):
+//!
+//! ```text
+//! d            down  — first child
+//! r            right — next sibling
+//! u            up    — back to where you descended from (client-side stack)
+//! f            fetch — print the label
+//! s <label>    select — next sibling with the given label
+//! t            tree  — materialize and print the current subtree
+//! g            guide — DTD-style structural summary of the subtree
+//! n            navs  — print per-source navigation counters
+//! q            quit
+//! ```
+//!
+//! Run interactively: `cargo run --example vxd_console`
+//! or scripted:      `echo "f d f d t q" | tr ' ' '\n' | cargo run --example vxd_console`
+
+use mix::prelude::*;
+use std::io::{BufRead, Write};
+
+fn main() {
+    // The running example's virtual view over generated data.
+    let mut sources = SourceRegistry::new();
+    sources.add_tree("homesSrc", &mix::wrappers::gen::homes_doc(42, 25, 6));
+    sources.add_tree("schoolsSrc", &mix::wrappers::gen::schools_doc(43, 25, 6));
+    let plan = translate(
+        &parse_query(
+            "CONSTRUCT <answer> <med_home> $H $S {$S} </med_home> {$H} </answer> {} \
+             WHERE homesSrc homes.home $H AND $H zip._ $V1 \
+               AND schoolsSrc schools.school $S AND $S zip._ $V2 AND $V1 = $V2",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let doc = VirtualDocument::new(Engine::new(plan, &sources).unwrap());
+
+    println!("DOM-VXD console over the virtual med_home view.");
+    println!("commands: d(own) r(ight) u(p) f(etch) s <label> t(ree) g(uide) n(avs) q(uit)");
+
+    let mut cursor = doc.root();
+    // The client-side path stack (`u` is not a DOM-VXD command; the thin
+    // client remembers where it descended from, like any DOM app would).
+    let mut stack: Vec<VirtualElement> = Vec::new();
+
+    let stdin = std::io::stdin();
+    print!("> ");
+    std::io::stdout().flush().ok();
+    for line in stdin.lock().lines() {
+        let line = line.unwrap_or_default();
+        let mut words = line.split_whitespace();
+        match words.next() {
+            Some("d") => match cursor.down() {
+                Some(c) => {
+                    stack.push(cursor.clone());
+                    cursor = c;
+                    println!("↓ {}", cursor.label());
+                }
+                None => println!("⊥ (leaf)"),
+            },
+            Some("r") => match cursor.right() {
+                Some(c) => {
+                    cursor = c;
+                    println!("→ {}", cursor.label());
+                }
+                None => println!("⊥ (no right sibling)"),
+            },
+            Some("u") => match stack.pop() {
+                Some(p) => {
+                    cursor = p;
+                    println!("↑ {}", cursor.label());
+                }
+                None => println!("⊥ (at the root)"),
+            },
+            Some("f") => println!("label: {}", cursor.label()),
+            Some("s") => match words.next() {
+                Some(label) => match cursor.select(&LabelPred::equals(label)) {
+                    Some(c) => {
+                        cursor = c;
+                        println!("σ→ {}", cursor.label());
+                    }
+                    None => println!("⊥ (no matching sibling)"),
+                },
+                None => println!("usage: s <label>"),
+            },
+            Some("t") => println!("{}", mix::xml::xmlio::to_xml_pretty(&cursor.to_tree())),
+            Some("g") => {
+                // BBQ-style guide of the current subtree (materialized),
+                // or of the whole virtual view when at the root (computed
+                // by lazy navigation: `g` at the root is itself a
+                // navigation-driven operation).
+                if stack.is_empty() {
+                    print!("{}", doc.summary(32));
+                } else {
+                    let tree = cursor.to_tree();
+                    let mut nav = mix::nav::DocNavigator::from_tree(&tree);
+                    print!("{}", mix::nav::Summary::infer(&mut nav, 32));
+                }
+            }
+            Some("n") => {
+                for (name, stats) in &doc.stats().per_source {
+                    println!("  {name}: {stats}");
+                }
+            }
+            Some("q") => break,
+            Some(other) => println!("unknown command `{other}`"),
+            None => {}
+        }
+        print!("> ");
+        std::io::stdout().flush().ok();
+    }
+    println!("\nfinal source navigation counts:");
+    for (name, stats) in &doc.stats().per_source {
+        println!("  {name}: {stats}");
+    }
+}
