@@ -11,12 +11,26 @@
 //! Termination relies on the protocol's progress invariant: every fill
 //! either removes a hole (empty reply) or contributes at least one real
 //! node, and the open tree only refines towards the finite source tree.
+//!
+//! # Fault tolerance
+//!
+//! Every LXP request runs under a [`RetryPolicy`]: transient wrapper
+//! errors (`LxpError::SourceError`) are retried with exponential simulated
+//! backoff, and a per-source circuit breaker quarantines a persistently
+//! failing source. Faults the retry layer cannot absorb do **not** panic:
+//! the DOM-VXD navigation degrades gracefully (`down`/`right` answer
+//! `None`, `fetch` answers the empty label) and the failure is recorded in
+//! the buffer's [`SourceHealth`] handle, which clients, the engine, and
+//! the profiler can query.
 
 use crate::fragment::Fragment;
+use crate::health::SourceHealth;
 use crate::lxp::{check_progress, HoleId, LxpWrapper};
+use crate::retry::{RetryError, RetryPolicy, RetryState};
 use mix_nav::Navigator;
 use mix_xml::Label;
 use std::cell::Cell;
+use std::fmt;
 use std::rc::Rc;
 
 /// Stable identifier of a buffered node.
@@ -81,6 +95,64 @@ impl BufferStats {
     }
 }
 
+/// Why a buffer operation could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BufferError {
+    /// An LXP request failed beyond what retries could absorb (permanent
+    /// error, retries exhausted, or circuit open).
+    Lxp {
+        /// The request that failed, e.g. `fill(db.homes.3)`.
+        request: String,
+        /// What the retry layer concluded.
+        error: RetryError,
+    },
+    /// The wrapper never produced the document's root element.
+    RootUnavailable {
+        /// The document URI.
+        uri: String,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A fill loop stopped making progress (fuel exhausted).
+    Stalled {
+        /// The navigation being answered.
+        context: String,
+    },
+    /// The buffer arena outgrew its 32-bit id space.
+    CapacityExceeded {
+        /// Materialized nodes at the time of the failure.
+        nodes: usize,
+    },
+    /// A navigation handle that cannot exist in the current buffer —
+    /// usually a handle used after the connection failed.
+    InvalidHandle {
+        /// The offending handle's index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for BufferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BufferError::Lxp { request, error } => write!(f, "{request}: {error}"),
+            BufferError::RootUnavailable { uri, reason } => {
+                write!(f, "no root element for `{uri}`: {reason}")
+            }
+            BufferError::Stalled { context } => {
+                write!(f, "wrapper made no progress while {context}")
+            }
+            BufferError::CapacityExceeded { nodes } => {
+                write!(f, "buffer capacity exceeded at {nodes} nodes")
+            }
+            BufferError::InvalidHandle { index } => {
+                write!(f, "navigation handle #{index} is not materialized")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BufferError {}
+
 #[derive(Debug, Clone)]
 enum Entry {
     Node(BufNodeId),
@@ -99,35 +171,57 @@ struct BufNode {
 /// The buffer component: a [`Navigator`] over the open tree fed by an LXP
 /// wrapper.
 ///
-/// # Panics
-/// Navigation panics when the wrapper violates the LXP contract (unknown
-/// holes, progress violations, source errors): in the MIX architecture
-/// these are integration bugs between buffer and wrapper, not data-level
-/// conditions a client could react to.
+/// # Errors
+/// Navigation never panics on wrapper failure. Transient source errors
+/// are retried per the buffer's [`RetryPolicy`]; anything beyond that
+/// degrades the navigation (`None` / empty label) and is recorded in the
+/// [`SourceHealth`] handle returned by [`BufferNavigator::health`].
 pub struct BufferNavigator<W> {
     wrapper: W,
     uri: String,
     nodes: Vec<BufNode>,
     connected: bool,
     stats: BufferStats,
+    policy: RetryPolicy,
+    retry: RetryState,
+    health: SourceHealth,
 }
 
 impl<W: LxpWrapper> BufferNavigator<W> {
-    /// Create a buffer over `wrapper`, exporting the document at `uri`.
-    /// No wrapper traffic happens until the first navigation.
+    /// Create a buffer over `wrapper`, exporting the document at `uri`,
+    /// with the default retry policy. No wrapper traffic happens until
+    /// the first navigation.
     pub fn new(wrapper: W, uri: impl Into<String>) -> Self {
+        BufferNavigator::with_retry(wrapper, uri, RetryPolicy::default())
+    }
+
+    /// Create a buffer with an explicit retry/backoff/breaker policy.
+    pub fn with_retry(wrapper: W, uri: impl Into<String>, policy: RetryPolicy) -> Self {
         BufferNavigator {
             wrapper,
             uri: uri.into(),
             nodes: Vec::new(),
             connected: false,
             stats: BufferStats::new(),
+            policy,
+            retry: RetryState::new(),
+            health: SourceHealth::new(),
         }
     }
 
     /// A shared handle to this buffer's traffic counters.
     pub fn stats(&self) -> BufferStats {
         self.stats.clone()
+    }
+
+    /// A shared handle to this buffer's fault/retry health.
+    pub fn health(&self) -> SourceHealth {
+        self.health.clone()
+    }
+
+    /// The retry policy in effect.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.policy
     }
 
     /// Tear down the buffer and recover the wrapper (for reading
@@ -165,83 +259,125 @@ impl<W: LxpWrapper> BufferNavigator<W> {
         }
     }
 
-    fn do_fill(&mut self, hole: &HoleId) -> Vec<Fragment> {
+    /// One `fill` under the retry policy. Progress is checked inside the
+    /// retried operation, so a protocol-violating reply surfaces as a
+    /// permanent error (and counts against the breaker) instead of being
+    /// buffered.
+    fn try_fill(&mut self, hole: &HoleId) -> Result<Vec<Fragment>, BufferError> {
+        let wrapper = &mut self.wrapper;
         let reply = self
-            .wrapper
-            .fill(hole)
-            .unwrap_or_else(|e| panic!("LXP fill({hole}) failed: {e}"));
-        check_progress(&reply).unwrap_or_else(|e| panic!("wrapper broke LXP progress: {e}"));
+            .retry
+            .run(&self.policy, &self.health, || {
+                let reply = wrapper.fill(hole)?;
+                check_progress(&reply)?;
+                Ok(reply)
+            })
+            .map_err(|error| BufferError::Lxp { request: format!("fill({hole})"), error })?;
         let cells = &self.stats.inner;
         cells.fills.set(cells.fills.get() + 1);
         for f in &reply {
             cells.nodes_received.set(cells.nodes_received.get() + f.node_count() as u64);
             cells.bytes_received.set(cells.bytes_received.get() + f.wire_bytes() as u64);
         }
-        reply
+        Ok(reply)
     }
 
-    fn ensure_connected(&mut self) {
+    /// Establish the connection if necessary: `get_root`, then chase
+    /// fills until the single root element appears. Holes around it
+    /// necessarily represent zero elements (a document has one root) and
+    /// are dropped. Failure leaves the buffer unconnected; a later
+    /// navigation attempts the connection again (unless the breaker is
+    /// open).
+    fn try_ensure_connected(&mut self) -> Result<(), BufferError> {
         if self.connected {
-            return;
+            return Ok(());
         }
+        let uri = self.uri.clone();
         let cells = &self.stats.inner;
         cells.get_roots.set(cells.get_roots.get() + 1);
-        let uri = self.uri.clone();
+        let wrapper = &mut self.wrapper;
         let mut hole = self
-            .wrapper
-            .get_root(&uri)
-            .unwrap_or_else(|e| panic!("LXP get_root({uri}) failed: {e}"));
-        // Chase fills until the single root element appears. Holes around
-        // it necessarily represent zero elements (a document has one root)
-        // and are dropped.
+            .retry
+            .run(&self.policy, &self.health, || wrapper.get_root(&uri))
+            .map_err(|error| BufferError::Lxp { request: format!("get_root({uri})"), error })?;
         let mut fuel = FILL_FUEL;
         let root_frag = loop {
-            let reply = self.do_fill(&hole);
+            let reply = self.try_fill(&hole)?;
             if let Some(node) = reply.iter().find(|f| !f.is_hole()) {
                 break node.clone();
             }
             match reply.into_iter().next() {
                 Some(Fragment::Hole(h)) => hole = h,
-                _ => panic!("LXP root fill for `{uri}` reached a dead end without a root"),
+                _ => {
+                    return Err(BufferError::RootUnavailable {
+                        uri,
+                        reason: "fill chain reached a dead end".into(),
+                    })
+                }
             }
             fuel -= 1;
-            assert!(fuel > 0, "wrapper failed to produce a root element for `{uri}`");
+            if fuel == 0 {
+                return Err(BufferError::RootUnavailable {
+                    uri,
+                    reason: format!("no root element after {FILL_FUEL} fills"),
+                });
+            }
         };
-        let root = self.intern(&root_frag, None, 0);
+        let Fragment::Node { label, children } = &root_frag else {
+            return Err(BufferError::RootUnavailable {
+                uri,
+                reason: "wrapper produced a hole where the root was expected".into(),
+            });
+        };
+        let root = self.try_intern(label, children, None, 0)?;
         debug_assert_eq!(root, BufNodeId(0));
         self.connected = true;
+        Ok(())
     }
 
-    /// Materialize a fragment into the arena; returns the node id.
-    fn intern(&mut self, frag: &Fragment, parent: Option<BufNodeId>, idx: usize) -> BufNodeId {
-        let Fragment::Node { label, children } = frag else {
-            panic!("intern called on a hole");
+    /// Materialize an element into the arena; returns the node id.
+    fn try_intern(
+        &mut self,
+        label: &Label,
+        children: &[Fragment],
+        parent: Option<BufNodeId>,
+        idx: usize,
+    ) -> Result<BufNodeId, BufferError> {
+        let id = match u32::try_from(self.nodes.len()) {
+            Ok(n) => BufNodeId(n),
+            Err(_) => return Err(BufferError::CapacityExceeded { nodes: self.nodes.len() }),
         };
-        let id = BufNodeId(u32::try_from(self.nodes.len()).expect("buffer too large"));
         self.nodes.push(BufNode { label: label.clone(), children: Vec::new(), parent, idx });
-        let entries: Vec<Entry> = children
-            .iter()
-            .enumerate()
-            .map(|(i, c)| match c {
+        let mut entries = Vec::with_capacity(children.len());
+        for (i, c) in children.iter().enumerate() {
+            entries.push(match c {
                 Fragment::Hole(h) => Entry::Hole(h.clone()),
-                node => Entry::Node(self.intern(node, Some(id), i)),
-            })
-            .collect();
+                Fragment::Node { label, children } => {
+                    Entry::Node(self.try_intern(label, children, Some(id), i)?)
+                }
+            });
+        }
         self.nodes[id.index()].children = entries;
-        id
+        Ok(id)
     }
 
     /// Replace the hole at `parent.children[i]` with the interned reply,
     /// shifting sibling indices.
-    fn splice(&mut self, parent: BufNodeId, i: usize, reply: Vec<Fragment>) {
-        let interned: Vec<Entry> = reply
-            .iter()
-            .enumerate()
-            .map(|(k, f)| match f {
+    fn try_splice(
+        &mut self,
+        parent: BufNodeId,
+        i: usize,
+        reply: Vec<Fragment>,
+    ) -> Result<(), BufferError> {
+        let mut interned = Vec::with_capacity(reply.len());
+        for (k, f) in reply.iter().enumerate() {
+            interned.push(match f {
                 Fragment::Hole(h) => Entry::Hole(h.clone()),
-                node => Entry::Node(self.intern(node, Some(parent), i + k)),
-            })
-            .collect();
+                Fragment::Node { label, children } => {
+                    Entry::Node(self.try_intern(label, children, Some(parent), i + k)?)
+                }
+            });
+        }
         let grew = interned.len();
         let kids = &mut self.nodes[parent.index()].children;
         kids.splice(i..=i, interned);
@@ -252,28 +388,77 @@ impl<W: LxpWrapper> BufferNavigator<W> {
                 self.nodes[id.index()].idx = i + grew + off;
             }
         }
+        Ok(())
     }
 
     /// First materialized node at or after child position `start` of
     /// `parent`, filling holes as they are encountered (Fig. 8's
     /// `chase_first`, generalized).
-    fn resolve_from(&mut self, parent: BufNodeId, start: usize) -> Option<BufNodeId> {
+    fn try_resolve_from(
+        &mut self,
+        parent: BufNodeId,
+        start: usize,
+    ) -> Result<Option<BufNodeId>, BufferError> {
         let i = start;
         let mut fuel = FILL_FUEL;
         loop {
-            let entry = self.nodes[parent.index()].children.get(i).cloned()?;
+            let Some(entry) = self.nodes[parent.index()].children.get(i).cloned() else {
+                return Ok(None);
+            };
             match entry {
-                Entry::Node(id) => return Some(id),
+                Entry::Node(id) => return Ok(Some(id)),
                 Entry::Hole(h) => {
-                    let reply = self.do_fill(&h);
-                    self.splice(parent, i, reply);
+                    let reply = self.try_fill(&h)?;
+                    self.try_splice(parent, i, reply)?;
                     // Re-examine position i: it now holds the first reply
                     // fragment, the next original sibling (empty reply), or
                     // nothing (list exhausted).
                 }
             }
             fuel -= 1;
-            assert!(fuel > 0, "wrapper made no progress filling children of a node");
+            if fuel == 0 {
+                return Err(BufferError::Stalled {
+                    context: format!("resolving children of node #{}", parent.0),
+                });
+            }
+        }
+    }
+
+    fn node_at(&self, p: BufNodeId) -> Result<&BufNode, BufferError> {
+        self.nodes.get(p.index()).ok_or(BufferError::InvalidHandle { index: p.index() })
+    }
+
+    // ---- fallible navigation (the degradation-free API) ----------------
+
+    /// `down`, reporting failure instead of degrading.
+    pub fn try_down(&mut self, p: &BufNodeId) -> Result<Option<BufNodeId>, BufferError> {
+        self.try_ensure_connected()?;
+        self.node_at(*p)?;
+        self.try_resolve_from(*p, 0)
+    }
+
+    /// `right`, reporting failure instead of degrading.
+    pub fn try_right(&mut self, p: &BufNodeId) -> Result<Option<BufNodeId>, BufferError> {
+        self.try_ensure_connected()?;
+        let node = self.node_at(*p)?;
+        let Some(parent) = node.parent else { return Ok(None) };
+        let idx = node.idx;
+        self.try_resolve_from(parent, idx + 1)
+    }
+
+    /// `fetch`, reporting failure instead of degrading.
+    pub fn try_fetch(&mut self, p: &BufNodeId) -> Result<Label, BufferError> {
+        self.try_ensure_connected()?;
+        Ok(self.node_at(*p)?.label.clone())
+    }
+
+    fn degrade<T>(&self, result: Result<T, BufferError>, fallback: T) -> T {
+        match result {
+            Ok(v) => v,
+            Err(e) => {
+                self.health.record_degraded(&e);
+                fallback
+            }
         }
     }
 }
@@ -293,27 +478,26 @@ impl<W: LxpWrapper> Navigator for BufferNavigator<W> {
     }
 
     fn down(&mut self, p: &BufNodeId) -> Option<BufNodeId> {
-        self.ensure_connected();
-        self.resolve_from(*p, 0)
+        let r = self.try_down(p);
+        self.degrade(r, None)
     }
 
     fn right(&mut self, p: &BufNodeId) -> Option<BufNodeId> {
-        self.ensure_connected();
-        let node = &self.nodes[p.index()];
-        let parent = node.parent?;
-        let idx = node.idx;
-        self.resolve_from(parent, idx + 1)
+        let r = self.try_right(p);
+        self.degrade(r, None)
     }
 
     fn fetch(&mut self, p: &BufNodeId) -> Label {
-        self.ensure_connected();
-        self.nodes[p.index()].label.clone()
+        let r = self.try_fetch(p);
+        self.degrade(r, Label::new(""))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultConfig, FaultyWrapper};
+    use crate::health::HealthStatus;
     use crate::lxp::LxpError;
     use crate::treewrap::{FillPolicy, TreeWrapper};
     use mix_nav::explore::materialize;
@@ -471,8 +655,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "progress")]
-    fn protocol_violation_panics() {
+    fn protocol_violation_degrades_instead_of_panicking() {
         struct Bad;
         impl LxpWrapper for Bad {
             fn get_root(&mut self, _uri: &str) -> Result<HoleId, LxpError> {
@@ -483,8 +666,142 @@ mod tests {
             }
         }
         let mut nav = BufferNavigator::new(Bad, "u");
+        let health = nav.health();
         let r = nav.root();
-        let _ = nav.down(&r);
+        assert_eq!(nav.down(&r), None, "degrades to no-child");
+        let s = health.snapshot();
+        assert_eq!(s.status, HealthStatus::Degraded);
+        let err = s.last_error.expect("fault recorded");
+        assert!(err.contains("protocol violation"), "{err}");
+        // Violating replies are never buffered.
+        assert_eq!(nav.buffered_nodes(), 0);
+    }
+
+    #[test]
+    fn transient_faults_are_retried_away_invisibly() {
+        let term = "view[tuple[a[1],b[2]],tuple[a[3],b[4]],tuple[a[5],b[6]]]";
+        let tree = parse_term(term).unwrap();
+        let faulty = FaultyWrapper::new(
+            TreeWrapper::single(&tree, FillPolicy::NodeAtATime),
+            FaultConfig::transient(42, 0.3),
+        );
+        let fault_stats = faulty.stats();
+        let mut nav = BufferNavigator::with_retry(
+            faulty,
+            "doc",
+            RetryPolicy { max_attempts: 32, ..RetryPolicy::default() },
+        );
+        let health = nav.health();
+        assert_eq!(materialize(&mut nav).to_string(), term, "identical result despite faults");
+        let s = health.snapshot();
+        assert!(fault_stats.snapshot().injected_faults > 0, "schedule actually injected");
+        assert_eq!(s.retries, fault_stats.snapshot().injected_faults, "every fault retried");
+        assert_eq!(s.status, HealthStatus::Healthy, "all faults absorbed");
+        assert!(s.backoff_cost > 0, "recovery cost is accounted");
+    }
+
+    #[test]
+    fn permanent_outage_degrades_and_opens_the_breaker() {
+        let tree = parse_term("r[a,b,c,d,e]").unwrap();
+        let faulty = FaultyWrapper::new(
+            TreeWrapper::single(&tree, FillPolicy::NodeAtATime),
+            FaultConfig::outage_after(4),
+        );
+        let mut nav = BufferNavigator::with_retry(
+            faulty,
+            "doc",
+            RetryPolicy { max_attempts: 2, breaker_threshold: 2, ..RetryPolicy::default() },
+        );
+        let health = nav.health();
+        let root = nav.root();
+        let a = nav.down(&root).unwrap();
+        assert_eq!(nav.fetch(&a), "a", "pre-outage data is served");
+        // Walk right until the outage bites: navigation degrades to None
+        // instead of panicking.
+        let mut p = a;
+        let mut reached = vec!["a".to_string()];
+        while let Some(next) = nav.right(&p) {
+            reached.push(nav.fetch(&next).to_string());
+            p = next;
+        }
+        assert!(reached.len() < 5, "outage truncated the walk: {reached:?}");
+        assert_eq!(health.status(), HealthStatus::Degraded, "one give-up so far");
+        // A second failing navigation reaches the breaker threshold; from
+        // then on the source is quarantined.
+        assert_eq!(nav.right(&p), None);
+        assert_eq!(health.status(), HealthStatus::Unavailable, "breaker open");
+        assert!(health.snapshot().degraded_ops > 0);
+        // Buffered data stays navigable while the source is down.
+        assert_eq!(nav.fetch(&a), "a");
+    }
+
+    #[test]
+    fn each_lxp_error_variant_propagates_without_panicking() {
+        struct Failing(LxpError);
+        impl LxpWrapper for Failing {
+            fn get_root(&mut self, _uri: &str) -> Result<HoleId, LxpError> {
+                Err(self.0.clone())
+            }
+            fn fill(&mut self, _hole: &HoleId) -> Result<Vec<Fragment>, LxpError> {
+                Err(self.0.clone())
+            }
+        }
+        for err in [
+            LxpError::UnknownHole("h7".into()),
+            LxpError::UnknownSource("doc".into()),
+            LxpError::ProtocolViolation("scrambled".into()),
+            LxpError::SourceError("connection reset".into()),
+        ] {
+            let mut nav = BufferNavigator::new(Failing(err.clone()), "doc");
+            let health = nav.health();
+            let root = nav.root();
+            assert_eq!(nav.down(&root), None, "{err:?} degrades down");
+            assert_eq!(nav.fetch(&root), "", "{err:?} degrades fetch");
+            let s = health.snapshot();
+            assert!(s.degraded_ops >= 2, "{err:?} recorded");
+            let msg = s.last_error.expect("last error kept");
+            assert!(msg.contains(&err.to_string()), "{msg} should mention {err}");
+        }
+    }
+
+    #[test]
+    fn failed_connection_is_retried_on_the_next_navigation() {
+        struct FlakyRoot {
+            failures_left: u32,
+            inner: TreeWrapper,
+        }
+        impl LxpWrapper for FlakyRoot {
+            fn get_root(&mut self, uri: &str) -> Result<HoleId, LxpError> {
+                if self.failures_left > 0 {
+                    self.failures_left -= 1;
+                    Err(LxpError::SourceError("warming up".into()))
+                } else {
+                    self.inner.get_root(uri)
+                }
+            }
+            fn fill(&mut self, hole: &HoleId) -> Result<Vec<Fragment>, LxpError> {
+                self.inner.fill(hole)
+            }
+        }
+        let tree = parse_term("r[a]").unwrap();
+        let wrapper = FlakyRoot {
+            failures_left: 3,
+            inner: TreeWrapper::single(&tree, FillPolicy::WholeSubtree),
+        };
+        // max_attempts 2 < 4 failures: the first navigation degrades, but
+        // the streak (1) stays under the breaker threshold, so the second
+        // navigation reconnects and succeeds.
+        let mut nav = BufferNavigator::with_retry(
+            wrapper,
+            "doc",
+            RetryPolicy { max_attempts: 2, breaker_threshold: 3, ..RetryPolicy::default() },
+        );
+        let health = nav.health();
+        let root = nav.root();
+        assert_eq!(nav.down(&root), None, "first try degrades");
+        assert_eq!(health.status(), HealthStatus::Degraded);
+        let a = nav.down(&root).expect("second try reconnects");
+        assert_eq!(nav.fetch(&a), "a");
     }
 
     #[test]

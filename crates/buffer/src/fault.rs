@@ -1,0 +1,277 @@
+//! Seeded fault injection for the buffer–wrapper path.
+//!
+//! [`FaultyWrapper`] wraps any [`LxpWrapper`] and makes it misbehave the
+//! way live web sources do: transient `SourceError`s at a configurable
+//! rate, latency spikes charged in simulated cost units, and an optional
+//! permanent outage after N requests. Faults are drawn from a SplitMix64
+//! stream seeded by [`FaultConfig::seed`], so every experiment and test
+//! replays the exact same fault schedule — the fault-injection analogue of
+//! the deterministic workload generators in `mix-wrappers::gen`.
+//!
+//! A fresh random draw happens on every *attempt*, so a request that
+//! failed transiently can succeed when the buffer retries it. A permanent
+//! outage ([`FaultConfig::fail_after`]) fails every attempt from then on —
+//! what the retry layer's circuit breaker exists for.
+
+use crate::fragment::Fragment;
+use crate::lxp::{HoleId, LxpError, LxpWrapper};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Fault schedule knobs. Rates are probabilities in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Seed of the deterministic fault stream.
+    pub seed: u64,
+    /// Probability that a `fill` attempt fails transiently.
+    pub fill_fault_rate: f64,
+    /// Probability that a `get_root` attempt fails transiently.
+    pub get_root_fault_rate: f64,
+    /// Probability that a successful request suffers a latency spike.
+    pub latency_spike_rate: f64,
+    /// Simulated cost units one latency spike adds.
+    pub latency_spike_cost: u64,
+    /// After this many requests (attempts, including injected failures),
+    /// the source goes down for good: every further attempt fails.
+    pub fail_after: Option<u64>,
+}
+
+impl FaultConfig {
+    /// A schedule that injects transient faults on `rate` of fill and
+    /// get_root attempts, nothing else.
+    pub fn transient(seed: u64, rate: f64) -> Self {
+        FaultConfig {
+            seed,
+            fill_fault_rate: rate,
+            get_root_fault_rate: rate,
+            latency_spike_rate: 0.0,
+            latency_spike_cost: 0,
+            fail_after: None,
+        }
+    }
+
+    /// A schedule with no random faults that takes the source down
+    /// permanently after `n` requests.
+    pub fn outage_after(n: u64) -> Self {
+        FaultConfig {
+            seed: 0,
+            fill_fault_rate: 0.0,
+            get_root_fault_rate: 0.0,
+            latency_spike_rate: 0.0,
+            latency_spike_cost: 0,
+            fail_after: Some(n),
+        }
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::transient(0, 0.0)
+    }
+}
+
+#[derive(Default, Debug)]
+struct FaultCells {
+    requests: Cell<u64>,
+    injected_faults: Cell<u64>,
+    latency_spikes: Cell<u64>,
+    injected_cost: Cell<u64>,
+}
+
+/// A point-in-time copy of [`FaultStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStatsSnapshot {
+    /// Attempts that reached the faulty layer (including failed ones).
+    pub requests: u64,
+    /// Transient failures injected (outage failures included).
+    pub injected_faults: u64,
+    /// Latency spikes injected on successful requests.
+    pub latency_spikes: u64,
+    /// Total simulated cost added by latency spikes.
+    pub injected_cost: u64,
+}
+
+/// Shared counters describing what the injector actually did.
+#[derive(Clone, Default, Debug)]
+pub struct FaultStats {
+    inner: Rc<FaultCells>,
+}
+
+impl FaultStats {
+    /// Read the totals.
+    pub fn snapshot(&self) -> FaultStatsSnapshot {
+        FaultStatsSnapshot {
+            requests: self.inner.requests.get(),
+            injected_faults: self.inner.injected_faults.get(),
+            latency_spikes: self.inner.latency_spikes.get(),
+            injected_cost: self.inner.injected_cost.get(),
+        }
+    }
+}
+
+/// An [`LxpWrapper`] adapter injecting seeded faults (see module docs).
+pub struct FaultyWrapper<W> {
+    inner: W,
+    config: FaultConfig,
+    rng_state: u64,
+    stats: FaultStats,
+}
+
+impl<W: LxpWrapper> FaultyWrapper<W> {
+    /// Wrap `inner` under the given fault schedule.
+    pub fn new(inner: W, config: FaultConfig) -> Self {
+        FaultyWrapper {
+            inner,
+            rng_state: config.seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+            config,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Shared handle to the injection counters.
+    pub fn stats(&self) -> FaultStats {
+        self.stats.clone()
+    }
+
+    /// The wrapped wrapper.
+    pub fn inner(&self) -> &W {
+        &self.inner
+    }
+
+    /// Tear down the adapter and recover the wrapper.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.rng_state = self.rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        p > 0.0 && ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+
+    /// Decide this attempt's fate: `Err` to inject a failure, `Ok` to let
+    /// it through (after maybe charging a latency spike).
+    fn gate(&mut self, rate: f64, what: &str, detail: &str) -> Result<(), LxpError> {
+        let n = self.stats.inner.requests.get() + 1;
+        self.stats.inner.requests.set(n);
+        if self.config.fail_after.is_some_and(|limit| n > limit) {
+            self.stats.inner.injected_faults.set(self.stats.inner.injected_faults.get() + 1);
+            return Err(LxpError::SourceError(format!(
+                "injected outage: source down after request {limit} ({what} {detail})",
+                limit = self.config.fail_after.unwrap_or(0),
+            )));
+        }
+        if self.chance(rate) {
+            self.stats.inner.injected_faults.set(self.stats.inner.injected_faults.get() + 1);
+            return Err(LxpError::SourceError(format!(
+                "injected transient fault on {what} {detail} (request {n})"
+            )));
+        }
+        if self.chance(self.config.latency_spike_rate) {
+            self.stats.inner.latency_spikes.set(self.stats.inner.latency_spikes.get() + 1);
+            self.stats
+                .inner
+                .injected_cost
+                .set(self.stats.inner.injected_cost.get() + self.config.latency_spike_cost);
+        }
+        Ok(())
+    }
+}
+
+impl<W: LxpWrapper> LxpWrapper for FaultyWrapper<W> {
+    fn get_root(&mut self, uri: &str) -> Result<HoleId, LxpError> {
+        self.gate(self.config.get_root_fault_rate, "get_root", uri)?;
+        self.inner.get_root(uri)
+    }
+
+    fn fill(&mut self, hole: &HoleId) -> Result<Vec<Fragment>, LxpError> {
+        self.gate(self.config.fill_fault_rate, "fill", hole)?;
+        self.inner.fill(hole)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::treewrap::{FillPolicy, TreeWrapper};
+    use mix_xml::term::parse_term;
+
+    fn wrapper() -> TreeWrapper {
+        TreeWrapper::single(&parse_term("r[a,b,c]").unwrap(), FillPolicy::NodeAtATime)
+    }
+
+    #[test]
+    fn zero_rate_is_transparent() {
+        let mut w = FaultyWrapper::new(wrapper(), FaultConfig::transient(1, 0.0));
+        let root = w.get_root("doc").unwrap();
+        let reply = w.fill(&root).unwrap();
+        assert!(!reply.is_empty());
+        let s = w.stats().snapshot();
+        assert_eq!(s.injected_faults, 0);
+        assert_eq!(s.requests, 2);
+    }
+
+    #[test]
+    fn schedules_replay_deterministically() {
+        let run = || {
+            let mut w = FaultyWrapper::new(wrapper(), FaultConfig::transient(7, 0.5));
+            let mut outcomes = Vec::new();
+            for _ in 0..50 {
+                outcomes.push(w.get_root("doc").is_ok());
+            }
+            outcomes
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn retrying_a_transient_fault_can_succeed() {
+        let mut w = FaultyWrapper::new(wrapper(), FaultConfig::transient(3, 0.5));
+        let successes = (0..64).filter(|_| w.get_root("doc").is_ok()).count();
+        assert!(successes > 0, "fresh draw per attempt lets retries through");
+        assert!(successes < 64, "seed 3 injects at 50%");
+        assert_eq!(w.stats().snapshot().injected_faults, 64 - successes as u64);
+    }
+
+    #[test]
+    fn injected_errors_are_transient_source_errors() {
+        let mut w = FaultyWrapper::new(wrapper(), FaultConfig::transient(0, 1.0));
+        let err = w.get_root("doc").unwrap_err();
+        assert!(err.is_transient(), "{err}");
+        assert!(err.to_string().contains("injected"));
+    }
+
+    #[test]
+    fn outage_is_permanent_from_fail_after_on() {
+        let mut w = FaultyWrapper::new(wrapper(), FaultConfig::outage_after(2));
+        let root = w.get_root("doc").unwrap();
+        let _ = w.fill(&root).unwrap();
+        for _ in 0..5 {
+            let err = w.fill(&root).unwrap_err();
+            assert!(err.to_string().contains("outage"), "{err}");
+        }
+    }
+
+    #[test]
+    fn latency_spikes_accrue_cost_without_failing() {
+        let cfg = FaultConfig {
+            seed: 11,
+            latency_spike_rate: 1.0,
+            latency_spike_cost: 250,
+            ..FaultConfig::default()
+        };
+        let mut w = FaultyWrapper::new(wrapper(), cfg);
+        let root = w.get_root("doc").unwrap();
+        let _ = w.fill(&root).unwrap();
+        let s = w.stats().snapshot();
+        assert_eq!(s.latency_spikes, 2);
+        assert_eq!(s.injected_cost, 500);
+        assert_eq!(s.injected_faults, 0);
+    }
+}

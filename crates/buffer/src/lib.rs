@@ -33,19 +33,38 @@
 //!   the critical path;
 //! * [`treewrap`] — an LXP wrapper over in-memory documents with pluggable
 //!   [`FillPolicy`]s, used by tests, the web-source simulator, and the
-//!   granularity experiments.
+//!   granularity experiments;
+//! * [`retry`] — retry with exponential simulated backoff and a
+//!   per-source circuit breaker, applied to every LXP request the buffer
+//!   issues;
+//! * [`health`] — the queryable [`SourceHealth`] surface recording
+//!   absorbed faults, recovery cost, and degraded operations;
+//! * [`fault`] — [`FaultyWrapper`], a seeded fault injector for testing
+//!   and measuring the above.
+//!
+//! The buffer never panics on wrapper failure: transient source errors
+//! are retried away; anything worse degrades navigation gracefully
+//! (`None` / empty label) and is recorded in the buffer's health handle.
 //!
 //! [`Navigator`]: mix_nav::Navigator
 //! [`FillPolicy`]: treewrap::FillPolicy
+//! [`SourceHealth`]: health::SourceHealth
+//! [`FaultyWrapper`]: fault::FaultyWrapper
 
 pub mod buffer;
+pub mod fault;
 pub mod fragment;
+pub mod health;
 pub mod lxp;
 pub mod prefetch;
+pub mod retry;
 pub mod treewrap;
 
-pub use buffer::{BufNodeId, BufferNavigator, BufferStats};
+pub use buffer::{BufNodeId, BufferError, BufferNavigator, BufferStats};
+pub use fault::{FaultConfig, FaultStats, FaultyWrapper};
 pub use fragment::Fragment;
+pub use health::{HealthSnapshot, HealthStatus, SourceHealth};
 pub use lxp::{HoleId, LxpError, LxpWrapper};
 pub use prefetch::Prefetcher;
+pub use retry::{RetryError, RetryPolicy};
 pub use treewrap::{FillPolicy, TreeWrapper};

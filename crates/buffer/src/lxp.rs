@@ -34,6 +34,16 @@ pub enum LxpError {
     SourceError(String),
 }
 
+impl LxpError {
+    /// Is this error worth retrying? Source-side failures (lost
+    /// connections, failed page fetches) are weather; everything else —
+    /// unknown holes/sources, protocol violations — is an integration bug
+    /// that no amount of retrying will fix.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, LxpError::SourceError(_))
+    }
+}
+
 impl fmt::Display for LxpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -115,6 +125,14 @@ mod tests {
     fn progress_rejects_adjacent_holes() {
         let reply = vec![Fragment::leaf("a"), Fragment::hole("1"), Fragment::hole("2")];
         assert!(check_progress(&reply).is_err());
+    }
+
+    #[test]
+    fn only_source_errors_are_transient() {
+        assert!(LxpError::SourceError("timeout".into()).is_transient());
+        assert!(!LxpError::UnknownHole("h".into()).is_transient());
+        assert!(!LxpError::UnknownSource("db".into()).is_transient());
+        assert!(!LxpError::ProtocolViolation("holes".into()).is_transient());
     }
 
     #[test]

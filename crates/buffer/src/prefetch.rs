@@ -13,7 +13,7 @@
 //! number of round trips the client actually waits for.
 
 use crate::fragment::Fragment;
-use crate::lxp::{HoleId, LxpError, LxpWrapper};
+use crate::lxp::{check_progress, HoleId, LxpError, LxpWrapper};
 use std::collections::HashMap;
 
 /// A readahead adapter around any LXP wrapper.
@@ -52,33 +52,40 @@ impl<W: LxpWrapper> Prefetcher<W> {
         &self.inner
     }
 
-    /// Pre-fill up to `budget` holes found in `reply` (breadth-first:
-    /// trailing sibling holes first — the direction a scanning client
-    /// moves), recursing into pre-filled replies while budget remains.
+    /// Pre-fill up to `budget` holes found in `reply`, trailing sibling
+    /// holes first — the direction a scanning client moves — recursing
+    /// into pre-filled replies while budget remains.
+    ///
+    /// Readahead is best-effort and off the critical path: a hole whose
+    /// speculative fill errors is simply skipped (the client's own fill
+    /// will face — and retry — that error on the critical path), and a
+    /// reply that violates the LXP progress invariant is dropped rather
+    /// than cached, so the buffer's protocol checking still sees it when
+    /// the client really asks.
     fn readahead(&mut self, reply: &[Fragment], budget: &mut usize) {
-        if *budget == 0 {
-            return;
-        }
-        let mut queue: Vec<HoleId> = Vec::new();
-        fn collect(frags: &[Fragment], queue: &mut Vec<HoleId>) {
+        fn collect(frags: &[Fragment], stack: &mut Vec<HoleId>) {
             for f in frags {
                 match f {
-                    Fragment::Hole(h) => queue.push(h.clone()),
-                    Fragment::Node { children, .. } => collect(children, queue),
+                    Fragment::Hole(h) => stack.push(h.clone()),
+                    Fragment::Node { children, .. } => collect(children, stack),
                 }
             }
         }
-        collect(reply, &mut queue);
-        let mut i = 0;
-        while i < queue.len() && *budget > 0 {
-            let h = queue[i].clone();
-            i += 1;
+        let mut stack: Vec<HoleId> = Vec::new();
+        collect(reply, &mut stack);
+        // Holes were pushed in document order, so popping serves the
+        // trailing-most hole first.
+        while *budget > 0 {
+            let Some(h) = stack.pop() else { break };
             if self.cache.contains_key(&h) {
                 continue;
             }
             let Ok(r) = self.inner.fill(&h) else { continue };
             *budget -= 1;
-            collect(&r, &mut queue);
+            if check_progress(&r).is_err() {
+                continue;
+            }
+            collect(&r, &mut stack);
             self.cache.insert(h, r);
         }
     }
@@ -134,17 +141,8 @@ mod tests {
     #[test]
     fn readahead_moves_fills_off_the_critical_path() {
         let tree = wide_tree(64);
-        let count_misses = |depth: usize| {
-            let inner = TreeWrapper::single(&tree, FillPolicy::NodeAtATime);
-            let pf = Prefetcher::new(inner, depth);
-            let mut nav = BufferNavigator::new(pf, "doc");
-            materialize(&mut nav);
-            // Reach inside: BufferNavigator consumed the prefetcher, so
-            // measure via a fresh scan below instead.
-            nav
-        };
-        // Instead of peeking inside the navigator, measure directly at the
-        // wrapper level: scan all children holes by hand.
+        // Measure directly at the wrapper level: scan all children holes
+        // by hand.
         let scan = |depth: usize| -> (u64, u64) {
             let inner = TreeWrapper::single(&tree, FillPolicy::NodeAtATime);
             let mut pf = Prefetcher::new(inner, depth);
@@ -169,7 +167,6 @@ mod tests {
         assert_eq!(scan(0).0, 0, "depth 0 never hits");
         assert!(m4 * 3 < m0, "depth 4 misses {m4} vs no-prefetch misses {m0}");
         assert!(h4 > 0);
-        let _ = count_misses; // the navigator-level variant is exercised above
     }
 
     #[test]
@@ -190,5 +187,69 @@ mod tests {
         let mut pf = Prefetcher::new(inner, 2);
         assert!(pf.get_root("nope").is_err());
         assert!(pf.fill(&"garbage".to_string()).is_err());
+    }
+
+    /// A wrapper with a fixed reply per hole id, for observing exactly
+    /// which holes readahead chooses.
+    struct Scripted {
+        replies: HashMap<HoleId, Vec<Fragment>>,
+    }
+
+    impl LxpWrapper for Scripted {
+        fn get_root(&mut self, _uri: &str) -> Result<HoleId, LxpError> {
+            Ok("root".into())
+        }
+        fn fill(&mut self, hole: &HoleId) -> Result<Vec<Fragment>, LxpError> {
+            self.replies
+                .get(hole)
+                .cloned()
+                .ok_or_else(|| LxpError::UnknownHole(hole.clone()))
+        }
+    }
+
+    #[test]
+    fn tight_budget_prefers_trailing_holes() {
+        // fill(root) = [a, ◦lead, b, ◦trail] — a scanning client reads
+        // left to right, so the hole it reaches next is the trailing one.
+        let replies = HashMap::from([
+            (
+                "root".to_string(),
+                vec![
+                    Fragment::leaf("a"),
+                    Fragment::hole("lead"),
+                    Fragment::leaf("b"),
+                    Fragment::hole("trail"),
+                ],
+            ),
+            ("lead".to_string(), vec![Fragment::leaf("x")]),
+            ("trail".to_string(), vec![Fragment::leaf("y")]),
+        ]);
+        let mut pf = Prefetcher::new(Scripted { replies }, 1);
+        let root = pf.get_root("doc").unwrap();
+        let _ = pf.fill(&root).unwrap();
+        assert_eq!(pf.cached(), 1, "budget 1 pre-fills exactly one hole");
+        // The trailing hole is served from cache; the leading one is not.
+        let _ = pf.fill(&"trail".to_string()).unwrap();
+        assert_eq!(pf.hits(), 1, "trailing hole was the one cached");
+        let _ = pf.fill(&"lead".to_string()).unwrap();
+        assert_eq!(pf.misses(), 2, "leading hole went to the wrapper (plus the root fill)");
+    }
+
+    #[test]
+    fn progress_violating_replies_are_never_cached() {
+        // fill(bad) breaks the progress invariant (only holes). The
+        // prefetcher must drop it so the buffer's own protocol check sees
+        // the violation on the critical path.
+        let replies = HashMap::from([
+            ("root".to_string(), vec![Fragment::leaf("a"), Fragment::hole("bad")]),
+            ("bad".to_string(), vec![Fragment::hole("x"), Fragment::hole("y")]),
+        ]);
+        let mut pf = Prefetcher::new(Scripted { replies }, 4);
+        let root = pf.get_root("doc").unwrap();
+        let _ = pf.fill(&root).unwrap();
+        assert_eq!(pf.cached(), 0, "violating reply dropped, not cached");
+        // The client's own fill still receives the raw violating reply.
+        let raw = pf.fill(&"bad".to_string()).unwrap();
+        assert!(raw.iter().all(Fragment::is_hole));
     }
 }

@@ -4,7 +4,10 @@
 //! always *represents* the underlying document (Def. 4).
 
 use mix_buffer::fragment::tree_represents;
-use mix_buffer::{BufferNavigator, FillPolicy, Prefetcher, TreeWrapper};
+use mix_buffer::{
+    BufferNavigator, FaultConfig, FaultyWrapper, FillPolicy, HealthStatus, Prefetcher,
+    RetryPolicy, TreeWrapper,
+};
 use mix_nav::explore::materialize;
 use mix_nav::{Cmd, DocNavigator, NavProgram};
 use mix_xml::Tree;
@@ -95,6 +98,60 @@ proptest! {
         // empty ones the protocol already proved empty.
         let closed = open.to_tree();
         prop_assert_eq!(closed.as_ref(), Some(&tree));
+    }
+
+    #[test]
+    fn retries_absorb_any_transient_fault_schedule(
+        tree in arb_tree(),
+        policy in arb_policy(),
+        seed in 0u64..u64::MAX,
+        rate_millis in 0u64..500,
+    ) {
+        // Under ANY seeded schedule of transient faults (up to a 50% fault
+        // rate on both the handshake and every fill), retries make the
+        // buffered view equal to the underlying tree — the fault layer is
+        // invisible to a client that navigates everything.
+        let rate = rate_millis as f64 / 1000.0;
+        let wrapper = FaultyWrapper::new(
+            TreeWrapper::single(&tree, policy),
+            FaultConfig::transient(seed, rate),
+        );
+        let retry = RetryPolicy { max_attempts: 64, ..RetryPolicy::default() };
+        let mut buffered = BufferNavigator::with_retry(wrapper, "doc", retry);
+        let got = materialize(&mut buffered);
+        prop_assert_eq!(&got, &tree);
+        // Nothing degraded: every fault was retried away.
+        let snap = buffered.health().snapshot();
+        prop_assert_eq!(snap.degraded_ops, 0);
+        prop_assert_eq!(buffered.health().status(), HealthStatus::Healthy);
+        // And the open tree still closes to the exact document.
+        let closed = buffered.open_tree().expect("connected").to_tree();
+        prop_assert_eq!(closed.as_ref(), Some(&tree));
+    }
+
+    #[test]
+    fn faulty_navigation_matches_direct_navigation(
+        tree in arb_tree(),
+        policy in arb_policy(),
+        prog in arb_program(),
+        seed in 0u64..u64::MAX,
+    ) {
+        // A fixed 30% transient-fault rate under an arbitrary navigation
+        // program: same ⊥-pattern, same labels as a direct DOM walk.
+        let mut direct = DocNavigator::from_tree(&tree);
+        let wrapper = FaultyWrapper::new(
+            TreeWrapper::single(&tree, policy),
+            FaultConfig::transient(seed, 0.3),
+        );
+        let retry = RetryPolicy { max_attempts: 64, ..RetryPolicy::default() };
+        let mut buffered = BufferNavigator::with_retry(wrapper, "doc", retry);
+        let a = prog.run(&mut direct);
+        let b = prog.run(&mut buffered);
+        let a_defined: Vec<bool> = a.ptrs.iter().map(Option::is_some).collect();
+        let b_defined: Vec<bool> = b.ptrs.iter().map(Option::is_some).collect();
+        prop_assert_eq!(a_defined, b_defined);
+        prop_assert_eq!(a.labels, b.labels);
+        prop_assert_eq!(buffered.health().status(), HealthStatus::Healthy);
     }
 
     #[test]

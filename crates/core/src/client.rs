@@ -39,6 +39,19 @@ impl VirtualDocument {
         self.engine.borrow().stats()
     }
 
+    /// Fault/retry health per source (see [`Engine::health`]). A client
+    /// that received a partial answer can look here for which source
+    /// degraded and why — without ever leaving the DOM illusion.
+    pub fn health(&self) -> Vec<(String, Option<mix_buffer::HealthSnapshot>)> {
+        self.engine.borrow().health()
+    }
+
+    /// The worst health status across sources — `Healthy` means the
+    /// answer seen so far is complete with respect to the sources.
+    pub fn overall_health(&self) -> mix_buffer::HealthStatus {
+        self.engine.borrow().overall_health()
+    }
+
     /// Reset the statistics.
     pub fn reset_stats(&self) {
         self.engine.borrow().reset_stats();

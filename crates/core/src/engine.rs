@@ -12,6 +12,7 @@ use crate::ops::OpState;
 use crate::registry::{SharedSource, SourceRegistry};
 use crate::EngineError;
 use mix_algebra::{Plan, PlanId, PlanNode};
+use mix_buffer::{HealthSnapshot, HealthStatus, SourceHealth};
 use mix_nav::{LabelPred, NavCounters, NavStats, Navigator};
 use mix_xml::{Document, Label};
 use std::collections::HashSet;
@@ -59,11 +60,13 @@ impl EngineConfig {
     }
 }
 
-/// One wired source: the shared navigator plus its command counters.
+/// One wired source: the shared navigator plus its command counters and,
+/// when the source reports it, its buffer's fault/retry health.
 pub(crate) struct SourceConn {
     pub name: String,
     pub nav: SharedSource,
     pub counters: NavCounters,
+    pub health: Option<SourceHealth>,
 }
 
 /// Per-source navigation statistics.
@@ -165,6 +168,41 @@ impl Engine {
         }
     }
 
+    /// Fault/retry health per source, for sources that report it
+    /// (`SourceRegistry::add_navigator_with_health`); `None` for plain
+    /// navigators with no buffer underneath.
+    pub fn health(&self) -> Vec<(String, Option<HealthSnapshot>)> {
+        self.sources
+            .iter()
+            .map(|s| (s.name.clone(), s.health.as_ref().map(SourceHealth::snapshot)))
+            .collect()
+    }
+
+    /// The worst status across all health-reporting sources: `Healthy`
+    /// when every source is fine (or none reports), `Degraded` when any
+    /// source lost data, `Unavailable` when any breaker is open.
+    pub fn overall_health(&self) -> HealthStatus {
+        let mut worst = HealthStatus::Healthy;
+        for s in &self.sources {
+            match s.health.as_ref().map(|h| h.status()) {
+                Some(HealthStatus::Unavailable) => return HealthStatus::Unavailable,
+                Some(HealthStatus::Degraded) => worst = HealthStatus::Degraded,
+                _ => {}
+            }
+        }
+        worst
+    }
+
+    /// Degraded operations summed across health-reporting sources — the
+    /// profiler's per-step fault delta.
+    pub(crate) fn total_degraded_ops(&self) -> u64 {
+        self.sources
+            .iter()
+            .filter_map(|s| s.health.as_ref())
+            .map(|h| h.snapshot().degraded_ops)
+            .sum()
+    }
+
     pub(crate) fn op(&self, id: PlanId) -> &OpState {
         &self.ops[id.index()]
     }
@@ -226,11 +264,12 @@ fn build_op(
             let idx = match sources.iter().position(|s| &s.name == name) {
                 Some(i) => i,
                 None => {
-                    let nav = registry.get(name)?;
+                    let reg = registry.get(name)?;
                     sources.push(SourceConn {
                         name: name.clone(),
-                        nav,
+                        nav: reg.nav,
                         counters: NavCounters::new(),
+                        health: reg.health,
                     });
                     sources.len() - 1
                 }

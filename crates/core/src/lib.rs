@@ -58,6 +58,9 @@ pub use engine::{Engine, EngineConfig, EngineStats};
 pub use handle::VNode;
 pub use profile::{profile, Profile};
 pub use registry::SourceRegistry;
+// Health types surface through `Engine::health` / `VirtualDocument::health`;
+// re-exported so engine clients need not depend on mix-buffer directly.
+pub use mix_buffer::{HealthSnapshot, HealthStatus, SourceHealth};
 
 /// Errors raised while wiring a plan to sources.
 #[derive(Debug, Clone, PartialEq, Eq)]

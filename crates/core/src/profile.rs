@@ -19,6 +19,9 @@ pub struct StepCost {
     pub command: String,
     /// Source navigations this command triggered, across all sources.
     pub cost: NavStats,
+    /// Source operations that degraded (gave up after retries) while
+    /// answering this command — non-zero only when a source is unhealthy.
+    pub faults: u64,
 }
 
 /// The profile of a client navigation.
@@ -44,13 +47,26 @@ impl Profile {
     pub fn bounded_by(&self, bound: u64) -> bool {
         self.steps.iter().all(|s| s.cost.total() <= bound)
     }
+
+    /// Total degraded source operations across the profiled navigation.
+    pub fn total_faults(&self) -> u64 {
+        self.steps.iter().map(|s| s.faults).sum()
+    }
 }
 
 impl fmt::Display for Profile {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:<16} {:>6} {:>6} {:>6} {:>7} {:>7}", "command", "d", "r", "f", "select", "total")?;
+        // The faults column only appears when something actually degraded,
+        // keeping the healthy-path tables identical to the paper's.
+        let with_faults = self.total_faults() > 0;
+        write!(
+            f,
+            "{:<16} {:>6} {:>6} {:>6} {:>7} {:>7}",
+            "command", "d", "r", "f", "select", "total"
+        )?;
+        writeln!(f, "{}", if with_faults { "  faults" } else { "" })?;
         for s in &self.steps {
-            writeln!(
+            write!(
                 f,
                 "{:<16} {:>6} {:>6} {:>6} {:>7} {:>7}",
                 s.command,
@@ -60,8 +76,16 @@ impl fmt::Display for Profile {
                 s.cost.selects,
                 s.cost.total()
             )?;
+            if with_faults {
+                write!(f, " {:>7}", s.faults)?;
+            }
+            writeln!(f)?;
         }
-        write!(f, "total source navigations: {}", self.total())
+        write!(f, "total source navigations: {}", self.total())?;
+        if with_faults {
+            write!(f, " (degraded operations: {})", self.total_faults())?;
+        }
+        Ok(())
     }
 }
 
@@ -93,6 +117,7 @@ pub fn profile(engine: &mut Engine, prog: &NavProgram) -> Profile {
 
     for step in &prog.steps {
         let before: NavStats = engine.stats().total();
+        let faults_before = engine.total_degraded_ops();
         let src = ptrs.get(step.on).cloned().flatten();
         match &step.cmd {
             Cmd::Down => ptrs.push(src.and_then(|p| engine.down(&p))),
@@ -108,6 +133,7 @@ pub fn profile(engine: &mut Engine, prog: &NavProgram) -> Profile {
         steps.push(StepCost {
             command: format!("{}(p{})", step.cmd, step.on),
             cost: after.since(&before),
+            faults: engine.total_degraded_ops() - faults_before,
         });
     }
     Profile { steps }

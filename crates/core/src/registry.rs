@@ -1,6 +1,7 @@
 //! Source registry: wiring plan `source` leaves to navigable sources.
 
 use crate::EngineError;
+use mix_buffer::SourceHealth;
 use mix_nav::{erase, DocNavigator, DynNavigator, Navigator};
 use mix_xml::Tree;
 use std::cell::RefCell;
@@ -11,6 +12,14 @@ use std::rc::Rc;
 /// naming the same source (a self-join) share one connection — and one set
 /// of navigation counters.
 pub(crate) type SharedSource = Rc<RefCell<Box<dyn DynNavigator>>>;
+
+/// One registered source: the navigator plus, when the source reports it,
+/// the fault/retry health handle of its buffer.
+#[derive(Clone)]
+pub(crate) struct Registered {
+    pub nav: SharedSource,
+    pub health: Option<SourceHealth>,
+}
 
 /// Maps source names (the `homesSrc` of a XMAS query) to navigators.
 ///
@@ -23,7 +32,7 @@ pub(crate) type SharedSource = Rc<RefCell<Box<dyn DynNavigator>>>;
 /// [`Engine`]: crate::Engine
 #[derive(Default)]
 pub struct SourceRegistry {
-    sources: HashMap<String, SharedSource>,
+    sources: HashMap<String, Registered>,
 }
 
 impl SourceRegistry {
@@ -38,7 +47,32 @@ impl SourceRegistry {
         N: Navigator + 'static,
         N::Handle: 'static,
     {
-        self.sources.insert(name.into(), Rc::new(RefCell::new(erase(nav))));
+        self.sources.insert(
+            name.into(),
+            Registered { nav: Rc::new(RefCell::new(erase(nav))), health: None },
+        );
+        self
+    }
+
+    /// Register a navigator together with the [`SourceHealth`] handle
+    /// describing its buffer–wrapper conversation, so the engine (and
+    /// through it the client and profiler) can report the source's fault
+    /// state. The usual call site pairs a `BufferNavigator` with its own
+    /// `health()` handle.
+    pub fn add_navigator_with_health<N>(
+        &mut self,
+        name: impl Into<String>,
+        nav: N,
+        health: SourceHealth,
+    ) -> &mut Self
+    where
+        N: Navigator + 'static,
+        N::Handle: 'static,
+    {
+        self.sources.insert(
+            name.into(),
+            Registered { nav: Rc::new(RefCell::new(erase(nav))), health: Some(health) },
+        );
         self
     }
 
@@ -53,8 +87,8 @@ impl SourceRegistry {
         self.add_navigator(name, DocNavigator::from_term(term))
     }
 
-    /// Shared handle to the navigator for `name`.
-    pub(crate) fn get(&self, name: &str) -> Result<SharedSource, EngineError> {
+    /// Shared handle to the navigator (and health, if any) for `name`.
+    pub(crate) fn get(&self, name: &str) -> Result<Registered, EngineError> {
         self.sources.get(name).cloned().ok_or_else(|| {
             EngineError::new(format!("plan references unknown source `{name}`"))
         })
@@ -80,7 +114,25 @@ mod tests {
         assert_eq!(names, ["homesSrc", "schoolsSrc"]);
         let a = reg.get("homesSrc").unwrap();
         let b = reg.get("homesSrc").unwrap();
-        assert!(Rc::ptr_eq(&a, &b), "same connection shared");
+        assert!(Rc::ptr_eq(&a.nav, &b.nav), "same connection shared");
+        assert!(a.health.is_none(), "plain navigators report no health");
         assert!(reg.get("never").is_err());
+    }
+
+    #[test]
+    fn health_handle_travels_with_the_navigator() {
+        use mix_buffer::{BufferNavigator, FillPolicy, TreeWrapper};
+        use mix_xml::term::parse_term;
+
+        let tree = parse_term("homes[h1]").unwrap();
+        let nav =
+            BufferNavigator::new(TreeWrapper::single(&tree, FillPolicy::WholeSubtree), "homes");
+        let health = nav.health();
+        let mut reg = SourceRegistry::new();
+        reg.add_navigator_with_health("homesSrc", nav, health.clone());
+        let got = reg.get("homesSrc").unwrap();
+        let handle = got.health.expect("health registered");
+        health.record_degraded(&"synthetic");
+        assert_eq!(handle.snapshot().degraded_ops, 1, "same shared cells");
     }
 }

@@ -27,3 +27,7 @@ pub mod web;
 pub use oodb::{ObjId, ObjectStore, OodbWrapper};
 pub use relational::RelationalWrapper;
 pub use web::{Network, NetworkStats, WebWrapper};
+// Fault injection composes with every wrapper in this crate: re-exported
+// so experiment code can write `FaultyWrapper::new(RelationalWrapper...)`
+// without a direct mix-buffer dependency.
+pub use mix_buffer::{FaultConfig, FaultStats, FaultyWrapper, RetryPolicy};

@@ -1,0 +1,204 @@
+//! Offline stand-in for the `criterion` crate (see the `rand` shim for
+//! why external crates cannot be resolved here).
+//!
+//! Implements the subset the workspace's benches use: benchmark groups,
+//! `bench_function` / `bench_with_input`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize::SmallInput`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is a simple mean over
+//! `sample_size` wall-clock samples — no statistics, outlier analysis, or
+//! HTML reports. `--test` on the command line (as run by CI's
+//! `cargo bench -- --test`) switches to a single smoke-test iteration
+//! per benchmark.
+
+use std::time::{Duration, Instant};
+
+/// How per-iteration setup cost is amortised. The shim times setup and
+/// routine together but runs setup outside the recorded window, so the
+/// variants are equivalent here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup output is small; batch many iterations per setup.
+    SmallInput,
+    /// Setup output is large; one iteration per setup.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Just a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// Times the routine under measurement.
+pub struct Bencher {
+    samples: u64,
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Measure a routine with no per-iteration setup.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = routine();
+            self.elapsed += start.elapsed();
+            self.iterations += 1;
+            drop(out);
+        }
+    }
+
+    /// Measure a routine with per-iteration setup excluded from timing.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            self.elapsed += start.elapsed();
+            self.iterations += 1;
+            drop(out);
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many samples to record per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    fn run(&self, id: String, f: impl FnOnce(&mut Bencher)) {
+        let samples = if self.criterion.test_mode { 1 } else { self.sample_size };
+        let mut b = Bencher { samples, elapsed: Duration::ZERO, iterations: 0 };
+        f(&mut b);
+        let mean = if b.iterations == 0 {
+            Duration::ZERO
+        } else {
+            b.elapsed / u32::try_from(b.iterations).unwrap_or(u32::MAX)
+        };
+        println!("{}/{}: {:>12.3?} mean over {} iters", self.name, id, mean, b.iterations);
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(&mut self, id: impl std::fmt::Display, f: impl FnOnce(&mut Bencher)) {
+        self.run(id.to_string(), f);
+    }
+
+    /// Run one benchmark parameterised by `input`.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        self.run(id.to_string(), |b| f(b, input));
+    }
+
+    /// End the group (a report boundary in real criterion; a no-op here).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- --test` asks for one-iteration smoke runs.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 10 }
+    }
+}
+
+/// Prevent the optimiser from deleting a computed value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Bundle benchmark functions under one name for [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("iter", |b| b.iter(|| black_box(2 + 2)));
+        group.bench_with_input(BenchmarkId::new("with_input", 5), &5u32, |b, &n| {
+            b.iter_batched(|| vec![0u8; n as usize], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion { test_mode: true };
+        smoke(&mut c);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+}

@@ -1,0 +1,47 @@
+//! Offline stand-in for `parking_lot` (see the `rand` shim for why).
+//!
+//! Only the `Mutex` API the workspace uses: `Mutex::new` and the
+//! non-poisoning `lock()` returning a guard.
+
+use std::sync::{Mutex as StdMutex, MutexGuard};
+
+/// A mutex with `parking_lot`'s non-poisoning `lock()` signature, backed
+/// by `std::sync::Mutex`.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(StdMutex<T>);
+
+impl<T> Mutex<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        Mutex(StdMutex::new(value))
+    }
+
+    /// Acquire the lock. Unlike `std`, never returns a poison error: a
+    /// panic while holding the lock propagates the inner state as-is.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.0.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.0.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+    }
+}

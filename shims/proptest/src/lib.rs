@@ -1,0 +1,612 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access and no vendored registry,
+//! so the real `proptest` cannot be resolved. This shim implements the
+//! subset of its API the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * strategies: [`Just`], integer ranges, string literals as
+//!   character-class regexes, tuples, [`collection::vec`],
+//!   [`string::string_regex`], `prop_oneof!`, `.prop_map`,
+//!   `.prop_recursive`, `.boxed()`.
+//!
+//! Cases are generated from a deterministic per-test seed (test name hash
+//! × case index), so failures are reproducible without regression files.
+//! There is **no shrinking**: a failing case reports its inputs via the
+//! assertion message and the case seed.
+
+use std::rc::Rc;
+
+pub mod test_runner {
+    /// Deterministic entropy source for one test case (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator for the given case seed.
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15) }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// A uniform index in `0..n` (`n` > 0).
+        pub fn index(&mut self, n: usize) -> usize {
+            debug_assert!(n > 0);
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+
+    /// A failed property-test case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        /// Human-readable description of the failure.
+        pub message: String,
+    }
+
+    impl TestCaseError {
+        /// Build a failure from a message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError { message: message.into() }
+        }
+    }
+
+    /// Per-test configuration (the `ProptestConfig` subset used).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases to run.
+        pub cases: u32,
+        /// Accepted for source compatibility; unused (no shrinking).
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256, max_shrink_iters: 0 }
+        }
+    }
+
+    /// FNV-1a hash of the test path — the per-test base seed.
+    pub fn seed_of(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+use test_runner::TestRng;
+
+/// A value generator. Unlike real proptest there is no intermediate value
+/// tree: a strategy samples final values directly (no shrinking).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Recursive strategies: `recurse` receives a strategy for the
+    /// sub-values and builds the composite level. `depth` bounds nesting;
+    /// `_desired_size` / `_expected_branch` are accepted for source
+    /// compatibility.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        // Unroll the recursion `depth` times: level k+1 samples the base
+        // 1-in-4 (keeps leaves frequent) and the recursive case otherwise.
+        let base = self.boxed();
+        let mut level = base.clone();
+        for _ in 0..depth {
+            let branch = recurse(level).boxed();
+            let b = base.clone();
+            level = BoxedStrategy::new(move |rng| {
+                if rng.index(4) == 0 {
+                    b.sample(rng)
+                } else {
+                    branch.sample(rng)
+                }
+            });
+        }
+        level
+    }
+
+    /// Type-erase into a cloneable boxed strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let inner = self;
+        BoxedStrategy::new(move |rng| inner.sample(rng))
+    }
+}
+
+/// A cloneable, type-erased strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> BoxedStrategy<T> {
+    /// Wrap a sampling function.
+    pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        BoxedStrategy(Rc::new(f))
+    }
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `.prop_map` adapter.
+#[derive(Debug, Clone, Copy)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+}
+
+/// A string literal is a strategy via the character-class regex subset of
+/// [`string::string_regex`].
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        string::string_regex(self)
+            .unwrap_or_else(|e| panic!("invalid regex literal `{self}`: {e}"))
+            .sample(rng)
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use core::ops::Range;
+
+    /// Strategy for `Vec`s of `element` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy returned by [`fn@vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.clone().sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod string {
+    use super::{Strategy, TestRng};
+
+    /// Error from parsing an unsupported or malformed pattern.
+    #[derive(Debug, Clone)]
+    pub struct Error(pub String);
+
+    impl core::fmt::Display for Error {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    /// One `[class]{m,n}` term of a pattern.
+    #[derive(Debug, Clone)]
+    struct Term {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Strategy generating strings matching a (subset) regex: a sequence
+    /// of character classes `[..]` or literal characters, each optionally
+    /// repeated `{m,n}`. Ranges (`a-z`), `\n`/`\t` escapes and a trailing
+    /// literal `-` inside classes are supported — the dialect the
+    /// workspace's generators actually use.
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy<T> {
+        terms: Vec<Term>,
+        _marker: core::marker::PhantomData<T>,
+    }
+
+    impl Strategy for RegexGeneratorStrategy<String> {
+        type Value = String;
+
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for t in &self.terms {
+                let n = t.min + rng.index(t.max - t.min + 1);
+                for _ in 0..n {
+                    out.push(t.chars[rng.index(t.chars.len())]);
+                }
+            }
+            out
+        }
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>) -> Result<Vec<char>, Error> {
+        let mut members = Vec::new();
+        loop {
+            let c = chars.next().ok_or_else(|| Error("unterminated class".into()))?;
+            match c {
+                ']' => break,
+                '\\' => {
+                    let e = chars.next().ok_or_else(|| Error("dangling escape".into()))?;
+                    members.push(unescape(e));
+                }
+                lo => {
+                    if chars.peek() == Some(&'-') {
+                        let mut ahead = chars.clone();
+                        ahead.next(); // the '-'
+                        match ahead.peek() {
+                            Some(']') | None => members.push(lo), // literal '-'
+                            Some(_) => {
+                                chars.next();
+                                let hi = chars.next().unwrap();
+                                let hi = if hi == '\\' {
+                                    unescape(
+                                        chars
+                                            .next()
+                                            .ok_or_else(|| Error("dangling escape".into()))?,
+                                    )
+                                } else {
+                                    hi
+                                };
+                                if (lo as u32) > (hi as u32) {
+                                    return Err(Error(format!("bad range {lo}-{hi}")));
+                                }
+                                for u in (lo as u32)..=(hi as u32) {
+                                    members.push(char::from_u32(u).unwrap());
+                                }
+                            }
+                        }
+                    } else {
+                        members.push(lo);
+                    }
+                }
+            }
+        }
+        if members.is_empty() {
+            return Err(Error("empty class".into()));
+        }
+        Ok(members)
+    }
+
+    fn parse_repeat(
+        chars: &mut std::iter::Peekable<std::str::Chars>,
+    ) -> Result<(usize, usize), Error> {
+        if chars.peek() != Some(&'{') {
+            return Ok((1, 1));
+        }
+        chars.next();
+        let mut body = String::new();
+        for c in chars.by_ref() {
+            if c == '}' {
+                let (m, n) = match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.parse().map_err(|_| Error("bad repeat".into()))?,
+                        n.parse().map_err(|_| Error("bad repeat".into()))?,
+                    ),
+                    None => {
+                        let k = body.parse().map_err(|_| Error("bad repeat".into()))?;
+                        (k, k)
+                    }
+                };
+                if m > n {
+                    return Err(Error("bad repeat bounds".into()));
+                }
+                return Ok((m, n));
+            }
+            body.push(c);
+        }
+        Err(Error("unterminated repeat".into()))
+    }
+
+    /// Build a string strategy from the supported regex subset.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy<String>, Error> {
+        let mut terms = Vec::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let members = match c {
+                '[' => parse_class(&mut chars)?,
+                '\\' => vec![unescape(
+                    chars.next().ok_or_else(|| Error("dangling escape".into()))?,
+                )],
+                lit => vec![lit],
+            };
+            let (min, max) = parse_repeat(&mut chars)?;
+            terms.push(Term { chars: members, min, max });
+        }
+        Ok(RegexGeneratorStrategy { terms, _marker: core::marker::PhantomData })
+    }
+}
+
+pub mod prelude {
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Just,
+        Strategy,
+    };
+}
+
+/// Weighted-free choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let arms = vec![$($crate::Strategy::boxed($strategy)),+];
+        $crate::BoxedStrategy::new(move |rng| {
+            let i = rng.index(arms.len());
+            $crate::Strategy::sample(&arms[i], rng)
+        })
+    }};
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` == `{:?}`", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{:?}` == `{:?}`: {}",
+                    l, r, format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fail the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` != `{:?}`", l, r),
+            ));
+        }
+    }};
+}
+
+/// The property-test entry macro: each `fn name(arg in strategy, ..)`
+/// becomes a `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let base = $crate::test_runner::seed_of(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases as u64 {
+                let seed = base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let mut rng = $crate::test_runner::TestRng::new(seed);
+                $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)*
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest case {case} (seed {seed:#x}) of {} failed: {}",
+                        stringify!($name),
+                        e.message
+                    );
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Toy {
+        Leaf(String),
+        Node(Vec<Toy>),
+    }
+
+    fn size(t: &Toy) -> usize {
+        match t {
+            Toy::Leaf(_) => 1,
+            Toy::Node(children) => 1 + children.iter().map(size).sum::<usize>(),
+        }
+    }
+
+    fn arb_toy() -> impl Strategy<Value = Toy> {
+        prop_oneof![Just("x"), Just("y")]
+            .prop_map(|s| Toy::Leaf(s.to_string()))
+            .prop_recursive(3, 16, 3, |inner| {
+                crate::collection::vec(inner, 0..4).prop_map(Toy::Node)
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_sample_in_bounds(x in 3usize..17, y in 0u64..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        #[test]
+        fn string_regex_literals_match_shape(s in "[a-c]{2,4}") {
+            prop_assert!((2..=4).contains(&s.len()), "len {}", s.len());
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn recursive_strategies_terminate(t in arb_toy()) {
+            prop_assert!(size(&t) < 10_000);
+        }
+
+        #[test]
+        fn tuples_and_vec(pair in (0usize..4, crate::collection::vec(Just(1u8), 1..3))) {
+            prop_assert!(pair.0 < 4);
+            prop_assert!(!pair.1.is_empty());
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let strat = "[a-z]{1,8}";
+        let mut a = crate::test_runner::TestRng::new(99);
+        let mut b = crate::test_runner::TestRng::new(99);
+        assert_eq!(Strategy::sample(&strat, &mut a), Strategy::sample(&strat, &mut b));
+    }
+}

@@ -1,0 +1,125 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this repository has no network access and no
+//! vendored registry, so external crates cannot be resolved. This shim
+//! implements exactly the subset of the `rand 0.8` API the workspace uses
+//! — `SmallRng`, `SeedableRng::seed_from_u64`, `Rng::{gen_range,
+//! gen_bool}` — on top of a SplitMix64 generator. Everything is
+//! deterministic per seed, which is what the workload generators want
+//! anyway (`gen::homes_doc(seed, ..)` must be reproducible across runs).
+
+/// A seedable random number generator (the `rand::SeedableRng` subset).
+pub trait SeedableRng: Sized {
+    /// Construct from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types usable as `gen_range` argument: a half-open or inclusive range
+/// over a primitive integer type.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draw a uniform sample from the range using `next` as entropy.
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample(self, next: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (next() as u128 % span) as i128) as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, next: &mut dyn FnMut() -> u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (next() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The `rand::Rng` subset used by the workspace.
+pub trait Rng {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from `range`.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        let mut f = || self.next_u64();
+        range.sample(&mut f)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, deterministic generator (SplitMix64 core).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15) }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "{heads}");
+    }
+}

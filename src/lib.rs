@@ -76,7 +76,10 @@ pub mod prelude {
     pub use mix_algebra::{
         classify, compose, rewrite::rewrite, translate, Browsability, NcCapabilities, Plan,
     };
-    pub use mix_buffer::{BufferNavigator, FillPolicy, TreeWrapper};
+    pub use mix_buffer::{
+        BufferNavigator, FaultConfig, FaultyWrapper, FillPolicy, HealthStatus, RetryPolicy,
+        TreeWrapper,
+    };
     pub use mix_core::{
         eager, Engine, EngineConfig, SourceRegistry, VirtualDocument, VirtualElement,
     };
