@@ -57,6 +57,20 @@ fn main() {
     if want("e13") {
         e13_robustness();
     }
+    if want("e14") {
+        e14_batched_fills();
+    }
+}
+
+/// Simulated cost units one LXP round trip costs (the latency term the
+/// batching work amortizes; matches E11's simulated network scale).
+const REQUEST_OVERHEAD: u64 = 1_000;
+/// Simulated cost units per payload byte (the bandwidth term).
+const PER_BYTE: u64 = 1;
+
+/// The E5/E14 cost model: fixed per-request overhead plus per-byte cost.
+fn simulated_cost(requests: u64, bytes: u64) -> u64 {
+    requests * REQUEST_OVERHEAD + bytes * PER_BYTE
 }
 
 fn banner(id: &str, title: &str) {
@@ -363,17 +377,21 @@ fn e5_granularity() {
     banner("E5", "relational wrapper granularity (Ex. 5 / Fig. 6)");
     let rows = 10_000;
     let t = TablePrinter::new(
-        &["chunk n", "fills", "nodes", "bytes", "fills for 10 rows"],
-        &[8, 10, 10, 12, 18],
+        &["chunk n", "fills", "nodes", "bytes", "sim cost", "wall", "fills for 10 rows"],
+        &[8, 10, 10, 12, 12, 10, 18],
     );
+    let mut series = Vec::new();
     for chunk in [1usize, 10, 100, 1000] {
         // Full scan.
         let db = gen::homes_database(3, rows, 100);
         let buffered = BufferNavigator::new(RelationalWrapper::new(db, chunk), "realestate");
         let stats = buffered.stats();
         let mut nav = buffered;
+        let start = Instant::now();
         materialize(&mut nav);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
         let full = stats.snapshot();
+        let cost = simulated_cost(full.requests, full.bytes_received);
 
         // Partial: first 10 rows only.
         let db = gen::homes_database(3, rows, 100);
@@ -394,13 +412,182 @@ fn e5_granularity() {
             format!("{}", full.fills),
             format!("{}", full.nodes_received),
             format!("{}", full.bytes_received),
+            format!("{cost}"),
+            format!("{wall_ms:.1}ms"),
             format!("{}", partial.fills),
         ]);
+        series.push(Json::Obj(vec![
+            ("chunk".to_string(), Json::Int(chunk as u64)),
+            ("fills".to_string(), Json::Int(full.fills)),
+            ("requests".to_string(), Json::Int(full.requests)),
+            ("nodes".to_string(), Json::Int(full.nodes_received)),
+            ("bytes".to_string(), Json::Int(full.bytes_received)),
+            ("simulated_cost".to_string(), Json::Int(cost)),
+            ("wall_ms".to_string(), Json::Num(wall_ms)),
+            ("fills_first_10_rows".to_string(), Json::Int(partial.fills)),
+        ]));
     }
     println!(
         "shape check: fills drop ~n-fold with chunk size; partial scans pull only \
          the chunks navigated."
     );
+    Json::Obj(vec![
+        ("experiment".to_string(), Json::str("E5")),
+        ("workload".to_string(), Json::str("relational full scan, homes database")),
+        ("rows".to_string(), Json::Int(rows as u64)),
+        ("request_overhead".to_string(), Json::Int(REQUEST_OVERHEAD)),
+        ("per_byte_cost".to_string(), Json::Int(PER_BYTE)),
+        ("series".to_string(), Json::Arr(series)),
+    ])
+    .write("BENCH_E5.json");
+}
+
+/// E14 — batched multi-hole fills (`fill_many`): the sequential-scan
+/// workload of E5 at chunk n = 10, re-run with the buffer coalescing
+/// known holes into one wire exchange and the wrapper streaming
+/// continuation chunks ("push from below"). The cost model charges a
+/// fixed overhead per exchange plus a per-byte term, so the request
+/// amortization is directly visible as simulated cost.
+fn e14_batched_fills() {
+    banner("E14", "batched multi-hole fills vs one hole per round trip");
+    use mix_buffer::BufferStatsSnapshot;
+
+    let rows = 10_000;
+    let chunk = 10;
+    // (mode label, batch limit & wrapper budget, adaptive chunking)
+    type BatchConfig = (&'static str, Option<(usize, usize)>, bool);
+    let configs: [BatchConfig; 4] = [
+        ("unbatched", None, false),
+        ("batched x4", Some((4, 4)), false),
+        ("batched x16", Some((16, 16)), false),
+        ("batched x16 + adaptive", Some((16, 16)), true),
+    ];
+
+    let scan = |batch: Option<(usize, usize)>, adaptive: bool| -> (String, BufferStatsSnapshot, f64) {
+        let db = gen::homes_database(3, rows, 100);
+        let mut w = RelationalWrapper::new(db, chunk);
+        if adaptive {
+            w = w.adaptive();
+        }
+        if let Some((_, budget)) = batch {
+            w = w.with_batch_budget(budget);
+        }
+        let mut nav = BufferNavigator::new(w, "realestate");
+        if let Some((limit, _)) = batch {
+            nav = nav.batched(limit);
+        }
+        let stats = nav.stats();
+        let start = Instant::now();
+        let answer = materialize(&mut nav).to_string();
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        (answer, stats.snapshot(), wall_ms)
+    };
+
+    let t = TablePrinter::new(
+        &["mode", "wire reqs", "holes/req", "fills", "bytes", "sim cost", "wall", "identical"],
+        &[22, 10, 10, 8, 12, 12, 10, 10],
+    );
+    let mut baseline: Option<(String, u64, u64)> = None;
+    let mut series = Vec::new();
+    for (name, batch, adaptive) in configs {
+        let (answer, snap, wall_ms) = scan(batch, adaptive);
+        let cost = simulated_cost(snap.requests, snap.bytes_received);
+        let identical = match &baseline {
+            None => {
+                baseline = Some((answer, snap.requests, cost));
+                true
+            }
+            Some((base, _, _)) => answer == *base,
+        };
+        assert!(identical, "batched scan must produce the unbatched answer ({name})");
+        t.row(&[
+            name.to_string(),
+            format!("{}", snap.requests),
+            format!("{:.1}", snap.holes_per_request()),
+            format!("{}", snap.fills),
+            format!("{}", snap.bytes_received),
+            format!("{cost}"),
+            format!("{wall_ms:.1}ms"),
+            format!("{identical}"),
+        ]);
+        series.push(Json::Obj(vec![
+            ("mode".to_string(), Json::str(name)),
+            ("requests".to_string(), Json::Int(snap.requests)),
+            ("holes_per_request".to_string(), Json::Num(snap.holes_per_request())),
+            ("fills".to_string(), Json::Int(snap.fills)),
+            ("batched_holes".to_string(), Json::Int(snap.batched_holes)),
+            ("bytes".to_string(), Json::Int(snap.bytes_received)),
+            ("simulated_cost".to_string(), Json::Int(cost)),
+            ("wall_ms".to_string(), Json::Num(wall_ms)),
+            ("identical_answer".to_string(), Json::Bool(identical)),
+        ]));
+    }
+    let (_, base_requests, base_cost) = baseline.expect("unbatched baseline ran");
+    let (_, best, _) = scan(Some((16, 16)), false);
+    let reduction = base_requests as f64 / best.requests.max(1) as f64;
+    let best_cost = simulated_cost(best.requests, best.bytes_received);
+    assert!(
+        reduction >= 5.0,
+        "acceptance: batching must cut wire requests >= 5x, got {reduction:.1}x"
+    );
+    assert!(best_cost < base_cost, "batching must reduce total simulated cost");
+    println!(
+        "shape check: identical answers in every mode; batched exchanges cut wire \
+         requests {reduction:.1}x at chunk n={chunk} (simulated cost {base_cost} -> {best_cost})."
+    );
+
+    // The web wrapper's native batching: several page fragments per
+    // simulated network exchange, one request charge each.
+    use mix_buffer::FillPolicy;
+    use mix_wrappers::{Network, WebWrapper};
+    let page = gen::bookstore_doc(5, "store", 500);
+    let web = |budget: usize| {
+        let net = Network::new(REQUEST_OVERHEAD, PER_BYTE);
+        let mut w = WebWrapper::with_policy(net.clone(), FillPolicy::Chunked { n: 10 });
+        if budget > 0 {
+            w = w.with_batch_budget(budget);
+        }
+        w.add_page("store", &page);
+        let mut nav = BufferNavigator::new(w, "store");
+        if budget > 0 {
+            nav = nav.batched(8);
+        }
+        let answer = materialize(&mut nav).to_string();
+        (answer, net.stats())
+    };
+    let (plain_answer, plain_net) = web(0);
+    let (batched_answer, batched_net) = web(8);
+    assert_eq!(plain_answer, batched_answer, "web batching preserves the page scan");
+    println!(
+        "web wrapper (bookstore, chunked n=10): {} -> {} network requests, \
+         simulated cost {} -> {}",
+        plain_net.requests, batched_net.requests, plain_net.simulated_cost,
+        batched_net.simulated_cost
+    );
+
+    Json::Obj(vec![
+        ("experiment".to_string(), Json::str("E14")),
+        (
+            "workload".to_string(),
+            Json::str("relational sequential scan, homes database, chunk n=10"),
+        ),
+        ("rows".to_string(), Json::Int(rows as u64)),
+        ("chunk".to_string(), Json::Int(chunk as u64)),
+        ("request_overhead".to_string(), Json::Int(REQUEST_OVERHEAD)),
+        ("per_byte_cost".to_string(), Json::Int(PER_BYTE)),
+        ("series".to_string(), Json::Arr(series)),
+        ("request_reduction_x16".to_string(), Json::Num(reduction)),
+        (
+            "web".to_string(),
+            Json::Obj(vec![
+                ("requests_unbatched".to_string(), Json::Int(plain_net.requests)),
+                ("requests_batched".to_string(), Json::Int(batched_net.requests)),
+                ("cost_unbatched".to_string(), Json::Int(plain_net.simulated_cost)),
+                ("cost_batched".to_string(), Json::Int(batched_net.simulated_cost)),
+            ]),
+        ),
+    ])
+    .write("BENCH_E14.json");
 }
 
 /// E6 — Example 7: strict vs liberal protocol shapes.

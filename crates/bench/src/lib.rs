@@ -71,6 +71,105 @@ pub fn lazy_first_k(
     first_k_children(&mut engine, k)
 }
 
+/// A minimal JSON value for the experiment binary's machine-readable
+/// outputs (`BENCH_E5.json`, `BENCH_E14.json`). The workspace has no
+/// serde; experiments only emit flat objects/arrays of numbers and
+/// strings, so a tiny hand-rolled renderer suffices.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// An integer (all experiment counters are non-negative).
+    Int(u64),
+    /// A float (wall-clock milliseconds, ratios).
+    Num(f64),
+    /// A boolean (differential checks).
+    Bool(bool),
+    /// A string (labels; must not need escaping beyond quotes/backslash).
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience: a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Render with the given indent level (two spaces per level).
+    fn render(&self, out: &mut String, level: usize) {
+        use std::fmt::Write;
+        match self {
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Num(x) => {
+                let _ = write!(out, "{x:.3}");
+            }
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Str(s) => {
+                let _ = write!(out, "\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""));
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(level + 1));
+                    item.render(out, level + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(level));
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(level + 1));
+                    let _ = write!(out, "\"{k}\": ");
+                    v.render(out, level + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(level));
+                out.push('}');
+            }
+        }
+    }
+
+    /// Render as a pretty-printed JSON document (trailing newline).
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    /// Write the document to `path`, logging the destination.
+    pub fn write(&self, path: &str) {
+        match std::fs::write(path, self.to_pretty()) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}
+
 /// A simple fixed-width table printer for the experiment binary.
 pub struct TablePrinter {
     widths: Vec<usize>,
@@ -107,6 +206,34 @@ mod tests {
         let reg2 = homes_schools_registry(1, 20, 5);
         let cost_all = lazy_full_cost(&plan, &reg2, EngineConfig::default());
         assert!(cost_first > 0 && cost_all >= cost_first);
+    }
+
+    #[test]
+    fn json_renders_nested_documents() {
+        let doc = Json::Obj(vec![
+            ("experiment".to_string(), Json::str("E14")),
+            ("identical".to_string(), Json::Bool(true)),
+            (
+                "configs".to_string(),
+                Json::Arr(vec![Json::Obj(vec![
+                    ("mode".to_string(), Json::str("batched")),
+                    ("requests".to_string(), Json::Int(61)),
+                    ("wall_ms".to_string(), Json::Num(1.25)),
+                ])]),
+            ),
+            ("empty".to_string(), Json::Arr(vec![])),
+        ]);
+        let text = doc.to_pretty();
+        assert!(text.contains("\"experiment\": \"E14\""), "{text}");
+        assert!(text.contains("\"requests\": 61"), "{text}");
+        assert!(text.contains("\"wall_ms\": 1.250"), "{text}");
+        assert!(text.contains("\"empty\": []"), "{text}");
+        assert!(text.ends_with("}\n"), "{text}");
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        assert_eq!(Json::str("a\"b\\c").to_pretty(), "\"a\\\"b\\\\c\"\n");
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! Adaptive chunk sizing for LXP wrappers (AIMD).
+//!
+//! Fixed `n`-tuples-at-a-time granularity is wrong in both directions: too
+//! small for a sequential scan (per-request overhead dominates) and too
+//! large for random probing (most of each chunk is wasted bytes). An
+//! [`AimdChunk`] controller adapts the chunk to the observed access
+//! pattern the way TCP adapts its congestion window — additive increase on
+//! consecutive sequential fills, multiplicative decrease on random access
+//! or fragment waste — so a wrapper converges on coarse chunks for scans
+//! and fine chunks for point lookups without client hints.
+
+/// AIMD chunk-size controller state.
+///
+/// Wrappers own one controller per export (or per table) and consult
+/// [`AimdChunk::chunk`] when sizing the next fill reply, feeding back
+/// [`on_sequential`], [`on_random`], and [`on_waste`] signals as they
+/// observe the client's request stream.
+///
+/// [`on_sequential`]: AimdChunk::on_sequential
+/// [`on_random`]: AimdChunk::on_random
+/// [`on_waste`]: AimdChunk::on_waste
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AimdChunk {
+    chunk: usize,
+    min: usize,
+    max: usize,
+    /// Additive step applied per sequential fill.
+    increase: usize,
+    /// Consecutive sequential fills observed since the last reset.
+    streak: u32,
+}
+
+impl AimdChunk {
+    /// A controller starting at `initial` items per fill, bounded to
+    /// `[min, max]` and growing by `increase` per sequential fill.
+    pub fn new(initial: usize, min: usize, max: usize, increase: usize) -> Self {
+        let min = min.max(1);
+        let max = max.max(min);
+        AimdChunk {
+            chunk: initial.clamp(min, max),
+            min,
+            max,
+            increase: increase.max(1),
+            streak: 0,
+        }
+    }
+
+    /// A controller with library defaults: start at `initial`, floor 1,
+    /// ceiling `initial * 64` (at least 64), grow by `initial` per
+    /// sequential fill.
+    pub fn with_initial(initial: usize) -> Self {
+        let initial = initial.max(1);
+        AimdChunk::new(initial, 1, (initial * 64).max(64), initial)
+    }
+
+    /// The chunk size the next fill should use.
+    pub fn chunk(&self) -> usize {
+        self.chunk
+    }
+
+    /// Consecutive sequential fills observed since the last shrink.
+    pub fn streak(&self) -> u32 {
+        self.streak
+    }
+
+    /// The client continued exactly where the previous fill left off:
+    /// additive increase.
+    pub fn on_sequential(&mut self) {
+        self.streak += 1;
+        self.chunk = self.chunk.saturating_add(self.increase).min(self.max);
+    }
+
+    /// The client jumped to an unrelated position: multiplicative
+    /// decrease (halve, clamped to the floor) and reset the streak.
+    pub fn on_random(&mut self) {
+        self.streak = 0;
+        self.chunk = (self.chunk / 2).max(self.min);
+    }
+
+    /// Data shipped speculatively went unused: same decrease signal as
+    /// random access.
+    pub fn on_waste(&mut self) {
+        self.on_random();
+    }
+}
+
+impl Default for AimdChunk {
+    fn default() -> Self {
+        AimdChunk::with_initial(10)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_additively_on_sequential_fills() {
+        let mut c = AimdChunk::new(10, 1, 1000, 10);
+        assert_eq!(c.chunk(), 10);
+        for _ in 0..5 {
+            c.on_sequential();
+        }
+        assert_eq!(c.chunk(), 60);
+        assert_eq!(c.streak(), 5);
+    }
+
+    #[test]
+    fn shrinks_multiplicatively_on_random_access() {
+        let mut c = AimdChunk::new(64, 2, 1000, 8);
+        c.on_random();
+        assert_eq!(c.chunk(), 32);
+        c.on_random();
+        c.on_random();
+        c.on_random();
+        c.on_random();
+        assert_eq!(c.chunk(), 2, "clamped to the floor");
+        assert_eq!(c.streak(), 0);
+    }
+
+    #[test]
+    fn waste_is_a_decrease_signal() {
+        let mut c = AimdChunk::new(40, 1, 1000, 10);
+        c.on_sequential();
+        c.on_waste();
+        assert_eq!(c.chunk(), 25);
+        assert_eq!(c.streak(), 0);
+    }
+
+    #[test]
+    fn respects_ceiling() {
+        let mut c = AimdChunk::new(90, 1, 100, 50);
+        c.on_sequential();
+        assert_eq!(c.chunk(), 100);
+        c.on_sequential();
+        assert_eq!(c.chunk(), 100);
+    }
+
+    #[test]
+    fn constructor_clamps_degenerate_inputs() {
+        let c = AimdChunk::new(0, 0, 0, 0);
+        assert_eq!(c.chunk(), 1);
+        let c = AimdChunk::with_initial(0);
+        assert_eq!(c.chunk(), 1);
+    }
+
+    #[test]
+    fn sawtooth_converges_on_mixed_workloads() {
+        // Alternating scan bursts and random probes keep the chunk
+        // bounded: AIMD's sawtooth, not runaway growth.
+        let mut c = AimdChunk::new(10, 1, 10_000, 10);
+        let mut peak = 0;
+        for _ in 0..50 {
+            for _ in 0..4 {
+                c.on_sequential();
+            }
+            peak = peak.max(c.chunk());
+            c.on_random();
+        }
+        assert!(peak <= 200, "sawtooth stays bounded, peaked at {peak}");
+        assert!(c.chunk() >= 1);
+    }
+}

@@ -25,7 +25,7 @@
 
 use crate::fragment::Fragment;
 use crate::health::SourceHealth;
-use crate::lxp::{check_progress, HoleId, LxpWrapper};
+use crate::lxp::{check_batch_shape, check_progress, HoleId, LxpWrapper};
 use crate::retry::{RetryError, RetryPolicy, RetryState};
 use mix_nav::Navigator;
 use mix_xml::Label;
@@ -55,12 +55,23 @@ struct StatCells {
     get_roots: Cell<u64>,
     nodes_received: Cell<u64>,
     bytes_received: Cell<u64>,
+    requests: Cell<u64>,
+    batched_holes: Cell<u64>,
+    wasted_bytes: Cell<u64>,
+}
+
+impl StatCells {
+    fn bump(cell: &Cell<u64>, by: u64) {
+        cell.set(cell.get() + by);
+    }
 }
 
 /// A point-in-time copy of [`BufferStats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct BufferStatsSnapshot {
-    /// `fill` requests sent to the wrapper.
+    /// Per-hole fill replies consumed by the buffer (one per wire `fill`
+    /// in unbatched mode; in batched mode also counts replies served from
+    /// the pending batch cache).
     pub fills: u64,
     /// `get_root` requests (0 or 1 per source).
     pub get_roots: u64,
@@ -68,6 +79,28 @@ pub struct BufferStatsSnapshot {
     pub nodes_received: u64,
     /// Approximate bytes received (see `Fragment::wire_bytes`).
     pub bytes_received: u64,
+    /// Wire exchanges for fills (`fill` or `fill_many` calls). Equals
+    /// `fills` in unbatched mode; the whole point of batching is pushing
+    /// this far below `fills`.
+    pub requests: u64,
+    /// Per-hole replies received across batched exchanges (requested plus
+    /// wrapper-pushed continuation items).
+    pub batched_holes: u64,
+    /// Bytes received speculatively and not (or not yet) consumed:
+    /// dropped protocol-violating continuation items plus batch-cache
+    /// entries still waiting for a navigation to need them.
+    pub wasted_bytes: u64,
+}
+
+impl BufferStatsSnapshot {
+    /// Average holes answered per wire exchange (1.0 when unbatched).
+    pub fn holes_per_request(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.batched_holes.max(self.requests) as f64 / self.requests as f64
+        }
+    }
 }
 
 impl BufferStats {
@@ -83,6 +116,9 @@ impl BufferStats {
             get_roots: self.inner.get_roots.get(),
             nodes_received: self.inner.nodes_received.get(),
             bytes_received: self.inner.bytes_received.get(),
+            requests: self.inner.requests.get(),
+            batched_holes: self.inner.batched_holes.get(),
+            wasted_bytes: self.inner.wasted_bytes.get(),
         }
     }
 
@@ -92,6 +128,9 @@ impl BufferStats {
         self.inner.get_roots.set(0);
         self.inner.nodes_received.set(0);
         self.inner.bytes_received.set(0);
+        self.inner.requests.set(0);
+        self.inner.batched_holes.set(0);
+        self.inner.wasted_bytes.set(0);
     }
 }
 
@@ -185,6 +224,13 @@ pub struct BufferNavigator<W> {
     policy: RetryPolicy,
     retry: RetryState,
     health: SourceHealth,
+    /// Batched-fill mode: holes per `fill_many` exchange. `<= 1` keeps the
+    /// classic one-hole-per-round-trip protocol (and its exact fill
+    /// counts) byte-for-byte unchanged.
+    batch_limit: usize,
+    /// Replies received in a batch before any navigation needed them,
+    /// keyed by hole id. Consumed instead of going back to the wire.
+    pending: std::collections::HashMap<HoleId, Vec<Fragment>>,
 }
 
 impl<W: LxpWrapper> BufferNavigator<W> {
@@ -206,7 +252,30 @@ impl<W: LxpWrapper> BufferNavigator<W> {
             policy,
             retry: RetryState::new(),
             health: SourceHealth::new(),
+            batch_limit: 1,
+            pending: std::collections::HashMap::new(),
         }
+    }
+
+    /// Switch on batched fills: each wire exchange carries the critical
+    /// hole plus up to `batch_limit - 1` other currently-known holes of
+    /// the open tree, answered in one `fill_many`. Replies for holes the
+    /// navigation has not reached yet wait in a pending cache; the open
+    /// tree itself evolves exactly as under one-hole fills. A limit of 0
+    /// or 1 disables batching.
+    pub fn batched(mut self, batch_limit: usize) -> Self {
+        self.batch_limit = batch_limit.max(1);
+        self
+    }
+
+    /// Is batched-fill mode on?
+    pub fn is_batching(&self) -> bool {
+        self.batch_limit > 1
+    }
+
+    /// Batch-cache entries received but not yet consumed by navigation.
+    pub fn pending_replies(&self) -> usize {
+        self.pending.len()
     }
 
     /// A shared handle to this buffer's traffic counters.
@@ -259,11 +328,15 @@ impl<W: LxpWrapper> BufferNavigator<W> {
         }
     }
 
-    /// One `fill` under the retry policy. Progress is checked inside the
-    /// retried operation, so a protocol-violating reply surfaces as a
-    /// permanent error (and counts against the breaker) instead of being
-    /// buffered.
+    /// Resolve one hole under the retry policy, via a single `fill` (the
+    /// classic path) or a batched `fill_many` exchange. Progress is
+    /// checked inside the retried operation, so a protocol-violating
+    /// reply surfaces as a permanent error (and counts against the
+    /// breaker) instead of being buffered.
     fn try_fill(&mut self, hole: &HoleId) -> Result<Vec<Fragment>, BufferError> {
+        if self.batch_limit > 1 {
+            return self.try_fill_batched(hole);
+        }
         let wrapper = &mut self.wrapper;
         let reply = self
             .retry
@@ -274,12 +347,105 @@ impl<W: LxpWrapper> BufferNavigator<W> {
             })
             .map_err(|error| BufferError::Lxp { request: format!("fill({hole})"), error })?;
         let cells = &self.stats.inner;
-        cells.fills.set(cells.fills.get() + 1);
+        StatCells::bump(&cells.fills, 1);
+        StatCells::bump(&cells.requests, 1);
         for f in &reply {
-            cells.nodes_received.set(cells.nodes_received.get() + f.node_count() as u64);
-            cells.bytes_received.set(cells.bytes_received.get() + f.wire_bytes() as u64);
+            StatCells::bump(&cells.nodes_received, f.node_count() as u64);
+            StatCells::bump(&cells.bytes_received, f.wire_bytes() as u64);
         }
         Ok(reply)
+    }
+
+    /// Batched-mode fill: serve `hole` from the pending batch cache if a
+    /// prior exchange already answered it; otherwise issue one
+    /// `fill_many` carrying `hole` plus other currently-known holes of
+    /// the open tree, splice only `hole`'s reply, and stash the rest.
+    fn try_fill_batched(&mut self, hole: &HoleId) -> Result<Vec<Fragment>, BufferError> {
+        if let Some(reply) = self.pending.remove(hole) {
+            let cells = &self.stats.inner;
+            StatCells::bump(&cells.fills, 1);
+            // The bytes are no longer speculative waste: a navigation
+            // actually needed them.
+            let bytes: u64 = reply.iter().map(|f| f.wire_bytes() as u64).sum();
+            cells.wasted_bytes.set(cells.wasted_bytes.get().saturating_sub(bytes));
+            return Ok(reply);
+        }
+        let batch = self.known_holes(hole);
+        let wrapper = &mut self.wrapper;
+        let items = self
+            .retry
+            .run(&self.policy, &self.health, || {
+                let items = wrapper.fill_many(&batch)?;
+                check_batch_shape(&batch, &items)?;
+                // The critical hole's reply is held to the progress
+                // invariant strictly; continuation items are vetted (and
+                // merely dropped) below.
+                check_progress(&items[0].fragments)?;
+                Ok(items)
+            })
+            .map_err(|error| BufferError::Lxp {
+                request: format!("fill_many({hole} +{} holes)", batch.len() - 1),
+                error,
+            })?;
+        let cells = &self.stats.inner;
+        StatCells::bump(&cells.requests, 1);
+        StatCells::bump(&cells.batched_holes, items.len() as u64);
+        StatCells::bump(&cells.fills, 1);
+        let mut critical = None;
+        for (k, item) in items.into_iter().enumerate() {
+            let bytes: u64 = item.fragments.iter().map(|f| f.wire_bytes() as u64).sum();
+            let nodes: u64 = item.fragments.iter().map(|f| f.node_count() as u64).sum();
+            StatCells::bump(&cells.nodes_received, nodes);
+            StatCells::bump(&cells.bytes_received, bytes);
+            if k == 0 {
+                critical = Some(item.fragments);
+            } else if check_progress(&item.fragments).is_err()
+                || item.hole == *hole
+                || self.pending.contains_key(&item.hole)
+            {
+                // Violating or duplicate speculative reply: dropped — the
+                // client's own fill will face it on the critical path —
+                // and its bytes stay counted as waste for good.
+                StatCells::bump(&cells.wasted_bytes, bytes);
+            } else {
+                // Parked until a navigation needs it; counted as waste
+                // until then (consumption credits it back).
+                StatCells::bump(&cells.wasted_bytes, bytes);
+                self.pending.insert(item.hole, item.fragments);
+            }
+        }
+        Ok(critical.expect("batch shape checked: first item answers the critical hole"))
+    }
+
+    /// The fill_many batch for a critical hole: the hole itself first,
+    /// then other holes of the open tree in document order (the order a
+    /// scanning client will want them), capped by the batch limit and
+    /// excluding holes already answered in the pending cache.
+    fn known_holes(&self, critical: &HoleId) -> Vec<HoleId> {
+        let mut batch = vec![critical.clone()];
+        if self.connected && !self.nodes.is_empty() {
+            let mut found = Vec::new();
+            self.collect_holes(BufNodeId(0), &mut found);
+            for h in found {
+                if batch.len() >= self.batch_limit {
+                    break;
+                }
+                if &h != critical && !self.pending.contains_key(&h) {
+                    batch.push(h);
+                }
+            }
+        }
+        batch
+    }
+
+    /// All hole entries below `id`, in document order.
+    fn collect_holes(&self, id: BufNodeId, out: &mut Vec<HoleId>) {
+        for e in &self.nodes[id.index()].children {
+            match e {
+                Entry::Hole(h) => out.push(h.clone()),
+                Entry::Node(c) => self.collect_holes(*c, out),
+            }
+        }
     }
 
     /// Establish the connection if necessary: `get_root`, then chase
@@ -802,6 +968,142 @@ mod tests {
         assert_eq!(health.status(), HealthStatus::Degraded);
         let a = nav.down(&root).expect("second try reconnects");
         assert_eq!(nav.fetch(&a), "a");
+    }
+
+    #[test]
+    fn batched_mode_materializes_identically_with_fewer_requests() {
+        let term = "view[t[a,b],t[c,d],t[e,f],t[g,h],t[i,j],t[k,l],t[m,n],t[o,p]]";
+        let tree = parse_term(term).unwrap();
+        let mut plain =
+            BufferNavigator::new(TreeWrapper::single(&tree, FillPolicy::Chunked { n: 1 }), "doc");
+        let plain_stats = plain.stats();
+        assert_eq!(materialize(&mut plain).to_string(), term);
+
+        let wrapper =
+            TreeWrapper::single(&tree, FillPolicy::Chunked { n: 1 }).with_batch_budget(4);
+        let mut batched = BufferNavigator::new(wrapper, "doc").batched(8);
+        let batched_stats = batched.stats();
+        assert_eq!(materialize(&mut batched).to_string(), term, "identical answer");
+
+        let p = plain_stats.snapshot();
+        let b = batched_stats.snapshot();
+        assert_eq!(p.requests, p.fills, "unbatched: one wire exchange per fill");
+        assert_eq!(b.fills, p.fills, "same per-hole replies consumed");
+        assert_eq!(b.nodes_received, p.nodes_received, "same payload");
+        assert!(
+            b.requests * 3 <= p.requests,
+            "batched {} vs unbatched {} exchanges",
+            b.requests,
+            p.requests
+        );
+        assert!(b.batched_holes >= b.fills, "continuation items arrived");
+        assert!(b.holes_per_request() > 2.0, "{:.1} holes/request", b.holes_per_request());
+        assert_eq!(b.wasted_bytes, 0, "a full scan consumes everything it prefetched");
+    }
+
+    #[test]
+    fn batched_mode_coalesces_known_sibling_holes() {
+        // SizeThreshold leaves one hole per big sibling: after the first
+        // children fill, the open tree knows several holes at once, and a
+        // batched buffer answers them in one exchange.
+        let term = "r[big1[a,b,c,d],big2[a,b,c,d],big3[a,b,c,d],big4[a,b,c,d]]";
+        let tree = parse_term(term).unwrap();
+        let wrapper = TreeWrapper::single(&tree, FillPolicy::SizeThreshold { max_nodes: 2 });
+        let mut nav = BufferNavigator::new(wrapper, "doc").batched(8);
+        let stats = nav.stats();
+        assert!(nav.is_batching());
+        assert_eq!(materialize(&mut nav).to_string(), term);
+        let s = stats.snapshot();
+        assert!(
+            s.requests < s.fills,
+            "sibling holes shared exchanges: {} requests for {} fills",
+            s.requests,
+            s.fills
+        );
+    }
+
+    #[test]
+    fn batched_open_tree_evolves_like_unbatched() {
+        // Partial navigation: the open trees (holes included) must match
+        // step for step, not just the final materialization.
+        let term = "r[a[deep1,deep2],b[x],c[y],d[z]]";
+        let tree = parse_term(term).unwrap();
+        let mut plain =
+            BufferNavigator::new(TreeWrapper::single(&tree, FillPolicy::NodeAtATime), "doc");
+        let wrapper =
+            TreeWrapper::single(&tree, FillPolicy::NodeAtATime).with_batch_budget(3);
+        let mut batched = BufferNavigator::new(wrapper, "doc").batched(4);
+
+        fn drive(nav: &mut BufferNavigator<TreeWrapper>) -> String {
+            let root = nav.root();
+            let a = nav.down(&root).unwrap();
+            let b = nav.right(&a).unwrap();
+            let _ = nav.down(&b).unwrap();
+            nav.open_tree().unwrap().to_string()
+        }
+        assert_eq!(drive(&mut plain), drive(&mut batched), "identical open trees");
+    }
+
+    #[test]
+    fn batched_mode_retries_transient_faults() {
+        let term = "view[t[a],t[b],t[c],t[d],t[e],t[f]]";
+        let tree = parse_term(term).unwrap();
+        let faulty = FaultyWrapper::new(
+            TreeWrapper::single(&tree, FillPolicy::Chunked { n: 1 }).with_batch_budget(3),
+            FaultConfig::transient(9, 0.4),
+        );
+        let fault_stats = faulty.stats();
+        let mut nav = BufferNavigator::with_retry(
+            faulty,
+            "doc",
+            RetryPolicy { max_attempts: 64, ..RetryPolicy::default() },
+        )
+        .batched(4);
+        let health = nav.health();
+        assert_eq!(materialize(&mut nav).to_string(), term, "batched + faulty still exact");
+        assert!(fault_stats.snapshot().injected_faults > 0, "schedule actually injected");
+        assert_eq!(health.status(), HealthStatus::Healthy, "all faults retried away");
+    }
+
+    #[test]
+    fn batched_mode_drops_violating_continuation_items_as_waste() {
+        // A wrapper that answers the requested hole correctly but pads the
+        // exchange with a protocol-violating continuation item.
+        struct Padded;
+        impl LxpWrapper for Padded {
+            fn get_root(&mut self, _uri: &str) -> Result<HoleId, LxpError> {
+                Ok("0".into())
+            }
+            fn fill(&mut self, hole: &HoleId) -> Result<Vec<Fragment>, LxpError> {
+                match hole.as_str() {
+                    "0" => Ok(vec![Fragment::node("r", vec![Fragment::hole("1")])]),
+                    "1" => Ok(vec![Fragment::leaf("a")]),
+                    _ => Err(LxpError::UnknownHole(hole.clone())),
+                }
+            }
+            fn fill_many(
+                &mut self,
+                holes: &[HoleId],
+            ) -> Result<Vec<crate::lxp::BatchItem>, LxpError> {
+                let mut items: Vec<crate::lxp::BatchItem> = holes
+                    .iter()
+                    .map(|h| Ok(crate::lxp::BatchItem::new(h.clone(), self.fill(h)?)))
+                    .collect::<Result<_, LxpError>>()?;
+                items.push(crate::lxp::BatchItem::new(
+                    "junk",
+                    vec![Fragment::hole("x"), Fragment::hole("y")],
+                ));
+                Ok(items)
+            }
+        }
+        let mut nav = BufferNavigator::new(Padded, "u").batched(4);
+        let stats = nav.stats();
+        let root = nav.root();
+        let a = nav.down(&root).unwrap();
+        assert_eq!(nav.fetch(&a), "a");
+        let s = stats.snapshot();
+        assert!(s.wasted_bytes > 0, "violating items counted as waste: {s:?}");
+        assert_eq!(nav.pending_replies(), 0, "violating items never parked");
     }
 
     #[test]

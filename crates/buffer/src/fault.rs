@@ -14,7 +14,7 @@
 //! what the retry layer's circuit breaker exists for.
 
 use crate::fragment::Fragment;
-use crate::lxp::{HoleId, LxpError, LxpWrapper};
+use crate::lxp::{BatchItem, HoleId, LxpError, LxpWrapper};
 use std::cell::Cell;
 use std::rc::Rc;
 
@@ -194,6 +194,14 @@ impl<W: LxpWrapper> LxpWrapper for FaultyWrapper<W> {
         self.gate(self.config.fill_fault_rate, "fill", hole)?;
         self.inner.fill(hole)
     }
+
+    fn fill_many(&mut self, holes: &[HoleId]) -> Result<Vec<BatchItem>, LxpError> {
+        // One wire exchange, one fault opportunity: a batch fails or
+        // survives as a unit, like a single dropped response would.
+        let detail = holes.first().cloned().unwrap_or_default();
+        self.gate(self.config.fill_fault_rate, "fill_many", &detail)?;
+        self.inner.fill_many(holes)
+    }
 }
 
 #[cfg(test)]
@@ -256,6 +264,20 @@ mod tests {
             let err = w.fill(&root).unwrap_err();
             assert!(err.to_string().contains("outage"), "{err}");
         }
+    }
+
+    #[test]
+    fn batched_fills_are_one_fault_opportunity() {
+        let mut w = FaultyWrapper::new(wrapper(), FaultConfig::transient(1, 0.0));
+        let holes: Vec<HoleId> = vec!["doc|c|0|0".into(), "doc|c|0|2".into()];
+        let items = w.fill_many(&holes).unwrap();
+        assert_eq!(items.len(), 2);
+        // Two holes, one request through the gate.
+        assert_eq!(w.stats().snapshot().requests, 1);
+        // And under a certain fault, the whole batch fails as a unit.
+        let mut down = FaultyWrapper::new(wrapper(), FaultConfig::transient(0, 1.0));
+        let err = down.fill_many(&holes).unwrap_err();
+        assert!(err.is_transient(), "{err}");
     }
 
     #[test]

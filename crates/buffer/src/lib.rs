@@ -24,7 +24,10 @@
 //!
 //! * [`fragment`] — open trees / fragments, the hole-representation
 //!   semantics of Defs. 3–4 and Example 6;
-//! * [`lxp`] — the protocol trait and its progress invariants;
+//! * [`lxp`] — the protocol trait (`get_root`, `fill`, and the batched
+//!   `fill_many` extension) and its progress invariants;
+//! * [`adaptive`] — the AIMD chunk-size controller wrappers use to adapt
+//!   fill granularity to the observed access pattern;
 //! * [`buffer`] — the buffer component: a [`Navigator`] that maintains the
 //!   open tree and chases holes (the `d(p)`/`chase_first` algorithm of
 //!   Figure 8, generalized to the most liberal protocol);
@@ -51,6 +54,7 @@
 //! [`SourceHealth`]: health::SourceHealth
 //! [`FaultyWrapper`]: fault::FaultyWrapper
 
+pub mod adaptive;
 pub mod buffer;
 pub mod fault;
 pub mod fragment;
@@ -60,11 +64,12 @@ pub mod prefetch;
 pub mod retry;
 pub mod treewrap;
 
-pub use buffer::{BufNodeId, BufferError, BufferNavigator, BufferStats};
+pub use adaptive::AimdChunk;
+pub use buffer::{BufNodeId, BufferError, BufferNavigator, BufferStats, BufferStatsSnapshot};
 pub use fault::{FaultConfig, FaultStats, FaultyWrapper};
 pub use fragment::Fragment;
 pub use health::{HealthSnapshot, HealthStatus, SourceHealth};
-pub use lxp::{HoleId, LxpError, LxpWrapper};
+pub use lxp::{chase_continuation, BatchItem, HoleId, LxpError, LxpWrapper};
 pub use prefetch::Prefetcher;
 pub use retry::{RetryError, RetryPolicy};
 pub use treewrap::{FillPolicy, TreeWrapper};

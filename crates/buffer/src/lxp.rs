@@ -57,6 +57,22 @@ impl fmt::Display for LxpError {
 
 impl std::error::Error for LxpError {}
 
+/// One hole's reply within a batched `fill_many` exchange.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchItem {
+    /// The hole this item answers.
+    pub hole: HoleId,
+    /// The fill reply for that hole (same semantics as a plain `fill`).
+    pub fragments: Vec<Fragment>,
+}
+
+impl BatchItem {
+    /// Convenience constructor.
+    pub fn new(hole: impl Into<HoleId>, fragments: Vec<Fragment>) -> Self {
+        BatchItem { hole: hole.into(), fragments }
+    }
+}
+
 /// The wrapper side of LXP.
 pub trait LxpWrapper {
     /// `get_root(URI) → hole[id]`: establish the connection and obtain a
@@ -66,6 +82,29 @@ pub trait LxpWrapper {
     /// `fill(hole[id]) → [T]`: partially explore the part of the source
     /// tree represented by the hole.
     fn fill(&mut self, hole: &HoleId) -> Result<Vec<Fragment>, LxpError>;
+
+    /// `fill_many([hole[id]]) → [(hole[id], [T])]`: batched fills — one
+    /// exchange answering several holes, amortizing per-request overhead.
+    ///
+    /// Contract:
+    /// * the reply starts with exactly one item per requested hole, in
+    ///   request order, each carrying what `fill` would have returned;
+    /// * the wrapper MAY append further *continuation* items answering
+    ///   holes of its own replies ("push from below", §4) — e.g. the
+    ///   relational wrapper streaming the next cursor ranges, or the web
+    ///   wrapper shipping several page fragments per exchange. Clients
+    ///   treat continuation items as a readahead cache; each item's
+    ///   fragment list is still subject to the progress invariant.
+    ///
+    /// The default implementation degrades to one `fill` per hole (no
+    /// amortization, no continuation), so plain wrappers and adapters
+    /// stay correct without changes.
+    fn fill_many(&mut self, holes: &[HoleId]) -> Result<Vec<BatchItem>, LxpError> {
+        holes
+            .iter()
+            .map(|h| Ok(BatchItem { hole: h.clone(), fragments: self.fill(h)? }))
+            .collect()
+    }
 }
 
 impl<W: LxpWrapper + ?Sized> LxpWrapper for Box<W> {
@@ -76,6 +115,74 @@ impl<W: LxpWrapper + ?Sized> LxpWrapper for Box<W> {
     fn fill(&mut self, hole: &HoleId) -> Result<Vec<Fragment>, LxpError> {
         (**self).fill(hole)
     }
+
+    fn fill_many(&mut self, holes: &[HoleId]) -> Result<Vec<BatchItem>, LxpError> {
+        (**self).fill_many(holes)
+    }
+}
+
+/// Wrapper-side continuation for `fill_many`: chase up to `budget` holes
+/// exposed by the items already in the exchange — trailing-most first,
+/// the direction a scanning client moves — and append their replies as
+/// continuation items. This is the "push from below" of §4 rendered as
+/// extra items in the same exchange: a chunked source answers a
+/// sequential scan's whole frontier (chunk after chunk) in one round
+/// trip instead of one round trip per chunk.
+///
+/// Best-effort: a hole whose fill errors simply ends the chase (the
+/// client's own fill will face — and retry — that error on the critical
+/// path).
+pub fn chase_continuation<W: LxpWrapper + ?Sized>(
+    wrapper: &mut W,
+    items: &mut Vec<BatchItem>,
+    budget: usize,
+) {
+    fn collect(frags: &[Fragment], stack: &mut Vec<HoleId>) {
+        for f in frags {
+            match f {
+                Fragment::Hole(h) => stack.push(h.clone()),
+                Fragment::Node { children, .. } => collect(children, stack),
+            }
+        }
+    }
+    let mut stack: Vec<HoleId> = Vec::new();
+    for item in items.iter() {
+        collect(&item.fragments, &mut stack);
+    }
+    let mut budget = budget;
+    while budget > 0 {
+        let Some(h) = stack.pop() else { break };
+        if items.iter().any(|it| it.hole == h) {
+            continue;
+        }
+        let Ok(reply) = wrapper.fill(&h) else { break };
+        budget -= 1;
+        collect(&reply, &mut stack);
+        items.push(BatchItem { hole: h, fragments: reply });
+    }
+}
+
+/// Validate the shape of a `fill_many` reply: at least one item per
+/// requested hole, and the first `holes.len()` items answer the requested
+/// holes in order. Progress of each item's fragment list is checked
+/// separately (requested items strictly; continuation items best-effort).
+pub fn check_batch_shape(holes: &[HoleId], reply: &[BatchItem]) -> Result<(), LxpError> {
+    if reply.len() < holes.len() {
+        return Err(LxpError::ProtocolViolation(format!(
+            "fill_many answered {} of {} requested holes",
+            reply.len(),
+            holes.len()
+        )));
+    }
+    for (h, item) in holes.iter().zip(reply) {
+        if &item.hole != h {
+            return Err(LxpError::ProtocolViolation(format!(
+                "fill_many reply out of order: expected `{h}`, got `{}`",
+                item.hole
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Enforce the progress invariant on a fill reply: a non-empty reply must
@@ -139,5 +246,61 @@ mod tests {
     fn error_display() {
         assert_eq!(LxpError::UnknownHole("x.y".into()).to_string(), "unknown hole id `x.y`");
         assert!(LxpError::UnknownSource("db".into()).to_string().contains("db"));
+    }
+
+    /// A wrapper whose `fill` answers any hole with one leaf named after
+    /// the hole id — enough to observe the default `fill_many`.
+    struct Echo;
+
+    impl LxpWrapper for Echo {
+        fn get_root(&mut self, _uri: &str) -> Result<HoleId, LxpError> {
+            Ok("0".into())
+        }
+        fn fill(&mut self, hole: &HoleId) -> Result<Vec<Fragment>, LxpError> {
+            Ok(vec![Fragment::leaf(hole.as_str())])
+        }
+    }
+
+    #[test]
+    fn default_fill_many_loops_fill_in_order() {
+        let holes: Vec<HoleId> = vec!["a".into(), "b".into(), "c".into()];
+        let reply = Echo.fill_many(&holes).unwrap();
+        assert_eq!(reply.len(), 3, "no continuation items from the default impl");
+        for (h, item) in holes.iter().zip(&reply) {
+            assert_eq!(&item.hole, h);
+            assert_eq!(item.fragments, vec![Fragment::leaf(h.as_str())]);
+        }
+        check_batch_shape(&holes, &reply).unwrap();
+    }
+
+    #[test]
+    fn batch_shape_rejects_short_and_misordered_replies() {
+        let holes: Vec<HoleId> = vec!["a".into(), "b".into()];
+        let short = vec![BatchItem::new("a", vec![])];
+        assert!(matches!(
+            check_batch_shape(&holes, &short),
+            Err(LxpError::ProtocolViolation(_))
+        ));
+        let misordered =
+            vec![BatchItem::new("b", vec![]), BatchItem::new("a", vec![])];
+        assert!(matches!(
+            check_batch_shape(&holes, &misordered),
+            Err(LxpError::ProtocolViolation(_))
+        ));
+        // Extra continuation items are allowed.
+        let with_continuation = vec![
+            BatchItem::new("a", vec![]),
+            BatchItem::new("b", vec![]),
+            BatchItem::new("z", vec![Fragment::leaf("bonus")]),
+        ];
+        check_batch_shape(&holes, &with_continuation).unwrap();
+    }
+
+    #[test]
+    fn boxed_wrappers_forward_fill_many() {
+        let mut boxed: Box<dyn LxpWrapper> = Box::new(Echo);
+        let holes: Vec<HoleId> = vec!["x".into()];
+        let reply = boxed.fill_many(&holes).unwrap();
+        assert_eq!(reply[0].fragments, vec![Fragment::leaf("x")]);
     }
 }

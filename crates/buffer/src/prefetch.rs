@@ -13,7 +13,7 @@
 //! number of round trips the client actually waits for.
 
 use crate::fragment::Fragment;
-use crate::lxp::{check_progress, HoleId, LxpError, LxpWrapper};
+use crate::lxp::{check_progress, BatchItem, HoleId, LxpError, LxpWrapper};
 use std::collections::HashMap;
 
 /// A readahead adapter around any LXP wrapper.
@@ -62,6 +62,11 @@ impl<W: LxpWrapper> Prefetcher<W> {
     /// reply that violates the LXP progress invariant is dropped rather
     /// than cached, so the buffer's protocol checking still sees it when
     /// the client really asks.
+    /// Readahead runs in *batched rounds*: each round gathers up to
+    /// `budget` pending holes and answers them through one `fill_many`
+    /// exchange, so wide readahead costs one round trip instead of one
+    /// per hole. If the batched exchange itself errors, the round falls
+    /// back to best-effort one-hole fills (old behavior).
     fn readahead(&mut self, reply: &[Fragment], budget: &mut usize) {
         fn collect(frags: &[Fragment], stack: &mut Vec<HoleId>) {
             for f in frags {
@@ -76,17 +81,44 @@ impl<W: LxpWrapper> Prefetcher<W> {
         // Holes were pushed in document order, so popping serves the
         // trailing-most hole first.
         while *budget > 0 {
-            let Some(h) = stack.pop() else { break };
-            if self.cache.contains_key(&h) {
-                continue;
+            let mut round: Vec<HoleId> = Vec::new();
+            while round.len() < *budget {
+                let Some(h) = stack.pop() else { break };
+                if self.cache.contains_key(&h) || round.contains(&h) {
+                    continue;
+                }
+                round.push(h);
             }
-            let Ok(r) = self.inner.fill(&h) else { continue };
-            *budget -= 1;
-            if check_progress(&r).is_err() {
-                continue;
+            if round.is_empty() {
+                break;
             }
-            collect(&r, &mut stack);
-            self.cache.insert(h, r);
+            match self.inner.fill_many(&round) {
+                Ok(items) => {
+                    *budget = budget.saturating_sub(round.len());
+                    for item in items {
+                        // Continuation items beyond the requested round
+                        // are free extra readahead — cached, not charged.
+                        if check_progress(&item.fragments).is_err()
+                            || self.cache.contains_key(&item.hole)
+                        {
+                            continue;
+                        }
+                        collect(&item.fragments, &mut stack);
+                        self.cache.insert(item.hole, item.fragments);
+                    }
+                }
+                Err(_) => {
+                    for h in round {
+                        let Ok(r) = self.inner.fill(&h) else { continue };
+                        *budget = budget.saturating_sub(1);
+                        if check_progress(&r).is_err() {
+                            continue;
+                        }
+                        collect(&r, &mut stack);
+                        self.cache.insert(h, r);
+                    }
+                }
+            }
         }
     }
 }
@@ -110,6 +142,44 @@ impl<W: LxpWrapper> LxpWrapper for Prefetcher<W> {
         let mut budget = self.depth;
         self.readahead(&reply, &mut budget);
         Ok(reply)
+    }
+
+    /// Batched fills through the cache: cached holes are answered without
+    /// inner traffic, the rest go to the inner wrapper in one batch, and
+    /// inner continuation items are passed through to the client.
+    fn fill_many(&mut self, holes: &[HoleId]) -> Result<Vec<BatchItem>, LxpError> {
+        let uncached: Vec<HoleId> =
+            holes.iter().filter(|h| !self.cache.contains_key(*h)).cloned().collect();
+        let mut fetched: HashMap<HoleId, Vec<Fragment>> = HashMap::new();
+        let mut extra: Vec<BatchItem> = Vec::new();
+        if !uncached.is_empty() {
+            let items = self.inner.fill_many(&uncached)?;
+            for (i, item) in items.into_iter().enumerate() {
+                if i < uncached.len() {
+                    fetched.insert(item.hole, item.fragments);
+                } else {
+                    extra.push(item);
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(holes.len() + extra.len());
+        for h in holes {
+            if let Some(r) = self.cache.remove(h) {
+                self.hits += 1;
+                out.push(BatchItem { hole: h.clone(), fragments: r });
+            } else if let Some(r) = fetched.remove(h) {
+                self.misses += 1;
+                out.push(BatchItem { hole: h.clone(), fragments: r });
+            } else {
+                // The inner wrapper violated the batch shape; surface it
+                // as a protocol error rather than inventing a reply.
+                return Err(LxpError::ProtocolViolation(format!(
+                    "inner fill_many did not answer `{h}`"
+                )));
+            }
+        }
+        out.extend(extra);
+        Ok(out)
     }
 }
 
@@ -233,6 +303,47 @@ mod tests {
         assert_eq!(pf.hits(), 1, "trailing hole was the one cached");
         let _ = pf.fill(&"lead".to_string()).unwrap();
         assert_eq!(pf.misses(), 2, "leading hole went to the wrapper (plus the root fill)");
+    }
+
+    #[test]
+    fn fill_many_serves_cached_holes_without_inner_traffic() {
+        let tree = wide_tree(8);
+        let inner = TreeWrapper::single(&tree, FillPolicy::NodeAtATime);
+        let mut pf = Prefetcher::new(inner, 4);
+        let root = pf.get_root("doc").unwrap();
+        let reply = pf.fill(&root).unwrap();
+        assert!(pf.cached() > 0, "readahead warmed the cache");
+        // Ask for the reply's hole via the batched entry point: a hit.
+        fn first_hole(frags: &[Fragment]) -> HoleId {
+            for f in frags {
+                match f {
+                    Fragment::Hole(h) => return h.clone(),
+                    Fragment::Node { children, .. } => {
+                        if !children.is_empty() {
+                            return first_hole(children);
+                        }
+                    }
+                }
+            }
+            panic!("no hole in reply")
+        }
+        let h = first_hole(&reply);
+        let hits_before = pf.hits();
+        let items = pf.fill_many(std::slice::from_ref(&h)).unwrap();
+        assert_eq!(items[0].hole, h);
+        assert_eq!(pf.hits(), hits_before + 1, "served from the readahead cache");
+    }
+
+    #[test]
+    fn batched_readahead_preserves_transparency() {
+        // The prefetcher's batched rounds must not change what a client
+        // materializes.
+        let tree = wide_tree(32);
+        for depth in [0usize, 1, 5, 16] {
+            let inner = TreeWrapper::single(&tree, FillPolicy::Chunked { n: 3 });
+            let mut nav = BufferNavigator::new(Prefetcher::new(inner, depth), "doc");
+            assert_eq!(materialize(&mut nav), tree, "depth {depth}");
+        }
     }
 
     #[test]

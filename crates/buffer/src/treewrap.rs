@@ -14,8 +14,9 @@
 //! no lookup table — the same trick as the relational wrapper's
 //! `db_name.table.row_number` ids.
 
+use crate::adaptive::AimdChunk;
 use crate::fragment::Fragment;
-use crate::lxp::{HoleId, LxpError, LxpWrapper};
+use crate::lxp::{chase_continuation, BatchItem, HoleId, LxpError, LxpWrapper};
 use mix_xml::{Document, NodeId, Tree};
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -35,18 +36,46 @@ pub enum FillPolicy {
     /// most `max_nodes` nodes and shallow (with a child hole) otherwise —
     /// the Web wrapper's streaming heuristic.
     SizeThreshold { max_nodes: usize },
+    /// Like `Chunked`, but the chunk follows an [`AimdChunk`] controller:
+    /// additive growth on sequential fills, multiplicative shrink on
+    /// random access or waste, starting at `initial` subtrees per fill.
+    Adaptive { initial: usize },
 }
 
 /// LXP wrapper over a registry of in-memory documents.
 pub struct TreeWrapper {
     docs: HashMap<String, Rc<Document>>,
     policy: FillPolicy,
+    /// Chunk controller, present under `FillPolicy::Adaptive`.
+    adaptive: Option<AimdChunk>,
+    /// Where the previous children fill left off: `(uri, parent node,
+    /// next start)` — the adaptive controller's sequentiality oracle.
+    last_fill: Option<(String, usize, usize)>,
+    /// Continuation items appended per `fill_many` exchange (0 = none).
+    batch_budget: usize,
 }
 
 impl TreeWrapper {
     /// An empty registry with the given policy.
     pub fn new(policy: FillPolicy) -> Self {
-        TreeWrapper { docs: HashMap::new(), policy }
+        let adaptive = match policy {
+            FillPolicy::Adaptive { initial } => Some(AimdChunk::with_initial(initial)),
+            _ => None,
+        };
+        TreeWrapper { docs: HashMap::new(), policy, adaptive, last_fill: None, batch_budget: 0 }
+    }
+
+    /// Allow up to `budget` wrapper-pushed continuation items per
+    /// `fill_many` exchange (see [`chase_continuation`]).
+    pub fn with_batch_budget(mut self, budget: usize) -> Self {
+        self.batch_budget = budget;
+        self
+    }
+
+    /// The chunk the adaptive controller would use for the next fill
+    /// (`None` unless the policy is [`FillPolicy::Adaptive`]).
+    pub fn current_chunk(&self) -> Option<usize> {
+        self.adaptive.as_ref().map(AimdChunk::chunk)
     }
 
     /// Register a document under a URI.
@@ -87,8 +116,25 @@ impl TreeWrapper {
         Fragment::from_tree(&doc.subtree(node))
     }
 
+    /// Complete-subtree chunk reply: `take` subtrees plus a trailing hole
+    /// while more remain (shared by `Chunked` and `Adaptive`).
+    fn chunk_reply(
+        doc: &Rc<Document>,
+        uri: &str,
+        parent: NodeId,
+        start: usize,
+        rest: &[NodeId],
+        take: usize,
+    ) -> Vec<Fragment> {
+        let mut out: Vec<Fragment> = rest[..take].iter().map(|&c| Self::complete(doc, c)).collect();
+        if rest.len() > take {
+            out.push(Fragment::Hole(children_hole(uri, parent, start + take)));
+        }
+        out
+    }
+
     fn fill_children(
-        &self,
+        &mut self,
         uri: &str,
         doc: &Rc<Document>,
         parent: NodeId,
@@ -108,14 +154,26 @@ impl TreeWrapper {
                 out
             }
             FillPolicy::Chunked { n } => {
-                let n = n.max(1);
-                let take = n.min(rest.len());
-                let mut out: Vec<Fragment> =
-                    rest[..take].iter().map(|&c| Self::complete(doc, c)).collect();
-                if rest.len() > take {
-                    out.push(Fragment::Hole(children_hole(uri, parent, start + take)));
+                let take = n.max(1).min(rest.len());
+                Self::chunk_reply(doc, uri, parent, start, rest, take)
+            }
+            FillPolicy::Adaptive { .. } => {
+                let ctl = self.adaptive.as_mut().expect("adaptive policy has a controller");
+                match &self.last_fill {
+                    Some((u, p, next)) if u == uri && *p == parent.index() && *next == start => {
+                        ctl.on_sequential()
+                    }
+                    // A backwards jump re-requests data already shipped:
+                    // the earlier chunk tail was wasted.
+                    Some((u, p, next)) if u == uri && *p == parent.index() && start < *next => {
+                        ctl.on_waste()
+                    }
+                    Some(_) => ctl.on_random(),
+                    None => {}
                 }
-                out
+                let take = ctl.chunk().min(rest.len());
+                self.last_fill = Some((uri.to_string(), parent.index(), start + take));
+                Self::chunk_reply(doc, uri, parent, start, rest, take)
             }
             FillPolicy::WholeSubtree => {
                 rest.iter().map(|&c| Self::complete(doc, c)).collect()
@@ -174,6 +232,20 @@ impl LxpWrapper for TreeWrapper {
             }
             _ => Err(LxpError::UnknownHole(hole.clone())),
         }
+    }
+
+    /// Batched fills with wrapper-pushed continuation: after answering the
+    /// requested holes, chase up to `batch_budget` further holes of this
+    /// exchange's own replies — a sequential scan's whole chunk frontier
+    /// arrives in one round trip.
+    fn fill_many(&mut self, holes: &[HoleId]) -> Result<Vec<BatchItem>, LxpError> {
+        let mut items = Vec::with_capacity(holes.len());
+        for h in holes {
+            items.push(BatchItem { hole: h.clone(), fragments: self.fill(h)? });
+        }
+        let budget = self.batch_budget;
+        chase_continuation(self, &mut items, budget);
+        Ok(items)
     }
 }
 
@@ -301,6 +373,97 @@ mod tests {
                 reply.iter().for_each(|f| collect(f, &mut queue));
             }
         }
+    }
+
+    #[test]
+    fn adaptive_chunks_grow_on_sequential_scans() {
+        let term = format!(
+            "r[{}]",
+            (0..200).map(|i| format!("t{i}")).collect::<Vec<_>>().join(",")
+        );
+        let mut w = wrapper(&term, FillPolicy::Adaptive { initial: 2 });
+        assert_eq!(w.current_chunk(), Some(2));
+        // Scan: follow the trailing hole of each reply.
+        let mut hole = "doc|c|0|0".to_string();
+        let mut fills = 0;
+        loop {
+            let reply = w.fill(&hole).unwrap();
+            fills += 1;
+            match reply.last() {
+                Some(Fragment::Hole(h)) => hole = h.clone(),
+                _ => break,
+            }
+        }
+        assert!(w.current_chunk().unwrap() > 2, "chunk grew under the scan");
+        // Growing chunks need far fewer fills than fixed chunk 2 (100).
+        assert!(fills < 30, "adaptive scan took {fills} fills");
+    }
+
+    #[test]
+    fn adaptive_chunks_shrink_on_random_access() {
+        let term = format!(
+            "r[{}]",
+            (0..100).map(|i| format!("t{i}")).collect::<Vec<_>>().join(",")
+        );
+        let mut w = wrapper(&term, FillPolicy::Adaptive { initial: 32 });
+        // Random probes at scattered positions.
+        for start in [50usize, 3, 80, 20, 66] {
+            let _ = w.fill(&format!("doc|c|0|{start}")).unwrap();
+        }
+        assert!(
+            w.current_chunk().unwrap() < 32,
+            "chunk shrank to {:?} under random access",
+            w.current_chunk()
+        );
+    }
+
+    #[test]
+    fn adaptive_replies_respect_lxp_progress() {
+        let mut w = wrapper("r[a[p,q],b,c[z],d,e]", FillPolicy::Adaptive { initial: 1 });
+        let mut queue = vec![w.get_root("doc").unwrap()];
+        while let Some(h) = queue.pop() {
+            let reply = w.fill(&h).unwrap();
+            check_progress(&reply).unwrap();
+            fn collect(f: &Fragment, q: &mut Vec<HoleId>) {
+                match f {
+                    Fragment::Hole(h) => q.push(h.clone()),
+                    Fragment::Node { children, .. } => children.iter().for_each(|c| collect(c, q)),
+                }
+            }
+            reply.iter().for_each(|f| collect(f, &mut queue));
+        }
+    }
+
+    #[test]
+    fn fill_many_with_budget_streams_the_scan_frontier() {
+        let term = format!(
+            "view[{}]",
+            (0..30).map(|i| format!("t[v{i}]")).collect::<Vec<_>>().join(",")
+        );
+        let mut w = wrapper(&term, FillPolicy::Chunked { n: 3 }).with_batch_budget(4);
+        let first = w.fill(&"doc|c|0|0".to_string()).unwrap();
+        let Some(Fragment::Hole(h)) = first.last() else { panic!("trailing hole") };
+        // One exchange: the requested chunk plus 4 continuation chunks.
+        let items = w.fill_many(std::slice::from_ref(h)).unwrap();
+        assert_eq!(items.len(), 5, "1 requested + 4 continuation items");
+        assert_eq!(&items[0].hole, h);
+        // Continuation items answer the successive trailing holes.
+        for pair in items.windows(2) {
+            let Some(Fragment::Hole(next)) = pair[0].fragments.last() else {
+                panic!("chunk reply ends with a trailing hole")
+            };
+            assert_eq!(&pair[1].hole, next);
+        }
+    }
+
+    #[test]
+    fn fill_many_without_budget_matches_the_default() {
+        let mut w = wrapper("r[a,b,c,d]", FillPolicy::NodeAtATime);
+        let holes: Vec<HoleId> = vec!["doc|c|0|0".into(), "doc|c|0|2".into()];
+        let items = w.fill_many(&holes).unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].fragments, w.fill(&holes[0]).unwrap());
+        assert_eq!(items[1].fragments, w.fill(&holes[1]).unwrap());
     }
 
     #[test]

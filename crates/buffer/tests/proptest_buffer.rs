@@ -155,6 +155,81 @@ proptest! {
     }
 
     #[test]
+    fn batched_fills_match_one_hole_fills(
+        tree in arb_tree(),
+        policy in arb_policy(),
+        prog in arb_program(),
+        batch_limit in 2usize..8,
+        budget in 0usize..6,
+    ) {
+        // The tentpole's differential property: for ANY navigation
+        // sequence, coalescing known holes into fill_many exchanges (with
+        // any wrapper-side continuation budget) observes exactly what
+        // one-hole-at-a-time fills observe, and the open tree still
+        // represents the document.
+        let mut plain =
+            BufferNavigator::new(TreeWrapper::single(&tree, policy), "doc");
+        let mut batched = BufferNavigator::new(
+            TreeWrapper::single(&tree, policy).with_batch_budget(budget),
+            "doc",
+        )
+        .batched(batch_limit);
+        let a = prog.run(&mut plain);
+        let b = prog.run(&mut batched);
+        let a_defined: Vec<bool> = a.ptrs.iter().map(Option::is_some).collect();
+        let b_defined: Vec<bool> = b.ptrs.iter().map(Option::is_some).collect();
+        prop_assert_eq!(a_defined, b_defined);
+        prop_assert_eq!(a.labels, b.labels);
+        // The spliced open tree (pending replies excluded) still
+        // represents the document (Def. 4).
+        if let Some(open) = batched.open_tree() {
+            prop_assert!(tree_represents(&open, &tree), "open tree {} vs {}", open, tree);
+        }
+    }
+
+    #[test]
+    fn batched_fills_match_under_fault_schedules(
+        tree in arb_tree(),
+        policy in arb_policy(),
+        prog in arb_program(),
+        batch_limit in 2usize..8,
+        budget in 0usize..6,
+        seed in 0u64..u64::MAX,
+        rate_millis in 0u64..400,
+    ) {
+        // Same differential property with a seeded transient-fault
+        // schedule underneath: a batch fails or survives as a unit, and
+        // retries make batched navigation observationally identical to
+        // unbatched navigation over the same faulty source.
+        let rate = rate_millis as f64 / 1000.0;
+        let retry = RetryPolicy { max_attempts: 64, ..RetryPolicy::default() };
+        let mut plain = BufferNavigator::with_retry(
+            FaultyWrapper::new(
+                TreeWrapper::single(&tree, policy),
+                FaultConfig::transient(seed, rate),
+            ),
+            "doc",
+            retry,
+        );
+        let mut batched = BufferNavigator::with_retry(
+            FaultyWrapper::new(
+                TreeWrapper::single(&tree, policy).with_batch_budget(budget),
+                FaultConfig::transient(seed, rate),
+            ),
+            "doc",
+            retry,
+        )
+        .batched(batch_limit);
+        let a = prog.run(&mut plain);
+        let b = prog.run(&mut batched);
+        let a_defined: Vec<bool> = a.ptrs.iter().map(Option::is_some).collect();
+        let b_defined: Vec<bool> = b.ptrs.iter().map(Option::is_some).collect();
+        prop_assert_eq!(a_defined, b_defined);
+        prop_assert_eq!(a.labels, b.labels);
+        prop_assert_eq!(batched.health().status(), HealthStatus::Healthy);
+    }
+
+    #[test]
     fn prefetching_never_changes_observations(
         tree in arb_tree(),
         policy in arb_policy(),

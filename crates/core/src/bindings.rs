@@ -736,7 +736,7 @@ impl Engine {
         for v in vars {
             let node = self.attr(op, b, v);
             let t = self.materialize_value(&node);
-            key.push_str(&t.canonical());
+            t.canonical_into(&mut key);
             key.push(KEY_SEP);
         }
         key

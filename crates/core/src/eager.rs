@@ -307,7 +307,7 @@ fn eval_pred(pred: &BindPred, b: &EagerBinding) -> bool {
 fn binding_key(b: &EagerBinding, vars: &[Var]) -> String {
     let mut key = String::new();
     for v in vars {
-        key.push_str(&lookup(b, v).canonical());
+        lookup(b, v).canonical_into(&mut key);
         key.push('\u{1f}');
     }
     key

@@ -12,7 +12,7 @@ use crate::ops::OpState;
 use crate::registry::{SharedSource, SourceRegistry};
 use crate::EngineError;
 use mix_algebra::{Plan, PlanId, PlanNode};
-use mix_buffer::{HealthSnapshot, HealthStatus, SourceHealth};
+use mix_buffer::{BufferStats, BufferStatsSnapshot, HealthSnapshot, HealthStatus, SourceHealth};
 use mix_nav::{LabelPred, NavCounters, NavStats, Navigator};
 use mix_xml::{Document, Label};
 use std::collections::HashSet;
@@ -67,6 +67,7 @@ pub(crate) struct SourceConn {
     pub nav: SharedSource,
     pub counters: NavCounters,
     pub health: Option<SourceHealth>,
+    pub stats: Option<BufferStats>,
 }
 
 /// Per-source navigation statistics.
@@ -203,6 +204,32 @@ impl Engine {
             .sum()
     }
 
+    /// Buffer traffic per source, for sources registered with their
+    /// buffer's counters (`SourceRegistry::add_navigator_with_stats`);
+    /// `None` for sources with no buffer underneath. This is where the
+    /// batching work shows up: wire exchanges (`requests`) versus holes
+    /// answered (`batched_holes`), plus speculative bytes still unused
+    /// (`wasted_bytes`).
+    pub fn traffic(&self) -> Vec<(String, Option<BufferStatsSnapshot>)> {
+        self.sources
+            .iter()
+            .map(|s| (s.name.clone(), s.stats.as_ref().map(BufferStats::snapshot)))
+            .collect()
+    }
+
+    /// `(requests, batched_holes, wasted_bytes)` summed across
+    /// stats-reporting sources — the profiler's per-step traffic deltas.
+    pub(crate) fn total_traffic(&self) -> (u64, u64, u64) {
+        let mut t = (0, 0, 0);
+        for snap in self.sources.iter().filter_map(|s| s.stats.as_ref()).map(BufferStats::snapshot)
+        {
+            t.0 += snap.requests;
+            t.1 += snap.batched_holes;
+            t.2 += snap.wasted_bytes;
+        }
+        t
+    }
+
     pub(crate) fn op(&self, id: PlanId) -> &OpState {
         &self.ops[id.index()]
     }
@@ -270,6 +297,7 @@ fn build_op(
                         nav: reg.nav,
                         counters: NavCounters::new(),
                         health: reg.health,
+                        stats: reg.stats,
                     });
                     sources.len() - 1
                 }

@@ -22,6 +22,16 @@ pub struct StepCost {
     /// Source operations that degraded (gave up after retries) while
     /// answering this command — non-zero only when a source is unhealthy.
     pub faults: u64,
+    /// LXP wire exchanges this command triggered, across stats-reporting
+    /// buffered sources — a batched exchange counts once however many
+    /// holes it answers.
+    pub requests: u64,
+    /// Holes answered by batched exchanges during this command.
+    pub batched_holes: u64,
+    /// Net change in speculative bytes sitting unused in pending caches.
+    /// Usually positive while batches run ahead of the navigation and
+    /// negative as the navigation catches up and consumes them.
+    pub wasted_bytes: i64,
 }
 
 /// The profile of a client navigation.
@@ -52,19 +62,38 @@ impl Profile {
     pub fn total_faults(&self) -> u64 {
         self.steps.iter().map(|s| s.faults).sum()
     }
+
+    /// Total LXP wire exchanges across the profiled navigation (zero
+    /// when no source reports buffer stats).
+    pub fn total_requests(&self) -> u64 {
+        self.steps.iter().map(|s| s.requests).sum()
+    }
+
+    /// Total holes answered through batched exchanges.
+    pub fn total_batched_holes(&self) -> u64 {
+        self.steps.iter().map(|s| s.batched_holes).sum()
+    }
 }
 
 impl fmt::Display for Profile {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        // The faults column only appears when something actually degraded,
-        // keeping the healthy-path tables identical to the paper's.
+        // Optional columns only appear when something actually happened
+        // (a fault, a wire exchange), keeping the healthy unbuffered
+        // tables identical to the paper's.
         let with_faults = self.total_faults() > 0;
+        let with_traffic = self.total_requests() > 0;
         write!(
             f,
             "{:<16} {:>6} {:>6} {:>6} {:>7} {:>7}",
             "command", "d", "r", "f", "select", "total"
         )?;
-        writeln!(f, "{}", if with_faults { "  faults" } else { "" })?;
+        if with_faults {
+            write!(f, "  faults")?;
+        }
+        if with_traffic {
+            write!(f, "  {:>5} {:>7} {:>7}", "wire", "holes", "waste")?;
+        }
+        writeln!(f)?;
         for s in &self.steps {
             write!(
                 f,
@@ -79,11 +108,22 @@ impl fmt::Display for Profile {
             if with_faults {
                 write!(f, " {:>7}", s.faults)?;
             }
+            if with_traffic {
+                write!(f, "  {:>5} {:>7} {:>7}", s.requests, s.batched_holes, s.wasted_bytes)?;
+            }
             writeln!(f)?;
         }
         write!(f, "total source navigations: {}", self.total())?;
         if with_faults {
             write!(f, " (degraded operations: {})", self.total_faults())?;
+        }
+        if with_traffic {
+            write!(
+                f,
+                " (wire exchanges: {}, batched holes: {})",
+                self.total_requests(),
+                self.total_batched_holes()
+            )?;
         }
         Ok(())
     }
@@ -118,6 +158,7 @@ pub fn profile(engine: &mut Engine, prog: &NavProgram) -> Profile {
     for step in &prog.steps {
         let before: NavStats = engine.stats().total();
         let faults_before = engine.total_degraded_ops();
+        let traffic_before = engine.total_traffic();
         let src = ptrs.get(step.on).cloned().flatten();
         match &step.cmd {
             Cmd::Down => ptrs.push(src.and_then(|p| engine.down(&p))),
@@ -130,10 +171,14 @@ pub fn profile(engine: &mut Engine, prog: &NavProgram) -> Profile {
             }
         }
         let after = engine.stats().total();
+        let traffic_after = engine.total_traffic();
         steps.push(StepCost {
             command: format!("{}(p{})", step.cmd, step.on),
             cost: after.since(&before),
             faults: engine.total_degraded_ops() - faults_before,
+            requests: traffic_after.0 - traffic_before.0,
+            batched_holes: traffic_after.1 - traffic_before.1,
+            wasted_bytes: traffic_after.2 as i64 - traffic_before.2 as i64,
         });
     }
     Profile { steps }
@@ -214,6 +259,44 @@ mod tests {
             far.max_step(),
             near.max_step()
         );
+    }
+
+    #[test]
+    fn buffered_sources_report_per_command_traffic() {
+        use mix_buffer::{BufferNavigator, FillPolicy, TreeWrapper};
+        use mix_xml::term::parse_term;
+
+        let q = parse_query("CONSTRUCT <all> $X {$X} </all> {} WHERE src items._ $X").unwrap();
+        let plan = translate(&q).unwrap();
+        let tree = parse_term("items[a,b,c,d,e,f]").unwrap();
+        let nav = BufferNavigator::new(
+            TreeWrapper::single(&tree, FillPolicy::Chunked { n: 1 }).with_batch_budget(4),
+            "doc",
+        )
+        .batched(4);
+        let (health, stats) = (nav.health(), nav.stats());
+        let mut reg = SourceRegistry::new();
+        reg.add_navigator_with_stats("src", nav, health, stats);
+        let mut engine = Engine::new(plan, &reg).unwrap();
+
+        let prog = NavProgram::chain([Cmd::Down, Cmd::Fetch, Cmd::Right, Cmd::Fetch]);
+        let p = profile(&mut engine, &prog);
+        assert!(p.total_requests() > 0, "wire exchanges attributed to steps");
+        assert!(
+            p.total_batched_holes() >= p.total_requests(),
+            "batched exchanges answer at least one hole each"
+        );
+        let text = p.to_string();
+        assert!(text.contains("wire"), "traffic columns render: {text}");
+        assert!(text.contains("wire exchanges:"), "{text}");
+    }
+
+    #[test]
+    fn unbuffered_profiles_render_without_traffic_columns() {
+        let mut engine = collect_engine("items[a,b]", EngineConfig::default());
+        let p = profile(&mut engine, &NavProgram::chain([Cmd::Down, Cmd::Fetch]));
+        assert_eq!(p.total_requests(), 0);
+        assert!(!p.to_string().contains("wire"), "no traffic columns for plain sources");
     }
 
     #[test]

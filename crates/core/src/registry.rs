@@ -1,7 +1,7 @@
 //! Source registry: wiring plan `source` leaves to navigable sources.
 
 use crate::EngineError;
-use mix_buffer::SourceHealth;
+use mix_buffer::{BufferStats, SourceHealth};
 use mix_nav::{erase, DocNavigator, DynNavigator, Navigator};
 use mix_xml::Tree;
 use std::cell::RefCell;
@@ -13,12 +13,14 @@ use std::rc::Rc;
 /// of navigation counters.
 pub(crate) type SharedSource = Rc<RefCell<Box<dyn DynNavigator>>>;
 
-/// One registered source: the navigator plus, when the source reports it,
-/// the fault/retry health handle of its buffer.
+/// One registered source: the navigator plus, when the source reports
+/// them, the fault/retry health handle and the traffic counters of its
+/// buffer.
 #[derive(Clone)]
 pub(crate) struct Registered {
     pub nav: SharedSource,
     pub health: Option<SourceHealth>,
+    pub stats: Option<BufferStats>,
 }
 
 /// Maps source names (the `homesSrc` of a XMAS query) to navigators.
@@ -49,7 +51,7 @@ impl SourceRegistry {
     {
         self.sources.insert(
             name.into(),
-            Registered { nav: Rc::new(RefCell::new(erase(nav))), health: None },
+            Registered { nav: Rc::new(RefCell::new(erase(nav))), health: None, stats: None },
         );
         self
     }
@@ -71,7 +73,41 @@ impl SourceRegistry {
     {
         self.sources.insert(
             name.into(),
-            Registered { nav: Rc::new(RefCell::new(erase(nav))), health: Some(health) },
+            Registered {
+                nav: Rc::new(RefCell::new(erase(nav))),
+                health: Some(health),
+                stats: None,
+            },
+        );
+        self
+    }
+
+    /// Register a navigator together with its buffer's health handle
+    /// *and* traffic counters ([`BufferStats`]), so the engine's
+    /// [`traffic`] surface and the profiler's per-command table can
+    /// attribute wire exchanges, batched holes, and wasted speculative
+    /// bytes to this source. The usual call site pairs a
+    /// `BufferNavigator` with its own `health()` and `stats()` handles.
+    ///
+    /// [`traffic`]: crate::Engine::traffic
+    pub fn add_navigator_with_stats<N>(
+        &mut self,
+        name: impl Into<String>,
+        nav: N,
+        health: SourceHealth,
+        stats: BufferStats,
+    ) -> &mut Self
+    where
+        N: Navigator + 'static,
+        N::Handle: 'static,
+    {
+        self.sources.insert(
+            name.into(),
+            Registered {
+                nav: Rc::new(RefCell::new(erase(nav))),
+                health: Some(health),
+                stats: Some(stats),
+            },
         );
         self
     }
@@ -117,6 +153,24 @@ mod tests {
         assert!(Rc::ptr_eq(&a.nav, &b.nav), "same connection shared");
         assert!(a.health.is_none(), "plain navigators report no health");
         assert!(reg.get("never").is_err());
+    }
+
+    #[test]
+    fn stats_handle_travels_with_the_navigator() {
+        use mix_buffer::{BufferNavigator, FillPolicy, TreeWrapper};
+        use mix_xml::term::parse_term;
+
+        let tree = parse_term("homes[h1,h2]").unwrap();
+        let nav =
+            BufferNavigator::new(TreeWrapper::single(&tree, FillPolicy::NodeAtATime), "homes");
+        let (health, stats) = (nav.health(), nav.stats());
+        let mut reg = SourceRegistry::new();
+        reg.add_navigator_with_stats("homesSrc", nav, health, stats.clone());
+        let got = reg.get("homesSrc").unwrap();
+        let handle = got.stats.expect("stats registered");
+        // Same shared cells: navigating through the registered connection
+        // is visible on the caller's handle and vice versa.
+        assert_eq!(handle.snapshot(), stats.snapshot());
     }
 
     #[test]

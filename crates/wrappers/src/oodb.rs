@@ -8,7 +8,7 @@
 //! each fill reveals one object's attributes with holes for its referenced
 //! objects, which matches how an OODB faults in objects.
 
-use mix_buffer::{Fragment, HoleId, LxpError, LxpWrapper};
+use mix_buffer::{chase_continuation, BatchItem, Fragment, HoleId, LxpError, LxpWrapper};
 use std::collections::HashMap;
 
 /// Identifier of an object in the store.
@@ -73,12 +73,22 @@ pub struct OodbWrapper {
     store: ObjectStore,
     /// Objects faulted in so far (database-side work measure).
     faults: u64,
+    /// Extra objects faulted in speculatively per `fill_many` exchange.
+    batch_budget: usize,
 }
 
 impl OodbWrapper {
     /// Wrap a store.
     pub fn new(store: ObjectStore) -> Self {
-        OodbWrapper { store, faults: 0 }
+        OodbWrapper { store, faults: 0, batch_budget: 0 }
+    }
+
+    /// Stream up to `budget` referenced objects per batched exchange —
+    /// the OODB analogue of prefetching an object's whole closure one
+    /// level at a time.
+    pub fn with_batch_budget(mut self, budget: usize) -> Self {
+        self.batch_budget = budget;
+        self
     }
 
     /// Objects faulted in so far.
@@ -151,6 +161,17 @@ impl LxpWrapper for OodbWrapper {
                 .collect::<Result<_, _>>()?
         };
         Ok(vec![self.object_fragment(ObjId(id), &path)])
+    }
+
+    fn fill_many(&mut self, holes: &[HoleId]) -> Result<Vec<BatchItem>, LxpError> {
+        // Answer every requested object, then speculatively fault in up
+        // to `batch_budget` of the references those answers exposed.
+        let mut items = Vec::with_capacity(holes.len());
+        for hole in holes {
+            items.push(BatchItem::new(hole.clone(), self.fill(hole)?));
+        }
+        chase_continuation(self, &mut items, self.batch_budget);
+        Ok(items)
     }
 }
 
@@ -246,6 +267,30 @@ mod tests {
         let mut nav = BufferNavigator::new(OodbWrapper::new(s), "g");
         let t = materialize(&mut nav);
         assert_eq!(t.to_string(), "a[l[b[x[d]]],r[c[x[d]]]]");
+    }
+
+    #[test]
+    fn batched_fill_prefetches_referenced_objects() {
+        let mut w = OodbWrapper::new(demo_store()).with_batch_budget(4);
+        let root = w.get_root("hr").unwrap();
+        let items = w.fill_many(std::slice::from_ref(&root)).unwrap();
+        // The department answer exposed two member holes; the budget let
+        // both employees ride the same exchange.
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].hole, root);
+        assert_eq!(w.faults(), 3, "department + both employees faulted");
+        // The batch preserves answers exactly: materializing from a
+        // batched navigator yields the unbatched tree.
+        let plain = {
+            let mut nav = BufferNavigator::new(OodbWrapper::new(demo_store()), "hr");
+            materialize(&mut nav).to_string()
+        };
+        let batched = {
+            let w = OodbWrapper::new(demo_store()).with_batch_budget(4);
+            let mut nav = BufferNavigator::new(w, "hr").batched(4);
+            materialize(&mut nav).to_string()
+        };
+        assert_eq!(plain, batched);
     }
 
     #[test]

@@ -21,7 +21,9 @@
 //! db_name[ table1[ row[att1[v11], …, attk[v1k]], …, hole ], … ]
 //! ```
 
-use mix_buffer::{Fragment, HoleId, LxpError, LxpWrapper};
+use mix_buffer::{
+    chase_continuation, AimdChunk, BatchItem, Fragment, HoleId, LxpError, LxpWrapper,
+};
 use mix_relational::{Cursor, Database, Row, SqlQuery, Table};
 use std::collections::HashMap;
 
@@ -41,24 +43,70 @@ pub struct RelationalWrapper {
     cursors: HashMap<String, Cursor>,
     /// Query mode: the pushed-down SQL query.
     query: Option<SqlQuery>,
+    /// Opt-in AIMD chunk controller replacing the fixed `chunk`.
+    adaptive: Option<AimdChunk>,
+    /// Continuation chunks streamed per `fill_many` exchange (0 = none).
+    batch_budget: usize,
 }
 
 impl RelationalWrapper {
     /// Wrap a database, returning `chunk` tuples per fill (the paper's
     /// example uses 100).
     pub fn new(db: Database, chunk: usize) -> Self {
-        RelationalWrapper { db, chunk: chunk.max(1), cursors: HashMap::new(), query: None }
+        RelationalWrapper {
+            db,
+            chunk: chunk.max(1),
+            cursors: HashMap::new(),
+            query: None,
+            adaptive: None,
+            batch_budget: 0,
+        }
     }
 
     /// Query mode: export the result of `query` as `view[row…]` (Fig. 6),
     /// filtering and projecting inside the "database" so only qualifying
     /// tuples ever cross the wire.
     pub fn with_query(db: Database, query: SqlQuery, chunk: usize) -> Self {
-        RelationalWrapper {
-            db,
-            chunk: chunk.max(1),
-            cursors: HashMap::new(),
-            query: Some(query),
+        RelationalWrapper { query: Some(query), ..RelationalWrapper::new(db, chunk) }
+    }
+
+    /// Opt in to AIMD chunk sizing: the fixed `chunk` becomes the
+    /// controller's starting point, growing on sequential cursor reads
+    /// and shrinking on seeks (random access) or backwards re-reads
+    /// (wasted tuples).
+    pub fn adaptive(mut self) -> Self {
+        self.adaptive = Some(AimdChunk::with_initial(self.chunk));
+        self
+    }
+
+    /// Stream up to `budget` continuation chunks per `fill_many`
+    /// exchange: the cursor keeps reading past the requested range, so a
+    /// sequential scan's whole frontier crosses in one round trip.
+    pub fn with_batch_budget(mut self, budget: usize) -> Self {
+        self.batch_budget = budget;
+        self
+    }
+
+    /// The tuple count the next fill will use (adaptive or fixed).
+    pub fn current_chunk(&self) -> usize {
+        self.adaptive.as_ref().map(AimdChunk::chunk).unwrap_or(self.chunk)
+    }
+
+    /// Feed the adaptive controller the access-pattern signal for a fill
+    /// starting at `start` on `table_name`, then return the chunk to use.
+    /// Sequential = the cursor is already there (no seek needed);
+    /// backwards = tuples already shipped are being re-requested (waste).
+    fn effective_chunk(&mut self, table_name: &str, start: usize) -> usize {
+        if let Some(ctl) = self.adaptive.as_mut() {
+            match self.cursors.get(table_name) {
+                Some(cur) if cur.position() == start => ctl.on_sequential(),
+                Some(cur) if start < cur.position() => ctl.on_waste(),
+                Some(_) => ctl.on_random(),
+                None => {}
+            }
+            ctl.chunk()
+        } else {
+            self.chunk
         }
     }
 
@@ -101,6 +149,7 @@ impl RelationalWrapper {
     /// index `start`, using the cursor like the schema mode does.
     fn fill_query_rows(&mut self, start: usize) -> Result<Vec<Fragment>, LxpError> {
         let q = self.query.as_ref().expect("query mode").clone();
+        let chunk = self.effective_chunk(&q.table, start);
         let table = self
             .db
             .table(&q.table)
@@ -117,7 +166,7 @@ impl RelationalWrapper {
                 let projected =
                     q.project_row(table, row).map_err(|e| LxpError::SourceError(e.message))?;
                 out.push(Self::projected_row_fragment(&cols, &projected));
-                if out.len() == self.chunk {
+                if out.len() == chunk {
                     more = cursor.position() < table.len();
                     break;
                 }
@@ -134,13 +183,14 @@ impl RelationalWrapper {
     }
 
     fn fill_rows(&mut self, table_name: &str, start: usize) -> Result<Vec<Fragment>, LxpError> {
+        let chunk = self.effective_chunk(table_name, start);
         let table = self
             .db
             .table(table_name)
             .ok_or_else(|| LxpError::UnknownHole(format!("{}.{}", self.db.name(), table_name)))?;
         let cursor = self.cursors.entry(table_name.to_string()).or_default();
         cursor.seek(start);
-        let rows = cursor.next_n(table, self.chunk);
+        let rows = cursor.next_n(table, chunk);
         let mut out: Vec<Fragment> =
             rows.iter().map(|r| Self::row_fragment(table, r)).collect();
         if cursor.position() < table.len() {
@@ -215,6 +265,20 @@ impl LxpWrapper for RelationalWrapper {
             }
             _ => Err(LxpError::UnknownHole(hole.clone())),
         }
+    }
+
+    fn fill_many(&mut self, holes: &[HoleId]) -> Result<Vec<BatchItem>, LxpError> {
+        // One round trip: answer every requested hole, then keep the
+        // cursor running — the trailing hole of the last chunk is filled
+        // speculatively (up to `batch_budget` continuation chunks), so a
+        // sequential scan ships one cursor range per exchange instead of
+        // one chunk per exchange.
+        let mut items = Vec::with_capacity(holes.len());
+        for hole in holes {
+            items.push(BatchItem::new(hole.clone(), self.fill(hole)?));
+        }
+        chase_continuation(self, &mut items, self.batch_budget);
+        Ok(items)
     }
 }
 
@@ -341,6 +405,71 @@ mod tests {
             w.fill(&"realestate.nope".to_string()),
             Err(LxpError::UnknownHole(_))
         ));
+    }
+
+    #[test]
+    fn adaptive_chunk_grows_on_sequential_scan() {
+        let mut w = RelationalWrapper::new(demo_db(200), 4).adaptive();
+        assert_eq!(w.current_chunk(), 4);
+        let mut hole = "realestate.homes".to_string();
+        for _ in 0..5 {
+            let reply = w.fill(&hole).unwrap();
+            match reply.last() {
+                Some(Fragment::Hole(id)) => hole = id.clone(),
+                _ => break,
+            }
+        }
+        // Each sequential continuation adds `initial` tuples to the chunk.
+        assert!(w.current_chunk() > 4, "chunk grew: {}", w.current_chunk());
+        assert_eq!(w.cursor_seeks(), 0, "sequential scan never seeks");
+    }
+
+    #[test]
+    fn adaptive_chunk_shrinks_on_random_access() {
+        let mut w = RelationalWrapper::new(demo_db(500), 8).adaptive();
+        // Grow it first with a few sequential fills.
+        let _ = w.fill(&"realestate.homes".to_string()).unwrap();
+        let _ = w.fill(&format!("realestate.homes.{}", w.rows_fetched())).unwrap();
+        let grown = w.current_chunk();
+        assert!(grown > 8);
+        // A backwards jump is waste; a forward jump is random. Both halve.
+        let _ = w.fill(&"realestate.homes.0".to_string()).unwrap();
+        assert!(w.current_chunk() < grown, "halved after waste: {}", w.current_chunk());
+    }
+
+    #[test]
+    fn batched_fill_streams_continuation_chunks() {
+        let mut w = RelationalWrapper::new(demo_db(20), 5).with_batch_budget(2);
+        let items = w
+            .fill_many(&["realestate.homes".to_string()])
+            .unwrap();
+        // 1 requested chunk + 2 speculative continuations = 3 items.
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].hole, "realestate.homes");
+        assert_eq!(items[1].hole, "realestate.homes.5");
+        assert_eq!(items[2].hole, "realestate.homes.10");
+        assert_eq!(w.rows_fetched(), 15);
+        assert_eq!(w.cursor_seeks(), 0, "continuations ride the open cursor");
+    }
+
+    #[test]
+    fn batched_scan_matches_unbatched_with_fewer_requests() {
+        let mk = || RelationalWrapper::new(demo_db(60), 5);
+        let mut plain = BufferNavigator::new(mk(), "realestate");
+        let mut batched =
+            BufferNavigator::new(mk().with_batch_budget(4), "realestate").batched(8);
+        let plain_stats = plain.stats();
+        let batched_stats = batched.stats();
+        let a = materialize(&mut plain);
+        let b = materialize(&mut batched);
+        assert_eq!(a.to_string(), b.to_string());
+        let (p, q) = (plain_stats.snapshot(), batched_stats.snapshot());
+        assert!(
+            q.requests * 4 < p.requests,
+            "batched {} vs unbatched {} wire exchanges",
+            q.requests,
+            p.requests
+        );
     }
 
     #[test]

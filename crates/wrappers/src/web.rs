@@ -15,7 +15,7 @@
 //! does not exceed a certain limit (say 50K)" — that is
 //! [`FillPolicy::SizeThreshold`], the default here.
 
-use mix_buffer::{FillPolicy, Fragment, HoleId, LxpError, LxpWrapper, TreeWrapper};
+use mix_buffer::{BatchItem, FillPolicy, Fragment, HoleId, LxpError, LxpWrapper, TreeWrapper};
 use mix_xml::{Document, Tree};
 use parking_lot::Mutex;
 use std::rc::Rc;
@@ -94,6 +94,13 @@ impl WebWrapper {
         WebWrapper { inner: TreeWrapper::new(policy), network }
     }
 
+    /// Stream up to `budget` speculative page fragments per batched
+    /// exchange — multiple fragments ride one simulated round trip.
+    pub fn with_batch_budget(mut self, budget: usize) -> Self {
+        self.inner = self.inner.with_batch_budget(budget);
+        self
+    }
+
     /// Publish a page under a URI.
     pub fn add_page(&mut self, uri: impl Into<String>, page: &Tree) {
         self.inner.add(uri, Rc::new(Document::from_tree(page)));
@@ -118,6 +125,22 @@ impl LxpWrapper for WebWrapper {
         let bytes: usize = reply.iter().map(Fragment::wire_bytes).sum();
         self.network.account(bytes as u64);
         Ok(reply)
+    }
+
+    fn fill_many(&mut self, holes: &[HoleId]) -> Result<Vec<BatchItem>, LxpError> {
+        // The whole batch — requested holes plus speculative continuation
+        // fragments — crosses the network as ONE exchange: one
+        // per-request latency charge, payload bytes summed over every
+        // item. This is where batching beats per-hole fills on the
+        // simulated cost model.
+        let items = self.inner.fill_many(holes)?;
+        let bytes: usize = items
+            .iter()
+            .flat_map(|item| item.fragments.iter())
+            .map(Fragment::wire_bytes)
+            .sum();
+        self.network.account(bytes as u64);
+        Ok(items)
     }
 }
 
@@ -187,6 +210,45 @@ mod tests {
         let title = nav.down(&book1).unwrap();
         assert_eq!(nav.fetch(&title), "title");
         assert_eq!(net.stats().requests, fills_after_first);
+    }
+
+    #[test]
+    fn batched_exchange_pays_one_request_charge() {
+        // Same pages, same scan; batched fills cut the dominant
+        // per-request latency term while shipping the same payload.
+        let wide = parse_term(
+            "catalog[b0[x],b1[x],b2[x],b3[x],b4[x],b5[x],b6[x],b7[x],b8[x],b9[x]]",
+        )
+        .unwrap();
+        let run = |batched: bool| {
+            let net = Network::new(1000, 1);
+            let mut w = WebWrapper::with_policy(net.clone(), FillPolicy::Chunked { n: 1 });
+            if batched {
+                w = w.with_batch_budget(8);
+            }
+            w.add_page("catalog", &wide);
+            let mut nav = BufferNavigator::new(w, "catalog");
+            if batched {
+                nav = nav.batched(8);
+            }
+            let t = materialize(&mut nav);
+            (t.to_string(), net.stats())
+        };
+        let (plain_tree, plain) = run(false);
+        let (batched_tree, batched) = run(true);
+        assert_eq!(plain_tree, batched_tree, "identical answers");
+        assert!(
+            batched.requests * 3 < plain.requests,
+            "batched {} vs plain {} requests",
+            batched.requests,
+            plain.requests
+        );
+        assert!(
+            batched.simulated_cost < plain.simulated_cost,
+            "batched cost {} vs plain {}",
+            batched.simulated_cost,
+            plain.simulated_cost
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use std::borrow::Borrow;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A member of the underlying domain `D`: an element name or atomic content.
 ///
@@ -40,24 +40,29 @@ impl Label {
     }
 
     /// The reserved label marking holes in open trees (`hole` in Def. 3).
+    /// All calls share one allocation — fills mint these by the thousand.
     pub fn hole() -> Self {
-        Label::new(RESERVED_HOLE)
+        static HOLE: OnceLock<Label> = OnceLock::new();
+        HOLE.get_or_init(|| Label::new(RESERVED_HOLE)).clone()
     }
 
     /// The reserved label used by the algebra for explicit lists
     /// (the `list` label of the `groupBy`/`concatenate` operators, §3).
     pub fn list() -> Self {
-        Label::new(RESERVED_LIST)
+        static LIST: OnceLock<Label> = OnceLock::new();
+        LIST.get_or_init(|| Label::new(RESERVED_LIST)).clone()
     }
 
     /// The reserved label of a binding-list root (`bs[...]`, §3).
     pub fn bs() -> Self {
-        Label::new(RESERVED_BS)
+        static BS: OnceLock<Label> = OnceLock::new();
+        BS.get_or_init(|| Label::new(RESERVED_BS)).clone()
     }
 
     /// The reserved label of a single variable binding (`b[...]`, §3).
     pub fn b() -> Self {
-        Label::new(RESERVED_B)
+        static B: OnceLock<Label> = OnceLock::new();
+        B.get_or_init(|| Label::new(RESERVED_B)).clone()
     }
 
     /// Attempt to read the label as an integer (for value predicates).
@@ -169,6 +174,14 @@ mod tests {
         assert_eq!(Label::list(), "list");
         assert_eq!(Label::bs(), "bs");
         assert_eq!(Label::b(), "b");
+    }
+
+    #[test]
+    fn reserved_labels_share_one_allocation() {
+        assert!(Arc::ptr_eq(&Label::hole().0, &Label::hole().0));
+        assert!(Arc::ptr_eq(&Label::list().0, &Label::list().0));
+        assert!(Arc::ptr_eq(&Label::bs().0, &Label::bs().0));
+        assert!(Arc::ptr_eq(&Label::b().0, &Label::b().0));
     }
 
     #[test]

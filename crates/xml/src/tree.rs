@@ -108,7 +108,10 @@ impl Tree {
         out
     }
 
-    fn canonical_into(&self, out: &mut String) {
+    /// Append the canonical serialization to `out` — lets callers building
+    /// composite keys (groupBy, difference) reuse one buffer instead of
+    /// allocating an intermediate `String` per component.
+    pub fn canonical_into(&self, out: &mut String) {
         use std::fmt::Write;
         let s = self.label.as_str();
         let _ = write!(out, "{}:{}(", s.len(), s);
