@@ -60,6 +60,9 @@ fn main() {
     if want("e14") {
         e14_batched_fills();
     }
+    if want("e15") {
+        e15_flight_recorder();
+    }
 }
 
 /// Simulated cost units one LXP round trip costs (the latency term the
@@ -221,6 +224,190 @@ fn e13_robustness() {
          transient faults, cost grows with the rate); an outage yields a partial \
          answer plus a degraded health status and its cause — never a panic."
     );
+}
+
+/// E15 — the flight recorder under E13's fault schedule, one mediator
+/// level up: the same relational wire (transient rates, then a permanent
+/// outage) now feeds a full engine whose client walks the *answer* with
+/// the checked API. The trace must (a) name every answer node that was
+/// served degraded — down to the client command to blame — and (b) roll
+/// up exactly to the engine's wire-traffic counters.
+fn e15_flight_recorder() {
+    banner("E15", "flight recorder: tracing silent degradation end-to-end");
+    use mix_buffer::{FaultConfig, FaultyWrapper, RetryPolicy, TraceKind, TraceSink};
+    use mix_core::VirtualDocument;
+
+    let rows = 400;
+    let chunk = 10;
+    let query =
+        "CONSTRUCT <listing> $R {$R} </listing> {} WHERE realestate realestate.homes.row $R";
+
+    let build = |cfg: FaultConfig, policy: RetryPolicy| -> VirtualDocument {
+        let sink = TraceSink::enabled(1 << 21);
+        let db = gen::homes_database(6, rows, 100);
+        let nav = BufferNavigator::with_retry(
+            FaultyWrapper::new(RelationalWrapper::new(db, chunk), cfg),
+            "realestate",
+            policy,
+        )
+        .with_trace(sink.clone());
+        let (health, stats) = (nav.health(), nav.stats());
+        let mut reg = SourceRegistry::new();
+        reg.add_navigator_traced("realestate", nav, health, stats, sink);
+        VirtualDocument::new(Engine::new(plan_for(query), &reg).unwrap())
+    };
+
+    let traffic = |doc: &VirtualDocument| -> (u64, u64, u64) {
+        let mut t = (0, 0, 0);
+        for (_, snap) in doc.engine().borrow().traffic() {
+            if let Some(s) = snap {
+                t.0 += s.requests;
+                t.1 += s.batched_holes;
+                t.2 += s.wasted_bytes;
+            }
+        }
+        t
+    };
+
+    // (a) Transient faults, absorbed by retries: the recorder vouches for
+    // the whole answer (no degradations) and reconciles with the wire.
+    let clean = {
+        let doc = build(FaultConfig::transient(0, 0.0), RetryPolicy::none());
+        materialize(&mut *doc.engine().borrow_mut()).to_string()
+    };
+    let t = TablePrinter::new(
+        &["fault rate", "wire reqs", "retries", "degraded", "events", "spans", "rollup = traffic"],
+        &[10, 10, 10, 10, 10, 10, 18],
+    );
+    let mut series = Vec::new();
+    for rate_pct in [0u32, 10, 20, 30, 40] {
+        let policy = RetryPolicy { max_attempts: 32, ..RetryPolicy::default() };
+        let doc = build(
+            FaultConfig::transient(0xE13, f64::from(rate_pct) / 100.0),
+            policy,
+        );
+        let answer = materialize(&mut *doc.engine().borrow_mut()).to_string();
+        assert_eq!(answer, clean, "retries must absorb transient faults at {rate_pct}%");
+        let log = doc.trace();
+        assert_eq!(log.dropped(), 0, "exactness requires a complete trace");
+        let wire = traffic(&doc);
+        let rollup = log.rollup();
+        assert!(
+            rollup.matches_traffic(wire),
+            "rollup {rollup:?} must equal traffic {wire:?} at {rate_pct}%"
+        );
+        let span_requests: u64 = log.span_stats().iter().map(|r| r.requests).sum();
+        assert_eq!(span_requests, wire.0, "per-span requests partition the wire total");
+        assert!(log.degradations().is_empty(), "absorbed faults are not degradations");
+        t.row(&[
+            format!("{rate_pct}%"),
+            format!("{}", wire.0),
+            format!("{}", rollup.retries),
+            format!("{}", rollup.degradations),
+            format!("{}", log.len()),
+            format!("{}", log.spans().len()),
+            "exact".to_string(),
+        ]);
+        series.push(Json::Obj(vec![
+            ("fault_rate_pct".to_string(), Json::Int(u64::from(rate_pct))),
+            ("wire_requests".to_string(), Json::Int(wire.0)),
+            ("retries".to_string(), Json::Int(rollup.retries)),
+            ("degradations".to_string(), Json::Int(rollup.degradations)),
+            ("trace_events".to_string(), Json::Int(log.len() as u64)),
+            ("spans".to_string(), Json::Int(log.spans().len() as u64)),
+            ("rollup_matches_traffic".to_string(), Json::Bool(true)),
+            ("answer_identical".to_string(), Json::Bool(true)),
+        ]));
+    }
+
+    // (b) A permanent outage mid-scan: the client walks the answer
+    // checking after every command whether a source degraded under it
+    // (fetches via `label_checked`, down/right via the same health delta
+    // the checked API uses). For every answer node served degraded, the
+    // recorder must hold a degradation event in that very command's span.
+    let policy = RetryPolicy { max_attempts: 3, ..RetryPolicy::default() };
+    let doc = build(FaultConfig::outage_after(12), policy);
+    let degraded_total = |doc: &VirtualDocument| -> u64 {
+        doc.health().iter().filter_map(|(_, s)| s.as_ref().map(|s| s.degraded_ops)).sum()
+    };
+    let mut visited = 0u64;
+    let mut degraded: Vec<(&'static str, u64)> = Vec::new(); // (command, span)
+    let mut before = degraded_total(&doc);
+    let mut stack = vec![doc.root()];
+    while let Some(node) = stack.pop() {
+        visited += 1;
+        let fetch_degraded = node.label_checked().is_err();
+        let now = degraded_total(&doc);
+        if fetch_degraded || now > before {
+            degraded.push(("f", doc.trace_sink().current_span()));
+            before = now;
+        }
+        let child = node.down();
+        let now = degraded_total(&doc);
+        if now > before {
+            degraded.push(("d", doc.trace_sink().current_span()));
+            before = now;
+        }
+        let sibling = node.right();
+        let now = degraded_total(&doc);
+        if now > before {
+            degraded.push(("r", doc.trace_sink().current_span()));
+            before = now;
+        }
+        stack.extend(child);
+        stack.extend(sibling);
+    }
+    let log = doc.trace();
+    assert_eq!(log.dropped(), 0, "exactness requires a complete trace");
+    let wire = traffic(&doc);
+    assert!(log.rollup().matches_traffic(wire), "outage run must still reconcile exactly");
+    assert!(!degraded.is_empty(), "the outage must degrade visited answer nodes");
+    for (cmd, span) in &degraded {
+        let events = log.by_span(*span);
+        assert!(
+            matches!(events.first().map(|e| &e.kind),
+                     Some(TraceKind::ClientCommand { cmd: c }) if c == cmd),
+            "a degraded `{cmd}` is blamed on the client command that suffered it"
+        );
+        assert!(
+            events.iter().any(|e| matches!(e.kind, TraceKind::Degradation { .. })),
+            "every degraded answer node has a degradation event in its span"
+        );
+    }
+    let deg_events = log.degradations().len();
+    println!(
+        "permanent outage after 12 requests: {visited} answer nodes walked, \
+         {} commands served degraded — each pinpointed to its client span \
+         ({deg_events} degradation events total, rollup exact)",
+        degraded.len()
+    );
+    println!(
+        "shape check: transient faults leave a degradation-free trace whose rollup \
+         equals the wire counters exactly at every rate; an outage marks each \
+         silently-degraded answer node with a span-attributed degradation event."
+    );
+
+    Json::Obj(vec![
+        ("experiment".to_string(), Json::str("E15")),
+        (
+            "workload".to_string(),
+            Json::str("engine over faulty relational wire (E13 schedule), traced"),
+        ),
+        ("rows".to_string(), Json::Int(rows as u64)),
+        ("chunk".to_string(), Json::Int(chunk as u64)),
+        ("series".to_string(), Json::Arr(series)),
+        (
+            "outage".to_string(),
+            Json::Obj(vec![
+                ("answer_nodes_walked".to_string(), Json::Int(visited)),
+                ("degraded_commands".to_string(), Json::Int(degraded.len() as u64)),
+                ("degradation_events".to_string(), Json::Int(deg_events as u64)),
+                ("every_degraded_node_pinpointed".to_string(), Json::Bool(true)),
+                ("rollup_matches_traffic".to_string(), Json::Bool(true)),
+            ]),
+        ),
+    ])
+    .write("BENCH_E15.json");
 }
 
 /// E1 — Figures 3 & 4: parse, translate, evaluate, check lazy ≡ eager.

@@ -66,7 +66,7 @@ impl AimdChunk {
     /// The client continued exactly where the previous fill left off:
     /// additive increase.
     pub fn on_sequential(&mut self) {
-        self.streak += 1;
+        self.streak = self.streak.saturating_add(1);
         self.chunk = self.chunk.saturating_add(self.increase).min(self.max);
     }
 
@@ -142,6 +142,21 @@ mod tests {
         assert_eq!(c.chunk(), 1);
         let c = AimdChunk::with_initial(0);
         assert_eq!(c.chunk(), 1);
+    }
+
+    #[test]
+    fn streak_saturates_instead_of_overflowing() {
+        // A scan long enough to wrap u32 must not panic in debug builds:
+        // the streak pins at u32::MAX while the chunk stays at its cap.
+        let mut c = AimdChunk::new(10, 1, 100, 10);
+        c.streak = u32::MAX - 1;
+        c.on_sequential();
+        assert_eq!(c.streak(), u32::MAX);
+        c.on_sequential();
+        assert_eq!(c.streak(), u32::MAX, "saturated, no overflow");
+        assert_eq!(c.chunk(), 30, "additive increase keeps working");
+        c.on_random();
+        assert_eq!(c.streak(), 0, "reset still works after saturation");
     }
 
     #[test]

@@ -27,9 +27,10 @@ use crate::fragment::Fragment;
 use crate::health::SourceHealth;
 use crate::lxp::{check_batch_shape, check_progress, HoleId, LxpWrapper};
 use crate::retry::{RetryError, RetryPolicy, RetryState};
+use crate::trace::{TraceKind, TraceSink};
 use mix_nav::Navigator;
 use mix_xml::Label;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::rc::Rc;
 
@@ -231,6 +232,17 @@ pub struct BufferNavigator<W> {
     /// Replies received in a batch before any navigation needed them,
     /// keyed by hole id. Consumed instead of going back to the wire.
     pending: std::collections::HashMap<HoleId, Vec<Fragment>>,
+    /// Flight recorder for this conversation (off by default).
+    trace: TraceSink,
+    /// Monotone count of degraded navigations — the epoch a caller
+    /// compares around a navigation to tell a degraded fallback from a
+    /// legitimate answer.
+    degraded_epoch: Cell<u64>,
+    /// The error behind the most recent degradation.
+    last_degraded: RefCell<Option<String>>,
+    /// Upper bound on fills per single navigation command (`FILL_FUEL`
+    /// unless overridden for tests).
+    fill_fuel: u32,
 }
 
 impl<W: LxpWrapper> BufferNavigator<W> {
@@ -254,7 +266,26 @@ impl<W: LxpWrapper> BufferNavigator<W> {
             health: SourceHealth::new(),
             batch_limit: 1,
             pending: std::collections::HashMap::new(),
+            trace: TraceSink::default(),
+            degraded_epoch: Cell::new(0),
+            last_degraded: RefCell::new(None),
+            fill_fuel: FILL_FUEL,
         }
+    }
+
+    /// Attach a flight recorder. Hand the engine's sink here so buffer
+    /// events inherit the span of the client command that caused them.
+    pub fn with_trace(mut self, sink: TraceSink) -> Self {
+        self.trace = sink;
+        self
+    }
+
+    /// Override the per-navigation fill budget (default [`FILL_FUEL`]).
+    /// Tests use a tiny budget to assert that a wrapper which keeps the
+    /// buffer busy without progress fails loudly instead of hanging.
+    pub fn with_fill_fuel(mut self, fuel: u32) -> Self {
+        self.fill_fuel = fuel.max(1);
+        self
     }
 
     /// Switch on batched fills: each wire exchange carries the critical
@@ -286,6 +317,38 @@ impl<W: LxpWrapper> BufferNavigator<W> {
     /// A shared handle to this buffer's fault/retry health.
     pub fn health(&self) -> SourceHealth {
         self.health.clone()
+    }
+
+    /// A shared handle to this buffer's flight recorder.
+    pub fn trace_sink(&self) -> TraceSink {
+        self.trace.clone()
+    }
+
+    /// Monotone count of navigations answered from the degradation
+    /// fallback (`None` / empty label). Compare around a navigation: an
+    /// unchanged epoch proves the answer was real; a bumped epoch means
+    /// it (or an interleaved navigation) degraded.
+    pub fn degraded_epoch(&self) -> u64 {
+        self.degraded_epoch.get()
+    }
+
+    /// The error behind the most recent degraded navigation, if any.
+    pub fn last_degraded(&self) -> Option<String> {
+        self.last_degraded.borrow().clone()
+    }
+
+    /// Forgive the source: zero the health counters, forget the failure
+    /// streak, and close the circuit breaker so the next navigation talks
+    /// to the wrapper again. Records a [`TraceKind::BreakerClose`] event
+    /// when the breaker was actually open.
+    pub fn reset_faults(&mut self) {
+        let was_open = self.retry.is_open();
+        self.retry.reset();
+        self.health.reset();
+        *self.last_degraded.borrow_mut() = None;
+        if was_open && self.trace.is_enabled() {
+            self.trace.emit(Some(self.uri.as_str()), TraceKind::BreakerClose);
+        }
     }
 
     /// The retry policy in effect.
@@ -340,7 +403,7 @@ impl<W: LxpWrapper> BufferNavigator<W> {
         let wrapper = &mut self.wrapper;
         let reply = self
             .retry
-            .run(&self.policy, &self.health, || {
+            .run_traced(&self.policy, &self.health, &self.trace, Some(self.uri.as_str()), hole, || {
                 let reply = wrapper.fill(hole)?;
                 check_progress(&reply)?;
                 Ok(reply)
@@ -349,9 +412,24 @@ impl<W: LxpWrapper> BufferNavigator<W> {
         let cells = &self.stats.inner;
         StatCells::bump(&cells.fills, 1);
         StatCells::bump(&cells.requests, 1);
+        let (mut nodes, mut bytes) = (0u64, 0u64);
         for f in &reply {
-            StatCells::bump(&cells.nodes_received, f.node_count() as u64);
-            StatCells::bump(&cells.bytes_received, f.wire_bytes() as u64);
+            nodes += f.node_count() as u64;
+            bytes += f.wire_bytes() as u64;
+        }
+        StatCells::bump(&cells.nodes_received, nodes);
+        StatCells::bump(&cells.bytes_received, bytes);
+        if self.trace.is_enabled() {
+            self.trace.emit(
+                Some(self.uri.as_str()),
+                TraceKind::Fill {
+                    hole: hole.clone(),
+                    nodes,
+                    bytes,
+                    from_cache: false,
+                    waste_credit: 0,
+                },
+            );
         }
         Ok(reply)
     }
@@ -367,14 +445,32 @@ impl<W: LxpWrapper> BufferNavigator<W> {
             // The bytes are no longer speculative waste: a navigation
             // actually needed them.
             let bytes: u64 = reply.iter().map(|f| f.wire_bytes() as u64).sum();
-            cells.wasted_bytes.set(cells.wasted_bytes.get().saturating_sub(bytes));
+            let waste_before = cells.wasted_bytes.get();
+            let waste_after = waste_before.saturating_sub(bytes);
+            cells.wasted_bytes.set(waste_after);
+            if self.trace.is_enabled() {
+                let nodes: u64 = reply.iter().map(|f| f.node_count() as u64).sum();
+                self.trace.emit(
+                    Some(self.uri.as_str()),
+                    TraceKind::Fill {
+                        hole: hole.clone(),
+                        nodes,
+                        bytes,
+                        from_cache: true,
+                        // The delta actually applied, so trace rollups
+                        // reproduce `wasted_bytes` exactly even at the
+                        // saturation floor.
+                        waste_credit: waste_before - waste_after,
+                    },
+                );
+            }
             return Ok(reply);
         }
         let batch = self.known_holes(hole);
         let wrapper = &mut self.wrapper;
         let items = self
             .retry
-            .run(&self.policy, &self.health, || {
+            .run_traced(&self.policy, &self.health, &self.trace, Some(self.uri.as_str()), hole, || {
                 let items = wrapper.fill_many(&batch)?;
                 check_batch_shape(&batch, &items)?;
                 // The critical hole's reply is held to the progress
@@ -391,12 +487,16 @@ impl<W: LxpWrapper> BufferNavigator<W> {
         StatCells::bump(&cells.requests, 1);
         StatCells::bump(&cells.batched_holes, items.len() as u64);
         StatCells::bump(&cells.fills, 1);
+        let item_count = items.len() as u64;
+        let (mut total_nodes, mut total_bytes, mut total_wasted) = (0u64, 0u64, 0u64);
         let mut critical = None;
         for (k, item) in items.into_iter().enumerate() {
             let bytes: u64 = item.fragments.iter().map(|f| f.wire_bytes() as u64).sum();
             let nodes: u64 = item.fragments.iter().map(|f| f.node_count() as u64).sum();
             StatCells::bump(&cells.nodes_received, nodes);
             StatCells::bump(&cells.bytes_received, bytes);
+            total_nodes += nodes;
+            total_bytes += bytes;
             if k == 0 {
                 critical = Some(item.fragments);
             } else if check_progress(&item.fragments).is_err()
@@ -407,12 +507,27 @@ impl<W: LxpWrapper> BufferNavigator<W> {
                 // client's own fill will face it on the critical path —
                 // and its bytes stay counted as waste for good.
                 StatCells::bump(&cells.wasted_bytes, bytes);
+                total_wasted += bytes;
             } else {
                 // Parked until a navigation needs it; counted as waste
                 // until then (consumption credits it back).
                 StatCells::bump(&cells.wasted_bytes, bytes);
+                total_wasted += bytes;
                 self.pending.insert(item.hole, item.fragments);
             }
+        }
+        if self.trace.is_enabled() {
+            self.trace.emit(
+                Some(self.uri.as_str()),
+                TraceKind::FillMany {
+                    critical: hole.clone(),
+                    holes: batch.len() as u64,
+                    items: item_count,
+                    nodes: total_nodes,
+                    bytes: total_bytes,
+                    wasted: total_wasted,
+                },
+            );
         }
         Ok(critical.expect("batch shape checked: first item answers the critical hole"))
     }
@@ -461,12 +576,17 @@ impl<W: LxpWrapper> BufferNavigator<W> {
         let uri = self.uri.clone();
         let cells = &self.stats.inner;
         cells.get_roots.set(cells.get_roots.get() + 1);
+        if self.trace.is_enabled() {
+            self.trace.emit(Some(&uri), TraceKind::GetRoot { uri: uri.clone() });
+        }
         let wrapper = &mut self.wrapper;
         let mut hole = self
             .retry
-            .run(&self.policy, &self.health, || wrapper.get_root(&uri))
+            .run_traced(&self.policy, &self.health, &self.trace, Some(&uri), &uri, || {
+                wrapper.get_root(&uri)
+            })
             .map_err(|error| BufferError::Lxp { request: format!("get_root({uri})"), error })?;
-        let mut fuel = FILL_FUEL;
+        let mut fuel = self.fill_fuel;
         let root_frag = loop {
             let reply = self.try_fill(&hole)?;
             if let Some(node) = reply.iter().find(|f| !f.is_hole()) {
@@ -485,7 +605,7 @@ impl<W: LxpWrapper> BufferNavigator<W> {
             if fuel == 0 {
                 return Err(BufferError::RootUnavailable {
                     uri,
-                    reason: format!("no root element after {FILL_FUEL} fills"),
+                    reason: format!("no root element after {} fills", self.fill_fuel),
                 });
             }
         };
@@ -566,7 +686,7 @@ impl<W: LxpWrapper> BufferNavigator<W> {
         start: usize,
     ) -> Result<Option<BufNodeId>, BufferError> {
         let i = start;
-        let mut fuel = FILL_FUEL;
+        let mut fuel = self.fill_fuel;
         loop {
             let Some(entry) = self.nodes[parent.index()].children.get(i).cloned() else {
                 return Ok(None);
@@ -618,21 +738,34 @@ impl<W: LxpWrapper> BufferNavigator<W> {
         Ok(self.node_at(*p)?.label.clone())
     }
 
-    fn degrade<T>(&self, result: Result<T, BufferError>, fallback: T) -> T {
+    /// Collapse a failed navigation to its fallback value, recording the
+    /// degradation in health, the degraded epoch/last-error surface, and
+    /// the flight recorder — the point where a wrong answer would
+    /// otherwise become silent.
+    fn degrade<T>(&self, op: &'static str, result: Result<T, BufferError>, fallback: T) -> T {
         match result {
             Ok(v) => v,
             Err(e) => {
                 self.health.record_degraded(&e);
+                self.degraded_epoch.set(self.degraded_epoch.get() + 1);
+                *self.last_degraded.borrow_mut() = Some(e.to_string());
+                if self.trace.is_enabled() {
+                    self.trace.emit(
+                        Some(self.uri.as_str()),
+                        TraceKind::Degradation { op, error: e.to_string() },
+                    );
+                }
                 fallback
             }
         }
     }
 }
 
-/// Upper bound on fills per single navigation command — generous (a fill
-/// may legitimately reveal just one node) but finite, so a non-conforming
-/// wrapper fails loudly instead of hanging.
-const FILL_FUEL: u32 = 1_000_000;
+/// Default upper bound on fills per single navigation command — generous
+/// (a fill may legitimately reveal just one node) but finite, so a
+/// non-conforming wrapper fails loudly instead of hanging. Override per
+/// buffer with [`BufferNavigator::with_fill_fuel`].
+pub const FILL_FUEL: u32 = 1_000_000;
 
 impl<W: LxpWrapper> Navigator for BufferNavigator<W> {
     type Handle = BufNodeId;
@@ -645,17 +778,17 @@ impl<W: LxpWrapper> Navigator for BufferNavigator<W> {
 
     fn down(&mut self, p: &BufNodeId) -> Option<BufNodeId> {
         let r = self.try_down(p);
-        self.degrade(r, None)
+        self.degrade("down", r, None)
     }
 
     fn right(&mut self, p: &BufNodeId) -> Option<BufNodeId> {
         let r = self.try_right(p);
-        self.degrade(r, None)
+        self.degrade("right", r, None)
     }
 
     fn fetch(&mut self, p: &BufNodeId) -> Label {
         let r = self.try_fetch(p);
-        self.degrade(r, Label::new(""))
+        self.degrade("fetch", r, Label::new(""))
     }
 }
 
@@ -1104,6 +1237,228 @@ mod tests {
         let s = stats.snapshot();
         assert!(s.wasted_bytes > 0, "violating items counted as waste: {s:?}");
         assert_eq!(nav.pending_replies(), 0, "violating items never parked");
+    }
+
+    #[test]
+    fn degraded_fetch_is_distinguishable_from_a_real_empty_label() {
+        struct Dead;
+        impl LxpWrapper for Dead {
+            fn get_root(&mut self, _uri: &str) -> Result<HoleId, LxpError> {
+                Err(LxpError::SourceError("refused".into()))
+            }
+            fn fill(&mut self, _hole: &HoleId) -> Result<Vec<Fragment>, LxpError> {
+                Err(LxpError::SourceError("refused".into()))
+            }
+        }
+        let sink = TraceSink::enabled(64);
+        let mut nav = BufferNavigator::with_retry(Dead, "doc", RetryPolicy::none())
+            .with_trace(sink.clone());
+        let root = nav.root();
+        assert_eq!(nav.degraded_epoch(), 0);
+        assert_eq!(nav.last_degraded(), None);
+        let before = nav.degraded_epoch();
+        let label = nav.fetch(&root);
+        assert_eq!(label, "", "the fallback label itself is ambiguous…");
+        assert!(nav.degraded_epoch() > before, "…but the epoch is not");
+        let err = nav.last_degraded().expect("cause recorded");
+        assert!(err.contains("refused"), "{err}");
+        let degradations: Vec<_> = sink
+            .events()
+            .into_iter()
+            .filter(|e| matches!(e.kind, TraceKind::Degradation { .. }))
+            .collect();
+        assert_eq!(degradations.len(), 1, "one fetch, one degradation event");
+        assert!(matches!(
+            &degradations[0].kind,
+            TraceKind::Degradation { op: "fetch", .. }
+        ));
+        assert_eq!(degradations[0].source.as_deref(), Some("doc"));
+    }
+
+    #[test]
+    fn successful_navigation_leaves_the_degraded_epoch_untouched() {
+        // A *legitimately* empty PCDATA child must not look degraded.
+        let mut nav = buffered("r[x[]]", FillPolicy::WholeSubtree);
+        let root = nav.root();
+        let x = nav.down(&root).unwrap();
+        assert_eq!(nav.fetch(&x), "x");
+        assert_eq!(nav.down(&x), None, "x really has no children");
+        assert_eq!(nav.degraded_epoch(), 0, "no degradation happened");
+        assert_eq!(nav.last_degraded(), None);
+    }
+
+    #[test]
+    fn trace_events_reconcile_with_stats_unbatched() {
+        let term = "view[tuple[a[1],b[2]],tuple[a[3],b[4]],tuple[a[5],b[6]]]";
+        let tree = parse_term(term).unwrap();
+        let sink = TraceSink::enabled(4096);
+        let mut nav =
+            BufferNavigator::new(TreeWrapper::single(&tree, FillPolicy::Chunked { n: 2 }), "doc")
+                .with_trace(sink.clone());
+        let stats = nav.stats();
+        assert_eq!(materialize(&mut nav).to_string(), term);
+        let s = stats.snapshot();
+        assert_eq!(sink.dropped(), 0);
+        let events = sink.events();
+        let (mut fills, mut get_roots, mut nodes, mut bytes) = (0u64, 0u64, 0u64, 0u64);
+        for e in &events {
+            match &e.kind {
+                TraceKind::Fill { nodes: n, bytes: b, from_cache: false, .. } => {
+                    fills += 1;
+                    nodes += n;
+                    bytes += b;
+                }
+                TraceKind::GetRoot { .. } => get_roots += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(fills, s.fills);
+        assert_eq!(fills, s.requests, "unbatched: every fill is a wire request");
+        assert_eq!(get_roots, s.get_roots);
+        assert_eq!(nodes, s.nodes_received);
+        assert_eq!(bytes, s.bytes_received);
+    }
+
+    #[test]
+    fn trace_events_reconcile_with_stats_batched() {
+        let term = "view[t[a,b],t[c,d],t[e,f],t[g,h],t[i,j],t[k,l],t[m,n],t[o,p]]";
+        let tree = parse_term(term).unwrap();
+        let wrapper =
+            TreeWrapper::single(&tree, FillPolicy::Chunked { n: 1 }).with_batch_budget(4);
+        let sink = TraceSink::enabled(4096);
+        let mut nav = BufferNavigator::new(wrapper, "doc").batched(8).with_trace(sink.clone());
+        let stats = nav.stats();
+        assert_eq!(materialize(&mut nav).to_string(), term);
+        let s = stats.snapshot();
+        assert_eq!(sink.dropped(), 0);
+        let (mut requests, mut batched_holes, mut fills) = (0u64, 0u64, 0u64);
+        let (mut wasted, mut credited) = (0u64, 0u64);
+        for e in &sink.events() {
+            match &e.kind {
+                TraceKind::Fill { from_cache: false, .. } => {
+                    requests += 1;
+                    fills += 1;
+                }
+                TraceKind::Fill { from_cache: true, waste_credit, .. } => {
+                    fills += 1;
+                    credited += waste_credit;
+                }
+                TraceKind::FillMany { items, wasted: w, .. } => {
+                    requests += 1;
+                    fills += 1;
+                    batched_holes += items;
+                    wasted += w;
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(requests, s.requests, "wire exchanges reconcile");
+        assert_eq!(batched_holes, s.batched_holes, "per-hole replies reconcile");
+        assert_eq!(fills, s.fills, "consumed replies reconcile");
+        assert_eq!(wasted - credited, s.wasted_bytes, "waste parked minus consumed reconciles");
+    }
+
+    #[test]
+    fn fill_fuel_exhaustion_fails_loudly_instead_of_hanging() {
+        // Every reply obeys the progress invariant (an empty reply removes
+        // a hole), yet a single `down` needs one fill per child hole: with
+        // a tiny fuel budget the buffer must answer `Stalled`, not spin.
+        struct Evaporating;
+        impl LxpWrapper for Evaporating {
+            fn get_root(&mut self, _uri: &str) -> Result<HoleId, LxpError> {
+                Ok("0".into())
+            }
+            fn fill(&mut self, hole: &HoleId) -> Result<Vec<Fragment>, LxpError> {
+                if hole == "0" {
+                    Ok(vec![Fragment::node(
+                        "r",
+                        (0..16).map(|i| Fragment::hole(format!("h{i}"))).collect(),
+                    )])
+                } else {
+                    Ok(vec![]) // hole evaporates: progress, but no node
+                }
+            }
+        }
+        let sink = TraceSink::enabled(256);
+        let mut nav =
+            BufferNavigator::new(Evaporating, "doc").with_fill_fuel(4).with_trace(sink.clone());
+        let root = nav.root();
+        let err = nav.try_down(&root).unwrap_err();
+        assert!(
+            matches!(err, BufferError::Stalled { .. }),
+            "loud stall instead of a hang: {err}"
+        );
+        // The degrading API reports it too — visibly.
+        let before = nav.degraded_epoch();
+        assert_eq!(nav.down(&root), None);
+        assert!(nav.degraded_epoch() > before);
+        assert!(sink
+            .events()
+            .iter()
+            .any(|e| matches!(&e.kind, TraceKind::Degradation { op: "down", .. })));
+        // A generous budget resolves the same tree fine.
+        let mut ok = BufferNavigator::new(Evaporating, "doc");
+        let root = ok.root();
+        assert_eq!(ok.try_down(&root).unwrap(), None, "all children evaporate");
+    }
+
+    #[test]
+    fn reset_faults_closes_the_breaker_and_records_it() {
+        struct FlakyRoot {
+            failures_left: u32,
+            inner: TreeWrapper,
+        }
+        impl LxpWrapper for FlakyRoot {
+            fn get_root(&mut self, uri: &str) -> Result<HoleId, LxpError> {
+                if self.failures_left > 0 {
+                    self.failures_left -= 1;
+                    Err(LxpError::SourceError("warming up".into()))
+                } else {
+                    self.inner.get_root(uri)
+                }
+            }
+            fn fill(&mut self, hole: &HoleId) -> Result<Vec<Fragment>, LxpError> {
+                self.inner.fill(hole)
+            }
+        }
+        let tree = parse_term("r[a]").unwrap();
+        let wrapper = FlakyRoot {
+            failures_left: 2,
+            inner: TreeWrapper::single(&tree, FillPolicy::WholeSubtree),
+        };
+        let sink = TraceSink::enabled(128);
+        let mut nav = BufferNavigator::with_retry(
+            wrapper,
+            "doc",
+            RetryPolicy { max_attempts: 1, breaker_threshold: 2, ..RetryPolicy::default() },
+        )
+        .with_trace(sink.clone());
+        let health = nav.health();
+        let root = nav.root();
+        assert_eq!(nav.down(&root), None);
+        assert_eq!(nav.down(&root), None, "second failure trips the breaker");
+        assert_eq!(health.status(), HealthStatus::Unavailable);
+        assert!(sink.events().iter().any(|e| matches!(e.kind, TraceKind::BreakerOpen { .. })));
+        nav.reset_faults();
+        assert_eq!(health.status(), HealthStatus::Healthy);
+        assert_eq!(nav.last_degraded(), None);
+        assert!(sink.events().iter().any(|e| matches!(e.kind, TraceKind::BreakerClose)));
+        let a = nav.down(&root).expect("source forgiven and back");
+        assert_eq!(nav.fetch(&a), "a");
+    }
+
+    #[test]
+    fn disabled_tracing_is_observation_free() {
+        let term = "view[tuple[a[1],b[2]],tuple[a[3],b[4]]]";
+        let tree = parse_term(term).unwrap();
+        let mut nav = BufferNavigator::new(
+            TreeWrapper::single(&tree, FillPolicy::NodeAtATime),
+            "doc",
+        )
+        .with_trace(TraceSink::off());
+        let sink = nav.trace_sink();
+        assert_eq!(materialize(&mut nav).to_string(), term);
+        assert!(sink.is_empty(), "an off sink records nothing");
     }
 
     #[test]

@@ -56,6 +56,11 @@ pub struct HealthSnapshot {
     /// Operations that exhausted retries or hit a permanent error and
     /// degraded to a partial answer.
     pub degraded_ops: u64,
+    /// Speculative readahead fills that failed (best-effort, off the
+    /// critical path — the client's own fill faces the error itself, so
+    /// these do not degrade the answer, but they are weather worth
+    /// seeing).
+    pub prefetch_failures: u64,
     /// The most recent error, rendered.
     pub last_error: Option<String>,
 }
@@ -73,6 +78,7 @@ struct HealthCells {
     retries: Cell<u64>,
     backoff_cost: Cell<u64>,
     degraded_ops: Cell<u64>,
+    prefetch_failures: Cell<u64>,
     breaker_open: Cell<bool>,
     last_error: RefCell<Option<String>>,
 }
@@ -97,6 +103,7 @@ impl SourceHealth {
             retries: self.inner.retries.get(),
             backoff_cost: self.inner.backoff_cost.get(),
             degraded_ops: self.inner.degraded_ops.get(),
+            prefetch_failures: self.inner.prefetch_failures.get(),
             last_error: self.inner.last_error.borrow().clone(),
         }
     }
@@ -126,6 +133,13 @@ impl SourceHealth {
         *self.inner.last_error.borrow_mut() = Some(error.to_string());
     }
 
+    /// Record a failed speculative readahead fill. Does not change the
+    /// status or `last_error`: readahead is best-effort, and the client's
+    /// own fill will face the error on the critical path.
+    pub fn record_prefetch_failure(&self) {
+        self.inner.prefetch_failures.set(self.inner.prefetch_failures.get() + 1);
+    }
+
     /// Open or close the circuit breaker.
     pub fn set_breaker(&self, open: bool) {
         self.inner.breaker_open.set(open);
@@ -142,6 +156,7 @@ impl SourceHealth {
         self.inner.retries.set(0);
         self.inner.backoff_cost.set(0);
         self.inner.degraded_ops.set(0);
+        self.inner.prefetch_failures.set(0);
         self.inner.breaker_open.set(false);
         *self.inner.last_error.borrow_mut() = None;
     }

@@ -43,7 +43,10 @@
 //! * [`health`] — the queryable [`SourceHealth`] surface recording
 //!   absorbed faults, recovery cost, and degraded operations;
 //! * [`fault`] — [`FaultyWrapper`], a seeded fault injector for testing
-//!   and measuring the above.
+//!   and measuring the above;
+//! * [`trace`] — the flight recorder: ring-buffered [`TraceEvent`]s
+//!   (fills, retries, breaker transitions, degradations, prefetch
+//!   hits/misses) shared between buffers and the engine via span ids.
 //!
 //! The buffer never panics on wrapper failure: transient source errors
 //! are retried away; anything worse degrades navigation gracefully
@@ -53,6 +56,7 @@
 //! [`FillPolicy`]: treewrap::FillPolicy
 //! [`SourceHealth`]: health::SourceHealth
 //! [`FaultyWrapper`]: fault::FaultyWrapper
+//! [`TraceEvent`]: trace::TraceEvent
 
 pub mod adaptive;
 pub mod buffer;
@@ -62,6 +66,7 @@ pub mod health;
 pub mod lxp;
 pub mod prefetch;
 pub mod retry;
+pub mod trace;
 pub mod treewrap;
 
 pub use adaptive::AimdChunk;
@@ -72,4 +77,5 @@ pub use health::{HealthSnapshot, HealthStatus, SourceHealth};
 pub use lxp::{chase_continuation, BatchItem, HoleId, LxpError, LxpWrapper};
 pub use prefetch::Prefetcher;
 pub use retry::{RetryError, RetryPolicy};
+pub use trace::{TraceEvent, TraceKind, TraceSink};
 pub use treewrap::{FillPolicy, TreeWrapper};

@@ -13,8 +13,10 @@
 //! number of round trips the client actually waits for.
 
 use crate::fragment::Fragment;
+use crate::health::SourceHealth;
 use crate::lxp::{check_progress, BatchItem, HoleId, LxpError, LxpWrapper};
-use std::collections::HashMap;
+use crate::trace::{TraceKind, TraceSink};
+use std::collections::{HashMap, HashSet};
 
 /// A readahead adapter around any LXP wrapper.
 pub struct Prefetcher<W> {
@@ -24,12 +26,43 @@ pub struct Prefetcher<W> {
     cache: HashMap<HoleId, Vec<Fragment>>,
     hits: u64,
     misses: u64,
+    /// Speculative fills that errored (best-effort, skipped — but
+    /// recorded, not silent).
+    failures: u64,
+    /// Optional health handle to report readahead failures to.
+    health: Option<SourceHealth>,
+    /// Flight recorder (off by default).
+    trace: TraceSink,
+    /// The URI seen at `get_root`, used to attribute trace events.
+    tag: Option<String>,
 }
 
 impl<W: LxpWrapper> Prefetcher<W> {
     /// Wrap `inner`, pre-filling up to `depth` holes per reply.
     pub fn new(inner: W, depth: usize) -> Self {
-        Prefetcher { inner, depth, cache: HashMap::new(), hits: 0, misses: 0 }
+        Prefetcher {
+            inner,
+            depth,
+            cache: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            failures: 0,
+            health: None,
+            trace: TraceSink::default(),
+            tag: None,
+        }
+    }
+
+    /// Report readahead failures to `health` (as `prefetch_failures`).
+    pub fn with_health(mut self, health: SourceHealth) -> Self {
+        self.health = Some(health);
+        self
+    }
+
+    /// Attach a flight recorder for hit/miss/failure events.
+    pub fn with_trace(mut self, sink: TraceSink) -> Self {
+        self.trace = sink;
+        self
     }
 
     /// Fills answered from the readahead cache (not waited for).
@@ -40,6 +73,11 @@ impl<W: LxpWrapper> Prefetcher<W> {
     /// Fills that had to go to the inner wrapper on the critical path.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Speculative readahead fills that failed and were skipped.
+    pub fn readahead_failures(&self) -> u64 {
+        self.failures
     }
 
     /// Holes currently sitting pre-filled in the cache.
@@ -82,11 +120,13 @@ impl<W: LxpWrapper> Prefetcher<W> {
         // trailing-most hole first.
         while *budget > 0 {
             let mut round: Vec<HoleId> = Vec::new();
+            let mut in_round: HashSet<HoleId> = HashSet::new();
             while round.len() < *budget {
                 let Some(h) = stack.pop() else { break };
-                if self.cache.contains_key(&h) || round.contains(&h) {
+                if self.cache.contains_key(&h) || in_round.contains(&h) {
                     continue;
                 }
+                in_round.insert(h.clone());
                 round.push(h);
             }
             if round.is_empty() {
@@ -109,33 +149,72 @@ impl<W: LxpWrapper> Prefetcher<W> {
                 }
                 Err(_) => {
                     for h in round {
-                        let Ok(r) = self.inner.fill(&h) else { continue };
-                        *budget = budget.saturating_sub(1);
-                        if check_progress(&r).is_err() {
-                            continue;
+                        match self.inner.fill(&h) {
+                            Ok(r) => {
+                                *budget = budget.saturating_sub(1);
+                                if check_progress(&r).is_err() {
+                                    continue;
+                                }
+                                collect(&r, &mut stack);
+                                self.cache.insert(h, r);
+                            }
+                            Err(e) => {
+                                // Skipped, but never silently: the failure
+                                // is counted, reported to health, and
+                                // recorded by the flight recorder.
+                                self.failures += 1;
+                                if let Some(health) = &self.health {
+                                    health.record_prefetch_failure();
+                                }
+                                if self.trace.is_enabled() {
+                                    self.trace.emit(
+                                        self.tag.as_deref(),
+                                        TraceKind::PrefetchFail {
+                                            hole: h.clone(),
+                                            error: e.to_string(),
+                                        },
+                                    );
+                                }
+                            }
                         }
-                        collect(&r, &mut stack);
-                        self.cache.insert(h, r);
                     }
                 }
             }
+        }
+    }
+
+    /// Record a cache hit or miss for `hole`.
+    fn note(&mut self, hole: &HoleId, hit: bool) {
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        if self.trace.is_enabled() {
+            let kind = if hit {
+                TraceKind::PrefetchHit { hole: hole.clone() }
+            } else {
+                TraceKind::PrefetchMiss { hole: hole.clone() }
+            };
+            self.trace.emit(self.tag.as_deref(), kind);
         }
     }
 }
 
 impl<W: LxpWrapper> LxpWrapper for Prefetcher<W> {
     fn get_root(&mut self, uri: &str) -> Result<HoleId, LxpError> {
+        self.tag = Some(uri.to_string());
         self.inner.get_root(uri)
     }
 
     fn fill(&mut self, hole: &HoleId) -> Result<Vec<Fragment>, LxpError> {
         let reply = match self.cache.remove(hole) {
             Some(r) => {
-                self.hits += 1;
+                self.note(hole, true);
                 r
             }
             None => {
-                self.misses += 1;
+                self.note(hole, false);
                 self.inner.fill(hole)?
             }
         };
@@ -165,10 +244,10 @@ impl<W: LxpWrapper> LxpWrapper for Prefetcher<W> {
         let mut out = Vec::with_capacity(holes.len() + extra.len());
         for h in holes {
             if let Some(r) = self.cache.remove(h) {
-                self.hits += 1;
+                self.note(h, true);
                 out.push(BatchItem { hole: h.clone(), fragments: r });
             } else if let Some(r) = fetched.remove(h) {
-                self.misses += 1;
+                self.note(h, false);
                 out.push(BatchItem { hole: h.clone(), fragments: r });
             } else {
                 // The inner wrapper violated the batch shape; surface it
@@ -344,6 +423,77 @@ mod tests {
             let mut nav = BufferNavigator::new(Prefetcher::new(inner, depth), "doc");
             assert_eq!(materialize(&mut nav), tree, "depth {depth}");
         }
+    }
+
+    #[test]
+    fn failed_readahead_fills_are_recorded_not_silent() {
+        // fill_many always errors, so readahead falls back to one-hole
+        // fills; `dead` errors there too. Before the fix that hole was
+        // skipped without a trace — now it is counted, reported to
+        // health, and recorded by the flight recorder.
+        struct HalfDead {
+            replies: HashMap<HoleId, Vec<Fragment>>,
+        }
+        impl LxpWrapper for HalfDead {
+            fn get_root(&mut self, _uri: &str) -> Result<HoleId, LxpError> {
+                Ok("root".into())
+            }
+            fn fill(&mut self, hole: &HoleId) -> Result<Vec<Fragment>, LxpError> {
+                self.replies
+                    .get(hole)
+                    .cloned()
+                    .ok_or_else(|| LxpError::SourceError(format!("{hole} unreachable")))
+            }
+            fn fill_many(&mut self, _holes: &[HoleId]) -> Result<Vec<BatchItem>, LxpError> {
+                Err(LxpError::SourceError("no batch endpoint".into()))
+            }
+        }
+        let replies = HashMap::from([
+            ("root".to_string(), vec![Fragment::hole("ok"), Fragment::hole("dead")]),
+            ("ok".to_string(), vec![Fragment::leaf("x")]),
+        ]);
+        let health = SourceHealth::new();
+        let sink = crate::trace::TraceSink::enabled(64);
+        let mut pf = Prefetcher::new(HalfDead { replies }, 4)
+            .with_health(health.clone())
+            .with_trace(sink.clone());
+        let root = pf.get_root("doc").unwrap();
+        let _ = pf.fill(&root).unwrap();
+        assert_eq!(pf.readahead_failures(), 1, "the dead hole's failure was counted");
+        assert_eq!(health.snapshot().prefetch_failures, 1, "…and reported to health");
+        assert_eq!(
+            health.status(),
+            crate::health::HealthStatus::Healthy,
+            "best-effort failures do not degrade the answer"
+        );
+        let fails: Vec<_> = sink
+            .events()
+            .into_iter()
+            .filter(|e| matches!(e.kind, TraceKind::PrefetchFail { .. }))
+            .collect();
+        assert_eq!(fails.len(), 1);
+        assert!(matches!(
+            &fails[0].kind,
+            TraceKind::PrefetchFail { hole, error }
+                if hole == "dead" && error.contains("unreachable")
+        ));
+        assert_eq!(fails[0].source.as_deref(), Some("doc"), "tagged with the get_root uri");
+        assert_eq!(pf.cached(), 1, "the healthy hole was still pre-filled");
+    }
+
+    #[test]
+    fn hits_and_misses_are_traced() {
+        let tree = wide_tree(8);
+        let inner = TreeWrapper::single(&tree, FillPolicy::NodeAtATime);
+        let sink = crate::trace::TraceSink::enabled(256);
+        let mut pf = Prefetcher::new(inner, 4).with_trace(sink.clone());
+        let root = pf.get_root("doc").unwrap();
+        let _ = pf.fill(&root).unwrap();
+        let events = sink.events();
+        assert!(
+            events.iter().any(|e| matches!(e.kind, TraceKind::PrefetchMiss { .. })),
+            "the root fill was a miss: {events:?}"
+        );
     }
 
     #[test]

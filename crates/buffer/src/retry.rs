@@ -14,6 +14,7 @@
 //! degrades immediately instead of timing out again and again.
 
 use crate::lxp::LxpError;
+use crate::trace::{TraceKind, TraceSink};
 
 /// Retry/backoff/breaker knobs for one buffer–wrapper conversation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,6 +127,23 @@ impl RetryState {
         &mut self,
         policy: &RetryPolicy,
         health: &crate::health::SourceHealth,
+        op: impl FnMut() -> Result<T, LxpError>,
+    ) -> RetryResult<T> {
+        self.run_traced(policy, health, &TraceSink::off(), None, "", op)
+    }
+
+    /// [`RetryState::run`], additionally recording each retry and any
+    /// breaker opening as flight-recorder events attributed to `source`
+    /// and `request`. Event construction (including `request`'s clone) is
+    /// guarded behind the sink's enabled flag, so an off sink costs one
+    /// branch per retry.
+    pub fn run_traced<T>(
+        &mut self,
+        policy: &RetryPolicy,
+        health: &crate::health::SourceHealth,
+        trace: &TraceSink,
+        source: Option<&str>,
+        request: &str,
         mut op: impl FnMut() -> Result<T, LxpError>,
     ) -> RetryResult<T> {
         if self.open {
@@ -140,13 +158,24 @@ impl RetryState {
                 }
                 Err(e) if e.is_transient() && attempt < attempts => {
                     health.record_retry(&e, policy.backoff_cost(attempt));
+                    if trace.is_enabled() {
+                        trace.emit(
+                            source,
+                            TraceKind::Retry {
+                                request: request.to_string(),
+                                attempt,
+                                backoff_cost: policy.backoff_cost(attempt),
+                                error: e.to_string(),
+                            },
+                        );
+                    }
                 }
                 Err(e) if e.is_transient() => {
-                    self.note_failure(policy, health);
+                    self.note_failure(policy, health, trace, source, request);
                     return Err(RetryError::Exhausted { attempts, last: e });
                 }
                 Err(e) => {
-                    self.note_failure(policy, health);
+                    self.note_failure(policy, health, trace, source, request);
                     return Err(RetryError::Permanent(e));
                 }
             }
@@ -154,11 +183,28 @@ impl RetryState {
         unreachable!("loop returns on success or final attempt")
     }
 
-    fn note_failure(&mut self, policy: &RetryPolicy, health: &crate::health::SourceHealth) {
+    /// Close the breaker and forget the failure streak (the health handle
+    /// is reset separately by the owner).
+    pub fn reset(&mut self) {
+        self.consecutive_failures = 0;
+        self.open = false;
+    }
+
+    fn note_failure(
+        &mut self,
+        policy: &RetryPolicy,
+        health: &crate::health::SourceHealth,
+        trace: &TraceSink,
+        source: Option<&str>,
+        request: &str,
+    ) {
         self.consecutive_failures += 1;
         if policy.breaker_threshold > 0 && self.consecutive_failures >= policy.breaker_threshold {
             self.open = true;
             health.set_breaker(true);
+            if trace.is_enabled() {
+                trace.emit(source, TraceKind::BreakerOpen { request: request.to_string() });
+            }
         }
     }
 }
@@ -268,6 +314,47 @@ mod tests {
         assert_eq!(p.backoff_cost(3), 40);
         assert_eq!(p.backoff_cost(4), 55, "capped");
         assert_eq!(p.backoff_cost(200), 55, "huge attempt numbers do not overflow");
+    }
+
+    #[test]
+    fn traced_runs_record_retries_and_breaker_opening() {
+        let policy =
+            RetryPolicy { max_attempts: 3, breaker_threshold: 1, ..RetryPolicy::default() };
+        let health = SourceHealth::new();
+        let mut state = RetryState::new();
+        let sink = TraceSink::enabled(32);
+        let err = state
+            .run_traced(&policy, &health, &sink, Some("db"), "fill(h1)", || {
+                Err::<(), _>(LxpError::SourceError("down".into()))
+            })
+            .unwrap_err();
+        assert!(matches!(err, RetryError::Exhausted { attempts: 3, .. }));
+        let events = sink.events();
+        let retries: Vec<_> =
+            events.iter().filter(|e| matches!(e.kind, TraceKind::Retry { .. })).collect();
+        assert_eq!(retries.len(), 2, "attempts 1 and 2 were retried: {events:?}");
+        assert!(retries.iter().all(|e| e.source.as_deref() == Some("db")));
+        assert!(
+            events.iter().any(|e| matches!(
+                &e.kind,
+                TraceKind::BreakerOpen { request } if request == "fill(h1)"
+            )),
+            "breaker opening recorded: {events:?}"
+        );
+        assert!(state.is_open());
+        state.reset();
+        assert!(!state.is_open(), "reset closes the breaker");
+    }
+
+    #[test]
+    fn untraced_run_emits_no_events_even_when_forced() {
+        // `run` delegates through a hard-off sink: the plain entry point
+        // never records, even under MIX_TRACE_FORCE.
+        let policy = RetryPolicy::default();
+        let health = SourceHealth::new();
+        let mut state = RetryState::new();
+        let got = state.run(&policy, &health, flaky(2)).unwrap();
+        assert_eq!(got, 42);
     }
 
     #[test]

@@ -1,0 +1,500 @@
+//! The flight recorder: structured, ring-buffered trace events.
+//!
+//! The paper's evaluation method is *counting navigations* (Def. 2, §5),
+//! but aggregate counters cannot answer "which client command caused this
+//! wire exchange?" or — worse — "was this empty label a real PCDATA node
+//! or a degraded fetch?". A [`TraceSink`] records every interesting step
+//! of a run as a [`TraceEvent`]: client commands, operator in/out
+//! navigation, attribute jumps, LXP `get_root`/`fill`/`fill_many`
+//! exchanges, retries, breaker transitions, prefetch hits/misses, and —
+//! crucially — every *degradation* (a navigation answered from the
+//! fallback path after retries were exhausted).
+//!
+//! # Span model
+//!
+//! Events carry a **span id**. The engine bumps the span at every client
+//! command (`d`/`r`/`f`/`select`) and every event emitted until the next
+//! command — operator cascades, buffer fills, retries, degradations —
+//! inherits it. Sharing one sink between the engine and its buffers is
+//! what links a client command to the cascade it triggered down the
+//! mediator tree.
+//!
+//! # Zero-cost when disabled
+//!
+//! The sink is an `Rc`-of-`Cell`s handle (the [`BufferStats`] idiom);
+//! instrumented call sites guard event *construction* behind
+//! [`TraceSink::is_enabled`] — a single `Cell<bool>` read — so a disabled
+//! sink costs one predictable branch and never allocates. The environment
+//! variable `MIX_TRACE_FORCE=1` flips every *default-constructed* sink to
+//! enabled, which CI uses to run the whole test suite under tracing and
+//! check the observation-only invariant.
+//!
+//! # Exact accounting
+//!
+//! Wire-level events carry the same quantities the [`BufferStats`]
+//! counters accumulate, so a rollup over a complete trace reproduces the
+//! `requests`/`batched_holes`/`wasted_bytes` totals *exactly* (see
+//! `mix-core`'s `TraceLog::rollup`): a [`TraceKind::Fill`] with
+//! `from_cache: false` is one wire request; a [`TraceKind::FillMany`] is
+//! one wire request answering `items` holes and parking `wasted` bytes; a
+//! [`TraceKind::Fill`] with `from_cache: true` consumes a parked reply and
+//! credits `waste_credit` bytes back.
+//!
+//! [`BufferStats`]: crate::BufferStats
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+use std::sync::OnceLock;
+
+/// Default ring capacity of an enabled sink.
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// What happened (one step of a run). Quantities mirror the
+/// [`BufferStats`](crate::BufferStats) counters they accompany.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A client command arrived at the engine; starts a new span.
+    ClientCommand {
+        /// The DOM-VXD command: `d`, `r`, `f`, or `s`.
+        cmd: &'static str,
+    },
+    /// A navigation entered a lazy mediator (operator).
+    OperatorIn {
+        /// The operator kind, e.g. `join` or `select`.
+        op: &'static str,
+        /// Which entry point: `first_binding`, `next_binding`.
+        call: &'static str,
+    },
+    /// The navigation left the operator again.
+    OperatorOut {
+        /// The operator kind.
+        op: &'static str,
+        /// Did it produce a binding (vs ⊥)?
+        produced: bool,
+    },
+    /// An operator jumped to a variable's attribute (`attr`).
+    AttrJump {
+        /// The operator kind.
+        op: &'static str,
+        /// The variable jumped to.
+        var: String,
+    },
+    /// The engine navigated an underlying source on behalf of operators.
+    SourceNav {
+        /// The command issued on the source: `d`, `r`, `f`, or `s`.
+        cmd: &'static str,
+    },
+    /// The buffer issued `get_root` for its document.
+    GetRoot {
+        /// The document URI.
+        uri: String,
+    },
+    /// One per-hole fill reply was consumed by the buffer.
+    Fill {
+        /// The hole that was filled.
+        hole: String,
+        /// Non-hole nodes in the reply.
+        nodes: u64,
+        /// Wire bytes of the reply.
+        bytes: u64,
+        /// Served from the pending batch cache (no wire exchange)?
+        from_cache: bool,
+        /// Bytes credited back out of `wasted_bytes` on cache consumption.
+        waste_credit: u64,
+    },
+    /// One batched `fill_many` wire exchange.
+    FillMany {
+        /// The critical hole that triggered the exchange.
+        critical: String,
+        /// Holes requested in the batch.
+        holes: u64,
+        /// Per-hole replies received (requested + continuation items).
+        items: u64,
+        /// Non-hole nodes received across all items.
+        nodes: u64,
+        /// Wire bytes received across all items.
+        bytes: u64,
+        /// Bytes parked or dropped as speculative waste.
+        wasted: u64,
+    },
+    /// A transient LXP error was retried.
+    Retry {
+        /// The request being retried (hole id or URI).
+        request: String,
+        /// The failed attempt number (1-based).
+        attempt: u32,
+        /// Simulated backoff cost charged before the next attempt.
+        backoff_cost: u64,
+        /// The transient error.
+        error: String,
+    },
+    /// The circuit breaker opened: the source is quarantined.
+    BreakerOpen {
+        /// The request whose failure tripped the breaker.
+        request: String,
+    },
+    /// The circuit breaker was closed again (`reset_faults`).
+    BreakerClose,
+    /// A navigation could not complete and degraded to its fallback
+    /// (`None` / empty label). **This is the event that makes a silently
+    /// wrong answer visible.**
+    Degradation {
+        /// The degraded navigation: `down`, `right`, or `fetch`.
+        op: &'static str,
+        /// Why it degraded.
+        error: String,
+    },
+    /// A fill was answered from the prefetcher's readahead cache.
+    PrefetchHit {
+        /// The hole served.
+        hole: String,
+    },
+    /// A fill missed the readahead cache (critical-path round trip).
+    PrefetchMiss {
+        /// The hole that missed.
+        hole: String,
+    },
+    /// A speculative readahead fill failed (best-effort; the client's own
+    /// fill will face the error on the critical path).
+    PrefetchFail {
+        /// The hole whose readahead failed.
+        hole: String,
+        /// The error.
+        error: String,
+    },
+    /// A wrapper answered a fill/fill_many (wrapper-side view).
+    WrapperFill {
+        /// Which wrapper: `relational`, `web`, `oodb`.
+        wrapper: &'static str,
+        /// Holes asked for.
+        holes: u64,
+        /// Reply items produced (≥ holes when continuations ride along).
+        items: u64,
+    },
+}
+
+impl TraceKind {
+    /// A stable kebab-case name for querying and JSON export.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceKind::ClientCommand { .. } => "client-command",
+            TraceKind::OperatorIn { .. } => "operator-in",
+            TraceKind::OperatorOut { .. } => "operator-out",
+            TraceKind::AttrJump { .. } => "attr-jump",
+            TraceKind::SourceNav { .. } => "source-nav",
+            TraceKind::GetRoot { .. } => "get-root",
+            TraceKind::Fill { .. } => "fill",
+            TraceKind::FillMany { .. } => "fill-many",
+            TraceKind::Retry { .. } => "retry",
+            TraceKind::BreakerOpen { .. } => "breaker-open",
+            TraceKind::BreakerClose => "breaker-close",
+            TraceKind::Degradation { .. } => "degradation",
+            TraceKind::PrefetchHit { .. } => "prefetch-hit",
+            TraceKind::PrefetchMiss { .. } => "prefetch-miss",
+            TraceKind::PrefetchFail { .. } => "prefetch-fail",
+            TraceKind::WrapperFill { .. } => "wrapper-fill",
+        }
+    }
+}
+
+/// One recorded step: where in the run (`seq`), which client command
+/// caused it (`span`), which source it concerns, and what happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Global sequence number (total order of the run).
+    pub seq: u64,
+    /// Span id of the client command this event belongs to (0 = before
+    /// any command).
+    pub span: u64,
+    /// The source/buffer/wrapper concerned, if any (engine-level events
+    /// carry `None`).
+    pub source: Option<String>,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{:<5} span {:<4} ", self.seq, self.span)?;
+        if let Some(src) = &self.source {
+            write!(f, "[{src}] ")?;
+        }
+        match &self.kind {
+            TraceKind::ClientCommand { cmd } => write!(f, "client `{cmd}`"),
+            TraceKind::OperatorIn { op, call } => write!(f, "→ {op}.{call}"),
+            TraceKind::OperatorOut { op, produced } => {
+                write!(f, "← {op} {}", if *produced { "produced" } else { "⊥" })
+            }
+            TraceKind::AttrJump { op, var } => write!(f, "{op} attr(${var})"),
+            TraceKind::SourceNav { cmd } => write!(f, "source `{cmd}`"),
+            TraceKind::GetRoot { uri } => write!(f, "get_root({uri})"),
+            TraceKind::Fill { hole, nodes, bytes, from_cache, .. } => {
+                let via = if *from_cache { " (batch cache)" } else { "" };
+                write!(f, "fill({hole}) = {nodes} nodes / {bytes} B{via}")
+            }
+            TraceKind::FillMany { critical, holes, items, nodes, bytes, wasted } => write!(
+                f,
+                "fill_many({critical} +{} holes) = {items} items, {nodes} nodes / {bytes} B ({wasted} B parked)",
+                holes.saturating_sub(1)
+            ),
+            TraceKind::Retry { request, attempt, backoff_cost, error } => {
+                write!(f, "retry #{attempt} of {request} (backoff {backoff_cost}): {error}")
+            }
+            TraceKind::BreakerOpen { request } => write!(f, "breaker OPEN after {request}"),
+            TraceKind::BreakerClose => write!(f, "breaker closed"),
+            TraceKind::Degradation { op, error } => {
+                write!(f, "DEGRADED `{op}`: {error}")
+            }
+            TraceKind::PrefetchHit { hole } => write!(f, "prefetch hit {hole}"),
+            TraceKind::PrefetchMiss { hole } => write!(f, "prefetch miss {hole}"),
+            TraceKind::PrefetchFail { hole, error } => {
+                write!(f, "prefetch readahead of {hole} failed: {error}")
+            }
+            TraceKind::WrapperFill { wrapper, holes, items } => {
+                write!(f, "{wrapper} wrapper answered {holes} holes with {items} items")
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct SinkCells {
+    enabled: Cell<bool>,
+    seq: Cell<u64>,
+    span: Cell<u64>,
+    capacity: Cell<usize>,
+    dropped: Cell<u64>,
+    ring: RefCell<VecDeque<TraceEvent>>,
+}
+
+impl Default for SinkCells {
+    fn default() -> Self {
+        SinkCells {
+            enabled: Cell::new(false),
+            seq: Cell::new(0),
+            span: Cell::new(0),
+            capacity: Cell::new(DEFAULT_TRACE_CAPACITY),
+            dropped: Cell::new(0),
+            ring: RefCell::new(VecDeque::new()),
+        }
+    }
+}
+
+/// Is `MIX_TRACE_FORCE=1` set? Cached once per process.
+fn force_enabled() -> bool {
+    static FORCE: OnceLock<bool> = OnceLock::new();
+    *FORCE.get_or_init(|| {
+        std::env::var("MIX_TRACE_FORCE").map(|v| v == "1" || v == "true").unwrap_or(false)
+    })
+}
+
+/// Shared, cloneable handle to one flight recorder.
+///
+/// Clones share the same ring, sequence counter, and span counter; hand
+/// the *same* sink to the engine and every buffer so spans link up.
+#[derive(Clone, Debug)]
+pub struct TraceSink {
+    inner: Rc<SinkCells>,
+}
+
+impl Default for TraceSink {
+    /// A disabled sink — unless `MIX_TRACE_FORCE=1` is set in the
+    /// environment, in which case it records from the start.
+    fn default() -> Self {
+        let sink = TraceSink { inner: Rc::default() };
+        if force_enabled() {
+            sink.inner.enabled.set(true);
+        }
+        sink
+    }
+}
+
+impl TraceSink {
+    /// A disabled-by-default sink (env force-enable applies).
+    pub fn new() -> Self {
+        TraceSink::default()
+    }
+
+    /// A sink that is off no matter what the environment says — for
+    /// internal delegation paths that must never record.
+    pub fn off() -> Self {
+        TraceSink { inner: Rc::default() }
+    }
+
+    /// An enabled sink with an explicit ring capacity.
+    pub fn enabled(capacity: usize) -> Self {
+        let sink = TraceSink { inner: Rc::default() };
+        sink.inner.capacity.set(capacity.max(1));
+        sink.inner.enabled.set(true);
+        sink
+    }
+
+    /// Is the recorder currently on? Call sites guard event construction
+    /// behind this single `Cell` read.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.get()
+    }
+
+    /// Turn recording on or off (the ring is kept either way).
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.set(on);
+    }
+
+    /// Change the ring capacity (existing overflow is trimmed and counted
+    /// as dropped).
+    pub fn set_capacity(&self, capacity: usize) {
+        let capacity = capacity.max(1);
+        self.inner.capacity.set(capacity);
+        let mut ring = self.inner.ring.borrow_mut();
+        while ring.len() > capacity {
+            ring.pop_front();
+            self.inner.dropped.set(self.inner.dropped.get() + 1);
+        }
+    }
+
+    /// The ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity.get()
+    }
+
+    /// Start a new span for a client command and record the command.
+    /// Returns the new span id.
+    pub fn begin_span(&self, cmd: &'static str) -> u64 {
+        let span = self.inner.span.get() + 1;
+        self.inner.span.set(span);
+        self.emit(None, TraceKind::ClientCommand { cmd });
+        span
+    }
+
+    /// The span id events are currently attributed to.
+    pub fn current_span(&self) -> u64 {
+        self.inner.span.get()
+    }
+
+    /// Record one event (no-op when disabled — but prefer guarding the
+    /// *construction* of `kind` behind [`TraceSink::is_enabled`] too).
+    pub fn emit(&self, source: Option<&str>, kind: TraceKind) {
+        if !self.inner.enabled.get() {
+            return;
+        }
+        let seq = self.inner.seq.get();
+        self.inner.seq.set(seq + 1);
+        let event =
+            TraceEvent { seq, span: self.inner.span.get(), source: source.map(str::to_string), kind };
+        let mut ring = self.inner.ring.borrow_mut();
+        if ring.len() >= self.inner.capacity.get() {
+            ring.pop_front();
+            self.inner.dropped.set(self.inner.dropped.get() + 1);
+        }
+        ring.push_back(event);
+    }
+
+    /// Copy out the recorded events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.ring.borrow().iter().cloned().collect()
+    }
+
+    /// Events currently held in the ring.
+    pub fn len(&self) -> usize {
+        self.inner.ring.borrow().len()
+    }
+
+    /// Is the ring empty?
+    pub fn is_empty(&self) -> bool {
+        self.inner.ring.borrow().is_empty()
+    }
+
+    /// Events evicted because the ring was full. Exact-accounting checks
+    /// require this to be 0.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.get()
+    }
+
+    /// Forget all recorded events (counters for seq/span keep running).
+    pub fn clear(&self) {
+        self.inner.ring.borrow_mut().clear();
+        self.inner.dropped.set(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let sink = TraceSink::off();
+        assert!(!sink.is_enabled());
+        sink.emit(None, TraceKind::BreakerClose);
+        assert!(sink.is_empty());
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn events_inherit_the_current_span() {
+        let sink = TraceSink::enabled(64);
+        let s1 = sink.begin_span("d");
+        sink.emit(Some("doc"), TraceKind::GetRoot { uri: "doc".into() });
+        let s2 = sink.begin_span("r");
+        sink.emit(
+            Some("doc"),
+            TraceKind::Fill { hole: "h1".into(), nodes: 1, bytes: 8, from_cache: false, waste_credit: 0 },
+        );
+        let events = sink.events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].span, s1);
+        assert_eq!(events[1].span, s1);
+        assert_eq!(events[2].span, s2);
+        assert_eq!(events[3].span, s2);
+        assert_eq!(events[1].source.as_deref(), Some("doc"));
+        // Sequence numbers are a total order.
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let sink = TraceSink::enabled(3);
+        for _ in 0..5 {
+            sink.emit(None, TraceKind::BreakerClose);
+        }
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.dropped(), 2);
+        let events = sink.events();
+        assert_eq!(events[0].seq, 2, "oldest two were evicted");
+    }
+
+    #[test]
+    fn clones_share_one_ring() {
+        let sink = TraceSink::enabled(16);
+        let view = sink.clone();
+        sink.begin_span("f");
+        assert_eq!(view.len(), 1);
+        assert_eq!(view.current_span(), 1);
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(TraceKind::ClientCommand { cmd: "d" }.name(), "client-command");
+        assert_eq!(
+            TraceKind::Degradation { op: "fetch", error: "x".into() }.name(),
+            "degradation"
+        );
+        assert_eq!(TraceKind::BreakerClose.name(), "breaker-close");
+    }
+
+    #[test]
+    fn display_renders_one_line_per_event() {
+        let sink = TraceSink::enabled(8);
+        sink.begin_span("d");
+        sink.emit(
+            Some("db"),
+            TraceKind::Degradation { op: "fetch", error: "gave up".into() },
+        );
+        let lines: Vec<String> = sink.events().iter().map(|e| e.to_string()).collect();
+        assert!(lines[0].contains("client `d`"), "{lines:?}");
+        assert!(lines[1].contains("[db] DEGRADED `fetch`: gave up"), "{lines:?}");
+    }
+}

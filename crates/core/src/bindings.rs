@@ -16,6 +16,7 @@ use crate::ops::{JoinCacheEntry, OpState};
 use crate::Engine;
 use mix_algebra::pred::value_ord;
 use mix_algebra::{BindPred, PlanId};
+use mix_buffer::TraceKind;
 use mix_xmas::Var;
 use mix_xml::Tree;
 use std::collections::HashMap;
@@ -39,6 +40,17 @@ fn eq_key(t: &Tree) -> String {
 impl Engine {
     /// First binding of an operator's output list.
     pub(crate) fn first_binding(&mut self, op: PlanId) -> Option<BHandle> {
+        if self.trace.is_enabled() {
+            let name = self.op(op).kind_name();
+            self.trace.emit(None, TraceKind::OperatorIn { op: name, call: "first_binding" });
+            let out = self.first_binding_inner(op);
+            self.trace.emit(None, TraceKind::OperatorOut { op: name, produced: out.is_some() });
+            return out;
+        }
+        self.first_binding_inner(op)
+    }
+
+    fn first_binding_inner(&mut self, op: PlanId) -> Option<BHandle> {
         match self.op(op) {
             OpState::Source { .. } => Some(BHandle::new(BData::Source)),
             OpState::GetDesc { input, .. } => {
@@ -162,6 +174,17 @@ impl Engine {
 
     /// Binding after `b` in an operator's output list.
     pub(crate) fn next_binding(&mut self, op: PlanId, b: &BHandle) -> Option<BHandle> {
+        if self.trace.is_enabled() {
+            let name = self.op(op).kind_name();
+            self.trace.emit(None, TraceKind::OperatorIn { op: name, call: "next_binding" });
+            let out = self.next_binding_inner(op, b);
+            self.trace.emit(None, TraceKind::OperatorOut { op: name, produced: out.is_some() });
+            return out;
+        }
+        self.next_binding_inner(op, b)
+    }
+
+    fn next_binding_inner(&mut self, op: PlanId, b: &BHandle) -> Option<BHandle> {
         match self.op(op) {
             OpState::Source { .. } => None,
             OpState::GetDesc { input, .. } => {
@@ -316,6 +339,16 @@ impl Engine {
     /// Jump to the value of variable `var` in binding `b` of operator
     /// `op` (Appendix A's `b.H` command).
     pub(crate) fn attr(&mut self, op: PlanId, b: &BHandle, var: &Var) -> VNode {
+        if self.trace.is_enabled() {
+            self.trace.emit(
+                None,
+                TraceKind::AttrJump { op: self.op(op).kind_name(), var: var.to_string() },
+            );
+        }
+        self.attr_inner(op, b, var)
+    }
+
+    fn attr_inner(&mut self, op: PlanId, b: &BHandle, var: &Var) -> VNode {
         match self.op(op) {
             OpState::Source { src, out } => {
                 debug_assert_eq!(var, out, "source binds exactly one variable");

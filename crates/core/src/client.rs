@@ -8,7 +8,9 @@
 //! below never learns it is driving a tree of lazy mediators over remote
 //! sources.
 
+use crate::engine::Degraded;
 use crate::handle::VNode;
+use crate::trace::{TraceLog, TraceSink};
 use crate::Engine;
 use mix_nav::{LabelPred, Navigator};
 use mix_xml::{Label, Tree};
@@ -63,6 +65,25 @@ impl VirtualDocument {
         self.engine.clone()
     }
 
+    /// Snapshot the flight recorder: every client command, operator
+    /// cascade, wire exchange, retry, and degradation recorded so far,
+    /// queryable by span / source / kind (see [`TraceLog`]).
+    pub fn trace(&self) -> TraceLog {
+        TraceLog::from_sink(&self.engine.borrow().trace_sink())
+    }
+
+    /// The shared recorder sink (to enable/disable recording, clear the
+    /// ring, or hand it to more buffers).
+    pub fn trace_sink(&self) -> TraceSink {
+        self.engine.borrow().trace_sink()
+    }
+
+    /// Replace the engine's recorder sink (see
+    /// [`Engine::set_trace_sink`](crate::Engine::set_trace_sink)).
+    pub fn set_trace_sink(&self, sink: TraceSink) {
+        self.engine.borrow_mut().set_trace_sink(sink);
+    }
+
     /// A DTD-style structural summary of the *virtual* document, computed
     /// by navigating it lazily — the guide a BBQ-style browser (§6) would
     /// show before the user commits to a query. Navigation costs accrue to
@@ -85,6 +106,16 @@ impl VirtualElement {
     /// The element's label (tag name or atomic content).
     pub fn label(&self) -> Label {
         self.engine.borrow_mut().fetch(&self.node)
+    }
+
+    /// The element's label, *checked*: `Err` when a source degraded while
+    /// answering, so an empty label from a dead source is distinguishable
+    /// from a real empty PCDATA node (the unchecked [`label`] cannot tell
+    /// them apart).
+    ///
+    /// [`label`]: VirtualElement::label
+    pub fn label_checked(&self) -> Result<Label, Degraded> {
+        self.engine.borrow_mut().fetch_checked(&self.node)
     }
 
     /// First child, or `None` on a leaf.

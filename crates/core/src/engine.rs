@@ -12,7 +12,10 @@ use crate::ops::OpState;
 use crate::registry::{SharedSource, SourceRegistry};
 use crate::EngineError;
 use mix_algebra::{Plan, PlanId, PlanNode};
-use mix_buffer::{BufferStats, BufferStatsSnapshot, HealthSnapshot, HealthStatus, SourceHealth};
+use mix_buffer::{
+    BufferStats, BufferStatsSnapshot, HealthSnapshot, HealthStatus, SourceHealth, TraceKind,
+    TraceSink,
+};
 use mix_nav::{LabelPred, NavCounters, NavStats, Navigator};
 use mix_xml::{Document, Label};
 use std::collections::HashSet;
@@ -68,6 +71,7 @@ pub(crate) struct SourceConn {
     pub counters: NavCounters,
     pub health: Option<SourceHealth>,
     pub stats: Option<BufferStats>,
+    pub trace: Option<TraceSink>,
 }
 
 /// Per-source navigation statistics.
@@ -104,7 +108,25 @@ pub struct Engine {
     pub(crate) sources: Vec<SourceConn>,
     pub(crate) root_op: PlanId,
     pub(crate) config: EngineConfig,
+    pub(crate) trace: TraceSink,
     plan: Plan,
+}
+
+/// A checked navigation's evidence that its answer is partial: the
+/// fallback value the unchecked API would have silently returned, plus the
+/// sources whose health recorded new degraded operations during the call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degraded {
+    /// The fallback label that was served (empty for a degraded `fetch`).
+    pub label: Label,
+    /// Names of the sources that degraded while answering.
+    pub sources: Vec<String>,
+}
+
+impl std::fmt::Display for Degraded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "degraded answer `{}` (sources: {})", self.label, self.sources.join(", "))
+    }
 }
 
 impl std::fmt::Debug for Engine {
@@ -143,7 +165,12 @@ impl Engine {
             let id = PlanId::from_index(i);
             ops.push(build_op(&plan, id, registry, &mut sources)?);
         }
-        Ok(Engine { ops, sources, root_op, config, plan })
+        // Adopt the first source-provided sink so engine spans and buffer
+        // fills land in one ring; a plain (disabled-by-default) sink
+        // otherwise. `MIX_TRACE_FORCE=1` enables the fallback sink too.
+        let trace =
+            sources.iter().find_map(|s| s.trace.clone()).unwrap_or_default();
+        Ok(Engine { ops, sources, root_op, config, trace, plan })
     }
 
     /// The plan this engine executes.
@@ -166,6 +193,51 @@ impl Engine {
     pub fn reset_stats(&self) {
         for s in &self.sources {
             s.counters.reset();
+        }
+    }
+
+    /// The engine's flight-recorder sink. Shared with every buffer that
+    /// was registered with `SourceRegistry::add_navigator_traced`, so the
+    /// cascade a client command triggers is linked to it by span id.
+    pub fn trace_sink(&self) -> TraceSink {
+        self.trace.clone()
+    }
+
+    /// Replace the engine's sink (e.g. to share one recorder across
+    /// engines). Does not re-wire source buffers — prefer registering
+    /// traced sources when buffer-level events should share the ring.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.trace = sink;
+    }
+
+    /// Snapshot of each source's recorded degraded-operation count, for
+    /// checked navigation's before/after comparison.
+    fn degraded_per_source(&self) -> Vec<u64> {
+        self.sources
+            .iter()
+            .map(|s| s.health.as_ref().map(|h| h.snapshot().degraded_ops).unwrap_or(0))
+            .collect()
+    }
+
+    /// Like [`Navigator::fetch`], but *checked*: a degraded answer (the
+    /// buffer fell back to an empty label after retries were exhausted) is
+    /// an `Err` carrying the fallback and the sources that degraded —
+    /// instead of being indistinguishable from a real empty PCDATA node.
+    pub fn fetch_checked(&mut self, p: &VNode) -> Result<Label, Degraded> {
+        let before = self.degraded_per_source();
+        let label = self.fetch(p);
+        let sources: Vec<String> = self
+            .sources
+            .iter()
+            .zip(self.degraded_per_source())
+            .zip(before)
+            .filter(|((_, after), before)| after > before)
+            .map(|((s, _), _)| s.name.clone())
+            .collect();
+        if sources.is_empty() {
+            Ok(label)
+        } else {
+            Err(Degraded { label, sources })
         }
     }
 
@@ -240,7 +312,15 @@ impl Engine {
 
     // ---- counted source navigation -------------------------------------
 
+    /// Record one source-level navigation command on the recorder.
+    fn trace_src(&self, src: usize, cmd: &'static str) {
+        if self.trace.is_enabled() {
+            self.trace.emit(Some(&self.sources[src].name), TraceKind::SourceNav { cmd });
+        }
+    }
+
     pub(crate) fn src_down(&mut self, src: usize, h: &mix_nav::DynHandle) -> Option<VNode> {
+        self.trace_src(src, "d");
         let conn = &self.sources[src];
         conn.counters.bump_down();
         let out = conn.nav.borrow_mut().down(h)?;
@@ -248,6 +328,7 @@ impl Engine {
     }
 
     pub(crate) fn src_right(&mut self, src: usize, h: &mix_nav::DynHandle) -> Option<VNode> {
+        self.trace_src(src, "r");
         let conn = &self.sources[src];
         conn.counters.bump_right();
         let out = conn.nav.borrow_mut().right(h)?;
@@ -255,6 +336,7 @@ impl Engine {
     }
 
     pub(crate) fn src_fetch(&mut self, src: usize, h: &mix_nav::DynHandle) -> Label {
+        self.trace_src(src, "f");
         let conn = &self.sources[src];
         conn.counters.bump_fetch();
         conn.nav.borrow_mut().fetch(h)
@@ -266,6 +348,7 @@ impl Engine {
         h: &mix_nav::DynHandle,
         pred: &LabelPred,
     ) -> Option<VNode> {
+        self.trace_src(src, "s");
         let conn = &self.sources[src];
         conn.counters.bump_select();
         let out = conn.nav.borrow_mut().select(h, pred)?;
@@ -298,6 +381,7 @@ fn build_op(
                         counters: NavCounters::new(),
                         health: reg.health,
                         stats: reg.stats,
+                        trace: reg.trace,
                     });
                     sources.len() - 1
                 }
@@ -416,18 +500,30 @@ impl Navigator for Engine {
     }
 
     fn down(&mut self, p: &VNode) -> Option<VNode> {
+        if self.trace.is_enabled() {
+            self.trace.begin_span("d");
+        }
         self.val_down(p)
     }
 
     fn right(&mut self, p: &VNode) -> Option<VNode> {
+        if self.trace.is_enabled() {
+            self.trace.begin_span("r");
+        }
         self.val_right(p)
     }
 
     fn fetch(&mut self, p: &VNode) -> Label {
+        if self.trace.is_enabled() {
+            self.trace.begin_span("f");
+        }
         self.val_fetch(p)
     }
 
     fn select(&mut self, p: &VNode, pred: &LabelPred) -> Option<VNode> {
+        if self.trace.is_enabled() {
+            self.trace.begin_span("s");
+        }
         self.val_select(p, pred)
     }
 }

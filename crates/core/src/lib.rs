@@ -51,10 +51,12 @@ pub mod matchcur;
 pub mod profile;
 pub(crate) mod ops;
 pub mod registry;
+pub mod trace;
 pub mod values;
 
 pub use client::{VirtualDocument, VirtualElement};
-pub use engine::{Engine, EngineConfig, EngineStats};
+pub use engine::{Degraded, Engine, EngineConfig, EngineStats};
+pub use trace::{SpanStats, TraceEvent, TraceKind, TraceLog, TraceRollup, TraceSink};
 pub use handle::VNode;
 pub use profile::{profile, Profile};
 pub use registry::SourceRegistry;

@@ -161,3 +161,27 @@ pub(crate) enum OpState {
         rows: Option<Rc<Vec<MatRow>>>,
     },
 }
+
+impl OpState {
+    /// The operator's algebra name, for trace events and rollups.
+    pub(crate) fn kind_name(&self) -> &'static str {
+        match self {
+            OpState::Source { .. } => "source",
+            OpState::GetDesc { .. } => "getDescendants",
+            OpState::Select { .. } => "select",
+            OpState::Join { .. } => "join",
+            OpState::Cross { .. } => "cross",
+            OpState::Union { .. } => "union",
+            OpState::Difference { .. } => "difference",
+            OpState::Project { .. } => "project",
+            OpState::GroupBy { .. } => "groupBy",
+            OpState::Concat { .. } => "concatenate",
+            OpState::Create { .. } => "createElement",
+            OpState::Constant { .. } => "constant",
+            OpState::Wrap { .. } => "wrap",
+            OpState::OrderBy { .. } => "orderBy",
+            OpState::TupleDestroy { .. } => "tupleDestroy",
+            OpState::Materialize { .. } => "materialize",
+        }
+    }
+}

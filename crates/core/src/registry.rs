@@ -1,7 +1,7 @@
 //! Source registry: wiring plan `source` leaves to navigable sources.
 
 use crate::EngineError;
-use mix_buffer::{BufferStats, SourceHealth};
+use mix_buffer::{BufferStats, SourceHealth, TraceSink};
 use mix_nav::{erase, DocNavigator, DynNavigator, Navigator};
 use mix_xml::Tree;
 use std::cell::RefCell;
@@ -21,6 +21,7 @@ pub(crate) struct Registered {
     pub nav: SharedSource,
     pub health: Option<SourceHealth>,
     pub stats: Option<BufferStats>,
+    pub trace: Option<TraceSink>,
 }
 
 /// Maps source names (the `homesSrc` of a XMAS query) to navigators.
@@ -51,7 +52,12 @@ impl SourceRegistry {
     {
         self.sources.insert(
             name.into(),
-            Registered { nav: Rc::new(RefCell::new(erase(nav))), health: None, stats: None },
+            Registered {
+                nav: Rc::new(RefCell::new(erase(nav))),
+                health: None,
+                stats: None,
+                trace: None,
+            },
         );
         self
     }
@@ -77,6 +83,7 @@ impl SourceRegistry {
                 nav: Rc::new(RefCell::new(erase(nav))),
                 health: Some(health),
                 stats: None,
+                trace: None,
             },
         );
         self
@@ -107,6 +114,38 @@ impl SourceRegistry {
                 nav: Rc::new(RefCell::new(erase(nav))),
                 health: Some(health),
                 stats: Some(stats),
+                trace: None,
+            },
+        );
+        self
+    }
+
+    /// Register a navigator with its buffer's health, traffic counters,
+    /// *and* flight-recorder sink. The engine adopts the sink, so every
+    /// client command begins a span in the same ring the buffer's
+    /// fill/retry/degradation events land in — that link is what lets a
+    /// trace answer "which client command caused this wire exchange?".
+    /// The usual call site hands a `BufferNavigator` its own `health()`,
+    /// `stats()` and `trace_sink()` handles.
+    pub fn add_navigator_traced<N>(
+        &mut self,
+        name: impl Into<String>,
+        nav: N,
+        health: SourceHealth,
+        stats: BufferStats,
+        trace: TraceSink,
+    ) -> &mut Self
+    where
+        N: Navigator + 'static,
+        N::Handle: 'static,
+    {
+        self.sources.insert(
+            name.into(),
+            Registered {
+                nav: Rc::new(RefCell::new(erase(nav))),
+                health: Some(health),
+                stats: Some(stats),
+                trace: Some(trace),
             },
         );
         self

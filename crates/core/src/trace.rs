@@ -1,0 +1,462 @@
+//! Querying the flight recorder: trace logs, span rollups, JSON export.
+//!
+//! The buffer layer records raw [`TraceEvent`]s (see `mix_buffer::trace`);
+//! this module is the *analysis* side the client sees through
+//! [`VirtualDocument::trace`]: a [`TraceLog`] snapshot that can be
+//! filtered by span / source / kind, summarized per client command
+//! ([`SpanStats`]), rolled up into wire totals ([`TraceRollup`]) that
+//! cross-check [`Engine::traffic`] **exactly**, and exported as JSON for
+//! the bench harness.
+//!
+//! # Exact accounting
+//!
+//! [`TraceLog::rollup`] replays the buffer's own arithmetic over the
+//! events: a [`TraceKind::Fill`] with `from_cache: false` is one wire
+//! request; a [`TraceKind::FillMany`] is one wire request answering
+//! `items` holes and parking `wasted` speculative bytes; a cache-served
+//! [`TraceKind::Fill`] credits `waste_credit` bytes back. Over a complete
+//! trace (`dropped == 0`) the rollup reproduces the
+//! `requests`/`batched_holes`/`wasted_bytes` counters to the digit — the
+//! invariant experiment E15 asserts under injected faults.
+//!
+//! [`VirtualDocument::trace`]: crate::VirtualDocument::trace
+//! [`Engine::traffic`]: crate::Engine::traffic
+
+pub use mix_buffer::{TraceEvent, TraceKind, TraceSink};
+use std::fmt;
+
+/// An immutable snapshot of a [`TraceSink`]'s ring, oldest event first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+    dropped: u64,
+}
+
+/// Wire totals reconstructed from a trace, in the same units as
+/// [`BufferStats`](mix_buffer::BufferStats) /
+/// [`Engine::traffic`](crate::Engine::traffic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceRollup {
+    /// Wire exchanges: uncached fills + batched exchanges.
+    pub requests: u64,
+    /// Per-hole replies that rode batched exchanges.
+    pub batched_holes: u64,
+    /// Speculative bytes still parked (parked minus credited back).
+    pub wasted_bytes: u64,
+    /// Fill replies consumed (wire or cache).
+    pub fills: u64,
+    /// `get_root` handshakes.
+    pub get_roots: u64,
+    /// Non-hole nodes received over the wire.
+    pub nodes: u64,
+    /// Bytes received over the wire.
+    pub bytes: u64,
+    /// Transient errors retried away.
+    pub retries: u64,
+    /// Navigations that fell back to a degraded answer.
+    pub degradations: u64,
+}
+
+impl TraceRollup {
+    /// Does this rollup reproduce the engine's
+    /// `(requests, batched_holes, wasted_bytes)` traffic totals exactly?
+    pub fn matches_traffic(&self, traffic: (u64, u64, u64)) -> bool {
+        (self.requests, self.batched_holes, self.wasted_bytes) == traffic
+    }
+}
+
+/// Per-client-command summary: everything one span triggered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanStats {
+    /// The span id.
+    pub span: u64,
+    /// The client command that opened it (`d`/`r`/`f`/`s`; `·` for span 0,
+    /// events recorded before any command).
+    pub command: String,
+    /// Events attributed to the span.
+    pub events: u64,
+    /// Operator entries (`OperatorIn`) in the cascade.
+    pub operator_calls: u64,
+    /// Navigation commands issued to underlying sources.
+    pub source_commands: u64,
+    /// Wire exchanges this command caused.
+    pub requests: u64,
+    /// Per-hole replies that rode this command's batched exchanges.
+    pub batched_holes: u64,
+    /// Speculative-waste delta (parked minus credited; negative when the
+    /// command consumed replies parked by an earlier span).
+    pub waste_delta: i64,
+    /// Retries absorbed.
+    pub retries: u64,
+    /// Degradations suffered — a non-zero count means this command's
+    /// answer is suspect.
+    pub degradations: u64,
+}
+
+impl fmt::Display for SpanStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "span {:<4} `{}`: {} events, {} ops, {} src cmds, {} wire, {} batched, waste {:+}, {} retries, {} degraded",
+            self.span,
+            self.command,
+            self.events,
+            self.operator_calls,
+            self.source_commands,
+            self.requests,
+            self.batched_holes,
+            self.waste_delta,
+            self.retries,
+            self.degradations
+        )
+    }
+}
+
+impl TraceLog {
+    /// Snapshot a sink.
+    pub fn from_sink(sink: &TraceSink) -> Self {
+        TraceLog { events: sink.events(), dropped: sink.dropped() }
+    }
+
+    /// The events, oldest first.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted from the ring before this snapshot. Exact rollups
+    /// require 0.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events of one span (one client command's cascade).
+    pub fn by_span(&self, span: u64) -> Vec<&TraceEvent> {
+        self.events.iter().filter(|e| e.span == span).collect()
+    }
+
+    /// Events concerning one source.
+    pub fn by_source(&self, source: &str) -> Vec<&TraceEvent> {
+        self.events.iter().filter(|e| e.source.as_deref() == Some(source)).collect()
+    }
+
+    /// Events of one kind, by its stable name (e.g. `"fill-many"`,
+    /// `"degradation"`).
+    pub fn by_kind(&self, name: &str) -> Vec<&TraceEvent> {
+        self.events.iter().filter(|e| e.kind.name() == name).collect()
+    }
+
+    /// Every degradation — the moments a silently-partial answer was
+    /// served. Empty means the trace vouches for the whole run.
+    pub fn degradations(&self) -> Vec<&TraceEvent> {
+        self.by_kind("degradation")
+    }
+
+    /// Distinct span ids, in first-appearance order.
+    pub fn spans(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = Vec::new();
+        for e in &self.events {
+            if out.last() != Some(&e.span) && !out.contains(&e.span) {
+                out.push(e.span);
+            }
+        }
+        out
+    }
+
+    /// Wire totals reconstructed from the events (see module docs for the
+    /// exactness contract).
+    pub fn rollup(&self) -> TraceRollup {
+        let mut r = TraceRollup::default();
+        let (mut parked, mut credited) = (0u64, 0u64);
+        for e in &self.events {
+            match &e.kind {
+                TraceKind::Fill { nodes, bytes, from_cache, waste_credit, .. } => {
+                    r.fills += 1;
+                    if *from_cache {
+                        credited += waste_credit;
+                    } else {
+                        r.requests += 1;
+                        r.nodes += nodes;
+                        r.bytes += bytes;
+                    }
+                }
+                TraceKind::FillMany { items, nodes, bytes, wasted, .. } => {
+                    r.fills += 1;
+                    r.requests += 1;
+                    r.batched_holes += items;
+                    r.nodes += nodes;
+                    r.bytes += bytes;
+                    parked += wasted;
+                }
+                TraceKind::GetRoot { .. } => r.get_roots += 1,
+                TraceKind::Retry { .. } => r.retries += 1,
+                TraceKind::Degradation { .. } => r.degradations += 1,
+                _ => {}
+            }
+        }
+        // Exact over a complete trace: every credit consumes previously
+        // parked bytes (the buffer's saturating_sub can never over-credit).
+        r.wasted_bytes = parked.saturating_sub(credited);
+        r
+    }
+
+    /// Per-span rollup, one row per span in first-appearance order.
+    pub fn span_stats(&self) -> Vec<SpanStats> {
+        let mut rows: Vec<SpanStats> = Vec::new();
+        for e in &self.events {
+            let row = match rows.iter_mut().rev().find(|r| r.span == e.span) {
+                Some(r) => r,
+                None => {
+                    rows.push(SpanStats {
+                        span: e.span,
+                        command: "·".to_string(),
+                        events: 0,
+                        operator_calls: 0,
+                        source_commands: 0,
+                        requests: 0,
+                        batched_holes: 0,
+                        waste_delta: 0,
+                        retries: 0,
+                        degradations: 0,
+                    });
+                    rows.last_mut().expect("just pushed")
+                }
+            };
+            row.events += 1;
+            match &e.kind {
+                TraceKind::ClientCommand { cmd } => row.command = cmd.to_string(),
+                TraceKind::OperatorIn { .. } => row.operator_calls += 1,
+                TraceKind::SourceNav { .. } => row.source_commands += 1,
+                TraceKind::Fill { from_cache, waste_credit, .. } => {
+                    if *from_cache {
+                        row.waste_delta -= *waste_credit as i64;
+                    } else {
+                        row.requests += 1;
+                    }
+                }
+                TraceKind::FillMany { items, wasted, .. } => {
+                    row.requests += 1;
+                    row.batched_holes += items;
+                    row.waste_delta += *wasted as i64;
+                }
+                TraceKind::Retry { .. } => row.retries += 1,
+                TraceKind::Degradation { .. } => row.degradations += 1,
+                _ => {}
+            }
+        }
+        rows
+    }
+
+    /// Render the log as a JSON object for the bench harness:
+    /// `{"dropped": n, "events": [{seq, span, source, kind, …fields}]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 96 + 64);
+        out.push_str(&format!("{{\"dropped\": {}, \"events\": [", self.dropped));
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&event_json(e));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn event_json(e: &TraceEvent) -> String {
+    let mut fields = vec![
+        format!("\"seq\": {}", e.seq),
+        format!("\"span\": {}", e.span),
+        format!(
+            "\"source\": {}",
+            e.source.as_deref().map(json_str).unwrap_or_else(|| "null".to_string())
+        ),
+        format!("\"kind\": {}", json_str(e.kind.name())),
+    ];
+    match &e.kind {
+        TraceKind::ClientCommand { cmd } | TraceKind::SourceNav { cmd } => {
+            fields.push(format!("\"cmd\": {}", json_str(cmd)));
+        }
+        TraceKind::OperatorIn { op, call } => {
+            fields.push(format!("\"op\": {}", json_str(op)));
+            fields.push(format!("\"call\": {}", json_str(call)));
+        }
+        TraceKind::OperatorOut { op, produced } => {
+            fields.push(format!("\"op\": {}", json_str(op)));
+            fields.push(format!("\"produced\": {produced}"));
+        }
+        TraceKind::AttrJump { op, var } => {
+            fields.push(format!("\"op\": {}", json_str(op)));
+            fields.push(format!("\"var\": {}", json_str(var)));
+        }
+        TraceKind::GetRoot { uri } => fields.push(format!("\"uri\": {}", json_str(uri))),
+        TraceKind::Fill { hole, nodes, bytes, from_cache, waste_credit } => {
+            fields.push(format!("\"hole\": {}", json_str(hole)));
+            fields.push(format!("\"nodes\": {nodes}"));
+            fields.push(format!("\"bytes\": {bytes}"));
+            fields.push(format!("\"from_cache\": {from_cache}"));
+            fields.push(format!("\"waste_credit\": {waste_credit}"));
+        }
+        TraceKind::FillMany { critical, holes, items, nodes, bytes, wasted } => {
+            fields.push(format!("\"critical\": {}", json_str(critical)));
+            fields.push(format!("\"holes\": {holes}"));
+            fields.push(format!("\"items\": {items}"));
+            fields.push(format!("\"nodes\": {nodes}"));
+            fields.push(format!("\"bytes\": {bytes}"));
+            fields.push(format!("\"wasted\": {wasted}"));
+        }
+        TraceKind::Retry { request, attempt, backoff_cost, error } => {
+            fields.push(format!("\"request\": {}", json_str(request)));
+            fields.push(format!("\"attempt\": {attempt}"));
+            fields.push(format!("\"backoff_cost\": {backoff_cost}"));
+            fields.push(format!("\"error\": {}", json_str(error)));
+        }
+        TraceKind::BreakerOpen { request } => {
+            fields.push(format!("\"request\": {}", json_str(request)));
+        }
+        TraceKind::BreakerClose => {}
+        TraceKind::Degradation { op, error } => {
+            fields.push(format!("\"op\": {}", json_str(op)));
+            fields.push(format!("\"error\": {}", json_str(error)));
+        }
+        TraceKind::PrefetchHit { hole } | TraceKind::PrefetchMiss { hole } => {
+            fields.push(format!("\"hole\": {}", json_str(hole)));
+        }
+        TraceKind::PrefetchFail { hole, error } => {
+            fields.push(format!("\"hole\": {}", json_str(hole)));
+            fields.push(format!("\"error\": {}", json_str(error)));
+        }
+        TraceKind::WrapperFill { wrapper, holes, items } => {
+            fields.push(format!("\"wrapper\": {}", json_str(wrapper)));
+            fields.push(format!("\"holes\": {holes}"));
+            fields.push(format!("\"items\": {items}"));
+        }
+    }
+    format!("{{{}}}", fields.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_sink() -> TraceSink {
+        let sink = TraceSink::enabled(64);
+        sink.begin_span("d");
+        sink.emit(Some("db"), TraceKind::GetRoot { uri: "db".into() });
+        sink.emit(
+            Some("db"),
+            TraceKind::FillMany {
+                critical: "h1".into(),
+                holes: 2,
+                items: 4,
+                nodes: 40,
+                bytes: 400,
+                wasted: 120,
+            },
+        );
+        sink.begin_span("r");
+        sink.emit(
+            Some("db"),
+            TraceKind::Fill {
+                hole: "h2".into(),
+                nodes: 10,
+                bytes: 100,
+                from_cache: true,
+                waste_credit: 100,
+            },
+        );
+        sink.emit(
+            Some("web"),
+            TraceKind::Degradation { op: "fetch", error: "gave up".into() },
+        );
+        sink
+    }
+
+    #[test]
+    fn filters_by_span_source_and_kind() {
+        let log = TraceLog::from_sink(&demo_sink());
+        assert_eq!(log.len(), 6);
+        assert_eq!(log.by_span(1).len(), 3);
+        assert_eq!(log.by_span(2).len(), 3);
+        assert_eq!(log.by_source("db").len(), 3);
+        assert_eq!(log.by_kind("fill-many").len(), 1);
+        assert_eq!(log.degradations().len(), 1);
+        assert_eq!(log.spans(), [1, 2]);
+    }
+
+    #[test]
+    fn rollup_replays_the_buffer_arithmetic() {
+        let log = TraceLog::from_sink(&demo_sink());
+        let r = log.rollup();
+        assert_eq!(r.requests, 1, "cache-served fill is not a wire request");
+        assert_eq!(r.batched_holes, 4);
+        assert_eq!(r.wasted_bytes, 20, "120 parked − 100 credited");
+        assert_eq!(r.fills, 2);
+        assert_eq!(r.get_roots, 1);
+        assert_eq!(r.nodes, 40, "cache-served nodes were counted at park time");
+        assert_eq!(r.degradations, 1);
+        assert!(r.matches_traffic((1, 4, 20)));
+        assert!(!r.matches_traffic((1, 4, 21)));
+    }
+
+    #[test]
+    fn span_stats_attribute_work_to_commands() {
+        let log = TraceLog::from_sink(&demo_sink());
+        let rows = log.span_stats();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].command, "d");
+        assert_eq!(rows[0].requests, 1);
+        assert_eq!(rows[0].batched_holes, 4);
+        assert_eq!(rows[0].waste_delta, 120);
+        assert_eq!(rows[0].degradations, 0);
+        assert_eq!(rows[1].command, "r");
+        assert_eq!(rows[1].requests, 0);
+        assert_eq!(rows[1].waste_delta, -100, "consumed an earlier span's parked bytes");
+        assert_eq!(rows[1].degradations, 1);
+        // The per-span deltas sum to the global rollup.
+        let waste: i64 = rows.iter().map(|r| r.waste_delta).sum();
+        assert_eq!(waste, log.rollup().wasted_bytes as i64);
+    }
+
+    #[test]
+    fn json_export_is_structured_and_escaped() {
+        let sink = TraceSink::enabled(8);
+        sink.emit(
+            Some("db"),
+            TraceKind::Degradation { op: "fetch", error: "line1\n\"quoted\"".into() },
+        );
+        let json = TraceLog::from_sink(&sink).to_json();
+        assert!(json.starts_with("{\"dropped\": 0, \"events\": ["), "{json}");
+        assert!(json.contains("\"kind\": \"degradation\""), "{json}");
+        assert!(json.contains("\\n"), "{json}");
+        assert!(json.contains("\\\"quoted\\\""), "{json}");
+        assert!(json.ends_with("]}"), "{json}");
+    }
+}

@@ -8,7 +8,9 @@
 //! each fill reveals one object's attributes with holes for its referenced
 //! objects, which matches how an OODB faults in objects.
 
-use mix_buffer::{chase_continuation, BatchItem, Fragment, HoleId, LxpError, LxpWrapper};
+use mix_buffer::{
+    chase_continuation, BatchItem, Fragment, HoleId, LxpError, LxpWrapper, TraceKind, TraceSink,
+};
 use std::collections::HashMap;
 
 /// Identifier of an object in the store.
@@ -75,12 +77,14 @@ pub struct OodbWrapper {
     faults: u64,
     /// Extra objects faulted in speculatively per `fill_many` exchange.
     batch_budget: usize,
+    /// Flight recorder for batched exchanges (off by default).
+    trace: TraceSink,
 }
 
 impl OodbWrapper {
     /// Wrap a store.
     pub fn new(store: ObjectStore) -> Self {
-        OodbWrapper { store, faults: 0, batch_budget: 0 }
+        OodbWrapper { store, faults: 0, batch_budget: 0, trace: TraceSink::default() }
     }
 
     /// Stream up to `budget` referenced objects per batched exchange —
@@ -88,6 +92,12 @@ impl OodbWrapper {
     /// level at a time.
     pub fn with_batch_budget(mut self, budget: usize) -> Self {
         self.batch_budget = budget;
+        self
+    }
+
+    /// Record batched exchanges on a shared trace sink.
+    pub fn with_trace(mut self, sink: TraceSink) -> Self {
+        self.trace = sink;
         self
     }
 
@@ -171,6 +181,16 @@ impl LxpWrapper for OodbWrapper {
             items.push(BatchItem::new(hole.clone(), self.fill(hole)?));
         }
         chase_continuation(self, &mut items, self.batch_budget);
+        if self.trace.is_enabled() {
+            self.trace.emit(
+                None,
+                TraceKind::WrapperFill {
+                    wrapper: "oodb",
+                    holes: holes.len() as u64,
+                    items: items.len() as u64,
+                },
+            );
+        }
         Ok(items)
     }
 }

@@ -23,6 +23,7 @@
 
 use mix_buffer::{
     chase_continuation, AimdChunk, BatchItem, Fragment, HoleId, LxpError, LxpWrapper,
+    TraceKind, TraceSink,
 };
 use mix_relational::{Cursor, Database, Row, SqlQuery, Table};
 use std::collections::HashMap;
@@ -47,6 +48,8 @@ pub struct RelationalWrapper {
     adaptive: Option<AimdChunk>,
     /// Continuation chunks streamed per `fill_many` exchange (0 = none).
     batch_budget: usize,
+    /// Flight recorder for batched exchanges (off by default).
+    trace: TraceSink,
 }
 
 impl RelationalWrapper {
@@ -60,6 +63,7 @@ impl RelationalWrapper {
             query: None,
             adaptive: None,
             batch_budget: 0,
+            trace: TraceSink::default(),
         }
     }
 
@@ -84,6 +88,12 @@ impl RelationalWrapper {
     /// sequential scan's whole frontier crosses in one round trip.
     pub fn with_batch_budget(mut self, budget: usize) -> Self {
         self.batch_budget = budget;
+        self
+    }
+
+    /// Record batched exchanges on a shared trace sink.
+    pub fn with_trace(mut self, sink: TraceSink) -> Self {
+        self.trace = sink;
         self
     }
 
@@ -278,6 +288,16 @@ impl LxpWrapper for RelationalWrapper {
             items.push(BatchItem::new(hole.clone(), self.fill(hole)?));
         }
         chase_continuation(self, &mut items, self.batch_budget);
+        if self.trace.is_enabled() {
+            self.trace.emit(
+                Some(self.db.name()),
+                TraceKind::WrapperFill {
+                    wrapper: "relational",
+                    holes: holes.len() as u64,
+                    items: items.len() as u64,
+                },
+            );
+        }
         Ok(items)
     }
 }
@@ -450,6 +470,26 @@ mod tests {
         assert_eq!(items[2].hole, "realestate.homes.10");
         assert_eq!(w.rows_fetched(), 15);
         assert_eq!(w.cursor_seeks(), 0, "continuations ride the open cursor");
+    }
+
+    #[test]
+    fn batched_exchanges_are_traced() {
+        let sink = TraceSink::enabled(64);
+        let mut w = RelationalWrapper::new(demo_db(20), 5)
+            .with_batch_budget(2)
+            .with_trace(sink.clone());
+        let _ = w.fill_many(&["realestate.homes".to_string()]).unwrap();
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].source.as_deref(), Some("realestate"));
+        match events[0].kind {
+            TraceKind::WrapperFill { wrapper, holes, items } => {
+                assert_eq!(wrapper, "relational");
+                assert_eq!(holes, 1);
+                assert_eq!(items, 3, "requested chunk + 2 continuations");
+            }
+            ref other => panic!("expected WrapperFill, got {other:?}"),
+        }
     }
 
     #[test]

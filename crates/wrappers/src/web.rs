@@ -15,7 +15,10 @@
 //! does not exceed a certain limit (say 50K)" — that is
 //! [`FillPolicy::SizeThreshold`], the default here.
 
-use mix_buffer::{BatchItem, FillPolicy, Fragment, HoleId, LxpError, LxpWrapper, TreeWrapper};
+use mix_buffer::{
+    BatchItem, FillPolicy, Fragment, HoleId, LxpError, LxpWrapper, TraceKind, TraceSink,
+    TreeWrapper,
+};
 use mix_xml::{Document, Tree};
 use parking_lot::Mutex;
 use std::rc::Rc;
@@ -77,6 +80,7 @@ impl Network {
 pub struct WebWrapper {
     inner: TreeWrapper,
     network: Arc<Network>,
+    trace: TraceSink,
 }
 
 impl WebWrapper {
@@ -86,18 +90,25 @@ impl WebWrapper {
         WebWrapper {
             inner: TreeWrapper::new(FillPolicy::SizeThreshold { max_nodes: threshold_nodes }),
             network,
+            trace: TraceSink::default(),
         }
     }
 
     /// A web site with an explicit policy (for granularity comparisons).
     pub fn with_policy(network: Arc<Network>, policy: FillPolicy) -> Self {
-        WebWrapper { inner: TreeWrapper::new(policy), network }
+        WebWrapper { inner: TreeWrapper::new(policy), network, trace: TraceSink::default() }
     }
 
     /// Stream up to `budget` speculative page fragments per batched
     /// exchange — multiple fragments ride one simulated round trip.
     pub fn with_batch_budget(mut self, budget: usize) -> Self {
         self.inner = self.inner.with_batch_budget(budget);
+        self
+    }
+
+    /// Record batched exchanges on a shared trace sink.
+    pub fn with_trace(mut self, sink: TraceSink) -> Self {
+        self.trace = sink;
         self
     }
 
@@ -140,6 +151,16 @@ impl LxpWrapper for WebWrapper {
             .map(Fragment::wire_bytes)
             .sum();
         self.network.account(bytes as u64);
+        if self.trace.is_enabled() {
+            self.trace.emit(
+                None,
+                TraceKind::WrapperFill {
+                    wrapper: "web",
+                    holes: holes.len() as u64,
+                    items: items.len() as u64,
+                },
+            );
+        }
         Ok(items)
     }
 }

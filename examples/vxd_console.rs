@@ -2,31 +2,69 @@
 //! "interface to a Python interpreter that allows the user to interactively
 //! issue Java calls that correspond to the navigation commands".
 //!
+//! Both sources run behind buffered LXP wrappers that share one flight-
+//! recorder sink with the engine, so every console command can be replayed
+//! from the trace: which operators it woke, which source navigations and
+//! wire exchanges it caused, and whether anything degraded along the way.
+//!
 //! Commands (one per line on stdin):
 //!
 //! ```text
 //! d            down  — first child
 //! r            right — next sibling
 //! u            up    — back to where you descended from (client-side stack)
-//! f            fetch — print the label
+//! f            fetch — print the label (checked: flags degraded answers)
 //! s <label>    select — next sibling with the given label
 //! t            tree  — materialize and print the current subtree
 //! g            guide — DTD-style structural summary of the subtree
 //! n            navs  — print per-source navigation counters
+//! trace [k]    flight recorder — print the last k events (default 20)
+//! why          explain the current degradation state, span by span
 //! q            quit
 //! ```
 //!
 //! Run interactively: `cargo run --example vxd_console`
-//! or scripted:      `echo "f d f d t q" | tr ' ' '\n' | cargo run --example vxd_console`
+//! with faults:       `cargo run --example vxd_console -- --faulty`
+//! or scripted:      `echo "f d f trace why q" | tr ' ' '\n' | cargo run --example vxd_console`
 
 use mix::prelude::*;
 use std::io::{BufRead, Write};
 
 fn main() {
-    // The running example's virtual view over generated data.
+    let faulty = std::env::args().any(|a| a == "--faulty");
+
+    // The running example's virtual view over generated data — both
+    // sources behind buffers that log into one shared recorder ring.
+    let sink = TraceSink::enabled(1 << 16);
+    let homes = mix::wrappers::gen::homes_doc(42, 25, 6);
+    let schools = mix::wrappers::gen::schools_doc(43, 25, 6);
+
     let mut sources = SourceRegistry::new();
-    sources.add_tree("homesSrc", &mix::wrappers::gen::homes_doc(42, 25, 6));
-    sources.add_tree("schoolsSrc", &mix::wrappers::gen::schools_doc(43, 25, 6));
+    {
+        // The homes side optionally runs over an unreliable wire, so
+        // `trace` and `why` have something to point at.
+        let mut inner = TreeWrapper::new(FillPolicy::Chunked { n: 4 });
+        inner.add("homes", std::rc::Rc::new(mix::xml::Document::from_tree(&homes)));
+        let cfg = if faulty {
+            FaultConfig::transient(0xC0FFEE, 0.35)
+        } else {
+            FaultConfig::transient(0, 0.0)
+        };
+        let policy =
+            if faulty { RetryPolicy { max_attempts: 2, ..RetryPolicy::default() } } else { RetryPolicy::none() };
+        let nav = BufferNavigator::with_retry(FaultyWrapper::new(inner, cfg), "homes", policy)
+            .with_trace(sink.clone());
+        let (health, stats) = (nav.health(), nav.stats());
+        sources.add_navigator_traced("homesSrc", nav, health, stats, sink.clone());
+    }
+    {
+        let mut inner = TreeWrapper::new(FillPolicy::Chunked { n: 4 });
+        inner.add("schools", std::rc::Rc::new(mix::xml::Document::from_tree(&schools)));
+        let nav = BufferNavigator::new(inner, "schools").with_trace(sink.clone());
+        let (health, stats) = (nav.health(), nav.stats());
+        sources.add_navigator_traced("schoolsSrc", nav, health, stats, sink.clone());
+    }
+
     let plan = translate(
         &parse_query(
             "CONSTRUCT <answer> <med_home> $H $S {$S} </med_home> {$H} </answer> {} \
@@ -38,8 +76,11 @@ fn main() {
     .unwrap();
     let doc = VirtualDocument::new(Engine::new(plan, &sources).unwrap());
 
-    println!("DOM-VXD console over the virtual med_home view.");
-    println!("commands: d(own) r(ight) u(p) f(etch) s <label> t(ree) g(uide) n(avs) q(uit)");
+    println!("DOM-VXD console over the virtual med_home view{}.",
+        if faulty { " (homes wire is faulty)" } else { "" });
+    println!(
+        "commands: d(own) r(ight) u(p) f(etch) s <label> t(ree) g(uide) n(avs) trace [k] why q(uit)"
+    );
 
     let mut cursor = doc.root();
     // The client-side path stack (`u` is not a DOM-VXD command; the thin
@@ -75,7 +116,14 @@ fn main() {
                 }
                 None => println!("⊥ (at the root)"),
             },
-            Some("f") => println!("label: {}", cursor.label()),
+            Some("f") => match cursor.label_checked() {
+                Ok(label) => println!("label: {label}"),
+                Err(d) => println!(
+                    "label: {} ⚠ DEGRADED — {} faltered; `why` explains",
+                    d.label,
+                    d.sources.join(", ")
+                ),
+            },
             Some("s") => match words.next() {
                 Some(label) => match cursor.select(&LabelPred::equals(label)) {
                     Some(c) => {
@@ -103,6 +151,57 @@ fn main() {
             Some("n") => {
                 for (name, stats) in &doc.stats().per_source {
                     println!("  {name}: {stats}");
+                }
+            }
+            Some("trace") => {
+                let k = words.next().and_then(|w| w.parse().ok()).unwrap_or(20usize);
+                let log = doc.trace();
+                let events = log.events();
+                let skip = events.len().saturating_sub(k);
+                if skip > 0 {
+                    println!("  … {skip} earlier events ({} dropped from the ring)", log.dropped());
+                }
+                for e in &events[skip..] {
+                    println!("  {e}");
+                }
+                let rollup = log.rollup();
+                println!(
+                    "  — {} events, {} spans | wire: {} requests, {} batched holes, {} wasted bytes, {} retries, {} degradations",
+                    log.len(),
+                    log.spans().len(),
+                    rollup.requests,
+                    rollup.batched_holes,
+                    rollup.wasted_bytes,
+                    rollup.retries,
+                    rollup.degradations,
+                );
+            }
+            Some("why") => {
+                let status = doc.overall_health();
+                println!("  overall: {status:?}");
+                for (name, snap) in doc.health() {
+                    if let Some(s) = snap {
+                        println!(
+                            "  {name}: {} retries, {} degraded ops, {} prefetch failures",
+                            s.retries, s.degraded_ops, s.prefetch_failures
+                        );
+                    }
+                }
+                let log = doc.trace();
+                let degs = log.degradations();
+                if degs.is_empty() {
+                    println!("  no degradations recorded — every answer seen so far is genuine");
+                } else {
+                    println!("  {} degradation(s); most recent, with the command to blame:", degs.len());
+                    for e in degs.iter().rev().take(5) {
+                        let span = log.by_span(e.span);
+                        let blame = span
+                            .first()
+                            .map(|s| s.to_string())
+                            .unwrap_or_else(|| "<span fell off the ring>".into());
+                        println!("    {e}");
+                        println!("      ↳ caused by {blame}");
+                    }
                 }
             }
             Some("q") => break,

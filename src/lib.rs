@@ -81,7 +81,8 @@ pub mod prelude {
         TreeWrapper,
     };
     pub use mix_core::{
-        eager, Engine, EngineConfig, SourceRegistry, VirtualDocument, VirtualElement,
+        eager, Degraded, Engine, EngineConfig, SourceRegistry, TraceKind, TraceLog, TraceSink,
+        VirtualDocument, VirtualElement,
     };
     pub use mix_nav::{explore::materialize, LabelPred, Navigator};
     pub use mix_xmas::{parse_path, parse_query};
