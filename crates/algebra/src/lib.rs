@@ -30,7 +30,7 @@ pub mod translate;
 
 pub use browsability::{classify, Browsability, NcCapabilities};
 pub use compose::compose;
-pub use plan::{GroupItem, Plan, PlanId, PlanNode};
+pub use plan::{GroupItem, OpId, Plan, PlanId, PlanNode};
 pub use pred::{BindPred, PredOperand};
 pub use translate::translate;
 

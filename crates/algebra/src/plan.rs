@@ -36,6 +36,30 @@ impl PlanId {
     }
 }
 
+/// Stable identity of one operator *instance*, assigned at plan-build
+/// time ([`Plan::add`]) from a per-plan counter and never reused. Unlike
+/// [`PlanId`] — a positional arena index — an `OpId` is meant to travel
+/// outside the plan: live-metric series and `explain_analyze` rows are
+/// keyed by it, so per-operator numbers stay attributable even across
+/// rewrites that rearrange or strand arena slots. Assignment order is
+/// deterministic (add order), so equal construction sequences yield equal
+/// ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub(crate) u32);
+
+impl OpId {
+    /// Raw value.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
 /// One `groupBy` output: collect `value` into a list bound to `out`.
 ///
 /// The paper's `groupBy_{v1…vk},v→l` collects a single variable; allowing a
@@ -149,20 +173,79 @@ impl PlanNode {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Plan {
     nodes: Vec<PlanNode>,
+    /// The stable operator identity of each arena slot (parallel to
+    /// `nodes`), handed out by `add` from `next_op`.
+    op_ids: Vec<OpId>,
+    next_op: u32,
     root: Option<PlanId>,
 }
 
 impl Plan {
     /// An empty plan under construction.
     pub fn new() -> Self {
-        Plan { nodes: Vec::new(), root: None }
+        Plan { nodes: Vec::new(), op_ids: Vec::new(), next_op: 0, root: None }
     }
 
-    /// Append a node and return its id.
+    /// Append a node and return its id. This is the single node-creation
+    /// point (the translator builds plans exclusively through it), so it
+    /// is also where each operator instance receives its stable [`OpId`].
     pub fn add(&mut self, node: PlanNode) -> PlanId {
         let id = PlanId(self.nodes.len());
         self.nodes.push(node);
+        self.op_ids.push(OpId(self.next_op));
+        self.next_op += 1;
         id
+    }
+
+    /// The stable operator identity of the node at `id`.
+    pub fn op_id(&self, id: PlanId) -> OpId {
+        self.op_ids[id.0]
+    }
+
+    /// A compact, metrics-friendly label for the operator instance at
+    /// `id`, e.g. `groupBy#7` — the operator name plus its [`OpId`], used
+    /// as the `op` label of per-operator metric series.
+    pub fn op_label(&self, id: PlanId) -> String {
+        format!("{}#{}", self.node(id).op_name(), self.op_ids[id.0].0)
+    }
+
+    /// One-line description of the operator at `id` in the notation of
+    /// Figure 4, e.g. `getDescendants $H,zip._ -> $V1` — shared by
+    /// [`Plan`]'s `Display` tree and the engine's `explain_analyze`.
+    pub fn node_desc(&self, id: PlanId) -> String {
+        match self.node(id) {
+            PlanNode::Source { name, out } => format!("source {name} -> {out}"),
+            PlanNode::GetDescendants { parent, path, out, .. } => {
+                format!("getDescendants {parent},{path} -> {out}")
+            }
+            PlanNode::Select { pred, .. } => format!("select {pred}"),
+            PlanNode::Join { pred, .. } => format!("join {pred}"),
+            PlanNode::Cross { .. } => "cross".into(),
+            PlanNode::Union { .. } => "union".into(),
+            PlanNode::Difference { .. } => "difference".into(),
+            PlanNode::Project { keep, .. } => {
+                let names: Vec<String> = keep.iter().map(|v| v.to_string()).collect();
+                format!("project {}", names.join(","))
+            }
+            PlanNode::GroupBy { group, items, .. } => {
+                let g: Vec<String> = group.iter().map(|v| v.to_string()).collect();
+                let it: Vec<String> =
+                    items.iter().map(|i| format!("{} -> {}", i.value, i.out)).collect();
+                format!("groupBy {{{}}} {}", g.join(","), it.join(", "))
+            }
+            PlanNode::Concatenate { x, y, out, .. } => format!("concatenate {x},{y} -> {out}"),
+            PlanNode::CreateElement { label, ch, out, .. } => {
+                format!("createElement {label},{ch} -> {out}")
+            }
+            PlanNode::Constant { value, out, .. } => format!("constant {value} -> {out}"),
+            PlanNode::Wrap { var, out, .. } => format!("wrap {var} -> {out}"),
+            PlanNode::OrderBy { keys, .. } => {
+                let names: Vec<String> = keys.iter().map(|v| v.to_string()).collect();
+                format!("orderBy {}", names.join(","))
+            }
+            PlanNode::TupleDestroy { var, .. } => format!("tupleDestroy {var}"),
+            PlanNode::Materialize { .. } => "materialize".into(),
+        }
     }
 
     /// Mark the root operator.
@@ -465,45 +548,8 @@ impl fmt::Display for Plan {
             for _ in 0..depth {
                 write!(f, "  ")?;
             }
-            let n = plan.node(id);
-            match n {
-                PlanNode::Source { name, out } => writeln!(f, "source {name} -> {out}")?,
-                PlanNode::GetDescendants { parent, path, out, .. } => {
-                    writeln!(f, "getDescendants {parent},{path} -> {out}")?
-                }
-                PlanNode::Select { pred, .. } => writeln!(f, "select {pred}")?,
-                PlanNode::Join { pred, .. } => writeln!(f, "join {pred}")?,
-                PlanNode::Cross { .. } => writeln!(f, "cross")?,
-                PlanNode::Union { .. } => writeln!(f, "union")?,
-                PlanNode::Difference { .. } => writeln!(f, "difference")?,
-                PlanNode::Project { keep, .. } => {
-                    let names: Vec<String> = keep.iter().map(|v| v.to_string()).collect();
-                    writeln!(f, "project {}", names.join(","))?
-                }
-                PlanNode::GroupBy { group, items, .. } => {
-                    let g: Vec<String> = group.iter().map(|v| v.to_string()).collect();
-                    let it: Vec<String> =
-                        items.iter().map(|i| format!("{} -> {}", i.value, i.out)).collect();
-                    writeln!(f, "groupBy {{{}}} {}", g.join(","), it.join(", "))?
-                }
-                PlanNode::Concatenate { x, y, out, .. } => {
-                    writeln!(f, "concatenate {x},{y} -> {out}")?
-                }
-                PlanNode::CreateElement { label, ch, out, .. } => {
-                    writeln!(f, "createElement {label},{ch} -> {out}")?
-                }
-                PlanNode::Constant { value, out, .. } => {
-                    writeln!(f, "constant {value} -> {out}")?
-                }
-                PlanNode::Wrap { var, out, .. } => writeln!(f, "wrap {var} -> {out}")?,
-                PlanNode::OrderBy { keys, .. } => {
-                    let names: Vec<String> = keys.iter().map(|v| v.to_string()).collect();
-                    writeln!(f, "orderBy {}", names.join(","))?
-                }
-                PlanNode::TupleDestroy { var, .. } => writeln!(f, "tupleDestroy {var}")?,
-                PlanNode::Materialize { .. } => writeln!(f, "materialize")?,
-            }
-            for input in n.inputs() {
+            writeln!(f, "{}", plan.node_desc(id))?;
+            for input in plan.node(id).inputs() {
                 go(plan, input, depth + 1, f)?;
             }
             Ok(())
@@ -660,6 +706,25 @@ mod tests {
         assert!(text.contains("join $V1 = $V2"));
         assert!(text.contains("getDescendants $R1,homes.home -> $H"));
         assert!(text.contains("source schoolsSrc -> $R2"));
+    }
+
+    #[test]
+    fn op_ids_are_stable_and_deterministic() {
+        let p = fig4_plan();
+        // Deterministic: add order is the id order.
+        for (i, id) in (0..p.len()).map(PlanId).enumerate() {
+            assert_eq!(p.op_id(id).index(), i as u32);
+        }
+        // Stable across clones (metric series keyed by OpId keep matching).
+        let q = p.clone();
+        assert_eq!(q.op_id(PlanId(3)), p.op_id(PlanId(3)));
+        // Two identically-built plans agree, so plan equality still holds.
+        assert_eq!(fig4_plan(), p);
+        // Labels combine operator name and instance id.
+        assert_eq!(p.op_label(PlanId(0)), "source#0");
+        assert!(p.op_label(p.root()).starts_with("tupleDestroy#"));
+        // node_desc is the Display line.
+        assert_eq!(p.node_desc(p.root()), "tupleDestroy $A");
     }
 
     #[test]

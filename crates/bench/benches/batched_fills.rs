@@ -5,7 +5,7 @@
 //! lives in the `experiments` binary's E14 table / `BENCH_E14.json`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mix_buffer::{BufferNavigator, FillPolicy, TreeWrapper};
+use mix_buffer::{BufferNavigator, FillPolicy, MetricsRegistry, TreeWrapper};
 use mix_nav::explore::materialize;
 use mix_wrappers::gen;
 use mix_wrappers::RelationalWrapper;
@@ -15,14 +15,18 @@ fn bench_relational_batching(c: &mut Criterion) {
     group.sample_size(10);
     let rows = 5_000;
     let chunk = 10;
-    // (label, batch limit = wrapper budget; 0 disables batching, adaptive)
+    // (label, batch limit = wrapper budget; 0 disables batching, adaptive,
+    //  metered = recording into an enabled registry — the E16 overhead
+    //  contract: `metered` within ~10% of its unmetered twin, the plain
+    //  modes unaffected by the registry existing at all)
     let modes = [
-        ("unbatched", 0usize, false),
-        ("batched_x4", 4, false),
-        ("batched_x16", 16, false),
-        ("batched_x16_adaptive", 16, true),
+        ("unbatched", 0usize, false, false),
+        ("batched_x4", 4, false, false),
+        ("batched_x16", 16, false, false),
+        ("batched_x16_adaptive", 16, true, false),
+        ("batched_x16_metered", 16, false, true),
     ];
-    for (name, batch, adaptive) in modes {
+    for (name, batch, adaptive, metered) in modes {
         group.bench_with_input(BenchmarkId::from_parameter(name), &batch, |b, &batch| {
             b.iter_batched(
                 || {
@@ -36,6 +40,9 @@ fn bench_relational_batching(c: &mut Criterion) {
                     let mut nav = BufferNavigator::new(w, "realestate");
                     if batch > 0 {
                         nav = nav.batched(batch);
+                    }
+                    if metered {
+                        nav = nav.with_metrics(MetricsRegistry::enabled());
                     }
                     nav
                 },

@@ -26,13 +26,14 @@
 use crate::fragment::Fragment;
 use crate::health::SourceHealth;
 use crate::lxp::{check_batch_shape, check_progress, HoleId, LxpWrapper};
+use crate::metrics::{Counter, Gauge, Histogram, MetricsRegistry, RetryMetrics};
 use crate::retry::{RetryError, RetryPolicy, RetryState};
 use crate::trace::{TraceKind, TraceSink};
 use mix_nav::Navigator;
 use mix_xml::Label;
 use std::cell::{Cell, RefCell};
 use std::fmt;
-use std::rc::Rc;
+use std::time::Instant;
 
 /// Stable identifier of a buffered node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -45,26 +46,24 @@ impl BufNodeId {
 }
 
 /// Shared counters describing buffer/wrapper traffic.
+///
+/// These are *always on* — they are the single source of truth behind
+/// `Engine::traffic()` and the profiler — and since this PR they are
+/// metric cells ([`Counter`]/[`Gauge`]), so [`BufferStats::bind_into`]
+/// can register the very same storage in a [`MetricsRegistry`]: a
+/// metrics snapshot, the engine's traffic surface, and the trace rollup
+/// all read identical memory, by construction.
 #[derive(Clone, Default, Debug)]
 pub struct BufferStats {
-    inner: Rc<StatCells>,
-}
-
-#[derive(Default, Debug)]
-struct StatCells {
-    fills: Cell<u64>,
-    get_roots: Cell<u64>,
-    nodes_received: Cell<u64>,
-    bytes_received: Cell<u64>,
-    requests: Cell<u64>,
-    batched_holes: Cell<u64>,
-    wasted_bytes: Cell<u64>,
-}
-
-impl StatCells {
-    fn bump(cell: &Cell<u64>, by: u64) {
-        cell.set(cell.get() + by);
-    }
+    fills: Counter,
+    get_roots: Counter,
+    nodes_received: Counter,
+    bytes_received: Counter,
+    requests: Counter,
+    batched_holes: Counter,
+    /// A gauge, not a counter: consuming a parked batch reply *credits*
+    /// its bytes back.
+    wasted_bytes: Gauge,
 }
 
 /// A point-in-time copy of [`BufferStats`].
@@ -113,25 +112,125 @@ impl BufferStats {
     /// Read the current totals.
     pub fn snapshot(&self) -> BufferStatsSnapshot {
         BufferStatsSnapshot {
-            fills: self.inner.fills.get(),
-            get_roots: self.inner.get_roots.get(),
-            nodes_received: self.inner.nodes_received.get(),
-            bytes_received: self.inner.bytes_received.get(),
-            requests: self.inner.requests.get(),
-            batched_holes: self.inner.batched_holes.get(),
-            wasted_bytes: self.inner.wasted_bytes.get(),
+            fills: self.fills.get(),
+            get_roots: self.get_roots.get(),
+            nodes_received: self.nodes_received.get(),
+            bytes_received: self.bytes_received.get(),
+            requests: self.requests.get(),
+            batched_holes: self.batched_holes.get(),
+            wasted_bytes: self.wasted_bytes.get(),
         }
     }
 
     /// Reset all counters.
     pub fn reset(&self) {
-        self.inner.fills.set(0);
-        self.inner.get_roots.set(0);
-        self.inner.nodes_received.set(0);
-        self.inner.bytes_received.set(0);
-        self.inner.requests.set(0);
-        self.inner.batched_holes.set(0);
-        self.inner.wasted_bytes.set(0);
+        self.fills.reset();
+        self.get_roots.reset();
+        self.nodes_received.reset();
+        self.bytes_received.reset();
+        self.requests.reset();
+        self.batched_holes.reset();
+        self.wasted_bytes.set(0);
+    }
+
+    /// Register these counters' *cells* in `registry` under the canonical
+    /// `mix_*` wire-traffic series, labelled with `source` — the
+    /// deduplication point: after this, `snapshot()` and the registry
+    /// read the same storage.
+    pub fn bind_into(&self, registry: &MetricsRegistry, source: &str) {
+        let l = &[("source", source)][..];
+        registry.bind_counter(
+            "mix_fills_total",
+            "Per-hole fill replies consumed by the buffer",
+            l,
+            &self.fills,
+        );
+        registry.bind_counter("mix_get_roots_total", "LXP get_root requests", l, &self.get_roots);
+        registry.bind_counter(
+            "mix_nodes_received_total",
+            "Non-hole fragment nodes received",
+            l,
+            &self.nodes_received,
+        );
+        registry.bind_counter(
+            "mix_bytes_received_total",
+            "Approximate wire bytes received",
+            l,
+            &self.bytes_received,
+        );
+        registry.bind_counter(
+            "mix_requests_total",
+            "Wire exchanges for fills (fill or fill_many calls)",
+            l,
+            &self.requests,
+        );
+        registry.bind_counter(
+            "mix_batched_holes_total",
+            "Per-hole replies received across batched exchanges",
+            l,
+            &self.batched_holes,
+        );
+        registry.bind_gauge(
+            "mix_wasted_bytes",
+            "Speculative bytes not (or not yet) consumed by navigation",
+            l,
+            &self.wasted_bytes,
+        );
+    }
+}
+
+/// Gated (enabled-guarded) buffer metrics beyond the always-on traffic
+/// counters: latency/size distributions, batch-cache effectiveness,
+/// retries, and degradations. Recording costs one relaxed flag read when
+/// the registry is off.
+#[derive(Clone, Debug)]
+pub(crate) struct BufMetrics {
+    registry: MetricsRegistry,
+    fill_latency_ns: Histogram,
+    fill_bytes: Histogram,
+    batch_cache_hits: Counter,
+    batch_cache_misses: Counter,
+    degradations: Counter,
+    pub(crate) retry: RetryMetrics,
+}
+
+impl BufMetrics {
+    fn new(registry: &MetricsRegistry, source: &str) -> Self {
+        let l = &[("source", source)][..];
+        BufMetrics {
+            registry: registry.clone(),
+            fill_latency_ns: registry.histogram(
+                "mix_fill_latency_ns",
+                "Wall-clock nanoseconds per wire fill exchange",
+                l,
+            ),
+            fill_bytes: registry.histogram(
+                "mix_fill_bytes",
+                "Wire bytes per fill exchange",
+                l,
+            ),
+            batch_cache_hits: registry.counter(
+                "mix_batch_cache_hits_total",
+                "Fills answered from the pending batch cache (no wire)",
+                l,
+            ),
+            batch_cache_misses: registry.counter(
+                "mix_batch_cache_misses_total",
+                "Batched fills that had to go to the wire",
+                l,
+            ),
+            degradations: registry.counter(
+                "mix_degradations_total",
+                "Navigations answered from the degradation fallback",
+                l,
+            ),
+            retry: RetryMetrics::new(registry, source),
+        }
+    }
+
+    #[inline]
+    fn on(&self) -> bool {
+        self.registry.is_enabled()
     }
 }
 
@@ -234,6 +333,10 @@ pub struct BufferNavigator<W> {
     pending: std::collections::HashMap<HoleId, Vec<Fragment>>,
     /// Flight recorder for this conversation (off by default).
     trace: TraceSink,
+    /// Live metrics for this conversation. Backed by a default-constructed
+    /// (off, unless `MIX_METRICS_FORCE=1`) registry until
+    /// [`BufferNavigator::with_metrics`] hands in a shared one.
+    metrics: BufMetrics,
     /// Monotone count of degraded navigations — the epoch a caller
     /// compares around a navigation to tell a degraded fallback from a
     /// legitimate answer.
@@ -255,12 +358,17 @@ impl<W: LxpWrapper> BufferNavigator<W> {
 
     /// Create a buffer with an explicit retry/backoff/breaker policy.
     pub fn with_retry(wrapper: W, uri: impl Into<String>, policy: RetryPolicy) -> Self {
+        let uri: String = uri.into();
+        let registry = MetricsRegistry::default();
+        let stats = BufferStats::new();
+        stats.bind_into(&registry, &uri);
         BufferNavigator {
             wrapper,
-            uri: uri.into(),
+            metrics: BufMetrics::new(&registry, &uri),
+            uri,
             nodes: Vec::new(),
             connected: false,
-            stats: BufferStats::new(),
+            stats,
             policy,
             retry: RetryState::new(),
             health: SourceHealth::new(),
@@ -278,6 +386,23 @@ impl<W: LxpWrapper> BufferNavigator<W> {
     pub fn with_trace(mut self, sink: TraceSink) -> Self {
         self.trace = sink;
         self
+    }
+
+    /// Attach a shared metrics registry. The buffer's always-on traffic
+    /// counters are (re)bound into it under `mix_*` series labelled with
+    /// this buffer's uri, and the gated series (fill latency/size
+    /// histograms, batch-cache hits/misses, retries, degradations) start
+    /// recording whenever the registry is enabled. Hand the engine's
+    /// registry here so one snapshot covers the whole mediator stack.
+    pub fn with_metrics(mut self, registry: MetricsRegistry) -> Self {
+        self.stats.bind_into(&registry, &self.uri);
+        self.metrics = BufMetrics::new(&registry, &self.uri);
+        self
+    }
+
+    /// A handle to the metrics registry this buffer records into.
+    pub fn metrics_registry(&self) -> MetricsRegistry {
+        self.metrics.registry.clone()
     }
 
     /// Override the per-navigation fill budget (default [`FILL_FUEL`]).
@@ -400,25 +525,37 @@ impl<W: LxpWrapper> BufferNavigator<W> {
         if self.batch_limit > 1 {
             return self.try_fill_batched(hole);
         }
+        let timer = self.metrics.on().then(Instant::now);
         let wrapper = &mut self.wrapper;
         let reply = self
             .retry
-            .run_traced(&self.policy, &self.health, &self.trace, Some(self.uri.as_str()), hole, || {
-                let reply = wrapper.fill(hole)?;
-                check_progress(&reply)?;
-                Ok(reply)
-            })
+            .run_observed(
+                &self.policy,
+                &self.health,
+                &self.trace,
+                Some(&self.metrics.retry),
+                Some(self.uri.as_str()),
+                hole,
+                || {
+                    let reply = wrapper.fill(hole)?;
+                    check_progress(&reply)?;
+                    Ok(reply)
+                },
+            )
             .map_err(|error| BufferError::Lxp { request: format!("fill({hole})"), error })?;
-        let cells = &self.stats.inner;
-        StatCells::bump(&cells.fills, 1);
-        StatCells::bump(&cells.requests, 1);
+        self.stats.fills.inc();
+        self.stats.requests.inc();
         let (mut nodes, mut bytes) = (0u64, 0u64);
         for f in &reply {
             nodes += f.node_count() as u64;
             bytes += f.wire_bytes() as u64;
         }
-        StatCells::bump(&cells.nodes_received, nodes);
-        StatCells::bump(&cells.bytes_received, bytes);
+        self.stats.nodes_received.add(nodes);
+        self.stats.bytes_received.add(bytes);
+        if let Some(t) = timer {
+            self.metrics.fill_latency_ns.observe(t.elapsed().as_nanos() as u64);
+            self.metrics.fill_bytes.observe(bytes);
+        }
         if self.trace.is_enabled() {
             self.trace.emit(
                 Some(self.uri.as_str()),
@@ -440,14 +577,14 @@ impl<W: LxpWrapper> BufferNavigator<W> {
     /// the open tree, splice only `hole`'s reply, and stash the rest.
     fn try_fill_batched(&mut self, hole: &HoleId) -> Result<Vec<Fragment>, BufferError> {
         if let Some(reply) = self.pending.remove(hole) {
-            let cells = &self.stats.inner;
-            StatCells::bump(&cells.fills, 1);
+            self.stats.fills.inc();
+            if self.metrics.on() {
+                self.metrics.batch_cache_hits.inc();
+            }
             // The bytes are no longer speculative waste: a navigation
             // actually needed them.
             let bytes: u64 = reply.iter().map(|f| f.wire_bytes() as u64).sum();
-            let waste_before = cells.wasted_bytes.get();
-            let waste_after = waste_before.saturating_sub(bytes);
-            cells.wasted_bytes.set(waste_after);
+            let credited = self.stats.wasted_bytes.sub_saturating(bytes);
             if self.trace.is_enabled() {
                 let nodes: u64 = reply.iter().map(|f| f.node_count() as u64).sum();
                 self.trace.emit(
@@ -460,41 +597,49 @@ impl<W: LxpWrapper> BufferNavigator<W> {
                         // The delta actually applied, so trace rollups
                         // reproduce `wasted_bytes` exactly even at the
                         // saturation floor.
-                        waste_credit: waste_before - waste_after,
+                        waste_credit: credited,
                     },
                 );
             }
             return Ok(reply);
         }
+        let timer = self.metrics.on().then(Instant::now);
         let batch = self.known_holes(hole);
         let wrapper = &mut self.wrapper;
         let items = self
             .retry
-            .run_traced(&self.policy, &self.health, &self.trace, Some(self.uri.as_str()), hole, || {
-                let items = wrapper.fill_many(&batch)?;
-                check_batch_shape(&batch, &items)?;
-                // The critical hole's reply is held to the progress
-                // invariant strictly; continuation items are vetted (and
-                // merely dropped) below.
-                check_progress(&items[0].fragments)?;
-                Ok(items)
-            })
+            .run_observed(
+                &self.policy,
+                &self.health,
+                &self.trace,
+                Some(&self.metrics.retry),
+                Some(self.uri.as_str()),
+                hole,
+                || {
+                    let items = wrapper.fill_many(&batch)?;
+                    check_batch_shape(&batch, &items)?;
+                    // The critical hole's reply is held to the progress
+                    // invariant strictly; continuation items are vetted (and
+                    // merely dropped) below.
+                    check_progress(&items[0].fragments)?;
+                    Ok(items)
+                },
+            )
             .map_err(|error| BufferError::Lxp {
                 request: format!("fill_many({hole} +{} holes)", batch.len() - 1),
                 error,
             })?;
-        let cells = &self.stats.inner;
-        StatCells::bump(&cells.requests, 1);
-        StatCells::bump(&cells.batched_holes, items.len() as u64);
-        StatCells::bump(&cells.fills, 1);
+        self.stats.requests.inc();
+        self.stats.batched_holes.add(items.len() as u64);
+        self.stats.fills.inc();
         let item_count = items.len() as u64;
         let (mut total_nodes, mut total_bytes, mut total_wasted) = (0u64, 0u64, 0u64);
         let mut critical = None;
         for (k, item) in items.into_iter().enumerate() {
             let bytes: u64 = item.fragments.iter().map(|f| f.wire_bytes() as u64).sum();
             let nodes: u64 = item.fragments.iter().map(|f| f.node_count() as u64).sum();
-            StatCells::bump(&cells.nodes_received, nodes);
-            StatCells::bump(&cells.bytes_received, bytes);
+            self.stats.nodes_received.add(nodes);
+            self.stats.bytes_received.add(bytes);
             total_nodes += nodes;
             total_bytes += bytes;
             if k == 0 {
@@ -506,15 +651,20 @@ impl<W: LxpWrapper> BufferNavigator<W> {
                 // Violating or duplicate speculative reply: dropped — the
                 // client's own fill will face it on the critical path —
                 // and its bytes stay counted as waste for good.
-                StatCells::bump(&cells.wasted_bytes, bytes);
+                self.stats.wasted_bytes.add(bytes);
                 total_wasted += bytes;
             } else {
                 // Parked until a navigation needs it; counted as waste
                 // until then (consumption credits it back).
-                StatCells::bump(&cells.wasted_bytes, bytes);
+                self.stats.wasted_bytes.add(bytes);
                 total_wasted += bytes;
                 self.pending.insert(item.hole, item.fragments);
             }
+        }
+        if let Some(t) = timer {
+            self.metrics.batch_cache_misses.inc();
+            self.metrics.fill_latency_ns.observe(t.elapsed().as_nanos() as u64);
+            self.metrics.fill_bytes.observe(total_bytes);
         }
         if self.trace.is_enabled() {
             self.trace.emit(
@@ -574,17 +724,23 @@ impl<W: LxpWrapper> BufferNavigator<W> {
             return Ok(());
         }
         let uri = self.uri.clone();
-        let cells = &self.stats.inner;
-        cells.get_roots.set(cells.get_roots.get() + 1);
+        self.stats.get_roots.inc();
         if self.trace.is_enabled() {
             self.trace.emit(Some(&uri), TraceKind::GetRoot { uri: uri.clone() });
         }
         let wrapper = &mut self.wrapper;
+        let retry_metrics = self.metrics.retry.clone();
         let mut hole = self
             .retry
-            .run_traced(&self.policy, &self.health, &self.trace, Some(&uri), &uri, || {
-                wrapper.get_root(&uri)
-            })
+            .run_observed(
+                &self.policy,
+                &self.health,
+                &self.trace,
+                Some(&retry_metrics),
+                Some(&uri),
+                &uri,
+                || wrapper.get_root(&uri),
+            )
             .map_err(|error| BufferError::Lxp { request: format!("get_root({uri})"), error })?;
         let mut fuel = self.fill_fuel;
         let root_frag = loop {
@@ -749,6 +905,9 @@ impl<W: LxpWrapper> BufferNavigator<W> {
                 self.health.record_degraded(&e);
                 self.degraded_epoch.set(self.degraded_epoch.get() + 1);
                 *self.last_degraded.borrow_mut() = Some(e.to_string());
+                if self.metrics.on() {
+                    self.metrics.degradations.inc();
+                }
                 if self.trace.is_enabled() {
                     self.trace.emit(
                         Some(self.uri.as_str()),
@@ -1459,6 +1618,86 @@ mod tests {
         let sink = nav.trace_sink();
         assert_eq!(materialize(&mut nav).to_string(), term);
         assert!(sink.is_empty(), "an off sink records nothing");
+    }
+
+    #[test]
+    fn metrics_registry_reads_the_same_cells_as_stats() {
+        let term = "view[t[a,b],t[c,d],t[e,f],t[g,h],t[i,j],t[k,l],t[m,n],t[o,p]]";
+        let tree = parse_term(term).unwrap();
+        let reg = MetricsRegistry::enabled();
+        let wrapper =
+            TreeWrapper::single(&tree, FillPolicy::Chunked { n: 1 }).with_batch_budget(4);
+        let mut nav =
+            BufferNavigator::new(wrapper, "doc").batched(8).with_metrics(reg.clone());
+        let stats = nav.stats();
+        assert_eq!(materialize(&mut nav).to_string(), term);
+        let s = stats.snapshot();
+        let snap = reg.snapshot();
+        let l = &[("source", "doc")][..];
+        // The bound series ARE the stats cells — equality is structural.
+        assert_eq!(snap.value("mix_fills_total", l), Some(s.fills));
+        assert_eq!(snap.value("mix_get_roots_total", l), Some(s.get_roots));
+        assert_eq!(snap.value("mix_requests_total", l), Some(s.requests));
+        assert_eq!(snap.value("mix_batched_holes_total", l), Some(s.batched_holes));
+        assert_eq!(snap.value("mix_nodes_received_total", l), Some(s.nodes_received));
+        assert_eq!(snap.value("mix_bytes_received_total", l), Some(s.bytes_received));
+        assert_eq!(snap.value("mix_wasted_bytes", l), Some(s.wasted_bytes));
+        // Gated series: one latency/size observation per wire exchange,
+        // cache hits + misses partition the fills.
+        let lat = snap.histogram("mix_fill_latency_ns", l).unwrap();
+        assert_eq!(lat.count, s.requests, "one latency sample per wire exchange");
+        let fb = snap.histogram("mix_fill_bytes", l).unwrap();
+        assert_eq!(fb.sum, s.bytes_received, "byte histogram covers all wire bytes");
+        let hits = snap.value("mix_batch_cache_hits_total", l).unwrap();
+        let misses = snap.value("mix_batch_cache_misses_total", l).unwrap();
+        assert_eq!(hits + misses, s.fills, "cache hits and misses partition the fills");
+        assert!(hits > 0, "batched scan served some fills from the cache");
+    }
+
+    #[test]
+    fn disabled_metrics_skip_gated_series_but_keep_traffic_counters() {
+        let term = "view[tuple[a[1],b[2]],tuple[a[3],b[4]]]";
+        let tree = parse_term(term).unwrap();
+        let reg = MetricsRegistry::off();
+        let mut nav =
+            BufferNavigator::new(TreeWrapper::single(&tree, FillPolicy::NodeAtATime), "doc")
+                .with_metrics(reg.clone());
+        assert_eq!(materialize(&mut nav).to_string(), term);
+        let snap = reg.snapshot();
+        let l = &[("source", "doc")][..];
+        // The always-on traffic counters are bound regardless…
+        assert!(snap.value("mix_fills_total", l).unwrap() > 0);
+        // …but the gated series stayed untouched.
+        assert_eq!(snap.histogram("mix_fill_latency_ns", l).unwrap().count, 0);
+        assert_eq!(snap.value("mix_batch_cache_hits_total", l), Some(0));
+        assert_eq!(snap.value("mix_degradations_total", l), Some(0));
+    }
+
+    #[test]
+    fn degradations_and_retries_show_up_in_metrics() {
+        let tree = parse_term("r[a,b,c,d,e]").unwrap();
+        let reg = MetricsRegistry::enabled();
+        let faulty = FaultyWrapper::new(
+            TreeWrapper::single(&tree, FillPolicy::NodeAtATime),
+            FaultConfig::outage_after(4),
+        );
+        let mut nav = BufferNavigator::with_retry(
+            faulty,
+            "doc",
+            RetryPolicy { max_attempts: 2, breaker_threshold: 2, ..RetryPolicy::default() },
+        )
+        .with_metrics(reg.clone());
+        let root = nav.root();
+        let mut p = nav.down(&root).unwrap();
+        while let Some(next) = nav.right(&p) {
+            p = next;
+        }
+        let _ = nav.right(&p); // second failure trips the breaker
+        let snap = reg.snapshot();
+        let l = &[("source", "doc")][..];
+        assert!(snap.value("mix_retries_total", l).unwrap() > 0, "retries recorded");
+        assert!(snap.value("mix_degradations_total", l).unwrap() > 0, "degradations recorded");
+        assert_eq!(snap.value("mix_breaker_opens_total", l), Some(1), "breaker opening recorded");
     }
 
     #[test]

@@ -46,7 +46,11 @@
 //!   and measuring the above;
 //! * [`trace`] — the flight recorder: ring-buffered [`TraceEvent`]s
 //!   (fills, retries, breaker transitions, degradations, prefetch
-//!   hits/misses) shared between buffers and the engine via span ids.
+//!   hits/misses) shared between buffers and the engine via span ids;
+//! * [`metrics`] — the aggregation complement to the recorder: a
+//!   lock-light [`MetricsRegistry`] of atomic counters, gauges, and
+//!   log₂-bucket histograms, zero-cost when off, exportable as JSON or
+//!   Prometheus text.
 //!
 //! The buffer never panics on wrapper failure: transient source errors
 //! are retried away; anything worse degrades navigation gracefully
@@ -57,6 +61,7 @@
 //! [`SourceHealth`]: health::SourceHealth
 //! [`FaultyWrapper`]: fault::FaultyWrapper
 //! [`TraceEvent`]: trace::TraceEvent
+//! [`MetricsRegistry`]: metrics::MetricsRegistry
 
 pub mod adaptive;
 pub mod buffer;
@@ -64,6 +69,7 @@ pub mod fault;
 pub mod fragment;
 pub mod health;
 pub mod lxp;
+pub mod metrics;
 pub mod prefetch;
 pub mod retry;
 pub mod trace;
@@ -75,6 +81,10 @@ pub use fault::{FaultConfig, FaultStats, FaultyWrapper};
 pub use fragment::Fragment;
 pub use health::{HealthSnapshot, HealthStatus, SourceHealth};
 pub use lxp::{chase_continuation, BatchItem, HoleId, LxpError, LxpWrapper};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricKind, MetricsRegistry, MetricsSnapshot,
+    RetryMetrics, Sample, SampleValue, WrapperMetrics,
+};
 pub use prefetch::Prefetcher;
 pub use retry::{RetryError, RetryPolicy};
 pub use trace::{TraceEvent, TraceKind, TraceSink};

@@ -15,8 +15,18 @@
 use crate::fragment::Fragment;
 use crate::health::SourceHealth;
 use crate::lxp::{check_progress, BatchItem, HoleId, LxpError, LxpWrapper};
+use crate::metrics::{Counter, MetricsRegistry};
 use crate::trace::{TraceKind, TraceSink};
 use std::collections::{HashMap, HashSet};
+
+/// Gated prefetch metrics (see [`Prefetcher::with_metrics`]).
+#[derive(Clone, Debug)]
+struct PrefetchMetrics {
+    registry: MetricsRegistry,
+    hits: Counter,
+    misses: Counter,
+    failures: Counter,
+}
 
 /// A readahead adapter around any LXP wrapper.
 pub struct Prefetcher<W> {
@@ -33,6 +43,8 @@ pub struct Prefetcher<W> {
     health: Option<SourceHealth>,
     /// Flight recorder (off by default).
     trace: TraceSink,
+    /// Live metrics (absent by default).
+    metrics: Option<PrefetchMetrics>,
     /// The URI seen at `get_root`, used to attribute trace events.
     tag: Option<String>,
 }
@@ -49,6 +61,7 @@ impl<W: LxpWrapper> Prefetcher<W> {
             failures: 0,
             health: None,
             trace: TraceSink::default(),
+            metrics: None,
             tag: None,
         }
     }
@@ -62,6 +75,32 @@ impl<W: LxpWrapper> Prefetcher<W> {
     /// Attach a flight recorder for hit/miss/failure events.
     pub fn with_trace(mut self, sink: TraceSink) -> Self {
         self.trace = sink;
+        self
+    }
+
+    /// Record readahead hits/misses/failures into a shared metrics
+    /// registry, labelled `source`. Recording is guarded behind the
+    /// registry's enabled flag.
+    pub fn with_metrics(mut self, registry: &MetricsRegistry, source: &str) -> Self {
+        let l = &[("source", source)][..];
+        self.metrics = Some(PrefetchMetrics {
+            registry: registry.clone(),
+            hits: registry.counter(
+                "mix_prefetch_hits_total",
+                "Fills answered from the readahead cache",
+                l,
+            ),
+            misses: registry.counter(
+                "mix_prefetch_misses_total",
+                "Fills that went to the inner wrapper on the critical path",
+                l,
+            ),
+            failures: registry.counter(
+                "mix_prefetch_failures_total",
+                "Speculative readahead fills that errored and were skipped",
+                l,
+            ),
+        });
         self
     }
 
@@ -166,6 +205,11 @@ impl<W: LxpWrapper> Prefetcher<W> {
                                 if let Some(health) = &self.health {
                                     health.record_prefetch_failure();
                                 }
+                                if let Some(m) = &self.metrics {
+                                    if m.registry.is_enabled() {
+                                        m.failures.inc();
+                                    }
+                                }
                                 if self.trace.is_enabled() {
                                     self.trace.emit(
                                         self.tag.as_deref(),
@@ -189,6 +233,15 @@ impl<W: LxpWrapper> Prefetcher<W> {
             self.hits += 1;
         } else {
             self.misses += 1;
+        }
+        if let Some(m) = &self.metrics {
+            if m.registry.is_enabled() {
+                if hit {
+                    m.hits.inc();
+                } else {
+                    m.misses.inc();
+                }
+            }
         }
         if self.trace.is_enabled() {
             let kind = if hit {
@@ -494,6 +547,33 @@ mod tests {
             events.iter().any(|e| matches!(e.kind, TraceKind::PrefetchMiss { .. })),
             "the root fill was a miss: {events:?}"
         );
+    }
+
+    #[test]
+    fn hit_miss_counters_flow_into_a_shared_registry() {
+        let tree = wide_tree(16);
+        let reg = MetricsRegistry::enabled();
+        let inner = TreeWrapper::single(&tree, FillPolicy::NodeAtATime);
+        let mut nav = BufferNavigator::new(
+            Prefetcher::new(inner, 4).with_metrics(&reg, "doc"),
+            "doc",
+        );
+        assert_eq!(materialize(&mut nav), tree);
+        let snap = reg.snapshot();
+        let l = &[("source", "doc")][..];
+        let hits = snap.value("mix_prefetch_hits_total", l).unwrap();
+        let misses = snap.value("mix_prefetch_misses_total", l).unwrap();
+        assert!(hits > 0, "readahead hit");
+        assert!(misses > 0, "at least the root fill missed");
+        // An off registry records nothing, while the local counters keep
+        // counting.
+        let off = MetricsRegistry::off();
+        let inner = TreeWrapper::single(&tree, FillPolicy::NodeAtATime);
+        let mut pf = Prefetcher::new(inner, 4).with_metrics(&off, "doc");
+        let root = pf.get_root("doc").unwrap();
+        let _ = pf.fill(&root).unwrap();
+        assert!(pf.misses() > 0);
+        assert_eq!(off.snapshot().value("mix_prefetch_misses_total", l), Some(0));
     }
 
     #[test]

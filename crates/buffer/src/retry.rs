@@ -14,6 +14,7 @@
 //! degrades immediately instead of timing out again and again.
 
 use crate::lxp::LxpError;
+use crate::metrics::RetryMetrics;
 use crate::trace::{TraceKind, TraceSink};
 
 /// Retry/backoff/breaker knobs for one buffer–wrapper conversation.
@@ -144,6 +145,25 @@ impl RetryState {
         trace: &TraceSink,
         source: Option<&str>,
         request: &str,
+        op: impl FnMut() -> Result<T, LxpError>,
+    ) -> RetryResult<T> {
+        self.run_observed(policy, health, trace, None, source, request, op)
+    }
+
+    /// [`RetryState::run_traced`], additionally bumping the
+    /// retry/breaker-open counters of a live-metrics registry. Metric
+    /// recording is guarded inside [`RetryMetrics`] behind the registry's
+    /// enabled flag, so a disabled registry costs one relaxed load per
+    /// retry.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_observed<T>(
+        &mut self,
+        policy: &RetryPolicy,
+        health: &crate::health::SourceHealth,
+        trace: &TraceSink,
+        metrics: Option<&RetryMetrics>,
+        source: Option<&str>,
+        request: &str,
         mut op: impl FnMut() -> Result<T, LxpError>,
     ) -> RetryResult<T> {
         if self.open {
@@ -158,6 +178,9 @@ impl RetryState {
                 }
                 Err(e) if e.is_transient() && attempt < attempts => {
                     health.record_retry(&e, policy.backoff_cost(attempt));
+                    if let Some(m) = metrics {
+                        m.record_retry();
+                    }
                     if trace.is_enabled() {
                         trace.emit(
                             source,
@@ -171,11 +194,11 @@ impl RetryState {
                     }
                 }
                 Err(e) if e.is_transient() => {
-                    self.note_failure(policy, health, trace, source, request);
+                    self.note_failure(policy, health, trace, metrics, source, request);
                     return Err(RetryError::Exhausted { attempts, last: e });
                 }
                 Err(e) => {
-                    self.note_failure(policy, health, trace, source, request);
+                    self.note_failure(policy, health, trace, metrics, source, request);
                     return Err(RetryError::Permanent(e));
                 }
             }
@@ -195,6 +218,7 @@ impl RetryState {
         policy: &RetryPolicy,
         health: &crate::health::SourceHealth,
         trace: &TraceSink,
+        metrics: Option<&RetryMetrics>,
         source: Option<&str>,
         request: &str,
     ) {
@@ -202,6 +226,9 @@ impl RetryState {
         if policy.breaker_threshold > 0 && self.consecutive_failures >= policy.breaker_threshold {
             self.open = true;
             health.set_breaker(true);
+            if let Some(m) = metrics {
+                m.record_breaker_open();
+            }
             if trace.is_enabled() {
                 trace.emit(source, TraceKind::BreakerOpen { request: request.to_string() });
             }

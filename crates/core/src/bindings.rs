@@ -40,14 +40,25 @@ fn eq_key(t: &Tree) -> String {
 impl Engine {
     /// First binding of an operator's output list.
     pub(crate) fn first_binding(&mut self, op: PlanId) -> Option<BHandle> {
-        if self.trace.is_enabled() {
+        // Metrics: count the call and keep `op` on the attribution stack
+        // while it (and everything it pulls from below) executes.
+        let metered = self.metrics_on();
+        if metered {
+            self.enter_op(op);
+        }
+        let out = if self.trace.is_enabled() {
             let name = self.op(op).kind_name();
             self.trace.emit(None, TraceKind::OperatorIn { op: name, call: "first_binding" });
             let out = self.first_binding_inner(op);
             self.trace.emit(None, TraceKind::OperatorOut { op: name, produced: out.is_some() });
-            return out;
+            out
+        } else {
+            self.first_binding_inner(op)
+        };
+        if metered {
+            self.exit_op(op, out.is_some());
         }
-        self.first_binding_inner(op)
+        out
     }
 
     fn first_binding_inner(&mut self, op: PlanId) -> Option<BHandle> {
@@ -174,14 +185,23 @@ impl Engine {
 
     /// Binding after `b` in an operator's output list.
     pub(crate) fn next_binding(&mut self, op: PlanId, b: &BHandle) -> Option<BHandle> {
-        if self.trace.is_enabled() {
+        let metered = self.metrics_on();
+        if metered {
+            self.enter_op(op);
+        }
+        let out = if self.trace.is_enabled() {
             let name = self.op(op).kind_name();
             self.trace.emit(None, TraceKind::OperatorIn { op: name, call: "next_binding" });
             let out = self.next_binding_inner(op, b);
             self.trace.emit(None, TraceKind::OperatorOut { op: name, produced: out.is_some() });
-            return out;
+            out
+        } else {
+            self.next_binding_inner(op, b)
+        };
+        if metered {
+            self.exit_op(op, out.is_some());
         }
-        self.next_binding_inner(op, b)
+        out
     }
 
     fn next_binding_inner(&mut self, op: PlanId, b: &BHandle) -> Option<BHandle> {
@@ -339,13 +359,24 @@ impl Engine {
     /// Jump to the value of variable `var` in binding `b` of operator
     /// `op` (Appendix A's `b.H` command).
     pub(crate) fn attr(&mut self, op: PlanId, b: &BHandle, var: &Var) -> VNode {
+        // Attribute jumps keep `op` on the attribution stack (they can
+        // trigger source navigation) but are not enumeration calls, so
+        // they don't count toward calls/produced.
+        let metered = self.metrics_on();
+        if metered {
+            self.op_stack.push(op.index() as u32);
+        }
         if self.trace.is_enabled() {
             self.trace.emit(
                 None,
                 TraceKind::AttrJump { op: self.op(op).kind_name(), var: var.to_string() },
             );
         }
-        self.attr_inner(op, b, var)
+        let out = self.attr_inner(op, b, var);
+        if metered {
+            self.op_stack.pop();
+        }
+        out
     }
 
     fn attr_inner(&mut self, op: PlanId, b: &BHandle, var: &Var) -> VNode {

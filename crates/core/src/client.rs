@@ -84,6 +84,22 @@ impl VirtualDocument {
         self.engine.borrow_mut().set_trace_sink(sink);
     }
 
+    /// The engine's live metrics registry (see [`Engine::metrics`]).
+    pub fn metrics(&self) -> crate::MetricsRegistry {
+        self.engine.borrow().metrics()
+    }
+
+    /// A point-in-time copy of every registered metric series.
+    pub fn metrics_snapshot(&self) -> crate::MetricsSnapshot {
+        self.engine.borrow().metrics_snapshot()
+    }
+
+    /// The plan tree annotated with live per-operator metrics (see
+    /// [`Engine::explain_analyze`]).
+    pub fn explain_analyze(&self) -> String {
+        self.engine.borrow().explain_analyze()
+    }
+
     /// A DTD-style structural summary of the *virtual* document, computed
     /// by navigating it lazily — the guide a BBQ-style browser (§6) would
     /// show before the user commits to a query. Navigation costs accrue to

@@ -8,17 +8,19 @@
 //! pulls exactly the source fragments needed to answer it.
 
 use crate::handle::{VData, VNode};
+use crate::metrics::{OpMetrics, NAV_CMDS};
 use crate::ops::OpState;
 use crate::registry::{SharedSource, SourceRegistry};
 use crate::EngineError;
 use mix_algebra::{Plan, PlanId, PlanNode};
 use mix_buffer::{
-    BufferStats, BufferStatsSnapshot, HealthSnapshot, HealthStatus, SourceHealth, TraceKind,
-    TraceSink,
+    BufferStats, BufferStatsSnapshot, Counter, HealthSnapshot, HealthStatus, MetricsRegistry,
+    MetricsSnapshot, SourceHealth, TraceKind, TraceSink,
 };
 use mix_nav::{LabelPred, NavCounters, NavStats, Navigator};
 use mix_xml::{Document, Label};
 use std::collections::HashSet;
+use std::fmt::Write as _;
 use std::rc::Rc;
 
 /// Tuning knobs for the engine; defaults match the paper's system.
@@ -72,6 +74,9 @@ pub(crate) struct SourceConn {
     pub health: Option<SourceHealth>,
     pub stats: Option<BufferStats>,
     pub trace: Option<TraceSink>,
+    pub metrics: Option<MetricsRegistry>,
+    /// `mix_source_navs_total{source,cmd}` cells, indexed like [`NAV_CMDS`].
+    pub navs: [Counter; 4],
 }
 
 /// Per-source navigation statistics.
@@ -110,6 +115,22 @@ pub struct Engine {
     pub(crate) config: EngineConfig,
     pub(crate) trace: TraceSink,
     plan: Plan,
+    /// Live metrics registry (adopted from the first observed source, a
+    /// private disabled one otherwise — `MIX_METRICS_FORCE=1` enables it).
+    pub(crate) metrics: MetricsRegistry,
+    /// Per-operator series, indexed by [`PlanId`].
+    pub(crate) op_metrics: Vec<OpMetrics>,
+    /// `mix_client_commands_total{cmd}` cells, indexed like [`NAV_CMDS`].
+    cmd_counters: [Counter; 4],
+    /// The operator-call stack: plan indices of the operators currently
+    /// enumerating bindings, maintained only while metrics are enabled.
+    /// Source commands are attributed to the top (self) and to every
+    /// distinct entry (cumulative).
+    pub(crate) op_stack: Vec<u32>,
+    /// Plan index of each source's own `source` leaf operator — the
+    /// attribution fallback when the client navigates inside an
+    /// already-produced source value with no operator on the stack.
+    src_leaf_op: Vec<u32>,
 }
 
 /// A checked navigation's evidence that its answer is partial: the
@@ -170,7 +191,60 @@ impl Engine {
         // otherwise. `MIX_TRACE_FORCE=1` enables the fallback sink too.
         let trace =
             sources.iter().find_map(|s| s.trace.clone()).unwrap_or_default();
-        Ok(Engine { ops, sources, root_op, config, trace, plan })
+        // Same adoption rule for the metrics registry, so engine-level
+        // series land next to the buffers' (`MIX_METRICS_FORCE=1` enables
+        // the fallback registry too).
+        let metrics =
+            sources.iter().find_map(|s| s.metrics.clone()).unwrap_or_default();
+        let mut src_leaf_op = vec![0u32; sources.len()];
+        for (i, op) in ops.iter().enumerate() {
+            if let OpState::Source { src, .. } = op {
+                src_leaf_op[*src] = i as u32;
+            }
+        }
+        let mut engine = Engine {
+            ops,
+            sources,
+            root_op,
+            config,
+            trace,
+            plan,
+            metrics,
+            op_metrics: Vec::new(),
+            cmd_counters: Default::default(),
+            op_stack: Vec::new(),
+            src_leaf_op,
+        };
+        engine.register_metric_series();
+        Ok(engine)
+    }
+
+    /// (Re)register the engine's series — per-operator, per client
+    /// command, per (source, command) — in the current registry.
+    /// Registration is an upsert on `(name, labels)`, so rebuilding an
+    /// engine against a shared registry reuses the existing cells.
+    fn register_metric_series(&mut self) {
+        self.op_metrics = (0..self.plan.len())
+            .map(|i| {
+                OpMetrics::new(&self.metrics, &self.plan.op_label(PlanId::from_index(i)))
+            })
+            .collect();
+        self.cmd_counters = NAV_CMDS.map(|cmd| {
+            self.metrics.counter(
+                "mix_client_commands_total",
+                "DOM-VXD commands issued by the client",
+                &[("cmd", cmd)],
+            )
+        });
+        for s in &mut self.sources {
+            s.navs = NAV_CMDS.map(|cmd| {
+                self.metrics.counter(
+                    "mix_source_navs_total",
+                    "Navigation commands the engine issued to this source",
+                    &[("source", &s.name), ("cmd", cmd)],
+                )
+            });
+        }
     }
 
     /// The plan this engine executes.
@@ -208,6 +282,29 @@ impl Engine {
     /// traced sources when buffer-level events should share the ring.
     pub fn set_trace_sink(&mut self, sink: TraceSink) {
         self.trace = sink;
+    }
+
+    /// The engine's live metrics registry. Shared with every buffer that
+    /// was registered with `SourceRegistry::add_navigator_observed`, so
+    /// one snapshot (or Prometheus scrape) covers operators, sources, and
+    /// buffers alike.
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.metrics.clone()
+    }
+
+    /// A point-in-time copy of every registered series.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Replace the engine's registry and re-register the engine-level
+    /// series in it — how an engine over plain (unbuffered) sources opts
+    /// into metrics, or how several engines share one scrape endpoint.
+    /// Buffer-level series are not re-wired; register observed sources
+    /// when buffers should share the registry.
+    pub fn set_metrics(&mut self, registry: MetricsRegistry) {
+        self.metrics = registry;
+        self.register_metric_series();
     }
 
     /// Snapshot of each source's recorded degraded-operation count, for
@@ -312,6 +409,57 @@ impl Engine {
 
     // ---- counted source navigation -------------------------------------
 
+    /// Is metric recording on? One relaxed atomic load — the whole cost
+    /// of this subsystem at every instrumented site when disabled.
+    #[inline]
+    pub(crate) fn metrics_on(&self) -> bool {
+        self.metrics.is_enabled()
+    }
+
+    /// Push `op` onto the operator-call stack and count the call.
+    /// Only invoked when metrics are on; [`Self::exit_op`] must mirror it.
+    pub(crate) fn enter_op(&mut self, op: PlanId) {
+        self.op_stack.push(op.index() as u32);
+        self.op_metrics[op.index()].calls.inc();
+    }
+
+    /// Pop the operator-call stack, crediting a produced binding.
+    pub(crate) fn exit_op(&mut self, op: PlanId, produced: bool) {
+        self.op_stack.pop();
+        if produced {
+            self.op_metrics[op.index()].produced.inc();
+        }
+    }
+
+    /// Attribute one source command: to the `(source, cmd)` series, to
+    /// the operator currently on top of the call stack (self), and to
+    /// every distinct operator on the stack (cumulative). With no
+    /// operator active — the client walking inside an already-produced
+    /// source value — both charges fall to the source's own leaf.
+    fn meter_src(&self, src: usize, cmd: usize) {
+        if !self.metrics_on() {
+            return;
+        }
+        self.sources[src].navs[cmd].inc();
+        match self.op_stack.last() {
+            None => {
+                let leaf = &self.op_metrics[self.src_leaf_op[src] as usize];
+                leaf.src_navs.inc();
+                leaf.src_navs_cum.inc();
+            }
+            Some(&top) => {
+                self.op_metrics[top as usize].src_navs.inc();
+                for (i, &op) in self.op_stack.iter().enumerate() {
+                    // Recursive operators (e.g. join re-entering its own
+                    // scan) appear more than once; charge cum once each.
+                    if !self.op_stack[..i].contains(&op) {
+                        self.op_metrics[op as usize].src_navs_cum.inc();
+                    }
+                }
+            }
+        }
+    }
+
     /// Record one source-level navigation command on the recorder.
     fn trace_src(&self, src: usize, cmd: &'static str) {
         if self.trace.is_enabled() {
@@ -321,6 +469,7 @@ impl Engine {
 
     pub(crate) fn src_down(&mut self, src: usize, h: &mix_nav::DynHandle) -> Option<VNode> {
         self.trace_src(src, "d");
+        self.meter_src(src, 0);
         let conn = &self.sources[src];
         conn.counters.bump_down();
         let out = conn.nav.borrow_mut().down(h)?;
@@ -329,6 +478,7 @@ impl Engine {
 
     pub(crate) fn src_right(&mut self, src: usize, h: &mix_nav::DynHandle) -> Option<VNode> {
         self.trace_src(src, "r");
+        self.meter_src(src, 1);
         let conn = &self.sources[src];
         conn.counters.bump_right();
         let out = conn.nav.borrow_mut().right(h)?;
@@ -337,6 +487,7 @@ impl Engine {
 
     pub(crate) fn src_fetch(&mut self, src: usize, h: &mix_nav::DynHandle) -> Label {
         self.trace_src(src, "f");
+        self.meter_src(src, 2);
         let conn = &self.sources[src];
         conn.counters.bump_fetch();
         conn.nav.borrow_mut().fetch(h)
@@ -349,6 +500,7 @@ impl Engine {
         pred: &LabelPred,
     ) -> Option<VNode> {
         self.trace_src(src, "s");
+        self.meter_src(src, 3);
         let conn = &self.sources[src];
         conn.counters.bump_select();
         let out = conn.nav.borrow_mut().select(h, pred)?;
@@ -359,6 +511,126 @@ impl Engine {
         // Obtaining the root handle is free (§1).
         let h = self.sources[src].nav.borrow_mut().root();
         VNode::new(VData::Src { src, h })
+    }
+
+    // ---- explain analyze -----------------------------------------------
+
+    /// Render the plan tree annotated with live per-operator metrics —
+    /// the paper's Def. 2 made observable. Each operator line shows its
+    /// binding-enumeration calls, how many produced a binding, the source
+    /// commands charged to it alone (`src.self`, a partition of the
+    /// total) and to its whole subtree (`src.cum`), and the navigation
+    /// amplification `amp = src.cum / calls`. A bounded-browsable plan
+    /// holds `amp` roughly constant as the client walks; an unbrowsable
+    /// one (an `orderBy` above the group) spikes it on first touch
+    /// because the whole input materializes behind one call.
+    ///
+    /// Below the tree: per-source wire traffic (always-on buffer
+    /// counters) with the fill-latency summary, client-command totals,
+    /// and the cross-check that per-operator self counts sum exactly to
+    /// the metered per-source command total.
+    pub fn explain_analyze(&self) -> String {
+        fn collect(plan: &Plan, id: PlanId, depth: usize, rows: &mut Vec<(usize, PlanId)>) {
+            rows.push((depth, id));
+            for input in plan.node(id).inputs() {
+                collect(plan, input, depth + 1, rows);
+            }
+        }
+        let mut rows = Vec::new();
+        collect(&self.plan, self.root_op, 0, &mut rows);
+        let descs: Vec<String> = rows
+            .iter()
+            .map(|(d, id)| format!("{}{}", "  ".repeat(*d), self.plan.node_desc(*id)))
+            .collect();
+        let width = descs.iter().map(|d| d.chars().count()).max().unwrap_or(0).max(8);
+
+        let mut out = String::new();
+        let _ = writeln!(out, "EXPLAIN ANALYZE");
+        if !self.metrics.is_enabled() {
+            let _ = writeln!(
+                out,
+                "(metrics disabled — operator/command counts below are zero; enable by \
+                 registering observed sources, Engine::set_metrics, or MIX_METRICS_FORCE=1)"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:width$}  {:>5}  {:>8} {:>8} {:>9} {:>9} {:>8}",
+            "operator", "op", "calls", "produced", "src.self", "src.cum", "amp"
+        );
+        for ((_, id), desc) in rows.iter().zip(&descs) {
+            let m = &self.op_metrics[id.index()];
+            let (calls, cum) = (m.calls.get(), m.src_navs_cum.get());
+            let amp = if calls > 0 {
+                format!("{:.2}", cum as f64 / calls as f64)
+            } else {
+                "-".to_string()
+            };
+            let _ = writeln!(
+                out,
+                "{desc:width$}  {:>5}  {:>8} {:>8} {:>9} {:>9} {:>8}",
+                self.plan.op_id(*id).to_string(),
+                calls,
+                m.produced.get(),
+                m.src_navs.get(),
+                cum,
+                amp
+            );
+        }
+
+        let snap = self.metrics.snapshot();
+        let _ = writeln!(out, "sources:");
+        let _ = writeln!(
+            out,
+            "  {:<14} {:>6} {:>6} {:>6} {:>6} {:>7} | {:>6} {:>6} {:>9} {:>8}  fill ns p50/p95/p99/max",
+            "name", "d", "r", "f", "s", "navs", "reqs", "holes", "bytes", "waste"
+        );
+        for s in &self.sources {
+            let n = s.counters.snapshot();
+            let navs = n.downs + n.rights + n.fetches + n.selects;
+            let wire = s.stats.as_ref().map(BufferStats::snapshot);
+            let col = |v: Option<u64>| v.map_or("-".to_string(), |v| v.to_string());
+            let fill = snap
+                .histogram("mix_fill_latency_ns", &[("source", &s.name)])
+                .filter(|h| h.count > 0)
+                .map(|h| {
+                    let (p50, p95, p99, max) = h.summary();
+                    format!("{p50}/{p95}/{p99}/{max}")
+                })
+                .unwrap_or_else(|| "-".to_string());
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>6} {:>6} {:>6} {:>6} {:>7} | {:>6} {:>6} {:>9} {:>8}  {fill}",
+                s.name,
+                n.downs,
+                n.rights,
+                n.fetches,
+                n.selects,
+                navs,
+                col(wire.map(|t| t.requests)),
+                col(wire.map(|t| t.batched_holes)),
+                col(wire.map(|t| t.bytes_received)),
+                col(wire.map(|t| t.wasted_bytes)),
+            );
+        }
+
+        let cmd_total: u64 = self.cmd_counters.iter().map(Counter::get).sum();
+        let cmds: Vec<String> = NAV_CMDS
+            .iter()
+            .zip(&self.cmd_counters)
+            .map(|(c, k)| format!("{c}={}", k.get()))
+            .collect();
+        let self_sum: u64 = self.op_metrics.iter().map(|m| m.src_navs.get()).sum();
+        let metered_navs: u64 =
+            self.sources.iter().map(|s| s.navs.iter().map(Counter::get).sum::<u64>()).sum();
+        let _ = writeln!(out, "client commands: {} (total {cmd_total})", cmds.join(" "));
+        let _ = writeln!(
+            out,
+            "source navs (metered): {metered_navs}; op src.self sum: {self_sum}; \
+             degradations: {}",
+            self.total_degraded_ops()
+        );
+        out
     }
 }
 
@@ -382,6 +654,10 @@ fn build_op(
                         health: reg.health,
                         stats: reg.stats,
                         trace: reg.trace,
+                        metrics: reg.metrics,
+                        // Placeholder cells; `register_metric_series`
+                        // replaces them once the registry is adopted.
+                        navs: Default::default(),
                     });
                     sources.len() - 1
                 }
@@ -503,12 +779,18 @@ impl Navigator for Engine {
         if self.trace.is_enabled() {
             self.trace.begin_span("d");
         }
+        if self.metrics_on() {
+            self.cmd_counters[0].inc();
+        }
         self.val_down(p)
     }
 
     fn right(&mut self, p: &VNode) -> Option<VNode> {
         if self.trace.is_enabled() {
             self.trace.begin_span("r");
+        }
+        if self.metrics_on() {
+            self.cmd_counters[1].inc();
         }
         self.val_right(p)
     }
@@ -517,12 +799,18 @@ impl Navigator for Engine {
         if self.trace.is_enabled() {
             self.trace.begin_span("f");
         }
+        if self.metrics_on() {
+            self.cmd_counters[2].inc();
+        }
         self.val_fetch(p)
     }
 
     fn select(&mut self, p: &VNode, pred: &LabelPred) -> Option<VNode> {
         if self.trace.is_enabled() {
             self.trace.begin_span("s");
+        }
+        if self.metrics_on() {
+            self.cmd_counters[3].inc();
         }
         self.val_select(p, pred)
     }

@@ -48,6 +48,7 @@ pub mod eager;
 pub mod engine;
 pub mod handle;
 pub mod matchcur;
+pub mod metrics;
 pub mod profile;
 pub(crate) mod ops;
 pub mod registry;
@@ -56,6 +57,10 @@ pub mod values;
 
 pub use client::{VirtualDocument, VirtualElement};
 pub use engine::{Degraded, Engine, EngineConfig, EngineStats};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricKind, MetricsRegistry, MetricsSnapshot,
+    PromFamily, PromSeries, PromText, Sample, SampleValue,
+};
 pub use trace::{SpanStats, TraceEvent, TraceKind, TraceLog, TraceRollup, TraceSink};
 pub use handle::VNode;
 pub use profile::{profile, Profile};

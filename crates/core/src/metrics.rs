@@ -1,0 +1,522 @@
+//! Engine-level metrics: per-operator series and the Prometheus text
+//! parser used to validate exports.
+//!
+//! The metric *primitives* — counters, gauges, log₂ histograms, the
+//! registry — live in `mix_buffer::metrics` next to the buffer counters
+//! they bind ([`MetricsRegistry`] and friends are re-exported here so
+//! engine clients need not depend on `mix-buffer` directly). This module
+//! adds what only the engine can know:
+//!
+//! * `OpMetrics` (crate-private) — the per-operator-instance handles
+//!   behind `mix_op_*_total{op}`. The `op` label is [`Plan::op_label`]'s
+//!   stable `groupBy#7`-style name, assigned at plan-build time.
+//! * [`PromText`] — a small parser for the Prometheus text exposition
+//!   format, enough to round-trip [`MetricsSnapshot::render_prometheus`]
+//!   output and check the structural invariants an exporter must hold
+//!   (metric/label name syntax, family contiguity, bucket monotonicity,
+//!   `_sum`/`_count` consistency). Tests, E16, and the CI smoke step all
+//!   validate exports through this one parser.
+//!
+//! # Attribution model
+//!
+//! Per-operator source-navigation counts come in two flavours, both
+//! maintained by the engine's operator-call stack:
+//!
+//! * **self** (`mix_op_source_navs_total`): each source command is charged
+//!   to the operator *currently executing* — the top of the stack (or the
+//!   source's own leaf operator when the client navigates inside an
+//!   already-produced source value, with no operator active). Self counts
+//!   partition the total: summed over operators they equal the engine's
+//!   per-source command counters exactly.
+//! * **cumulative** (`mix_op_source_navs_cum_total`): the same command is
+//!   also charged to every *distinct* operator on the stack — the classic
+//!   EXPLAIN ANALYZE convention where a parent's cost includes its
+//!   subtree. The root's cumulative count is the whole query's total, and
+//!   `cum / calls` is the per-operator navigation amplification that makes
+//!   Def. 2 browsability *observable*: bounded-browsable plans hold it
+//!   constant while an unbrowsable `orderBy` spikes it on first touch.
+//!
+//! [`Plan::op_label`]: mix_algebra::Plan::op_label
+
+pub use mix_buffer::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricKind, MetricsRegistry, MetricsSnapshot,
+    RetryMetrics, Sample, SampleValue,
+};
+
+/// The client-command / source-command alphabet, in metric label order.
+pub(crate) const NAV_CMDS: [&str; 4] = ["d", "r", "f", "s"];
+
+/// Per-operator-instance metric handles (one set per plan node).
+#[derive(Clone, Debug)]
+pub(crate) struct OpMetrics {
+    /// `first_binding`/`next_binding` invocations on this operator.
+    pub calls: Counter,
+    /// Invocations that produced a binding (vs. exhausted output).
+    pub produced: Counter,
+    /// Source commands charged to this operator alone (self time).
+    pub src_navs: Counter,
+    /// Source commands charged to this operator's whole subtree.
+    pub src_navs_cum: Counter,
+}
+
+impl OpMetrics {
+    /// Register the four per-operator series for `op_label` in `registry`.
+    pub fn new(registry: &MetricsRegistry, op_label: &str) -> Self {
+        let l = &[("op", op_label)][..];
+        OpMetrics {
+            calls: registry.counter(
+                "mix_op_calls_total",
+                "Binding enumeration calls on this operator",
+                l,
+            ),
+            produced: registry.counter(
+                "mix_op_produced_total",
+                "Binding enumeration calls that produced a binding",
+                l,
+            ),
+            src_navs: registry.counter(
+                "mix_op_source_navs_total",
+                "Source navigation commands charged to this operator (self)",
+                l,
+            ),
+            src_navs_cum: registry.counter(
+                "mix_op_source_navs_cum_total",
+                "Source navigation commands charged to this operator's subtree",
+                l,
+            ),
+        }
+    }
+}
+
+// ---- Prometheus text exposition parser ---------------------------------
+
+/// One parsed sample line: `name{labels} value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSeries {
+    /// The sample name as written — for histograms this includes the
+    /// `_bucket`/`_sum`/`_count` suffix.
+    pub name: String,
+    /// Label pairs in written order (includes `le` on bucket lines).
+    pub labels: Vec<(String, String)>,
+    /// The sample value (`+Inf` bucket bounds live in labels, values are
+    /// finite in everything this crate emits).
+    pub value: f64,
+}
+
+/// One metric family: a `# HELP`/`# TYPE` header plus its samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromFamily {
+    /// The family (base) name from the header lines.
+    pub name: String,
+    /// The `# HELP` text.
+    pub help: String,
+    /// The `# TYPE` keyword: `counter`, `gauge`, or `histogram`.
+    pub kind: String,
+    /// Sample lines, in exposition order.
+    pub series: Vec<PromSeries>,
+}
+
+/// A parsed Prometheus text exposition.
+///
+/// [`PromText::parse`] enforces the format's structural rules strictly —
+/// it is the round-trip oracle for [`MetricsSnapshot::render_prometheus`],
+/// not a lenient scraper.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PromText {
+    /// Families in exposition order.
+    pub families: Vec<PromFamily>,
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Parsed labels plus the remainder of the line after the closing brace.
+type ParsedLabels<'a> = (Vec<(String, String)>, &'a str);
+
+/// Parse a `{k="v",…}` label block; `rest` starts at `{`. Returns the
+/// labels and the remainder after the closing brace.
+fn parse_labels(rest: &str) -> Result<ParsedLabels<'_>, String> {
+    let body = rest.strip_prefix('{').ok_or("expected `{`")?;
+    let mut labels = Vec::new();
+    let mut chars = body.char_indices().peekable();
+    loop {
+        // Label name up to `=`.
+        let start = match chars.peek() {
+            Some(&(i, '}')) => {
+                if !labels.is_empty() {
+                    return Err("trailing comma in label block".into());
+                }
+                return Ok((labels, &body[i + 1..]));
+            }
+            Some(&(i, _)) => i,
+            None => return Err("unterminated label block".into()),
+        };
+        let eq =
+            chars.clone().find(|&(_, c)| c == '=').map(|(i, _)| i).ok_or("label without `=`")?;
+        let name = &body[start..eq];
+        if !valid_label_name(name) {
+            return Err(format!("invalid label name `{name}`"));
+        }
+        while let Some(&(i, _)) = chars.peek() {
+            if i > eq {
+                break;
+            }
+            chars.next();
+        }
+        // Quoted value with escapes.
+        match chars.next() {
+            Some((_, '"')) => {}
+            _ => return Err(format!("label `{name}` value is not quoted")),
+        }
+        let mut value = String::new();
+        let mut closed = false;
+        while let Some((_, c)) = chars.next() {
+            match c {
+                '"' => {
+                    closed = true;
+                    break;
+                }
+                '\\' => match chars.next() {
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, 'n')) => value.push('\n'),
+                    other => return Err(format!("bad escape {other:?} in label `{name}`")),
+                },
+                c => value.push(c),
+            }
+        }
+        if !closed {
+            return Err(format!("unterminated value for label `{name}`"));
+        }
+        labels.push((name.to_string(), value));
+        match chars.next() {
+            Some((_, ',')) => continue,
+            Some((i, '}')) => return Ok((labels, &body[i + 1..])),
+            other => return Err(format!("expected `,` or `}}` after label, got {other:?}")),
+        }
+    }
+}
+
+/// The family a sample name belongs to, given the family's kind:
+/// histograms own their `_bucket`/`_sum`/`_count` suffixed samples.
+fn belongs_to(family: &PromFamily, sample_name: &str) -> bool {
+    if sample_name == family.name {
+        return family.kind != "histogram";
+    }
+    family.kind == "histogram"
+        && sample_name
+            .strip_prefix(family.name.as_str())
+            .is_some_and(|sfx| matches!(sfx, "_bucket" | "_sum" | "_count"))
+}
+
+impl PromText {
+    /// Parse a text exposition, enforcing structure as it goes: `# HELP`
+    /// before `# TYPE` before samples, valid metric and label names, every
+    /// sample inside its (contiguous) family.
+    pub fn parse(text: &str) -> Result<PromText, String> {
+        let mut families: Vec<PromFamily> = Vec::new();
+        let mut pending_help: Option<(String, String)> = None;
+        for (lineno, line) in text.lines().enumerate() {
+            let n = lineno + 1;
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let (name, help) =
+                    rest.split_once(' ').ok_or_else(|| format!("line {n}: HELP without text"))?;
+                if !valid_metric_name(name) {
+                    return Err(format!("line {n}: invalid metric name `{name}`"));
+                }
+                if families.iter().any(|f| f.name == name) {
+                    return Err(format!("line {n}: family `{name}` declared twice"));
+                }
+                pending_help = Some((name.to_string(), help.to_string()));
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let (name, kind) =
+                    rest.split_once(' ').ok_or_else(|| format!("line {n}: TYPE without kind"))?;
+                let Some((help_name, help)) = pending_help.take() else {
+                    return Err(format!("line {n}: TYPE `{name}` without preceding HELP"));
+                };
+                if help_name != name {
+                    return Err(format!(
+                        "line {n}: TYPE `{name}` does not match HELP `{help_name}`"
+                    ));
+                }
+                if !matches!(kind, "counter" | "gauge" | "histogram") {
+                    return Err(format!("line {n}: unsupported TYPE `{kind}`"));
+                }
+                families.push(PromFamily {
+                    name: name.to_string(),
+                    help,
+                    kind: kind.to_string(),
+                    series: Vec::new(),
+                });
+                continue;
+            }
+            if line.starts_with('#') {
+                continue; // other comments are legal and ignored
+            }
+            // A sample line: name[{labels}] value
+            let name_end = line
+                .find(['{', ' '])
+                .ok_or_else(|| format!("line {n}: sample without value"))?;
+            let name = &line[..name_end];
+            if !valid_metric_name(name) {
+                return Err(format!("line {n}: invalid sample name `{name}`"));
+            }
+            let rest = &line[name_end..];
+            let (labels, rest) = if rest.starts_with('{') {
+                parse_labels(rest).map_err(|e| format!("line {n}: {e}"))?
+            } else {
+                (Vec::new(), rest)
+            };
+            let value: f64 = rest
+                .trim()
+                .parse()
+                .map_err(|_| format!("line {n}: bad sample value `{}`", rest.trim()))?;
+            let family = families
+                .last_mut()
+                .ok_or_else(|| format!("line {n}: sample `{name}` before any family header"))?;
+            if !belongs_to(family, name) {
+                return Err(format!(
+                    "line {n}: sample `{name}` outside its family (current family \
+                     `{}` — exposition families must be contiguous)",
+                    family.name
+                ));
+            }
+            family.series.push(PromSeries {
+                name: name.to_string(),
+                labels,
+                value,
+            });
+        }
+        if let Some((name, _)) = pending_help {
+            return Err(format!("HELP `{name}` without TYPE"));
+        }
+        let parsed = PromText { families };
+        parsed.validate()?;
+        Ok(parsed)
+    }
+
+    /// Structural invariants beyond line syntax: per histogram series set,
+    /// `le` bounds strictly increase with non-decreasing cumulative
+    /// counts, the `+Inf` bucket exists and agrees with `_count`, and
+    /// `_sum`/`_count` are present exactly once.
+    fn validate(&self) -> Result<(), String> {
+        for f in &self.families {
+            if f.kind != "histogram" {
+                continue;
+            }
+            // Group bucket/sum/count lines by their non-`le` label set.
+            let mut keys: Vec<Vec<(String, String)>> = Vec::new();
+            for s in &f.series {
+                let key: Vec<_> =
+                    s.labels.iter().filter(|(k, _)| k != "le").cloned().collect();
+                if !keys.contains(&key) {
+                    keys.push(key);
+                }
+            }
+            for key in keys {
+                let of_kind = |suffix: &str| -> Vec<&PromSeries> {
+                    let name = format!("{}{suffix}", f.name);
+                    f.series
+                        .iter()
+                        .filter(|s| {
+                            s.name == name
+                                && s.labels
+                                    .iter()
+                                    .filter(|(k, _)| k != "le")
+                                    .cloned()
+                                    .collect::<Vec<_>>()
+                                    == key
+                        })
+                        .collect()
+                };
+                let buckets = of_kind("_bucket");
+                let sums = of_kind("_sum");
+                let counts = of_kind("_count");
+                let ctx = format!("histogram `{}` {key:?}", f.name);
+                if sums.len() != 1 || counts.len() != 1 {
+                    return Err(format!("{ctx}: expected exactly one _sum and _count"));
+                }
+                let mut prev_bound = f64::NEG_INFINITY;
+                let mut prev_cum = 0.0;
+                let mut inf_cum = None;
+                for b in &buckets {
+                    let le = b
+                        .labels
+                        .iter()
+                        .find(|(k, _)| k == "le")
+                        .map(|(_, v)| v.as_str())
+                        .ok_or_else(|| format!("{ctx}: bucket without `le`"))?;
+                    let bound = if le == "+Inf" {
+                        f64::INFINITY
+                    } else {
+                        le.parse().map_err(|_| format!("{ctx}: bad le `{le}`"))?
+                    };
+                    if bound <= prev_bound {
+                        return Err(format!("{ctx}: le bounds not increasing at `{le}`"));
+                    }
+                    if b.value < prev_cum {
+                        return Err(format!("{ctx}: cumulative count decreases at le `{le}`"));
+                    }
+                    prev_bound = bound;
+                    prev_cum = b.value;
+                    if le == "+Inf" {
+                        inf_cum = Some(b.value);
+                    }
+                }
+                let inf = inf_cum.ok_or_else(|| format!("{ctx}: missing +Inf bucket"))?;
+                if inf != counts[0].value {
+                    return Err(format!(
+                        "{ctx}: +Inf bucket {} != _count {}",
+                        inf, counts[0].value
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The value of the sample `name` whose labels match exactly.
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.families.iter().flat_map(|f| &f.series).find_map(|s| {
+            let matches = s.name == name
+                && s.labels.len() == labels.len()
+                && labels
+                    .iter()
+                    .all(|(k, v)| s.labels.iter().any(|(sk, sv)| sk == k && sv == v));
+            matches.then_some(s.value)
+        })
+    }
+
+    /// Sum of every sample with this exact name (base names only — for a
+    /// histogram query its `_count`/`_sum` explicitly).
+    pub fn total(&self, name: &str) -> f64 {
+        self.families
+            .iter()
+            .flat_map(|f| &f.series)
+            .filter(|s| s.name == name)
+            .map(|s| s.value)
+            .sum()
+    }
+
+    /// The family declared for `name`, if any.
+    pub fn family(&self, name: &str) -> Option<&PromFamily> {
+        self.families.iter().find(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_minimal_exposition() {
+        let text = "\
+# HELP mix_req_total Requests served
+# TYPE mix_req_total counter
+mix_req_total{source=\"db\"} 3
+mix_req_total{source=\"web\"} 4
+# HELP mix_waste Speculative bytes
+# TYPE mix_waste gauge
+mix_waste 17
+";
+        let p = PromText::parse(text).unwrap();
+        assert_eq!(p.families.len(), 2);
+        assert_eq!(p.value("mix_req_total", &[("source", "db")]), Some(3.0));
+        assert_eq!(p.total("mix_req_total"), 7.0);
+        assert_eq!(p.value("mix_waste", &[]), Some(17.0));
+        assert_eq!(p.family("mix_req_total").unwrap().kind, "counter");
+    }
+
+    #[test]
+    fn parses_histograms_and_checks_their_invariants() {
+        let text = "\
+# HELP mix_lat Latency
+# TYPE mix_lat histogram
+mix_lat_bucket{source=\"db\",le=\"1\"} 1
+mix_lat_bucket{source=\"db\",le=\"3\"} 2
+mix_lat_bucket{source=\"db\",le=\"+Inf\"} 2
+mix_lat_sum{source=\"db\"} 4
+mix_lat_count{source=\"db\"} 2
+";
+        let p = PromText::parse(text).unwrap();
+        assert_eq!(p.value("mix_lat_count", &[("source", "db")]), Some(2.0));
+        assert_eq!(
+            p.value("mix_lat_bucket", &[("source", "db"), ("le", "3")]),
+            Some(2.0)
+        );
+
+        // Broken invariants are each rejected.
+        let decreasing = text.replace("le=\"3\"} 2", "le=\"3\"} 0");
+        assert!(PromText::parse(&decreasing).unwrap_err().contains("decreases"));
+        let unsorted = text.replace("le=\"3\"", "le=\"0.5\"");
+        assert!(PromText::parse(&unsorted).unwrap_err().contains("not increasing"));
+        let inf_mismatch = text.replace("mix_lat_count{source=\"db\"} 2", "mix_lat_count{source=\"db\"} 3");
+        assert!(PromText::parse(&inf_mismatch).unwrap_err().contains("_count"));
+        let no_inf = text
+            .replace("mix_lat_bucket{source=\"db\",le=\"+Inf\"} 2\n", "");
+        assert!(PromText::parse(&no_inf).unwrap_err().contains("+Inf"));
+    }
+
+    #[test]
+    fn rejects_malformed_structure() {
+        assert!(PromText::parse("mix_x 1\n").unwrap_err().contains("before any family"));
+        assert!(PromText::parse("# HELP mix_x x\nmix_x 1\n").is_err(), "HELP without TYPE");
+        let out_of_family = "\
+# HELP mix_a a
+# TYPE mix_a counter
+mix_a 1
+mix_b 2
+";
+        assert!(PromText::parse(out_of_family).unwrap_err().contains("outside its family"));
+        let bad_name = "# HELP 9bad x\n# TYPE 9bad counter\n9bad 1\n";
+        assert!(PromText::parse(bad_name).unwrap_err().contains("invalid metric name"));
+        let twice = "\
+# HELP mix_a a
+# TYPE mix_a counter
+# HELP mix_a a
+# TYPE mix_a counter
+";
+        assert!(PromText::parse(twice).unwrap_err().contains("declared twice"));
+    }
+
+    #[test]
+    fn label_escapes_round_trip() {
+        let reg = MetricsRegistry::enabled();
+        reg.counter("mix_esc_total", "escapes", &[("k", "a\"b\\c\nd")]).add(2);
+        let text = reg.render_prometheus();
+        let p = PromText::parse(&text).unwrap();
+        assert_eq!(p.value("mix_esc_total", &[("k", "a\"b\\c\nd")]), Some(2.0));
+    }
+
+    #[test]
+    fn registry_output_round_trips() {
+        let reg = MetricsRegistry::enabled();
+        reg.counter("mix_req_total", "Requests", &[("source", "db")]).add(3);
+        reg.gauge("mix_waste", "Waste", &[("source", "db")]).set(9);
+        let h = reg.histogram("mix_fill_ns", "Fill latency", &[("source", "db")]);
+        for v in [1u64, 5, 5, 900] {
+            h.observe(v);
+        }
+        let p = PromText::parse(&reg.render_prometheus()).expect("own output parses");
+        assert_eq!(p.value("mix_req_total", &[("source", "db")]), Some(3.0));
+        assert_eq!(p.value("mix_waste", &[("source", "db")]), Some(9.0));
+        assert_eq!(p.value("mix_fill_ns_count", &[("source", "db")]), Some(4.0));
+        assert_eq!(p.value("mix_fill_ns_sum", &[("source", "db")]), Some(911.0));
+        assert_eq!(p.family("mix_fill_ns").unwrap().kind, "histogram");
+    }
+}

@@ -7,6 +7,16 @@
 //! bounded-browsable view shows a bounded per-command column; a browsable
 //! view shows data-dependent spikes; an unbrowsable view pays everything
 //! on the first touching command.
+//!
+//! The wire columns ([`StepCost::requests`], [`StepCost::batched_holes`],
+//! [`StepCost::wasted_bytes`]) read the *same* [`BufferStats`] cells the
+//! live metrics registry exports as `mix_requests_total` /
+//! `mix_batched_holes_total` / `mix_wasted_bytes` — one set of counters,
+//! three views (profile deltas, [`Engine::traffic`] totals, Prometheus
+//! series), never reconciled because never duplicated.
+//!
+//! [`BufferStats`]: mix_buffer::BufferStats
+//! [`Engine::traffic`]: crate::Engine::traffic
 
 use crate::Engine;
 use mix_nav::{Cmd, NavProgram, NavStats, Navigator};

@@ -1,7 +1,7 @@
 //! Source registry: wiring plan `source` leaves to navigable sources.
 
 use crate::EngineError;
-use mix_buffer::{BufferStats, SourceHealth, TraceSink};
+use mix_buffer::{BufferStats, MetricsRegistry, SourceHealth, TraceSink};
 use mix_nav::{erase, DocNavigator, DynNavigator, Navigator};
 use mix_xml::Tree;
 use std::cell::RefCell;
@@ -22,6 +22,7 @@ pub(crate) struct Registered {
     pub health: Option<SourceHealth>,
     pub stats: Option<BufferStats>,
     pub trace: Option<TraceSink>,
+    pub metrics: Option<MetricsRegistry>,
 }
 
 /// Maps source names (the `homesSrc` of a XMAS query) to navigators.
@@ -57,6 +58,7 @@ impl SourceRegistry {
                 health: None,
                 stats: None,
                 trace: None,
+                metrics: None,
             },
         );
         self
@@ -84,6 +86,7 @@ impl SourceRegistry {
                 health: Some(health),
                 stats: None,
                 trace: None,
+                metrics: None,
             },
         );
         self
@@ -115,6 +118,7 @@ impl SourceRegistry {
                 health: Some(health),
                 stats: Some(stats),
                 trace: None,
+                metrics: None,
             },
         );
         self
@@ -146,6 +150,46 @@ impl SourceRegistry {
                 health: Some(health),
                 stats: Some(stats),
                 trace: Some(trace),
+                metrics: None,
+            },
+        );
+        self
+    }
+
+    /// Register a fully *observed* navigator: health, traffic counters,
+    /// flight-recorder sink, and the live [`MetricsRegistry`] its buffer
+    /// records into. The engine adopts the registry (first observed source
+    /// wins) and registers its own per-operator, per-command, and
+    /// per-source series in it — so one
+    /// [`snapshot`](MetricsRegistry::snapshot) or Prometheus scrape covers
+    /// the whole mediator stack, and
+    /// [`explain_analyze`](crate::Engine::explain_analyze) can line up
+    /// operator navigation counts with buffer wire traffic. The usual
+    /// call site builds a `BufferNavigator` with
+    /// `with_metrics(registry.clone())` and hands over its `health()`,
+    /// `stats()`, `trace_sink()`, and that same registry.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_navigator_observed<N>(
+        &mut self,
+        name: impl Into<String>,
+        nav: N,
+        health: SourceHealth,
+        stats: BufferStats,
+        trace: TraceSink,
+        metrics: MetricsRegistry,
+    ) -> &mut Self
+    where
+        N: Navigator + 'static,
+        N::Handle: 'static,
+    {
+        self.sources.insert(
+            name.into(),
+            Registered {
+                nav: Rc::new(RefCell::new(erase(nav))),
+                health: Some(health),
+                stats: Some(stats),
+                trace: Some(trace),
+                metrics: Some(metrics),
             },
         );
         self

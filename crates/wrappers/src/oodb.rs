@@ -9,7 +9,8 @@
 //! objects, which matches how an OODB faults in objects.
 
 use mix_buffer::{
-    chase_continuation, BatchItem, Fragment, HoleId, LxpError, LxpWrapper, TraceKind, TraceSink,
+    chase_continuation, BatchItem, Fragment, HoleId, LxpError, LxpWrapper, MetricsRegistry,
+    TraceKind, TraceSink, WrapperMetrics,
 };
 use std::collections::HashMap;
 
@@ -79,12 +80,20 @@ pub struct OodbWrapper {
     batch_budget: usize,
     /// Flight recorder for batched exchanges (off by default).
     trace: TraceSink,
+    /// Live batched-exchange counters (off by default).
+    metrics: Option<WrapperMetrics>,
 }
 
 impl OodbWrapper {
     /// Wrap a store.
     pub fn new(store: ObjectStore) -> Self {
-        OodbWrapper { store, faults: 0, batch_budget: 0, trace: TraceSink::default() }
+        OodbWrapper {
+            store,
+            faults: 0,
+            batch_budget: 0,
+            trace: TraceSink::default(),
+            metrics: None,
+        }
     }
 
     /// Stream up to `budget` referenced objects per batched exchange —
@@ -98,6 +107,13 @@ impl OodbWrapper {
     /// Record batched exchanges on a shared trace sink.
     pub fn with_trace(mut self, sink: TraceSink) -> Self {
         self.trace = sink;
+        self
+    }
+
+    /// Record batched exchanges in a shared live-metrics registry, under
+    /// `{wrapper="oodb", source}` labels.
+    pub fn with_metrics(mut self, registry: &MetricsRegistry, source: &str) -> Self {
+        self.metrics = Some(WrapperMetrics::new(registry, "oodb", source));
         self
     }
 
@@ -190,6 +206,9 @@ impl LxpWrapper for OodbWrapper {
                     items: items.len() as u64,
                 },
             );
+        }
+        if let Some(m) = &self.metrics {
+            m.record_fill(items.len() as u64);
         }
         Ok(items)
     }

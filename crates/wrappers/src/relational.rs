@@ -23,7 +23,7 @@
 
 use mix_buffer::{
     chase_continuation, AimdChunk, BatchItem, Fragment, HoleId, LxpError, LxpWrapper,
-    TraceKind, TraceSink,
+    MetricsRegistry, TraceKind, TraceSink, WrapperMetrics,
 };
 use mix_relational::{Cursor, Database, Row, SqlQuery, Table};
 use std::collections::HashMap;
@@ -50,6 +50,8 @@ pub struct RelationalWrapper {
     batch_budget: usize,
     /// Flight recorder for batched exchanges (off by default).
     trace: TraceSink,
+    /// Live batched-exchange counters (off by default).
+    metrics: Option<WrapperMetrics>,
 }
 
 impl RelationalWrapper {
@@ -64,6 +66,7 @@ impl RelationalWrapper {
             adaptive: None,
             batch_budget: 0,
             trace: TraceSink::default(),
+            metrics: None,
         }
     }
 
@@ -94,6 +97,13 @@ impl RelationalWrapper {
     /// Record batched exchanges on a shared trace sink.
     pub fn with_trace(mut self, sink: TraceSink) -> Self {
         self.trace = sink;
+        self
+    }
+
+    /// Record batched exchanges in a shared live-metrics registry, under
+    /// `{wrapper="relational", source}` labels.
+    pub fn with_metrics(mut self, registry: &MetricsRegistry, source: &str) -> Self {
+        self.metrics = Some(WrapperMetrics::new(registry, "relational", source));
         self
     }
 
@@ -298,6 +308,9 @@ impl LxpWrapper for RelationalWrapper {
                 },
             );
         }
+        if let Some(m) = &self.metrics {
+            m.record_fill(items.len() as u64);
+        }
         Ok(items)
     }
 }
@@ -490,6 +503,29 @@ mod tests {
             }
             ref other => panic!("expected WrapperFill, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn batched_exchanges_are_metered() {
+        let reg = MetricsRegistry::enabled();
+        let mut w = RelationalWrapper::new(demo_db(20), 5)
+            .with_batch_budget(2)
+            .with_metrics(&reg, "realestate");
+        let _ = w.fill_many(&["realestate.homes".to_string()]).unwrap();
+        let labels = &[("wrapper", "relational"), ("source", "realestate")][..];
+        let snap = reg.snapshot();
+        assert_eq!(snap.value("mix_wrapper_fills_total", labels), Some(1));
+        assert_eq!(
+            snap.value("mix_wrapper_fill_items_total", labels),
+            Some(3),
+            "requested chunk + 2 continuations"
+        );
+
+        // A disabled registry records nothing but costs only a flag read.
+        let off = MetricsRegistry::off();
+        let mut w = RelationalWrapper::new(demo_db(20), 5).with_metrics(&off, "realestate");
+        let _ = w.fill_many(&["realestate.homes".to_string()]).unwrap();
+        assert_eq!(off.snapshot().total("mix_wrapper_fills_total"), 0);
     }
 
     #[test]

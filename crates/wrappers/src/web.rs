@@ -16,8 +16,8 @@
 //! [`FillPolicy::SizeThreshold`], the default here.
 
 use mix_buffer::{
-    BatchItem, FillPolicy, Fragment, HoleId, LxpError, LxpWrapper, TraceKind, TraceSink,
-    TreeWrapper,
+    BatchItem, FillPolicy, Fragment, HoleId, LxpError, LxpWrapper, MetricsRegistry, TraceKind,
+    TraceSink, TreeWrapper, WrapperMetrics,
 };
 use mix_xml::{Document, Tree};
 use parking_lot::Mutex;
@@ -81,6 +81,8 @@ pub struct WebWrapper {
     inner: TreeWrapper,
     network: Arc<Network>,
     trace: TraceSink,
+    /// Live batched-exchange counters (off by default).
+    metrics: Option<WrapperMetrics>,
 }
 
 impl WebWrapper {
@@ -91,12 +93,18 @@ impl WebWrapper {
             inner: TreeWrapper::new(FillPolicy::SizeThreshold { max_nodes: threshold_nodes }),
             network,
             trace: TraceSink::default(),
+            metrics: None,
         }
     }
 
     /// A web site with an explicit policy (for granularity comparisons).
     pub fn with_policy(network: Arc<Network>, policy: FillPolicy) -> Self {
-        WebWrapper { inner: TreeWrapper::new(policy), network, trace: TraceSink::default() }
+        WebWrapper {
+            inner: TreeWrapper::new(policy),
+            network,
+            trace: TraceSink::default(),
+            metrics: None,
+        }
     }
 
     /// Stream up to `budget` speculative page fragments per batched
@@ -109,6 +117,13 @@ impl WebWrapper {
     /// Record batched exchanges on a shared trace sink.
     pub fn with_trace(mut self, sink: TraceSink) -> Self {
         self.trace = sink;
+        self
+    }
+
+    /// Record batched exchanges in a shared live-metrics registry, under
+    /// `{wrapper="web", source}` labels.
+    pub fn with_metrics(mut self, registry: &MetricsRegistry, source: &str) -> Self {
+        self.metrics = Some(WrapperMetrics::new(registry, "web", source));
         self
     }
 
@@ -160,6 +175,9 @@ impl LxpWrapper for WebWrapper {
                     items: items.len() as u64,
                 },
             );
+        }
+        if let Some(m) = &self.metrics {
+            m.record_fill(items.len() as u64);
         }
         Ok(items)
     }

@@ -20,6 +20,8 @@
 //! n            navs  — print per-source navigation counters
 //! trace [k]    flight recorder — print the last k events (default 20)
 //! why          explain the current degradation state, span by span
+//! explain      EXPLAIN ANALYZE — plan tree with live per-operator metrics
+//! metrics      Prometheus scrape of every live metric series
 //! q            quit
 //! ```
 //!
@@ -34,8 +36,11 @@ fn main() {
     let faulty = std::env::args().any(|a| a == "--faulty");
 
     // The running example's virtual view over generated data — both
-    // sources behind buffers that log into one shared recorder ring.
+    // sources behind buffers that log into one shared recorder ring and
+    // record into one shared metrics registry, so `trace`/`why` and
+    // `metrics`/`explain` each see the whole stack at once.
     let sink = TraceSink::enabled(1 << 16);
+    let registry = MetricsRegistry::enabled();
     let homes = mix::wrappers::gen::homes_doc(42, 25, 6);
     let schools = mix::wrappers::gen::schools_doc(43, 25, 6);
 
@@ -43,8 +48,10 @@ fn main() {
     {
         // The homes side optionally runs over an unreliable wire, so
         // `trace` and `why` have something to point at.
+        // Buffer uris match the registered source names, so the buffers'
+        // per-source series line up with the engine's in `explain`.
         let mut inner = TreeWrapper::new(FillPolicy::Chunked { n: 4 });
-        inner.add("homes", std::rc::Rc::new(mix::xml::Document::from_tree(&homes)));
+        inner.add("homesSrc", std::rc::Rc::new(mix::xml::Document::from_tree(&homes)));
         let cfg = if faulty {
             FaultConfig::transient(0xC0FFEE, 0.35)
         } else {
@@ -52,17 +59,20 @@ fn main() {
         };
         let policy =
             if faulty { RetryPolicy { max_attempts: 2, ..RetryPolicy::default() } } else { RetryPolicy::none() };
-        let nav = BufferNavigator::with_retry(FaultyWrapper::new(inner, cfg), "homes", policy)
-            .with_trace(sink.clone());
+        let nav = BufferNavigator::with_retry(FaultyWrapper::new(inner, cfg), "homesSrc", policy)
+            .with_trace(sink.clone())
+            .with_metrics(registry.clone());
         let (health, stats) = (nav.health(), nav.stats());
-        sources.add_navigator_traced("homesSrc", nav, health, stats, sink.clone());
+        sources.add_navigator_observed("homesSrc", nav, health, stats, sink.clone(), registry.clone());
     }
     {
         let mut inner = TreeWrapper::new(FillPolicy::Chunked { n: 4 });
-        inner.add("schools", std::rc::Rc::new(mix::xml::Document::from_tree(&schools)));
-        let nav = BufferNavigator::new(inner, "schools").with_trace(sink.clone());
+        inner.add("schoolsSrc", std::rc::Rc::new(mix::xml::Document::from_tree(&schools)));
+        let nav = BufferNavigator::new(inner, "schoolsSrc")
+            .with_trace(sink.clone())
+            .with_metrics(registry.clone());
         let (health, stats) = (nav.health(), nav.stats());
-        sources.add_navigator_traced("schoolsSrc", nav, health, stats, sink.clone());
+        sources.add_navigator_observed("schoolsSrc", nav, health, stats, sink.clone(), registry.clone());
     }
 
     let plan = translate(
@@ -79,7 +89,13 @@ fn main() {
     println!("DOM-VXD console over the virtual med_home view{}.",
         if faulty { " (homes wire is faulty)" } else { "" });
     println!(
-        "commands: d(own) r(ight) u(p) f(etch) s <label> t(ree) g(uide) n(avs) trace [k] why q(uit)"
+        "commands: d(own) r(ight) u(p) f(etch) s <label> t(ree) g(uide) n(avs) \
+         trace [k] why explain metrics q(uit)"
+    );
+    println!(
+        "observability: `trace [k]` replays the flight recorder, `why` blames \
+         degradations on commands, `explain` prints EXPLAIN ANALYZE, `metrics` \
+         dumps a Prometheus scrape"
     );
 
     let mut cursor = doc.root();
@@ -204,6 +220,8 @@ fn main() {
                     }
                 }
             }
+            Some("explain") => print!("{}", doc.explain_analyze()),
+            Some("metrics") => print!("{}", doc.metrics_snapshot().render_prometheus()),
             Some("q") => break,
             Some(other) => println!("unknown command `{other}`"),
             None => {}

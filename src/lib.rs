@@ -77,12 +77,12 @@ pub mod prelude {
         classify, compose, rewrite::rewrite, translate, Browsability, NcCapabilities, Plan,
     };
     pub use mix_buffer::{
-        BufferNavigator, FaultConfig, FaultyWrapper, FillPolicy, HealthStatus, RetryPolicy,
-        TreeWrapper,
+        BufferNavigator, FaultConfig, FaultyWrapper, FillPolicy, HealthStatus, MetricsRegistry,
+        MetricsSnapshot, RetryPolicy, TreeWrapper,
     };
     pub use mix_core::{
-        eager, Degraded, Engine, EngineConfig, SourceRegistry, TraceKind, TraceLog, TraceSink,
-        VirtualDocument, VirtualElement,
+        eager, Degraded, Engine, EngineConfig, PromText, SourceRegistry, TraceKind, TraceLog,
+        TraceSink, VirtualDocument, VirtualElement,
     };
     pub use mix_nav::{explore::materialize, LabelPred, Navigator};
     pub use mix_xmas::{parse_path, parse_query};
