@@ -66,6 +66,9 @@ fn main() {
     if want("e16") {
         e16_live_metrics();
     }
+    if want("e17") {
+        e17_shared_cache();
+    }
 }
 
 /// Simulated cost units one LXP round trip costs (the latency term the
@@ -612,6 +615,126 @@ fn e16_live_metrics() {
         ("overhead_ratio".to_string(), Json::Num(ratio)),
     ])
     .write("BENCH_E16.json");
+}
+
+/// E17 — the shared cross-query fragment cache: a warm second session
+/// over the same sources costs zero wire exchanges, and invalidating one
+/// source restores exactly that source's traffic.
+fn e17_shared_cache() {
+    banner("E17", "shared cross-query fragment cache");
+    use mix_buffer::{FillPolicy, FragmentCache, MetricsRegistry, TreeWrapper};
+    use mix_core::VirtualDocument;
+
+    // One mediation session over the Fig. 3 view: fresh wrappers and a
+    // fresh engine every time — only the fragment cache is shared.
+    let session = |cache: &FragmentCache| -> VirtualDocument {
+        let registry = MetricsRegistry::enabled();
+        let mut sources = SourceRegistry::new();
+        for (name, tree) in [
+            ("homesSrc", gen::homes_doc(42, 40, 8)),
+            ("schoolsSrc", gen::schools_doc(43, 40, 8)),
+        ] {
+            let mut inner = TreeWrapper::new(FillPolicy::Chunked { n: 4 });
+            inner.add(name, std::rc::Rc::new(mix_xml::Document::from_tree(&tree)));
+            let nav = BufferNavigator::new(inner, name)
+                .with_metrics(registry.clone())
+                .with_fragment_cache(cache.clone());
+            let (health, stats) = (nav.health(), nav.stats());
+            let trace = nav.trace_sink();
+            sources.add_navigator_observed(name, nav, health, stats, trace, registry.clone());
+            sources.set_source_cache(name, cache.clone());
+        }
+        VirtualDocument::new(Engine::new(plan_for(FIG3_QUERY), &sources).unwrap())
+    };
+    // (requests, get_roots, bytes) per named source, summed when name is None.
+    let wire = |doc: &VirtualDocument, name: Option<&str>| -> (u64, u64, u64) {
+        let mut t = (0, 0, 0);
+        for (src, snap) in doc.engine().borrow().traffic() {
+            if let (Some(s), true) = (snap, name.is_none_or(|n| n == src)) {
+                t.0 += s.requests;
+                t.1 += s.get_roots;
+                t.2 += s.bytes_received;
+            }
+        }
+        t
+    };
+
+    let cache = FragmentCache::new();
+    let cold = session(&cache);
+    let answer = materialize(&mut *cold.engine().borrow_mut()).to_string();
+    let (c_req, c_roots, c_bytes) = wire(&cold, None);
+    assert!(c_req > 0 && c_roots > 0, "the cold session paid the wire");
+
+    let warm = session(&cache);
+    let warm_answer = materialize(&mut *warm.engine().borrow_mut()).to_string();
+    let (w_req, w_roots, w_bytes) = wire(&warm, None);
+    assert_eq!(warm_answer, answer, "warm answer must be byte-identical");
+    assert_eq!((w_req, w_roots, w_bytes), (0, 0, 0), "warm session is wire-free");
+
+    // Drop one source from the cache: the next session pays the wire for
+    // that source again — and only for that source.
+    let (inv_entries, inv_bytes) = cache.invalidate("homesSrc");
+    let third = session(&cache);
+    let third_answer = materialize(&mut *third.engine().borrow_mut()).to_string();
+    assert_eq!(third_answer, answer, "post-invalidation answer must be identical");
+    let (t_homes, _, _) = wire(&third, Some("homesSrc"));
+    let (t_schools, _, _) = wire(&third, Some("schoolsSrc"));
+    assert!(t_homes > 0, "invalidation restored the invalidated source's traffic");
+    assert_eq!(t_schools, 0, "the untouched source stayed cached");
+
+    let t = TablePrinter::new(
+        &["session", "requests", "get_roots", "bytes", "sim cost"],
+        &[24, 10, 10, 10, 12],
+    );
+    let mut rows = Vec::new();
+    for (label, (req, roots, bytes)) in [
+        ("cold", (c_req, c_roots, c_bytes)),
+        ("warm (shared cache)", (w_req, w_roots, w_bytes)),
+        ("after invalidate(homes)", wire(&third, None)),
+    ] {
+        t.row(&[
+            label.to_string(),
+            format!("{req}"),
+            format!("{roots}"),
+            format!("{bytes}"),
+            format!("{}", simulated_cost(req + roots, bytes)),
+        ]);
+        rows.push(Json::Obj(vec![
+            ("session".to_string(), Json::str(label)),
+            ("requests".to_string(), Json::Int(req)),
+            ("get_roots".to_string(), Json::Int(roots)),
+            ("bytes".to_string(), Json::Int(bytes)),
+            ("simulated_cost".to_string(), Json::Int(simulated_cost(req + roots, bytes))),
+        ]));
+    }
+    let s = cache.stats();
+    println!(
+        "cache: {} hits, {} misses, {} insertions, {} evictions, {} invalidations; \
+         resident {} B of {} B budget",
+        s.hits, s.misses, s.insertions, s.evictions, s.invalidations, s.bytes, s.budget
+    );
+    println!(
+        "shape check: the warm session re-answers the whole Fig. 3 view with ZERO \
+         wire exchanges; invalidating homesSrc restores exactly that source's \
+         traffic ({inv_entries} entries / {inv_bytes} B dropped), schoolsSrc stays free."
+    );
+
+    Json::Obj(vec![
+        ("experiment".to_string(), Json::str("E17")),
+        (
+            "workload".to_string(),
+            Json::str("Fig. 3 view, three sessions sharing one fragment cache"),
+        ),
+        ("sessions".to_string(), Json::Arr(rows)),
+        ("warm_is_wire_free".to_string(), Json::Bool(true)),
+        ("answers_identical".to_string(), Json::Bool(true)),
+        ("invalidated_entries".to_string(), Json::Int(inv_entries)),
+        ("invalidated_bytes".to_string(), Json::Int(inv_bytes)),
+        ("cache_hits".to_string(), Json::Int(s.hits)),
+        ("cache_misses".to_string(), Json::Int(s.misses)),
+        ("cache_insertions".to_string(), Json::Int(s.insertions)),
+    ])
+    .write("BENCH_E17.json");
 }
 
 /// E1 — Figures 3 & 4: parse, translate, evaluate, check lazy ≡ eager.

@@ -23,6 +23,7 @@
 //! the buffer's [`SourceHealth`] handle, which clients, the engine, and
 //! the profiler can query.
 
+use crate::cache::{cache_forced, FragmentCache};
 use crate::fragment::Fragment;
 use crate::health::SourceHealth;
 use crate::lxp::{check_batch_shape, check_progress, HoleId, LxpWrapper};
@@ -32,6 +33,7 @@ use crate::trace::{TraceKind, TraceSink};
 use mix_nav::Navigator;
 use mix_xml::Label;
 use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
 use std::fmt;
 use std::time::Instant;
 
@@ -190,6 +192,7 @@ pub(crate) struct BufMetrics {
     fill_bytes: Histogram,
     batch_cache_hits: Counter,
     batch_cache_misses: Counter,
+    batch_cache_evictions: Counter,
     degradations: Counter,
     pub(crate) retry: RetryMetrics,
 }
@@ -217,6 +220,11 @@ impl BufMetrics {
             batch_cache_misses: registry.counter(
                 "mix_batch_cache_misses_total",
                 "Batched fills that had to go to the wire",
+                l,
+            ),
+            batch_cache_evictions: registry.counter(
+                "mix_batch_cache_evictions_total",
+                "Pending batch replies evicted by the cap before any navigation needed them",
                 l,
             ),
             degradations: registry.counter(
@@ -330,7 +338,22 @@ pub struct BufferNavigator<W> {
     batch_limit: usize,
     /// Replies received in a batch before any navigation needed them,
     /// keyed by hole id. Consumed instead of going back to the wire.
+    /// Bounded by `pending_cap`; see `pending_order`.
     pending: std::collections::HashMap<HoleId, Vec<Fragment>>,
+    /// Insertion order of `pending` entries, for capped FIFO eviction.
+    /// May contain stale ids of entries already consumed; eviction skips
+    /// them lazily.
+    pending_order: VecDeque<HoleId>,
+    /// Upper bound on parked `pending` entries. Fragments parked for
+    /// holes the client never navigates to would otherwise accumulate
+    /// for the life of the navigator.
+    pending_cap: usize,
+    /// Always-on count of pending entries evicted by the cap.
+    pending_evictions: Counter,
+    /// The shared cross-query fragment cache, if one was attached
+    /// ([`BufferNavigator::with_fragment_cache`]). Checked before the
+    /// wire on every fill; populated with every verified reply.
+    cache: Option<FragmentCache>,
     /// Flight recorder for this conversation (off by default).
     trace: TraceSink,
     /// Live metrics for this conversation. Backed by a default-constructed
@@ -374,6 +397,13 @@ impl<W: LxpWrapper> BufferNavigator<W> {
             health: SourceHealth::new(),
             batch_limit: 1,
             pending: std::collections::HashMap::new(),
+            pending_order: VecDeque::new(),
+            pending_cap: DEFAULT_PENDING_CAP,
+            pending_evictions: Counter::new(),
+            // Forced mode attaches a *private* cache so the whole suite
+            // exercises the cache code paths without cross-test aliasing
+            // of uris; an explicit `with_fragment_cache` overrides it.
+            cache: cache_forced().then(FragmentCache::new),
             trace: TraceSink::default(),
             degraded_epoch: Cell::new(0),
             last_degraded: RefCell::new(None),
@@ -397,6 +427,9 @@ impl<W: LxpWrapper> BufferNavigator<W> {
     pub fn with_metrics(mut self, registry: MetricsRegistry) -> Self {
         self.stats.bind_into(&registry, &self.uri);
         self.metrics = BufMetrics::new(&registry, &self.uri);
+        if let Some(cache) = &self.cache {
+            cache.bind_into(&registry);
+        }
         self
     }
 
@@ -429,9 +462,41 @@ impl<W: LxpWrapper> BufferNavigator<W> {
         self.batch_limit > 1
     }
 
+    /// Attach a shared cross-query [`FragmentCache`]. Every fill checks
+    /// it before going to the wire (after the navigator's own pending
+    /// batch cache) and every verified reply — single fills, `get_root`,
+    /// and all `fill_many` items — populates it, so a second navigator
+    /// over the same source replays the exploration with zero wire
+    /// exchanges. Opt-in, like [`BufferNavigator::batched`]; hand the
+    /// same cache to every buffer that should share fragments.
+    pub fn with_fragment_cache(mut self, cache: FragmentCache) -> Self {
+        cache.bind_into(&self.metrics.registry);
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The shared fragment cache, if one is attached.
+    pub fn fragment_cache(&self) -> Option<FragmentCache> {
+        self.cache.clone()
+    }
+
+    /// Cap the pending batch cache at `cap` parked replies (default
+    /// [`DEFAULT_PENDING_CAP`]); the oldest parked reply is evicted
+    /// first. Their bytes were already counted as waste when parked, so
+    /// eviction changes no traffic arithmetic.
+    pub fn pending_cap(mut self, cap: usize) -> Self {
+        self.pending_cap = cap.max(1);
+        self
+    }
+
     /// Batch-cache entries received but not yet consumed by navigation.
     pub fn pending_replies(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Parked batch replies evicted by the pending cap so far.
+    pub fn pending_evictions(&self) -> u64 {
+        self.pending_evictions.get()
     }
 
     /// A shared handle to this buffer's traffic counters.
@@ -516,6 +581,49 @@ impl<W: LxpWrapper> BufferNavigator<W> {
         }
     }
 
+    /// Serve `hole` from the shared cross-query cache, if one is
+    /// attached and holds a fresh entry. A hit costs zero wire
+    /// exchanges: only `fills` advances (no requests, nodes, or bytes).
+    fn cache_lookup(&mut self, hole: &HoleId) -> Option<Vec<Fragment>> {
+        let cache = self.cache.as_ref()?;
+        let reply = cache.lookup(&self.uri, hole)?;
+        self.stats.fills.inc();
+        if self.trace.is_enabled() {
+            let (mut nodes, mut bytes) = (0u64, 0u64);
+            for f in &reply {
+                nodes += f.node_count() as u64;
+                bytes += f.wire_bytes() as u64;
+            }
+            self.trace.emit(
+                Some(self.uri.as_str()),
+                TraceKind::CacheHit { hole: hole.clone(), nodes, bytes },
+            );
+        }
+        Some(reply)
+    }
+
+    /// Admit a verified reply into the shared cache (if attached),
+    /// tracing the admission and any LRU evictions it caused. Only
+    /// replies that already passed the progress checks reach this point,
+    /// so faults can never be cached.
+    fn cache_store(&self, hole: &HoleId, reply: &[Fragment]) {
+        let Some(cache) = &self.cache else { return };
+        let evicted = cache.insert(&self.uri, hole, reply);
+        if self.trace.is_enabled() {
+            let bytes: u64 = reply.iter().map(|f| f.wire_bytes() as u64).sum();
+            self.trace.emit(
+                Some(self.uri.as_str()),
+                TraceKind::CacheStore { hole: hole.clone(), bytes },
+            );
+            for (src, h, b) in evicted {
+                self.trace.emit(
+                    Some(src.as_str()),
+                    TraceKind::CacheEvict { scope: "shared", hole: h, bytes: b },
+                );
+            }
+        }
+    }
+
     /// Resolve one hole under the retry policy, via a single `fill` (the
     /// classic path) or a batched `fill_many` exchange. Progress is
     /// checked inside the retried operation, so a protocol-violating
@@ -524,6 +632,9 @@ impl<W: LxpWrapper> BufferNavigator<W> {
     fn try_fill(&mut self, hole: &HoleId) -> Result<Vec<Fragment>, BufferError> {
         if self.batch_limit > 1 {
             return self.try_fill_batched(hole);
+        }
+        if let Some(reply) = self.cache_lookup(hole) {
+            return Ok(reply);
         }
         let timer = self.metrics.on().then(Instant::now);
         let wrapper = &mut self.wrapper;
@@ -568,6 +679,7 @@ impl<W: LxpWrapper> BufferNavigator<W> {
                 },
             );
         }
+        self.cache_store(hole, &reply);
         Ok(reply)
     }
 
@@ -603,32 +715,76 @@ impl<W: LxpWrapper> BufferNavigator<W> {
             }
             return Ok(reply);
         }
+        if let Some(reply) = self.cache_lookup(hole) {
+            return Ok(reply);
+        }
         let timer = self.metrics.on().then(Instant::now);
         let batch = self.known_holes(hole);
         let wrapper = &mut self.wrapper;
-        let items = self
-            .retry
-            .run_observed(
-                &self.policy,
-                &self.health,
-                &self.trace,
-                Some(&self.metrics.retry),
-                Some(self.uri.as_str()),
-                hole,
-                || {
-                    let items = wrapper.fill_many(&batch)?;
-                    check_batch_shape(&batch, &items)?;
-                    // The critical hole's reply is held to the progress
-                    // invariant strictly; continuation items are vetted (and
-                    // merely dropped) below.
-                    check_progress(&items[0].fragments)?;
-                    Ok(items)
-                },
-            )
-            .map_err(|error| BufferError::Lxp {
-                request: format!("fill_many({hole} +{} holes)", batch.len() - 1),
-                error,
-            })?;
+        // A reply the wrapper transferred but the protocol checks then
+        // rejected: the wire cost is real and must not vanish from the
+        // books just because nothing was consumed.
+        let rejected: Cell<Option<(u64, u64, u64)>> = Cell::new(None);
+        let result = self.retry.run_observed(
+            &self.policy,
+            &self.health,
+            &self.trace,
+            Some(&self.metrics.retry),
+            Some(self.uri.as_str()),
+            hole,
+            || {
+                let items = wrapper.fill_many(&batch)?;
+                // The critical hole's reply is held to the progress
+                // invariant strictly; continuation items are vetted (and
+                // merely dropped) below.
+                let vetted = check_batch_shape(&batch, &items)
+                    .and_then(|()| check_progress(&items[0].fragments));
+                if let Err(e) = vetted {
+                    let (mut nodes, mut bytes) = (0u64, 0u64);
+                    for it in &items {
+                        for f in &it.fragments {
+                            nodes += f.node_count() as u64;
+                            bytes += f.wire_bytes() as u64;
+                        }
+                    }
+                    rejected.set(Some((items.len() as u64, nodes, bytes)));
+                    return Err(e);
+                }
+                Ok(items)
+            },
+        );
+        let items = match result {
+            Ok(items) => items,
+            Err(error) => {
+                if let Some((ritems, rnodes, rbytes)) = rejected.take() {
+                    // The exchange happened and the items crossed the
+                    // wire: attribute the request and its volume, all of
+                    // it wasted for good.
+                    self.stats.requests.inc();
+                    self.stats.batched_holes.add(ritems);
+                    self.stats.nodes_received.add(rnodes);
+                    self.stats.bytes_received.add(rbytes);
+                    self.stats.wasted_bytes.add(rbytes);
+                    if self.trace.is_enabled() {
+                        self.trace.emit(
+                            Some(self.uri.as_str()),
+                            TraceKind::FillManyFailed {
+                                critical: hole.clone(),
+                                holes: batch.len() as u64,
+                                items: ritems,
+                                nodes: rnodes,
+                                bytes: rbytes,
+                                wasted: rbytes,
+                            },
+                        );
+                    }
+                }
+                return Err(BufferError::Lxp {
+                    request: format!("fill_many({hole} +{} holes)", batch.len() - 1),
+                    error,
+                });
+            }
+        };
         self.stats.requests.inc();
         self.stats.batched_holes.add(items.len() as u64);
         self.stats.fills.inc();
@@ -643,6 +799,7 @@ impl<W: LxpWrapper> BufferNavigator<W> {
             total_nodes += nodes;
             total_bytes += bytes;
             if k == 0 {
+                self.cache_store(hole, &item.fragments);
                 critical = Some(item.fragments);
             } else if check_progress(&item.fragments).is_err()
                 || item.hole == *hole
@@ -655,12 +812,16 @@ impl<W: LxpWrapper> BufferNavigator<W> {
                 total_wasted += bytes;
             } else {
                 // Parked until a navigation needs it; counted as waste
-                // until then (consumption credits it back).
+                // until then (consumption credits it back). Verified
+                // continuation items are shared cross-query, too.
                 self.stats.wasted_bytes.add(bytes);
                 total_wasted += bytes;
+                self.cache_store(&item.hole, &item.fragments);
+                self.pending_order.push_back(item.hole.clone());
                 self.pending.insert(item.hole, item.fragments);
             }
         }
+        self.enforce_pending_cap();
         if let Some(t) = timer {
             self.metrics.batch_cache_misses.inc();
             self.metrics.fill_latency_ns.observe(t.elapsed().as_nanos() as u64);
@@ -680,6 +841,36 @@ impl<W: LxpWrapper> BufferNavigator<W> {
             );
         }
         Ok(critical.expect("batch shape checked: first item answers the critical hole"))
+    }
+
+    /// Evict the oldest parked replies until the pending batch cache
+    /// respects its cap. Evicted bytes were counted as waste when parked
+    /// and stay waste — no traffic arithmetic changes, so trace rollups
+    /// remain exact.
+    fn enforce_pending_cap(&mut self) {
+        while self.pending.len() > self.pending_cap {
+            let Some(old) = self.pending_order.pop_front() else { break };
+            if let Some(frags) = self.pending.remove(&old) {
+                self.pending_evictions.inc();
+                if self.metrics.on() {
+                    self.metrics.batch_cache_evictions.inc();
+                }
+                if self.trace.is_enabled() {
+                    let bytes: u64 = frags.iter().map(|f| f.wire_bytes() as u64).sum();
+                    self.trace.emit(
+                        Some(self.uri.as_str()),
+                        TraceKind::CacheEvict { scope: "pending", hole: old, bytes },
+                    );
+                }
+            }
+        }
+        // Compact stale order ids (entries already consumed by cache
+        // hits) once they dominate, so the order index stays bounded too.
+        if self.pending_order.len() > 2 * self.pending.len().max(self.pending_cap) {
+            let pending = &self.pending;
+            let order = &mut self.pending_order;
+            order.retain(|h| pending.contains_key(h));
+        }
     }
 
     /// The fill_many batch for a critical hole: the hole itself first,
@@ -724,24 +915,35 @@ impl<W: LxpWrapper> BufferNavigator<W> {
             return Ok(());
         }
         let uri = self.uri.clone();
-        self.stats.get_roots.inc();
-        if self.trace.is_enabled() {
-            self.trace.emit(Some(&uri), TraceKind::GetRoot { uri: uri.clone() });
-        }
-        let wrapper = &mut self.wrapper;
-        let retry_metrics = self.metrics.retry.clone();
-        let mut hole = self
-            .retry
-            .run_observed(
-                &self.policy,
-                &self.health,
-                &self.trace,
-                Some(&retry_metrics),
-                Some(&uri),
-                &uri,
-                || wrapper.get_root(&uri),
-            )
-            .map_err(|error| BufferError::Lxp { request: format!("get_root({uri})"), error })?;
+        // A warm session skips the `get_root` exchange too: the root
+        // hole id is cached (epoch-guarded) alongside the fragments.
+        let cached_root = self.cache.as_ref().and_then(|c| c.lookup_root(&uri));
+        let mut hole = if let Some(h) = cached_root {
+            h
+        } else {
+            self.stats.get_roots.inc();
+            if self.trace.is_enabled() {
+                self.trace.emit(Some(&uri), TraceKind::GetRoot { uri: uri.clone() });
+            }
+            let wrapper = &mut self.wrapper;
+            let retry_metrics = self.metrics.retry.clone();
+            let h = self
+                .retry
+                .run_observed(
+                    &self.policy,
+                    &self.health,
+                    &self.trace,
+                    Some(&retry_metrics),
+                    Some(&uri),
+                    &uri,
+                    || wrapper.get_root(&uri),
+                )
+                .map_err(|error| BufferError::Lxp { request: format!("get_root({uri})"), error })?;
+            if let Some(cache) = &self.cache {
+                cache.insert_root(&uri, &h);
+            }
+            h
+        };
         let mut fuel = self.fill_fuel;
         let root_frag = loop {
             let reply = self.try_fill(&hole)?;
@@ -894,14 +1096,45 @@ impl<W: LxpWrapper> BufferNavigator<W> {
         Ok(self.node_at(*p)?.label.clone())
     }
 
+    /// A navigation over this source failed beyond what retries could
+    /// absorb (or the breaker is open): parked batch replies and the
+    /// source's shared-cache entries can no longer be trusted and must
+    /// not be served. Pending bytes were counted as waste at park time
+    /// and stay waste, so traffic arithmetic is unchanged.
+    fn purge_on_degrade(&mut self) {
+        if !self.pending.is_empty() {
+            let entries = self.pending.len() as u64;
+            let bytes: u64 =
+                self.pending.values().flatten().map(|f| f.wire_bytes() as u64).sum();
+            self.pending.clear();
+            self.pending_order.clear();
+            if self.trace.is_enabled() {
+                self.trace.emit(
+                    Some(self.uri.as_str()),
+                    TraceKind::CacheInvalidate { scope: "pending", entries, bytes },
+                );
+            }
+        }
+        if let Some(cache) = self.cache.clone() {
+            let (entries, bytes) = cache.invalidate(&self.uri);
+            if entries > 0 && self.trace.is_enabled() {
+                self.trace.emit(
+                    Some(self.uri.as_str()),
+                    TraceKind::CacheInvalidate { scope: "shared", entries, bytes },
+                );
+            }
+        }
+    }
+
     /// Collapse a failed navigation to its fallback value, recording the
     /// degradation in health, the degraded epoch/last-error surface, and
     /// the flight recorder — the point where a wrong answer would
     /// otherwise become silent.
-    fn degrade<T>(&self, op: &'static str, result: Result<T, BufferError>, fallback: T) -> T {
+    fn degrade<T>(&mut self, op: &'static str, result: Result<T, BufferError>, fallback: T) -> T {
         match result {
             Ok(v) => v,
             Err(e) => {
+                self.purge_on_degrade();
                 self.health.record_degraded(&e);
                 self.degraded_epoch.set(self.degraded_epoch.get() + 1);
                 *self.last_degraded.borrow_mut() = Some(e.to_string());
@@ -925,6 +1158,13 @@ impl<W: LxpWrapper> BufferNavigator<W> {
 /// non-conforming wrapper fails loudly instead of hanging. Override per
 /// buffer with [`BufferNavigator::with_fill_fuel`].
 pub const FILL_FUEL: u32 = 1_000_000;
+
+/// Default cap on parked pending batch replies — generous for real
+/// workloads (a batch parks at most `batch_limit - 1` replies per
+/// exchange) but finite, so fragments parked for holes the client never
+/// navigates to cannot accumulate for the life of the navigator.
+/// Override per buffer with [`BufferNavigator::pending_cap`].
+pub const DEFAULT_PENDING_CAP: usize = 1024;
 
 impl<W: LxpWrapper> Navigator for BufferNavigator<W> {
     type Handle = BufNodeId;
@@ -1717,5 +1957,232 @@ mod tests {
         // And `right` from the middle still works.
         let c2 = nav.right(&b).unwrap();
         assert_eq!(c2, c);
+    }
+
+    #[test]
+    fn pending_batch_cache_stays_bounded_in_long_sessions() {
+        // A long batched scan parks continuation replies in `pending`.
+        // With a small cap the oldest entries are evicted instead of
+        // accumulating without bound — and the answer stays exact because
+        // an evicted reply is simply refetched over the wire.
+        let term = format!(
+            "view[{}]",
+            (0..40).map(|i| format!("t{i}")).collect::<Vec<_>>().join(",")
+        );
+        let tree = parse_term(&term).unwrap();
+        let reg = MetricsRegistry::enabled();
+        let wrapper =
+            TreeWrapper::single(&tree, FillPolicy::Chunked { n: 1 }).with_batch_budget(6);
+        let mut nav = BufferNavigator::new(wrapper, "doc")
+            .batched(8)
+            .pending_cap(2)
+            .with_metrics(reg.clone());
+        assert_eq!(materialize(&mut nav).to_string(), term, "eviction never corrupts");
+        assert!(nav.pending_replies() <= 2, "cap enforced: {}", nav.pending_replies());
+        assert!(nav.pending_evictions() > 0, "the cap actually bit");
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.value("mix_batch_cache_evictions_total", &[("source", "doc")][..]),
+            Some(nav.pending_evictions()),
+            "evictions surface as a metric"
+        );
+        // An uncapped run of the same scan parks far more than the cap —
+        // the regression the cap exists to prevent.
+        let wrapper =
+            TreeWrapper::single(&tree, FillPolicy::Chunked { n: 1 }).with_batch_budget(6);
+        let mut loose = BufferNavigator::new(wrapper, "doc").batched(8);
+        let root = loose.root();
+        let _ = loose.down(&root);
+        assert!(loose.pending_replies() > 2, "an exchange parks more than the cap");
+    }
+
+    #[test]
+    fn degradation_purges_pending_and_invalidates_the_shared_cache() {
+        // Once a source degrades, replies parked before the failure must
+        // not survive it — neither in the pending batch cache nor in the
+        // shared cross-query cache.
+        let term = format!(
+            "r[{}]",
+            (0..12).map(|i| format!("t{i}")).collect::<Vec<_>>().join(",")
+        );
+        let tree = parse_term(&term).unwrap();
+        let cache = FragmentCache::new();
+        let sink = TraceSink::enabled(1024);
+        let faulty = FaultyWrapper::new(
+            TreeWrapper::single(&tree, FillPolicy::Chunked { n: 1 }).with_batch_budget(4),
+            FaultConfig::outage_after(3),
+        );
+        let mut nav = BufferNavigator::with_retry(
+            faulty,
+            "doc",
+            RetryPolicy { max_attempts: 1, breaker_threshold: 2, ..RetryPolicy::default() },
+        )
+        .batched(4)
+        .with_fragment_cache(cache.clone())
+        .with_trace(sink.clone());
+        let root = nav.root();
+        let mut p = nav.down(&root).unwrap();
+        assert!(!cache.is_empty(), "pre-outage replies were cached");
+        while let Some(next) = nav.right(&p) {
+            p = next;
+        }
+        assert!(nav.degraded_epoch() > 0, "the outage actually degraded the walk");
+        assert_eq!(nav.pending_replies(), 0, "no stale pending fragments survive");
+        assert_eq!(cache.len(), 0, "the source's shared entries are gone");
+        assert!(cache.source_stats("doc").invalidations > 0, "invalidation recorded");
+        // A navigator joining on the same cache afterwards starts cold.
+        assert!(cache.lookup_root("doc").is_none(), "cached root invalidated too");
+        assert!(sink
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::CacheInvalidate { scope: "shared", .. })));
+    }
+
+    #[test]
+    fn failed_batch_exchange_still_accounts_its_traffic() {
+        // A fill_many whose whole reply is rejected (batch shape violated)
+        // used to vanish from the traffic counters: bytes crossed the wire
+        // but neither requests nor wasted_bytes recorded them.
+        struct Scrambled;
+        impl LxpWrapper for Scrambled {
+            fn get_root(&mut self, _uri: &str) -> Result<HoleId, LxpError> {
+                Ok("0".into())
+            }
+            fn fill(&mut self, hole: &HoleId) -> Result<Vec<Fragment>, LxpError> {
+                match hole.as_str() {
+                    "0" => Ok(vec![Fragment::node("r", vec![Fragment::hole("1")])]),
+                    _ => Err(LxpError::UnknownHole(hole.clone())),
+                }
+            }
+            fn fill_many(
+                &mut self,
+                _holes: &[HoleId],
+            ) -> Result<Vec<crate::lxp::BatchItem>, LxpError> {
+                // Wrong hole id in the first item: shape check rejects the
+                // exchange, but the payload bytes were already received.
+                Ok(vec![crate::lxp::BatchItem::new(
+                    "bogus",
+                    vec![Fragment::node("x", vec![Fragment::leaf("y")])],
+                )])
+            }
+        }
+        let sink = TraceSink::enabled(256);
+        let mut nav = BufferNavigator::new(Scrambled, "u").batched(4).with_trace(sink.clone());
+        let stats = nav.stats();
+        let root = nav.root();
+        assert_eq!(nav.down(&root), None, "the violating exchange degrades");
+        let s = stats.snapshot();
+        assert_eq!(s.requests, 1, "the failed exchange IS a wire request: {s:?}");
+        assert!(s.bytes_received > 0, "rejected payload bytes are received bytes");
+        assert_eq!(s.wasted_bytes, s.bytes_received, "…and all of them are waste");
+        assert_eq!(s.fills, 0, "nothing was consumed");
+        let failed: Vec<_> = sink
+            .events()
+            .into_iter()
+            .filter(|e| matches!(e.kind, TraceKind::FillManyFailed { .. }))
+            .collect();
+        assert_eq!(failed.len(), 1, "the rejected exchange is traced");
+        if let TraceKind::FillManyFailed { bytes, wasted, .. } = &failed[0].kind {
+            assert_eq!(bytes, wasted, "the entire exchange is waste");
+        }
+    }
+
+    #[test]
+    fn warm_navigator_answers_from_the_shared_cache_with_zero_wire_traffic() {
+        let term = "view[tuple[a[1],b[2]],tuple[a[3],b[4]],tuple[a[5],b[6]]]";
+        let tree = parse_term(term).unwrap();
+        let cache = FragmentCache::new();
+        let mut cold =
+            BufferNavigator::new(TreeWrapper::single(&tree, FillPolicy::NodeAtATime), "doc")
+                .with_fragment_cache(cache.clone());
+        let cold_stats = cold.stats();
+        assert_eq!(materialize(&mut cold).to_string(), term);
+        assert!(cold_stats.snapshot().requests > 0, "the cold session paid the wire cost");
+        assert!(!cache.is_empty() && cache.stats().insertions > 0);
+
+        // Second session: same source uri, same shared cache — but the
+        // wire is DEAD. Every fragment (and the root hole) comes from the
+        // cache, so the answer is exact with zero wire exchanges.
+        struct Dead;
+        impl LxpWrapper for Dead {
+            fn get_root(&mut self, _uri: &str) -> Result<HoleId, LxpError> {
+                Err(LxpError::SourceError("unplugged".into()))
+            }
+            fn fill(&mut self, _hole: &HoleId) -> Result<Vec<Fragment>, LxpError> {
+                Err(LxpError::SourceError("unplugged".into()))
+            }
+        }
+        let mut warm = BufferNavigator::new(Dead, "doc").with_fragment_cache(cache.clone());
+        let warm_stats = warm.stats();
+        let health = warm.health();
+        assert_eq!(materialize(&mut warm).to_string(), term, "byte-identical warm answer");
+        let w = warm_stats.snapshot();
+        assert_eq!(w.requests, 0, "zero wire exchanges");
+        assert_eq!(w.get_roots, 0, "even the root came from the cache");
+        assert_eq!(w.bytes_received, 0);
+        assert!(w.fills > 0, "cache hits still count as consumed fills");
+        assert_eq!(health.snapshot().degraded_ops, 0, "the dead wire was never touched");
+        assert!(cache.source_stats("doc").hits > 0);
+    }
+
+    #[test]
+    fn zero_budget_cache_admits_nothing_and_changes_nothing() {
+        let term = "view[tuple[a[1],b[2]],tuple[a[3],b[4]]]";
+        let tree = parse_term(term).unwrap();
+        let cache = FragmentCache::with_budget(0);
+        let mut first =
+            BufferNavigator::new(TreeWrapper::single(&tree, FillPolicy::NodeAtATime), "doc")
+                .with_fragment_cache(cache.clone());
+        assert_eq!(materialize(&mut first).to_string(), term);
+        assert_eq!(cache.len(), 0, "a zero budget admits no fragment entries");
+        let mut second =
+            BufferNavigator::new(TreeWrapper::single(&tree, FillPolicy::NodeAtATime), "doc")
+                .with_fragment_cache(cache.clone());
+        let stats = second.stats();
+        assert_eq!(materialize(&mut second).to_string(), term, "starved cache, same answer");
+        assert!(stats.snapshot().requests > 0, "the second session pays the wire again");
+    }
+
+    #[test]
+    fn faulted_exchanges_are_never_cached() {
+        // Transient faults are retried away; only the successful replies
+        // may enter the shared cache. If a faulted attempt ever leaked in,
+        // the warm session over a dead wire below would see garbage.
+        let term = "view[tuple[a[1],b[2]],tuple[a[3],b[4]],tuple[a[5],b[6]]]";
+        let tree = parse_term(term).unwrap();
+        let cache = FragmentCache::new();
+        let faulty = FaultyWrapper::new(
+            TreeWrapper::single(&tree, FillPolicy::NodeAtATime),
+            FaultConfig::transient(42, 0.3),
+        );
+        let fault_stats = faulty.stats();
+        let mut nav = BufferNavigator::with_retry(
+            faulty,
+            "doc",
+            RetryPolicy { max_attempts: 32, ..RetryPolicy::default() },
+        )
+        .with_fragment_cache(cache.clone());
+        let stats = nav.stats();
+        assert_eq!(materialize(&mut nav).to_string(), term);
+        assert!(fault_stats.snapshot().injected_faults > 0, "schedule actually injected");
+        let s = stats.snapshot();
+        assert_eq!(
+            cache.stats().insertions,
+            s.requests,
+            "exactly one cache insertion per successful exchange — faults cached nothing"
+        );
+        // And the cached view is complete: a dead-wire warm session
+        // reconstructs the identical document.
+        struct Dead;
+        impl LxpWrapper for Dead {
+            fn get_root(&mut self, _uri: &str) -> Result<HoleId, LxpError> {
+                Err(LxpError::SourceError("unplugged".into()))
+            }
+            fn fill(&mut self, _hole: &HoleId) -> Result<Vec<Fragment>, LxpError> {
+                Err(LxpError::SourceError("unplugged".into()))
+            }
+        }
+        let mut warm = BufferNavigator::new(Dead, "doc").with_fragment_cache(cache.clone());
+        assert_eq!(materialize(&mut warm).to_string(), term, "cache holds only the truth");
     }
 }

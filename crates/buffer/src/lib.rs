@@ -31,6 +31,10 @@
 //! * [`buffer`] — the buffer component: a [`Navigator`] that maintains the
 //!   open tree and chases holes (the `d(p)`/`chase_first` algorithm of
 //!   Figure 8, generalized to the most liberal protocol);
+//! * [`cache`] — the shared cross-query [`FragmentCache`]: a byte-budgeted
+//!   LRU of verified fill replies keyed by `(source, hole id)` with
+//!   per-source epoch invalidation, so repeated navigations across
+//!   independent queries/sessions cost zero wire exchanges;
 //! * [`prefetch`] — a readahead adapter rendering §4's "asynchronous
 //!   prefetching strategy": fills answered from the readahead cache leave
 //!   the critical path;
@@ -65,6 +69,7 @@
 
 pub mod adaptive;
 pub mod buffer;
+pub mod cache;
 pub mod fault;
 pub mod fragment;
 pub mod health;
@@ -77,6 +82,7 @@ pub mod treewrap;
 
 pub use adaptive::AimdChunk;
 pub use buffer::{BufNodeId, BufferError, BufferNavigator, BufferStats, BufferStatsSnapshot};
+pub use cache::{FragmentCache, FragmentCacheStats, SourceCacheStats, DEFAULT_CACHE_BUDGET};
 pub use fault::{FaultConfig, FaultStats, FaultyWrapper};
 pub use fragment::Fragment;
 pub use health::{HealthSnapshot, HealthStatus, SourceHealth};

@@ -173,6 +173,64 @@ pub enum TraceKind {
         /// Reply items produced (≥ holes when continuations ride along).
         items: u64,
     },
+    /// A fill was answered from the shared cross-query fragment cache —
+    /// zero wire exchanges, zero wrapper involvement.
+    CacheHit {
+        /// The hole served.
+        hole: String,
+        /// Non-hole nodes in the cached reply.
+        nodes: u64,
+        /// Wire bytes the cache saved.
+        bytes: u64,
+    },
+    /// A verified fill reply was admitted into the shared fragment cache.
+    CacheStore {
+        /// The hole whose reply was admitted.
+        hole: String,
+        /// Wire bytes admitted.
+        bytes: u64,
+    },
+    /// A cache entry was evicted: LRU byte pressure in the shared cache
+    /// (`scope: "shared"`) or capacity pressure in the pending batch
+    /// cache (`scope: "pending"`).
+    CacheEvict {
+        /// Which cache evicted: `shared` or `pending`.
+        scope: &'static str,
+        /// The hole whose entry was evicted.
+        hole: String,
+        /// Wire bytes evicted.
+        bytes: u64,
+    },
+    /// A source's cached entries were dropped wholesale: a degradation /
+    /// breaker-open purge or an explicit `invalidate(source)`. Scope
+    /// `shared` is the cross-query cache (epoch bumped); `pending` is
+    /// the navigator's own parked batch replies.
+    CacheInvalidate {
+        /// Which cache was purged: `shared` or `pending`.
+        scope: &'static str,
+        /// Entries dropped.
+        entries: u64,
+        /// Wire bytes dropped.
+        bytes: u64,
+    },
+    /// A `fill_many` exchange transferred a reply that was then rejected
+    /// (batch-shape or progress violation): the wire cost is real even
+    /// though nothing was consumed, so it is attributed rather than
+    /// silently lost.
+    FillManyFailed {
+        /// The critical hole that triggered the exchange.
+        critical: String,
+        /// Holes requested in the batch.
+        holes: u64,
+        /// Per-hole reply items transferred before rejection.
+        items: u64,
+        /// Non-hole nodes transferred.
+        nodes: u64,
+        /// Wire bytes transferred (all counted as waste).
+        bytes: u64,
+        /// Bytes recorded as waste (equals `bytes`).
+        wasted: u64,
+    },
 }
 
 impl TraceKind {
@@ -195,6 +253,11 @@ impl TraceKind {
             TraceKind::PrefetchMiss { .. } => "prefetch-miss",
             TraceKind::PrefetchFail { .. } => "prefetch-fail",
             TraceKind::WrapperFill { .. } => "wrapper-fill",
+            TraceKind::CacheHit { .. } => "cache-hit",
+            TraceKind::CacheStore { .. } => "cache-store",
+            TraceKind::CacheEvict { .. } => "cache-evict",
+            TraceKind::CacheInvalidate { .. } => "cache-invalidate",
+            TraceKind::FillManyFailed { .. } => "fill-many-failed",
         }
     }
 }
@@ -255,6 +318,23 @@ impl fmt::Display for TraceEvent {
             TraceKind::WrapperFill { wrapper, holes, items } => {
                 write!(f, "{wrapper} wrapper answered {holes} holes with {items} items")
             }
+            TraceKind::CacheHit { hole, nodes, bytes } => {
+                write!(f, "fill({hole}) = {nodes} nodes / {bytes} B (shared cache, no wire)")
+            }
+            TraceKind::CacheStore { hole, bytes } => {
+                write!(f, "cached reply for {hole} ({bytes} B)")
+            }
+            TraceKind::CacheEvict { scope, hole, bytes } => {
+                write!(f, "{scope} cache evicted {hole} ({bytes} B)")
+            }
+            TraceKind::CacheInvalidate { scope, entries, bytes } => {
+                write!(f, "{scope} cache invalidated: {entries} entries / {bytes} B dropped")
+            }
+            TraceKind::FillManyFailed { critical, holes, items, nodes, bytes, .. } => write!(
+                f,
+                "fill_many({critical} +{} holes) REJECTED after transfer: {items} items, {nodes} nodes / {bytes} B wasted",
+                holes.saturating_sub(1)
+            ),
         }
     }
 }

@@ -94,6 +94,12 @@ impl VirtualDocument {
         self.engine.borrow().metrics_snapshot()
     }
 
+    /// The shared cross-query fragment cache, if any source carries one
+    /// (see [`Engine::fragment_cache`]).
+    pub fn fragment_cache(&self) -> Option<mix_buffer::FragmentCache> {
+        self.engine.borrow().fragment_cache()
+    }
+
     /// The plan tree annotated with live per-operator metrics (see
     /// [`Engine::explain_analyze`]).
     pub fn explain_analyze(&self) -> String {

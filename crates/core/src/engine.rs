@@ -14,8 +14,8 @@ use crate::registry::{SharedSource, SourceRegistry};
 use crate::EngineError;
 use mix_algebra::{Plan, PlanId, PlanNode};
 use mix_buffer::{
-    BufferStats, BufferStatsSnapshot, Counter, HealthSnapshot, HealthStatus, MetricsRegistry,
-    MetricsSnapshot, SourceHealth, TraceKind, TraceSink,
+    BufferStats, BufferStatsSnapshot, Counter, FragmentCache, HealthSnapshot, HealthStatus,
+    MetricsRegistry, MetricsSnapshot, SourceHealth, TraceKind, TraceSink,
 };
 use mix_nav::{LabelPred, NavCounters, NavStats, Navigator};
 use mix_xml::{Document, Label};
@@ -75,6 +75,7 @@ pub(crate) struct SourceConn {
     pub stats: Option<BufferStats>,
     pub trace: Option<TraceSink>,
     pub metrics: Option<MetricsRegistry>,
+    pub cache: Option<FragmentCache>,
     /// `mix_source_navs_total{source,cmd}` cells, indexed like [`NAV_CMDS`].
     pub navs: [Counter; 4],
 }
@@ -120,6 +121,9 @@ pub struct Engine {
     pub(crate) metrics: MetricsRegistry,
     /// Per-operator series, indexed by [`PlanId`].
     pub(crate) op_metrics: Vec<OpMetrics>,
+    /// The shared cross-query fragment cache, adopted from the first
+    /// source registered with one (`SourceRegistry::set_source_cache`).
+    frag_cache: Option<FragmentCache>,
     /// `mix_client_commands_total{cmd}` cells, indexed like [`NAV_CMDS`].
     cmd_counters: [Counter; 4],
     /// The operator-call stack: plan indices of the operators currently
@@ -196,6 +200,12 @@ impl Engine {
         // the fallback registry too).
         let metrics =
             sources.iter().find_map(|s| s.metrics.clone()).unwrap_or_default();
+        // And for the shared fragment cache: adopt the first one a source
+        // carries, so the client/profiler can read cache effectiveness.
+        let frag_cache = sources.iter().find_map(|s| s.cache.clone());
+        if let Some(cache) = &frag_cache {
+            cache.bind_into(&metrics);
+        }
         let mut src_leaf_op = vec![0u32; sources.len()];
         for (i, op) in ops.iter().enumerate() {
             if let OpState::Source { src, .. } = op {
@@ -211,6 +221,7 @@ impl Engine {
             plan,
             metrics,
             op_metrics: Vec::new(),
+            frag_cache,
             cmd_counters: Default::default(),
             op_stack: Vec::new(),
             src_leaf_op,
@@ -295,6 +306,13 @@ impl Engine {
     /// A point-in-time copy of every registered series.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
+    }
+
+    /// The shared cross-query fragment cache, if any source was
+    /// registered with one (`SourceRegistry::set_source_cache`). Lets
+    /// clients read cache effectiveness and invalidate sources by hand.
+    pub fn fragment_cache(&self) -> Option<FragmentCache> {
+        self.frag_cache.clone()
     }
 
     /// Replace the engine's registry and re-register the engine-level
@@ -582,14 +600,21 @@ impl Engine {
         let _ = writeln!(out, "sources:");
         let _ = writeln!(
             out,
-            "  {:<14} {:>6} {:>6} {:>6} {:>6} {:>7} | {:>6} {:>6} {:>9} {:>8}  fill ns p50/p95/p99/max",
-            "name", "d", "r", "f", "s", "navs", "reqs", "holes", "bytes", "waste"
+            "  {:<14} {:>6} {:>6} {:>6} {:>6} {:>7} | {:>6} {:>6} {:>9} {:>8} {:>6}  fill ns p50/p95/p99/max",
+            "name", "d", "r", "f", "s", "navs", "reqs", "holes", "bytes", "waste", "hits"
         );
         for s in &self.sources {
             let n = s.counters.snapshot();
             let navs = n.downs + n.rights + n.fetches + n.selects;
             let wire = s.stats.as_ref().map(BufferStats::snapshot);
             let col = |v: Option<u64>| v.map_or("-".to_string(), |v| v.to_string());
+            // Shared-fragment-cache hits for this source (the buffer uri
+            // matches the registered source name by convention).
+            let hits = s
+                .cache
+                .as_ref()
+                .or(self.frag_cache.as_ref())
+                .map(|c| c.source_stats(&s.name).hits);
             let fill = snap
                 .histogram("mix_fill_latency_ns", &[("source", &s.name)])
                 .filter(|h| h.count > 0)
@@ -600,7 +625,7 @@ impl Engine {
                 .unwrap_or_else(|| "-".to_string());
             let _ = writeln!(
                 out,
-                "  {:<14} {:>6} {:>6} {:>6} {:>6} {:>7} | {:>6} {:>6} {:>9} {:>8}  {fill}",
+                "  {:<14} {:>6} {:>6} {:>6} {:>6} {:>7} | {:>6} {:>6} {:>9} {:>8} {:>6}  {fill}",
                 s.name,
                 n.downs,
                 n.rights,
@@ -611,6 +636,7 @@ impl Engine {
                 col(wire.map(|t| t.batched_holes)),
                 col(wire.map(|t| t.bytes_received)),
                 col(wire.map(|t| t.wasted_bytes)),
+                col(hits),
             );
         }
 
@@ -655,6 +681,7 @@ fn build_op(
                         stats: reg.stats,
                         trace: reg.trace,
                         metrics: reg.metrics,
+                        cache: reg.cache,
                         // Placeholder cells; `register_metric_series`
                         // replaces them once the registry is adopted.
                         navs: Default::default(),

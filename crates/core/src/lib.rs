@@ -68,6 +68,9 @@ pub use registry::SourceRegistry;
 // Health types surface through `Engine::health` / `VirtualDocument::health`;
 // re-exported so engine clients need not depend on mix-buffer directly.
 pub use mix_buffer::{HealthSnapshot, HealthStatus, SourceHealth};
+// Same for the shared cross-query fragment cache surfaced through
+// `Engine::fragment_cache` / `VirtualDocument::fragment_cache`.
+pub use mix_buffer::{FragmentCache, FragmentCacheStats, SourceCacheStats};
 
 /// Errors raised while wiring a plan to sources.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,7 +1,7 @@
 //! Source registry: wiring plan `source` leaves to navigable sources.
 
 use crate::EngineError;
-use mix_buffer::{BufferStats, MetricsRegistry, SourceHealth, TraceSink};
+use mix_buffer::{BufferStats, FragmentCache, MetricsRegistry, SourceHealth, TraceSink};
 use mix_nav::{erase, DocNavigator, DynNavigator, Navigator};
 use mix_xml::Tree;
 use std::cell::RefCell;
@@ -23,6 +23,7 @@ pub(crate) struct Registered {
     pub stats: Option<BufferStats>,
     pub trace: Option<TraceSink>,
     pub metrics: Option<MetricsRegistry>,
+    pub cache: Option<FragmentCache>,
 }
 
 /// Maps source names (the `homesSrc` of a XMAS query) to navigators.
@@ -59,6 +60,7 @@ impl SourceRegistry {
                 stats: None,
                 trace: None,
                 metrics: None,
+                cache: None,
             },
         );
         self
@@ -87,6 +89,7 @@ impl SourceRegistry {
                 stats: None,
                 trace: None,
                 metrics: None,
+                cache: None,
             },
         );
         self
@@ -119,6 +122,7 @@ impl SourceRegistry {
                 stats: Some(stats),
                 trace: None,
                 metrics: None,
+                cache: None,
             },
         );
         self
@@ -151,6 +155,7 @@ impl SourceRegistry {
                 stats: Some(stats),
                 trace: Some(trace),
                 metrics: None,
+                cache: None,
             },
         );
         self
@@ -190,8 +195,24 @@ impl SourceRegistry {
                 stats: Some(stats),
                 trace: Some(trace),
                 metrics: Some(metrics),
+                cache: None,
             },
         );
+        self
+    }
+
+    /// Attach a shared cross-query [`FragmentCache`] handle to an
+    /// already-registered source, so the engine built from this registry
+    /// can surface cache effectiveness (the hits column of
+    /// `explain_analyze()`, `VirtualDocument::fragment_cache`). This is
+    /// the *observability* side: the cache does its work inside the
+    /// source's `BufferNavigator` (see
+    /// `BufferNavigator::with_fragment_cache`); hand the same handle to
+    /// both. Unknown names are ignored.
+    pub fn set_source_cache(&mut self, name: &str, cache: FragmentCache) -> &mut Self {
+        if let Some(reg) = self.sources.get_mut(name) {
+            reg.cache = Some(cache);
+        }
         self
     }
 

@@ -14,7 +14,10 @@
 //! events: a [`TraceKind::Fill`] with `from_cache: false` is one wire
 //! request; a [`TraceKind::FillMany`] is one wire request answering
 //! `items` holes and parking `wasted` speculative bytes; a cache-served
-//! [`TraceKind::Fill`] credits `waste_credit` bytes back. Over a complete
+//! [`TraceKind::Fill`] credits `waste_credit` bytes back; a
+//! [`TraceKind::CacheHit`] (shared cross-query cache) is one consumed
+//! fill with zero wire cost; a [`TraceKind::FillManyFailed`] is one wire
+//! request whose entire transferred volume is waste. Over a complete
 //! trace (`dropped == 0`) the rollup reproduces the
 //! `requests`/`batched_holes`/`wasted_bytes` counters to the digit — the
 //! invariant experiment E15 asserts under injected faults.
@@ -197,6 +200,18 @@ impl TraceLog {
                     r.bytes += bytes;
                     parked += wasted;
                 }
+                // A shared-cache hit consumes a reply with zero wire
+                // exchanges: only `fills` advances.
+                TraceKind::CacheHit { .. } => r.fills += 1,
+                // A transferred-then-rejected batch: the request and its
+                // volume are real, all of it wasted, nothing consumed.
+                TraceKind::FillManyFailed { items, nodes, bytes, wasted, .. } => {
+                    r.requests += 1;
+                    r.batched_holes += items;
+                    r.nodes += nodes;
+                    r.bytes += bytes;
+                    parked += wasted;
+                }
                 TraceKind::GetRoot { .. } => r.get_roots += 1,
                 TraceKind::Retry { .. } => r.retries += 1,
                 TraceKind::Degradation { .. } => r.degradations += 1,
@@ -244,6 +259,11 @@ impl TraceLog {
                     }
                 }
                 TraceKind::FillMany { items, wasted, .. } => {
+                    row.requests += 1;
+                    row.batched_holes += items;
+                    row.waste_delta += *wasted as i64;
+                }
+                TraceKind::FillManyFailed { items, wasted, .. } => {
                     row.requests += 1;
                     row.batched_holes += items;
                     row.waste_delta += *wasted as i64;
@@ -357,6 +377,33 @@ fn event_json(e: &TraceEvent) -> String {
             fields.push(format!("\"wrapper\": {}", json_str(wrapper)));
             fields.push(format!("\"holes\": {holes}"));
             fields.push(format!("\"items\": {items}"));
+        }
+        TraceKind::CacheHit { hole, nodes, bytes } => {
+            fields.push(format!("\"hole\": {}", json_str(hole)));
+            fields.push(format!("\"nodes\": {nodes}"));
+            fields.push(format!("\"bytes\": {bytes}"));
+        }
+        TraceKind::CacheStore { hole, bytes } => {
+            fields.push(format!("\"hole\": {}", json_str(hole)));
+            fields.push(format!("\"bytes\": {bytes}"));
+        }
+        TraceKind::CacheEvict { scope, hole, bytes } => {
+            fields.push(format!("\"scope\": {}", json_str(scope)));
+            fields.push(format!("\"hole\": {}", json_str(hole)));
+            fields.push(format!("\"bytes\": {bytes}"));
+        }
+        TraceKind::CacheInvalidate { scope, entries, bytes } => {
+            fields.push(format!("\"scope\": {}", json_str(scope)));
+            fields.push(format!("\"entries\": {entries}"));
+            fields.push(format!("\"bytes\": {bytes}"));
+        }
+        TraceKind::FillManyFailed { critical, holes, items, nodes, bytes, wasted } => {
+            fields.push(format!("\"critical\": {}", json_str(critical)));
+            fields.push(format!("\"holes\": {holes}"));
+            fields.push(format!("\"items\": {items}"));
+            fields.push(format!("\"nodes\": {nodes}"));
+            fields.push(format!("\"bytes\": {bytes}"));
+            fields.push(format!("\"wasted\": {wasted}"));
         }
     }
     format!("{{{}}}", fields.join(", "))

@@ -11,8 +11,8 @@
 
 use mix_algebra::translate;
 use mix_buffer::{
-    BufferNavigator, FaultConfig, FaultyWrapper, FillPolicy, MetricsRegistry, RetryPolicy,
-    TraceSink, TreeWrapper,
+    BatchItem, BufferNavigator, FaultConfig, FaultyWrapper, FillPolicy, Fragment, FragmentCache,
+    HoleId, LxpError, LxpWrapper, MetricsRegistry, RetryPolicy, TraceSink, TreeWrapper,
 };
 use mix_core::{Engine, SourceRegistry, VirtualDocument};
 use mix_nav::explore::materialize;
@@ -51,6 +51,96 @@ fn observed_doc(
     let (health, stats) = (nav.health(), nav.stats());
     let mut reg = SourceRegistry::new();
     reg.add_navigator_observed("src", nav, health, stats, sink.clone(), registry.clone());
+    let plan = translate(&parse_query(QUERY).unwrap()).unwrap();
+    (VirtualDocument::new(Engine::new(plan, &reg).unwrap()), registry, sink)
+}
+
+/// An adapter that periodically *violates* the batch protocol: every
+/// `violate_every`-th `fill_many` call answers with a scrambled first item
+/// (wrong hole id, real payload), so the buffer rejects the entire
+/// exchange after the bytes crossed the wire. Single-hole `fill` stays
+/// honest — that's the unbatched fallback the session recovers through.
+struct ViolatingBatch {
+    inner: TreeWrapper,
+    calls: u64,
+    violate_every: u64,
+}
+
+impl LxpWrapper for ViolatingBatch {
+    fn get_root(&mut self, uri: &str) -> Result<HoleId, LxpError> {
+        self.inner.get_root(uri)
+    }
+    fn fill(&mut self, hole: &HoleId) -> Result<Vec<Fragment>, LxpError> {
+        self.inner.fill(hole)
+    }
+    fn fill_many(&mut self, holes: &[HoleId]) -> Result<Vec<BatchItem>, LxpError> {
+        self.calls += 1;
+        if self.calls.is_multiple_of(self.violate_every) {
+            return Ok(vec![BatchItem::new(
+                "scrambled",
+                vec![Fragment::node("junk", vec![Fragment::leaf("payload")])],
+            )]);
+        }
+        self.inner.fill_many(holes)
+    }
+}
+
+/// The observed stack over a wrapper that fails whole batch exchanges on a
+/// schedule. Exercises the error-path accounting: a rejected `fill_many`
+/// must still be one request with all its bytes counted (and wasted).
+fn observed_doc_violating(
+    tree: &Tree,
+    violate_every: u64,
+    batch: usize,
+    metrics_on: bool,
+) -> (VirtualDocument, MetricsRegistry, TraceSink) {
+    let registry = if metrics_on { MetricsRegistry::enabled() } else { MetricsRegistry::off() };
+    let sink = TraceSink::enabled(1 << 16);
+    let mut inner = TreeWrapper::new(FillPolicy::NodeAtATime);
+    inner.add("src", std::rc::Rc::new(mix_xml::Document::from_tree(tree)));
+    let wrapper = ViolatingBatch { inner, calls: 0, violate_every };
+    let mut nav = BufferNavigator::with_retry(wrapper, "src", RetryPolicy::default())
+        .with_trace(sink.clone())
+        .with_metrics(registry.clone());
+    if batch > 0 {
+        nav = nav.batched(batch);
+    }
+    let (health, stats) = (nav.health(), nav.stats());
+    let mut reg = SourceRegistry::new();
+    reg.add_navigator_observed("src", nav, health, stats, sink.clone(), registry.clone());
+    let plan = translate(&parse_query(QUERY).unwrap()).unwrap();
+    (VirtualDocument::new(Engine::new(plan, &reg).unwrap()), registry, sink)
+}
+
+/// The observed stack with a shared [`FragmentCache`] attached to the
+/// buffer (and registered for observability). Metrics stay enabled — the
+/// point is that cache hits keep the three ledgers in exact agreement.
+fn observed_doc_cached(
+    tree: &Tree,
+    fault: Option<FaultConfig>,
+    batch: usize,
+    cache: FragmentCache,
+) -> (VirtualDocument, MetricsRegistry, TraceSink) {
+    let registry = MetricsRegistry::enabled();
+    let sink = TraceSink::enabled(1 << 16);
+    let mut inner = TreeWrapper::new(FillPolicy::NodeAtATime);
+    inner.add("src", std::rc::Rc::new(mix_xml::Document::from_tree(tree)));
+    let cfg = fault.unwrap_or(FaultConfig::transient(0, 0.0));
+    let mut nav = BufferNavigator::with_retry(
+        FaultyWrapper::new(inner, cfg),
+        "src",
+        RetryPolicy::default(),
+    )
+    .with_trace(sink.clone())
+    .with_metrics(registry.clone())
+    .with_fragment_cache(cache.clone());
+    if batch > 0 {
+        nav = nav.batched(batch);
+    }
+    let (health, stats) = (nav.health(), nav.stats());
+    let mut reg = SourceRegistry::new();
+    reg.add_navigator_observed("src", nav, health, stats, sink.clone(), registry.clone());
+    reg.set_source_cache("src", cache);
     let plan = translate(&parse_query(QUERY).unwrap()).unwrap();
     (VirtualDocument::new(Engine::new(plan, &reg).unwrap()), registry, sink)
 }
@@ -165,6 +255,38 @@ proptest! {
         metrics_on in prop_oneof![Just(true), Just(false)],
     ) {
         let (doc, registry, sink) = observed_doc(&tree, fault, batch, metrics_on);
+        let _ = prog.run(&mut *doc.engine().borrow_mut());
+        check_invariants(&doc, &registry, &sink);
+    }
+
+    #[test]
+    fn reconciliation_survives_failing_batch_exchanges(
+        tree in arb_tree(),
+        prog in arb_program(),
+        violate_every in 1u64..5,
+        metrics_on in prop_oneof![Just(true), Just(false)],
+    ) {
+        // Batched mode with whole exchanges rejected mid-session: the
+        // rejected fill_many is still one wire request and its payload is
+        // pure waste, so all three ledgers must keep agreeing exactly.
+        let (doc, registry, sink) = observed_doc_violating(&tree, violate_every, 4, metrics_on);
+        let _ = prog.run(&mut *doc.engine().borrow_mut());
+        check_invariants(&doc, &registry, &sink);
+    }
+
+    #[test]
+    fn reconciliation_holds_with_a_shared_cache(
+        tree in arb_tree(),
+        prog in arb_program(),
+        fault in arb_fault(),
+        batch in prop_oneof![Just(0usize), Just(4usize)],
+        budget in prop_oneof![Just(0u64), Just(64u64), Just(mix_buffer::DEFAULT_CACHE_BUDGET)],
+    ) {
+        // Same three-way reconciliation, now with the shared fragment
+        // cache attached: cache hits are zero-wire fills, invalidations
+        // change nothing the ledgers count — exactness must survive.
+        let (doc, registry, sink) =
+            observed_doc_cached(&tree, fault, batch, FragmentCache::with_budget(budget));
         let _ = prog.run(&mut *doc.engine().borrow_mut());
         check_invariants(&doc, &registry, &sink);
     }

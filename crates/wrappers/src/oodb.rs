@@ -339,4 +339,25 @@ mod tests {
         assert!(matches!(w.fill(&"junk".to_string()), Err(LxpError::UnknownHole(_))));
         assert!(matches!(w.fill(&"obj:999:".to_string()), Err(LxpError::UnknownHole(_))));
     }
+
+    #[test]
+    fn warm_session_over_the_shared_cache_skips_the_store() {
+        // Object ids are assigned in creation order, so a second wrapper
+        // over an identically-built store exports the same hole ids — and
+        // a shared cache serves the whole graph without one object fetch.
+        use mix_buffer::FragmentCache;
+        let cache = FragmentCache::new();
+        let mut cold = BufferNavigator::new(OodbWrapper::new(demo_store()), "hr")
+            .with_fragment_cache(cache.clone());
+        let answer = materialize(&mut cold).to_string();
+        assert!(cold.stats().snapshot().requests > 0, "cold session fetched objects");
+
+        let mut warm = BufferNavigator::new(OodbWrapper::new(demo_store()), "hr")
+            .with_fragment_cache(cache.clone());
+        let stats = warm.stats();
+        assert_eq!(materialize(&mut warm).to_string(), answer, "byte-identical warm answer");
+        let s = stats.snapshot();
+        assert_eq!(s.requests, 0, "warm session never consulted the store");
+        assert_eq!(s.get_roots, 0);
+    }
 }

@@ -659,4 +659,25 @@ mod query_mode_tests {
         let h = w.get_root("realestate").unwrap();
         assert!(matches!(w.fill(&h), Err(LxpError::SourceError(_))));
     }
+
+    #[test]
+    fn warm_session_over_the_shared_cache_skips_the_database() {
+        // The wrapper's hole ids are self-describing (`db.table.row`), so
+        // a second session over a fresh wrapper instance can be served
+        // entirely from a shared cross-query cache — zero wire exchanges.
+        use mix_buffer::FragmentCache;
+        let cache = FragmentCache::new();
+        let mut cold = BufferNavigator::new(RelationalWrapper::new(db(3), 100), "realestate")
+            .with_fragment_cache(cache.clone());
+        let answer = materialize(&mut cold).to_string();
+        assert!(cold.stats().snapshot().requests > 0, "cold session paid the wire");
+
+        let mut warm = BufferNavigator::new(RelationalWrapper::new(db(3), 100), "realestate")
+            .with_fragment_cache(cache.clone());
+        let stats = warm.stats();
+        assert_eq!(materialize(&mut warm).to_string(), answer, "byte-identical warm answer");
+        let s = stats.snapshot();
+        assert_eq!(s.requests, 0, "warm session never reached the database");
+        assert_eq!(s.get_roots, 0, "even the root handle came from the cache");
+    }
 }

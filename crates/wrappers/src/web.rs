@@ -324,4 +324,30 @@ mod tests {
         materialize(&mut nav_b);
         assert!(net.stats().requests >= 4);
     }
+
+    #[test]
+    fn warm_session_over_the_shared_cache_costs_no_network() {
+        // A second session over a *different* network connection but the
+        // same shared cache never touches the wire: the simulated network
+        // records zero requests and zero cost.
+        use mix_buffer::FragmentCache;
+        let cache = FragmentCache::new();
+        let cold_net = Network::new(100, 1);
+        let mut w = WebWrapper::new(cold_net.clone(), 50);
+        w.add_page("catalog", &page());
+        let mut cold =
+            BufferNavigator::new(w, "catalog").with_fragment_cache(cache.clone());
+        let answer = materialize(&mut cold).to_string();
+        assert!(cold_net.stats().requests > 0, "cold session used the network");
+
+        let warm_net = Network::new(100, 1);
+        let mut w = WebWrapper::new(warm_net.clone(), 50);
+        w.add_page("catalog", &page());
+        let mut warm =
+            BufferNavigator::new(w, "catalog").with_fragment_cache(cache.clone());
+        assert_eq!(materialize(&mut warm).to_string(), answer, "byte-identical warm answer");
+        let s = warm_net.stats();
+        assert_eq!(s.requests, 0, "warm session sent nothing over the network");
+        assert_eq!(s.simulated_cost, 0, "…so it cost nothing");
+    }
 }

@@ -22,6 +22,8 @@
 //! why          explain the current degradation state, span by span
 //! explain      EXPLAIN ANALYZE — plan tree with live per-operator metrics
 //! metrics      Prometheus scrape of every live metric series
+//! cache        shared fragment-cache stats (`cache inv <src>` invalidates,
+//!              `cache clear` drops everything)
 //! q            quit
 //! ```
 //!
@@ -41,6 +43,9 @@ fn main() {
     // `metrics`/`explain` each see the whole stack at once.
     let sink = TraceSink::enabled(1 << 16);
     let registry = MetricsRegistry::enabled();
+    // One shared cross-query fragment cache serves both buffers; the same
+    // handle goes to the registry so `explain` can show per-source hits.
+    let cache = FragmentCache::new();
     let homes = mix::wrappers::gen::homes_doc(42, 25, 6);
     let schools = mix::wrappers::gen::schools_doc(43, 25, 6);
 
@@ -61,18 +66,22 @@ fn main() {
             if faulty { RetryPolicy { max_attempts: 2, ..RetryPolicy::default() } } else { RetryPolicy::none() };
         let nav = BufferNavigator::with_retry(FaultyWrapper::new(inner, cfg), "homesSrc", policy)
             .with_trace(sink.clone())
-            .with_metrics(registry.clone());
+            .with_metrics(registry.clone())
+            .with_fragment_cache(cache.clone());
         let (health, stats) = (nav.health(), nav.stats());
         sources.add_navigator_observed("homesSrc", nav, health, stats, sink.clone(), registry.clone());
+        sources.set_source_cache("homesSrc", cache.clone());
     }
     {
         let mut inner = TreeWrapper::new(FillPolicy::Chunked { n: 4 });
         inner.add("schoolsSrc", std::rc::Rc::new(mix::xml::Document::from_tree(&schools)));
         let nav = BufferNavigator::new(inner, "schoolsSrc")
             .with_trace(sink.clone())
-            .with_metrics(registry.clone());
+            .with_metrics(registry.clone())
+            .with_fragment_cache(cache.clone());
         let (health, stats) = (nav.health(), nav.stats());
         sources.add_navigator_observed("schoolsSrc", nav, health, stats, sink.clone(), registry.clone());
+        sources.set_source_cache("schoolsSrc", cache.clone());
     }
 
     let plan = translate(
@@ -90,7 +99,7 @@ fn main() {
         if faulty { " (homes wire is faulty)" } else { "" });
     println!(
         "commands: d(own) r(ight) u(p) f(etch) s <label> t(ree) g(uide) n(avs) \
-         trace [k] why explain metrics q(uit)"
+         trace [k] why explain metrics cache q(uit)"
     );
     println!(
         "observability: `trace [k]` replays the flight recorder, `why` blames \
@@ -222,6 +231,35 @@ fn main() {
             }
             Some("explain") => print!("{}", doc.explain_analyze()),
             Some("metrics") => print!("{}", doc.metrics_snapshot().render_prometheus()),
+            Some("cache") => match (words.next(), words.next()) {
+                (Some("inv"), Some(src)) => {
+                    let (entries, bytes) = cache.invalidate(src);
+                    println!("  invalidated `{src}`: {entries} entries, {bytes} bytes dropped");
+                }
+                (Some("clear"), _) => {
+                    cache.clear();
+                    println!("  cache cleared (all source epochs bumped)");
+                }
+                _ => {
+                    let s = cache.stats();
+                    println!(
+                        "  shared fragment cache: {} entries / {} B (budget {} B)",
+                        s.entries, s.bytes, s.budget
+                    );
+                    println!(
+                        "  {} hits, {} misses, {} insertions, {} evictions, {} invalidations",
+                        s.hits, s.misses, s.insertions, s.evictions, s.invalidations
+                    );
+                    for name in ["homesSrc", "schoolsSrc"] {
+                        let per = cache.source_stats(name);
+                        println!(
+                            "    {name}: {} hits, {} misses, {} invalidations",
+                            per.hits, per.misses, per.invalidations
+                        );
+                    }
+                    println!("  (`cache inv <src>` invalidates one source, `cache clear` everything)");
+                }
+            },
             Some("q") => break,
             Some(other) => println!("unknown command `{other}`"),
             None => {}

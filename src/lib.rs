@@ -77,8 +77,8 @@ pub mod prelude {
         classify, compose, rewrite::rewrite, translate, Browsability, NcCapabilities, Plan,
     };
     pub use mix_buffer::{
-        BufferNavigator, FaultConfig, FaultyWrapper, FillPolicy, HealthStatus, MetricsRegistry,
-        MetricsSnapshot, RetryPolicy, TreeWrapper,
+        BufferNavigator, FaultConfig, FaultyWrapper, FillPolicy, FragmentCache, HealthStatus,
+        MetricsRegistry, MetricsSnapshot, RetryPolicy, TreeWrapper,
     };
     pub use mix_core::{
         eager, Degraded, Engine, EngineConfig, PromText, SourceRegistry, TraceKind, TraceLog,

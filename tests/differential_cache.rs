@@ -1,0 +1,164 @@
+//! Property-based differential testing for the shared cross-query
+//! fragment cache: on random documents, queries, and fault schedules, the
+//! cache must be *observationally invisible* — byte-identical answers and
+//! identical degradation reports with the cache off, cold, warm, or
+//! budget-starved — while a warm session costs zero wire exchanges and an
+//! invalidated one pays the wire again.
+
+use mix::prelude::*;
+use mix::wrappers::gen::random_tree;
+use proptest::prelude::*;
+
+const LABELS: &[&str] = &["a", "b", "c", "x"];
+
+/// A slice of the structurally diverse query pool over one source `src`
+/// (same shapes as `tests/differential.rs`).
+fn query_pool() -> Vec<&'static str> {
+    vec![
+        "CONSTRUCT <out> $V {$V} </out> {} WHERE src _ $V",
+        "CONSTRUCT <out> $V {$V} </out> {} WHERE src _._ $V",
+        "CONSTRUCT <out> $V {$V} </out> {} WHERE src _.a $V",
+        "CONSTRUCT <out> $V {$V} </out> {} WHERE src (a|b)._ $V",
+        "CONSTRUCT <out> $V {$V} </out> {} WHERE src _.a*.b $V",
+        "CONSTRUCT <out> $W {$W} </out> {} WHERE src _._ $V AND $V a $W",
+        r#"CONSTRUCT <out> $V {$V} </out> {} WHERE src _._ $V AND $V _ $W AND $W = "a""#,
+        "CONSTRUCT <out> <g> $W $V {$V} </g> {$W} </out> {} WHERE src _._ $V AND $V _ $W",
+    ]
+}
+
+/// An engine over `tree` behind a buffered chunked wrapper, optionally
+/// faulty, optionally carrying a shared fragment cache. Returns the
+/// engine plus the buffer's stats and health handles.
+fn cached_engine(
+    tree: &mix::xml::Tree,
+    query: &str,
+    chunk: usize,
+    fault: Option<FaultConfig>,
+    cache: Option<FragmentCache>,
+) -> (Engine, mix::buffer::BufferStats, mix::buffer::SourceHealth) {
+    let plan = translate(&parse_query(query).unwrap()).unwrap();
+    let inner = TreeWrapper::single(tree, FillPolicy::Chunked { n: chunk });
+    let policy = if fault.is_some() {
+        RetryPolicy { max_attempts: 2, ..RetryPolicy::default() }
+    } else {
+        RetryPolicy::none()
+    };
+    let cfg = fault.unwrap_or(FaultConfig::transient(0, 0.0));
+    let mut nav = BufferNavigator::with_retry(FaultyWrapper::new(inner, cfg), "doc", policy);
+    if let Some(cache) = cache {
+        nav = nav.with_fragment_cache(cache);
+    }
+    let (stats, health) = (nav.stats(), nav.health());
+    let mut reg = SourceRegistry::new();
+    reg.add_navigator("src", nav);
+    (Engine::new(plan, &reg).unwrap(), stats, health)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn cached_equals_uncached_and_warm_is_free(
+        seed in 0u64..5_000,
+        nodes in 1usize..30,
+        qidx in 0usize..8,
+        chunk in 1usize..5,
+    ) {
+        let tree = random_tree(seed, nodes, LABELS);
+        let query = query_pool()[qidx];
+
+        // (a) No cache at all — the baseline answer.
+        let (mut off, _, _) = cached_engine(&tree, query, chunk, None, None);
+        let baseline = materialize(&mut off);
+
+        // (b) Cold cache-on session: identical answer, fills the cache.
+        let cache = FragmentCache::new();
+        let (mut cold, cold_stats, _) =
+            cached_engine(&tree, query, chunk, None, Some(cache.clone()));
+        prop_assert_eq!(&materialize(&mut cold), &baseline, "cold cache-on differs");
+        let paid = cold_stats.snapshot().requests;
+        prop_assert!(paid > 0, "the cold session paid the wire");
+
+        // (c) Warm session sharing the cache: identical answer, ZERO wire.
+        let (mut warm, warm_stats, _) =
+            cached_engine(&tree, query, chunk, None, Some(cache.clone()));
+        prop_assert_eq!(&materialize(&mut warm), &baseline, "warm answer differs");
+        let w = warm_stats.snapshot();
+        prop_assert_eq!(w.requests, 0, "warm session exchanged wire traffic");
+        prop_assert_eq!(w.get_roots, 0, "warm session re-fetched the root");
+        prop_assert_eq!(w.bytes_received, 0);
+
+        // (d) Budget-starved cache: admits nothing, changes nothing.
+        let starved = FragmentCache::with_budget(0);
+        let (mut tiny, tiny_stats, _) =
+            cached_engine(&tree, query, chunk, None, Some(starved.clone()));
+        prop_assert_eq!(&materialize(&mut tiny), &baseline, "starved cache differs");
+        prop_assert_eq!(starved.len(), 0, "zero budget admitted entries");
+        prop_assert!(tiny_stats.snapshot().requests > 0, "starved session pays the wire");
+    }
+
+    #[test]
+    fn cache_is_transparent_under_faults(
+        seed in 0u64..5_000,
+        nodes in 1usize..30,
+        qidx in 0usize..8,
+        chunk in 1usize..5,
+        fault_seed in 1u64..999,
+    ) {
+        // A fresh cache never changes the wire sequence of a first
+        // session, so the same fault schedule produces byte-identical
+        // answers AND identical degradation reports, cache on or off.
+        let tree = random_tree(seed, nodes, LABELS);
+        let query = query_pool()[qidx];
+        let fault = FaultConfig::transient(fault_seed, 0.25);
+
+        let (mut off, _, off_health) = cached_engine(&tree, query, chunk, Some(fault), None);
+        let a = materialize(&mut off);
+
+        let (mut on, _, on_health) = cached_engine(
+            &tree, query, chunk, Some(fault), Some(FragmentCache::new()),
+        );
+        let b = materialize(&mut on);
+
+        prop_assert_eq!(a, b, "cache changed the degraded answer");
+        let (ha, hb) = (off_health.snapshot(), on_health.snapshot());
+        prop_assert_eq!(ha.status, hb.status, "cache changed the health status");
+        prop_assert_eq!(ha.degraded_ops, hb.degraded_ops, "cache changed the degradations");
+        prop_assert_eq!(ha.retries, hb.retries, "cache changed the retry count");
+    }
+
+    #[test]
+    fn warm_session_survives_a_dead_wire_and_invalidation_restores_traffic(
+        seed in 0u64..5_000,
+        nodes in 1usize..30,
+        qidx in 0usize..8,
+        chunk in 1usize..5,
+    ) {
+        let tree = random_tree(seed, nodes, LABELS);
+        let query = query_pool()[qidx];
+
+        // Cold session over a clean wire fills the cache.
+        let cache = FragmentCache::new();
+        let (mut cold, _, _) = cached_engine(&tree, query, chunk, None, Some(cache.clone()));
+        let baseline = materialize(&mut cold);
+
+        // Warm session over a wire that fails EVERY exchange: the answer
+        // is pristine and nothing degrades, because nothing touches the
+        // wire.
+        let (mut warm, warm_stats, warm_health) = cached_engine(
+            &tree, query, chunk, Some(FaultConfig::outage_after(0)), Some(cache.clone()),
+        );
+        prop_assert_eq!(&materialize(&mut warm), &baseline, "warm over dead wire differs");
+        prop_assert_eq!(warm_stats.snapshot().requests, 0);
+        prop_assert_eq!(warm_health.snapshot().degraded_ops, 0, "the dead wire was felt");
+
+        // After invalidating the source, the next session pays the wire
+        // again — and still computes the identical answer.
+        let (entries, _) = cache.invalidate("doc");
+        prop_assert!(entries > 0, "invalidation dropped the cached fragments");
+        let (mut fresh, fresh_stats, _) =
+            cached_engine(&tree, query, chunk, None, Some(cache.clone()));
+        prop_assert_eq!(&materialize(&mut fresh), &baseline, "post-invalidate differs");
+        prop_assert!(fresh_stats.snapshot().requests > 0, "invalidation restored traffic");
+    }
+}
