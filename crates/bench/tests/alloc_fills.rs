@@ -1,0 +1,76 @@
+//! Allocation-budget tests for the batched fill path.
+//!
+//! The E14 wall-clock regression was an allocation storm: every wire
+//! exchange re-walked the open tree and deep-cloned fragment vectors, so
+//! batched scans did O(rows × exchanges) allocations. These tests pin the
+//! fixed behavior — a full batched scan allocates O(rows), and the
+//! per-row budget does not grow with the batch limit.
+
+use mix_buffer::BufferNavigator;
+use mix_nav::explore::materialize;
+use mix_wrappers::{gen, RelationalWrapper};
+
+#[global_allocator]
+static ALLOC: countalloc::CountingAlloc = countalloc::CountingAlloc::new();
+
+/// The counters are process-global, and the default test runner is
+/// multi-threaded: serialize measured regions so one test's allocations
+/// never land in another's delta.
+static MEASURE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Batched scan of `rows` tuples; returns (allocations, fills).
+fn batched_scan(rows: usize, batch: usize) -> (u64, u64) {
+    let _guard = MEASURE.lock().unwrap_or_else(|e| e.into_inner());
+    let db = gen::homes_database(3, rows, 100);
+    let w = RelationalWrapper::new(db, 10).with_batch_budget(batch);
+    let mut nav = BufferNavigator::new(w, "realestate").batched(batch);
+    let stats = nav.stats();
+    let (_, counts) = countalloc::count_allocations(|| materialize(&mut nav).to_string());
+    (counts.allocations, stats.snapshot().fills)
+}
+
+#[test]
+fn batched_fill_of_a_10k_row_scan_allocates_linearly_in_rows() {
+    let rows = 10_000;
+    let (allocations, fills) = batched_scan(rows, 4);
+    assert_eq!(fills, 1001, "scan shape changed — rebaseline this test");
+    // Measured ~25 allocations/row (row fragment + attribute nodes +
+    // leaf strings + splice bookkeeping + the materialized answer).
+    // 80/row still fails sharply if any per-exchange re-walk or
+    // deep-clone returns: the old path did several hundred per row.
+    let per_row = allocations as f64 / rows as f64;
+    assert!(
+        per_row < 80.0,
+        "batched scan must allocate O(rows): {allocations} allocations \
+         for {rows} rows ({per_row:.0}/row)"
+    );
+}
+
+#[test]
+fn allocation_budget_does_not_grow_with_the_batch_limit() {
+    // Same scan, wider batching: more holes per exchange must not mean
+    // more allocations per row (the old tree re-walk scaled with both).
+    let rows = 4_000;
+    let (a4, _) = batched_scan(rows, 4);
+    let (a16, _) = batched_scan(rows, 16);
+    let ratio = a16 as f64 / a4 as f64;
+    assert!(
+        ratio < 1.25,
+        "x16 batching allocated {ratio:.2}x what x4 did ({a16} vs {a4})"
+    );
+}
+
+#[test]
+fn scan_allocations_scale_linearly_not_quadratically() {
+    // 5x the rows must cost about 5x the allocations. The pre-fix path
+    // re-walked the whole open tree per exchange, which shows up here as
+    // a super-linear blow-up (quadratic would be ~25x).
+    let (small, _) = batched_scan(2_000, 4);
+    let (large, _) = batched_scan(10_000, 4);
+    let ratio = large as f64 / small as f64;
+    assert!(
+        ratio < 7.5,
+        "10k/2k allocation ratio {ratio:.1}x — expected ~5x (linear), \
+         got super-linear growth"
+    );
+}

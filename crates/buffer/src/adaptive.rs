@@ -28,7 +28,23 @@ pub struct AimdChunk {
     increase: usize,
     /// Consecutive sequential fills observed since the last reset.
     streak: u32,
+    /// Random-access signals accumulated since the last shrink (see
+    /// `hysteresis`).
+    pressure: u32,
+    /// How many random-access signals it takes to trigger one
+    /// multiplicative shrink. On short scans a single stray probe used
+    /// to halve the chunk, then the next probe halved it again —
+    /// thrashing between sizes and inflating request counts versus a
+    /// fixed chunk. Pressure accumulates across sequential fills and
+    /// resets only when a shrink fires. Measured waste
+    /// ([`AimdChunk::on_waste`]) bypasses the band: data provably
+    /// shipped for nothing shrinks immediately.
+    hysteresis: u32,
 }
+
+/// Default random-signal hysteresis: two consecutive random probes (with
+/// no sequential fill absorbing the pressure in between) per shrink.
+pub const DEFAULT_HYSTERESIS: u32 = 2;
 
 impl AimdChunk {
     /// A controller starting at `initial` items per fill, bounded to
@@ -42,7 +58,17 @@ impl AimdChunk {
             max,
             increase: increase.max(1),
             streak: 0,
+            pressure: 0,
+            hysteresis: DEFAULT_HYSTERESIS,
         }
+    }
+
+    /// Override the hysteresis band: shrink only after `h` accumulated
+    /// random-access signals (floored at 1 = shrink on every signal,
+    /// the pre-hysteresis behavior).
+    pub fn with_hysteresis(mut self, h: u32) -> Self {
+        self.hysteresis = h.max(1);
+        self
     }
 
     /// A controller with library defaults: start at `initial`, floor 1,
@@ -70,17 +96,28 @@ impl AimdChunk {
         self.chunk = self.chunk.saturating_add(self.increase).min(self.max);
     }
 
-    /// The client jumped to an unrelated position: multiplicative
-    /// decrease (halve, clamped to the floor) and reset the streak.
+    /// The client jumped to an unrelated position. The streak resets,
+    /// but the multiplicative decrease fires only once the accumulated
+    /// pressure crosses the hysteresis band — one stray probe in a scan
+    /// no longer thrashes the chunk size.
     pub fn on_random(&mut self) {
         self.streak = 0;
-        self.chunk = (self.chunk / 2).max(self.min);
+        self.pressure += 1;
+        if self.pressure >= self.hysteresis {
+            self.shrink();
+        }
     }
 
-    /// Data shipped speculatively went unused: same decrease signal as
-    /// random access.
+    /// Data shipped speculatively went unused: a *measured* loss, so the
+    /// decrease fires immediately, bypassing the hysteresis band.
     pub fn on_waste(&mut self) {
-        self.on_random();
+        self.streak = 0;
+        self.shrink();
+    }
+
+    fn shrink(&mut self) {
+        self.pressure = 0;
+        self.chunk = (self.chunk / 2).max(self.min);
     }
 }
 
@@ -107,7 +144,8 @@ mod tests {
 
     #[test]
     fn shrinks_multiplicatively_on_random_access() {
-        let mut c = AimdChunk::new(64, 2, 1000, 8);
+        // Hysteresis 1 = the classic shrink-per-signal behavior.
+        let mut c = AimdChunk::new(64, 2, 1000, 8).with_hysteresis(1);
         c.on_random();
         assert_eq!(c.chunk(), 32);
         c.on_random();
@@ -116,6 +154,35 @@ mod tests {
         c.on_random();
         assert_eq!(c.chunk(), 2, "clamped to the floor");
         assert_eq!(c.streak(), 0);
+    }
+
+    #[test]
+    fn hysteresis_absorbs_an_isolated_random_probe() {
+        // Default band (2): one stray probe must not halve the chunk —
+        // the oscillation bug on short scans — but sustained pressure
+        // still shrinks it.
+        let mut c = AimdChunk::new(64, 1, 1000, 8);
+        c.on_random();
+        assert_eq!(c.chunk(), 64, "one probe is absorbed");
+        assert_eq!(c.streak(), 0, "…but the streak still resets");
+        c.on_random();
+        assert_eq!(c.chunk(), 32, "the second probe crosses the band");
+        // The band re-arms after each shrink.
+        c.on_random();
+        assert_eq!(c.chunk(), 32);
+        c.on_random();
+        assert_eq!(c.chunk(), 16);
+    }
+
+    #[test]
+    fn waste_bypasses_the_hysteresis_band() {
+        // Waste is measured, not inferred: it shrinks immediately even
+        // with a wide band, and resets the accumulated pressure.
+        let mut c = AimdChunk::new(64, 1, 1000, 8).with_hysteresis(10);
+        c.on_waste();
+        assert_eq!(c.chunk(), 32, "measured loss shrinks at once");
+        c.on_random();
+        assert_eq!(c.chunk(), 32, "pressure was reset by the shrink");
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! the profiler can query.
 
 use crate::cache::{cache_forced, FragmentCache};
-use crate::fragment::Fragment;
+use crate::fragment::{Fragment, HoleSlot, OpenTree, TreeEntry};
 use crate::health::SourceHealth;
 use crate::lxp::{check_batch_shape, check_progress, HoleId, LxpWrapper};
 use crate::metrics::{Counter, Gauge, Histogram, MetricsRegistry, RetryMetrics};
@@ -35,17 +35,10 @@ use mix_xml::Label;
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
-/// Stable identifier of a buffered node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct BufNodeId(u32);
-
-impl BufNodeId {
-    fn index(self) -> usize {
-        self.0 as usize
-    }
-}
+pub use crate::fragment::BufNodeId;
 
 /// Shared counters describing buffer/wrapper traffic.
 ///
@@ -300,21 +293,6 @@ impl fmt::Display for BufferError {
 
 impl std::error::Error for BufferError {}
 
-#[derive(Debug, Clone)]
-enum Entry {
-    Node(BufNodeId),
-    Hole(HoleId),
-}
-
-#[derive(Debug)]
-struct BufNode {
-    label: Label,
-    children: Vec<Entry>,
-    parent: Option<BufNodeId>,
-    /// Index within the parent's child list; maintained across splices.
-    idx: usize,
-}
-
 /// The buffer component: a [`Navigator`] over the open tree fed by an LXP
 /// wrapper.
 ///
@@ -326,7 +304,14 @@ struct BufNode {
 pub struct BufferNavigator<W> {
     wrapper: W,
     uri: String,
-    nodes: Vec<BufNode>,
+    /// The open tree: arena-allocated nodes, pooled child lists, and a
+    /// hole slab whose live records double as the document-order hole
+    /// index (so batched fills enumerate holes without walking the tree).
+    tree: OpenTree,
+    /// Scratch buffers reused across splices so the steady-state fill
+    /// path performs no per-splice vector allocations.
+    entry_scratch: Vec<TreeEntry>,
+    hole_scratch: Vec<HoleSlot>,
     connected: bool,
     stats: BufferStats,
     policy: RetryPolicy,
@@ -338,8 +323,10 @@ pub struct BufferNavigator<W> {
     batch_limit: usize,
     /// Replies received in a batch before any navigation needed them,
     /// keyed by hole id. Consumed instead of going back to the wire.
+    /// `Arc`-backed: the same allocation is shared with the cross-query
+    /// cache, so parking and consuming a reply never copies fragments.
     /// Bounded by `pending_cap`; see `pending_order`.
-    pending: std::collections::HashMap<HoleId, Vec<Fragment>>,
+    pending: std::collections::HashMap<HoleId, Arc<Vec<Fragment>>>,
     /// Insertion order of `pending` entries, for capped FIFO eviction.
     /// May contain stale ids of entries already consumed; eviction skips
     /// them lazily.
@@ -389,7 +376,9 @@ impl<W: LxpWrapper> BufferNavigator<W> {
             wrapper,
             metrics: BufMetrics::new(&registry, &uri),
             uri,
-            nodes: Vec::new(),
+            tree: OpenTree::new(),
+            entry_scratch: Vec::new(),
+            hole_scratch: Vec::new(),
             connected: false,
             stats,
             policy,
@@ -554,7 +543,7 @@ impl<W: LxpWrapper> BufferNavigator<W> {
 
     /// The number of materialized nodes currently buffered.
     pub fn buffered_nodes(&self) -> usize {
-        self.nodes.len()
+        self.tree.node_count()
     }
 
     /// Render the current open tree in the paper's `r[a,◦2]` notation
@@ -563,34 +552,21 @@ impl<W: LxpWrapper> BufferNavigator<W> {
         if !self.connected {
             return None;
         }
-        Some(self.fragment_of(BufNodeId(0)))
-    }
-
-    fn fragment_of(&self, id: BufNodeId) -> Fragment {
-        let n = &self.nodes[id.index()];
-        Fragment::Node {
-            label: n.label.clone(),
-            children: n
-                .children
-                .iter()
-                .map(|e| match e {
-                    Entry::Node(c) => self.fragment_of(*c),
-                    Entry::Hole(h) => Fragment::Hole(h.clone()),
-                })
-                .collect(),
-        }
+        Some(self.tree.fragment_of(BufNodeId::ROOT))
     }
 
     /// Serve `hole` from the shared cross-query cache, if one is
     /// attached and holds a fresh entry. A hit costs zero wire
-    /// exchanges: only `fills` advances (no requests, nodes, or bytes).
-    fn cache_lookup(&mut self, hole: &HoleId) -> Option<Vec<Fragment>> {
+    /// exchanges — and zero fragment copies: the returned `Arc` shares
+    /// the cached allocation. Only `fills` advances (no requests, nodes,
+    /// or bytes).
+    fn cache_lookup(&mut self, hole: &HoleId) -> Option<Arc<Vec<Fragment>>> {
         let cache = self.cache.as_ref()?;
         let reply = cache.lookup(&self.uri, hole)?;
         self.stats.fills.inc();
         if self.trace.is_enabled() {
             let (mut nodes, mut bytes) = (0u64, 0u64);
-            for f in &reply {
+            for f in reply.iter() {
                 nodes += f.node_count() as u64;
                 bytes += f.wire_bytes() as u64;
             }
@@ -603,10 +579,11 @@ impl<W: LxpWrapper> BufferNavigator<W> {
     }
 
     /// Admit a verified reply into the shared cache (if attached),
-    /// tracing the admission and any LRU evictions it caused. Only
-    /// replies that already passed the progress checks reach this point,
-    /// so faults can never be cached.
-    fn cache_store(&self, hole: &HoleId, reply: &[Fragment]) {
+    /// tracing the admission and any LRU evictions it caused. The cache
+    /// stores a clone of the `Arc`, not of the fragments. Only replies
+    /// that already passed the progress checks reach this point, so
+    /// faults can never be cached.
+    fn cache_store(&self, hole: &HoleId, reply: &Arc<Vec<Fragment>>) {
         let Some(cache) = &self.cache else { return };
         let evicted = cache.insert(&self.uri, hole, reply);
         if self.trace.is_enabled() {
@@ -629,7 +606,7 @@ impl<W: LxpWrapper> BufferNavigator<W> {
     /// checked inside the retried operation, so a protocol-violating
     /// reply surfaces as a permanent error (and counts against the
     /// breaker) instead of being buffered.
-    fn try_fill(&mut self, hole: &HoleId) -> Result<Vec<Fragment>, BufferError> {
+    fn try_fill(&mut self, hole: &HoleId) -> Result<Arc<Vec<Fragment>>, BufferError> {
         if self.batch_limit > 1 {
             return self.try_fill_batched(hole);
         }
@@ -654,10 +631,11 @@ impl<W: LxpWrapper> BufferNavigator<W> {
                 },
             )
             .map_err(|error| BufferError::Lxp { request: format!("fill({hole})"), error })?;
+        let reply = Arc::new(reply);
         self.stats.fills.inc();
         self.stats.requests.inc();
         let (mut nodes, mut bytes) = (0u64, 0u64);
-        for f in &reply {
+        for f in reply.iter() {
             nodes += f.node_count() as u64;
             bytes += f.wire_bytes() as u64;
         }
@@ -687,7 +665,7 @@ impl<W: LxpWrapper> BufferNavigator<W> {
     /// prior exchange already answered it; otherwise issue one
     /// `fill_many` carrying `hole` plus other currently-known holes of
     /// the open tree, splice only `hole`'s reply, and stash the rest.
-    fn try_fill_batched(&mut self, hole: &HoleId) -> Result<Vec<Fragment>, BufferError> {
+    fn try_fill_batched(&mut self, hole: &HoleId) -> Result<Arc<Vec<Fragment>>, BufferError> {
         if let Some(reply) = self.pending.remove(hole) {
             self.stats.fills.inc();
             if self.metrics.on() {
@@ -799,8 +777,9 @@ impl<W: LxpWrapper> BufferNavigator<W> {
             total_nodes += nodes;
             total_bytes += bytes;
             if k == 0 {
-                self.cache_store(hole, &item.fragments);
-                critical = Some(item.fragments);
+                let fragments = Arc::new(item.fragments);
+                self.cache_store(hole, &fragments);
+                critical = Some(fragments);
             } else if check_progress(&item.fragments).is_err()
                 || item.hole == *hole
                 || self.pending.contains_key(&item.hole)
@@ -813,12 +792,14 @@ impl<W: LxpWrapper> BufferNavigator<W> {
             } else {
                 // Parked until a navigation needs it; counted as waste
                 // until then (consumption credits it back). Verified
-                // continuation items are shared cross-query, too.
+                // continuation items are shared cross-query, too — one
+                // allocation, two `Arc` handles.
                 self.stats.wasted_bytes.add(bytes);
                 total_wasted += bytes;
-                self.cache_store(&item.hole, &item.fragments);
+                let fragments = Arc::new(item.fragments);
+                self.cache_store(&item.hole, &fragments);
                 self.pending_order.push_back(item.hole.clone());
-                self.pending.insert(item.hole, item.fragments);
+                self.pending.insert(item.hole, fragments);
             }
         }
         self.enforce_pending_cap();
@@ -877,31 +858,24 @@ impl<W: LxpWrapper> BufferNavigator<W> {
     /// then other holes of the open tree in document order (the order a
     /// scanning client will want them), capped by the batch limit and
     /// excluding holes already answered in the pending cache.
+    ///
+    /// This used to re-walk the whole open tree per wire exchange —
+    /// O(tree) work per batch that made batched fills *slower* than
+    /// unbatched on scans. The arena maintains the holes as a
+    /// document-order linked list, so the enumeration is O(batch limit).
     fn known_holes(&self, critical: &HoleId) -> Vec<HoleId> {
         let mut batch = vec![critical.clone()];
-        if self.connected && !self.nodes.is_empty() {
-            let mut found = Vec::new();
-            self.collect_holes(BufNodeId(0), &mut found);
-            for h in found {
+        if self.connected {
+            for h in self.tree.holes_in_order() {
                 if batch.len() >= self.batch_limit {
                     break;
                 }
-                if &h != critical && !self.pending.contains_key(&h) {
-                    batch.push(h);
+                if h != critical && !self.pending.contains_key(h) {
+                    batch.push(h.clone());
                 }
             }
         }
         batch
-    }
-
-    /// All hole entries below `id`, in document order.
-    fn collect_holes(&self, id: BufNodeId, out: &mut Vec<HoleId>) {
-        for e in &self.nodes[id.index()].children {
-            match e {
-                Entry::Hole(h) => out.push(h.clone()),
-                Entry::Node(c) => self.collect_holes(*c, out),
-            }
-        }
     }
 
     /// Establish the connection if necessary: `get_root`, then chase
@@ -947,11 +921,11 @@ impl<W: LxpWrapper> BufferNavigator<W> {
         let mut fuel = self.fill_fuel;
         let root_frag = loop {
             let reply = self.try_fill(&hole)?;
-            if let Some(node) = reply.iter().find(|f| !f.is_hole()) {
-                break node.clone();
+            if reply.iter().any(|f| !f.is_hole()) {
+                break reply;
             }
-            match reply.into_iter().next() {
-                Some(Fragment::Hole(h)) => hole = h,
+            match reply.first() {
+                Some(Fragment::Hole(h)) => hole = h.clone(),
                 _ => {
                     return Err(BufferError::RootUnavailable {
                         uri,
@@ -967,71 +941,93 @@ impl<W: LxpWrapper> BufferNavigator<W> {
                 });
             }
         };
-        let Fragment::Node { label, children } = &root_frag else {
+        let node = root_frag.iter().find(|f| !f.is_hole()).expect("loop broke on a node");
+        let Fragment::Node { label, children } = node else {
             return Err(BufferError::RootUnavailable {
                 uri,
                 reason: "wrapper produced a hole where the root was expected".into(),
             });
         };
-        let root = self.try_intern(label, children, None, 0)?;
-        debug_assert_eq!(root, BufNodeId(0));
+        let mut new_holes = std::mem::take(&mut self.hole_scratch);
+        new_holes.clear();
+        let root = self.try_intern(label, children, None, 0, &mut new_holes)?;
+        // The first holes of the session seed the document-order list.
+        self.tree.relink_holes(None, &new_holes);
+        self.hole_scratch = new_holes;
+        debug_assert_eq!(root, BufNodeId::ROOT);
         self.connected = true;
         Ok(())
     }
 
-    /// Materialize an element into the arena; returns the node id.
+    /// Materialize an element into the arena; returns the node id. Hole
+    /// children get live slab slots, appended to `new_holes` in document
+    /// order — the caller links them into the hole list in one go.
     fn try_intern(
         &mut self,
         label: &Label,
         children: &[Fragment],
         parent: Option<BufNodeId>,
         idx: usize,
+        new_holes: &mut Vec<HoleSlot>,
     ) -> Result<BufNodeId, BufferError> {
-        let id = match u32::try_from(self.nodes.len()) {
-            Ok(n) => BufNodeId(n),
-            Err(_) => return Err(BufferError::CapacityExceeded { nodes: self.nodes.len() }),
+        let Some(id) = self.tree.alloc_node(label.clone(), parent, idx) else {
+            return Err(BufferError::CapacityExceeded { nodes: self.tree.node_count() });
         };
-        self.nodes.push(BufNode { label: label.clone(), children: Vec::new(), parent, idx });
-        let mut entries = Vec::with_capacity(children.len());
-        for (i, c) in children.iter().enumerate() {
-            entries.push(match c {
-                Fragment::Hole(h) => Entry::Hole(h.clone()),
-                Fragment::Node { label, children } => {
-                    Entry::Node(self.try_intern(label, children, Some(id), i)?)
-                }
-            });
+        if !self.tree.reserve_children(id, children.len()) {
+            return Err(BufferError::CapacityExceeded { nodes: self.tree.node_count() });
         }
-        self.nodes[id.index()].children = entries;
+        for (i, c) in children.iter().enumerate() {
+            let e = match c {
+                Fragment::Hole(h) => {
+                    let slot = self.tree.new_hole(h.clone());
+                    new_holes.push(slot);
+                    TreeEntry::Hole(slot)
+                }
+                Fragment::Node { label, children } => {
+                    TreeEntry::Node(self.try_intern(label, children, Some(id), i, new_holes)?)
+                }
+            };
+            self.tree.set_child(id, i, e);
+        }
         Ok(id)
     }
 
-    /// Replace the hole at `parent.children[i]` with the interned reply,
-    /// shifting sibling indices.
+    /// Replace the hole at child position `i` of `parent` (slab slot
+    /// `slot`) with the interned reply: one in-place child-list splice,
+    /// one hole-list relink. Reuses the navigator's scratch buffers, so
+    /// the steady-state path allocates only the new node records.
     fn try_splice(
         &mut self,
         parent: BufNodeId,
         i: usize,
-        reply: Vec<Fragment>,
+        slot: HoleSlot,
+        reply: &[Fragment],
     ) -> Result<(), BufferError> {
-        let mut interned = Vec::with_capacity(reply.len());
+        let mut entries = std::mem::take(&mut self.entry_scratch);
+        let mut new_holes = std::mem::take(&mut self.hole_scratch);
+        entries.clear();
+        new_holes.clear();
         for (k, f) in reply.iter().enumerate() {
-            interned.push(match f {
-                Fragment::Hole(h) => Entry::Hole(h.clone()),
-                Fragment::Node { label, children } => {
-                    Entry::Node(self.try_intern(label, children, Some(parent), i + k)?)
+            let e = match f {
+                Fragment::Hole(h) => {
+                    let s = self.tree.new_hole(h.clone());
+                    new_holes.push(s);
+                    TreeEntry::Hole(s)
                 }
-            });
+                Fragment::Node { label, children } => {
+                    TreeEntry::Node(self.try_intern(label, children, Some(parent), i + k, &mut new_holes)?)
+                }
+            };
+            entries.push(e);
         }
-        let grew = interned.len();
-        let kids = &mut self.nodes[parent.index()].children;
-        kids.splice(i..=i, interned);
-        // Fix cached indices of shifted right siblings.
-        let kids_snapshot: Vec<Entry> = self.nodes[parent.index()].children[i + grew..].to_vec();
-        for (off, e) in kids_snapshot.iter().enumerate() {
-            if let Entry::Node(id) = e {
-                self.nodes[id.index()].idx = i + grew + off;
-            }
+        if !self.tree.splice_children(parent, i, &entries) {
+            return Err(BufferError::CapacityExceeded { nodes: self.tree.node_count() });
         }
+        // The reply's holes take over exactly the interval the old hole
+        // occupied in document order.
+        self.tree.relink_holes(Some(slot), &new_holes);
+        self.entry_scratch = entries;
+        self.hole_scratch = new_holes;
         Ok(())
     }
 
@@ -1046,14 +1042,15 @@ impl<W: LxpWrapper> BufferNavigator<W> {
         let i = start;
         let mut fuel = self.fill_fuel;
         loop {
-            let Some(entry) = self.nodes[parent.index()].children.get(i).cloned() else {
+            let Some(entry) = self.tree.child(parent, i) else {
                 return Ok(None);
             };
             match entry {
-                Entry::Node(id) => return Ok(Some(id)),
-                Entry::Hole(h) => {
-                    let reply = self.try_fill(&h)?;
-                    self.try_splice(parent, i, reply)?;
+                TreeEntry::Node(id) => return Ok(Some(id)),
+                TreeEntry::Hole(slot) => {
+                    let hole = self.tree.hole_id(slot).clone();
+                    let reply = self.try_fill(&hole)?;
+                    self.try_splice(parent, i, slot, &reply)?;
                     // Re-examine position i: it now holds the first reply
                     // fragment, the next original sibling (empty reply), or
                     // nothing (list exhausted).
@@ -1062,14 +1059,18 @@ impl<W: LxpWrapper> BufferNavigator<W> {
             fuel -= 1;
             if fuel == 0 {
                 return Err(BufferError::Stalled {
-                    context: format!("resolving children of node #{}", parent.0),
+                    context: format!("resolving children of node #{}", parent.index()),
                 });
             }
         }
     }
 
-    fn node_at(&self, p: BufNodeId) -> Result<&BufNode, BufferError> {
-        self.nodes.get(p.index()).ok_or(BufferError::InvalidHandle { index: p.index() })
+    fn check_handle(&self, p: BufNodeId) -> Result<(), BufferError> {
+        if self.tree.contains(p) {
+            Ok(())
+        } else {
+            Err(BufferError::InvalidHandle { index: p.index() })
+        }
     }
 
     // ---- fallible navigation (the degradation-free API) ----------------
@@ -1077,23 +1078,24 @@ impl<W: LxpWrapper> BufferNavigator<W> {
     /// `down`, reporting failure instead of degrading.
     pub fn try_down(&mut self, p: &BufNodeId) -> Result<Option<BufNodeId>, BufferError> {
         self.try_ensure_connected()?;
-        self.node_at(*p)?;
+        self.check_handle(*p)?;
         self.try_resolve_from(*p, 0)
     }
 
     /// `right`, reporting failure instead of degrading.
     pub fn try_right(&mut self, p: &BufNodeId) -> Result<Option<BufNodeId>, BufferError> {
         self.try_ensure_connected()?;
-        let node = self.node_at(*p)?;
-        let Some(parent) = node.parent else { return Ok(None) };
-        let idx = node.idx;
+        self.check_handle(*p)?;
+        let Some(parent) = self.tree.parent(*p) else { return Ok(None) };
+        let idx = self.tree.idx(*p);
         self.try_resolve_from(parent, idx + 1)
     }
 
     /// `fetch`, reporting failure instead of degrading.
     pub fn try_fetch(&mut self, p: &BufNodeId) -> Result<Label, BufferError> {
         self.try_ensure_connected()?;
-        Ok(self.node_at(*p)?.label.clone())
+        self.check_handle(*p)?;
+        Ok(self.tree.label(*p).clone())
     }
 
     /// A navigation over this source failed beyond what retries could
@@ -1105,7 +1107,7 @@ impl<W: LxpWrapper> BufferNavigator<W> {
         if !self.pending.is_empty() {
             let entries = self.pending.len() as u64;
             let bytes: u64 =
-                self.pending.values().flatten().map(|f| f.wire_bytes() as u64).sum();
+                self.pending.values().flat_map(|r| r.iter()).map(|f| f.wire_bytes() as u64).sum();
             self.pending.clear();
             self.pending_order.clear();
             if self.trace.is_enabled() {
@@ -1172,7 +1174,7 @@ impl<W: LxpWrapper> Navigator for BufferNavigator<W> {
     fn root(&mut self) -> BufNodeId {
         // Handing out the root handle costs no wrapper traffic (§1); the
         // connection happens at the first real navigation.
-        BufNodeId(0)
+        BufNodeId::ROOT
     }
 
     fn down(&mut self, p: &BufNodeId) -> Option<BufNodeId> {

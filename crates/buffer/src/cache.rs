@@ -33,6 +33,7 @@ use crate::metrics::{Counter, Gauge, MetricsRegistry};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Default byte budget for a [`FragmentCache`] (4 MiB of wire bytes).
 pub const DEFAULT_CACHE_BUDGET: u64 = 4 << 20;
@@ -72,7 +73,9 @@ pub struct FragmentCacheStats {
 }
 
 struct CacheEntry {
-    fragments: Vec<Fragment>,
+    /// `Arc`-backed so a hit hands out a shared handle (refcount bump)
+    /// instead of deep-cloning the fragment subtrees.
+    fragments: Arc<Vec<Fragment>>,
     bytes: u64,
     epoch: u64,
     tick: u64,
@@ -168,8 +171,9 @@ impl FragmentCache {
     }
 
     /// Look up the cached reply for `hole` of `source`, refreshing its
-    /// recency. Counts a hit or a miss either way.
-    pub fn lookup(&self, source: &str, hole: &HoleId) -> Option<Vec<Fragment>> {
+    /// recency. Counts a hit or a miss either way. A hit is clone-free:
+    /// the returned `Arc` shares the cached allocation.
+    pub fn lookup(&self, source: &str, hole: &HoleId) -> Option<Arc<Vec<Fragment>>> {
         let mut inner = self.inner.borrow_mut();
         let epoch = inner.epochs.get(source).copied().unwrap_or(0);
         let key = (source.to_string(), hole.clone());
@@ -213,13 +217,15 @@ impl FragmentCache {
 
     /// Admit the reply for `hole` of `source`, evicting LRU entries as
     /// needed to respect the byte budget. Replies larger than the whole
-    /// budget are not admitted. Returns the `(source, hole, bytes)` of
-    /// every entry evicted to make room, so callers can trace them.
+    /// budget are not admitted. Admission clones the `Arc`, not the
+    /// fragments — the cache and the caller share one allocation.
+    /// Returns the `(source, hole, bytes)` of every entry evicted to
+    /// make room, so callers can trace them.
     pub fn insert(
         &self,
         source: &str,
         hole: &HoleId,
-        fragments: &[Fragment],
+        fragments: &Arc<Vec<Fragment>>,
     ) -> Vec<(String, HoleId, u64)> {
         let bytes: u64 = fragments.iter().map(|f| f.wire_bytes() as u64).sum();
         let mut inner = self.inner.borrow_mut();
@@ -245,7 +251,9 @@ impl FragmentCache {
         let tick = inner.tick;
         inner.lru.insert(tick, key.clone());
         inner.cur_bytes += bytes;
-        inner.entries.insert(key, CacheEntry { fragments: fragments.to_vec(), bytes, epoch, tick });
+        inner
+            .entries
+            .insert(key, CacheEntry { fragments: Arc::clone(fragments), bytes, epoch, tick });
         drop(inner);
         self.insertions.inc();
         self.evictions.add(evicted.len() as u64);
@@ -435,11 +443,11 @@ mod tests {
     use super::*;
     use mix_xml::Label;
 
-    fn frag(label: &str, holes: usize) -> Vec<Fragment> {
-        vec![Fragment::Node {
+    fn frag(label: &str, holes: usize) -> Arc<Vec<Fragment>> {
+        Arc::new(vec![Fragment::Node {
             label: Label::new(label),
             children: (0..holes).map(|i| Fragment::Hole(format!("h{i}"))).collect(),
-        }]
+        }])
     }
 
     #[test]
@@ -452,6 +460,19 @@ mod tests {
         assert_eq!((st.hits, st.misses, st.insertions), (1, 1, 1));
         assert_eq!(c.source_stats("s").hits, 1);
         assert_eq!(c.source_stats("s").misses, 1);
+    }
+
+    #[test]
+    fn hits_share_the_cached_allocation() {
+        // The satellite fix this PR pins down: a cache hit must NOT deep-
+        // clone the fragments — every handle points at the same `Vec`.
+        let c = FragmentCache::new();
+        let original = frag("x", 3);
+        c.insert("s", &"a".to_string(), &original);
+        let hit1 = c.lookup("s", &"a".to_string()).unwrap();
+        let hit2 = c.lookup("s", &"a".to_string()).unwrap();
+        assert!(Arc::ptr_eq(&original, &hit1), "hit shares the inserted allocation");
+        assert!(Arc::ptr_eq(&hit1, &hit2), "repeated hits share it too");
     }
 
     #[test]

@@ -120,6 +120,385 @@ impl fmt::Display for Fragment {
     }
 }
 
+/// Stable identifier of a buffered node: an index into an [`OpenTree`]'s
+/// node slab. Ids stay valid for the life of the tree, across any number
+/// of splices — the paper's requirement that "an incoming navigation
+/// command may involve any previously encountered pointer".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BufNodeId(u32);
+
+impl BufNodeId {
+    /// The root of every open tree (the first node interned).
+    pub const ROOT: BufNodeId = BufNodeId(0);
+
+    /// Raw slab index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Index of a hole record in an [`OpenTree`]'s hole slab. Only valid
+/// while the hole is live (slots are recycled after a splice fills them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HoleSlot(u32);
+
+impl HoleSlot {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One child-list entry of an open-tree node: a materialized child or a
+/// live hole. Two words, `Copy` — child lists move with `memcpy`, not
+/// per-entry clones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeEntry {
+    /// A materialized child node.
+    Node(BufNodeId),
+    /// A live hole (unexplored siblings).
+    Hole(HoleSlot),
+}
+
+const NONE: u32 = u32::MAX;
+
+/// Padding entry for unused pool capacity; never read (lengths guard).
+const PAD: TreeEntry = TreeEntry::Node(BufNodeId(NONE));
+
+#[derive(Debug)]
+struct NodeRec {
+    label: Label,
+    parent: Option<BufNodeId>,
+    /// Position within the parent's child list; maintained across splices.
+    idx: u32,
+    /// Child range `[start, start+len)` in the entry pool, with `cap`
+    /// reserved entries (bump-grown; an outgrown range is abandoned).
+    start: u32,
+    len: u32,
+    cap: u32,
+}
+
+#[derive(Debug)]
+struct HoleRec {
+    id: HoleId,
+    /// Document-order neighbours among live holes (`NONE` = list end).
+    prev: u32,
+    next: u32,
+    live: bool,
+}
+
+/// An arena-allocated open tree (paper Def. 3).
+///
+/// Three flat stores replace per-node boxing:
+///
+/// - a **node slab** (`BufNodeId`-indexed; labels, parent links, child
+///   ranges) — a leaf node is one slab record and *zero* heap
+///   allocations of its own;
+/// - a bump-style **child-entry pool** holding every node's child list
+///   as a contiguous range. Splices that fit the reserved capacity move
+///   entries in place; growth abandons the old range and bump-allocates
+///   a geometrically larger one, so the repeated trailing-hole splice of
+///   a scan is amortized O(1) per arriving child;
+/// - a **hole slab** whose live records form a doubly-linked list in
+///   document order. Enumerating the open tree's holes (the batched
+///   fill path's per-exchange need) walks the list — O(live holes), not
+///   O(tree) — and a splice replaces one hole's list position with the
+///   reply's new holes in one O(new holes) relink.
+///
+/// All indices are stable: node ids never move, and pool ranges are only
+/// ever abandoned, never compacted, while the tree lives.
+#[derive(Debug, Default)]
+pub struct OpenTree {
+    nodes: Vec<NodeRec>,
+    pool: Vec<TreeEntry>,
+    holes: Vec<HoleRec>,
+    free_holes: Vec<u32>,
+    /// Head/tail of the live-hole list in document order.
+    head: u32,
+    tail: u32,
+    live_holes: usize,
+}
+
+impl OpenTree {
+    /// An empty tree (no nodes, no holes).
+    pub fn new() -> Self {
+        OpenTree {
+            nodes: Vec::new(),
+            pool: Vec::new(),
+            holes: Vec::new(),
+            free_holes: Vec::new(),
+            head: NONE,
+            tail: NONE,
+            live_holes: 0,
+        }
+    }
+
+    /// Number of materialized nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of live holes.
+    pub fn live_holes(&self) -> usize {
+        self.live_holes
+    }
+
+    /// Is `id` a materialized node of this tree?
+    pub fn contains(&self, id: BufNodeId) -> bool {
+        id.index() < self.nodes.len()
+    }
+
+    /// Allocate a node record with an empty child list. Returns `None`
+    /// when the slab outgrows its 32-bit id space.
+    pub fn alloc_node(
+        &mut self,
+        label: Label,
+        parent: Option<BufNodeId>,
+        idx: usize,
+    ) -> Option<BufNodeId> {
+        let id = u32::try_from(self.nodes.len()).ok().filter(|&n| n != NONE)?;
+        let idx = u32::try_from(idx).ok()?;
+        self.nodes.push(NodeRec { label, parent, idx, start: 0, len: 0, cap: 0 });
+        Some(BufNodeId(id))
+    }
+
+    /// Reserve an exact-capacity child range for `node` (which must not
+    /// have children yet). Entries start as padding; the caller fills
+    /// them with [`OpenTree::set_child`]. Returns `false` on pool
+    /// overflow (4G entries).
+    pub fn reserve_children(&mut self, node: BufNodeId, n: usize) -> bool {
+        debug_assert_eq!(self.nodes[node.index()].len, 0, "children already reserved");
+        if n == 0 {
+            return true;
+        }
+        let Ok(start) = u32::try_from(self.pool.len()) else { return false };
+        let Ok(n32) = u32::try_from(n) else { return false };
+        if start.checked_add(n32).is_none() {
+            return false;
+        }
+        self.pool.resize(self.pool.len() + n, PAD);
+        let rec = &mut self.nodes[node.index()];
+        rec.start = start;
+        rec.len = n32;
+        rec.cap = n32;
+        true
+    }
+
+    /// Write child `i` of `node` (within the reserved range).
+    pub fn set_child(&mut self, node: BufNodeId, i: usize, e: TreeEntry) {
+        let rec = &self.nodes[node.index()];
+        debug_assert!(i < rec.len as usize);
+        self.pool[rec.start as usize + i] = e;
+    }
+
+    /// Child `i` of `node`, if it exists.
+    pub fn child(&self, node: BufNodeId, i: usize) -> Option<TreeEntry> {
+        let rec = &self.nodes[node.index()];
+        (i < rec.len as usize).then(|| self.pool[rec.start as usize + i])
+    }
+
+    /// The child list of `node`.
+    pub fn children(&self, node: BufNodeId) -> &[TreeEntry] {
+        let rec = &self.nodes[node.index()];
+        &self.pool[rec.start as usize..(rec.start + rec.len) as usize]
+    }
+
+    /// The label of `node`.
+    pub fn label(&self, node: BufNodeId) -> &Label {
+        &self.nodes[node.index()].label
+    }
+
+    /// The parent of `node`.
+    pub fn parent(&self, node: BufNodeId) -> Option<BufNodeId> {
+        self.nodes[node.index()].parent
+    }
+
+    /// `node`'s position within its parent's child list.
+    pub fn idx(&self, node: BufNodeId) -> usize {
+        self.nodes[node.index()].idx as usize
+    }
+
+    /// Replace the entry at child position `i` of `parent` with
+    /// `replacement`, shifting the suffix and fixing the cached `idx` of
+    /// shifted materialized siblings. In-place when the reserved
+    /// capacity suffices; otherwise the range is abandoned and a
+    /// geometrically larger one is bump-allocated. Returns `false` on
+    /// pool overflow.
+    pub fn splice_children(
+        &mut self,
+        parent: BufNodeId,
+        i: usize,
+        replacement: &[TreeEntry],
+    ) -> bool {
+        let rec = &self.nodes[parent.index()];
+        let (start, len, cap) = (rec.start as usize, rec.len as usize, rec.cap as usize);
+        debug_assert!(i < len, "splice target must exist");
+        let r = replacement.len();
+        let new_len = len - 1 + r;
+        if new_len <= cap {
+            self.pool.copy_within(start + i + 1..start + len, start + i + r);
+            self.pool[start + i..start + i + r].copy_from_slice(replacement);
+            let rec = &mut self.nodes[parent.index()];
+            rec.len = new_len as u32;
+        } else {
+            // Outgrown: abandon the old range, bump-allocate a larger
+            // one. Doubling keeps the scan's repeated trailing-hole
+            // splice amortized O(1) and bounds abandoned garbage by the
+            // live pool size.
+            let new_cap = new_len.max(cap.saturating_mul(2));
+            let Ok(new_start) = u32::try_from(self.pool.len()) else { return false };
+            if u32::try_from(new_cap).is_err()
+                || new_start.checked_add(new_cap as u32).is_none()
+            {
+                return false;
+            }
+            self.pool.reserve(new_cap);
+            self.pool.extend_from_within(start..start + i);
+            self.pool.extend_from_slice(replacement);
+            self.pool.extend_from_within(start + i + 1..start + len);
+            self.pool.resize(new_start as usize + new_cap, PAD);
+            let rec = &mut self.nodes[parent.index()];
+            rec.start = new_start;
+            rec.len = new_len as u32;
+            rec.cap = new_cap as u32;
+        }
+        // Positions after the splice point shifted by r - 1.
+        if r != 1 {
+            let rec = &self.nodes[parent.index()];
+            let start = rec.start as usize;
+            for pos in i + r..new_len {
+                if let TreeEntry::Node(id) = self.pool[start + pos] {
+                    self.nodes[id.index()].idx = pos as u32;
+                }
+            }
+        }
+        true
+    }
+
+    /// Allocate a live hole record (recycling freed slots). The hole is
+    /// not yet part of the document-order list — see
+    /// [`OpenTree::relink_holes`].
+    pub fn new_hole(&mut self, id: HoleId) -> HoleSlot {
+        self.live_holes += 1;
+        if let Some(slot) = self.free_holes.pop() {
+            self.holes[slot as usize] = HoleRec { id, prev: NONE, next: NONE, live: true };
+            return HoleSlot(slot);
+        }
+        let slot = u32::try_from(self.holes.len()).expect("hole slab overflow");
+        self.holes.push(HoleRec { id, prev: NONE, next: NONE, live: true });
+        HoleSlot(slot)
+    }
+
+    /// The wrapper hole id stored in `slot` (which must be live).
+    pub fn hole_id(&self, slot: HoleSlot) -> &HoleId {
+        debug_assert!(self.holes[slot.index()].live, "hole slot used after free");
+        &self.holes[slot.index()].id
+    }
+
+    /// Replace `old` (if any) in the document-order hole list with the
+    /// already-allocated slots of `seq`, in order, and free `old`. With
+    /// `old == None` the sequence is appended at the tail (the initial
+    /// root intern). This is the one incremental update that keeps the
+    /// list equal to a DFS enumeration of the tree's holes: a splice
+    /// confines its new holes to exactly the interval the old hole
+    /// occupied.
+    pub fn relink_holes(&mut self, old: Option<HoleSlot>, seq: &[HoleSlot]) {
+        let (before, after) = match old {
+            Some(h) => {
+                let rec = &self.holes[h.index()];
+                debug_assert!(rec.live, "relink of a freed hole");
+                (rec.prev, rec.next)
+            }
+            None => (self.tail, NONE),
+        };
+        if let Some(h) = old {
+            let rec = &mut self.holes[h.index()];
+            rec.live = false;
+            rec.id = HoleId::new();
+            self.free_holes.push(h.0);
+            self.live_holes -= 1;
+        }
+        let (first, last) = if seq.is_empty() {
+            (after, before) // degenerate: just bridge before <-> after
+        } else {
+            for w in seq.windows(2) {
+                self.holes[w[0].index()].next = w[1].0;
+                self.holes[w[1].index()].prev = w[0].0;
+            }
+            self.holes[seq[0].index()].prev = before;
+            self.holes[seq[seq.len() - 1].index()].next = after;
+            (seq[0].0, seq[seq.len() - 1].0)
+        };
+        if seq.is_empty() {
+            if before != NONE {
+                self.holes[before as usize].next = after;
+            } else {
+                self.head = after;
+            }
+            if after != NONE {
+                self.holes[after as usize].prev = before;
+            } else {
+                self.tail = before;
+            }
+            let _ = (first, last);
+        } else {
+            if before != NONE {
+                self.holes[before as usize].next = first;
+            } else {
+                self.head = first;
+            }
+            if after != NONE {
+                self.holes[after as usize].prev = last;
+            } else {
+                self.tail = last;
+            }
+        }
+    }
+
+    /// The live holes in document order.
+    pub fn holes_in_order(&self) -> HoleOrderIter<'_> {
+        HoleOrderIter { tree: self, next: self.head }
+    }
+
+    /// Render the subtree under `id` in the paper's `r[a,◦2]` notation.
+    pub fn fragment_of(&self, id: BufNodeId) -> Fragment {
+        Fragment::Node {
+            label: self.label(id).clone(),
+            children: self
+                .children(id)
+                .iter()
+                .map(|e| match e {
+                    TreeEntry::Node(c) => self.fragment_of(*c),
+                    TreeEntry::Hole(h) => Fragment::Hole(self.hole_id(*h).clone()),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Iterator over an [`OpenTree`]'s live holes in document order.
+pub struct HoleOrderIter<'a> {
+    tree: &'a OpenTree,
+    next: u32,
+}
+
+impl<'a> Iterator for HoleOrderIter<'a> {
+    type Item = &'a HoleId;
+
+    fn next(&mut self) -> Option<&'a HoleId> {
+        if self.next == NONE {
+            return None;
+        }
+        let rec = &self.tree.holes[self.next as usize];
+        self.next = rec.next;
+        Some(&rec.id)
+    }
+}
+
 /// Does the open child list `open` *represent* the complete child list
 /// `complete` (Def. 4)? Each hole may be substituted by zero or more
 /// consecutive elements; non-hole fragments must match recursively in
@@ -255,5 +634,119 @@ mod tests {
         assert!(represents(&[Fragment::hole("x")], &[]));
         assert!(represents(&[], &[]));
         assert!(!represents(&[], &[t("a")]));
+    }
+
+    // ---- OpenTree arena -------------------------------------------------
+
+    /// `r[a, ◦1, b]` with the hole registered in the order list.
+    fn small_tree() -> (OpenTree, BufNodeId, HoleSlot) {
+        let mut t = OpenTree::new();
+        let r = t.alloc_node(Label::new("r"), None, 0).unwrap();
+        assert!(t.reserve_children(r, 3));
+        let a = t.alloc_node(Label::new("a"), Some(r), 0).unwrap();
+        let h = t.new_hole("1".to_string());
+        let b = t.alloc_node(Label::new("b"), Some(r), 2).unwrap();
+        t.set_child(r, 0, TreeEntry::Node(a));
+        t.set_child(r, 1, TreeEntry::Hole(h));
+        t.set_child(r, 2, TreeEntry::Node(b));
+        t.relink_holes(None, &[h]);
+        (t, r, h)
+    }
+
+    #[test]
+    fn arena_renders_the_paper_notation() {
+        let (t, r, _) = small_tree();
+        assert_eq!(t.fragment_of(r).to_string(), "r[a,◦1,b]");
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.live_holes(), 1);
+    }
+
+    #[test]
+    fn splice_fixes_sibling_indices_and_hole_list() {
+        let (mut t, r, h) = small_tree();
+        // Fill ◦1 with [x, ◦2, ◦3]: b shifts from idx 2 to idx 4.
+        let x = t.alloc_node(Label::new("x"), Some(r), 1).unwrap();
+        let h2 = t.new_hole("2".to_string());
+        let h3 = t.new_hole("3".to_string());
+        assert!(t.splice_children(
+            r,
+            1,
+            &[TreeEntry::Node(x), TreeEntry::Hole(h2), TreeEntry::Hole(h3)]
+        ));
+        t.relink_holes(Some(h), &[h2, h3]);
+        assert_eq!(t.fragment_of(r).to_string(), "r[a,x,◦2,◦3,b]");
+        let b = match t.child(r, 4).unwrap() {
+            TreeEntry::Node(id) => id,
+            e => panic!("expected b, got {e:?}"),
+        };
+        assert_eq!(t.label(b).as_str(), "b");
+        assert_eq!(t.idx(b), 4, "shifted sibling's cached idx is fixed");
+        let order: Vec<&str> = t.holes_in_order().map(|h| h.as_str()).collect();
+        assert_eq!(order, ["2", "3"], "reply holes take the old hole's position");
+        assert_eq!(t.live_holes(), 2);
+    }
+
+    #[test]
+    fn empty_splice_removes_the_hole_and_bridges_the_list() {
+        let mut t = OpenTree::new();
+        let r = t.alloc_node(Label::new("r"), None, 0).unwrap();
+        assert!(t.reserve_children(r, 3));
+        let h1 = t.new_hole("1".to_string());
+        let h2 = t.new_hole("2".to_string());
+        let h3 = t.new_hole("3".to_string());
+        t.set_child(r, 0, TreeEntry::Hole(h1));
+        t.set_child(r, 1, TreeEntry::Hole(h2));
+        t.set_child(r, 2, TreeEntry::Hole(h3));
+        t.relink_holes(None, &[h1, h2, h3]);
+        // Middle hole evaporates (empty reply).
+        assert!(t.splice_children(r, 1, &[]));
+        t.relink_holes(Some(h2), &[]);
+        assert_eq!(t.fragment_of(r).to_string(), "r[◦1,◦3]");
+        let order: Vec<&str> = t.holes_in_order().map(|h| h.as_str()).collect();
+        assert_eq!(order, ["1", "3"], "neighbours bridge over the freed slot");
+        // Freed slots are recycled.
+        let h4 = t.new_hole("4".to_string());
+        assert_eq!(h4, h2, "slab slot reused");
+        assert_eq!(t.live_holes(), 3);
+    }
+
+    #[test]
+    fn growing_splices_stay_consistent_across_reallocation() {
+        // Repeated trailing-hole splices (the scan pattern) force the
+        // child range to outgrow its capacity several times; entries,
+        // indices, and the hole list must survive every bump-realloc.
+        let mut t = OpenTree::new();
+        let r = t.alloc_node(Label::new("r"), None, 0).unwrap();
+        assert!(t.reserve_children(r, 1));
+        let mut hole = t.new_hole("h0".to_string());
+        t.set_child(r, 0, TreeEntry::Hole(hole));
+        t.relink_holes(None, &[hole]);
+        for k in 0..50 {
+            let i = t.children(r).len() - 1; // trailing hole position
+            let c = t.alloc_node(Label::new(format!("c{k}")), Some(r), i).unwrap();
+            let next = t.new_hole(format!("h{}", k + 1));
+            assert!(t.splice_children(r, i, &[TreeEntry::Node(c), TreeEntry::Hole(next)]));
+            t.relink_holes(Some(hole), &[next]);
+            hole = next;
+        }
+        let kids = t.children(r);
+        assert_eq!(kids.len(), 51);
+        for (i, e) in kids.iter().enumerate().take(50) {
+            let TreeEntry::Node(id) = e else { panic!("child {i} is a node") };
+            assert_eq!(t.idx(*id), i);
+            assert_eq!(t.label(*id).as_str(), format!("c{i}"));
+        }
+        let order: Vec<&str> = t.holes_in_order().map(|h| h.as_str()).collect();
+        assert_eq!(order, ["h50"], "one live hole at the frontier");
+        assert_eq!(t.live_holes(), 1);
+    }
+
+    #[test]
+    fn leaf_nodes_reserve_no_pool_space() {
+        let mut t = OpenTree::new();
+        let r = t.alloc_node(Label::new("leaf"), None, 0).unwrap();
+        assert!(t.reserve_children(r, 0));
+        assert_eq!(t.children(r).len(), 0);
+        assert_eq!(t.fragment_of(r).to_string(), "leaf");
     }
 }

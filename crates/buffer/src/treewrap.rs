@@ -51,6 +51,13 @@ pub struct TreeWrapper {
     /// Where the previous children fill left off: `(uri, parent node,
     /// next start)` — the adaptive controller's sequentiality oracle.
     last_fill: Option<(String, usize, usize)>,
+    /// One-entry memo of the most recently collected child list, keyed
+    /// by `(uri, parent)`. A scan fills the same parent's children once
+    /// per chunk; re-collecting the whole list each time is O(children)
+    /// per fill — quadratic over the scan. Documents are immutable
+    /// behind `Rc`, so the memo only needs invalidating when a uri is
+    /// re-registered.
+    kids_memo: Option<(String, usize, Rc<[NodeId]>)>,
     /// Continuation items appended per `fill_many` exchange (0 = none).
     batch_budget: usize,
 }
@@ -62,7 +69,14 @@ impl TreeWrapper {
             FillPolicy::Adaptive { initial } => Some(AimdChunk::with_initial(initial)),
             _ => None,
         };
-        TreeWrapper { docs: HashMap::new(), policy, adaptive, last_fill: None, batch_budget: 0 }
+        TreeWrapper {
+            docs: HashMap::new(),
+            policy,
+            adaptive,
+            last_fill: None,
+            kids_memo: None,
+            batch_budget: 0,
+        }
     }
 
     /// Allow up to `budget` wrapper-pushed continuation items per
@@ -81,6 +95,8 @@ impl TreeWrapper {
     /// Register a document under a URI.
     pub fn add(&mut self, uri: impl Into<String>, doc: Rc<Document>) {
         self.docs.insert(uri.into(), doc);
+        // The uri may have been re-registered with different content.
+        self.kids_memo = None;
     }
 
     /// Convenience: a wrapper exporting a single tree as `doc`.
@@ -140,7 +156,14 @@ impl TreeWrapper {
         parent: NodeId,
         start: usize,
     ) -> Vec<Fragment> {
-        let kids: Vec<NodeId> = doc.children(parent).collect();
+        let kids: Rc<[NodeId]> = match &self.kids_memo {
+            Some((u, p, kids)) if u == uri && *p == parent.index() => Rc::clone(kids),
+            _ => {
+                let kids: Rc<[NodeId]> = doc.children(parent).collect();
+                self.kids_memo = Some((uri.to_string(), parent.index(), Rc::clone(&kids)));
+                kids
+            }
+        };
         if start >= kids.len() {
             return Vec::new();
         }
@@ -181,7 +204,10 @@ impl TreeWrapper {
             FillPolicy::SizeThreshold { max_nodes } => rest
                 .iter()
                 .map(|&c| {
-                    if doc.subtree(c).size() <= max_nodes {
+                    // `subtree_len` counts via preorder-id arithmetic —
+                    // materializing the subtree just to size it made the
+                    // threshold check as expensive as always sending it.
+                    if doc.subtree_len(c) <= max_nodes {
                         Self::complete(doc, c)
                     } else {
                         self.shallow(uri, doc, c)

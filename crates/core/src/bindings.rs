@@ -1128,7 +1128,10 @@ impl Engine {
                             mix_nav::LabelPred::equals(labels[0].as_str())
                         } else {
                             mix_nav::LabelPred::OneOf(
-                                labels.iter().map(mix_xml::Label::new).collect(),
+                                // NFA frontier labels are query constants:
+                                // intern them so the per-sibling compare in
+                                // `val_select` is an integer test.
+                                labels.iter().map(mix_xml::Label::intern).collect(),
                             )
                         };
                         self.val_select(&f.node, &pred)

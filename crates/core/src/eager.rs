@@ -206,7 +206,9 @@ impl Eager<'_> {
                     .into_iter()
                     .map(|mut b| {
                         let l = match label {
-                            LabelSpec::Const(s) => Label::new(s),
+                            // Query vocabulary: interned (one allocation,
+                            // symbol compares) — see the lazy engine.
+                            LabelSpec::Const(s) => Label::intern(s),
                             LabelSpec::Var(v) => {
                                 let t = lookup(&b, v);
                                 if t.is_leaf() {

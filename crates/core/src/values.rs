@@ -188,7 +188,10 @@ impl Engine {
                     unreachable!("createElement op")
                 };
                 match label.clone() {
-                    LabelSpec::Const(s) => Label::new(s),
+                    // Query vocabulary: interned so every element this
+                    // operator creates shares one allocation and labels
+                    // compare by symbol downstream.
+                    LabelSpec::Const(s) => Label::intern(s),
                     LabelSpec::Var(var) => {
                         let val = self.attr(op, &b, &var);
                         let t = self.materialize_value(&val);

@@ -12,6 +12,7 @@ use mix_buffer::{
     chase_continuation, BatchItem, Fragment, HoleId, LxpError, LxpWrapper, MetricsRegistry,
     TraceKind, TraceSink, WrapperMetrics,
 };
+use mix_xml::Label;
 use std::collections::HashMap;
 
 /// Identifier of an object in the store.
@@ -87,6 +88,20 @@ pub struct OodbWrapper {
 impl OodbWrapper {
     /// Wrap a store.
     pub fn new(store: ObjectStore) -> Self {
+        // Intern the schema-level vocabulary (class names, attribute and
+        // reference names, the `ref` marker): it recurs on every object
+        // fragment, while attribute *values* stay probe-only so unbounded
+        // content never grows the global table.
+        Label::intern("ref");
+        for o in &store.objects {
+            Label::intern(&o.class);
+            for (k, _) in &o.attrs {
+                Label::intern(k);
+            }
+            for (name, _) in &o.refs {
+                Label::intern(name);
+            }
+        }
         OodbWrapper {
             store,
             faults: 0,

@@ -26,6 +26,7 @@ use mix_buffer::{
     MetricsRegistry, TraceKind, TraceSink, WrapperMetrics,
 };
 use mix_relational::{Cursor, Database, Row, SqlQuery, Table};
+use mix_xml::Label;
 use std::collections::HashMap;
 
 /// LXP wrapper over one in-memory database.
@@ -58,6 +59,20 @@ impl RelationalWrapper {
     /// Wrap a database, returning `chunk` tuples per fill (the paper's
     /// example uses 100).
     pub fn new(db: Database, chunk: usize) -> Self {
+        // Intern the export's recurring vocabulary up front: every row
+        // fragment after this reuses one allocation per distinct label
+        // (`Label::new` probes the interner), and label equality on the
+        // hot fill path becomes a symbol compare. Tuple *values* stay on
+        // the probe-only path — unbounded content must not grow the table.
+        Label::intern("row");
+        Label::intern("view");
+        Label::intern(db.name());
+        for t in db.tables() {
+            Label::intern(&t.schema().name);
+            for c in &t.schema().columns {
+                Label::intern(&c.name);
+            }
+        }
         RelationalWrapper {
             db,
             chunk: chunk.max(1),
@@ -177,6 +192,11 @@ impl RelationalWrapper {
         let cols = q
             .output_columns(table)
             .map_err(|e| LxpError::SourceError(e.message))?;
+        // Projected/aliased output columns may not match the schema names
+        // interned at construction; idempotent, so per-fill is cheap.
+        for c in &cols {
+            Label::intern(c);
+        }
         let cursor = self.cursors.entry(q.table.clone()).or_default();
         cursor.seek(start);
         let mut out = Vec::new();

@@ -116,6 +116,24 @@ impl Document {
         ChildIter { doc: self, next: self.down(p) }
     }
 
+    /// Number of nodes in the subtree rooted at `p`, without building a
+    /// [`Tree`]. Node ids are assigned in pre-order, so a subtree is the
+    /// contiguous id range `[p, next node outside p's subtree)` — the
+    /// bound is found by walking up to the first ancestor-or-self with a
+    /// right sibling, making this O(depth), allocation-free.
+    pub fn subtree_len(&self, p: NodeId) -> usize {
+        let mut q = p;
+        loop {
+            if let Some(r) = self.right(q) {
+                return r.index() - p.index();
+            }
+            match self.parent(q) {
+                Some(par) => q = par,
+                None => return self.len() - p.index(),
+            }
+        }
+    }
+
     /// Rebuild the subtree rooted at `p` as an owned [`Tree`].
     pub fn subtree(&self, p: NodeId) -> Tree {
         let children = self.children(p).map(|c| self.subtree(c)).collect();
@@ -223,6 +241,15 @@ mod tests {
         let d = doc("a[b[d,e],c]");
         let b = d.down(d.root()).unwrap();
         assert_eq!(d.subtree(b).to_string(), "b[d,e]");
+    }
+
+    #[test]
+    fn subtree_len_matches_materialized_size() {
+        let d = doc("a[b[d,e[f,g]],c[h]]");
+        for i in 0..d.len() {
+            let p = NodeId::from_index(i);
+            assert_eq!(d.subtree_len(p), d.subtree(p).size(), "node {i}");
+        }
     }
 
     #[test]

@@ -1,78 +1,201 @@
-//! String labels over the underlying domain `D`.
+//! String labels over the underlying domain `D`, with a global interner.
 //!
 //! The paper's domain `D` "includes all string-like data, i.e., element
 //! names, character content, and attribute names/values" (§2, footnote 4).
 //! We represent every member of `D` as a [`Label`]: a reference-counted
 //! immutable string, cheap to clone and hash.
+//!
+//! # The interner
+//!
+//! Element and attribute names recur by the thousand on the fill path —
+//! a 10k-row relational scan mints 10k `row` labels and 30k column-name
+//! labels — while character content is mostly unique. The global,
+//! thread-safe interner splits the two regimes:
+//!
+//! - [`Label::intern`] canonicalizes a string into the process-wide
+//!   table and returns a label carrying a *symbol id*. Two interned
+//!   labels compare by integer, share one allocation, and survive for
+//!   the life of the process. Wrappers intern their recurring names
+//!   (element names, column names, the reserved labels) once and then
+//!   clone for free.
+//! - [`Label::new`] performs a **lookup-only** probe of the table: if
+//!   the string was interned by anyone, the canonical label (symbol and
+//!   all) is returned without allocating; otherwise a fresh uninterned
+//!   label is minted and the table is untouched. Unbounded PCDATA
+//!   content therefore never grows the table.
+//!
+//! Equality is a symbol compare when both sides are interned, a pointer
+//! compare when they share an allocation, and a string compare only as
+//! the cold fallback. Hashing and ordering always follow the string, so
+//! interned and uninterned labels with equal text are interchangeable as
+//! map keys (`Borrow<str>` stays honest).
+//!
+//! The reserved labels of the paper ([`RESERVED_HOLE`], [`RESERVED_LIST`],
+//! [`RESERVED_BS`], [`RESERVED_B`]) and [`DOC_LABEL`] are pre-interned at
+//! first touch, replacing the per-label `OnceLock` statics this module
+//! used to carry.
 
 use std::borrow::Borrow;
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Arc, OnceLock};
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// A member of the underlying domain `D`: an element name or atomic content.
 ///
-/// `Label` is an `Arc<str>` newtype: cloning is a reference-count bump, so
-/// labels can be freely duplicated into node-ids, caches and group keys
-/// without copying string data.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Label(Arc<str>);
+/// `Label` is an `Arc<str>` plus an optional interner symbol: cloning is
+/// a reference-count bump, so labels can be freely duplicated into
+/// node-ids, caches and group keys without copying string data, and
+/// interned labels compare by integer.
+#[derive(Clone)]
+pub struct Label {
+    text: Arc<str>,
+    /// Interner symbol + 1; `0` means "not interned". Two labels with
+    /// the same non-zero `sym` are equal by construction; differing
+    /// non-zero symbols are unequal by construction.
+    sym: u32,
+}
+
+/// The process-wide intern table.
+#[derive(Default)]
+struct Interner {
+    map: HashMap<Arc<str>, u32>,
+    table: Vec<Arc<str>>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        let mut i = Interner::default();
+        // Pre-intern the reserved vocabulary: hole/list/bs/b and the
+        // virtual document label are minted by the thousand on the fill
+        // path and must always take the integer-compare fast path.
+        for s in [RESERVED_HOLE, RESERVED_LIST, RESERVED_BS, RESERVED_B, DOC_LABEL] {
+            let arc: Arc<str> = Arc::from(s);
+            let id = i.table.len() as u32;
+            i.table.push(arc.clone());
+            i.map.insert(arc, id);
+        }
+        RwLock::new(i)
+    })
+}
+
+/// Look up `s` in the table without inserting.
+fn probe(s: &str) -> Option<Label> {
+    let inner = interner().read().expect("label interner poisoned");
+    inner.map.get(s).map(|&id| Label { text: inner.table[id as usize].clone(), sym: id + 1 })
+}
 
 impl Label {
     /// Create a label from anything string-like.
+    ///
+    /// Lookup-only against the global interner: a string someone
+    /// interned comes back canonical (no allocation, symbol attached);
+    /// anything else is minted fresh and does **not** grow the table —
+    /// safe for unbounded character content.
     pub fn new(s: impl AsRef<str>) -> Self {
-        Label(Arc::from(s.as_ref()))
+        let s = s.as_ref();
+        match probe(s) {
+            Some(l) => l,
+            None => Label { text: Arc::from(s), sym: 0 },
+        }
+    }
+
+    /// Intern `s` in the global table and return the canonical label.
+    ///
+    /// Idempotent and thread-safe; every later [`Label::new`] or
+    /// `intern` of the same string returns the same allocation and
+    /// symbol. Intern only *recurring vocabulary* (element names,
+    /// attribute/column names, query constants): the table lives for the
+    /// process, so feeding it unbounded content is a leak by design.
+    pub fn intern(s: impl AsRef<str>) -> Self {
+        let s = s.as_ref();
+        if let Some(l) = probe(s) {
+            return l;
+        }
+        let mut inner = interner().write().expect("label interner poisoned");
+        // Double-check under the write lock: another thread may have won.
+        if let Some(&id) = inner.map.get(s) {
+            return Label { text: inner.table[id as usize].clone(), sym: id + 1 };
+        }
+        let arc: Arc<str> = Arc::from(s);
+        let id = u32::try_from(inner.table.len()).expect("label interner overflow");
+        inner.table.push(arc.clone());
+        inner.map.insert(arc.clone(), id);
+        Label { text: arc, sym: id + 1 }
+    }
+
+    /// The interner symbol of this label, if it is interned.
+    pub fn symbol(&self) -> Option<u32> {
+        (self.sym != 0).then(|| self.sym - 1)
+    }
+
+    /// Resolve an interner symbol back to its canonical label.
+    pub fn resolve(symbol: u32) -> Option<Label> {
+        let inner = interner().read().expect("label interner poisoned");
+        inner
+            .table
+            .get(symbol as usize)
+            .map(|arc| Label { text: arc.clone(), sym: symbol + 1 })
+    }
+
+    /// Number of distinct strings interned so far (diagnostics/tests).
+    pub fn interned_count() -> usize {
+        interner().read().expect("label interner poisoned").table.len()
     }
 
     /// The label's text.
     pub fn as_str(&self) -> &str {
-        &self.0
+        &self.text
     }
 
     /// Byte length of the label; used by the granularity cost model to
     /// approximate wire sizes.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.text.len()
     }
 
     /// True if the label is the empty string.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.text.is_empty()
     }
 
     /// The reserved label marking holes in open trees (`hole` in Def. 3).
-    /// All calls share one allocation — fills mint these by the thousand.
+    /// All calls share the interner's one allocation — fills mint these
+    /// by the thousand.
     pub fn hole() -> Self {
-        static HOLE: OnceLock<Label> = OnceLock::new();
-        HOLE.get_or_init(|| Label::new(RESERVED_HOLE)).clone()
+        Label::intern(RESERVED_HOLE)
     }
 
     /// The reserved label used by the algebra for explicit lists
     /// (the `list` label of the `groupBy`/`concatenate` operators, §3).
     pub fn list() -> Self {
-        static LIST: OnceLock<Label> = OnceLock::new();
-        LIST.get_or_init(|| Label::new(RESERVED_LIST)).clone()
+        Label::intern(RESERVED_LIST)
     }
 
     /// The reserved label of a binding-list root (`bs[...]`, §3).
     pub fn bs() -> Self {
-        static BS: OnceLock<Label> = OnceLock::new();
-        BS.get_or_init(|| Label::new(RESERVED_BS)).clone()
+        Label::intern(RESERVED_BS)
     }
 
     /// The reserved label of a single variable binding (`b[...]`, §3).
     pub fn b() -> Self {
-        static B: OnceLock<Label> = OnceLock::new();
-        B.get_or_init(|| Label::new(RESERVED_B)).clone()
+        Label::intern(RESERVED_B)
     }
 
     /// Attempt to read the label as an integer (for value predicates).
     pub fn as_int(&self) -> Option<i64> {
-        self.0.trim().parse().ok()
+        self.text.trim().parse().ok()
     }
 
     /// Attempt to read the label as a float (for value predicates).
     pub fn as_float(&self) -> Option<f64> {
-        self.0.trim().parse().ok()
+        self.text.trim().parse().ok()
+    }
+
+    /// Do `self` and `other` share one allocation? (tests/diagnostics)
+    pub fn ptr_eq(&self, other: &Label) -> bool {
+        Arc::ptr_eq(&self.text, &other.text)
     }
 }
 
@@ -91,6 +214,38 @@ pub const RESERVED_LIST: &str = "list";
 pub const RESERVED_BS: &str = "bs";
 /// Reserved name for individual bindings.
 pub const RESERVED_B: &str = "b";
+
+impl PartialEq for Label {
+    fn eq(&self, other: &Self) -> bool {
+        // Both interned: symbols decide (the hot fill-path compare).
+        if self.sym != 0 && other.sym != 0 {
+            return self.sym == other.sym;
+        }
+        Arc::ptr_eq(&self.text, &other.text) || self.text == other.text
+    }
+}
+
+impl Eq for Label {}
+
+impl Hash for Label {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // String-based, so `Borrow<str>` map lookups stay honest and
+        // interned/uninterned twins collide as they must.
+        self.as_str().hash(state)
+    }
+}
+
+impl PartialOrd for Label {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Label {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_str().cmp(other.as_str())
+    }
+}
 
 impl fmt::Debug for Label {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -112,7 +267,10 @@ impl From<&str> for Label {
 
 impl From<String> for Label {
     fn from(s: String) -> Self {
-        Label(Arc::from(s))
+        match probe(&s) {
+            Some(l) => l,
+            None => Label { text: Arc::from(s), sym: 0 },
+        }
     }
 }
 
@@ -165,7 +323,7 @@ mod tests {
         let m = l.clone();
         assert_eq!(l, m);
         // Same allocation: Arc pointer equality.
-        assert!(Arc::ptr_eq(&l.0, &m.0));
+        assert!(l.ptr_eq(&m));
     }
 
     #[test]
@@ -178,10 +336,59 @@ mod tests {
 
     #[test]
     fn reserved_labels_share_one_allocation() {
-        assert!(Arc::ptr_eq(&Label::hole().0, &Label::hole().0));
-        assert!(Arc::ptr_eq(&Label::list().0, &Label::list().0));
-        assert!(Arc::ptr_eq(&Label::bs().0, &Label::bs().0));
-        assert!(Arc::ptr_eq(&Label::b().0, &Label::b().0));
+        assert!(Label::hole().ptr_eq(&Label::hole()));
+        assert!(Label::list().ptr_eq(&Label::list()));
+        assert!(Label::bs().ptr_eq(&Label::bs()));
+        assert!(Label::b().ptr_eq(&Label::b()));
+    }
+
+    #[test]
+    fn interning_canonicalizes() {
+        let a = Label::intern("mix-test-canonical");
+        let b = Label::intern("mix-test-canonical");
+        assert_eq!(a, b);
+        assert!(a.ptr_eq(&b), "one allocation for all interned copies");
+        assert_eq!(a.symbol(), b.symbol());
+        assert!(a.symbol().is_some());
+    }
+
+    #[test]
+    fn new_probes_the_table_without_growing_it() {
+        let interned = Label::intern("mix-test-probed");
+        let before = Label::interned_count();
+        // `new` of an interned string returns the canonical label…
+        let probed = Label::new("mix-test-probed");
+        assert!(probed.ptr_eq(&interned));
+        assert_eq!(probed.symbol(), interned.symbol());
+        // …and `new` of arbitrary content does not grow the table.
+        let fresh = Label::new("mix-test-unique-pcdata-95713");
+        assert_eq!(fresh.symbol(), None);
+        assert_eq!(Label::interned_count(), before, "lookup-only: no growth");
+    }
+
+    #[test]
+    fn interned_and_uninterned_twins_are_equal() {
+        let i = Label::intern("mix-test-twin");
+        // Construct an uninterned label with the same text the long way
+        // (bypassing the probe) to pin the mixed-compare fallback.
+        let u = Label { text: Arc::from("mix-test-twin"), sym: 0 };
+        assert_eq!(i, u);
+        assert_eq!(u, i);
+        // And they hash identically (string-based hashing).
+        let mut set = HashSet::new();
+        set.insert(i);
+        assert!(set.contains("mix-test-twin"));
+        assert!(set.contains(&u));
+    }
+
+    #[test]
+    fn resolve_round_trips_symbols() {
+        let l = Label::intern("mix-test-resolve");
+        let sym = l.symbol().unwrap();
+        let r = Label::resolve(sym).unwrap();
+        assert_eq!(r, l);
+        assert!(r.ptr_eq(&l));
+        assert_eq!(Label::resolve(u32::MAX), None);
     }
 
     #[test]
@@ -205,6 +412,10 @@ mod tests {
     fn ordering_is_lexicographic() {
         assert!(Label::new("a") < Label::new("b"));
         assert!(Label::new("abc") < Label::new("abd"));
+        // Interned labels order by text, not by symbol.
+        let z = Label::intern("mix-test-zzz");
+        let a = Label::intern("mix-test-aaa");
+        assert!(a < z);
     }
 
     #[test]

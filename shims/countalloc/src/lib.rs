@@ -1,0 +1,138 @@
+//! A counting [`GlobalAlloc`]: forwards to the system allocator and keeps
+//! process-wide tallies of allocation calls and bytes requested.
+//!
+//! Benches and tests install it once —
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: countalloc::CountingAlloc = countalloc::CountingAlloc::new();
+//! ```
+//!
+//! — then bracket the region of interest with [`CountingAlloc::snapshot`]
+//! and subtract, or use [`count_allocations`] for the common closure form.
+//! Counters are relaxed atomics: cheap enough to leave on, precise enough
+//! for "O(rows), not O(rows²)" assertions. `realloc` counts as one
+//! allocation event (the growth path we care about) and only the *new*
+//! size is added to the byte tally; `dealloc` is tracked separately so
+//! steady-state leaks show up as `allocs - deallocs` drift.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// The counting allocator. Zero-sized; all state is in statics so the
+/// counters are readable without a handle to the installed instance.
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// A new instance (they all share the same counters).
+    pub const fn new() -> Self {
+        CountingAlloc
+    }
+
+    /// Current counter values `(allocations, deallocations, bytes)`.
+    pub fn snapshot() -> Counts {
+        Counts {
+            allocations: ALLOCS.load(Relaxed),
+            deallocations: DEALLOCS.load(Relaxed),
+            bytes: BYTES.load(Relaxed),
+        }
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        CountingAlloc::new()
+    }
+}
+
+/// A point-in-time reading of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Counts {
+    /// `alloc` + `realloc` calls.
+    pub allocations: u64,
+    /// `dealloc` calls.
+    pub deallocations: u64,
+    /// Total bytes requested by `alloc` and `realloc`.
+    pub bytes: u64,
+}
+
+impl Counts {
+    /// Counter deltas since `earlier` (saturating, in case the closure
+    /// under measurement raced another thread's frees).
+    pub fn since(&self, earlier: &Counts) -> Counts {
+        Counts {
+            allocations: self.allocations.saturating_sub(earlier.allocations),
+            deallocations: self.deallocations.saturating_sub(earlier.deallocations),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+        }
+    }
+}
+
+/// Run `f` and return `(result, deltas)` — the allocation activity while
+/// it ran. Process-global: concurrent threads' allocations are included,
+/// so keep measured regions single-threaded for exact counts.
+pub fn count_allocations<T>(f: impl FnOnce() -> T) -> (T, Counts) {
+    let before = CountingAlloc::snapshot();
+    let out = f();
+    let after = CountingAlloc::snapshot();
+    (out, after.since(&before))
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        BYTES.fetch_add(new_size as u64, Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        DEALLOCS.fetch_add(1, Relaxed);
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Not installed as #[global_allocator] here — unit tests only check
+    // the counter arithmetic; integration tests in consumers install it.
+
+    #[test]
+    fn since_subtracts_fieldwise_and_saturates() {
+        let a = Counts { allocations: 10, deallocations: 4, bytes: 100 };
+        let b = Counts { allocations: 13, deallocations: 9, bytes: 150 };
+        assert_eq!(
+            b.since(&a),
+            Counts { allocations: 3, deallocations: 5, bytes: 50 }
+        );
+        assert_eq!(
+            a.since(&b),
+            Counts { allocations: 0, deallocations: 0, bytes: 0 }
+        );
+    }
+
+    #[test]
+    fn snapshot_is_monotonic() {
+        let a = CountingAlloc::snapshot();
+        let b = CountingAlloc::snapshot();
+        assert!(b.allocations >= a.allocations);
+        assert!(b.bytes >= a.bytes);
+    }
+}
