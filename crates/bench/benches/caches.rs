@@ -49,7 +49,7 @@ fn bench_fragment_cache(c: &mut Criterion) {
             ("schoolsSrc", gen::schools_doc(43, 40, 8)),
         ] {
             let mut inner = TreeWrapper::new(FillPolicy::Chunked { n: 4 });
-            inner.add(name, std::rc::Rc::new(mix_xml::Document::from_tree(&tree)));
+            inner.add(name, std::sync::Arc::new(mix_xml::Document::from_tree(&tree)));
             let nav = BufferNavigator::new(inner, name).with_fragment_cache(cache.clone());
             sources.add_navigator(name, nav);
         }

@@ -27,7 +27,14 @@ use std::time::Instant;
 static ALLOC: countalloc::CountingAlloc = countalloc::CountingAlloc::new();
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--threads N` overrides the E18 sweep: measure sequential vs exactly
+    // that thread count instead of the default 1/2/4/8 ladder.
+    let mut threads_override = None;
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        threads_override = args.get(i + 1).and_then(|v| v.parse::<usize>().ok());
+        args.drain(i..args.len().min(i + 2));
+    }
     let all = args.is_empty() || args.iter().any(|a| a == "all");
     let want = |id: &str| all || args.iter().any(|a| a == id);
 
@@ -75,6 +82,9 @@ fn main() {
     }
     if want("e17") {
         e17_shared_cache();
+    }
+    if want("e18") {
+        e18_concurrency(threads_override);
     }
 }
 
@@ -272,7 +282,7 @@ fn e15_flight_recorder() {
 
     let traffic = |doc: &VirtualDocument| -> (u64, u64, u64) {
         let mut t = (0, 0, 0);
-        for (_, snap) in doc.engine().borrow().traffic() {
+        for (_, snap) in doc.engine().lock().unwrap().traffic() {
             if let Some(s) = snap {
                 t.0 += s.requests;
                 t.1 += s.batched_holes;
@@ -286,7 +296,7 @@ fn e15_flight_recorder() {
     // the whole answer (no degradations) and reconciles with the wire.
     let clean = {
         let doc = build(FaultConfig::transient(0, 0.0), RetryPolicy::none());
-        materialize(&mut *doc.engine().borrow_mut()).to_string()
+        materialize(&mut *doc.engine().lock().unwrap()).to_string()
     };
     let t = TablePrinter::new(
         &["fault rate", "wire reqs", "retries", "degraded", "events", "spans", "rollup = traffic"],
@@ -299,7 +309,7 @@ fn e15_flight_recorder() {
             FaultConfig::transient(0xE13, f64::from(rate_pct) / 100.0),
             policy,
         );
-        let answer = materialize(&mut *doc.engine().borrow_mut()).to_string();
+        let answer = materialize(&mut *doc.engine().lock().unwrap()).to_string();
         assert_eq!(answer, clean, "retries must absorb transient faults at {rate_pct}%");
         let log = doc.trace();
         assert_eq!(log.dropped(), 0, "exactness requires a complete trace");
@@ -445,7 +455,7 @@ fn e16_live_metrics() {
             ("schoolsSrc", gen::schools_doc(43, 40, 8)),
         ] {
             let mut inner = TreeWrapper::new(FillPolicy::Chunked { n: 4 });
-            inner.add(name, std::rc::Rc::new(mix_xml::Document::from_tree(&tree)));
+            inner.add(name, std::sync::Arc::new(mix_xml::Document::from_tree(&tree)));
             let nav = BufferNavigator::new(inner, name).with_metrics(registry.clone());
             let (health, stats) = (nav.health(), nav.stats());
             let trace = nav.trace_sink();
@@ -457,7 +467,7 @@ fn e16_live_metrics() {
     };
 
     let (doc, registry) = observed_fig3();
-    let _ = first_k_children(&mut *doc.engine().borrow_mut(), 3);
+    let _ = first_k_children(&mut *doc.engine().lock().unwrap(), 3);
     println!("{}", doc.explain_analyze());
 
     // Exactness: per-operator self counts partition the per-source total,
@@ -585,7 +595,7 @@ fn e16_live_metrics() {
             if !enabled {
                 registry.set_enabled(false);
             }
-            let _ = materialize(&mut *doc.engine().borrow_mut());
+            let _ = materialize(&mut *doc.engine().lock().unwrap());
         }
         start.elapsed().as_secs_f64() * 1_000.0 / f64::from(reps)
     };
@@ -642,7 +652,7 @@ fn e17_shared_cache() {
             ("schoolsSrc", gen::schools_doc(43, 40, 8)),
         ] {
             let mut inner = TreeWrapper::new(FillPolicy::Chunked { n: 4 });
-            inner.add(name, std::rc::Rc::new(mix_xml::Document::from_tree(&tree)));
+            inner.add(name, std::sync::Arc::new(mix_xml::Document::from_tree(&tree)));
             let nav = BufferNavigator::new(inner, name)
                 .with_metrics(registry.clone())
                 .with_fragment_cache(cache.clone());
@@ -656,7 +666,7 @@ fn e17_shared_cache() {
     // (requests, get_roots, bytes) per named source, summed when name is None.
     let wire = |doc: &VirtualDocument, name: Option<&str>| -> (u64, u64, u64) {
         let mut t = (0, 0, 0);
-        for (src, snap) in doc.engine().borrow().traffic() {
+        for (src, snap) in doc.engine().lock().unwrap().traffic() {
             if let (Some(s), true) = (snap, name.is_none_or(|n| n == src)) {
                 t.0 += s.requests;
                 t.1 += s.get_roots;
@@ -668,12 +678,12 @@ fn e17_shared_cache() {
 
     let cache = FragmentCache::new();
     let cold = session(&cache);
-    let answer = materialize(&mut *cold.engine().borrow_mut()).to_string();
+    let answer = materialize(&mut *cold.engine().lock().unwrap()).to_string();
     let (c_req, c_roots, c_bytes) = wire(&cold, None);
     assert!(c_req > 0 && c_roots > 0, "the cold session paid the wire");
 
     let warm = session(&cache);
-    let warm_answer = materialize(&mut *warm.engine().borrow_mut()).to_string();
+    let warm_answer = materialize(&mut *warm.engine().lock().unwrap()).to_string();
     let (w_req, w_roots, w_bytes) = wire(&warm, None);
     assert_eq!(warm_answer, answer, "warm answer must be byte-identical");
     assert_eq!((w_req, w_roots, w_bytes), (0, 0, 0), "warm session is wire-free");
@@ -682,7 +692,7 @@ fn e17_shared_cache() {
     // that source again — and only for that source.
     let (inv_entries, inv_bytes) = cache.invalidate("homesSrc");
     let third = session(&cache);
-    let third_answer = materialize(&mut *third.engine().borrow_mut()).to_string();
+    let third_answer = materialize(&mut *third.engine().lock().unwrap()).to_string();
     assert_eq!(third_answer, answer, "post-invalidation answer must be identical");
     let (t_homes, _, _) = wire(&third, Some("homesSrc"));
     let (t_schools, _, _) = wire(&third, Some("schoolsSrc"));
@@ -742,6 +752,228 @@ fn e17_shared_cache() {
         ("cache_insertions".to_string(), Json::Int(s.insertions)),
     ])
     .write("BENCH_E17.json");
+}
+
+/// E18 — the concurrent multi-source engine. Every source pays a real
+/// per-exchange wire delay; the sequential engine pays the *sum* of all
+/// sources' exchange latencies while the concurrent engine (parallel
+/// warm-up exchanges plus per-source background prefetch workers) pays
+/// roughly their *max*. Sweeps thread count and reports wall clock and
+/// per-navigation-command latency percentiles.
+fn e18_concurrency(threads_override: Option<usize>) {
+    banner("E18", "concurrent multi-source navigation");
+    use mix_buffer::{
+        ConcurrentPrefetcher, FillPolicy, SlowWrapper, TreeWrapper, DEFAULT_PREFETCH_CAP,
+    };
+    use mix_core::VNode;
+    use mix_nav::Navigator;
+    use mix_xml::Tree;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const DELAY_MS: u64 = 5;
+    const N_SOURCES: usize = 4;
+    // Binds each source's root (`_` consumes exactly the root label), so
+    // the full walk provably drains all four sources.
+    const QUERY: &str = "CONSTRUCT <out> <m> $A <n> $B <p> $C $D {$D} </p> {$C} </n> {$B} \
+                         </m> {$A} </out> {} \
+                         WHERE s0 _ $A AND s1 _ $B AND s2 _ $C AND s3 _ $D";
+    // Equal-size sources (17 nodes → 18 exchanges each): the concurrent
+    // wall clock converges to the *longest* per-source exchange chain,
+    // so skewed sources would only re-measure the skew, not the overlap.
+    let trees: Vec<Tree> = (0..N_SOURCES)
+        .map(|i| {
+            mix_xml::term::parse_term(&format!(
+                "src{i}[a[b,b,b],a[b,b,b],a[b,b,b],a[b,b,b]]"
+            ))
+            .unwrap()
+        })
+        .collect();
+
+    // One engine over four slow sources. Sequential (threads = 1) talks
+    // straight to the buffered wrapper; concurrent adds the background
+    // prefetcher (one worker per source: the wire mutex serializes
+    // exchanges per source anyway, so parallelism comes from the four
+    // sources' workers overlapping, plus the warm-up pool).
+    let build = |threads: usize| -> (Engine, Vec<Arc<AtomicU64>>, mix_buffer::OverlapGauge) {
+        let mut reg = SourceRegistry::new();
+        let mut wires = Vec::new();
+        // One gauge shared by all four wrappers: its watermark is the
+        // number of wire exchanges genuinely in flight *at once*.
+        let wire_gauge = mix_buffer::OverlapGauge::new();
+        for (i, tree) in trees.iter().enumerate() {
+            let slow = SlowWrapper::new(
+                TreeWrapper::single(tree, FillPolicy::NodeAtATime),
+                Duration::from_millis(DELAY_MS),
+            )
+            .with_gauge(wire_gauge.clone());
+            wires.push(slow.exchange_counter());
+            if threads <= 1 {
+                let nav = BufferNavigator::new(slow, "doc");
+                let (health, stats) = (nav.health(), nav.stats());
+                reg.add_navigator_with_stats(format!("s{i}"), nav, health, stats);
+            } else {
+                let pre = ConcurrentPrefetcher::build(slow, 1, DEFAULT_PREFETCH_CAP);
+                let nav = BufferNavigator::new(pre, "doc");
+                let (health, stats) = (nav.health(), nav.stats());
+                reg.add_navigator_with_stats(format!("s{i}"), nav, health, stats);
+            }
+        }
+        let config = EngineConfig { threads, ..EngineConfig::default() };
+        (Engine::with_config(plan_for(QUERY), &reg, config).unwrap(), wires, wire_gauge)
+    };
+
+    // Materialize the whole virtual answer, timing every navigation
+    // command (`d`/`r`/`f`) individually for the latency distribution.
+    fn walk(nav: &mut Engine, h: &VNode, lat: &mut Vec<f64>) -> Tree {
+        let ms = |t: Instant| t.elapsed().as_secs_f64() * 1e3;
+        let t = Instant::now();
+        let label = nav.fetch(h);
+        lat.push(ms(t));
+        let mut children = Vec::new();
+        let t = Instant::now();
+        let mut cur = nav.down(h);
+        lat.push(ms(t));
+        while let Some(c) = cur {
+            children.push(walk(nav, &c, lat));
+            let t = Instant::now();
+            cur = nav.right(&c);
+            lat.push(ms(t));
+        }
+        Tree::node(label, children)
+    }
+    let percentile = |lat: &mut Vec<f64>, p: f64| -> f64 {
+        lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        lat[((lat.len() as f64 * p).ceil() as usize).clamp(1, lat.len()) - 1]
+    };
+
+    struct Measured {
+        answer: String,
+        wall_ms: f64,
+        p50_ms: f64,
+        p99_ms: f64,
+        commands: usize,
+        exchanges: u64,
+        overlap: u64,
+    }
+    let measure = |threads: usize| -> Measured {
+        let mut best: Option<Measured> = None;
+        for _ in 0..2 {
+            let (mut engine, wires, wire_gauge) = build(threads);
+            let mut lat = Vec::new();
+            let start = Instant::now();
+            let root = engine.root();
+            let answer = walk(&mut engine, &root, &mut lat).to_string();
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            let overlap = wire_gauge.max_overlap();
+            // Dropping the engine joins every prefetch worker, so the
+            // wire counters below are final.
+            drop(engine);
+            let m = Measured {
+                answer,
+                wall_ms,
+                p50_ms: percentile(&mut lat, 0.50),
+                p99_ms: percentile(&mut lat, 0.99),
+                commands: lat.len(),
+                exchanges: wires.iter().map(|w| w.load(Ordering::Relaxed)).sum(),
+                overlap,
+            };
+            if best.as_ref().is_none_or(|b| m.wall_ms < b.wall_ms) {
+                best = Some(m);
+            }
+        }
+        best.expect("two runs completed")
+    };
+
+    let mut sweep = match threads_override {
+        Some(t) => vec![1, t],
+        None => vec![1, 2, 4, 8],
+    };
+    sweep.dedup();
+
+    let t = TablePrinter::new(
+        &["threads", "wall", "speedup", "p50", "p99", "commands", "wire exch", "overlap"],
+        &[8, 10, 8, 9, 9, 9, 10, 8],
+    );
+    let mut series = Vec::new();
+    let mut baseline: Option<(String, f64, u64)> = None;
+    let mut speedup_at_4 = None;
+    for &threads in &sweep {
+        let m = measure(threads);
+        let (base_answer, base_wall, base_exch) = baseline
+            .get_or_insert_with(|| (m.answer.clone(), m.wall_ms, m.exchanges))
+            .clone();
+        assert_eq!(m.answer, base_answer, "answers must be identical at {threads} threads");
+        // Full walk + fill-once: the concurrent run's speculation is
+        // exactly the work the walk needs — no extra wire exchanges.
+        assert_eq!(m.exchanges, base_exch, "no duplicated or wasted exchanges");
+        if threads > 1 {
+            assert!(
+                m.overlap >= 2,
+                "concurrent engine must overlap wire exchanges across sources (got {})",
+                m.overlap
+            );
+        } else {
+            assert_eq!(m.overlap, 1, "the sequential engine never overlaps exchanges");
+        }
+        let speedup = base_wall / m.wall_ms;
+        if threads == 4 {
+            speedup_at_4 = Some(speedup);
+        }
+        t.row(&[
+            format!("{threads}"),
+            format!("{:.1}ms", m.wall_ms),
+            format!("{speedup:.2}x"),
+            format!("{:.3}ms", m.p50_ms),
+            format!("{:.3}ms", m.p99_ms),
+            format!("{}", m.commands),
+            format!("{}", m.exchanges),
+            format!("{}", m.overlap),
+        ]);
+        series.push(Json::Obj(vec![
+            ("threads".to_string(), Json::Int(threads as u64)),
+            ("wall_ms".to_string(), Json::Num(m.wall_ms)),
+            ("speedup_vs_sequential".to_string(), Json::Num(speedup)),
+            ("p50_ms".to_string(), Json::Num(m.p50_ms)),
+            ("p99_ms".to_string(), Json::Num(m.p99_ms)),
+            ("commands".to_string(), Json::Int(m.commands as u64)),
+            ("wire_exchanges".to_string(), Json::Int(m.exchanges)),
+            ("max_exchange_overlap".to_string(), Json::Int(m.overlap)),
+        ]));
+    }
+    let (_, base_wall, base_exch) = baseline.expect("sequential baseline ran");
+    println!(
+        "shape check: {N_SOURCES} sources x {DELAY_MS}ms per exchange, {base_exch} wire \
+         exchanges either way; the sequential walk pays their sum (~{base_wall:.0}ms), the \
+         concurrent engine overlaps sources and flattens near the per-source max once every \
+         source has its own lane."
+    );
+    if std::env::var("MIX_BENCH_ENFORCE").as_deref() == Ok("1") {
+        let s4 = speedup_at_4.expect("MIX_BENCH_ENFORCE requires the 4-thread point");
+        assert!(
+            s4 >= 2.0,
+            "MIX_BENCH_ENFORCE: 4-thread speedup {s4:.2}x below the 2x gate"
+        );
+        println!("MIX_BENCH_ENFORCE: concurrent engine at 4 threads is {s4:.2}x — pass");
+    }
+
+    Json::Obj(vec![
+        ("experiment".to_string(), Json::str("E18")),
+        (
+            "workload".to_string(),
+            Json::str(format!(
+                "{N_SOURCES}-source root-binding view, {DELAY_MS}ms injected per-exchange \
+                 latency, full materializing walk"
+            )),
+        ),
+        ("sources".to_string(), Json::Int(N_SOURCES as u64)),
+        ("delay_ms".to_string(), Json::Int(DELAY_MS)),
+        ("series".to_string(), Json::Arr(series)),
+        ("answers_identical".to_string(), Json::Bool(true)),
+        ("exchanges_identical".to_string(), Json::Bool(true)),
+    ])
+    .write("BENCH_E18.json");
 }
 
 /// E1 — Figures 3 & 4: parse, translate, evaluate, check lazy ≡ eager.

@@ -32,7 +32,9 @@ use crate::retry::{RetryError, RetryPolicy, RetryState};
 use crate::trace::{TraceKind, TraceSink};
 use mix_nav::Navigator;
 use mix_xml::Label;
-use std::cell::{Cell, RefCell};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
@@ -350,9 +352,9 @@ pub struct BufferNavigator<W> {
     /// Monotone count of degraded navigations — the epoch a caller
     /// compares around a navigation to tell a degraded fallback from a
     /// legitimate answer.
-    degraded_epoch: Cell<u64>,
+    degraded_epoch: AtomicU64,
     /// The error behind the most recent degradation.
-    last_degraded: RefCell<Option<String>>,
+    last_degraded: Mutex<Option<String>>,
     /// Upper bound on fills per single navigation command (`FILL_FUEL`
     /// unless overridden for tests).
     fill_fuel: u32,
@@ -394,8 +396,8 @@ impl<W: LxpWrapper> BufferNavigator<W> {
             // of uris; an explicit `with_fragment_cache` overrides it.
             cache: cache_forced().then(FragmentCache::new),
             trace: TraceSink::default(),
-            degraded_epoch: Cell::new(0),
-            last_degraded: RefCell::new(None),
+            degraded_epoch: AtomicU64::new(0),
+            last_degraded: Mutex::new(None),
             fill_fuel: FILL_FUEL,
         }
     }
@@ -508,12 +510,12 @@ impl<W: LxpWrapper> BufferNavigator<W> {
     /// unchanged epoch proves the answer was real; a bumped epoch means
     /// it (or an interleaved navigation) degraded.
     pub fn degraded_epoch(&self) -> u64 {
-        self.degraded_epoch.get()
+        self.degraded_epoch.load(Ordering::Relaxed)
     }
 
     /// The error behind the most recent degraded navigation, if any.
     pub fn last_degraded(&self) -> Option<String> {
-        self.last_degraded.borrow().clone()
+        self.last_degraded.lock().unwrap().clone()
     }
 
     /// Forgive the source: zero the health counters, forget the failure
@@ -524,7 +526,7 @@ impl<W: LxpWrapper> BufferNavigator<W> {
         let was_open = self.retry.is_open();
         self.retry.reset();
         self.health.reset();
-        *self.last_degraded.borrow_mut() = None;
+        *self.last_degraded.lock().unwrap() = None;
         if was_open && self.trace.is_enabled() {
             self.trace.emit(Some(self.uri.as_str()), TraceKind::BreakerClose);
         }
@@ -1138,8 +1140,8 @@ impl<W: LxpWrapper> BufferNavigator<W> {
             Err(e) => {
                 self.purge_on_degrade();
                 self.health.record_degraded(&e);
-                self.degraded_epoch.set(self.degraded_epoch.get() + 1);
-                *self.last_degraded.borrow_mut() = Some(e.to_string());
+                self.degraded_epoch.fetch_add(1, Ordering::Relaxed);
+                *self.last_degraded.lock().unwrap() = Some(e.to_string());
                 if self.metrics.on() {
                     self.metrics.degradations.inc();
                 }
@@ -1584,7 +1586,7 @@ mod tests {
         let tree = parse_term(term).unwrap();
         let faulty = FaultyWrapper::new(
             TreeWrapper::single(&tree, FillPolicy::Chunked { n: 1 }).with_batch_budget(3),
-            FaultConfig::transient(9, 0.4),
+            FaultConfig::transient(2, 0.4),
         );
         let fault_stats = faulty.stats();
         let mut nav = BufferNavigator::with_retry(

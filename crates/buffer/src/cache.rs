@@ -30,10 +30,8 @@
 use crate::fragment::Fragment;
 use crate::lxp::HoleId;
 use crate::metrics::{Counter, Gauge, MetricsRegistry};
-use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
-use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Default byte budget for a [`FragmentCache`] (4 MiB of wire bytes).
 pub const DEFAULT_CACHE_BUDGET: u64 = 4 << 20;
@@ -114,7 +112,7 @@ struct CacheInner {
 /// [`BufferNavigator`]: crate::buffer::BufferNavigator
 #[derive(Clone)]
 pub struct FragmentCache {
-    inner: Rc<RefCell<CacheInner>>,
+    inner: Arc<Mutex<CacheInner>>,
     hits: Counter,
     misses: Counter,
     insertions: Counter,
@@ -154,7 +152,7 @@ impl FragmentCache {
     /// admits nothing (useful for starving the cache in tests).
     pub fn with_budget(budget: u64) -> Self {
         FragmentCache {
-            inner: Rc::new(RefCell::new(CacheInner { budget, ..CacheInner::default() })),
+            inner: Arc::new(Mutex::new(CacheInner { budget, ..CacheInner::default() })),
             hits: Counter::new(),
             misses: Counter::new(),
             insertions: Counter::new(),
@@ -167,14 +165,14 @@ impl FragmentCache {
 
     /// Do `self` and `other` share storage?
     pub fn same_cache(&self, other: &FragmentCache) -> bool {
-        Rc::ptr_eq(&self.inner, &other.inner)
+        Arc::ptr_eq(&self.inner, &other.inner)
     }
 
     /// Look up the cached reply for `hole` of `source`, refreshing its
     /// recency. Counts a hit or a miss either way. A hit is clone-free:
     /// the returned `Arc` shares the cached allocation.
     pub fn lookup(&self, source: &str, hole: &HoleId) -> Option<Arc<Vec<Fragment>>> {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock().unwrap();
         let epoch = inner.epochs.get(source).copied().unwrap_or(0);
         let key = (source.to_string(), hole.clone());
         let fresh = match inner.entries.get(&key) {
@@ -228,7 +226,7 @@ impl FragmentCache {
         fragments: &Arc<Vec<Fragment>>,
     ) -> Vec<(String, HoleId, u64)> {
         let bytes: u64 = fragments.iter().map(|f| f.wire_bytes() as u64).sum();
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock().unwrap();
         if bytes > inner.budget {
             return Vec::new();
         }
@@ -263,7 +261,7 @@ impl FragmentCache {
 
     /// The cached `get_root` reply for `source`, if any (epoch-guarded).
     pub fn lookup_root(&self, source: &str) -> Option<HoleId> {
-        let inner = self.inner.borrow();
+        let inner = self.inner.lock().unwrap();
         let epoch = inner.epochs.get(source).copied().unwrap_or(0);
         match inner.roots.get(source) {
             Some((hole, e)) if *e == epoch => Some(hole.clone()),
@@ -274,7 +272,7 @@ impl FragmentCache {
     /// Remember `source`'s root hole so warm sessions skip the
     /// `get_root` exchange too.
     pub fn insert_root(&self, source: &str, hole: &HoleId) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock().unwrap();
         let epoch = inner.epochs.get(source).copied().unwrap_or(0);
         inner.roots.insert(source.to_string(), (hole.clone(), epoch));
     }
@@ -289,7 +287,7 @@ impl FragmentCache {
     /// open circuit breaker — and clients may call it by hand when they
     /// know the source changed.
     pub fn invalidate(&self, source: &str) -> (u64, u64) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock().unwrap();
         *inner.epochs.entry(source.to_string()).or_insert(0) += 1;
         let dead: Vec<(String, HoleId)> =
             inner.entries.keys().filter(|(s, _)| s == source).cloned().collect();
@@ -315,7 +313,7 @@ impl FragmentCache {
 
     /// Drop every entry for every source (budget and counters survive).
     pub fn clear(&self) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock().unwrap();
         let sources: Vec<String> =
             inner.entries.keys().map(|(s, _)| s.clone()).chain(inner.roots.keys().cloned()).collect();
         for s in sources {
@@ -331,7 +329,7 @@ impl FragmentCache {
 
     /// Entries currently resident.
     pub fn len(&self) -> usize {
-        self.inner.borrow().entries.len()
+        self.inner.lock().unwrap().entries.len()
     }
 
     /// Is the cache empty?
@@ -341,17 +339,17 @@ impl FragmentCache {
 
     /// Wire bytes currently resident.
     pub fn resident_bytes(&self) -> u64 {
-        self.inner.borrow().cur_bytes
+        self.inner.lock().unwrap().cur_bytes
     }
 
     /// The configured byte budget.
     pub fn budget(&self) -> u64 {
-        self.inner.borrow().budget
+        self.inner.lock().unwrap().budget
     }
 
     /// A point-in-time copy of the cache-wide counters.
     pub fn stats(&self) -> FragmentCacheStats {
-        let inner = self.inner.borrow();
+        let inner = self.inner.lock().unwrap();
         FragmentCacheStats {
             hits: self.hits.get(),
             misses: self.misses.get(),
@@ -368,7 +366,7 @@ impl FragmentCache {
     /// the cache has never seen) — what `explain_analyze()`'s per-source
     /// table reads for its hits column.
     pub fn source_stats(&self, source: &str) -> SourceCacheStats {
-        self.inner.borrow().per_source.get(source).copied().unwrap_or_default()
+        self.inner.lock().unwrap().per_source.get(source).copied().unwrap_or_default()
     }
 
     /// Register the cache's counter/gauge *cells* in `registry` under
@@ -421,7 +419,7 @@ impl FragmentCache {
     }
 
     fn sync_gauges(&self) {
-        let inner = self.inner.borrow();
+        let inner = self.inner.lock().unwrap();
         self.bytes.set(inner.cur_bytes);
         self.entries.set(inner.entries.len() as u64);
     }

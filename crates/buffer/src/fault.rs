@@ -4,19 +4,34 @@
 //! way live web sources do: transient `SourceError`s at a configurable
 //! rate, latency spikes charged in simulated cost units, and an optional
 //! permanent outage after N requests. Faults are drawn from a SplitMix64
-//! stream seeded by [`FaultConfig::seed`], so every experiment and test
+//! mix seeded by [`FaultConfig::seed`], so every experiment and test
 //! replays the exact same fault schedule — the fault-injection analogue of
 //! the deterministic workload generators in `mix-wrappers::gen`.
 //!
-//! A fresh random draw happens on every *attempt*, so a request that
-//! failed transiently can succeed when the buffer retries it. A permanent
-//! outage ([`FaultConfig::fail_after`]) fails every attempt from then on —
-//! what the retry layer's circuit breaker exists for.
+//! # Order-independent schedules
+//!
+//! Each draw is a pure function of `(seed, request kind, request detail,
+//! per-request attempt number)` — **not** of a shared sequential RNG
+//! stream. The fate of "attempt 3 on hole `doc|a|0|1`" is therefore the
+//! same whether a prefetch worker or the client thread issues it, and the
+//! same no matter how concurrent exchanges on *other* holes interleave
+//! with it. This is what keeps fault-schedule proptests reproducible when
+//! exchanges run on worker threads: a shared stream would hand different
+//! draws to the same request depending on scheduling order.
+//!
+//! A fresh draw happens on every *attempt* (the per-request attempt
+//! counter advances), so a request that failed transiently can succeed
+//! when the buffer retries it. A permanent outage
+//! ([`FaultConfig::fail_after`]) counts attempts globally — an outage is a
+//! property of the source, not of one request — and fails every attempt
+//! from then on, which is what the retry layer's circuit breaker exists
+//! for.
 
 use crate::fragment::Fragment;
 use crate::lxp::{BatchItem, HoleId, LxpError, LxpWrapper};
-use std::cell::Cell;
-use std::rc::Rc;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Fault schedule knobs. Rates are probabilities in `[0, 1]`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,10 +87,10 @@ impl Default for FaultConfig {
 
 #[derive(Default, Debug)]
 struct FaultCells {
-    requests: Cell<u64>,
-    injected_faults: Cell<u64>,
-    latency_spikes: Cell<u64>,
-    injected_cost: Cell<u64>,
+    requests: AtomicU64,
+    injected_faults: AtomicU64,
+    latency_spikes: AtomicU64,
+    injected_cost: AtomicU64,
 }
 
 /// A point-in-time copy of [`FaultStats`].
@@ -94,38 +109,56 @@ pub struct FaultStatsSnapshot {
 /// Shared counters describing what the injector actually did.
 #[derive(Clone, Default, Debug)]
 pub struct FaultStats {
-    inner: Rc<FaultCells>,
+    inner: Arc<FaultCells>,
 }
 
 impl FaultStats {
     /// Read the totals.
     pub fn snapshot(&self) -> FaultStatsSnapshot {
         FaultStatsSnapshot {
-            requests: self.inner.requests.get(),
-            injected_faults: self.inner.injected_faults.get(),
-            latency_spikes: self.inner.latency_spikes.get(),
-            injected_cost: self.inner.injected_cost.get(),
+            requests: self.inner.requests.load(Ordering::Relaxed),
+            injected_faults: self.inner.injected_faults.load(Ordering::Relaxed),
+            latency_spikes: self.inner.latency_spikes.load(Ordering::Relaxed),
+            injected_cost: self.inner.injected_cost.load(Ordering::Relaxed),
         }
     }
+}
+
+/// SplitMix64 finalizer: a statistically solid 64→64 bit mix.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a string — stable request-key hashing (independent of the
+/// std hasher's per-process randomization).
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }
 
 /// An [`LxpWrapper`] adapter injecting seeded faults (see module docs).
 pub struct FaultyWrapper<W> {
     inner: W,
     config: FaultConfig,
-    rng_state: u64,
+    /// Per-request attempt counters, keyed by the stable hash of
+    /// `(kind, detail)`. The counter — not a shared RNG stream — is the
+    /// only mutable state a draw depends on, so schedules are a function
+    /// of each request's own history.
+    attempts: HashMap<u64, u64>,
     stats: FaultStats,
 }
 
 impl<W: LxpWrapper> FaultyWrapper<W> {
     /// Wrap `inner` under the given fault schedule.
     pub fn new(inner: W, config: FaultConfig) -> Self {
-        FaultyWrapper {
-            inner,
-            rng_state: config.seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
-            config,
-            stats: FaultStats::default(),
-        }
+        FaultyWrapper { inner, config, attempts: HashMap::new(), stats: FaultStats::default() }
     }
 
     /// Shared handle to the injection counters.
@@ -143,42 +176,44 @@ impl<W: LxpWrapper> FaultyWrapper<W> {
         self.inner
     }
 
-    fn next_u64(&mut self) -> u64 {
-        self.rng_state = self.rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.rng_state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    fn chance(&mut self, p: f64) -> bool {
-        p > 0.0 && ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    /// The deterministic draw for stream `tag` of this request-attempt.
+    fn draw(&self, key: u64, attempt: u64, tag: u64, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        let z = mix64(self.config.seed ^ mix64(key ^ mix64(attempt ^ mix64(tag))));
+        ((z >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
     }
 
     /// Decide this attempt's fate: `Err` to inject a failure, `Ok` to let
     /// it through (after maybe charging a latency spike).
     fn gate(&mut self, rate: f64, what: &str, detail: &str) -> Result<(), LxpError> {
-        let n = self.stats.inner.requests.get() + 1;
-        self.stats.inner.requests.set(n);
+        let n = self.stats.inner.requests.fetch_add(1, Ordering::Relaxed) + 1;
         if self.config.fail_after.is_some_and(|limit| n > limit) {
-            self.stats.inner.injected_faults.set(self.stats.inner.injected_faults.get() + 1);
+            self.stats.inner.injected_faults.fetch_add(1, Ordering::Relaxed);
             return Err(LxpError::SourceError(format!(
                 "injected outage: source down after request {limit} ({what} {detail})",
                 limit = self.config.fail_after.unwrap_or(0),
             )));
         }
-        if self.chance(rate) {
-            self.stats.inner.injected_faults.set(self.stats.inner.injected_faults.get() + 1);
+        let key = fnv1a(what) ^ fnv1a(detail).rotate_left(17);
+        let attempt = {
+            let c = self.attempts.entry(key).or_insert(0);
+            *c += 1;
+            *c
+        };
+        if self.draw(key, attempt, 1, rate) {
+            self.stats.inner.injected_faults.fetch_add(1, Ordering::Relaxed);
             return Err(LxpError::SourceError(format!(
-                "injected transient fault on {what} {detail} (request {n})"
+                "injected transient fault on {what} {detail} (attempt {attempt})"
             )));
         }
-        if self.chance(self.config.latency_spike_rate) {
-            self.stats.inner.latency_spikes.set(self.stats.inner.latency_spikes.get() + 1);
+        if self.draw(key, attempt, 2, self.config.latency_spike_rate) {
+            self.stats.inner.latency_spikes.fetch_add(1, Ordering::Relaxed);
             self.stats
                 .inner
                 .injected_cost
-                .set(self.stats.inner.injected_cost.get() + self.config.latency_spike_cost);
+                .fetch_add(self.config.latency_spike_cost, Ordering::Relaxed);
         }
         Ok(())
     }
@@ -236,6 +271,28 @@ mod tests {
             outcomes
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn schedules_are_per_request_not_a_shared_sequence() {
+        // The fate of attempt k on request X must not depend on how many
+        // *other* requests were interleaved before it — that is what makes
+        // schedules reproducible under concurrent exchanges.
+        let solo = {
+            let mut w = FaultyWrapper::new(wrapper(), FaultConfig::transient(42, 0.5));
+            (0..20).map(|_| w.get_root("doc").is_ok()).collect::<Vec<_>>()
+        };
+        let interleaved = {
+            let mut w = FaultyWrapper::new(wrapper(), FaultConfig::transient(42, 0.5));
+            (0..20)
+                .map(|_| {
+                    // Noise on a different request key between every attempt.
+                    let _ = w.fill(&HoleId::from("doc|noise|0|0"));
+                    w.get_root("doc").is_ok()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(solo, interleaved, "interleaving other requests changed the schedule");
     }
 
     #[test]

@@ -7,14 +7,14 @@
 //! cost paid for them, and operations that had to *degrade* (navigation
 //! answered `None` because the source stayed down or broke the protocol).
 //!
-//! The handle is cheap to clone and shared — the same [`Rc`]-of-[`Cell`]s
+//! The handle is cheap to clone and shared — the same `Arc`-of-atomics
 //! idiom as [`BufferStats`](crate::BufferStats) — so the engine, profiler,
 //! and client library can all observe the conversation the buffer is
 //! having without owning the buffer.
 
-use std::cell::{Cell, RefCell};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Coarse classification of a source's current condition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,19 +74,19 @@ impl HealthSnapshot {
 
 #[derive(Default, Debug)]
 struct HealthCells {
-    transient_faults: Cell<u64>,
-    retries: Cell<u64>,
-    backoff_cost: Cell<u64>,
-    degraded_ops: Cell<u64>,
-    prefetch_failures: Cell<u64>,
-    breaker_open: Cell<bool>,
-    last_error: RefCell<Option<String>>,
+    transient_faults: AtomicU64,
+    retries: AtomicU64,
+    backoff_cost: AtomicU64,
+    degraded_ops: AtomicU64,
+    prefetch_failures: AtomicU64,
+    breaker_open: AtomicBool,
+    last_error: Mutex<Option<String>>,
 }
 
 /// Shared, cloneable handle to one source's fault/retry counters.
 #[derive(Clone, Default, Debug)]
 pub struct SourceHealth {
-    inner: Rc<HealthCells>,
+    inner: Arc<HealthCells>,
 }
 
 impl SourceHealth {
@@ -99,20 +99,20 @@ impl SourceHealth {
     pub fn snapshot(&self) -> HealthSnapshot {
         HealthSnapshot {
             status: self.status(),
-            transient_faults: self.inner.transient_faults.get(),
-            retries: self.inner.retries.get(),
-            backoff_cost: self.inner.backoff_cost.get(),
-            degraded_ops: self.inner.degraded_ops.get(),
-            prefetch_failures: self.inner.prefetch_failures.get(),
-            last_error: self.inner.last_error.borrow().clone(),
+            transient_faults: self.inner.transient_faults.load(Ordering::Relaxed),
+            retries: self.inner.retries.load(Ordering::Relaxed),
+            backoff_cost: self.inner.backoff_cost.load(Ordering::Relaxed),
+            degraded_ops: self.inner.degraded_ops.load(Ordering::Relaxed),
+            prefetch_failures: self.inner.prefetch_failures.load(Ordering::Relaxed),
+            last_error: self.inner.last_error.lock().unwrap().clone(),
         }
     }
 
     /// Current condition.
     pub fn status(&self) -> HealthStatus {
-        if self.inner.breaker_open.get() {
+        if self.inner.breaker_open.load(Ordering::Relaxed) {
             HealthStatus::Unavailable
-        } else if self.inner.degraded_ops.get() > 0 {
+        } else if self.inner.degraded_ops.load(Ordering::Relaxed) > 0 {
             HealthStatus::Degraded
         } else {
             HealthStatus::Healthy
@@ -121,44 +121,44 @@ impl SourceHealth {
 
     /// Record one transient fault plus the retry that answers it.
     pub fn record_retry(&self, error: &dyn fmt::Display, backoff_cost: u64) {
-        self.inner.transient_faults.set(self.inner.transient_faults.get() + 1);
-        self.inner.retries.set(self.inner.retries.get() + 1);
-        self.inner.backoff_cost.set(self.inner.backoff_cost.get() + backoff_cost);
-        *self.inner.last_error.borrow_mut() = Some(error.to_string());
+        self.inner.transient_faults.fetch_add(1, Ordering::Relaxed);
+        self.inner.retries.fetch_add(1, Ordering::Relaxed);
+        self.inner.backoff_cost.fetch_add(backoff_cost, Ordering::Relaxed);
+        *self.inner.last_error.lock().unwrap() = Some(error.to_string());
     }
 
     /// Record a fault nothing could absorb: the operation degrades.
     pub fn record_degraded(&self, error: &dyn fmt::Display) {
-        self.inner.degraded_ops.set(self.inner.degraded_ops.get() + 1);
-        *self.inner.last_error.borrow_mut() = Some(error.to_string());
+        self.inner.degraded_ops.fetch_add(1, Ordering::Relaxed);
+        *self.inner.last_error.lock().unwrap() = Some(error.to_string());
     }
 
     /// Record a failed speculative readahead fill. Does not change the
     /// status or `last_error`: readahead is best-effort, and the client's
     /// own fill will face the error on the critical path.
     pub fn record_prefetch_failure(&self) {
-        self.inner.prefetch_failures.set(self.inner.prefetch_failures.get() + 1);
+        self.inner.prefetch_failures.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Open or close the circuit breaker.
     pub fn set_breaker(&self, open: bool) {
-        self.inner.breaker_open.set(open);
+        self.inner.breaker_open.store(open, Ordering::Relaxed);
     }
 
     /// Is the circuit breaker currently open?
     pub fn breaker_open(&self) -> bool {
-        self.inner.breaker_open.get()
+        self.inner.breaker_open.load(Ordering::Relaxed)
     }
 
     /// Zero every counter and close the breaker (experiment harnesses).
     pub fn reset(&self) {
-        self.inner.transient_faults.set(0);
-        self.inner.retries.set(0);
-        self.inner.backoff_cost.set(0);
-        self.inner.degraded_ops.set(0);
-        self.inner.prefetch_failures.set(0);
-        self.inner.breaker_open.set(false);
-        *self.inner.last_error.borrow_mut() = None;
+        self.inner.transient_faults.store(0, Ordering::Relaxed);
+        self.inner.retries.store(0, Ordering::Relaxed);
+        self.inner.backoff_cost.store(0, Ordering::Relaxed);
+        self.inner.degraded_ops.store(0, Ordering::Relaxed);
+        self.inner.prefetch_failures.store(0, Ordering::Relaxed);
+        self.inner.breaker_open.store(false, Ordering::Relaxed);
+        *self.inner.last_error.lock().unwrap() = None;
     }
 }
 

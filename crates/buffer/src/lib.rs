@@ -41,6 +41,9 @@
 //! * [`treewrap`] — an LXP wrapper over in-memory documents with pluggable
 //!   [`FillPolicy`]s, used by tests, the web-source simulator, and the
 //!   granularity experiments;
+//! * [`slow`] — [`SlowWrapper`], injected per-exchange wire latency for
+//!   the concurrency experiments (sequential pays the sum of source
+//!   latencies, parallel the max);
 //! * [`retry`] — retry with exponential simulated backoff and a
 //!   per-source circuit breaker, applied to every LXP request the buffer
 //!   issues;
@@ -75,10 +78,13 @@ pub mod fragment;
 pub mod health;
 pub mod lxp;
 pub mod metrics;
+pub mod pool;
 pub mod prefetch;
 pub mod retry;
+pub mod slow;
 pub mod trace;
 pub mod treewrap;
+pub mod worker;
 
 pub use adaptive::AimdChunk;
 pub use buffer::{BufNodeId, BufferError, BufferNavigator, BufferStats, BufferStatsSnapshot};
@@ -91,7 +97,10 @@ pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricKind, MetricsRegistry, MetricsSnapshot,
     RetryMetrics, Sample, SampleValue, WrapperMetrics,
 };
+pub use pool::{configured_threads, run_parallel, OverlapGauge};
 pub use prefetch::Prefetcher;
 pub use retry::{RetryError, RetryPolicy};
+pub use slow::SlowWrapper;
 pub use trace::{TraceEvent, TraceKind, TraceSink};
 pub use treewrap::{FillPolicy, TreeWrapper};
+pub use worker::{ConcurrentPrefetcher, DEFAULT_PREFETCH_CAP};

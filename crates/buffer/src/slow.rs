@@ -1,0 +1,127 @@
+//! Injected wire latency for concurrency experiments.
+//!
+//! The sequential engine pays the *sum* of its sources' exchange
+//! latencies; the concurrent engine pays roughly their *max*. To measure
+//! that (experiment E18) — and to prove in tests that exchanges really
+//! overlap in time — we need a wrapper whose exchanges take real wall
+//! clock. [`SlowWrapper`] sleeps for a fixed delay at the start of every
+//! LXP exchange (`get_root`, `fill`, `fill_many`), modeling a per-request
+//! wire round trip: a batched `fill_many` answering many holes costs one
+//! delay, which is exactly the amortization batching buys on a real link.
+
+use crate::lxp::{BatchItem, HoleId, LxpError, LxpWrapper};
+use crate::pool::OverlapGauge;
+use crate::Fragment;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// An LXP wrapper that sleeps `delay` before delegating each exchange.
+#[derive(Debug)]
+pub struct SlowWrapper<W> {
+    inner: W,
+    delay: Duration,
+    exchanges: Arc<AtomicU64>,
+    gauge: OverlapGauge,
+}
+
+impl<W> SlowWrapper<W> {
+    /// Wrap `inner`, charging `delay` of wall clock per exchange.
+    pub fn new(inner: W, delay: Duration) -> Self {
+        SlowWrapper {
+            inner,
+            delay,
+            exchanges: Arc::new(AtomicU64::new(0)),
+            gauge: OverlapGauge::new(),
+        }
+    }
+
+    /// Share `gauge` with this wrapper: the delay window of every
+    /// exchange counts as in-flight, so a gauge shared across several
+    /// sources' wrappers measures true wire-level exchange overlap.
+    pub fn with_gauge(mut self, gauge: OverlapGauge) -> Self {
+        self.gauge = gauge;
+        self
+    }
+
+    /// A shared counter of exchanges that have paid the delay; clone it
+    /// out before the wrapper disappears into a buffer.
+    pub fn exchange_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.exchanges)
+    }
+
+    /// Unwrap the inner wrapper.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+
+    fn pay(&self) {
+        self.exchanges.fetch_add(1, Ordering::Relaxed);
+        let _in_flight = self.gauge.enter();
+        if !self.delay.is_zero() {
+            std::thread::sleep(self.delay);
+        }
+    }
+}
+
+impl<W: LxpWrapper> LxpWrapper for SlowWrapper<W> {
+    fn get_root(&mut self, uri: &str) -> Result<HoleId, LxpError> {
+        self.pay();
+        self.inner.get_root(uri)
+    }
+
+    fn fill(&mut self, hole: &HoleId) -> Result<Vec<Fragment>, LxpError> {
+        self.pay();
+        self.inner.fill(hole)
+    }
+
+    fn fill_many(&mut self, holes: &[HoleId]) -> Result<Vec<BatchItem>, LxpError> {
+        // One delay for the whole batch: the point of `fill_many`.
+        self.pay();
+        self.inner.fill_many(holes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::treewrap::{FillPolicy, TreeWrapper};
+    use mix_xml::term::parse_term;
+    use std::time::Instant;
+
+    fn wrapper() -> TreeWrapper {
+        TreeWrapper::single(&parse_term("a[b,c]").unwrap(), FillPolicy::NodeAtATime)
+    }
+
+    #[test]
+    fn charges_one_delay_per_exchange() {
+        let mut slow = SlowWrapper::new(wrapper(), Duration::from_millis(2));
+        let count = slow.exchange_counter();
+        let start = Instant::now();
+        let root = slow.get_root("doc").unwrap();
+        let _ = slow.fill(&root).unwrap();
+        assert_eq!(count.load(Ordering::Relaxed), 2);
+        assert!(start.elapsed() >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn fill_many_pays_once() {
+        let mut slow = SlowWrapper::new(wrapper(), Duration::ZERO);
+        let count = slow.exchange_counter();
+        fn holes_in(frags: &[Fragment], out: &mut Vec<HoleId>) {
+            for f in frags {
+                match f {
+                    Fragment::Hole(h) => out.push(h.clone()),
+                    Fragment::Node { children, .. } => holes_in(children, out),
+                }
+            }
+        }
+        let root = slow.get_root("doc").unwrap();
+        let reply = slow.fill(&root).unwrap();
+        let mut holes = Vec::new();
+        holes_in(&reply, &mut holes);
+        assert!(!holes.is_empty(), "node-at-a-time fill leaves child holes");
+        let _ = slow.fill_many(&holes).unwrap();
+        assert_eq!(count.load(Ordering::Relaxed), 3, "one delay for the whole batch");
+    }
+}

@@ -21,9 +21,9 @@
 //!
 //! # Zero-cost when disabled
 //!
-//! The sink is an `Rc`-of-`Cell`s handle (the [`BufferStats`] idiom);
+//! The sink is an `Arc`-of-atomics handle (the [`BufferStats`] idiom);
 //! instrumented call sites guard event *construction* behind
-//! [`TraceSink::is_enabled`] — a single `Cell<bool>` read — so a disabled
+//! [`TraceSink::is_enabled`] — a single relaxed atomic read — so a disabled
 //! sink costs one predictable branch and never allocates. The environment
 //! variable `MIX_TRACE_FORCE=1` flips every *default-constructed* sink to
 //! enabled, which CI uses to run the whole test suite under tracing and
@@ -42,11 +42,10 @@
 //!
 //! [`BufferStats`]: crate::BufferStats
 
-use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::fmt;
-use std::rc::Rc;
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Default ring capacity of an enabled sink.
 pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
@@ -341,23 +340,23 @@ impl fmt::Display for TraceEvent {
 
 #[derive(Debug)]
 struct SinkCells {
-    enabled: Cell<bool>,
-    seq: Cell<u64>,
-    span: Cell<u64>,
-    capacity: Cell<usize>,
-    dropped: Cell<u64>,
-    ring: RefCell<VecDeque<TraceEvent>>,
+    enabled: AtomicBool,
+    seq: AtomicU64,
+    span: AtomicU64,
+    capacity: AtomicUsize,
+    dropped: AtomicU64,
+    ring: Mutex<VecDeque<TraceEvent>>,
 }
 
 impl Default for SinkCells {
     fn default() -> Self {
         SinkCells {
-            enabled: Cell::new(false),
-            seq: Cell::new(0),
-            span: Cell::new(0),
-            capacity: Cell::new(DEFAULT_TRACE_CAPACITY),
-            dropped: Cell::new(0),
-            ring: RefCell::new(VecDeque::new()),
+            enabled: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+            span: AtomicU64::new(0),
+            capacity: AtomicUsize::new(DEFAULT_TRACE_CAPACITY),
+            dropped: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::new()),
         }
     }
 }
@@ -376,16 +375,16 @@ fn force_enabled() -> bool {
 /// the *same* sink to the engine and every buffer so spans link up.
 #[derive(Clone, Debug)]
 pub struct TraceSink {
-    inner: Rc<SinkCells>,
+    inner: Arc<SinkCells>,
 }
 
 impl Default for TraceSink {
     /// A disabled sink — unless `MIX_TRACE_FORCE=1` is set in the
     /// environment, in which case it records from the start.
     fn default() -> Self {
-        let sink = TraceSink { inner: Rc::default() };
+        let sink = TraceSink { inner: Arc::default() };
         if force_enabled() {
-            sink.inner.enabled.set(true);
+            sink.inner.enabled.store(true, Ordering::Relaxed);
         }
         sink
     }
@@ -400,103 +399,108 @@ impl TraceSink {
     /// A sink that is off no matter what the environment says — for
     /// internal delegation paths that must never record.
     pub fn off() -> Self {
-        TraceSink { inner: Rc::default() }
+        TraceSink { inner: Arc::default() }
     }
 
     /// An enabled sink with an explicit ring capacity.
     pub fn enabled(capacity: usize) -> Self {
-        let sink = TraceSink { inner: Rc::default() };
-        sink.inner.capacity.set(capacity.max(1));
-        sink.inner.enabled.set(true);
+        let sink = TraceSink { inner: Arc::default() };
+        sink.inner.capacity.store(capacity.max(1), Ordering::Relaxed);
+        sink.inner.enabled.store(true, Ordering::Relaxed);
         sink
     }
 
     /// Is the recorder currently on? Call sites guard event construction
-    /// behind this single `Cell` read.
+    /// behind this single atomic read.
     #[inline]
     pub fn is_enabled(&self) -> bool {
-        self.inner.enabled.get()
+        self.inner.enabled.load(Ordering::Relaxed)
     }
 
     /// Turn recording on or off (the ring is kept either way).
     pub fn set_enabled(&self, on: bool) {
-        self.inner.enabled.set(on);
+        self.inner.enabled.store(on, Ordering::Relaxed);
     }
 
     /// Change the ring capacity (existing overflow is trimmed and counted
     /// as dropped).
     pub fn set_capacity(&self, capacity: usize) {
         let capacity = capacity.max(1);
-        self.inner.capacity.set(capacity);
-        let mut ring = self.inner.ring.borrow_mut();
+        self.inner.capacity.store(capacity, Ordering::Relaxed);
+        let mut ring = self.inner.ring.lock().unwrap();
         while ring.len() > capacity {
             ring.pop_front();
-            self.inner.dropped.set(self.inner.dropped.get() + 1);
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// The ring capacity.
     pub fn capacity(&self) -> usize {
-        self.inner.capacity.get()
+        self.inner.capacity.load(Ordering::Relaxed)
     }
 
     /// Start a new span for a client command and record the command.
     /// Returns the new span id.
     pub fn begin_span(&self, cmd: &'static str) -> u64 {
-        let span = self.inner.span.get() + 1;
-        self.inner.span.set(span);
+        let span = self.inner.span.fetch_add(1, Ordering::Relaxed) + 1;
         self.emit(None, TraceKind::ClientCommand { cmd });
         span
     }
 
     /// The span id events are currently attributed to.
     pub fn current_span(&self) -> u64 {
-        self.inner.span.get()
+        self.inner.span.load(Ordering::Relaxed)
     }
 
     /// Record one event (no-op when disabled — but prefer guarding the
     /// *construction* of `kind` behind [`TraceSink::is_enabled`] too).
     pub fn emit(&self, source: Option<&str>, kind: TraceKind) {
-        if !self.inner.enabled.get() {
+        if !self.inner.enabled.load(Ordering::Relaxed) {
             return;
         }
-        let seq = self.inner.seq.get();
-        self.inner.seq.set(seq + 1);
-        let event =
-            TraceEvent { seq, span: self.inner.span.get(), source: source.map(str::to_string), kind };
-        let mut ring = self.inner.ring.borrow_mut();
-        if ring.len() >= self.inner.capacity.get() {
+        // Sequence allocation happens under the ring lock so that `seq`
+        // order and ring order agree even when worker threads emit
+        // concurrently with the client thread.
+        let mut ring = self.inner.ring.lock().unwrap();
+        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+        let event = TraceEvent {
+            seq,
+            span: self.inner.span.load(Ordering::Relaxed),
+            source: source.map(str::to_string),
+            kind,
+        };
+        if ring.len() >= self.inner.capacity.load(Ordering::Relaxed) {
             ring.pop_front();
-            self.inner.dropped.set(self.inner.dropped.get() + 1);
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
         }
         ring.push_back(event);
     }
 
     /// Copy out the recorded events, oldest first.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.inner.ring.borrow().iter().cloned().collect()
+        self.inner.ring.lock().unwrap().iter().cloned().collect()
     }
 
     /// Events currently held in the ring.
     pub fn len(&self) -> usize {
-        self.inner.ring.borrow().len()
+        self.inner.ring.lock().unwrap().len()
     }
 
     /// Is the ring empty?
     pub fn is_empty(&self) -> bool {
-        self.inner.ring.borrow().is_empty()
+        self.inner.ring.lock().unwrap().is_empty()
     }
 
     /// Events evicted because the ring was full. Exact-accounting checks
     /// require this to be 0.
     pub fn dropped(&self) -> u64 {
-        self.inner.dropped.get()
+        self.inner.dropped.load(Ordering::Relaxed)
     }
 
     /// Forget all recorded events (counters for seq/span keep running).
     pub fn clear(&self) {
-        self.inner.ring.borrow_mut().clear();
-        self.inner.dropped.set(0);
+        self.inner.ring.lock().unwrap().clear();
+        self.inner.dropped.store(0, Ordering::Relaxed);
     }
 }
 

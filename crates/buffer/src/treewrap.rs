@@ -19,7 +19,7 @@ use crate::fragment::Fragment;
 use crate::lxp::{chase_continuation, BatchItem, HoleId, LxpError, LxpWrapper};
 use mix_xml::{Document, NodeId, Tree};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// How much of the requested region a fill reply carries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,7 +44,7 @@ pub enum FillPolicy {
 
 /// LXP wrapper over a registry of in-memory documents.
 pub struct TreeWrapper {
-    docs: HashMap<String, Rc<Document>>,
+    docs: HashMap<String, Arc<Document>>,
     policy: FillPolicy,
     /// Chunk controller, present under `FillPolicy::Adaptive`.
     adaptive: Option<AimdChunk>,
@@ -55,9 +55,9 @@ pub struct TreeWrapper {
     /// by `(uri, parent)`. A scan fills the same parent's children once
     /// per chunk; re-collecting the whole list each time is O(children)
     /// per fill — quadratic over the scan. Documents are immutable
-    /// behind `Rc`, so the memo only needs invalidating when a uri is
+    /// behind `Arc`, so the memo only needs invalidating when a uri is
     /// re-registered.
-    kids_memo: Option<(String, usize, Rc<[NodeId]>)>,
+    kids_memo: Option<(String, usize, Arc<[NodeId]>)>,
     /// Continuation items appended per `fill_many` exchange (0 = none).
     batch_budget: usize,
 }
@@ -93,7 +93,7 @@ impl TreeWrapper {
     }
 
     /// Register a document under a URI.
-    pub fn add(&mut self, uri: impl Into<String>, doc: Rc<Document>) {
+    pub fn add(&mut self, uri: impl Into<String>, doc: Arc<Document>) {
         self.docs.insert(uri.into(), doc);
         // The uri may have been re-registered with different content.
         self.kids_memo = None;
@@ -102,7 +102,7 @@ impl TreeWrapper {
     /// Convenience: a wrapper exporting a single tree as `doc`.
     pub fn single(tree: &Tree, policy: FillPolicy) -> Self {
         let mut w = TreeWrapper::new(policy);
-        w.add("doc", Rc::new(Document::from_tree(tree)));
+        w.add("doc", Arc::new(Document::from_tree(tree)));
         w
     }
 
@@ -111,7 +111,7 @@ impl TreeWrapper {
         self.policy
     }
 
-    fn doc(&self, uri: &str) -> Result<&Rc<Document>, LxpError> {
+    fn doc(&self, uri: &str) -> Result<&Arc<Document>, LxpError> {
         self.docs.get(uri).ok_or_else(|| LxpError::UnknownSource(uri.to_string()))
     }
 
@@ -135,7 +135,7 @@ impl TreeWrapper {
     /// Complete-subtree chunk reply: `take` subtrees plus a trailing hole
     /// while more remain (shared by `Chunked` and `Adaptive`).
     fn chunk_reply(
-        doc: &Rc<Document>,
+        doc: &Arc<Document>,
         uri: &str,
         parent: NodeId,
         start: usize,
@@ -152,15 +152,15 @@ impl TreeWrapper {
     fn fill_children(
         &mut self,
         uri: &str,
-        doc: &Rc<Document>,
+        doc: &Arc<Document>,
         parent: NodeId,
         start: usize,
     ) -> Vec<Fragment> {
-        let kids: Rc<[NodeId]> = match &self.kids_memo {
-            Some((u, p, kids)) if u == uri && *p == parent.index() => Rc::clone(kids),
+        let kids: Arc<[NodeId]> = match &self.kids_memo {
+            Some((u, p, kids)) if u == uri && *p == parent.index() => Arc::clone(kids),
             _ => {
-                let kids: Rc<[NodeId]> = doc.children(parent).collect();
-                self.kids_memo = Some((uri.to_string(), parent.index(), Rc::clone(&kids)));
+                let kids: Arc<[NodeId]> = doc.children(parent).collect();
+                self.kids_memo = Some((uri.to_string(), parent.index(), Arc::clone(&kids)));
                 kids
             }
         };
@@ -495,8 +495,8 @@ mod tests {
     #[test]
     fn multiple_documents_under_distinct_uris() {
         let mut w = TreeWrapper::new(FillPolicy::WholeSubtree);
-        w.add("homes", Rc::new(Document::from_tree(&parse_term("homes[h1]").unwrap())));
-        w.add("schools", Rc::new(Document::from_tree(&parse_term("schools[s1]").unwrap())));
+        w.add("homes", Arc::new(Document::from_tree(&parse_term("homes[h1]").unwrap())));
+        w.add("schools", Arc::new(Document::from_tree(&parse_term("schools[s1]").unwrap())));
         let h1 = w.get_root("homes").unwrap();
         let h2 = w.get_root("schools").unwrap();
         assert_ne!(h1, h2);

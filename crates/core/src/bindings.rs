@@ -20,7 +20,7 @@ use mix_buffer::TraceKind;
 use mix_xmas::Var;
 use mix_xml::Tree;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Separator for composite group/difference keys; labels are
 /// length-prefixed in canonical form, so no ambiguity arises.
@@ -558,13 +558,13 @@ impl Engine {
             for v in &schema {
                 let node = self.attr(input, &ib, v);
                 let t = self.materialize_value(&node);
-                row.push((v.clone(), Rc::new(mix_xml::Document::from_tree(&t))));
+                row.push((v.clone(), Arc::new(mix_xml::Document::from_tree(&t))));
             }
             out.push(row);
             cur = self.next_binding(input, &ib);
         }
         let OpState::Materialize { rows, .. } = self.op_mut(op) else { unreachable!() };
-        *rows = Some(Rc::new(out));
+        *rows = Some(Arc::new(out));
     }
 
     // ---- select ---------------------------------------------------------
@@ -736,7 +736,7 @@ impl Engine {
         &mut self,
         op: PlanId,
         idx: usize,
-    ) -> Option<(BHandle, Rc<HashMap<Var, Tree>>)> {
+    ) -> Option<(BHandle, Arc<HashMap<Var, Tree>>)> {
         loop {
             let OpState::Join { cache, right, right_pred_vars, .. } = self.op(op) else {
                 unreachable!("join op")
@@ -785,7 +785,7 @@ impl Engine {
                     }
                     cache.entries.push(JoinCacheEntry {
                         handle: h,
-                        pred_vals: Rc::new(vals),
+                        pred_vals: Arc::new(vals),
                     });
                 }
             }
@@ -832,7 +832,7 @@ impl Engine {
                         set.insert(k);
                         cur = self.next_binding(right, &rb);
                     }
-                    let set = Rc::new(set);
+                    let set = Arc::new(set);
                     let OpState::Difference { right_keys, .. } = self.op_mut(op) else {
                         unreachable!()
                     };
@@ -1031,7 +1031,7 @@ impl Engine {
         });
         let handles: Vec<BHandle> = entries.into_iter().map(|(_, h)| h).collect();
         let OpState::OrderBy { sorted, .. } = self.op_mut(op) else { unreachable!() };
-        *sorted = Some(Rc::new(handles));
+        *sorted = Some(Arc::new(handles));
     }
 
     // ---- getDescendants -----------------------------------------------------

@@ -14,54 +14,53 @@ use crate::trace::{TraceLog, TraceSink};
 use crate::Engine;
 use mix_nav::{LabelPred, Navigator};
 use mix_xml::{Label, Tree};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// A virtual XML document backed by a lazy-mediator engine.
 #[derive(Clone)]
 pub struct VirtualDocument {
-    engine: Rc<RefCell<Engine>>,
+    engine: Arc<Mutex<Engine>>,
 }
 
 impl VirtualDocument {
     /// Wrap an engine. Cheap: no source access happens here.
     pub fn new(engine: Engine) -> Self {
-        VirtualDocument { engine: Rc::new(RefCell::new(engine)) }
+        VirtualDocument { engine: Arc::new(Mutex::new(engine)) }
     }
 
     /// Handle to the root element of the virtual answer document —
     /// returned "without even accessing the sources".
     pub fn root(&self) -> VirtualElement {
-        let node = self.engine.borrow_mut().root();
+        let node = self.engine.lock().unwrap().root();
         VirtualElement { engine: self.engine.clone(), node }
     }
 
     /// Source-navigation statistics accumulated so far.
     pub fn stats(&self) -> crate::EngineStats {
-        self.engine.borrow().stats()
+        self.engine.lock().unwrap().stats()
     }
 
     /// Fault/retry health per source (see [`Engine::health`]). A client
     /// that received a partial answer can look here for which source
     /// degraded and why — without ever leaving the DOM illusion.
     pub fn health(&self) -> Vec<(String, Option<mix_buffer::HealthSnapshot>)> {
-        self.engine.borrow().health()
+        self.engine.lock().unwrap().health()
     }
 
     /// The worst health status across sources — `Healthy` means the
     /// answer seen so far is complete with respect to the sources.
     pub fn overall_health(&self) -> mix_buffer::HealthStatus {
-        self.engine.borrow().overall_health()
+        self.engine.lock().unwrap().overall_health()
     }
 
     /// Reset the statistics.
     pub fn reset_stats(&self) {
-        self.engine.borrow().reset_stats();
+        self.engine.lock().unwrap().reset_stats();
     }
 
     /// Access the engine (experiments that mix client-level and
     /// engine-level operations).
-    pub fn engine(&self) -> Rc<RefCell<Engine>> {
+    pub fn engine(&self) -> Arc<Mutex<Engine>> {
         self.engine.clone()
     }
 
@@ -69,41 +68,41 @@ impl VirtualDocument {
     /// cascade, wire exchange, retry, and degradation recorded so far,
     /// queryable by span / source / kind (see [`TraceLog`]).
     pub fn trace(&self) -> TraceLog {
-        TraceLog::from_sink(&self.engine.borrow().trace_sink())
+        TraceLog::from_sink(&self.engine.lock().unwrap().trace_sink())
     }
 
     /// The shared recorder sink (to enable/disable recording, clear the
     /// ring, or hand it to more buffers).
     pub fn trace_sink(&self) -> TraceSink {
-        self.engine.borrow().trace_sink()
+        self.engine.lock().unwrap().trace_sink()
     }
 
     /// Replace the engine's recorder sink (see
     /// [`Engine::set_trace_sink`](crate::Engine::set_trace_sink)).
     pub fn set_trace_sink(&self, sink: TraceSink) {
-        self.engine.borrow_mut().set_trace_sink(sink);
+        self.engine.lock().unwrap().set_trace_sink(sink);
     }
 
     /// The engine's live metrics registry (see [`Engine::metrics`]).
     pub fn metrics(&self) -> crate::MetricsRegistry {
-        self.engine.borrow().metrics()
+        self.engine.lock().unwrap().metrics()
     }
 
     /// A point-in-time copy of every registered metric series.
     pub fn metrics_snapshot(&self) -> crate::MetricsSnapshot {
-        self.engine.borrow().metrics_snapshot()
+        self.engine.lock().unwrap().metrics_snapshot()
     }
 
     /// The shared cross-query fragment cache, if any source carries one
     /// (see [`Engine::fragment_cache`]).
     pub fn fragment_cache(&self) -> Option<mix_buffer::FragmentCache> {
-        self.engine.borrow().fragment_cache()
+        self.engine.lock().unwrap().fragment_cache()
     }
 
     /// The plan tree annotated with live per-operator metrics (see
     /// [`Engine::explain_analyze`]).
     pub fn explain_analyze(&self) -> String {
-        self.engine.borrow().explain_analyze()
+        self.engine.lock().unwrap().explain_analyze()
     }
 
     /// A DTD-style structural summary of the *virtual* document, computed
@@ -111,7 +110,7 @@ impl VirtualDocument {
     /// show before the user commits to a query. Navigation costs accrue to
     /// the usual per-source counters.
     pub fn summary(&self, max_depth: usize) -> mix_nav::Summary {
-        let mut engine = self.engine.borrow_mut();
+        let mut engine = self.engine.lock().unwrap();
         mix_nav::Summary::infer(&mut *engine, max_depth)
     }
 }
@@ -120,14 +119,14 @@ impl VirtualDocument {
 /// `p.right()` on the client becomes `right(p.node_id)` on the mediator.
 #[derive(Clone)]
 pub struct VirtualElement {
-    engine: Rc<RefCell<Engine>>,
+    engine: Arc<Mutex<Engine>>,
     node: VNode,
 }
 
 impl VirtualElement {
     /// The element's label (tag name or atomic content).
     pub fn label(&self) -> Label {
-        self.engine.borrow_mut().fetch(&self.node)
+        self.engine.lock().unwrap().fetch(&self.node)
     }
 
     /// The element's label, *checked*: `Err` when a source degraded while
@@ -137,24 +136,24 @@ impl VirtualElement {
     ///
     /// [`label`]: VirtualElement::label
     pub fn label_checked(&self) -> Result<Label, Degraded> {
-        self.engine.borrow_mut().fetch_checked(&self.node)
+        self.engine.lock().unwrap().fetch_checked(&self.node)
     }
 
     /// First child, or `None` on a leaf.
     pub fn down(&self) -> Option<VirtualElement> {
-        let node = self.engine.borrow_mut().down(&self.node)?;
+        let node = self.engine.lock().unwrap().down(&self.node)?;
         Some(VirtualElement { engine: self.engine.clone(), node })
     }
 
     /// Right sibling, or `None`.
     pub fn right(&self) -> Option<VirtualElement> {
-        let node = self.engine.borrow_mut().right(&self.node)?;
+        let node = self.engine.lock().unwrap().right(&self.node)?;
         Some(VirtualElement { engine: self.engine.clone(), node })
     }
 
     /// First right sibling whose label satisfies the predicate.
     pub fn select(&self, pred: &LabelPred) -> Option<VirtualElement> {
-        let node = self.engine.borrow_mut().select(&self.node, pred)?;
+        let node = self.engine.lock().unwrap().select(&self.node, pred)?;
         Some(VirtualElement { engine: self.engine.clone(), node })
     }
 
@@ -176,7 +175,7 @@ impl VirtualElement {
 
     /// Materialize the whole subtree (the client's "copy into memory").
     pub fn to_tree(&self) -> Tree {
-        self.engine.borrow_mut().materialize_value(&self.node)
+        self.engine.lock().unwrap().materialize_value(&self.node)
     }
 }
 

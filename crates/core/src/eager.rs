@@ -16,10 +16,10 @@ use mix_nav::explore::materialize;
 use mix_xmas::{LabelSpec, Nfa, Var};
 use mix_xml::{Label, Tree};
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// One variable binding: `(var, value)` pairs in schema order.
-pub type EagerBinding = Vec<(Var, Rc<Tree>)>;
+pub type EagerBinding = Vec<(Var, Arc<Tree>)>;
 
 /// Evaluate a plan eagerly against the registered sources; returns the
 /// answer document.
@@ -55,23 +55,23 @@ struct Eager<'a> {
     plan: &'a Plan,
     registry: &'a SourceRegistry,
     /// Materialized source documents, one pull per source name.
-    sources: HashMap<String, Rc<Tree>>,
+    sources: HashMap<String, Arc<Tree>>,
 }
 
-fn lookup<'b>(b: &'b EagerBinding, var: &Var) -> &'b Rc<Tree> {
+fn lookup<'b>(b: &'b EagerBinding, var: &Var) -> &'b Arc<Tree> {
     &b.iter().find(|(v, _)| v == var).expect("validated plans bind every used variable").1
 }
 
 impl Eager<'_> {
-    fn source_tree(&mut self, name: &str) -> Result<Rc<Tree>, EngineError> {
+    fn source_tree(&mut self, name: &str) -> Result<Arc<Tree>, EngineError> {
         if let Some(t) = self.sources.get(name) {
             return Ok(t.clone());
         }
         let shared = self.registry.get(name)?;
         // Wrap the root element in the virtual document node so paths
         // consume the root element's label as their first step.
-        let root = materialize(&mut **shared.nav.borrow_mut());
-        let tree = Rc::new(Tree::node(crate::values::DOC_LABEL, vec![root]));
+        let root = materialize(&mut **shared.nav.lock().unwrap());
+        let tree = Arc::new(Tree::node(crate::values::DOC_LABEL, vec![root]));
         self.sources.insert(name.to_string(), tree.clone());
         Ok(tree)
     }
@@ -166,7 +166,7 @@ impl Eager<'_> {
                     // lazy engine.
                     let mut nb: EagerBinding = Vec::new();
                     for item in items {
-                        nb.push((item.out.clone(), Rc::new(Tree::leaf(Label::list()))));
+                        nb.push((item.out.clone(), Arc::new(Tree::leaf(Label::list()))));
                     }
                     return Ok(vec![nb]);
                 }
@@ -181,7 +181,7 @@ impl Eager<'_> {
                             .iter()
                             .map(|m| (**lookup(m, &item.value)).clone())
                             .collect();
-                        nb.push((item.out.clone(), Rc::new(Tree::node(Label::list(), coll))));
+                        nb.push((item.out.clone(), Arc::new(Tree::node(Label::list(), coll))));
                     }
                     out.push(nb);
                 }
@@ -195,7 +195,7 @@ impl Eager<'_> {
                         let xv = lookup(&b, x).clone();
                         let yv = lookup(&b, y).clone();
                         let conc = concat_values(&xv, &yv);
-                        b.push((out.clone(), Rc::new(conc)));
+                        b.push((out.clone(), Arc::new(conc)));
                         b
                     })
                     .collect()
@@ -220,14 +220,14 @@ impl Eager<'_> {
                         };
                         let chv = lookup(&b, ch).clone();
                         let elem = Tree::node(l, chv.children().to_vec());
-                        b.push((out.clone(), Rc::new(elem)));
+                        b.push((out.clone(), Arc::new(elem)));
                         b
                     })
                     .collect()
             }
             PlanNode::Constant { input, value, out } => {
                 let input = self.bindings(*input)?;
-                let value = Rc::new(value.clone());
+                let value = Arc::new(value.clone());
                 input
                     .into_iter()
                     .map(|mut b| {
@@ -245,7 +245,7 @@ impl Eager<'_> {
                         let wrapped = if v.label() == &Label::list() {
                             v
                         } else {
-                            Rc::new(Tree::node(Label::list(), vec![(*v).clone()]))
+                            Arc::new(Tree::node(Label::list(), vec![(*v).clone()]))
                         };
                         b.push((out.clone(), wrapped));
                         b
@@ -278,15 +278,15 @@ impl Eager<'_> {
 /// All descendants of `e` whose root-to-node path matches the automaton,
 /// in pre-order; includes `e` itself when the path accepts ε (the same
 /// zero-step semantics as the lazy cursor).
-fn matches_in(nfa: &Nfa, e: &Rc<Tree>) -> Vec<Rc<Tree>> {
-    fn go(nfa: &Nfa, node: &Tree, states: &mix_xmas::StateSet, out: &mut Vec<Rc<Tree>>) {
+fn matches_in(nfa: &Nfa, e: &Arc<Tree>) -> Vec<Arc<Tree>> {
+    fn go(nfa: &Nfa, node: &Tree, states: &mix_xmas::StateSet, out: &mut Vec<Arc<Tree>>) {
         for child in node.children() {
             let next = nfa.step(states, child.label());
             if next.is_empty() {
                 continue;
             }
             if nfa.is_accepting(&next) {
-                out.push(Rc::new(child.clone()));
+                out.push(Arc::new(child.clone()));
             }
             if nfa.can_continue(&next) {
                 go(nfa, child, &next, out);

@@ -14,14 +14,15 @@ use crate::registry::{SharedSource, SourceRegistry};
 use crate::EngineError;
 use mix_algebra::{Plan, PlanId, PlanNode};
 use mix_buffer::{
-    BufferStats, BufferStatsSnapshot, Counter, FragmentCache, HealthSnapshot, HealthStatus,
-    MetricsRegistry, MetricsSnapshot, SourceHealth, TraceKind, TraceSink,
+    run_parallel, BufferStats, BufferStatsSnapshot, Counter, FragmentCache, HealthSnapshot,
+    HealthStatus, MetricsRegistry, MetricsSnapshot, OverlapGauge, SourceHealth, TraceKind,
+    TraceSink,
 };
 use mix_nav::{LabelPred, NavCounters, NavStats, Navigator};
 use mix_xml::{Document, Label};
 use std::collections::HashSet;
 use std::fmt::Write as _;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Tuning knobs for the engine; defaults match the paper's system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +44,14 @@ pub struct EngineConfig {
     /// "opportunities for optimization" the paper's §6 leaves open.
     /// Requires `join_cache`.
     pub hash_join: bool,
+    /// Worker threads for parallel per-source exchanges. `1` (the
+    /// default) keeps the engine strictly sequential; above `1`, the
+    /// engine primes its independent sources concurrently on the first
+    /// client navigation ([`Engine::warm_sources`]), paying the max of
+    /// the source latencies instead of their sum. Deliberately explicit:
+    /// the `MIX_THREADS` environment default applies only through
+    /// [`EngineConfig::concurrent`], never ambiently.
+    pub threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -54,6 +63,7 @@ impl Default for EngineConfig {
             group_cache: true,
             use_select: false,
             hash_join: false,
+            threads: 1,
         }
     }
 }
@@ -62,6 +72,13 @@ impl EngineConfig {
     /// The default configuration with `select_φ` available.
     pub fn with_select() -> Self {
         EngineConfig { use_select: true, ..EngineConfig::default() }
+    }
+
+    /// The default configuration with the worker-thread count taken from
+    /// the `MIX_THREADS` environment knob
+    /// ([`mix_buffer::configured_threads`]).
+    pub fn concurrent() -> Self {
+        EngineConfig { threads: mix_buffer::configured_threads(), ..EngineConfig::default() }
     }
 }
 
@@ -135,7 +152,23 @@ pub struct Engine {
     /// attribution fallback when the client navigates inside an
     /// already-produced source value with no operator on the stack.
     src_leaf_op: Vec<u32>,
+    /// In-flight exchange gauge for the parallel exchange paths; a
+    /// high-water mark above 1 is positive proof that two source
+    /// exchanges overlapped in time.
+    gauge: OverlapGauge,
+    /// Whether the parallel source warm-up has run. It runs at most once,
+    /// on the first client `d` (or an explicit [`Engine::warm_sources`]).
+    warmed: bool,
 }
+
+/// An attribution snapshot: the operator path (plan indices, outermost
+/// first) captured at the moment a source exchange is issued. The
+/// exchange functions meter from this snapshot instead of the live,
+/// engine-global operator stack, so attribution cannot interleave when
+/// exchanges overlap in time (warm-up workers, prefetch) or complete
+/// after the stack has moved on.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct OpPath(Vec<u32>);
 
 /// A checked navigation's evidence that its answer is partial: the
 /// fallback value the unchecked API would have silently returned, plus the
@@ -225,6 +258,8 @@ impl Engine {
             cmd_counters: Default::default(),
             op_stack: Vec::new(),
             src_leaf_op,
+            gauge: OverlapGauge::new(),
+            warmed: false,
         };
         engine.register_metric_series();
         Ok(engine)
@@ -279,6 +314,72 @@ impl Engine {
         for s in &self.sources {
             s.counters.reset();
         }
+    }
+
+    // ---- concurrency ----------------------------------------------------
+
+    /// The configured worker-thread count for parallel exchanges.
+    pub fn threads(&self) -> usize {
+        self.config.threads
+    }
+
+    /// Set the worker-thread count for subsequent parallel exchanges (the
+    /// console's `threads N`). Clamped to at least 1; does not undo a
+    /// warm-up that already ran.
+    pub fn set_threads(&mut self, n: usize) {
+        self.config.threads = n.max(1);
+    }
+
+    /// The exchange-overlap gauge. [`OverlapGauge::max_overlap`] above 1
+    /// proves two source exchanges were in flight simultaneously — a
+    /// sequential engine can never exceed 1.
+    pub fn overlap(&self) -> OverlapGauge {
+        self.gauge.clone()
+    }
+
+    /// Prime every wired source **concurrently**: one scoped worker per
+    /// source issues the priming navigations (root, first child, its
+    /// label) that pull the source's first fragments into its buffer, so
+    /// the client's opening descent pays the *max* of the source
+    /// latencies instead of their sum. Runs at most once; a no-op when
+    /// `config.threads <= 1` or the plan has fewer than two sources.
+    ///
+    /// The priming navigations go to the raw connections — not through
+    /// the engine's counted navigation path — so they are invisible to
+    /// [`Engine::stats`]
+    /// and to per-operator attribution: a warmed engine reports exactly
+    /// the navigation counts of a sequential one. The wire work it fronts
+    /// is work any walk performs anyway; the buffer's fill-once
+    /// discipline dedupes it.
+    ///
+    /// Returns the gauge's high-water mark.
+    pub fn warm_sources(&mut self) -> u64 {
+        if self.warmed {
+            return self.gauge.max_overlap();
+        }
+        self.warmed = true;
+        let threads = self.config.threads;
+        if threads <= 1 || self.sources.len() < 2 {
+            return self.gauge.max_overlap();
+        }
+        let tasks: Vec<_> = self
+            .sources
+            .iter()
+            .map(|s| {
+                let nav = Arc::clone(&s.nav);
+                let gauge = self.gauge.clone();
+                move || {
+                    let _in_flight = gauge.enter();
+                    let mut n = nav.lock().unwrap();
+                    let root = n.root();
+                    if let Some(first) = n.down(&root) {
+                        let _ = n.fetch(&first);
+                    }
+                }
+            })
+            .collect();
+        run_parallel(tasks, threads);
+        self.gauge.max_overlap()
     }
 
     /// The engine's flight-recorder sink. Shared with every buffer that
@@ -449,17 +550,31 @@ impl Engine {
         }
     }
 
+    /// Snapshot the operator path for explicit exchange attribution (see
+    /// [`OpPath`]). Cheap when metrics are off: nothing will be metered,
+    /// so the empty path suffices.
+    pub(crate) fn current_path(&self) -> OpPath {
+        if self.metrics_on() {
+            OpPath(self.op_stack.clone())
+        } else {
+            OpPath::default()
+        }
+    }
+
     /// Attribute one source command: to the `(source, cmd)` series, to
-    /// the operator currently on top of the call stack (self), and to
-    /// every distinct operator on the stack (cumulative). With no
-    /// operator active — the client walking inside an already-produced
-    /// source value — both charges fall to the source's own leaf.
-    fn meter_src(&self, src: usize, cmd: usize) {
+    /// the operator on top of the captured path (self), and to every
+    /// distinct operator on it (cumulative). With no operator active —
+    /// the client walking inside an already-produced source value — both
+    /// charges fall to the source's own leaf. Attribution reads the
+    /// snapshot `at`, never the live `op_stack`, so an exchange finishing
+    /// after the stack has moved on (or one issued off the enumeration
+    /// path entirely) still charges the operators that caused it.
+    fn meter_src(&self, src: usize, cmd: usize, at: &OpPath) {
         if !self.metrics_on() {
             return;
         }
         self.sources[src].navs[cmd].inc();
-        match self.op_stack.last() {
+        match at.0.last() {
             None => {
                 let leaf = &self.op_metrics[self.src_leaf_op[src] as usize];
                 leaf.src_navs.inc();
@@ -467,10 +582,10 @@ impl Engine {
             }
             Some(&top) => {
                 self.op_metrics[top as usize].src_navs.inc();
-                for (i, &op) in self.op_stack.iter().enumerate() {
+                for (i, &op) in at.0.iter().enumerate() {
                     // Recursive operators (e.g. join re-entering its own
                     // scan) appear more than once; charge cum once each.
-                    if !self.op_stack[..i].contains(&op) {
+                    if !at.0[..i].contains(&op) {
                         self.op_metrics[op as usize].src_navs_cum.inc();
                     }
                 }
@@ -486,29 +601,18 @@ impl Engine {
     }
 
     pub(crate) fn src_down(&mut self, src: usize, h: &mix_nav::DynHandle) -> Option<VNode> {
-        self.trace_src(src, "d");
-        self.meter_src(src, 0);
-        let conn = &self.sources[src];
-        conn.counters.bump_down();
-        let out = conn.nav.borrow_mut().down(h)?;
-        Some(VNode::new(VData::Src { src, h: out }))
+        let at = self.current_path();
+        self.exchange_down(src, h, &at)
     }
 
     pub(crate) fn src_right(&mut self, src: usize, h: &mix_nav::DynHandle) -> Option<VNode> {
-        self.trace_src(src, "r");
-        self.meter_src(src, 1);
-        let conn = &self.sources[src];
-        conn.counters.bump_right();
-        let out = conn.nav.borrow_mut().right(h)?;
-        Some(VNode::new(VData::Src { src, h: out }))
+        let at = self.current_path();
+        self.exchange_right(src, h, &at)
     }
 
     pub(crate) fn src_fetch(&mut self, src: usize, h: &mix_nav::DynHandle) -> Label {
-        self.trace_src(src, "f");
-        self.meter_src(src, 2);
-        let conn = &self.sources[src];
-        conn.counters.bump_fetch();
-        conn.nav.borrow_mut().fetch(h)
+        let at = self.current_path();
+        self.exchange_fetch(src, h, &at)
     }
 
     pub(crate) fn src_select(
@@ -517,17 +621,75 @@ impl Engine {
         h: &mix_nav::DynHandle,
         pred: &LabelPred,
     ) -> Option<VNode> {
+        let at = self.current_path();
+        self.exchange_select(src, h, pred, &at)
+    }
+
+    /// `d` on a source with explicit attribution: the captured path `at`
+    /// is charged, regardless of what the live operator stack holds by
+    /// the time the exchange completes.
+    pub(crate) fn exchange_down(
+        &mut self,
+        src: usize,
+        h: &mix_nav::DynHandle,
+        at: &OpPath,
+    ) -> Option<VNode> {
+        self.trace_src(src, "d");
+        self.meter_src(src, 0, at);
+        let conn = &self.sources[src];
+        conn.counters.bump_down();
+        let out = conn.nav.lock().unwrap().down(h)?;
+        Some(VNode::new(VData::Src { src, h: out }))
+    }
+
+    /// `r` on a source with explicit attribution.
+    pub(crate) fn exchange_right(
+        &mut self,
+        src: usize,
+        h: &mix_nav::DynHandle,
+        at: &OpPath,
+    ) -> Option<VNode> {
+        self.trace_src(src, "r");
+        self.meter_src(src, 1, at);
+        let conn = &self.sources[src];
+        conn.counters.bump_right();
+        let out = conn.nav.lock().unwrap().right(h)?;
+        Some(VNode::new(VData::Src { src, h: out }))
+    }
+
+    /// `f` on a source with explicit attribution.
+    pub(crate) fn exchange_fetch(
+        &mut self,
+        src: usize,
+        h: &mix_nav::DynHandle,
+        at: &OpPath,
+    ) -> Label {
+        self.trace_src(src, "f");
+        self.meter_src(src, 2, at);
+        let conn = &self.sources[src];
+        conn.counters.bump_fetch();
+        conn.nav.lock().unwrap().fetch(h)
+    }
+
+    /// `select_φ` on a source with explicit attribution.
+    pub(crate) fn exchange_select(
+        &mut self,
+        src: usize,
+        h: &mix_nav::DynHandle,
+        pred: &LabelPred,
+        at: &OpPath,
+    ) -> Option<VNode> {
         self.trace_src(src, "s");
-        self.meter_src(src, 3);
+        self.meter_src(src, 3, at);
         let conn = &self.sources[src];
         conn.counters.bump_select();
-        let out = conn.nav.borrow_mut().select(h, pred)?;
+        let out = conn.nav.lock().unwrap().select(h, pred)?;
         Some(VNode::new(VData::Src { src, h: out }))
     }
 
     pub(crate) fn src_root(&mut self, src: usize) -> VNode {
         // Obtaining the root handle is free (§1).
-        let h = self.sources[src].nav.borrow_mut().root();
+        let h = self.sources[src].nav.lock().unwrap().root();
         VNode::new(VData::Src { src, h })
     }
 
@@ -692,7 +854,7 @@ fn build_op(
             OpState::Source { src: idx, out: out.clone() }
         }
         PlanNode::GetDescendants { input, parent, path, out } => {
-            let nfa = Rc::new(mix_xmas::Nfa::compile(path));
+            let nfa = Arc::new(mix_xmas::Nfa::compile(path));
             let start_set = nfa.start_set();
             OpState::GetDesc {
                 input: *input,
@@ -731,7 +893,7 @@ fn build_op(
                 left: *left,
                 right: *right,
                 pred: pred.clone(),
-                left_schema: Rc::new(left_schema),
+                left_schema: Arc::new(left_schema),
                 right_pred_vars,
                 eq_keys,
                 cache: Default::default(),
@@ -740,7 +902,7 @@ fn build_op(
         PlanNode::Cross { left, right } => OpState::Cross {
             left: *left,
             right: *right,
-            left_schema: Rc::new(plan.schema(*left).into_iter().collect()),
+            left_schema: Arc::new(plan.schema(*left).into_iter().collect()),
         },
         PlanNode::Union { left, right } => OpState::Union { left: *left, right: *right },
         PlanNode::Difference { left, right } => OpState::Difference {
@@ -772,7 +934,7 @@ fn build_op(
         },
         PlanNode::Constant { input, value, out } => OpState::Constant {
             input: *input,
-            doc: Rc::new(Document::from_tree(value)),
+            doc: Arc::new(Document::from_tree(value)),
             out: out.clone(),
         },
         PlanNode::Wrap { input, var, out } => {
@@ -803,6 +965,11 @@ impl Navigator for Engine {
     }
 
     fn down(&mut self, p: &VNode) -> Option<VNode> {
+        // First descent into the answer: prime the sources concurrently
+        // before the sequential walk starts pulling on them one by one.
+        if !self.warmed && self.config.threads > 1 {
+            self.warm_sources();
+        }
         if self.trace.is_enabled() {
             self.trace.begin_span("d");
         }
@@ -840,5 +1007,167 @@ impl Navigator for Engine {
             self.cmd_counters[3].inc();
         }
         self.val_select(p, pred)
+    }
+}
+
+#[cfg(test)]
+mod concurrency_tests {
+    use super::*;
+    use crate::registry::SourceRegistry;
+    use mix_algebra::translate;
+    use mix_buffer::{BufferNavigator, FillPolicy, SlowWrapper, TreeWrapper};
+    use mix_nav::explore::materialize;
+    use mix_xmas::parse_query;
+    use mix_xml::term::parse_term;
+    use std::time::Duration;
+
+    /// Three independent sources crossed under nested groupings — the
+    /// full walk must touch every source.
+    const TRIO: &str = "CONSTRUCT <trio> <m> $A <n> $B $C {$C} </n> {$B} </m> {$A} </trio> {} \
+                        WHERE aSrc adoc.item $A AND bSrc bdoc.item $B AND cSrc cdoc.item $C";
+
+    const TERMS: [(&str, &str); 3] = [
+        ("aSrc", "adoc[item[a1],item[a2]]"),
+        ("bSrc", "bdoc[item[b1]]"),
+        ("cSrc", "cdoc[item[c1],item[c2]]"),
+    ];
+
+    fn trio_plan() -> Plan {
+        translate(&parse_query(TRIO).unwrap()).unwrap()
+    }
+
+    /// Each source is a buffered LXP wrapper with `delay` of injected
+    /// wire latency per exchange, registered with its traffic counters.
+    fn buffered_registry(delay: Duration) -> SourceRegistry {
+        let mut reg = SourceRegistry::new();
+        for (name, term) in TERMS {
+            let tree = parse_term(term).unwrap();
+            let wrapper =
+                SlowWrapper::new(TreeWrapper::single(&tree, FillPolicy::NodeAtATime), delay);
+            let nav = BufferNavigator::new(wrapper, "doc");
+            let (health, stats) = (nav.health(), nav.stats());
+            reg.add_navigator_with_stats(name, nav, health, stats);
+        }
+        reg
+    }
+
+    /// `(requests, fills, batched_holes, bytes_received)` per source name.
+    type WireKey = Vec<(String, Option<(u64, u64, u64, u64)>)>;
+
+    fn wire_key(t: &[(String, Option<BufferStatsSnapshot>)]) -> WireKey {
+        t.iter()
+            .map(|(n, s)| {
+                (
+                    n.clone(),
+                    s.as_ref()
+                        .map(|s| (s.requests, s.fills, s.batched_holes, s.bytes_received)),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn warm_up_overlaps_exchanges_across_three_sources() {
+        let reg = buffered_registry(Duration::from_millis(20));
+        let cfg = EngineConfig { threads: 4, ..EngineConfig::default() };
+        let mut engine = Engine::with_config(trio_plan(), &reg, cfg).unwrap();
+        assert_eq!(engine.threads(), 4);
+        let root = engine.root();
+        // The first descent triggers the warm-up; each source pays ≥two
+        // 20 ms exchanges inside the gauge, so the three workers must be
+        // observed in flight together.
+        let _ = engine.down(&root);
+        let gauge = engine.overlap();
+        assert!(
+            gauge.max_overlap() >= 2,
+            "expected overlapping exchanges, high-water mark was {}",
+            gauge.max_overlap()
+        );
+        assert_eq!(gauge.in_flight(), 0, "warm-up quiesced");
+        assert_eq!(gauge.entered(), 3, "one warm exchange per source");
+    }
+
+    #[test]
+    fn sequential_engine_never_overlaps() {
+        let mut engine = Engine::new(trio_plan(), &buffered_registry(Duration::ZERO)).unwrap();
+        let _ = materialize(&mut engine);
+        assert_eq!(engine.overlap().max_overlap(), 0, "no warm-up at threads=1");
+    }
+
+    #[test]
+    fn warmed_engine_matches_sequential_answers_and_counters() {
+        let mut seq = Engine::new(trio_plan(), &buffered_registry(Duration::ZERO)).unwrap();
+        let seq_answer = materialize(&mut seq);
+        let seq_stats = seq.stats();
+        let seq_traffic = seq.traffic();
+
+        let cfg = EngineConfig { threads: 4, ..EngineConfig::default() };
+        let mut par =
+            Engine::with_config(trio_plan(), &buffered_registry(Duration::ZERO), cfg).unwrap();
+        let par_answer = materialize(&mut par);
+        assert!(par.overlap().entered() > 0, "warm-up ran");
+
+        assert_eq!(par_answer.to_string(), seq_answer.to_string(), "byte-identical answer");
+        // Warm-up is invisible to the engine's per-source command counts…
+        assert_eq!(par.stats().per_source, seq_stats.per_source);
+        // …and its wire work is a subset of the walk's, deduped by the
+        // buffer's fill-once open tree: identical traffic counters.
+        assert_eq!(wire_key(&par.traffic()), wire_key(&seq_traffic));
+    }
+
+    #[test]
+    fn self_cum_partition_holds_after_a_full_walk() {
+        let mut e = Engine::new(trio_plan(), &buffered_registry(Duration::ZERO)).unwrap();
+        e.set_metrics(MetricsRegistry::enabled());
+        let _ = materialize(&mut e);
+        let metered: u64 = e
+            .sources
+            .iter()
+            .map(|s| s.navs.iter().map(Counter::get).sum::<u64>())
+            .sum();
+        let self_sum: u64 = e.op_metrics.iter().map(|m| m.src_navs.get()).sum();
+        assert!(metered > 0, "the walk issued source commands");
+        assert_eq!(self_sum, metered, "per-operator self counts partition the metered total");
+        for m in &e.op_metrics {
+            assert!(m.src_navs_cum.get() >= m.src_navs.get(), "cum dominates self");
+        }
+    }
+
+    #[test]
+    fn exchange_attribution_rides_the_snapshot_not_the_live_stack() {
+        let mut e = Engine::new(trio_plan(), &buffered_registry(Duration::ZERO)).unwrap();
+        e.set_metrics(MetricsRegistry::enabled());
+        let v = e.src_root(0);
+        let h = match &*v.0 {
+            VData::Src { h, .. } => h.clone(),
+            other => panic!("unexpected root payload {other:?}"),
+        };
+        let victim = e.root_op;
+        let bystander = PlanId::from_index(e.src_leaf_op[0] as usize);
+        assert_ne!(victim.index(), bystander.index());
+
+        // Capture the path while `victim` is on the stack, then let the
+        // stack move on — even onto a different operator — before the
+        // exchange is issued.
+        e.enter_op(victim);
+        let at = e.current_path();
+        e.exit_op(victim, false);
+
+        let victim_before = e.op_metrics[victim.index()].src_navs.get();
+        let bystander_before = e.op_metrics[bystander.index()].src_navs.get();
+        e.enter_op(bystander);
+        let _ = e.exchange_fetch(0, &h, &at);
+        e.exit_op(bystander, false);
+
+        assert_eq!(
+            e.op_metrics[victim.index()].src_navs.get(),
+            victim_before + 1,
+            "the captured path is charged"
+        );
+        assert_eq!(
+            e.op_metrics[bystander.index()].src_navs.get(),
+            bystander_before,
+            "the live stack is not consulted"
+        );
     }
 }

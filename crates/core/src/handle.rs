@@ -18,7 +18,7 @@ use crate::matchcur::MatchCursor;
 use mix_algebra::PlanId;
 use mix_nav::DynHandle;
 use mix_xml::{Document, NodeId};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Handle to one variable binding in an operator's output binding list.
 ///
@@ -27,11 +27,11 @@ use std::rc::Rc;
 /// "an incoming navigation command `c(p)` may involve any previously
 /// encountered pointer `p`" (§3).
 #[derive(Clone, Debug)]
-pub struct BHandle(pub(crate) Rc<BData>);
+pub struct BHandle(pub(crate) Arc<BData>);
 
 impl BHandle {
     pub(crate) fn new(data: BData) -> Self {
-        BHandle(Rc::new(data))
+        BHandle(Arc::new(data))
     }
 }
 
@@ -69,11 +69,11 @@ pub(crate) enum BData {
 /// Handle to a node of a (virtual) value tree — the engine's client-facing
 /// handle type.
 #[derive(Clone, Debug)]
-pub struct VNode(pub(crate) Rc<VData>);
+pub struct VNode(pub(crate) Arc<VData>);
 
 impl VNode {
     pub(crate) fn new(data: VData) -> Self {
-        VNode(Rc::new(data))
+        VNode(Arc::new(data))
     }
 }
 
@@ -90,7 +90,7 @@ pub(crate) enum VData {
     /// A node inside wrapped source `src`.
     Src { src: usize, h: DynHandle },
     /// A node of an owned constant tree (literals in query heads).
-    Const { doc: Rc<Document>, node: NodeId },
+    Const { doc: Arc<Document>, node: NodeId },
     /// A value torn from its original sibling context: `d`/`f` delegate,
     /// `r` is `⊥`. Used for singleton-list members and the client root.
     Solo { inner: VNode },
@@ -132,10 +132,10 @@ mod tests {
     fn handles_are_cheap_to_clone() {
         let v = VNode::new(VData::ClientRoot);
         let w = v.clone();
-        assert!(Rc::ptr_eq(&v.0, &w.0));
+        assert!(Arc::ptr_eq(&v.0, &w.0));
         let b = BHandle::new(BData::Source);
         let c = b.clone();
-        assert!(Rc::ptr_eq(&b.0, &c.0));
+        assert!(Arc::ptr_eq(&b.0, &c.0));
     }
 
     #[test]
@@ -148,7 +148,7 @@ mod tests {
         match &*group.0 {
             BData::Group { first: Some(f), .. } => match &*f.0 {
                 BData::Through { inner } => {
-                    assert!(Rc::ptr_eq(&inner.0, &src.0));
+                    assert!(Arc::ptr_eq(&inner.0, &src.0));
                 }
                 other => panic!("unexpected {other:?}"),
             },

@@ -8,14 +8,14 @@
 //!
 //! A [`MatchCursor`] is a *persistent snapshot* of that search: the stack
 //! of `(node, states)` frames from the first navigated level down to the
-//! current match. Advancing clones the stack (cheap: nodes are `Rc`
+//! current match. Advancing clones the stack (cheap: nodes are `Arc`
 //! handles, state sets are tiny), so earlier bindings remain fully
 //! navigable — handle persistence is what lets the client "proceed from
 //! multiple nodes" (§1).
 
 use crate::handle::VNode;
 use mix_xmas::{Nfa, StateSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// One DFS frame: a node and the NFA states after consuming its label.
 /// `states` may be empty — a dead branch kept only so its right siblings
@@ -31,12 +31,12 @@ pub(crate) struct Frame {
 /// accepts the empty label sequence, e.g. `part*`).
 #[derive(Debug, Clone)]
 pub struct MatchCursor {
-    pub(crate) frames: Rc<Vec<Frame>>,
+    pub(crate) frames: Arc<Vec<Frame>>,
 }
 
 impl MatchCursor {
     pub(crate) fn new(frames: Vec<Frame>) -> Self {
-        MatchCursor { frames: Rc::new(frames) }
+        MatchCursor { frames: Arc::new(frames) }
     }
 
     /// The node the cursor currently designates; `root` is the parent

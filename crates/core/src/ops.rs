@@ -12,10 +12,10 @@ use mix_algebra::{BindPred, GroupItem, PlanId};
 use mix_xmas::{LabelSpec, Nfa, StateSet, Var};
 use mix_xml::{Document, Tree};
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// One materialized binding: `(variable, its value as an arena document)`.
-pub(crate) type MatRow = Vec<(Var, Rc<Document>)>;
+pub(crate) type MatRow = Vec<(Var, Arc<Document>)>;
 
 /// Cached inner-side entry of a nested-loop join: the binding handle plus
 /// the materialized values of the predicate variables that live on the
@@ -23,7 +23,7 @@ pub(crate) type MatRow = Vec<(Var, Rc<Document>)>;
 /// participate in the join condition", §3).
 pub(crate) struct JoinCacheEntry {
     pub handle: BHandle,
-    pub pred_vals: Rc<HashMap<Var, Tree>>,
+    pub pred_vals: Arc<HashMap<Var, Tree>>,
 }
 
 /// Inner-side cache of a join.
@@ -72,7 +72,7 @@ pub(crate) enum OpState {
         input: PlanId,
         parent: Var,
         out: Var,
-        nfa: Rc<Nfa>,
+        nfa: Arc<Nfa>,
         start_set: StateSet,
     },
     Select {
@@ -83,7 +83,7 @@ pub(crate) enum OpState {
         left: PlanId,
         right: PlanId,
         pred: BindPred,
-        left_schema: Rc<HashSet<Var>>,
+        left_schema: Arc<HashSet<Var>>,
         /// Predicate variables that live on the inner (right) side.
         right_pred_vars: Vec<Var>,
         /// `Some((outer var, inner var))` when the predicate is a single
@@ -94,7 +94,7 @@ pub(crate) enum OpState {
     Cross {
         left: PlanId,
         right: PlanId,
-        left_schema: Rc<HashSet<Var>>,
+        left_schema: Arc<HashSet<Var>>,
     },
     Union {
         left: PlanId,
@@ -105,7 +105,7 @@ pub(crate) enum OpState {
         right: PlanId,
         schema: Vec<Var>,
         /// Canonical keys of the right side, materialized on first use.
-        right_keys: Option<Rc<HashSet<String>>>,
+        right_keys: Option<Arc<HashSet<String>>>,
     },
     Project {
         input: PlanId,
@@ -131,7 +131,7 @@ pub(crate) enum OpState {
     },
     Constant {
         input: PlanId,
-        doc: Rc<Document>,
+        doc: Arc<Document>,
         out: Var,
     },
     Wrap {
@@ -144,7 +144,7 @@ pub(crate) enum OpState {
         keys: Vec<Var>,
         /// Sorted input bindings, materialized on first access (the
         /// operator is unbrowsable by design).
-        sorted: Option<Rc<Vec<BHandle>>>,
+        sorted: Option<Arc<Vec<BHandle>>>,
     },
     TupleDestroy {
         input: PlanId,
@@ -158,7 +158,7 @@ pub(crate) enum OpState {
         schema: Vec<Var>,
         /// The fully materialized binding list (one document per value),
         /// filled on first access — the intermediate eager step.
-        rows: Option<Rc<Vec<MatRow>>>,
+        rows: Option<Arc<Vec<MatRow>>>,
     },
 }
 

@@ -4,14 +4,13 @@ use crate::EngineError;
 use mix_buffer::{BufferStats, FragmentCache, MetricsRegistry, SourceHealth, TraceSink};
 use mix_nav::{erase, DocNavigator, DynNavigator, Navigator};
 use mix_xml::Tree;
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// A shared, interiorly-mutable source connection. Two `source` leaves
 /// naming the same source (a self-join) share one connection — and one set
 /// of navigation counters.
-pub(crate) type SharedSource = Rc<RefCell<Box<dyn DynNavigator>>>;
+pub(crate) type SharedSource = Arc<Mutex<Box<dyn DynNavigator>>>;
 
 /// One registered source: the navigator plus, when the source reports
 /// them, the fault/retry health handle and the traffic counters of its
@@ -49,13 +48,13 @@ impl SourceRegistry {
     /// Register any navigator under a source name.
     pub fn add_navigator<N>(&mut self, name: impl Into<String>, nav: N) -> &mut Self
     where
-        N: Navigator + 'static,
-        N::Handle: 'static,
+        N: Navigator + Send + 'static,
+        N::Handle: Send + Sync + 'static,
     {
         self.sources.insert(
             name.into(),
             Registered {
-                nav: Rc::new(RefCell::new(erase(nav))),
+                nav: Arc::new(Mutex::new(erase(nav))),
                 health: None,
                 stats: None,
                 trace: None,
@@ -78,13 +77,13 @@ impl SourceRegistry {
         health: SourceHealth,
     ) -> &mut Self
     where
-        N: Navigator + 'static,
-        N::Handle: 'static,
+        N: Navigator + Send + 'static,
+        N::Handle: Send + Sync + 'static,
     {
         self.sources.insert(
             name.into(),
             Registered {
-                nav: Rc::new(RefCell::new(erase(nav))),
+                nav: Arc::new(Mutex::new(erase(nav))),
                 health: Some(health),
                 stats: None,
                 trace: None,
@@ -111,13 +110,13 @@ impl SourceRegistry {
         stats: BufferStats,
     ) -> &mut Self
     where
-        N: Navigator + 'static,
-        N::Handle: 'static,
+        N: Navigator + Send + 'static,
+        N::Handle: Send + Sync + 'static,
     {
         self.sources.insert(
             name.into(),
             Registered {
-                nav: Rc::new(RefCell::new(erase(nav))),
+                nav: Arc::new(Mutex::new(erase(nav))),
                 health: Some(health),
                 stats: Some(stats),
                 trace: None,
@@ -144,13 +143,13 @@ impl SourceRegistry {
         trace: TraceSink,
     ) -> &mut Self
     where
-        N: Navigator + 'static,
-        N::Handle: 'static,
+        N: Navigator + Send + 'static,
+        N::Handle: Send + Sync + 'static,
     {
         self.sources.insert(
             name.into(),
             Registered {
-                nav: Rc::new(RefCell::new(erase(nav))),
+                nav: Arc::new(Mutex::new(erase(nav))),
                 health: Some(health),
                 stats: Some(stats),
                 trace: Some(trace),
@@ -184,13 +183,13 @@ impl SourceRegistry {
         metrics: MetricsRegistry,
     ) -> &mut Self
     where
-        N: Navigator + 'static,
-        N::Handle: 'static,
+        N: Navigator + Send + 'static,
+        N::Handle: Send + Sync + 'static,
     {
         self.sources.insert(
             name.into(),
             Registered {
-                nav: Rc::new(RefCell::new(erase(nav))),
+                nav: Arc::new(Mutex::new(erase(nav))),
                 health: Some(health),
                 stats: Some(stats),
                 trace: Some(trace),
@@ -254,7 +253,7 @@ mod tests {
         assert_eq!(names, ["homesSrc", "schoolsSrc"]);
         let a = reg.get("homesSrc").unwrap();
         let b = reg.get("homesSrc").unwrap();
-        assert!(Rc::ptr_eq(&a.nav, &b.nav), "same connection shared");
+        assert!(Arc::ptr_eq(&a.nav, &b.nav), "same connection shared");
         assert!(a.health.is_none(), "plain navigators report no health");
         assert!(reg.get("never").is_err());
     }

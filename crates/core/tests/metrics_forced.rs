@@ -26,7 +26,7 @@ fn forced_default_registries_record() {
     // enabled default of its own, and both record.
     let tree = mix_xml::term::parse_term("items[a[1],b[2],c[3]]").unwrap();
     let mut inner = TreeWrapper::new(FillPolicy::NodeAtATime);
-    inner.add("src", std::rc::Rc::new(mix_xml::Document::from_tree(&tree)));
+    inner.add("src", std::sync::Arc::new(mix_xml::Document::from_tree(&tree)));
     let nav = BufferNavigator::new(inner, "src");
     let buffer_registry = nav.metrics_registry();
     assert!(buffer_registry.is_enabled(), "buffer default registry forced on");
@@ -39,7 +39,7 @@ fn forced_default_registries_record() {
     )
     .unwrap();
     let doc = VirtualDocument::new(Engine::new(plan, &reg).unwrap());
-    let out = materialize(&mut *doc.engine().borrow_mut()).to_string();
+    let out = materialize(&mut *doc.engine().lock().unwrap()).to_string();
     assert_eq!(out, "all[a[1],b[2],c[3]]");
 
     // The engine's own (adopted-default, forced-on) registry recorded the

@@ -36,7 +36,7 @@ fn observed_doc(
     // Register the document under the same uri the engine knows the source
     // by, so buffer-side and engine-side series share one `source` label.
     let mut inner = TreeWrapper::new(FillPolicy::NodeAtATime);
-    inner.add("src", std::rc::Rc::new(mix_xml::Document::from_tree(tree)));
+    inner.add("src", std::sync::Arc::new(mix_xml::Document::from_tree(tree)));
     let cfg = fault.unwrap_or(FaultConfig::transient(0, 0.0));
     let mut nav = BufferNavigator::with_retry(
         FaultyWrapper::new(inner, cfg),
@@ -97,7 +97,7 @@ fn observed_doc_violating(
     let registry = if metrics_on { MetricsRegistry::enabled() } else { MetricsRegistry::off() };
     let sink = TraceSink::enabled(1 << 16);
     let mut inner = TreeWrapper::new(FillPolicy::NodeAtATime);
-    inner.add("src", std::rc::Rc::new(mix_xml::Document::from_tree(tree)));
+    inner.add("src", std::sync::Arc::new(mix_xml::Document::from_tree(tree)));
     let wrapper = ViolatingBatch { inner, calls: 0, violate_every };
     let mut nav = BufferNavigator::with_retry(wrapper, "src", RetryPolicy::default())
         .with_trace(sink.clone())
@@ -124,7 +124,7 @@ fn observed_doc_cached(
     let registry = MetricsRegistry::enabled();
     let sink = TraceSink::enabled(1 << 16);
     let mut inner = TreeWrapper::new(FillPolicy::NodeAtATime);
-    inner.add("src", std::rc::Rc::new(mix_xml::Document::from_tree(tree)));
+    inner.add("src", std::sync::Arc::new(mix_xml::Document::from_tree(tree)));
     let cfg = fault.unwrap_or(FaultConfig::transient(0, 0.0));
     let mut nav = BufferNavigator::with_retry(
         FaultyWrapper::new(inner, cfg),
@@ -147,7 +147,7 @@ fn observed_doc_cached(
 
 fn traffic_totals(doc: &VirtualDocument) -> (u64, u64, u64) {
     let mut t = (0, 0, 0);
-    for (_, snap) in doc.engine().borrow().traffic() {
+    for (_, snap) in doc.engine().lock().unwrap().traffic() {
         if let Some(s) = snap {
             t.0 += s.requests;
             t.1 += s.batched_holes;
@@ -255,7 +255,7 @@ proptest! {
         metrics_on in prop_oneof![Just(true), Just(false)],
     ) {
         let (doc, registry, sink) = observed_doc(&tree, fault, batch, metrics_on);
-        let _ = prog.run(&mut *doc.engine().borrow_mut());
+        let _ = prog.run(&mut *doc.engine().lock().unwrap());
         check_invariants(&doc, &registry, &sink);
     }
 
@@ -270,7 +270,7 @@ proptest! {
         // rejected fill_many is still one wire request and its payload is
         // pure waste, so all three ledgers must keep agreeing exactly.
         let (doc, registry, sink) = observed_doc_violating(&tree, violate_every, 4, metrics_on);
-        let _ = prog.run(&mut *doc.engine().borrow_mut());
+        let _ = prog.run(&mut *doc.engine().lock().unwrap());
         check_invariants(&doc, &registry, &sink);
     }
 
@@ -287,7 +287,7 @@ proptest! {
         // change nothing the ledgers count — exactness must survive.
         let (doc, registry, sink) =
             observed_doc_cached(&tree, fault, batch, FragmentCache::with_budget(budget));
-        let _ = prog.run(&mut *doc.engine().borrow_mut());
+        let _ = prog.run(&mut *doc.engine().lock().unwrap());
         check_invariants(&doc, &registry, &sink);
     }
 
@@ -301,8 +301,8 @@ proptest! {
         // answers, identical command counts, identical wire traffic.
         let (on, registry, _) = observed_doc(&tree, None, batch, true);
         let (off, _, _) = observed_doc(&tree, None, batch, false);
-        let a = prog.run(&mut *on.engine().borrow_mut());
-        let b = prog.run(&mut *off.engine().borrow_mut());
+        let a = prog.run(&mut *on.engine().lock().unwrap());
+        let b = prog.run(&mut *off.engine().lock().unwrap());
         prop_assert_eq!(a.labels, b.labels);
         prop_assert_eq!(on.stats().total(), off.stats().total());
         prop_assert_eq!(traffic_totals(&on), traffic_totals(&off));
@@ -320,7 +320,7 @@ fn prog_is_empty_safe(_doc: &VirtualDocument) -> bool {
 fn materialized_answer_reconciles_and_explains() {
     let tree = mix_xml::term::parse_term("items[a[1],b[2],c[3],d[4]]").unwrap();
     let (doc, registry, sink) = observed_doc(&tree, None, 0, true);
-    let out = materialize(&mut *doc.engine().borrow_mut()).to_string();
+    let out = materialize(&mut *doc.engine().lock().unwrap()).to_string();
     assert_eq!(out, "all[a[1],b[2],c[3],d[4]]");
     check_invariants(&doc, &registry, &sink);
 
@@ -357,7 +357,7 @@ fn materialized_answer_reconciles_and_explains() {
 fn disabled_metrics_leave_the_registry_silent_but_stats_alive() {
     let tree = mix_xml::term::parse_term("items[a[1],b[2]]").unwrap();
     let (doc, registry, _sink) = observed_doc(&tree, None, 0, false);
-    let _ = materialize(&mut *doc.engine().borrow_mut());
+    let _ = materialize(&mut *doc.engine().lock().unwrap());
     let snap = registry.snapshot();
     // Guarded series stayed silent…
     assert_eq!(snap.total("mix_client_commands_total"), 0);

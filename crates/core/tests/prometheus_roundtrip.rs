@@ -24,7 +24,7 @@ fn scraped_run() -> (VirtualDocument, MetricsRegistry) {
     let tree =
         mix_xml::term::parse_term("items[a[x[1],y[2]],b[3],c[4],d[5],e[6]]").unwrap();
     let mut inner = TreeWrapper::new(FillPolicy::NodeAtATime);
-    inner.add("src", std::rc::Rc::new(mix_xml::Document::from_tree(&tree)));
+    inner.add("src", std::sync::Arc::new(mix_xml::Document::from_tree(&tree)));
     let nav = BufferNavigator::with_retry(
         FaultyWrapper::new(inner, FaultConfig::transient(7, 0.2)),
         "src",
@@ -41,7 +41,7 @@ fn scraped_run() -> (VirtualDocument, MetricsRegistry) {
     )
     .unwrap();
     let doc = VirtualDocument::new(Engine::new(plan, &reg).unwrap());
-    let _ = materialize(&mut *doc.engine().borrow_mut());
+    let _ = materialize(&mut *doc.engine().lock().unwrap());
     (doc, registry)
 }
 

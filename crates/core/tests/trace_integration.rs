@@ -35,7 +35,7 @@ fn traced_doc(config: Option<FaultConfig>, policy: RetryPolicy) -> (VirtualDocum
 
 fn traffic_totals(doc: &VirtualDocument) -> (u64, u64, u64) {
     let mut t = (0, 0, 0);
-    for (_, snap) in doc.engine().borrow().traffic() {
+    for (_, snap) in doc.engine().lock().unwrap().traffic() {
         if let Some(s) = snap {
             t.0 += s.requests;
             t.1 += s.batched_holes;
@@ -48,7 +48,7 @@ fn traffic_totals(doc: &VirtualDocument) -> (u64, u64, u64) {
 #[test]
 fn spans_link_client_commands_to_their_cascades() {
     let (doc, _sink) = traced_doc(None, RetryPolicy::none());
-    let tree = materialize(&mut *doc.engine().borrow_mut()).to_string();
+    let tree = materialize(&mut *doc.engine().lock().unwrap()).to_string();
     assert_eq!(tree, "all[a[1],b[2],c[3],d[4],e[5]]");
 
     let log = doc.trace();
@@ -78,7 +78,7 @@ fn spans_link_client_commands_to_their_cascades() {
 #[test]
 fn rollup_reconciles_exactly_with_engine_traffic() {
     let (doc, _sink) = traced_doc(None, RetryPolicy::none());
-    let _ = materialize(&mut *doc.engine().borrow_mut());
+    let _ = materialize(&mut *doc.engine().lock().unwrap());
     let log = doc.trace();
     assert_eq!(log.dropped(), 0, "exactness requires a complete trace");
     let rollup = log.rollup();
@@ -140,8 +140,8 @@ fn tracing_is_observation_only() {
     untraced.set_trace_sink(TraceSink::off());
     untraced.trace_sink().set_enabled(false);
 
-    let a = materialize(&mut *traced.engine().borrow_mut()).to_string();
-    let b = materialize(&mut *untraced.engine().borrow_mut()).to_string();
+    let a = materialize(&mut *traced.engine().lock().unwrap()).to_string();
+    let b = materialize(&mut *untraced.engine().lock().unwrap()).to_string();
     assert_eq!(a, b);
     assert_eq!(traced.stats().total(), untraced.stats().total());
     assert_eq!(traffic_totals(&traced), traffic_totals(&untraced));

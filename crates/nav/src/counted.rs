@@ -10,9 +10,9 @@
 use crate::pred::LabelPred;
 use crate::Navigator;
 use mix_xml::Label;
-use std::cell::Cell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A snapshot of navigation command counts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -59,17 +59,19 @@ impl fmt::Display for NavStats {
 ///
 /// Clones share the same cells, so an experiment can keep one clone and
 /// hand the other to a [`CountedNavigator`] buried inside an engine.
+/// Counters are atomic, so concurrent exchanges on worker threads count
+/// without tearing.
 #[derive(Clone, Default, Debug)]
 pub struct NavCounters {
-    inner: Rc<Cells>,
+    inner: Arc<Cells>,
 }
 
 #[derive(Default, Debug)]
 struct Cells {
-    downs: Cell<u64>,
-    rights: Cell<u64>,
-    fetches: Cell<u64>,
-    selects: Cell<u64>,
+    downs: AtomicU64,
+    rights: AtomicU64,
+    fetches: AtomicU64,
+    selects: AtomicU64,
 }
 
 impl NavCounters {
@@ -81,23 +83,23 @@ impl NavCounters {
     /// Current totals.
     pub fn snapshot(&self) -> NavStats {
         NavStats {
-            downs: self.inner.downs.get(),
-            rights: self.inner.rights.get(),
-            fetches: self.inner.fetches.get(),
-            selects: self.inner.selects.get(),
+            downs: self.inner.downs.load(Ordering::Relaxed),
+            rights: self.inner.rights.load(Ordering::Relaxed),
+            fetches: self.inner.fetches.load(Ordering::Relaxed),
+            selects: self.inner.selects.load(Ordering::Relaxed),
         }
     }
 
     /// Reset all counters to zero.
     pub fn reset(&self) {
-        self.inner.downs.set(0);
-        self.inner.rights.set(0);
-        self.inner.fetches.set(0);
-        self.inner.selects.set(0);
+        self.inner.downs.store(0, Ordering::Relaxed);
+        self.inner.rights.store(0, Ordering::Relaxed);
+        self.inner.fetches.store(0, Ordering::Relaxed);
+        self.inner.selects.store(0, Ordering::Relaxed);
     }
 
-    fn bump(cell: &Cell<u64>) {
-        cell.set(cell.get() + 1);
+    fn bump(cell: &AtomicU64) {
+        cell.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Count one `d` command (for engines that count at their own

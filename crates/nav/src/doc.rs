@@ -8,23 +8,23 @@
 use crate::pred::LabelPred;
 use crate::Navigator;
 use mix_xml::{Document, Label, NodeId, Tree};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Navigator over an in-memory [`Document`]. Cloning shares the document.
 #[derive(Clone, Debug)]
 pub struct DocNavigator {
-    doc: Rc<Document>,
+    doc: Arc<Document>,
 }
 
 impl DocNavigator {
     /// Wrap an existing document.
-    pub fn new(doc: Rc<Document>) -> Self {
+    pub fn new(doc: Arc<Document>) -> Self {
         DocNavigator { doc }
     }
 
     /// Flatten a tree and navigate over it.
     pub fn from_tree(t: &Tree) -> Self {
-        DocNavigator { doc: Rc::new(Document::from_tree(t)) }
+        DocNavigator { doc: Arc::new(Document::from_tree(t)) }
     }
 
     /// Parse the paper's term syntax and navigate over the result.
@@ -122,6 +122,6 @@ mod tests {
         let mut m = n.clone();
         let r = m.root();
         assert_eq!(m.fetch(&r), "a");
-        assert!(Rc::ptr_eq(&n.doc, &m.doc));
+        assert!(Arc::ptr_eq(&n.doc, &m.doc));
     }
 }

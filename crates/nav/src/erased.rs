@@ -10,16 +10,18 @@ use crate::pred::LabelPred;
 use crate::Navigator;
 use mix_xml::Label;
 use std::any::Any;
-use std::rc::Rc;
+use std::sync::Arc;
 
-/// A type-erased node handle. Cheap to clone (an `Rc` bump).
+/// A type-erased node handle. Cheap to clone (an `Arc` bump), and
+/// `Send + Sync` so handles may cross thread boundaries (prefetch
+/// workers, parallel per-source exchanges).
 #[derive(Clone)]
-pub struct DynHandle(Rc<dyn Any>);
+pub struct DynHandle(Arc<dyn Any + Send + Sync>);
 
 impl DynHandle {
     /// Wrap a concrete handle.
-    pub fn new<H: 'static>(h: H) -> Self {
-        DynHandle(Rc::new(h))
+    pub fn new<H: Send + Sync + 'static>(h: H) -> Self {
+        DynHandle(Arc::new(h))
     }
 
     /// Downcast to the concrete handle type.
@@ -41,7 +43,10 @@ impl std::fmt::Debug for DynHandle {
 }
 
 /// Object-safe variant of [`Navigator`] used for plan leaves.
-pub trait DynNavigator {
+///
+/// `Send` is required so erased sources can be owned by a shared
+/// registry and driven from worker threads (behind a lock).
+pub trait DynNavigator: Send {
     /// `root` — see [`Navigator::root`].
     fn root(&mut self) -> DynHandle;
     /// `d(p)` — see [`Navigator::down`].
@@ -58,8 +63,8 @@ struct Erased<N>(N);
 
 impl<N> DynNavigator for Erased<N>
 where
-    N: Navigator,
-    N::Handle: 'static,
+    N: Navigator + Send,
+    N::Handle: Send + Sync + 'static,
 {
     fn root(&mut self) -> DynHandle {
         DynHandle::new(self.0.root())
@@ -85,8 +90,8 @@ where
 /// Erase a concrete navigator into a boxed [`DynNavigator`].
 pub fn erase<N>(nav: N) -> Box<dyn DynNavigator>
 where
-    N: Navigator + 'static,
-    N::Handle: 'static,
+    N: Navigator + Send + 'static,
+    N::Handle: Send + Sync + 'static,
 {
     Box::new(Erased(nav))
 }

@@ -9,9 +9,8 @@
 use crate::pred::LabelPred;
 use crate::Navigator;
 use mix_xml::Label;
-use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// One recorded command (the paper's shorthand: `d`, `r`, `f`, `σ`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,7 +35,7 @@ impl fmt::Display for Recorded {
 /// Shared command log.
 #[derive(Clone, Default, Debug)]
 pub struct Trace {
-    log: Rc<RefCell<Vec<Recorded>>>,
+    log: Arc<Mutex<Vec<Recorded>>>,
 }
 
 impl Trace {
@@ -47,13 +46,14 @@ impl Trace {
 
     /// The commands recorded so far.
     pub fn commands(&self) -> Vec<Recorded> {
-        self.log.borrow().clone()
+        self.log.lock().unwrap().clone()
     }
 
     /// The trace in the paper's notation, e.g. `d;f;r;f;r`.
     pub fn render(&self) -> String {
         self.log
-            .borrow()
+            .lock()
+            .unwrap()
             .iter()
             .map(|c| c.to_string())
             .collect::<Vec<_>>()
@@ -62,21 +62,21 @@ impl Trace {
 
     /// Number of commands.
     pub fn len(&self) -> usize {
-        self.log.borrow().len()
+        self.log.lock().unwrap().len()
     }
 
     /// True when nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.log.borrow().is_empty()
+        self.log.lock().unwrap().is_empty()
     }
 
     /// Forget everything recorded so far.
     pub fn clear(&self) {
-        self.log.borrow_mut().clear();
+        self.log.lock().unwrap().clear();
     }
 
     fn push(&self, c: Recorded) {
-        self.log.borrow_mut().push(c);
+        self.log.lock().unwrap().push(c);
     }
 }
 

@@ -21,7 +21,6 @@ use mix_buffer::{
 };
 use mix_xml::{Document, Tree};
 use parking_lot::Mutex;
-use std::rc::Rc;
 use std::sync::Arc;
 
 /// A point-in-time copy of the simulated network counters.
@@ -129,7 +128,7 @@ impl WebWrapper {
 
     /// Publish a page under a URI.
     pub fn add_page(&mut self, uri: impl Into<String>, page: &Tree) {
-        self.inner.add(uri, Rc::new(Document::from_tree(page)));
+        self.inner.add(uri, Arc::new(Document::from_tree(page)));
     }
 
     /// The shared network (for reading stats).

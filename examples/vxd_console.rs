@@ -24,6 +24,10 @@
 //! metrics      Prometheus scrape of every live metric series
 //! cache        shared fragment-cache stats (`cache inv <src>` invalidates,
 //!              `cache clear` drops everything)
+//! threads [N]  show or set the engine worker-pool width; with N > 1 the
+//!              engine primes independent sources in parallel (the
+//!              watermark shown is the peak number of exchanges that
+//!              were genuinely in flight at once)
 //! q            quit
 //! ```
 //!
@@ -56,7 +60,7 @@ fn main() {
         // Buffer uris match the registered source names, so the buffers'
         // per-source series line up with the engine's in `explain`.
         let mut inner = TreeWrapper::new(FillPolicy::Chunked { n: 4 });
-        inner.add("homesSrc", std::rc::Rc::new(mix::xml::Document::from_tree(&homes)));
+        inner.add("homesSrc", std::sync::Arc::new(mix::xml::Document::from_tree(&homes)));
         let cfg = if faulty {
             FaultConfig::transient(0xC0FFEE, 0.35)
         } else {
@@ -74,7 +78,7 @@ fn main() {
     }
     {
         let mut inner = TreeWrapper::new(FillPolicy::Chunked { n: 4 });
-        inner.add("schoolsSrc", std::rc::Rc::new(mix::xml::Document::from_tree(&schools)));
+        inner.add("schoolsSrc", std::sync::Arc::new(mix::xml::Document::from_tree(&schools)));
         let nav = BufferNavigator::new(inner, "schoolsSrc")
             .with_trace(sink.clone())
             .with_metrics(registry.clone())
@@ -99,7 +103,7 @@ fn main() {
         if faulty { " (homes wire is faulty)" } else { "" });
     println!(
         "commands: d(own) r(ight) u(p) f(etch) s <label> t(ree) g(uide) n(avs) \
-         trace [k] why explain metrics cache q(uit)"
+         trace [k] why explain metrics cache threads [N] q(uit)"
     );
     println!(
         "observability: `trace [k]` replays the flight recorder, `why` blames \
@@ -260,6 +264,24 @@ fn main() {
                     println!("  (`cache inv <src>` invalidates one source, `cache clear` everything)");
                 }
             },
+            Some("threads") => {
+                let engine = doc.engine();
+                let mut engine = engine.lock().unwrap();
+                if let Some(n) = words.next().and_then(|w| w.parse::<usize>().ok()) {
+                    engine.set_threads(n);
+                    println!("  worker pool set to {} thread(s)", engine.threads());
+                } else {
+                    let gauge = engine.overlap();
+                    println!(
+                        "  worker pool: {} thread(s); {} parallel source primings so far, \
+                         peak {} exchange(s) in flight at once",
+                        engine.threads(),
+                        gauge.entered(),
+                        gauge.max_overlap()
+                    );
+                    println!("  (`threads <n>` resizes; MIX_THREADS seeds concurrent setups)");
+                }
+            }
             Some("q") => break,
             Some(other) => println!("unknown command `{other}`"),
             None => {}

@@ -77,8 +77,9 @@ pub mod prelude {
         classify, compose, rewrite::rewrite, translate, Browsability, NcCapabilities, Plan,
     };
     pub use mix_buffer::{
-        BufferNavigator, FaultConfig, FaultyWrapper, FillPolicy, FragmentCache, HealthStatus,
-        MetricsRegistry, MetricsSnapshot, RetryPolicy, TreeWrapper,
+        configured_threads, BufferNavigator, ConcurrentPrefetcher, FaultConfig, FaultyWrapper,
+        FillPolicy, FragmentCache, HealthStatus, MetricsRegistry, MetricsSnapshot, OverlapGauge,
+        RetryPolicy, SlowWrapper, TreeWrapper,
     };
     pub use mix_core::{
         eager, Degraded, Engine, EngineConfig, PromText, SourceRegistry, TraceKind, TraceLog,

@@ -49,7 +49,7 @@ fn build(tree: &Tree, query: &str, chunk: usize, traced: bool) -> VirtualDocumen
 
 fn traffic_totals(doc: &VirtualDocument) -> (u64, u64, u64) {
     let mut t = (0, 0, 0);
-    for (_, snap) in doc.engine().borrow().traffic() {
+    for (_, snap) in doc.engine().lock().unwrap().traffic() {
         if let Some(s) = snap {
             t.0 += s.requests;
             t.1 += s.batched_holes;
@@ -114,8 +114,8 @@ proptest! {
         let traced = build(&tree, query, chunk, true);
         let plain = build(&tree, query, chunk, false);
 
-        let a = materialize(&mut *traced.engine().borrow_mut());
-        let b = materialize(&mut *plain.engine().borrow_mut());
+        let a = materialize(&mut *traced.engine().lock().unwrap());
+        let b = materialize(&mut *plain.engine().lock().unwrap());
         prop_assert_eq!(a.to_string(), b.to_string(), "answers must be byte-identical");
 
         // Identical command counts and identical wire traffic: the
