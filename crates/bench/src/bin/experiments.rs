@@ -86,6 +86,9 @@ fn main() {
     if want("e18") {
         e18_concurrency(threads_override);
     }
+    if want("e19") {
+        e19_served_sessions(threads_override);
+    }
 }
 
 /// Simulated cost units one LXP round trip costs (the latency term the
@@ -974,6 +977,294 @@ fn e18_concurrency(threads_override: Option<usize>) {
         ("exchanges_identical".to_string(), Json::Bool(true)),
     ])
     .write("BENCH_E18.json");
+}
+
+/// E19 — the session-multiplexed VXD server under an open-loop load:
+/// N concurrent sessions (each its own virtual document) multiplexed
+/// over a handful of connections, zipf-skewed across query templates,
+/// all sharing one fragment cache. Reports sessions/sec, navigation
+/// latency percentiles from the server's own histogram, and the warm
+/// cache hit ratio — plus a deliberately-panicked session proving the
+/// server contains the blast.
+fn e19_served_sessions(threads_override: Option<usize>) {
+    banner("E19", "session-multiplexed VXD serving under load");
+    use mix_buffer::{
+        configured_threads, FillPolicy, FragmentCache, MetricsRegistry, SampleValue,
+    };
+    use mix_serve::{
+        pipe, ClientError, ErrorCode, FetchOutcome, SessionSources, VxdClient, VxdServer,
+    };
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Barrier;
+
+    let env_num = |key: &str, default: usize| {
+        std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    };
+    let n_sessions = env_num("MIX_E19_SESSIONS", 1000).max(1);
+    let navs_per_session = env_num("MIX_E19_NAVS", 12).max(1);
+    // Driver connections: sessions are multiplexed, so a handful of
+    // connections carries all N sessions.
+    let workers = threads_override.unwrap_or_else(|| configured_threads().min(8)).max(1);
+
+    // The shared half: three generated sources, one cache, one registry.
+    let mut pool = SessionSources::new(FragmentCache::new(), MetricsRegistry::enabled());
+    pool.add_tree("homesSrc", &gen::homes_doc(7, 60, 8), FillPolicy::NodeAtATime);
+    pool.add_tree("schoolsSrc", &gen::schools_doc(8, 40, 8), FillPolicy::NodeAtATime);
+    pool.add_tree("src", &gen::filter_doc(120, 5), FillPolicy::NodeAtATime);
+    let mut server = VxdServer::new(pool);
+
+    // Query templates, most-popular first; sessions draw from a zipf
+    // distribution over this list (skew ~1.1), modeling the few hot
+    // views plus a long tail a real mediator serves.
+    let templates: Vec<(&str, String)> = vec![
+        ("homes", "CONSTRUCT <hs> $H {$H} </hs> {} WHERE homesSrc homes.home $H".into()),
+        ("filter", FILTER_QUERY.to_string()),
+        ("schools", "CONSTRUCT <sc> $S {$S} </sc> {} WHERE schoolsSrc schools.school $S".into()),
+        ("zips", "CONSTRUCT <zips> $Z {$Z} </zips> {} WHERE homesSrc homes.home.zip._ $Z".into()),
+        ("items", "CONSTRUCT <all> $X {$X} </all> {} WHERE src items._ $X".into()),
+        ("fig3", FIG3_QUERY.to_string()),
+    ];
+    for (name, query) in &templates {
+        server.add_template(*name, query).expect("template query parses");
+    }
+    server.add_panic_template("toxic", FILTER_QUERY).expect("toxic template parses");
+
+    // Zipf CDF over template ranks (hand-rolled; no rand dependency on
+    // the hot path, and deterministic across runs).
+    let zipf_cdf: Vec<f64> = {
+        let s = 1.1_f64;
+        let weights: Vec<f64> =
+            (0..templates.len()).map(|k| 1.0 / ((k + 1) as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut cum = 0.0;
+        weights
+            .iter()
+            .map(|w| {
+                cum += w / total;
+                cum
+            })
+            .collect()
+    };
+    let mix64 = |mut z: u64| -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let pick_template = |seed: u64| -> usize {
+        let u = mix64(seed) as f64 / u64::MAX as f64;
+        zipf_cdf.iter().position(|&c| u <= c).unwrap_or(templates.len() - 1)
+    };
+
+    // Warm the shared cache: one quiet session per template. Everything
+    // after this is the measured steady state, so the hit-ratio gate
+    // measures *sharing*, not cold-start misses.
+    {
+        let (client_end, server_end) = pipe();
+        let srv = server.clone();
+        let conn = std::thread::spawn(move || srv.serve_connection(server_end));
+        let mut client = VxdClient::new(client_end);
+        for (name, _) in &templates {
+            let s = client.open(name).unwrap();
+            let mut cur = client.down(s.session, s.root).unwrap();
+            let mut steps = 0;
+            while let Some(n) = cur {
+                let _ = client.fetch(s.session, n).unwrap();
+                cur = client.down(s.session, n).unwrap().or(client.right(s.session, n).unwrap());
+                steps += 1;
+                if steps >= navs_per_session {
+                    break;
+                }
+            }
+            client.close(s.session).unwrap();
+        }
+        drop(client);
+        conn.join().unwrap();
+    }
+    let warm_stats = server.cache().stats();
+    let nav_count_before = nav_histogram_count(&server);
+
+    // The measured load: open everything (the gauge proves N concurrent
+    // sessions), navigate zipf-skewed, close everything.
+    let degraded = AtomicU64::new(0);
+    let barrier = Barrier::new(workers + 1);
+    let mut peak_sessions = 0;
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let quota = n_sessions / workers + usize::from(w < n_sessions % workers);
+            let server = server.clone();
+            let barrier = &barrier;
+            let degraded = &degraded;
+            let templates = &templates;
+            let pick_template = &pick_template;
+            scope.spawn(move || {
+                let (client_end, server_end) = pipe();
+                let conn = {
+                    let srv = server.clone();
+                    std::thread::spawn(move || srv.serve_connection(server_end))
+                };
+                let mut client = VxdClient::new(client_end);
+                // Open phase: this connection's whole share, all live at once.
+                let mut sessions = Vec::with_capacity(quota);
+                for i in 0..quota {
+                    let tpl = pick_template((w as u64) << 32 | i as u64);
+                    let open = client.open(templates[tpl].0).unwrap();
+                    sessions.push(open);
+                }
+                barrier.wait(); // every session everywhere is open
+                barrier.wait(); // main thread sampled the gauge
+                // Navigation phase: a bounded depth-first wander per
+                // session, checked fetches counting degraded answers.
+                for (i, open) in sessions.iter().enumerate() {
+                    let mut cur = open.root;
+                    for step in 0..navs_per_session {
+                        let choice = mix64((w as u64) << 40 | (i as u64) << 16 | step as u64) % 3;
+                        let next = match choice {
+                            0 => client.down(open.session, cur).unwrap(),
+                            1 => client.right(open.session, cur).unwrap(),
+                            _ => {
+                                match client.fetch_checked(open.session, cur).unwrap() {
+                                    FetchOutcome::Degraded { .. } => {
+                                        degraded.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    FetchOutcome::Complete(_) => {}
+                                }
+                                None
+                            }
+                        };
+                        cur = next.unwrap_or(open.root);
+                    }
+                }
+                // Close phase: release everything.
+                for open in &sessions {
+                    client.close(open.session).unwrap();
+                }
+                drop(client);
+                conn.join().unwrap();
+            });
+        }
+        barrier.wait();
+        peak_sessions = server.session_count();
+        barrier.wait();
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+    assert!(
+        peak_sessions >= n_sessions,
+        "all {n_sessions} sessions must be concurrently open (saw {peak_sessions})"
+    );
+    assert_eq!(server.session_count(), 0, "every session closed after the run");
+
+    // Fault containment, live: a booby-trapped session panics its engine
+    // mid-fetch; the server answers a typed Internal error, force-closes
+    // it, and keeps serving new sessions on the same connection.
+    let panic_survived = {
+        let (client_end, server_end) = pipe();
+        let srv = server.clone();
+        let conn = std::thread::spawn(move || srv.serve_connection(server_end));
+        let mut client = VxdClient::new(client_end);
+        let bad = client.open("toxic").unwrap();
+        let contained = matches!(
+            client.fetch(bad.session, bad.root),
+            Err(ClientError::Server { code: ErrorCode::Internal, .. })
+        );
+        let still_serving = client
+            .open("homes")
+            .map(|s| client.close(s.session).is_ok())
+            .unwrap_or(false);
+        drop(client);
+        conn.join().unwrap();
+        contained && still_serving
+    };
+
+    let end_stats = server.cache().stats();
+    let run_hits = end_stats.hits - warm_stats.hits;
+    let run_misses = end_stats.misses - warm_stats.misses;
+    let warm_hit_ratio = run_hits as f64 / (run_hits + run_misses).max(1) as f64;
+    let degraded = degraded.load(Ordering::Relaxed);
+    let sessions_per_sec = n_sessions as f64 / wall_s;
+    let nav_snapshot = nav_histogram(&server);
+    let commands = nav_snapshot.count - nav_count_before;
+    let (p50_ns, p95_ns, p99_ns, max_ns) = nav_snapshot.summary();
+
+    let t = TablePrinter::new(
+        &["sessions", "navs/sess", "conns", "wall", "sess/sec", "p50", "p99", "hit ratio"],
+        &[9, 10, 6, 9, 10, 9, 9, 10],
+    );
+    t.row(&[
+        format!("{n_sessions}"),
+        format!("{navs_per_session}"),
+        format!("{workers}"),
+        format!("{:.2}s", wall_s),
+        format!("{sessions_per_sec:.0}"),
+        format!("{:.2}ms", p50_ns as f64 / 1e6),
+        format!("{:.2}ms", p99_ns as f64 / 1e6),
+        format!("{warm_hit_ratio:.3}"),
+    ]);
+    println!(
+        "shape check: {peak_sessions} sessions concurrently open over {workers} multiplexed \
+         connections; {commands} navigation verbs served; {degraded} degraded answers; \
+         panicked session contained: {panic_survived}."
+    );
+    if std::env::var("MIX_BENCH_ENFORCE").as_deref() == Ok("1") {
+        assert_eq!(degraded, 0, "MIX_BENCH_ENFORCE: degraded answers under healthy sources");
+        assert!(
+            warm_hit_ratio >= 0.9,
+            "MIX_BENCH_ENFORCE: warm-session cache hit ratio {warm_hit_ratio:.3} below 0.9"
+        );
+        assert!(panic_survived, "MIX_BENCH_ENFORCE: a panicked session must be contained");
+        println!(
+            "MIX_BENCH_ENFORCE: zero degraded, warm hit ratio {warm_hit_ratio:.3}, \
+             panic contained — pass"
+        );
+    }
+
+    Json::Obj(vec![
+        ("experiment".to_string(), Json::str("E19")),
+        (
+            "workload".to_string(),
+            Json::str(format!(
+                "{n_sessions} sessions x {navs_per_session} navigations, zipf-skewed over \
+                 {} templates, {workers} multiplexed connections",
+                templates.len()
+            )),
+        ),
+        ("sessions".to_string(), Json::Int(n_sessions as u64)),
+        ("navs_per_session".to_string(), Json::Int(navs_per_session as u64)),
+        ("connections".to_string(), Json::Int(workers as u64)),
+        ("peak_concurrent_sessions".to_string(), Json::Int(peak_sessions as u64)),
+        ("wall_s".to_string(), Json::Num(wall_s)),
+        ("sessions_per_sec".to_string(), Json::Num(sessions_per_sec)),
+        ("nav_commands".to_string(), Json::Int(commands)),
+        ("nav_p50_ns".to_string(), Json::Int(p50_ns)),
+        ("nav_p95_ns".to_string(), Json::Int(p95_ns)),
+        ("nav_p99_ns".to_string(), Json::Int(p99_ns)),
+        ("nav_max_ns".to_string(), Json::Int(max_ns)),
+        ("cache_hits".to_string(), Json::Int(run_hits)),
+        ("cache_misses".to_string(), Json::Int(run_misses)),
+        ("warm_hit_ratio".to_string(), Json::Num(warm_hit_ratio)),
+        ("degraded_answers".to_string(), Json::Int(degraded)),
+        ("panic_contained".to_string(), Json::Bool(panic_survived)),
+    ])
+    .write("BENCH_E19.json");
+
+    fn nav_histogram(server: &VxdServer) -> mix_buffer::HistogramSnapshot {
+        server
+            .metrics()
+            .snapshot()
+            .samples
+            .into_iter()
+            .find(|s| s.name == "mix_serve_nav_latency_ns")
+            .and_then(|s| match s.value {
+                SampleValue::Histogram(h) => Some(h),
+                _ => None,
+            })
+            .expect("the server registers its latency histogram")
+    }
+
+    fn nav_histogram_count(server: &VxdServer) -> u64 {
+        nav_histogram(server).count
+    }
 }
 
 /// E1 — Figures 3 & 4: parse, translate, evaluate, check lazy ≡ eager.

@@ -28,6 +28,7 @@ use crate::fragment::{Fragment, HoleSlot, OpenTree, TreeEntry};
 use crate::health::SourceHealth;
 use crate::lxp::{check_batch_shape, check_progress, HoleId, LxpWrapper};
 use crate::metrics::{Counter, Gauge, Histogram, MetricsRegistry, RetryMetrics};
+use crate::pool::lock_unpoisoned;
 use crate::retry::{RetryError, RetryPolicy, RetryState};
 use crate::trace::{TraceKind, TraceSink};
 use mix_nav::Navigator;
@@ -515,7 +516,7 @@ impl<W: LxpWrapper> BufferNavigator<W> {
 
     /// The error behind the most recent degraded navigation, if any.
     pub fn last_degraded(&self) -> Option<String> {
-        self.last_degraded.lock().unwrap().clone()
+        lock_unpoisoned(&self.last_degraded).clone()
     }
 
     /// Forgive the source: zero the health counters, forget the failure
@@ -526,7 +527,7 @@ impl<W: LxpWrapper> BufferNavigator<W> {
         let was_open = self.retry.is_open();
         self.retry.reset();
         self.health.reset();
-        *self.last_degraded.lock().unwrap() = None;
+        *lock_unpoisoned(&self.last_degraded) = None;
         if was_open && self.trace.is_enabled() {
             self.trace.emit(Some(self.uri.as_str()), TraceKind::BreakerClose);
         }
@@ -1141,7 +1142,7 @@ impl<W: LxpWrapper> BufferNavigator<W> {
                 self.purge_on_degrade();
                 self.health.record_degraded(&e);
                 self.degraded_epoch.fetch_add(1, Ordering::Relaxed);
-                *self.last_degraded.lock().unwrap() = Some(e.to_string());
+                *lock_unpoisoned(&self.last_degraded) = Some(e.to_string());
                 if self.metrics.on() {
                     self.metrics.degradations.inc();
                 }

@@ -30,6 +30,7 @@
 use crate::fragment::Fragment;
 use crate::lxp::HoleId;
 use crate::metrics::{Counter, Gauge, MetricsRegistry};
+use crate::pool::lock_unpoisoned;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex};
 
@@ -172,7 +173,7 @@ impl FragmentCache {
     /// recency. Counts a hit or a miss either way. A hit is clone-free:
     /// the returned `Arc` shares the cached allocation.
     pub fn lookup(&self, source: &str, hole: &HoleId) -> Option<Arc<Vec<Fragment>>> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_unpoisoned(&self.inner);
         let epoch = inner.epochs.get(source).copied().unwrap_or(0);
         let key = (source.to_string(), hole.clone());
         let fresh = match inner.entries.get(&key) {
@@ -226,7 +227,7 @@ impl FragmentCache {
         fragments: &Arc<Vec<Fragment>>,
     ) -> Vec<(String, HoleId, u64)> {
         let bytes: u64 = fragments.iter().map(|f| f.wire_bytes() as u64).sum();
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_unpoisoned(&self.inner);
         if bytes > inner.budget {
             return Vec::new();
         }
@@ -261,7 +262,7 @@ impl FragmentCache {
 
     /// The cached `get_root` reply for `source`, if any (epoch-guarded).
     pub fn lookup_root(&self, source: &str) -> Option<HoleId> {
-        let inner = self.inner.lock().unwrap();
+        let inner = lock_unpoisoned(&self.inner);
         let epoch = inner.epochs.get(source).copied().unwrap_or(0);
         match inner.roots.get(source) {
             Some((hole, e)) if *e == epoch => Some(hole.clone()),
@@ -272,7 +273,7 @@ impl FragmentCache {
     /// Remember `source`'s root hole so warm sessions skip the
     /// `get_root` exchange too.
     pub fn insert_root(&self, source: &str, hole: &HoleId) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_unpoisoned(&self.inner);
         let epoch = inner.epochs.get(source).copied().unwrap_or(0);
         inner.roots.insert(source.to_string(), (hole.clone(), epoch));
     }
@@ -287,7 +288,7 @@ impl FragmentCache {
     /// open circuit breaker — and clients may call it by hand when they
     /// know the source changed.
     pub fn invalidate(&self, source: &str) -> (u64, u64) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_unpoisoned(&self.inner);
         *inner.epochs.entry(source.to_string()).or_insert(0) += 1;
         let dead: Vec<(String, HoleId)> =
             inner.entries.keys().filter(|(s, _)| s == source).cloned().collect();
@@ -313,7 +314,7 @@ impl FragmentCache {
 
     /// Drop every entry for every source (budget and counters survive).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_unpoisoned(&self.inner);
         let sources: Vec<String> =
             inner.entries.keys().map(|(s, _)| s.clone()).chain(inner.roots.keys().cloned()).collect();
         for s in sources {
@@ -329,7 +330,7 @@ impl FragmentCache {
 
     /// Entries currently resident.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().entries.len()
+        lock_unpoisoned(&self.inner).entries.len()
     }
 
     /// Is the cache empty?
@@ -339,17 +340,17 @@ impl FragmentCache {
 
     /// Wire bytes currently resident.
     pub fn resident_bytes(&self) -> u64 {
-        self.inner.lock().unwrap().cur_bytes
+        lock_unpoisoned(&self.inner).cur_bytes
     }
 
     /// The configured byte budget.
     pub fn budget(&self) -> u64 {
-        self.inner.lock().unwrap().budget
+        lock_unpoisoned(&self.inner).budget
     }
 
     /// A point-in-time copy of the cache-wide counters.
     pub fn stats(&self) -> FragmentCacheStats {
-        let inner = self.inner.lock().unwrap();
+        let inner = lock_unpoisoned(&self.inner);
         FragmentCacheStats {
             hits: self.hits.get(),
             misses: self.misses.get(),
@@ -366,7 +367,7 @@ impl FragmentCache {
     /// the cache has never seen) — what `explain_analyze()`'s per-source
     /// table reads for its hits column.
     pub fn source_stats(&self, source: &str) -> SourceCacheStats {
-        self.inner.lock().unwrap().per_source.get(source).copied().unwrap_or_default()
+        lock_unpoisoned(&self.inner).per_source.get(source).copied().unwrap_or_default()
     }
 
     /// Register the cache's counter/gauge *cells* in `registry` under
@@ -419,7 +420,7 @@ impl FragmentCache {
     }
 
     fn sync_gauges(&self) {
-        let inner = self.inner.lock().unwrap();
+        let inner = lock_unpoisoned(&self.inner);
         self.bytes.set(inner.cur_bytes);
         self.entries.set(inner.entries.len() as u64);
     }

@@ -12,6 +12,7 @@
 //! and client library can all observe the conversation the buffer is
 //! having without owning the buffer.
 
+use crate::pool::lock_unpoisoned;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -104,7 +105,7 @@ impl SourceHealth {
             backoff_cost: self.inner.backoff_cost.load(Ordering::Relaxed),
             degraded_ops: self.inner.degraded_ops.load(Ordering::Relaxed),
             prefetch_failures: self.inner.prefetch_failures.load(Ordering::Relaxed),
-            last_error: self.inner.last_error.lock().unwrap().clone(),
+            last_error: lock_unpoisoned(&self.inner.last_error).clone(),
         }
     }
 
@@ -124,13 +125,13 @@ impl SourceHealth {
         self.inner.transient_faults.fetch_add(1, Ordering::Relaxed);
         self.inner.retries.fetch_add(1, Ordering::Relaxed);
         self.inner.backoff_cost.fetch_add(backoff_cost, Ordering::Relaxed);
-        *self.inner.last_error.lock().unwrap() = Some(error.to_string());
+        *lock_unpoisoned(&self.inner.last_error) = Some(error.to_string());
     }
 
     /// Record a fault nothing could absorb: the operation degrades.
     pub fn record_degraded(&self, error: &dyn fmt::Display) {
         self.inner.degraded_ops.fetch_add(1, Ordering::Relaxed);
-        *self.inner.last_error.lock().unwrap() = Some(error.to_string());
+        *lock_unpoisoned(&self.inner.last_error) = Some(error.to_string());
     }
 
     /// Record a failed speculative readahead fill. Does not change the
@@ -158,7 +159,7 @@ impl SourceHealth {
         self.inner.degraded_ops.store(0, Ordering::Relaxed);
         self.inner.prefetch_failures.store(0, Ordering::Relaxed);
         self.inner.breaker_open.store(false, Ordering::Relaxed);
-        *self.inner.last_error.lock().unwrap() = None;
+        *lock_unpoisoned(&self.inner.last_error) = None;
     }
 }
 

@@ -92,12 +92,12 @@ pub use cache::{FragmentCache, FragmentCacheStats, SourceCacheStats, DEFAULT_CAC
 pub use fault::{FaultConfig, FaultStats, FaultyWrapper};
 pub use fragment::Fragment;
 pub use health::{HealthSnapshot, HealthStatus, SourceHealth};
-pub use lxp::{chase_continuation, BatchItem, HoleId, LxpError, LxpWrapper};
+pub use lxp::{chase_continuation, BatchItem, HoleId, LxpError, LxpWrapper, SharedWrapper};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricKind, MetricsRegistry, MetricsSnapshot,
     RetryMetrics, Sample, SampleValue, WrapperMetrics,
 };
-pub use pool::{configured_threads, run_parallel, OverlapGauge};
+pub use pool::{configured_threads, lock_unpoisoned, run_parallel, wait_unpoisoned, OverlapGauge};
 pub use prefetch::Prefetcher;
 pub use retry::{RetryError, RetryPolicy};
 pub use slow::SlowWrapper;

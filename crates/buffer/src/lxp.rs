@@ -121,6 +121,56 @@ impl<W: LxpWrapper + ?Sized> LxpWrapper for Box<W> {
     }
 }
 
+/// A cloneable handle to one wrapper shared by many owners: each clone is
+/// an [`LxpWrapper`] that serializes its exchanges on the shared mutex.
+///
+/// This is how a server gives every session its *own*
+/// [`BufferNavigator`](crate::BufferNavigator) — own open tree, own
+/// pending batch cache, dropped at session close — over *one* wrapper
+/// connection per source. Exchanges serialize per source (the same
+/// discipline as [`ConcurrentPrefetcher`](crate::ConcurrentPrefetcher)'s
+/// wire lock); cross-source parallelism is untouched. Locking is
+/// poison-recovering, so one panicking session cannot wedge the wrapper
+/// for its neighbours.
+pub struct SharedWrapper<W> {
+    inner: std::sync::Arc<std::sync::Mutex<W>>,
+}
+
+impl<W> Clone for SharedWrapper<W> {
+    fn clone(&self) -> Self {
+        SharedWrapper { inner: std::sync::Arc::clone(&self.inner) }
+    }
+}
+
+impl<W> SharedWrapper<W> {
+    /// Share `inner` between future clones of this handle.
+    pub fn new(inner: W) -> Self {
+        SharedWrapper { inner: std::sync::Arc::new(std::sync::Mutex::new(inner)) }
+    }
+
+    /// Recover the wrapper if this is the last handle.
+    pub fn try_into_inner(self) -> Result<W, Self> {
+        match std::sync::Arc::try_unwrap(self.inner) {
+            Ok(m) => Ok(m.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner)),
+            Err(inner) => Err(SharedWrapper { inner }),
+        }
+    }
+}
+
+impl<W: LxpWrapper> LxpWrapper for SharedWrapper<W> {
+    fn get_root(&mut self, uri: &str) -> Result<HoleId, LxpError> {
+        crate::pool::lock_unpoisoned(&self.inner).get_root(uri)
+    }
+
+    fn fill(&mut self, hole: &HoleId) -> Result<Vec<Fragment>, LxpError> {
+        crate::pool::lock_unpoisoned(&self.inner).fill(hole)
+    }
+
+    fn fill_many(&mut self, holes: &[HoleId]) -> Result<Vec<BatchItem>, LxpError> {
+        crate::pool::lock_unpoisoned(&self.inner).fill_many(holes)
+    }
+}
+
 /// Wrapper-side continuation for `fill_many`: chase up to `budget` holes
 /// exposed by the items already in the exchange — trailing-most first,
 /// the direction a scanning client moves — and append their replies as
@@ -302,5 +352,30 @@ mod tests {
         let holes: Vec<HoleId> = vec!["x".into()];
         let reply = boxed.fill_many(&holes).unwrap();
         assert_eq!(reply[0].fragments, vec![Fragment::leaf("x")]);
+    }
+
+    #[test]
+    fn shared_wrapper_clones_serialize_on_one_wrapper() {
+        /// Counts fills so the test can see both clones reached the same
+        /// underlying wrapper.
+        struct Counting(u64);
+        impl LxpWrapper for Counting {
+            fn get_root(&mut self, _uri: &str) -> Result<HoleId, LxpError> {
+                Ok("0".into())
+            }
+            fn fill(&mut self, hole: &HoleId) -> Result<Vec<Fragment>, LxpError> {
+                self.0 += 1;
+                Ok(vec![Fragment::leaf(hole.as_str())])
+            }
+        }
+        let shared = SharedWrapper::new(Counting(0));
+        let mut a = shared.clone();
+        let mut b = shared.clone();
+        assert_eq!(a.get_root("doc").unwrap(), "0");
+        a.fill(&"x".into()).unwrap();
+        b.fill(&"y".into()).unwrap();
+        drop((a, b));
+        let inner = shared.try_into_inner().ok().expect("last handle recovers the wrapper");
+        assert_eq!(inner.0, 2, "both clones hit the same wrapper");
     }
 }

@@ -36,6 +36,7 @@
 //! [`BufferStats`]: crate::BufferStats
 //! [`BufferStats::bind_into`]: crate::BufferStats::bind_into
 
+use crate::pool::lock_unpoisoned;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -369,7 +370,7 @@ impl MetricsRegistry {
     fn upsert(&self, name: &str, help: &'static str, labels: &[(&str, &str)], make: impl FnOnce() -> SeriesData) -> SeriesData {
         let labels: Vec<(String, String)> =
             labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
-        let mut series = self.inner.series.lock().unwrap();
+        let mut series = lock_unpoisoned(&self.inner.series);
         if let Some(existing) =
             series.iter().find(|s| s.name == name && s.labels == labels)
         {
@@ -428,7 +429,7 @@ impl MetricsRegistry {
     fn bind(&self, name: &str, help: &'static str, labels: &[(&str, &str)], data: SeriesData) {
         let labels: Vec<(String, String)> =
             labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
-        let mut series = self.inner.series.lock().unwrap();
+        let mut series = lock_unpoisoned(&self.inner.series);
         if let Some(existing) =
             series.iter_mut().find(|s| s.name == name && s.labels == labels)
         {
@@ -439,9 +440,37 @@ impl MetricsRegistry {
         }
     }
 
+    /// Remove the series registered under exactly `(name, labels)`.
+    /// Returns whether a series was removed. Handles other components
+    /// still hold keep working — they just stop being exported — so
+    /// unregistering is always safe, never racy.
+    ///
+    /// Long-lived registries serving per-session series (labels like
+    /// `session="42"`) MUST unregister them at session teardown or the
+    /// registry grows without bound — the leak class the session-churn
+    /// tests pin down.
+    pub fn unregister(&self, name: &str, labels: &[(&str, &str)]) -> bool {
+        let labels: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        let mut series = lock_unpoisoned(&self.inner.series);
+        let before = series.len();
+        series.retain(|s| !(s.name == name && s.labels == labels));
+        series.len() < before
+    }
+
+    /// Remove every series carrying the label pair `(key, value)` —
+    /// teardown for a whole session/source worth of series in one sweep.
+    /// Returns how many series were removed.
+    pub fn unregister_labeled(&self, key: &str, value: &str) -> usize {
+        let mut series = lock_unpoisoned(&self.inner.series);
+        let before = series.len();
+        series.retain(|s| !s.labels.iter().any(|(k, v)| k == key && v == value));
+        before - series.len()
+    }
+
     /// Number of registered series.
     pub fn len(&self) -> usize {
-        self.inner.series.lock().unwrap().len()
+        lock_unpoisoned(&self.inner.series).len()
     }
 
     /// True when nothing has been registered.
@@ -451,7 +480,7 @@ impl MetricsRegistry {
 
     /// A point-in-time copy of every registered series.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let series = self.inner.series.lock().unwrap();
+        let series = lock_unpoisoned(&self.inner.series);
         MetricsSnapshot {
             samples: series
                 .iter()
@@ -999,5 +1028,31 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap.value("mix_retries_total", &[("source", "db")]), Some(1));
         assert_eq!(snap.value("mix_breaker_opens_total", &[("source", "db")]), Some(1));
+    }
+
+    #[test]
+    fn unregister_removes_exactly_one_series() {
+        let reg = MetricsRegistry::enabled();
+        let c = reg.counter("mix_cmds_total", "cmds", &[("session", "1")]);
+        reg.counter("mix_cmds_total", "cmds", &[("session", "2")]).add(7);
+        assert_eq!(reg.len(), 2);
+        assert!(reg.unregister("mix_cmds_total", &[("session", "1")]));
+        assert!(!reg.unregister("mix_cmds_total", &[("session", "1")]), "already gone");
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.snapshot().value("mix_cmds_total", &[("session", "2")]), Some(7));
+        // The handle still works — it is just no longer exported.
+        c.add(1);
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn unregister_labeled_sweeps_a_whole_session() {
+        let reg = MetricsRegistry::enabled();
+        reg.counter("mix_a_total", "a", &[("session", "9"), ("kind", "d")]);
+        reg.gauge("mix_b", "b", &[("session", "9")]);
+        reg.counter("mix_a_total", "a", &[("session", "10")]);
+        assert_eq!(reg.unregister_labeled("session", "9"), 2);
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.unregister_labeled("session", "9"), 0);
     }
 }

@@ -15,7 +15,31 @@
 //!   exchange fan-out (no detached threads, results in input order).
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+
+/// Lock `m`, recovering the guard when a previous holder panicked.
+///
+/// Every lock in this workspace protects state that stays consistent
+/// across a panic: the critical sections either perform single in-place
+/// writes or are explicitly cleaned up by the panicking path
+/// (`catch_unwind` un-claims before re-raising). Treating poison as fatal
+/// would turn one panicking session/worker into a whole-process outage —
+/// the cascade `mix-serve` exists to prevent — so shared components
+/// recover the inner value instead of propagating the poison.
+#[inline]
+pub fn lock_unpoisoned<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`] with the same poison-recovery policy as
+/// [`lock_unpoisoned`].
+#[inline]
+pub fn wait_unpoisoned<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// The `MIX_THREADS` environment knob, read once per process: the default
 /// number of worker threads for parallel exchanges and prefetch workers.
@@ -112,9 +136,9 @@ where
                 if i >= n {
                     break;
                 }
-                let task = tasks[i].lock().unwrap().take().expect("task claimed once");
+                let task = lock_unpoisoned(&tasks[i]).take().expect("task claimed once");
                 let out = task();
-                *results[i].lock().unwrap() = Some(out);
+                *lock_unpoisoned(&results[i]) = Some(out);
             });
         }
     });

@@ -42,6 +42,7 @@
 //!
 //! [`BufferStats`]: crate::BufferStats
 
+use crate::pool::lock_unpoisoned;
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -427,7 +428,7 @@ impl TraceSink {
     pub fn set_capacity(&self, capacity: usize) {
         let capacity = capacity.max(1);
         self.inner.capacity.store(capacity, Ordering::Relaxed);
-        let mut ring = self.inner.ring.lock().unwrap();
+        let mut ring = lock_unpoisoned(&self.inner.ring);
         while ring.len() > capacity {
             ring.pop_front();
             self.inner.dropped.fetch_add(1, Ordering::Relaxed);
@@ -461,7 +462,7 @@ impl TraceSink {
         // Sequence allocation happens under the ring lock so that `seq`
         // order and ring order agree even when worker threads emit
         // concurrently with the client thread.
-        let mut ring = self.inner.ring.lock().unwrap();
+        let mut ring = lock_unpoisoned(&self.inner.ring);
         let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
         let event = TraceEvent {
             seq,
@@ -478,17 +479,17 @@ impl TraceSink {
 
     /// Copy out the recorded events, oldest first.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.inner.ring.lock().unwrap().iter().cloned().collect()
+        lock_unpoisoned(&self.inner.ring).iter().cloned().collect()
     }
 
     /// Events currently held in the ring.
     pub fn len(&self) -> usize {
-        self.inner.ring.lock().unwrap().len()
+        lock_unpoisoned(&self.inner.ring).len()
     }
 
     /// Is the ring empty?
     pub fn is_empty(&self) -> bool {
-        self.inner.ring.lock().unwrap().is_empty()
+        lock_unpoisoned(&self.inner.ring).is_empty()
     }
 
     /// Events evicted because the ring was full. Exact-accounting checks
@@ -499,7 +500,7 @@ impl TraceSink {
 
     /// Forget all recorded events (counters for seq/span keep running).
     pub fn clear(&self) {
-        self.inner.ring.lock().unwrap().clear();
+        lock_unpoisoned(&self.inner.ring).clear();
         self.inner.dropped.store(0, Ordering::Relaxed);
     }
 }

@@ -36,16 +36,55 @@
 //! flight and no runnable work remains, making wrapper-level traffic
 //! counters stable for exact comparisons. [`Drop`] stops and joins the
 //! workers, so no exchange ever outlives the adapter.
+//!
+//! # Panic containment
+//!
+//! A wrapper that panics mid-exchange must not take the pool — let alone
+//! the process — with it. Every wire exchange runs under `catch_unwind`
+//! (`exchange_protected`), converting a panic into
+//! [`LxpError::SourceError`]: a panicking *speculative* fill is absorbed
+//! like a failed one (the hole is un-claimed, the failure counted, the
+//! worker keeps serving); a panicking *client-path* exchange surfaces as
+//! a typed error on the existing retry/health path, with the hole
+//! un-claimed so a retry can cross the wire. All shared locks are taken
+//! with
+//! [`lock_unpoisoned`], so state another
+//! thread poisoned by panicking is recovered, not propagated —
+//! `halt_workers`/[`Drop`]/[`quiesce`](ConcurrentPrefetcher::quiesce) can
+//! therefore never double-panic, and one bad session in a server cannot
+//! poison its neighbours.
 
 use crate::fragment::Fragment;
 use crate::health::SourceHealth;
 use crate::lxp::{BatchItem, HoleId, LxpError, LxpWrapper};
-use crate::pool::OverlapGauge;
+use crate::pool::{lock_unpoisoned, wait_unpoisoned, OverlapGauge};
 use crate::trace::{TraceKind, TraceSink};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+
+/// Run one wire exchange, converting a panic in the wrapper into an
+/// [`LxpError::SourceError`] so callers can handle "the wrapper blew up"
+/// and "the wrapper failed" through one recovery path. The overlap gauge
+/// guard lives inside the protected closure, so the in-flight count stays
+/// exact even when the exchange unwinds.
+fn exchange_protected<T>(
+    op: impl FnOnce() -> Result<T, LxpError>,
+) -> Result<T, LxpError> {
+    match catch_unwind(AssertUnwindSafe(op)) {
+        Ok(result) => result,
+        Err(payload) => {
+            let what = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(LxpError::SourceError(format!("wrapper panicked: {what}")))
+        }
+    }
+}
 
 /// Cached-but-unconsumed replies a prefetcher will hold before workers
 /// pause (backpressure against runaway speculation).
@@ -207,7 +246,7 @@ impl<W: LxpWrapper + Send + 'static> ConcurrentPrefetcher<W> {
             // the worker would sleep through shutdown and `join` would
             // hang. Holding the lock forces the worker to either see the
             // flag on its next check or be parked where notify reaches it.
-            let _state = shared.state.lock().unwrap();
+            let _state = lock_unpoisoned(&shared.state);
             shared.stop.store(true, Ordering::Release);
         }
         shared.cv.notify_all();
@@ -221,9 +260,9 @@ impl<W: LxpWrapper + Send + 'static> ConcurrentPrefetcher<W> {
     /// wrapper-level traffic counters are stable.
     pub fn quiesce(&self) {
         let shared = self.sh();
-        let mut state = shared.state.lock().unwrap();
+        let mut state = lock_unpoisoned(&shared.state);
         while !state.in_flight.is_empty() || state.runnable(shared.cap) {
-            state = shared.cv.wait(state).unwrap();
+            state = wait_unpoisoned(&shared.cv, state);
         }
     }
 
@@ -232,7 +271,7 @@ impl<W: LxpWrapper + Send + 'static> ConcurrentPrefetcher<W> {
         self.halt_workers();
         let shared = self.shared.take().expect("present");
         match Arc::try_unwrap(shared) {
-            Ok(s) => s.wire.into_inner().unwrap(),
+            Ok(s) => s.wire.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner),
             Err(_) => panic!("worker still holds the shared block after join"),
         }
     }
@@ -264,7 +303,7 @@ impl<W: LxpWrapper + Send + 'static> ConcurrentPrefetcher<W> {
 
     /// Replies sitting in the speculative cache right now.
     pub fn cached(&self) -> usize {
-        self.sh().state.lock().unwrap().cache.len()
+        lock_unpoisoned(&self.sh().state).cache.len()
     }
 
     /// The overlap gauge counting this source's wire exchanges.
@@ -282,7 +321,7 @@ impl<W: LxpWrapper + Send + 'static> Drop for ConcurrentPrefetcher<W> {
 fn worker_loop<W: LxpWrapper + Send + 'static>(shared: Arc<Shared<W>>) {
     loop {
         let hole = {
-            let mut state = shared.state.lock().unwrap();
+            let mut state = lock_unpoisoned(&shared.state);
             loop {
                 if shared.stop.load(Ordering::Acquire) {
                     return;
@@ -300,15 +339,15 @@ fn worker_loop<W: LxpWrapper + Send + 'static>(shared: Arc<Shared<W>>) {
                 }
                 // Nothing runnable: tell quiescers, then sleep.
                 shared.cv.notify_all();
-                state = shared.cv.wait(state).unwrap();
+                state = wait_unpoisoned(&shared.cv, state);
             }
         };
-        let result = {
-            let mut wire = shared.wire.lock().unwrap();
+        let result = exchange_protected(|| {
+            let mut wire = lock_unpoisoned(&shared.wire);
             let _overlap = shared.gauge.enter();
             wire.fill(&hole)
-        };
-        let mut state = shared.state.lock().unwrap();
+        });
+        let mut state = lock_unpoisoned(&shared.state);
         state.in_flight.remove(&hole);
         match result {
             Ok(fragments) => {
@@ -337,14 +376,14 @@ fn worker_loop<W: LxpWrapper + Send + 'static>(shared: Arc<Shared<W>>) {
 impl<W: LxpWrapper + Send + 'static> LxpWrapper for ConcurrentPrefetcher<W> {
     fn get_root(&mut self, uri: &str) -> Result<HoleId, LxpError> {
         let shared = Arc::clone(self.sh());
-        let root = {
-            let mut wire = shared.wire.lock().unwrap();
+        let root = exchange_protected(|| {
+            let mut wire = lock_unpoisoned(&shared.wire);
             let _overlap = shared.gauge.enter();
-            wire.get_root(uri)?
-        };
+            wire.get_root(uri)
+        })?;
         // Seed the chase: workers start pulling the document toward the
         // client before its first fill even arrives.
-        let mut state = shared.state.lock().unwrap();
+        let mut state = lock_unpoisoned(&shared.state);
         if !state.done.contains(&root) && !state.queued.contains(&root) {
             state.queued.insert(root.clone());
             state.queue.push_back(root.clone());
@@ -355,7 +394,7 @@ impl<W: LxpWrapper + Send + 'static> LxpWrapper for ConcurrentPrefetcher<W> {
 
     fn fill(&mut self, hole: &HoleId) -> Result<Vec<Fragment>, LxpError> {
         let shared = Arc::clone(self.sh());
-        let mut state = shared.state.lock().unwrap();
+        let mut state = lock_unpoisoned(&shared.state);
         loop {
             if let Some(fragments) = state.cache.remove(hole) {
                 shared.hits.fetch_add(1, Ordering::Relaxed);
@@ -369,7 +408,7 @@ impl<W: LxpWrapper + Send + 'static> LxpWrapper for ConcurrentPrefetcher<W> {
             }
             if state.in_flight.contains(hole) {
                 shared.waits.fetch_add(1, Ordering::Relaxed);
-                state = shared.cv.wait(state).unwrap();
+                state = wait_unpoisoned(&shared.cv, state);
                 continue;
             }
             // Claim it ourselves.
@@ -382,12 +421,12 @@ impl<W: LxpWrapper + Send + 'static> LxpWrapper for ConcurrentPrefetcher<W> {
         if shared.trace.is_enabled() {
             shared.trace.emit(Some(&shared.source), TraceKind::PrefetchMiss { hole: hole.clone() });
         }
-        let result = {
-            let mut wire = shared.wire.lock().unwrap();
+        let result = exchange_protected(|| {
+            let mut wire = lock_unpoisoned(&shared.wire);
             let _overlap = shared.gauge.enter();
             wire.fill(hole)
-        };
-        let mut state = shared.state.lock().unwrap();
+        });
+        let mut state = lock_unpoisoned(&shared.state);
         state.in_flight.remove(hole);
         match &result {
             Ok(fragments) => {
@@ -409,11 +448,11 @@ impl<W: LxpWrapper + Send + 'static> LxpWrapper for ConcurrentPrefetcher<W> {
         let mut served: HashMap<HoleId, Vec<Fragment>> = HashMap::new();
         let mut residual: Vec<HoleId> = Vec::new();
         {
-            let mut state = shared.state.lock().unwrap();
+            let mut state = lock_unpoisoned(&shared.state);
             for h in holes {
                 while state.in_flight.contains(h) {
                     shared.waits.fetch_add(1, Ordering::Relaxed);
-                    state = shared.cv.wait(state).unwrap();
+                    state = wait_unpoisoned(&shared.cv, state);
                 }
                 if let Some(frags) = state.cache.remove(h) {
                     shared.hits.fetch_add(1, Ordering::Relaxed);
@@ -432,11 +471,13 @@ impl<W: LxpWrapper + Send + 'static> LxpWrapper for ConcurrentPrefetcher<W> {
             Ok(Vec::new())
         } else {
             shared.misses.fetch_add(residual.len() as u64, Ordering::Relaxed);
-            let mut wire = shared.wire.lock().unwrap();
-            let _overlap = shared.gauge.enter();
-            wire.fill_many(&residual)
+            exchange_protected(|| {
+                let mut wire = lock_unpoisoned(&shared.wire);
+                let _overlap = shared.gauge.enter();
+                wire.fill_many(&residual)
+            })
         };
-        let mut state = shared.state.lock().unwrap();
+        let mut state = lock_unpoisoned(&shared.state);
         for h in &residual {
             state.in_flight.remove(h);
         }
@@ -572,6 +613,70 @@ mod tests {
         let inner = TreeWrapper::single(&parse_term(TERM).unwrap(), FillPolicy::Chunked { n: 2 });
         let pf = ConcurrentPrefetcher::new(inner, 2);
         let mut nav = BufferNavigator::new(pf, "doc").batched(4);
+        assert_eq!(materialize(&mut nav).to_string(), TERM);
+    }
+
+    /// Delegating wrapper whose first `panics_left` fills panic outright —
+    /// the injection instrument for the poison-cascade regression tests.
+    struct PanicOnFill<W> {
+        inner: W,
+        panics_left: u64,
+    }
+
+    impl<W: LxpWrapper> LxpWrapper for PanicOnFill<W> {
+        fn get_root(&mut self, uri: &str) -> Result<HoleId, LxpError> {
+            self.inner.get_root(uri)
+        }
+
+        fn fill(&mut self, hole: &HoleId) -> Result<Vec<Fragment>, LxpError> {
+            if self.panics_left > 0 {
+                self.panics_left -= 1;
+                panic!("injected wrapper panic");
+            }
+            self.inner.fill(hole)
+        }
+    }
+
+    #[test]
+    fn panicking_worker_closure_still_quiesces_and_joins() {
+        // Every speculative fill panics. Pre-fix this poisoned the shared
+        // state and wedged/poisoned quiesce + Drop; now the panic is
+        // absorbed as a prefetch failure and the pool stays serviceable.
+        let inner = PanicOnFill { inner: wrapper(), panics_left: u64::MAX };
+        let mut pf = ConcurrentPrefetcher::new(inner, 2);
+        let root = pf.get_root("doc").expect("root exchange does not fill");
+        pf.quiesce();
+        assert!(pf.failures() >= 1, "panicked speculative fill counted as failure");
+        // The client's own fill meets the panic as a typed error, not an
+        // unwind — and the hole stays claimable for retries.
+        let err = pf.fill(&root).unwrap_err();
+        assert!(err.to_string().contains("panicked"), "typed panic error: {err}");
+        drop(pf); // must join cleanly, never double-panic
+    }
+
+    #[test]
+    fn client_path_panic_unclaims_and_retry_succeeds() {
+        let inner = PanicOnFill { inner: wrapper(), panics_left: 1 };
+        let mut pf = ConcurrentPrefetcher::new(inner, 0); // no speculation: deterministic path
+        let root = pf.get_root("doc").unwrap();
+        let err = pf.fill(&root).unwrap_err();
+        assert!(matches!(err, LxpError::SourceError(_)), "panic became a source error");
+        let frags = pf.fill(&root).expect("un-claimed hole crossed the wire on retry");
+        assert!(!frags.is_empty());
+    }
+
+    #[test]
+    fn panics_retried_away_like_faults() {
+        // End-to-end: sporadic wrapper panics behave exactly like injected
+        // transient faults — the navigator's retry policy absorbs them and
+        // the answer stays exact.
+        let inner = PanicOnFill { inner: wrapper(), panics_left: 3 };
+        let pf = ConcurrentPrefetcher::new(inner, 2);
+        let mut nav = BufferNavigator::with_retry(
+            pf,
+            "doc",
+            RetryPolicy { max_attempts: 32, ..RetryPolicy::default() },
+        );
         assert_eq!(materialize(&mut nav).to_string(), TERM);
     }
 }

@@ -12,6 +12,7 @@ use crate::engine::Degraded;
 use crate::handle::VNode;
 use crate::trace::{TraceLog, TraceSink};
 use crate::Engine;
+use mix_buffer::lock_unpoisoned;
 use mix_nav::{LabelPred, Navigator};
 use mix_xml::{Label, Tree};
 use std::sync::{Arc, Mutex};
@@ -31,31 +32,31 @@ impl VirtualDocument {
     /// Handle to the root element of the virtual answer document —
     /// returned "without even accessing the sources".
     pub fn root(&self) -> VirtualElement {
-        let node = self.engine.lock().unwrap().root();
+        let node = lock_unpoisoned(&self.engine).root();
         VirtualElement { engine: self.engine.clone(), node }
     }
 
     /// Source-navigation statistics accumulated so far.
     pub fn stats(&self) -> crate::EngineStats {
-        self.engine.lock().unwrap().stats()
+        lock_unpoisoned(&self.engine).stats()
     }
 
     /// Fault/retry health per source (see [`Engine::health`]). A client
     /// that received a partial answer can look here for which source
     /// degraded and why — without ever leaving the DOM illusion.
     pub fn health(&self) -> Vec<(String, Option<mix_buffer::HealthSnapshot>)> {
-        self.engine.lock().unwrap().health()
+        lock_unpoisoned(&self.engine).health()
     }
 
     /// The worst health status across sources — `Healthy` means the
     /// answer seen so far is complete with respect to the sources.
     pub fn overall_health(&self) -> mix_buffer::HealthStatus {
-        self.engine.lock().unwrap().overall_health()
+        lock_unpoisoned(&self.engine).overall_health()
     }
 
     /// Reset the statistics.
     pub fn reset_stats(&self) {
-        self.engine.lock().unwrap().reset_stats();
+        lock_unpoisoned(&self.engine).reset_stats();
     }
 
     /// Access the engine (experiments that mix client-level and
@@ -68,41 +69,41 @@ impl VirtualDocument {
     /// cascade, wire exchange, retry, and degradation recorded so far,
     /// queryable by span / source / kind (see [`TraceLog`]).
     pub fn trace(&self) -> TraceLog {
-        TraceLog::from_sink(&self.engine.lock().unwrap().trace_sink())
+        TraceLog::from_sink(&lock_unpoisoned(&self.engine).trace_sink())
     }
 
     /// The shared recorder sink (to enable/disable recording, clear the
     /// ring, or hand it to more buffers).
     pub fn trace_sink(&self) -> TraceSink {
-        self.engine.lock().unwrap().trace_sink()
+        lock_unpoisoned(&self.engine).trace_sink()
     }
 
     /// Replace the engine's recorder sink (see
     /// [`Engine::set_trace_sink`](crate::Engine::set_trace_sink)).
     pub fn set_trace_sink(&self, sink: TraceSink) {
-        self.engine.lock().unwrap().set_trace_sink(sink);
+        lock_unpoisoned(&self.engine).set_trace_sink(sink);
     }
 
     /// The engine's live metrics registry (see [`Engine::metrics`]).
     pub fn metrics(&self) -> crate::MetricsRegistry {
-        self.engine.lock().unwrap().metrics()
+        lock_unpoisoned(&self.engine).metrics()
     }
 
     /// A point-in-time copy of every registered metric series.
     pub fn metrics_snapshot(&self) -> crate::MetricsSnapshot {
-        self.engine.lock().unwrap().metrics_snapshot()
+        lock_unpoisoned(&self.engine).metrics_snapshot()
     }
 
     /// The shared cross-query fragment cache, if any source carries one
     /// (see [`Engine::fragment_cache`]).
     pub fn fragment_cache(&self) -> Option<mix_buffer::FragmentCache> {
-        self.engine.lock().unwrap().fragment_cache()
+        lock_unpoisoned(&self.engine).fragment_cache()
     }
 
     /// The plan tree annotated with live per-operator metrics (see
     /// [`Engine::explain_analyze`]).
     pub fn explain_analyze(&self) -> String {
-        self.engine.lock().unwrap().explain_analyze()
+        lock_unpoisoned(&self.engine).explain_analyze()
     }
 
     /// A DTD-style structural summary of the *virtual* document, computed
@@ -110,7 +111,7 @@ impl VirtualDocument {
     /// show before the user commits to a query. Navigation costs accrue to
     /// the usual per-source counters.
     pub fn summary(&self, max_depth: usize) -> mix_nav::Summary {
-        let mut engine = self.engine.lock().unwrap();
+        let mut engine = lock_unpoisoned(&self.engine);
         mix_nav::Summary::infer(&mut *engine, max_depth)
     }
 }
@@ -126,7 +127,7 @@ pub struct VirtualElement {
 impl VirtualElement {
     /// The element's label (tag name or atomic content).
     pub fn label(&self) -> Label {
-        self.engine.lock().unwrap().fetch(&self.node)
+        lock_unpoisoned(&self.engine).fetch(&self.node)
     }
 
     /// The element's label, *checked*: `Err` when a source degraded while
@@ -136,24 +137,24 @@ impl VirtualElement {
     ///
     /// [`label`]: VirtualElement::label
     pub fn label_checked(&self) -> Result<Label, Degraded> {
-        self.engine.lock().unwrap().fetch_checked(&self.node)
+        lock_unpoisoned(&self.engine).fetch_checked(&self.node)
     }
 
     /// First child, or `None` on a leaf.
     pub fn down(&self) -> Option<VirtualElement> {
-        let node = self.engine.lock().unwrap().down(&self.node)?;
+        let node = lock_unpoisoned(&self.engine).down(&self.node)?;
         Some(VirtualElement { engine: self.engine.clone(), node })
     }
 
     /// Right sibling, or `None`.
     pub fn right(&self) -> Option<VirtualElement> {
-        let node = self.engine.lock().unwrap().right(&self.node)?;
+        let node = lock_unpoisoned(&self.engine).right(&self.node)?;
         Some(VirtualElement { engine: self.engine.clone(), node })
     }
 
     /// First right sibling whose label satisfies the predicate.
     pub fn select(&self, pred: &LabelPred) -> Option<VirtualElement> {
-        let node = self.engine.lock().unwrap().select(&self.node, pred)?;
+        let node = lock_unpoisoned(&self.engine).select(&self.node, pred)?;
         Some(VirtualElement { engine: self.engine.clone(), node })
     }
 
@@ -175,7 +176,7 @@ impl VirtualElement {
 
     /// Materialize the whole subtree (the client's "copy into memory").
     pub fn to_tree(&self) -> Tree {
-        self.engine.lock().unwrap().materialize_value(&self.node)
+        lock_unpoisoned(&self.engine).materialize_value(&self.node)
     }
 }
 

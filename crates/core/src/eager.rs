@@ -70,7 +70,7 @@ impl Eager<'_> {
         let shared = self.registry.get(name)?;
         // Wrap the root element in the virtual document node so paths
         // consume the root element's label as their first step.
-        let root = materialize(&mut **shared.nav.lock().unwrap());
+        let root = materialize(&mut **mix_buffer::lock_unpoisoned(&shared.nav));
         let tree = Arc::new(Tree::node(crate::values::DOC_LABEL, vec![root]));
         self.sources.insert(name.to_string(), tree.clone());
         Ok(tree)

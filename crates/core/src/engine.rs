@@ -14,9 +14,9 @@ use crate::registry::{SharedSource, SourceRegistry};
 use crate::EngineError;
 use mix_algebra::{Plan, PlanId, PlanNode};
 use mix_buffer::{
-    run_parallel, BufferStats, BufferStatsSnapshot, Counter, FragmentCache, HealthSnapshot,
-    HealthStatus, MetricsRegistry, MetricsSnapshot, OverlapGauge, SourceHealth, TraceKind,
-    TraceSink,
+    lock_unpoisoned, run_parallel, BufferStats, BufferStatsSnapshot, Counter, FragmentCache,
+    HealthSnapshot, HealthStatus, MetricsRegistry, MetricsSnapshot, OverlapGauge, SourceHealth,
+    TraceKind, TraceSink,
 };
 use mix_nav::{LabelPred, NavCounters, NavStats, Navigator};
 use mix_xml::{Document, Label};
@@ -370,7 +370,7 @@ impl Engine {
                 let gauge = self.gauge.clone();
                 move || {
                     let _in_flight = gauge.enter();
-                    let mut n = nav.lock().unwrap();
+                    let mut n = lock_unpoisoned(&nav);
                     let root = n.root();
                     if let Some(first) = n.down(&root) {
                         let _ = n.fetch(&first);
@@ -638,7 +638,7 @@ impl Engine {
         self.meter_src(src, 0, at);
         let conn = &self.sources[src];
         conn.counters.bump_down();
-        let out = conn.nav.lock().unwrap().down(h)?;
+        let out = lock_unpoisoned(&conn.nav).down(h)?;
         Some(VNode::new(VData::Src { src, h: out }))
     }
 
@@ -653,7 +653,7 @@ impl Engine {
         self.meter_src(src, 1, at);
         let conn = &self.sources[src];
         conn.counters.bump_right();
-        let out = conn.nav.lock().unwrap().right(h)?;
+        let out = lock_unpoisoned(&conn.nav).right(h)?;
         Some(VNode::new(VData::Src { src, h: out }))
     }
 
@@ -668,7 +668,7 @@ impl Engine {
         self.meter_src(src, 2, at);
         let conn = &self.sources[src];
         conn.counters.bump_fetch();
-        conn.nav.lock().unwrap().fetch(h)
+        lock_unpoisoned(&conn.nav).fetch(h)
     }
 
     /// `select_φ` on a source with explicit attribution.
@@ -683,13 +683,13 @@ impl Engine {
         self.meter_src(src, 3, at);
         let conn = &self.sources[src];
         conn.counters.bump_select();
-        let out = conn.nav.lock().unwrap().select(h, pred)?;
+        let out = lock_unpoisoned(&conn.nav).select(h, pred)?;
         Some(VNode::new(VData::Src { src, h: out }))
     }
 
     pub(crate) fn src_root(&mut self, src: usize) -> VNode {
         // Obtaining the root handle is free (§1).
-        let h = self.sources[src].nav.lock().unwrap().root();
+        let h = lock_unpoisoned(&self.sources[src].nav).root();
         VNode::new(VData::Src { src, h })
     }
 

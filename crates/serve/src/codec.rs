@@ -1,0 +1,545 @@
+//! The DOM-VXD frame codec: navigation verbs on the wire.
+//!
+//! The paper's client API is exactly four verbs (`d`, `r`, `f`,
+//! `select_φ`) over opaque node handles — the ideal shape for a compact
+//! framed protocol. A frame is a 4-byte little-endian length prefix
+//! followed by that many payload bytes:
+//!
+//! ```text
+//!   +----------------+---------------------------+
+//!   | len: u32 LE    | payload (len bytes)       |
+//!   +----------------+---------------------------+
+//! ```
+//!
+//! Request payloads carry the session id in every frame — *session
+//! multiplexing*: one connection interleaves any number of sessions, so
+//! a thousand concurrent sessions need a handful of sockets, not a
+//! thousand.
+//!
+//! ```text
+//!   request  := session: u64 LE, opcode: u8, args
+//!     0x01 Open    { template: str }        (session must be 0)
+//!     0x02 Down    { node: u64 LE }
+//!     0x03 Right   { node: u64 LE }
+//!     0x04 Fetch   { node: u64 LE }
+//!     0x05 Select  { node: u64 LE, label: str }   (label-equality NC)
+//!     0x06 Close   {}
+//!
+//!   reply    := tag: u8, args
+//!     0x81 Opened        { session: u64 LE, root: u64 LE }
+//!     0x82 Node          { handle: u64 LE }
+//!     0x83 End           {}                 (navigation returned None)
+//!     0x84 Label         { label: str }
+//!     0x85 DegradedLabel { label: str, n: u16 LE, sources: n × str }
+//!     0x86 Closed        {}
+//!     0xC0 Error         { code: u8, msg: str }
+//!
+//!   str      := len: u16 LE, len × UTF-8 bytes
+//! ```
+//!
+//! # Strictness
+//!
+//! The decoder is a *round-trip oracle* in the same spirit as the
+//! Prometheus text parser from the metrics layer: `decode(encode(x)) ==
+//! x` for every valid value, and every malformed byte string — truncated
+//! prefix, oversized frame, unknown opcode/tag, trailing garbage, broken
+//! UTF-8 — is a typed [`FrameError`], never a panic and never a silent
+//! partial parse. Servers must stay up when handed garbage.
+
+use std::io::{Read, Write};
+
+/// Hard ceiling on one frame's payload (1 MiB). A length prefix above
+/// this is rejected *before* allocating, so a hostile or corrupt peer
+/// cannot make the server balloon on a 4 GiB prefix.
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// Everything that can be wrong with bytes claiming to be a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The payload ended before the structure it promised.
+    Truncated { expected: usize, got: usize },
+    /// The length prefix exceeds [`MAX_FRAME`].
+    Oversized { len: u32 },
+    /// Unknown request opcode.
+    UnknownOpcode(u8),
+    /// Unknown reply tag.
+    UnknownTag(u8),
+    /// Unknown error code in an `Error` reply.
+    UnknownErrorCode(u8),
+    /// Valid structure followed by extra bytes.
+    TrailingBytes { extra: usize },
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// The peer closed the connection cleanly (EOF between frames).
+    Closed,
+    /// Transport-level I/O failure.
+    Io(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated { expected, got } => {
+                write!(f, "truncated frame: expected {expected} bytes, got {got}")
+            }
+            FrameError::Oversized { len } => {
+                write!(f, "oversized frame: {len} bytes exceeds the {MAX_FRAME} B cap")
+            }
+            FrameError::UnknownOpcode(op) => write!(f, "unknown request opcode 0x{op:02x}"),
+            FrameError::UnknownTag(tag) => write!(f, "unknown reply tag 0x{tag:02x}"),
+            FrameError::UnknownErrorCode(c) => write!(f, "unknown error code {c}"),
+            FrameError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after a complete frame body")
+            }
+            FrameError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Io(msg) => write!(f, "frame transport error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Typed error codes a server can return; part of the wire contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The frame's session id names no live session.
+    UnknownSession = 1,
+    /// The node handle names no handle of that session.
+    UnknownHandle = 2,
+    /// `Open` named a query template the server does not export.
+    UnknownTemplate = 3,
+    /// The request frame itself failed to parse.
+    BadFrame = 4,
+    /// The session's engine panicked or failed internally; the session
+    /// has been force-closed.
+    Internal = 5,
+    /// The server is at its concurrent-session limit.
+    SessionLimit = 6,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> Result<Self, FrameError> {
+        Ok(match v {
+            1 => ErrorCode::UnknownSession,
+            2 => ErrorCode::UnknownHandle,
+            3 => ErrorCode::UnknownTemplate,
+            4 => ErrorCode::BadFrame,
+            5 => ErrorCode::Internal,
+            6 => ErrorCode::SessionLimit,
+            other => return Err(FrameError::UnknownErrorCode(other)),
+        })
+    }
+}
+
+/// The navigation verb of one request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verb {
+    /// Open a session over a named query template; replies `Opened`.
+    Open { template: String },
+    /// `d(node)` — first child.
+    Down { node: u64 },
+    /// `r(node)` — right sibling.
+    Right { node: u64 },
+    /// `f(node)` — the label, checked for degradation server-side.
+    Fetch { node: u64 },
+    /// `select_φ(node, label)` — next sibling with exactly this label.
+    Select { node: u64, label: String },
+    /// Tear the session down; replies `Closed`.
+    Close,
+}
+
+/// One request frame: which session, and what to do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Session the verb applies to; 0 for `Open` (no session yet).
+    pub session: u64,
+    /// The verb.
+    pub verb: Verb,
+}
+
+/// One reply frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// A session is live; navigate from `root`.
+    Opened { session: u64, root: u64 },
+    /// A navigation produced this node.
+    Node { handle: u64 },
+    /// A navigation returned `None` (no child / no sibling / no match).
+    End,
+    /// A complete label for `Fetch`.
+    Label { label: String },
+    /// A *partial* answer: the label served after one or more sources
+    /// degraded, with the guilty sources named. Distinct from `Label` on
+    /// the wire so a remote client can never mistake a degraded empty
+    /// answer for a genuinely empty PCDATA node.
+    DegradedLabel { label: String, sources: Vec<String> },
+    /// The session is gone; its resources are released.
+    Closed,
+    /// Typed failure.
+    Error { code: ErrorCode, msg: String },
+}
+
+// ---------------------------------------------------------------------
+// Payload encoding
+// ---------------------------------------------------------------------
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    let len = u16::try_from(s.len()).expect("protocol strings are short");
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+impl Request {
+    /// Encode the request payload (no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        out.extend_from_slice(&self.session.to_le_bytes());
+        match &self.verb {
+            Verb::Open { template } => {
+                out.push(0x01);
+                put_str(&mut out, template);
+            }
+            Verb::Down { node } => {
+                out.push(0x02);
+                out.extend_from_slice(&node.to_le_bytes());
+            }
+            Verb::Right { node } => {
+                out.push(0x03);
+                out.extend_from_slice(&node.to_le_bytes());
+            }
+            Verb::Fetch { node } => {
+                out.push(0x04);
+                out.extend_from_slice(&node.to_le_bytes());
+            }
+            Verb::Select { node, label } => {
+                out.push(0x05);
+                out.extend_from_slice(&node.to_le_bytes());
+                put_str(&mut out, label);
+            }
+            Verb::Close => out.push(0x06),
+        }
+        out
+    }
+
+    /// Strictly decode a request payload: the whole slice, nothing less,
+    /// nothing more.
+    pub fn decode(payload: &[u8]) -> Result<Request, FrameError> {
+        let mut r = Reader::new(payload);
+        let session = r.u64()?;
+        let opcode = r.u8()?;
+        let verb = match opcode {
+            0x01 => Verb::Open { template: r.string()? },
+            0x02 => Verb::Down { node: r.u64()? },
+            0x03 => Verb::Right { node: r.u64()? },
+            0x04 => Verb::Fetch { node: r.u64()? },
+            0x05 => Verb::Select { node: r.u64()?, label: r.string()? },
+            0x06 => Verb::Close,
+            other => return Err(FrameError::UnknownOpcode(other)),
+        };
+        r.finish()?;
+        Ok(Request { session, verb })
+    }
+}
+
+impl Reply {
+    /// Encode the reply payload (no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        match self {
+            Reply::Opened { session, root } => {
+                out.push(0x81);
+                out.extend_from_slice(&session.to_le_bytes());
+                out.extend_from_slice(&root.to_le_bytes());
+            }
+            Reply::Node { handle } => {
+                out.push(0x82);
+                out.extend_from_slice(&handle.to_le_bytes());
+            }
+            Reply::End => out.push(0x83),
+            Reply::Label { label } => {
+                out.push(0x84);
+                put_str(&mut out, label);
+            }
+            Reply::DegradedLabel { label, sources } => {
+                out.push(0x85);
+                put_str(&mut out, label);
+                let n = u16::try_from(sources.len()).expect("few sources");
+                out.extend_from_slice(&n.to_le_bytes());
+                for s in sources {
+                    put_str(&mut out, s);
+                }
+            }
+            Reply::Closed => out.push(0x86),
+            Reply::Error { code, msg } => {
+                out.push(0xC0);
+                out.push(*code as u8);
+                put_str(&mut out, msg);
+            }
+        }
+        out
+    }
+
+    /// Strictly decode a reply payload.
+    pub fn decode(payload: &[u8]) -> Result<Reply, FrameError> {
+        let mut r = Reader::new(payload);
+        let tag = r.u8()?;
+        let reply = match tag {
+            0x81 => Reply::Opened { session: r.u64()?, root: r.u64()? },
+            0x82 => Reply::Node { handle: r.u64()? },
+            0x83 => Reply::End,
+            0x84 => Reply::Label { label: r.string()? },
+            0x85 => {
+                let label = r.string()?;
+                let n = r.u16()?;
+                let mut sources = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    sources.push(r.string()?);
+                }
+                Reply::DegradedLabel { label, sources }
+            }
+            0x86 => Reply::Closed,
+            0xC0 => Reply::Error { code: ErrorCode::from_u8(r.u8()?)?, msg: r.string()? },
+            other => return Err(FrameError::UnknownTag(other)),
+        };
+        r.finish()?;
+        Ok(reply)
+    }
+}
+
+/// Cursor over a payload with exact-consumption discipline.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        if self.buf.len() - self.pos < n {
+            return Err(FrameError::Truncated {
+                expected: self.pos + n,
+                got: self.buf.len(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, FrameError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, FrameError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| FrameError::BadUtf8)
+    }
+
+    /// The payload must be fully consumed — trailing bytes are an error,
+    /// never silently ignored.
+    fn finish(self) -> Result<(), FrameError> {
+        if self.pos != self.buf.len() {
+            return Err(FrameError::TrailingBytes { extra: self.buf.len() - self.pos });
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Framing over a byte stream
+// ---------------------------------------------------------------------
+
+/// Write one length-prefixed frame.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), FrameError> {
+    let len = u32::try_from(payload.len()).map_err(|_| FrameError::Oversized { len: u32::MAX })?;
+    if len > MAX_FRAME {
+        return Err(FrameError::Oversized { len });
+    }
+    w.write_all(&len.to_le_bytes()).map_err(|e| FrameError::Io(e.to_string()))?;
+    w.write_all(payload).map_err(|e| FrameError::Io(e.to_string()))?;
+    w.flush().map_err(|e| FrameError::Io(e.to_string()))?;
+    Ok(())
+}
+
+/// Read one length-prefixed frame. EOF *between* frames is the clean
+/// [`FrameError::Closed`]; EOF *inside* a frame is `Truncated`.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, FrameError> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut prefix[got..]) {
+            Ok(0) if got == 0 => return Err(FrameError::Closed),
+            Ok(0) => return Err(FrameError::Truncated { expected: 4, got }),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e.to_string())),
+        }
+    }
+    let len = u32::from_le_bytes(prefix);
+    if len > MAX_FRAME {
+        return Err(FrameError::Oversized { len });
+    }
+    let mut payload = vec![0u8; len as usize];
+    let mut got = 0;
+    while got < payload.len() {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => {
+                return Err(FrameError::Truncated { expected: payload.len(), got });
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e.to_string())),
+        }
+    }
+    Ok(payload)
+}
+
+/// A request/reply frame stream over any byte transport — one end of a
+/// connection. Both the server loop and the client drive one of these.
+pub struct FrameStream<S> {
+    stream: S,
+}
+
+impl<S: Read + Write> FrameStream<S> {
+    /// Wrap a transport.
+    pub fn new(stream: S) -> Self {
+        FrameStream { stream }
+    }
+
+    /// Recover the transport.
+    pub fn into_inner(self) -> S {
+        self.stream
+    }
+
+    /// Borrow the transport (e.g. to write raw bytes in protocol tests).
+    pub fn stream_mut(&mut self) -> &mut S {
+        &mut self.stream
+    }
+
+    /// Send one request (client side).
+    pub fn send_request(&mut self, req: &Request) -> Result<(), FrameError> {
+        write_frame(&mut self.stream, &req.encode())
+    }
+
+    /// Receive one reply (client side).
+    pub fn recv_reply(&mut self) -> Result<Reply, FrameError> {
+        Reply::decode(&read_frame(&mut self.stream)?)
+    }
+
+    /// Receive one request (server side). A frame that fails to *parse*
+    /// is `Ok(Err(_))` — the connection is still usable and the server
+    /// answers with a typed `BadFrame` error; a frame that fails to
+    /// *arrive* (EOF, I/O) is `Err(_)` and ends the connection.
+    pub fn recv_request(&mut self) -> Result<Result<Request, FrameError>, FrameError> {
+        let payload = read_frame(&mut self.stream)?;
+        Ok(Request::decode(&payload))
+    }
+
+    /// Send one reply (server side).
+    pub fn send_reply(&mut self, reply: &Reply) -> Result<(), FrameError> {
+        write_frame(&mut self.stream, &reply.encode())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        for req in [
+            Request { session: 0, verb: Verb::Open { template: "fig3".into() } },
+            Request { session: 7, verb: Verb::Down { node: 3 } },
+            Request { session: u64::MAX, verb: Verb::Right { node: u64::MAX } },
+            Request { session: 1, verb: Verb::Fetch { node: 0 } },
+            Request { session: 2, verb: Verb::Select { node: 9, label: "zip".into() } },
+            Request { session: 3, verb: Verb::Close },
+        ] {
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn reply_round_trips() {
+        for reply in [
+            Reply::Opened { session: 12, root: 1 },
+            Reply::Node { handle: 42 },
+            Reply::End,
+            Reply::Label { label: "med_home".into() },
+            Reply::DegradedLabel { label: String::new(), sources: vec!["homesSrc".into()] },
+            Reply::DegradedLabel { label: "x".into(), sources: vec![] },
+            Reply::Closed,
+            Reply::Error { code: ErrorCode::UnknownSession, msg: "gone".into() },
+        ] {
+            assert_eq!(Reply::decode(&reply.encode()).unwrap(), reply);
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_and_tag_are_typed() {
+        let mut bad = Request { session: 1, verb: Verb::Close }.encode();
+        bad[8] = 0x7F;
+        assert_eq!(Request::decode(&bad), Err(FrameError::UnknownOpcode(0x7F)));
+        let mut bad = Reply::End.encode();
+        bad[0] = 0x00;
+        assert_eq!(Reply::decode(&bad), Err(FrameError::UnknownTag(0x00)));
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_are_typed() {
+        let enc = Request { session: 1, verb: Verb::Down { node: 5 } }.encode();
+        assert!(matches!(
+            Request::decode(&enc[..enc.len() - 1]),
+            Err(FrameError::Truncated { .. })
+        ));
+        let mut padded = enc.clone();
+        padded.push(0);
+        assert_eq!(Request::decode(&padded), Err(FrameError::TrailingBytes { extra: 1 }));
+    }
+
+    #[test]
+    fn bad_utf8_is_typed() {
+        let mut enc = Request { session: 0, verb: Verb::Open { template: "ab".into() } }.encode();
+        let n = enc.len();
+        enc[n - 1] = 0xFF; // clobber a UTF-8 byte inside the string
+        enc[n - 2] = 0xFE;
+        assert_eq!(Request::decode(&enc), Err(FrameError::BadUtf8));
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_before_allocation() {
+        let mut bytes: &[u8] = &[0xFF, 0xFF, 0xFF, 0xFF, 0, 0];
+        assert!(matches!(read_frame(&mut bytes), Err(FrameError::Oversized { .. })));
+    }
+
+    #[test]
+    fn truncated_length_prefix_is_typed() {
+        let mut bytes: &[u8] = &[0x01, 0x02];
+        assert!(matches!(read_frame(&mut bytes), Err(FrameError::Truncated { .. })));
+        let mut empty: &[u8] = &[];
+        assert_eq!(read_frame(&mut empty), Err(FrameError::Closed));
+    }
+
+    #[test]
+    fn frames_round_trip_through_a_buffer() {
+        let req = Request { session: 5, verb: Verb::Select { node: 2, label: "home".into() } };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &req.encode()).unwrap();
+        let payload = read_frame(&mut wire.as_slice()).unwrap();
+        assert_eq!(Request::decode(&payload).unwrap(), req);
+    }
+}

@@ -1,0 +1,141 @@
+//! An in-memory duplex byte pipe: two connected [`PipeEnd`]s, each
+//! implementing `Read + Write`, with blocking reads and EOF on drop.
+//!
+//! The server's connection loop is written against `Read + Write`, so
+//! the differential and churn tests can exercise the *entire* wire path
+//! — framing, session table, teardown — deterministically in-process,
+//! with no ports, no timeouts, no flaky sockets. TCP is just a different
+//! transport under the same loop.
+
+use mix_buffer::{lock_unpoisoned, wait_unpoisoned};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::sync::{Arc, Condvar, Mutex};
+
+struct Channel {
+    buf: Mutex<ChannelBuf>,
+    cv: Condvar,
+}
+
+struct ChannelBuf {
+    data: VecDeque<u8>,
+    closed: bool,
+}
+
+impl Channel {
+    fn new() -> Arc<Self> {
+        Arc::new(Channel {
+            buf: Mutex::new(ChannelBuf { data: VecDeque::new(), closed: false }),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn write(&self, bytes: &[u8]) -> std::io::Result<usize> {
+        let mut buf = lock_unpoisoned(&self.buf);
+        if buf.closed {
+            return Err(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "pipe closed"));
+        }
+        buf.data.extend(bytes);
+        self.cv.notify_all();
+        Ok(bytes.len())
+    }
+
+    fn read(&self, out: &mut [u8]) -> std::io::Result<usize> {
+        if out.is_empty() {
+            return Ok(0);
+        }
+        let mut buf = lock_unpoisoned(&self.buf);
+        loop {
+            if !buf.data.is_empty() {
+                let n = out.len().min(buf.data.len());
+                for slot in out.iter_mut().take(n) {
+                    *slot = buf.data.pop_front().expect("n bounded by len");
+                }
+                return Ok(n);
+            }
+            if buf.closed {
+                return Ok(0); // EOF
+            }
+            buf = wait_unpoisoned(&self.cv, buf);
+        }
+    }
+
+    fn close(&self) {
+        lock_unpoisoned(&self.buf).closed = true;
+        self.cv.notify_all();
+    }
+}
+
+/// One end of an in-memory duplex pipe (see [`pipe`]).
+pub struct PipeEnd {
+    /// Bytes this end reads (the peer writes here).
+    rx: Arc<Channel>,
+    /// Bytes this end writes (the peer reads here).
+    tx: Arc<Channel>,
+}
+
+impl Read for PipeEnd {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        self.rx.read(out)
+    }
+}
+
+impl Write for PipeEnd {
+    fn write(&mut self, bytes: &[u8]) -> std::io::Result<usize> {
+        self.tx.write(bytes)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for PipeEnd {
+    fn drop(&mut self) {
+        // EOF the peer's reads and fail its writes: dropping one end is
+        // exactly a client disconnect.
+        self.tx.close();
+        self.rx.close();
+    }
+}
+
+/// A connected pair of duplex pipe ends. Bytes written to one end are
+/// read from the other; dropping an end EOFs the peer.
+pub fn pipe() -> (PipeEnd, PipeEnd) {
+    let a_to_b = Channel::new();
+    let b_to_a = Channel::new();
+    (
+        PipeEnd { rx: Arc::clone(&b_to_a), tx: Arc::clone(&a_to_b) },
+        PipeEnd { rx: a_to_b, tx: b_to_a },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_cross_and_eof_propagates() {
+        let (mut a, mut b) = pipe();
+        a.write_all(b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+        drop(a);
+        assert_eq!(b.read(&mut buf).unwrap(), 0, "drop is EOF");
+        assert!(b.write_all(b"x").is_err(), "write to a dropped peer fails");
+    }
+
+    #[test]
+    fn blocking_read_wakes_on_write() {
+        let (mut a, mut b) = pipe();
+        let t = std::thread::spawn(move || {
+            let mut buf = [0u8; 3];
+            b.read_exact(&mut buf).unwrap();
+            buf
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        a.write_all(b"abc").unwrap();
+        assert_eq!(&t.join().unwrap(), b"abc");
+    }
+}

@@ -1,0 +1,468 @@
+//! The session-multiplexed VXD server.
+//!
+//! One [`VxdServer`] exports a set of named query *templates*. A client
+//! opens a session over a template and navigates the resulting virtual
+//! document with the four DOM-VXD verbs; every request frame names its
+//! session, so one connection interleaves any number of sessions
+//! (session multiplexing) and a connection is *not* a session.
+//!
+//! # Sharing contract
+//!
+//! Every session owns its navigation state — an [`Engine`] over fresh
+//! per-session [`BufferNavigator`]s (open trees, pending batch caches)
+//! and a private handle table — while all sessions share the pool's
+//! wrapper connections, **one** [`FragmentCache`], and **one**
+//! [`MetricsRegistry`] (see [`SessionSources`]). A warm template answers
+//! later sessions from the shared cache with zero wire exchanges.
+//!
+//! # Fault containment
+//!
+//! Every navigation runs under `catch_unwind` while holding only that
+//! session's lock: a panicking session is force-closed and answered with
+//! a typed [`ErrorCode::Internal`] — its neighbours never notice.
+//! Session locks are poison-recovering, so even the panicked session's
+//! state can be torn down cleanly. Session teardown releases everything
+//! the session owned: its engine (hence its buffers and their pending
+//! caches) and its per-session metric series
+//! (`mix_serve_session_commands_total{session="N"}` is unregistered so
+//! the registry cannot grow without bound under churn).
+//!
+//! [`BufferNavigator`]: mix_buffer::BufferNavigator
+
+use crate::codec::{ErrorCode, FrameStream, Reply, Request, Verb};
+use crate::pool::SessionSources;
+use mix_algebra::{translate, Plan};
+use mix_buffer::{lock_unpoisoned, Counter, FragmentCache, Gauge, Histogram, MetricsRegistry};
+use mix_core::{Engine, EngineConfig, VNode};
+use mix_nav::{LabelPred, Navigator};
+use mix_xmas::parse_query;
+use std::collections::{HashMap, HashSet};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Default ceiling on concurrently open sessions.
+pub const DEFAULT_MAX_SESSIONS: usize = 65_536;
+
+struct Template {
+    plan: Plan,
+    /// Fault injection: sessions over this template panic on `Fetch`
+    /// (the instrument proving a panicked session cannot take the
+    /// server down — the serving twin of `FaultyWrapper`).
+    panic_on_fetch: bool,
+}
+
+struct Session {
+    engine: Engine,
+    /// Wire handle → engine node. Private per session: handles are
+    /// meaningless across sessions, exactly like the paper's node ids
+    /// are private to one mediator conversation.
+    handles: HashMap<u64, VNode>,
+    next_handle: u64,
+    /// `mix_serve_session_commands_total{session="N"}` — unregistered at
+    /// close.
+    commands: Counter,
+    panic_on_fetch: bool,
+}
+
+impl Session {
+    fn intern(&mut self, node: VNode) -> u64 {
+        let h = self.next_handle;
+        self.next_handle += 1;
+        self.handles.insert(h, node);
+        h
+    }
+}
+
+struct ServerShared {
+    templates: HashMap<String, Template>,
+    pool: SessionSources,
+    sessions: Mutex<HashMap<u64, Arc<Mutex<Session>>>>,
+    next_session: AtomicU64,
+    max_sessions: usize,
+    config: EngineConfig,
+    metrics: MetricsRegistry,
+    /// `mix_serve_sessions` — sessions open right now.
+    sessions_gauge: Gauge,
+    opened_total: Counter,
+    closed_total: Counter,
+    panics_total: Counter,
+    degraded_total: Counter,
+    /// `mix_serve_nav_latency_ns` — one observation per navigation verb.
+    nav_latency: Histogram,
+}
+
+/// A session-multiplexed VXD server (see module docs). Cheap to clone;
+/// clones share the session table, the pool, and all metrics.
+#[derive(Clone)]
+pub struct VxdServer {
+    shared: Arc<ServerShared>,
+}
+
+impl VxdServer {
+    /// A server over a shared source pool, with no templates yet.
+    pub fn new(pool: SessionSources) -> Self {
+        let metrics = pool.metrics();
+        let sessions_gauge =
+            metrics.gauge("mix_serve_sessions", "sessions open right now", &[]);
+        let opened_total =
+            metrics.counter("mix_serve_sessions_opened_total", "sessions ever opened", &[]);
+        let closed_total =
+            metrics.counter("mix_serve_sessions_closed_total", "sessions ever closed", &[]);
+        let panics_total = metrics.counter(
+            "mix_serve_session_panics_total",
+            "sessions force-closed after panicking",
+            &[],
+        );
+        let degraded_total = metrics.counter(
+            "mix_serve_degraded_replies_total",
+            "DegradedLabel replies served",
+            &[],
+        );
+        let nav_latency = metrics.histogram(
+            "mix_serve_nav_latency_ns",
+            "server-side latency of one navigation verb",
+            &[],
+        );
+        VxdServer {
+            shared: Arc::new(ServerShared {
+                templates: HashMap::new(),
+                pool,
+                sessions: Mutex::new(HashMap::new()),
+                next_session: AtomicU64::new(0),
+                max_sessions: DEFAULT_MAX_SESSIONS,
+                config: EngineConfig::default(),
+                metrics,
+                sessions_gauge,
+                opened_total,
+                closed_total,
+                panics_total,
+                degraded_total,
+                nav_latency,
+            }),
+        }
+    }
+
+    fn shared_mut(&mut self) -> &mut ServerShared {
+        Arc::get_mut(&mut self.shared).expect("configure the server before cloning/serving")
+    }
+
+    /// Export a XMAS query under `name`. Fails on malformed queries.
+    pub fn add_template(&mut self, name: impl Into<String>, query: &str) -> Result<&mut Self, String> {
+        let plan = translate(&parse_query(query).map_err(|e| e.to_string())?)
+            .map_err(|e| e.to_string())?;
+        self.add_template_plan(name, plan);
+        Ok(self)
+    }
+
+    /// Export a pre-translated plan under `name`.
+    pub fn add_template_plan(&mut self, name: impl Into<String>, plan: Plan) -> &mut Self {
+        self.shared_mut()
+            .templates
+            .insert(name.into(), Template { plan, panic_on_fetch: false });
+        self
+    }
+
+    /// Export a query whose sessions panic on `Fetch` — deliberate fault
+    /// injection for proving panic isolation under load.
+    pub fn add_panic_template(
+        &mut self,
+        name: impl Into<String>,
+        query: &str,
+    ) -> Result<&mut Self, String> {
+        let plan = translate(&parse_query(query).map_err(|e| e.to_string())?)
+            .map_err(|e| e.to_string())?;
+        self.shared_mut()
+            .templates
+            .insert(name.into(), Template { plan, panic_on_fetch: true });
+        Ok(self)
+    }
+
+    /// Cap concurrently open sessions (default [`DEFAULT_MAX_SESSIONS`]).
+    pub fn with_max_sessions(mut self, max: usize) -> Self {
+        self.shared_mut().max_sessions = max.max(1);
+        self
+    }
+
+    /// Engine configuration for every session's engine.
+    pub fn with_engine_config(mut self, config: EngineConfig) -> Self {
+        self.shared_mut().config = config;
+        self
+    }
+
+    /// Sessions open right now.
+    pub fn session_count(&self) -> usize {
+        lock_unpoisoned(&self.shared.sessions).len()
+    }
+
+    /// The shared metrics registry.
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.shared.metrics.clone()
+    }
+
+    /// The shared fragment cache.
+    pub fn cache(&self) -> FragmentCache {
+        self.shared.pool.cache()
+    }
+
+    /// Handle one request frame and produce its reply. This is the whole
+    /// server semantics; connection loops and tests drive this directly.
+    pub fn handle(&self, req: &Request) -> Reply {
+        match &req.verb {
+            Verb::Open { template } => self.open(template),
+            Verb::Close => {
+                if self.close_session(req.session) {
+                    Reply::Closed
+                } else {
+                    unknown_session(req.session)
+                }
+            }
+            verb => self.navigate(req.session, verb),
+        }
+    }
+
+    fn open(&self, template: &str) -> Reply {
+        let sh = &*self.shared;
+        let Some(tpl) = sh.templates.get(template) else {
+            return Reply::Error {
+                code: ErrorCode::UnknownTemplate,
+                msg: format!("no template `{template}`"),
+            };
+        };
+        if self.session_count() >= sh.max_sessions {
+            return Reply::Error {
+                code: ErrorCode::SessionLimit,
+                msg: format!("at the {} concurrent-session limit", sh.max_sessions),
+            };
+        }
+        let registry = sh.pool.registry_for_session();
+        let mut engine = match Engine::with_config(tpl.plan.clone(), &registry, sh.config) {
+            Ok(e) => e,
+            Err(e) => {
+                return Reply::Error { code: ErrorCode::Internal, msg: e.to_string() };
+            }
+        };
+        let id = sh.next_session.fetch_add(1, Ordering::Relaxed) + 1;
+        let commands = sh.metrics.counter(
+            "mix_serve_session_commands_total",
+            "navigation verbs served per session",
+            &[("session", &id.to_string())],
+        );
+        let root = engine.root();
+        let mut session = Session {
+            engine,
+            handles: HashMap::new(),
+            next_handle: 1,
+            commands,
+            panic_on_fetch: tpl.panic_on_fetch,
+        };
+        let root_handle = session.intern(root);
+        lock_unpoisoned(&sh.sessions).insert(id, Arc::new(Mutex::new(session)));
+        sh.sessions_gauge.add(1);
+        sh.opened_total.inc();
+        Reply::Opened { session: id, root: root_handle }
+    }
+
+    fn navigate(&self, session_id: u64, verb: &Verb) -> Reply {
+        let sh = &*self.shared;
+        let Some(session) = lock_unpoisoned(&sh.sessions).get(&session_id).cloned() else {
+            return unknown_session(session_id);
+        };
+        let start = Instant::now();
+        // The panic boundary: whatever a session's engine does, only this
+        // session is lost. The lock guard lives inside, so a panicked
+        // session's mutex is merely poisoned (and poison is recovered by
+        // the teardown path), never held forever.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut s = lock_unpoisoned(&session);
+            s.commands.inc();
+            let node = |s: &Session, h: u64| s.handles.get(&h).cloned();
+            match verb {
+                Verb::Down { node: h } => match node(&s, *h) {
+                    None => unknown_handle(*h),
+                    Some(p) => match s.engine.down(&p) {
+                        Some(n) => Reply::Node { handle: s.intern(n) },
+                        None => Reply::End,
+                    },
+                },
+                Verb::Right { node: h } => match node(&s, *h) {
+                    None => unknown_handle(*h),
+                    Some(p) => match s.engine.right(&p) {
+                        Some(n) => Reply::Node { handle: s.intern(n) },
+                        None => Reply::End,
+                    },
+                },
+                Verb::Fetch { node: h } => match node(&s, *h) {
+                    None => unknown_handle(*h),
+                    Some(p) => {
+                        if s.panic_on_fetch {
+                            panic!("injected session panic (panic template)");
+                        }
+                        // The checked fetch API is the wire contract: a
+                        // degraded answer crosses as DegradedLabel, never
+                        // as a silently-empty Label.
+                        match s.engine.fetch_checked(&p) {
+                            Ok(label) => Reply::Label { label: label.to_string() },
+                            Err(d) => Reply::DegradedLabel {
+                                label: d.label.to_string(),
+                                sources: d.sources,
+                            },
+                        }
+                    }
+                },
+                Verb::Select { node: h, label } => match node(&s, *h) {
+                    None => unknown_handle(*h),
+                    Some(p) => match s.engine.select(&p, &LabelPred::equals(label.as_str())) {
+                        Some(n) => Reply::Node { handle: s.intern(n) },
+                        None => Reply::End,
+                    },
+                },
+                Verb::Open { .. } | Verb::Close => unreachable!("handled in handle()"),
+            }
+        }));
+        sh.nav_latency.observe(start.elapsed().as_nanos() as u64);
+        match outcome {
+            Ok(reply) => {
+                if matches!(reply, Reply::DegradedLabel { .. }) {
+                    sh.degraded_total.inc();
+                }
+                reply
+            }
+            Err(_) => {
+                sh.panics_total.inc();
+                self.close_session(session_id);
+                Reply::Error {
+                    code: ErrorCode::Internal,
+                    msg: format!("session {session_id} panicked and was closed"),
+                }
+            }
+        }
+    }
+
+    /// Tear a session down: drop its engine (buffers, open trees, pending
+    /// batch caches) and unregister its per-session metric series.
+    /// Returns whether the session existed.
+    fn close_session(&self, id: u64) -> bool {
+        let sh = &*self.shared;
+        let Some(session) = lock_unpoisoned(&sh.sessions).remove(&id) else {
+            return false;
+        };
+        drop(session);
+        sh.metrics.unregister_labeled("session", &id.to_string());
+        sh.sessions_gauge.sub_saturating(1);
+        sh.closed_total.inc();
+        true
+    }
+
+    /// Serve one connection until the peer disconnects. Sessions opened
+    /// on this connection and still open at disconnect are force-closed —
+    /// a vanished client must not leak sessions.
+    pub fn serve_connection<S: Read + Write>(&self, stream: S) {
+        let mut frames = FrameStream::new(stream);
+        let mut owned: HashSet<u64> = HashSet::new();
+        loop {
+            let reply = match frames.recv_request() {
+                Err(_) => break, // disconnect (clean or not)
+                Ok(Err(parse_err)) => Reply::Error {
+                    code: ErrorCode::BadFrame,
+                    msg: parse_err.to_string(),
+                },
+                Ok(Ok(req)) => {
+                    let reply = self.handle(&req);
+                    match &reply {
+                        Reply::Opened { session, .. } => {
+                            owned.insert(*session);
+                        }
+                        Reply::Closed => {
+                            owned.remove(&req.session);
+                        }
+                        // A panicked session was already force-closed.
+                        Reply::Error { code: ErrorCode::Internal, .. } => {
+                            owned.remove(&req.session);
+                        }
+                        _ => {}
+                    }
+                    reply
+                }
+            };
+            if frames.send_reply(&reply).is_err() {
+                break;
+            }
+        }
+        for id in owned {
+            self.close_session(id);
+        }
+    }
+
+    /// Serve TCP connections on `addr` until the handle is shut down.
+    /// Each connection gets its own thread; sessions are multiplexed
+    /// *within* connections, so thousands of sessions need only as many
+    /// threads as there are connections.
+    pub fn serve_tcp(&self, addr: &str) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let server = self.clone();
+        let stop2 = Arc::clone(&stop);
+        let accept = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop2.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let server = server.clone();
+                std::thread::spawn(move || server.serve_connection(stream));
+            }
+        });
+        Ok(ServerHandle { local_addr, stop, accept: Some(accept) })
+    }
+}
+
+fn unknown_session(id: u64) -> Reply {
+    Reply::Error { code: ErrorCode::UnknownSession, msg: format!("no session {id}") }
+}
+
+fn unknown_handle(h: u64) -> Reply {
+    Reply::Error { code: ErrorCode::UnknownHandle, msg: format!("no node handle {h}") }
+}
+
+/// A running TCP server; shut it down explicitly or on drop.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (use `:0` in `serve_tcp` for an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop accepting and join the accept thread. Established
+    /// connections drain when their clients disconnect.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.stop_accepting();
+        }
+    }
+}

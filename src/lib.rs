@@ -61,12 +61,14 @@
 //! | [`buffer`] | `mix-buffer` | open trees, holes, LXP, the generic buffer component |
 //! | [`relational`] | `mix-relational` | in-memory RDBMS substrate |
 //! | [`wrappers`] | `mix-wrappers` | relational/web/OODB wrappers + workload generators |
+//! | [`serve`] | `mix-serve` | session-multiplexed VXD server/client, DOM-VXD frame codec |
 
 pub use mix_algebra as algebra;
 pub use mix_buffer as buffer;
 pub use mix_core as core;
 pub use mix_nav as nav;
 pub use mix_relational as relational;
+pub use mix_serve as serve;
 pub use mix_wrappers as wrappers;
 pub use mix_xmas as xmas;
 pub use mix_xml as xml;
@@ -86,6 +88,7 @@ pub mod prelude {
         TraceSink, VirtualDocument, VirtualElement,
     };
     pub use mix_nav::{explore::materialize, LabelPred, Navigator};
+    pub use mix_serve::{SessionSources, VxdClient, VxdServer};
     pub use mix_xmas::{parse_path, parse_query};
     pub use mix_xml::{term::parse_term, Document, Label, Tree};
 }
