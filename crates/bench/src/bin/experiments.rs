@@ -89,6 +89,9 @@ fn main() {
     if want("e19") {
         e19_served_sessions(threads_override);
     }
+    if want("e20") {
+        e20_observability();
+    }
 }
 
 /// Simulated cost units one LXP round trip costs (the latency term the
@@ -1249,22 +1252,298 @@ fn e19_served_sessions(threads_override: Option<usize>) {
     .write("BENCH_E19.json");
 
     fn nav_histogram(server: &VxdServer) -> mix_buffer::HistogramSnapshot {
-        server
-            .metrics()
-            .snapshot()
-            .samples
-            .into_iter()
-            .find(|s| s.name == "mix_serve_nav_latency_ns")
-            .and_then(|s| match s.value {
-                SampleValue::Histogram(h) => Some(h),
-                _ => None,
-            })
-            .expect("the server registers its latency histogram")
+        // The latency family is split by verb label; fold every series
+        // back into one distribution for the connection-level percentiles.
+        let mut agg: Option<mix_buffer::HistogramSnapshot> = None;
+        for s in server.metrics().snapshot().samples {
+            if s.name != "mix_serve_nav_latency_ns" {
+                continue;
+            }
+            if let SampleValue::Histogram(h) = s.value {
+                match &mut agg {
+                    Some(a) => a.merge(&h),
+                    None => agg = Some(h),
+                }
+            }
+        }
+        agg.expect("the server registers its per-verb latency histograms")
     }
 
     fn nav_histogram_count(server: &VxdServer) -> u64 {
         nav_histogram(server).count
     }
+}
+
+/// E20 — the wire-spanning flight recorder under injected faults: traced
+/// sessions run E19's zipf-skewed load against sources wrapped in fault
+/// injectors, and at every fault rate (a) the merged client+server trace
+/// reconciles *exactly* with the wire (`#wire-request == #wire-span ==
+/// frames sent`, per session), (b) every degraded served answer is
+/// pinpointed — its serving span is wire-linked in the merged cascade and
+/// the cascade records the source-level degradation that caused it — and
+/// (c) the live scrape plane's `/metrics` round-trips through the strict
+/// in-tree PromText parser over real HTTP.
+fn e20_observability() {
+    banner("E20", "flight recorder + scrape plane under injected faults");
+    use mix_buffer::{
+        FaultConfig, FaultyWrapper, FillPolicy, FragmentCache, MetricsRegistry, TreeWrapper,
+    };
+    use mix_core::{PromText, TraceLog, TraceSink};
+    use mix_serve::{pipe, FetchOutcome, SessionSources, VxdClient, VxdServer};
+    use std::io::{Read, Write};
+    use std::sync::Arc;
+
+    let env_num = |key: &str, default: usize| {
+        std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    };
+    let n_sessions = env_num("MIX_E20_SESSIONS", 48).max(1);
+    let navs_per_session = env_num("MIX_E20_NAVS", 12).max(1);
+
+    let templates: Vec<(&str, String)> = vec![
+        ("homes", "CONSTRUCT <hs> $H {$H} </hs> {} WHERE homesSrc homes.home $H".into()),
+        ("zips", "CONSTRUCT <zips> $Z {$Z} </zips> {} WHERE homesSrc homes.home.zip._ $Z".into()),
+        ("items", "CONSTRUCT <all> $X {$X} </all> {} WHERE src items._ $X".into()),
+    ];
+    // E19's zipf skew over the template ranks, and the same SplitMix64
+    // walk driver — deterministic across runs.
+    let zipf_cdf: Vec<f64> = {
+        let s = 1.1_f64;
+        let weights: Vec<f64> =
+            (0..templates.len()).map(|k| 1.0 / ((k + 1) as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut cum = 0.0;
+        weights.iter().map(|w| { cum += w / total; cum }).collect()
+    };
+    let mix64 = |mut z: u64| -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let pick_template = |seed: u64| -> usize {
+        let u = mix64(seed) as f64 / u64::MAX as f64;
+        zipf_cdf.iter().position(|&c| u <= c).unwrap_or(templates.len() - 1)
+    };
+
+    // One curl-shaped GET against the scrape plane.
+    let http_get = |addr: std::net::SocketAddr, path: &str| -> (u16, String) {
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: e20\r\nConnection: close\r\n\r\n").unwrap();
+        stream.flush().unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let status = raw.split_whitespace().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+        let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+        (status, body)
+    };
+
+    let rates = [0.0_f64, 0.3, 0.65, 0.8];
+    let t = TablePrinter::new(
+        &["fault rate", "sessions", "frames", "reconciled", "degraded", "pinpointed", "in-span", "healthz"],
+        &[10, 9, 8, 10, 9, 10, 8, 8],
+    );
+    let mut series = Vec::new();
+    let mut all_reconciled = true;
+    let mut all_pinpointed = true;
+    let mut scrapes_parse = true;
+    let mut degraded_at_zero = 0u64;
+    let mut degraded_at_max = 0u64;
+
+    for (ri, &rate) in rates.iter().enumerate() {
+        // Fresh pool per rate: every source behind a transient-fault
+        // injector seeded per (source, rate) — the run is reproducible.
+        let mut pool = SessionSources::new(FragmentCache::new(), MetricsRegistry::enabled());
+        for (si, (name, tree)) in [
+            ("homesSrc", gen::homes_doc(7, 24, 6)),
+            ("src", gen::filter_doc(48, 4)),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut inner = TreeWrapper::new(FillPolicy::NodeAtATime);
+            inner.add(name, Arc::new(mix_xml::Document::from_tree(&tree)));
+            let config = FaultConfig::transient((si as u64 + 1) * 101 + ri as u64, rate);
+            pool.add_wrapper(name, FaultyWrapper::new(inner, config));
+        }
+        let mut server = VxdServer::new(pool);
+        for (name, query) in &templates {
+            server.add_template(*name, query).expect("template query parses");
+        }
+        // Threshold 0: the slow log records every navigation, each entry
+        // carrying the span ids `why` explains.
+        server.set_slow_nav_threshold(0);
+
+        let mut frames_total = 0u64;
+        let mut degraded_total = 0u64;
+        let mut pinpointed = 0u64;
+        let mut in_span = 0u64; // degradations recorded inside the serving span itself
+        let mut open_failures = 0u64;
+        let mut reconciled = true;
+
+        for s in 0..n_sessions {
+            // One traced client per session, so each merge is a clean
+            // client↔server pair.
+            let (client_end, server_end) = pipe();
+            let srv = server.clone();
+            let conn = std::thread::spawn(move || srv.serve_connection(server_end));
+            let mut client = VxdClient::new(client_end).with_trace(TraceSink::enabled(65_536));
+            let sink = client.trace_sink();
+            let tpl = pick_template((ri as u64) << 32 | s as u64);
+            let open = match client.open(templates[tpl].0) {
+                Ok(open) => open,
+                Err(_) => {
+                    // The injector killed the engine's warm-up — a typed
+                    // error, not a measurement.
+                    open_failures += 1;
+                    drop(client);
+                    conn.join().unwrap();
+                    continue;
+                }
+            };
+            let mut degraded_spans: Vec<u64> = Vec::new();
+            let mut cur = open.root;
+            for step in 0..navs_per_session {
+                let choice = mix64((ri as u64) << 48 | (s as u64) << 16 | step as u64) % 3;
+                let next = match choice {
+                    0 => client.down(open.session, cur).unwrap(),
+                    1 => client.right(open.session, cur).unwrap(),
+                    _ => {
+                        match client.fetch_checked(open.session, cur).unwrap() {
+                            FetchOutcome::Degraded { .. } => {
+                                degraded_spans.push(sink.current_span());
+                            }
+                            FetchOutcome::Complete(_) => {}
+                        }
+                        None
+                    }
+                };
+                cur = next.unwrap_or(open.root);
+            }
+            client.close(open.session).unwrap();
+            drop(client);
+            conn.join().unwrap();
+
+            // The merge: the server retains the closed session's ring;
+            // stitch it onto the client's and reconcile with the wire.
+            let server_log =
+                server.session_trace(open.session).expect("closed traced ring retained");
+            let client_log = TraceLog::from_sink(&sink);
+            let frames = client_log.spans().len() as u64; // open + navs + close
+            let merged = TraceLog::merge_remote(&client_log, &server_log);
+            let rollup = merged.rollup();
+            reconciled &= rollup.wire_requests == frames && rollup.wire_spans == frames;
+            frames_total += frames;
+
+            let rows = merged.span_stats();
+            for span in &degraded_spans {
+                let linked = rows
+                    .iter()
+                    .any(|row| row.span == *span && row.serves_client_span == Some(*span));
+                let direct = rows
+                    .iter()
+                    .any(|row| row.span == *span && row.degradations >= 1);
+                // Pinpointed: the serving span is wire-linked in the
+                // merged cascade AND the cascade records the degradation
+                // that caused the answer (in the serving span itself when
+                // the fill failed under this fetch, earlier in the
+                // session's cascade when the region was already marked).
+                if linked && rollup.degradations >= 1 {
+                    pinpointed += 1;
+                }
+                if direct {
+                    in_span += 1;
+                }
+            }
+            degraded_total += degraded_spans.len() as u64;
+        }
+
+        // The live scrape, over real HTTP, while the fault counters are
+        // hot: strict parse or the experiment fails.
+        let http = server.serve_http("127.0.0.1:0").unwrap();
+        let (m_status, m_body) = http_get(http.local_addr(), "/metrics");
+        let parse_ok = m_status == 200 && PromText::parse(&m_body).is_ok();
+        let (h_status, _) = http_get(http.local_addr(), "/healthz");
+        let (s_status, s_body) = http_get(http.local_addr(), "/slow");
+        let slow_entries = s_body.lines().count().saturating_sub(1) as u64;
+        http.shutdown();
+
+        all_reconciled &= reconciled;
+        all_pinpointed &= pinpointed == degraded_total;
+        scrapes_parse &= parse_ok && s_status == 200;
+        if rate == 0.0 {
+            degraded_at_zero = degraded_total;
+        }
+        if ri == rates.len() - 1 {
+            degraded_at_max = degraded_total;
+        }
+
+        t.row(&[
+            format!("{rate:.2}"),
+            format!("{}", n_sessions as u64 - open_failures),
+            format!("{frames_total}"),
+            format!("{reconciled}"),
+            format!("{degraded_total}"),
+            format!("{pinpointed}"),
+            format!("{in_span}"),
+            format!("{h_status}"),
+        ]);
+        series.push(Json::Obj(vec![
+            ("fault_rate".to_string(), Json::Num(rate)),
+            ("sessions".to_string(), Json::Int(n_sessions as u64 - open_failures)),
+            ("open_failures".to_string(), Json::Int(open_failures)),
+            ("wire_frames".to_string(), Json::Int(frames_total)),
+            ("wire_reconciled".to_string(), Json::Bool(reconciled)),
+            ("degraded_answers".to_string(), Json::Int(degraded_total)),
+            ("pinpointed".to_string(), Json::Int(pinpointed)),
+            ("degraded_in_serving_span".to_string(), Json::Int(in_span)),
+            ("slow_log_entries".to_string(), Json::Int(slow_entries)),
+            ("metrics_scrape_parses".to_string(), Json::Bool(parse_ok)),
+            ("healthz_status".to_string(), Json::Int(h_status as u64)),
+        ]));
+    }
+
+    println!(
+        "shape check: merged client+server traces reconcile with the wire at every fault \
+         rate ({all_reconciled}); every degraded answer pinpointed to a wire-linked merged \
+         span ({all_pinpointed}); /metrics parses strictly over real HTTP ({scrapes_parse})."
+    );
+    if std::env::var("MIX_BENCH_ENFORCE").as_deref() == Ok("1") {
+        assert!(all_reconciled, "MIX_BENCH_ENFORCE: merged rollup must reconcile with the wire");
+        assert!(all_pinpointed, "MIX_BENCH_ENFORCE: every degraded answer must be pinpointed");
+        assert!(scrapes_parse, "MIX_BENCH_ENFORCE: /metrics must parse under strict PromText");
+        assert_eq!(
+            degraded_at_zero, 0,
+            "MIX_BENCH_ENFORCE: no degraded answers under healthy sources"
+        );
+        assert!(
+            degraded_at_max > 0,
+            "MIX_BENCH_ENFORCE: the top fault rate must actually degrade answers"
+        );
+        println!(
+            "MIX_BENCH_ENFORCE: wire reconciled, {degraded_at_max} degraded answers all \
+             pinpointed at the top rate, strict scrape — pass"
+        );
+    }
+
+    Json::Obj(vec![
+        ("experiment".to_string(), Json::str("E20")),
+        (
+            "workload".to_string(),
+            Json::str(format!(
+                "{n_sessions} traced sessions x {navs_per_session} navigations, zipf-skewed \
+                 over {} templates, transient fault injection swept over {:?}",
+                templates.len(),
+                rates
+            )),
+        ),
+        ("sessions".to_string(), Json::Int(n_sessions as u64)),
+        ("navs_per_session".to_string(), Json::Int(navs_per_session as u64)),
+        ("series".to_string(), Json::Arr(series)),
+        ("wire_reconciled".to_string(), Json::Bool(all_reconciled)),
+        ("all_degraded_pinpointed".to_string(), Json::Bool(all_pinpointed)),
+        ("scrape_parses_strictly".to_string(), Json::Bool(scrapes_parse)),
+    ])
+    .write("BENCH_E20.json");
 }
 
 /// E1 — Figures 3 & 4: parse, translate, evaluate, check lazy ≡ eager.

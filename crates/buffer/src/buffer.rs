@@ -430,6 +430,16 @@ impl<W: LxpWrapper> BufferNavigator<W> {
         self.metrics.registry.clone()
     }
 
+    /// Record fault/retry health into `handle` instead of a private cell.
+    /// Hand the same handle to every session navigator over one physical
+    /// source and the pool-level health aggregates across sessions — how
+    /// the serve layer's `/healthz` sees one row per source, not one per
+    /// session.
+    pub fn with_health(mut self, handle: SourceHealth) -> Self {
+        self.health = handle;
+        self
+    }
+
     /// Override the per-navigation fill budget (default [`FILL_FUEL`]).
     /// Tests use a tiny budget to assert that a wrapper which keeps the
     /// buffer busy without progress fails loudly instead of hanging.

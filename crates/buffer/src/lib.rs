@@ -101,6 +101,6 @@ pub use pool::{configured_threads, lock_unpoisoned, run_parallel, wait_unpoisone
 pub use prefetch::Prefetcher;
 pub use retry::{RetryError, RetryPolicy};
 pub use slow::SlowWrapper;
-pub use trace::{TraceEvent, TraceKind, TraceSink};
+pub use trace::{TraceEvent, TraceKind, TraceSink, DEFAULT_TRACE_CAPACITY};
 pub use treewrap::{FillPolicy, TreeWrapper};
 pub use worker::{ConcurrentPrefetcher, DEFAULT_PREFETCH_CAP};

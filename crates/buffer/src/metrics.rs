@@ -216,6 +216,27 @@ impl Histogram {
             max: self.max(),
         }
     }
+
+    /// The upper bound of the bucket containing quantile `q` (0 when
+    /// empty). Shorthand for `snapshot().quantile(q)`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+
+    /// Median bucket bound.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile bucket bound.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile bucket bound.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
 }
 
 /// A point-in-time copy of a [`Histogram`].
@@ -255,6 +276,55 @@ impl HistogramSnapshot {
     /// `p50/p95/p99/max` in one call (the explain-analyze summary line).
     pub fn summary(&self) -> (u64, u64, u64, u64) {
         (self.quantile(0.50), self.quantile(0.95), self.quantile(0.99), self.max)
+    }
+
+    /// Median bucket bound.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile bucket bound.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile bucket bound.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Fold `other` into this snapshot: per-bucket counts add (the shared
+    /// log₂ bounds make snapshots from any two [`Histogram`]s mergeable),
+    /// `count`/`sum` add, `max` takes the larger. This is how verb-split
+    /// latency series aggregate back into one distribution.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        // Cumulative → per-bucket deltas, keyed by bound.
+        let deltas = |snap: &HistogramSnapshot| {
+            let mut prev = 0u64;
+            snap.buckets
+                .iter()
+                .map(|&(bound, cum)| {
+                    let d = cum - prev;
+                    prev = cum;
+                    (bound, d)
+                })
+                .collect::<Vec<_>>()
+        };
+        let mut merged: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+        for (bound, d) in deltas(self).into_iter().chain(deltas(other)) {
+            *merged.entry(bound).or_insert(0) += d;
+        }
+        let mut cumulative = 0u64;
+        self.buckets = merged
+            .into_iter()
+            .map(|(bound, d)| {
+                cumulative += d;
+                (bound, cumulative)
+            })
+            .collect();
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
     }
 }
 

@@ -42,6 +42,7 @@
 //!
 //! [`BufferStats`]: crate::BufferStats
 
+use crate::metrics::{Counter, MetricsRegistry};
 use crate::pool::lock_unpoisoned;
 use std::collections::VecDeque;
 use std::fmt;
@@ -213,6 +214,25 @@ pub enum TraceKind {
         /// Wire bytes dropped.
         bytes: u64,
     },
+    /// (Client side) one DOM-VXD request frame left for the server within
+    /// the current span. The wire twin of [`TraceKind::ClientCommand`]:
+    /// counting these reconciles a client-side trace with the frames the
+    /// transport actually carried.
+    WireRequest {
+        /// The wire verb: `open`, `d`, `r`, `f`, `s`, or `close`.
+        verb: &'static str,
+    },
+    /// (Server side) the current span serves a remote client span — the
+    /// request frame carried a trace context and the serving layer linked
+    /// the session engine's span to it. The merge API stitches traces on
+    /// these events: every server-side cascade re-parents onto the client
+    /// navigation named here.
+    WireSpan {
+        /// The client-side span id from the request's trace context.
+        client_span: u64,
+        /// The wire verb: `open`, `d`, `r`, `f`, `s`, or `close`.
+        verb: &'static str,
+    },
     /// A `fill_many` exchange transferred a reply that was then rejected
     /// (batch-shape or progress violation): the wire cost is real even
     /// though nothing was consumed, so it is attributed rather than
@@ -257,6 +277,8 @@ impl TraceKind {
             TraceKind::CacheStore { .. } => "cache-store",
             TraceKind::CacheEvict { .. } => "cache-evict",
             TraceKind::CacheInvalidate { .. } => "cache-invalidate",
+            TraceKind::WireRequest { .. } => "wire-request",
+            TraceKind::WireSpan { .. } => "wire-span",
             TraceKind::FillManyFailed { .. } => "fill-many-failed",
         }
     }
@@ -330,6 +352,10 @@ impl fmt::Display for TraceEvent {
             TraceKind::CacheInvalidate { scope, entries, bytes } => {
                 write!(f, "{scope} cache invalidated: {entries} entries / {bytes} B dropped")
             }
+            TraceKind::WireRequest { verb } => write!(f, "wire → `{verb}` frame sent"),
+            TraceKind::WireSpan { client_span, verb } => {
+                write!(f, "wire ← serving client span {client_span} (`{verb}`)")
+            }
             TraceKind::FillManyFailed { critical, holes, items, nodes, bytes, .. } => write!(
                 f,
                 "fill_many({critical} +{} holes) REJECTED after transfer: {items} items, {nodes} nodes / {bytes} B wasted",
@@ -345,7 +371,9 @@ struct SinkCells {
     seq: AtomicU64,
     span: AtomicU64,
     capacity: AtomicUsize,
-    dropped: AtomicU64,
+    /// Overflow count as a bindable [`Counter`] so registries can export
+    /// it (`mix_trace_dropped_total`) instead of overflow staying silent.
+    dropped: Counter,
     ring: Mutex<VecDeque<TraceEvent>>,
 }
 
@@ -356,7 +384,7 @@ impl Default for SinkCells {
             seq: AtomicU64::new(0),
             span: AtomicU64::new(0),
             capacity: AtomicUsize::new(DEFAULT_TRACE_CAPACITY),
-            dropped: AtomicU64::new(0),
+            dropped: Counter::new(),
             ring: Mutex::new(VecDeque::new()),
         }
     }
@@ -431,7 +459,7 @@ impl TraceSink {
         let mut ring = lock_unpoisoned(&self.inner.ring);
         while ring.len() > capacity {
             ring.pop_front();
-            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            self.inner.dropped.inc();
         }
     }
 
@@ -472,7 +500,7 @@ impl TraceSink {
         };
         if ring.len() >= self.inner.capacity.load(Ordering::Relaxed) {
             ring.pop_front();
-            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            self.inner.dropped.inc();
         }
         ring.push_back(event);
     }
@@ -495,13 +523,31 @@ impl TraceSink {
     /// Events evicted because the ring was full. Exact-accounting checks
     /// require this to be 0.
     pub fn dropped(&self) -> u64 {
-        self.inner.dropped.load(Ordering::Relaxed)
+        self.inner.dropped.get()
+    }
+
+    /// The overflow counter itself, sharing cells with this sink — bind
+    /// it into a [`MetricsRegistry`] (conventionally as
+    /// `mix_trace_dropped_total`) so ring overflow is scrapable.
+    pub fn dropped_counter(&self) -> Counter {
+        self.inner.dropped.clone()
+    }
+
+    /// Bind this sink's overflow counter into `registry` as
+    /// `mix_trace_dropped_total` with the given labels.
+    pub fn bind_into(&self, registry: &MetricsRegistry, labels: &[(&str, &str)]) {
+        registry.bind_counter(
+            "mix_trace_dropped_total",
+            "Trace events evicted because the flight-recorder ring was full",
+            labels,
+            &self.inner.dropped,
+        );
     }
 
     /// Forget all recorded events (counters for seq/span keep running).
     pub fn clear(&self) {
         lock_unpoisoned(&self.inner.ring).clear();
-        self.inner.dropped.store(0, Ordering::Relaxed);
+        self.inner.dropped.reset();
     }
 }
 

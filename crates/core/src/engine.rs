@@ -291,6 +291,9 @@ impl Engine {
                 )
             });
         }
+        // Flight-recorder overflow is an observability failure worth
+        // observing: surface the ring's drop count as a counter.
+        self.trace.bind_into(&self.metrics, &[]);
     }
 
     /// The plan this engine executes.
@@ -394,6 +397,8 @@ impl Engine {
     /// traced sources when buffer-level events should share the ring.
     pub fn set_trace_sink(&mut self, sink: TraceSink) {
         self.trace = sink;
+        // Keep `mix_trace_dropped_total` pointing at the live ring.
+        self.trace.bind_into(&self.metrics, &[]);
     }
 
     /// The engine's live metrics registry. Shared with every buffer that
@@ -762,7 +767,7 @@ impl Engine {
         let _ = writeln!(out, "sources:");
         let _ = writeln!(
             out,
-            "  {:<14} {:>6} {:>6} {:>6} {:>6} {:>7} | {:>6} {:>6} {:>9} {:>8} {:>6}  fill ns p50/p95/p99/max",
+            "  {:<14} {:>6} {:>6} {:>6} {:>6} {:>7} | {:>6} {:>6} {:>9} {:>8} {:>6}  fill ns p50/p90/p99/max",
             "name", "d", "r", "f", "s", "navs", "reqs", "holes", "bytes", "waste", "hits"
         );
         for s in &self.sources {
@@ -780,10 +785,7 @@ impl Engine {
             let fill = snap
                 .histogram("mix_fill_latency_ns", &[("source", &s.name)])
                 .filter(|h| h.count > 0)
-                .map(|h| {
-                    let (p50, p95, p99, max) = h.summary();
-                    format!("{p50}/{p95}/{p99}/{max}")
-                })
+                .map(|h| format!("{}/{}/{}/{}", h.p50(), h.p90(), h.p99(), h.max))
                 .unwrap_or_else(|| "-".to_string());
             let _ = writeln!(
                 out,

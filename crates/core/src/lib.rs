@@ -61,6 +61,7 @@ pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricKind, MetricsRegistry, MetricsSnapshot,
     PromFamily, PromSeries, PromText, Sample, SampleValue,
 };
+pub use mix_buffer::DEFAULT_TRACE_CAPACITY;
 pub use trace::{SpanStats, TraceEvent, TraceKind, TraceLog, TraceRollup, TraceSink};
 pub use handle::VNode;
 pub use profile::{profile, Profile};

@@ -58,6 +58,12 @@ pub struct TraceRollup {
     pub retries: u64,
     /// Navigations that fell back to a degraded answer.
     pub degradations: u64,
+    /// Request frames sent on the DOM-VXD wire (client side).
+    pub wire_requests: u64,
+    /// Remote client spans served (server side). In a merged trace this
+    /// equals `wire_requests` when every frame carried a trace context and
+    /// every frame was served — the cross-process reconciliation oracle.
+    pub wire_spans: u64,
 }
 
 impl TraceRollup {
@@ -94,6 +100,11 @@ pub struct SpanStats {
     /// Degradations suffered — a non-zero count means this command's
     /// answer is suspect.
     pub degradations: u64,
+    /// DOM-VXD request frames this command put on the wire (client side).
+    pub wire_requests: u64,
+    /// The remote client span this span served, when it was opened by a
+    /// traced request frame (server side; `None` for local spans).
+    pub serves_client_span: Option<u64>,
 }
 
 impl fmt::Display for SpanStats {
@@ -111,7 +122,14 @@ impl fmt::Display for SpanStats {
             self.waste_delta,
             self.retries,
             self.degradations
-        )
+        )?;
+        if self.wire_requests > 0 {
+            write!(f, ", {} frames", self.wire_requests)?;
+        }
+        if let Some(remote) = self.serves_client_span {
+            write!(f, ", serves client span {remote}")?;
+        }
+        Ok(())
     }
 }
 
@@ -215,6 +233,8 @@ impl TraceLog {
                 TraceKind::GetRoot { .. } => r.get_roots += 1,
                 TraceKind::Retry { .. } => r.retries += 1,
                 TraceKind::Degradation { .. } => r.degradations += 1,
+                TraceKind::WireRequest { .. } => r.wire_requests += 1,
+                TraceKind::WireSpan { .. } => r.wire_spans += 1,
                 _ => {}
             }
         }
@@ -242,6 +262,8 @@ impl TraceLog {
                         waste_delta: 0,
                         retries: 0,
                         degradations: 0,
+                        wire_requests: 0,
+                        serves_client_span: None,
                     });
                     rows.last_mut().expect("just pushed")
                 }
@@ -270,10 +292,105 @@ impl TraceLog {
                 }
                 TraceKind::Retry { .. } => row.retries += 1,
                 TraceKind::Degradation { .. } => row.degradations += 1,
+                TraceKind::WireRequest { .. } => row.wire_requests += 1,
+                TraceKind::WireSpan { client_span, .. } => {
+                    row.serves_client_span = Some(*client_span);
+                }
                 _ => {}
             }
         }
         rows
+    }
+
+    /// Stitch a client-side trace and the server-side trace that served it
+    /// into one cascade.
+    ///
+    /// The server's [`TraceKind::WireSpan`] events carry the client span
+    /// id each server span served; `merge_remote` re-parents every mapped
+    /// server span onto that client span and splices its events in right
+    /// after the client span's own events, so `by_span` / [`Self::span_stats`]
+    /// on the merged log attribute the *server-side source cascade* to the
+    /// *client navigation* that caused it. Server spans with no wire link
+    /// (engine warm-up before any traced frame) keep their events under
+    /// fresh span ids past the client's range. Sequence numbers are
+    /// renumbered into one total order; `dropped` sums — exact rollups
+    /// still require both sides complete.
+    ///
+    /// Because rollups are sums over events, the merged rollup's wire
+    /// totals equal the server rollup's (the client side navigates a
+    /// remote document: it fills no holes itself), while `wire_requests`
+    /// (client frames) and `wire_spans` (server links) land in one place
+    /// where they can be reconciled against each other and against the
+    /// transport's frame count.
+    pub fn merge_remote(client: &TraceLog, server: &TraceLog) -> TraceLog {
+        // Which client span did each server span serve?
+        let mut serves: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for e in &server.events {
+            if let TraceKind::WireSpan { client_span, .. } = &e.kind {
+                serves.entry(e.span).or_insert(*client_span);
+            }
+        }
+        // Server events grouped by the client span they re-parent onto,
+        // in server order.
+        let mut grouped: std::collections::HashMap<u64, Vec<&TraceEvent>> =
+            std::collections::HashMap::new();
+        let mut unmapped: Vec<(u64, Vec<&TraceEvent>)> = Vec::new();
+        for e in &server.events {
+            match serves.get(&e.span) {
+                Some(client_span) => grouped.entry(*client_span).or_default().push(e),
+                None => match unmapped.iter_mut().find(|(s, _)| *s == e.span) {
+                    Some((_, v)) => v.push(e),
+                    None => unmapped.push((e.span, vec![e])),
+                },
+            }
+        }
+        // Splice: client events in order; after the *last* client event of
+        // each span, that span's server-side cascade.
+        let mut last_of_span: std::collections::HashMap<u64, usize> =
+            std::collections::HashMap::new();
+        for (i, e) in client.events.iter().enumerate() {
+            last_of_span.insert(e.span, i);
+        }
+        let mut merged: Vec<TraceEvent> = Vec::with_capacity(client.len() + server.len());
+        for (i, e) in client.events.iter().enumerate() {
+            merged.push(e.clone());
+            if last_of_span.get(&e.span) == Some(&i) {
+                if let Some(group) = grouped.remove(&e.span) {
+                    for se in group {
+                        let mut se = se.clone();
+                        se.span = e.span;
+                        merged.push(se);
+                    }
+                }
+            }
+        }
+        // Server spans serving client spans the client log never recorded
+        // (e.g. its ring dropped them) still re-parent onto that span id,
+        // appended after the client stream.
+        let mut leftovers: Vec<(u64, Vec<&TraceEvent>)> =
+            grouped.into_iter().collect();
+        leftovers.sort_by_key(|(span, _)| *span);
+        for (span, group) in leftovers {
+            for se in group {
+                let mut se = se.clone();
+                se.span = span;
+                merged.push(se);
+            }
+        }
+        // Wire-free server spans get fresh ids past every client span.
+        let max_span = merged.iter().map(|e| e.span).max().unwrap_or(0);
+        for (offset, (_, group)) in unmapped.into_iter().enumerate() {
+            let span = max_span + 1 + offset as u64;
+            for se in group {
+                let mut se = se.clone();
+                se.span = span;
+                merged.push(se);
+            }
+        }
+        for (seq, e) in merged.iter_mut().enumerate() {
+            e.seq = seq as u64;
+        }
+        TraceLog { events: merged, dropped: client.dropped + server.dropped }
     }
 
     /// Render the log as a JSON object for the bench harness:
@@ -405,6 +522,13 @@ fn event_json(e: &TraceEvent) -> String {
             fields.push(format!("\"bytes\": {bytes}"));
             fields.push(format!("\"wasted\": {wasted}"));
         }
+        TraceKind::WireRequest { verb } => {
+            fields.push(format!("\"verb\": {}", json_str(verb)));
+        }
+        TraceKind::WireSpan { client_span, verb } => {
+            fields.push(format!("\"client_span\": {client_span}"));
+            fields.push(format!("\"verb\": {}", json_str(verb)));
+        }
     }
     format!("{{{}}}", fields.join(", "))
 }
@@ -490,6 +614,64 @@ mod tests {
         // The per-span deltas sum to the global rollup.
         let waste: i64 = rows.iter().map(|r| r.waste_delta).sum();
         assert_eq!(waste, log.rollup().wasted_bytes as i64);
+    }
+
+    #[test]
+    fn merge_remote_reparents_server_cascades_onto_client_spans() {
+        // Client side: two traced navigations, one frame each.
+        let client = TraceSink::enabled(64);
+        client.begin_span("d");
+        client.emit(None, TraceKind::WireRequest { verb: "d" });
+        client.begin_span("f");
+        client.emit(None, TraceKind::WireRequest { verb: "f" });
+        // Server side: a wire-free warm-up span, then one span per frame.
+        let server = TraceSink::enabled(64);
+        server.emit(Some("db"), TraceKind::GetRoot { uri: "db".into() });
+        server.begin_span("d");
+        server.emit(None, TraceKind::WireSpan { client_span: 1, verb: "d" });
+        server.emit(
+            Some("db"),
+            TraceKind::Fill {
+                hole: "h1".into(),
+                nodes: 7,
+                bytes: 70,
+                from_cache: false,
+                waste_credit: 0,
+            },
+        );
+        server.begin_span("f");
+        server.emit(None, TraceKind::WireSpan { client_span: 2, verb: "f" });
+        server.emit(Some("web"), TraceKind::Degradation { op: "fetch", error: "down".into() });
+
+        let merged = TraceLog::merge_remote(
+            &TraceLog::from_sink(&client),
+            &TraceLog::from_sink(&server),
+        );
+        // Totals survive: the merged rollup equals the server-side wire
+        // arithmetic, with both wire-link counts reconciling.
+        let r = merged.rollup();
+        assert_eq!(r.wire_requests, 2);
+        assert_eq!(r.wire_spans, 2);
+        assert_eq!(r.requests, 1);
+        assert_eq!(r.get_roots, 1);
+        assert_eq!(r.degradations, 1);
+        // The server's `d` cascade now lives in the client's `d` span; the
+        // degradation is pinned to the client's `f` span.
+        let rows = merged.span_stats();
+        let d = rows.iter().find(|s| s.span == 1).expect("span 1");
+        assert_eq!(d.command, "d");
+        assert_eq!(d.requests, 1);
+        assert_eq!(d.wire_requests, 1);
+        assert_eq!(d.serves_client_span, Some(1));
+        let f = rows.iter().find(|s| s.span == 2).expect("span 2");
+        assert_eq!(f.degradations, 1);
+        // The wire-free warm-up span is preserved under a fresh id.
+        let warm = rows.iter().find(|s| s.span > 2).expect("warm-up span");
+        assert_eq!(warm.serves_client_span, None);
+        assert_eq!(merged.by_kind("get-root").len(), 1);
+        // Seqs renumbered into one total order.
+        let seqs: Vec<u64> = merged.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (0..merged.len() as u64).collect::<Vec<_>>());
     }
 
     #[test]

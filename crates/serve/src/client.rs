@@ -5,7 +5,8 @@
 //! can hold any number of sessions open at once — the session id travels
 //! in every request frame.
 
-use crate::codec::{ErrorCode, FrameError, FrameStream, Reply, Request, Verb};
+use crate::codec::{ErrorCode, FrameError, FrameStream, Reply, Request, TraceContext, Verb};
+use mix_core::{TraceKind, TraceSink};
 use std::io::{Read, Write};
 
 /// A typed client-side failure: either the transport/codec broke, or the
@@ -71,17 +72,58 @@ impl FetchOutcome {
 }
 
 /// A synchronous DOM-VXD client over any `Read + Write` transport.
+///
+/// In **traced mode** ([`Self::with_trace`]) every verb begins a span in
+/// the client's own flight recorder, records the frame it sends as a
+/// [`TraceKind::WireRequest`], and stamps the frame with a
+/// [`TraceContext`] carrying that span id — a traced server parents its
+/// server-side cascade on it, and [`mix_core::TraceLog::merge_remote`]
+/// stitches the two rings back into one. The frames a traced client
+/// sends differ from an untraced client's only by the trailer: replies,
+/// and therefore answers, are byte-identical either way.
 pub struct VxdClient<S: Read + Write> {
     frames: FrameStream<S>,
+    trace: TraceSink,
 }
 
 impl<S: Read + Write> VxdClient<S> {
     pub fn new(stream: S) -> Self {
-        VxdClient { frames: FrameStream::new(stream) }
+        VxdClient { frames: FrameStream::new(stream), trace: TraceSink::off() }
+    }
+
+    /// Record this client's navigations into `sink` and propagate its
+    /// span ids to the server in every request frame.
+    pub fn with_trace(mut self, sink: TraceSink) -> Self {
+        self.trace = sink;
+        self
+    }
+
+    /// The client-side flight recorder (off unless [`Self::with_trace`]).
+    pub fn trace_sink(&self) -> TraceSink {
+        self.trace.clone()
+    }
+
+    /// The stable span name of a verb, matching the engine's nav names.
+    fn span_name(verb: &Verb) -> &'static str {
+        match verb {
+            Verb::Open { .. } => "open",
+            Verb::Down { .. } => "d",
+            Verb::Right { .. } => "r",
+            Verb::Fetch { .. } => "f",
+            Verb::Select { .. } => "s",
+            Verb::Close => "close",
+        }
     }
 
     fn exchange(&mut self, session: u64, verb: Verb) -> Result<Reply, ClientError> {
-        self.frames.send_request(&Request { session, verb })?;
+        let mut request = Request::new(session, verb);
+        if self.trace.is_enabled() {
+            let name = Self::span_name(&request.verb);
+            let span = self.trace.begin_span(name);
+            self.trace.emit(None, TraceKind::WireRequest { verb: name });
+            request = request.with_trace(TraceContext { span, sampled: true });
+        }
+        self.frames.send_request(&request)?;
         let reply = self.frames.recv_reply()?;
         if let Reply::Error { code, msg } = reply {
             return Err(ClientError::Server { code, msg });

@@ -17,13 +17,19 @@
 //! thousand.
 //!
 //! ```text
-//!   request  := session: u64 LE, opcode: u8, args
+//!   request  := session: u64 LE, opcode: u8, args, [trace]
 //!     0x01 Open    { template: str }        (session must be 0)
 //!     0x02 Down    { node: u64 LE }
 //!     0x03 Right   { node: u64 LE }
 //!     0x04 Fetch   { node: u64 LE }
 //!     0x05 Select  { node: u64 LE, label: str }   (label-equality NC)
 //!     0x06 Close   {}
+//!
+//!   trace    := 0x54 ('T'), span: u64 LE, flags: u8   (optional trailer)
+//!     flags bit 0: sampled — the client asks the server to record the
+//!     cascade this request triggers. All other flag bits are reserved
+//!     and MUST be zero (strictness: a nonzero reserved bit is a typed
+//!     error, so the trailer stays a lossless round-trip).
 //!
 //!   reply    := tag: u8, args
 //!     0x81 Opened        { session: u64 LE, root: u64 LE }
@@ -43,8 +49,16 @@
 //! Prometheus text parser from the metrics layer: `decode(encode(x)) ==
 //! x` for every valid value, and every malformed byte string — truncated
 //! prefix, oversized frame, unknown opcode/tag, trailing garbage, broken
-//! UTF-8 — is a typed [`FrameError`], never a panic and never a silent
-//! partial parse. Servers must stay up when handed garbage.
+//! UTF-8, malformed trace trailer — is a typed [`FrameError`], never a
+//! panic and never a silent partial parse. Servers must stay up when
+//! handed garbage.
+//!
+//! # Back compatibility
+//!
+//! The trace trailer is strictly optional: a request frame that ends
+//! after its verb arguments decodes to `trace: None`, byte-for-byte the
+//! pre-trailer protocol. Old clients talk to new servers unchanged; a
+//! new client only appends the trailer when its flight recorder is on.
 
 use std::io::{Read, Write};
 
@@ -68,6 +82,10 @@ pub enum FrameError {
     UnknownErrorCode(u8),
     /// Valid structure followed by extra bytes.
     TrailingBytes { extra: usize },
+    /// Bytes after the verb arguments that do not start a trace trailer.
+    BadTraceMarker(u8),
+    /// A trace trailer with reserved flag bits set.
+    BadTraceFlags(u8),
     /// A string field held invalid UTF-8.
     BadUtf8,
     /// The peer closed the connection cleanly (EOF between frames).
@@ -90,6 +108,12 @@ impl std::fmt::Display for FrameError {
             FrameError::UnknownErrorCode(c) => write!(f, "unknown error code {c}"),
             FrameError::TrailingBytes { extra } => {
                 write!(f, "{extra} trailing bytes after a complete frame body")
+            }
+            FrameError::BadTraceMarker(b) => {
+                write!(f, "byte 0x{b:02x} after the verb is not a trace trailer (0x{TRACE_MARKER:02x})")
+            }
+            FrameError::BadTraceFlags(b) => {
+                write!(f, "trace trailer flags 0x{b:02x} set reserved bits")
             }
             FrameError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
             FrameError::Closed => write!(f, "connection closed"),
@@ -150,6 +174,23 @@ pub enum Verb {
     Close,
 }
 
+/// Marker byte opening the optional trace trailer (`'T'`).
+pub const TRACE_MARKER: u8 = 0x54;
+
+/// The trace context a request frame may carry: the client-side span id
+/// of the command that sent it, plus the sampling flag asking the server
+/// to record the cascade. This is what lets a merged trace parent every
+/// server-side source exchange on the exact client navigation that
+/// caused it — the flight recorder's span model, stretched across the
+/// wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The client's span id for this command.
+    pub span: u64,
+    /// Should the server record server-side spans for this session?
+    pub sampled: bool,
+}
+
 /// One request frame: which session, and what to do.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
@@ -157,6 +198,22 @@ pub struct Request {
     pub session: u64,
     /// The verb.
     pub verb: Verb,
+    /// Optional trace context — `None` encodes exactly the pre-trailer
+    /// protocol, so context-free peers interoperate unchanged.
+    pub trace: Option<TraceContext>,
+}
+
+impl Request {
+    /// A context-free request (the PR-8 wire shape).
+    pub fn new(session: u64, verb: Verb) -> Self {
+        Request { session, verb, trace: None }
+    }
+
+    /// Attach a trace context.
+    pub fn with_trace(mut self, ctx: TraceContext) -> Self {
+        self.trace = Some(ctx);
+        self
+    }
 }
 
 /// One reply frame.
@@ -220,6 +277,11 @@ impl Request {
             }
             Verb::Close => out.push(0x06),
         }
+        if let Some(ctx) = &self.trace {
+            out.push(TRACE_MARKER);
+            out.extend_from_slice(&ctx.span.to_le_bytes());
+            out.push(u8::from(ctx.sampled));
+        }
         out
     }
 
@@ -238,8 +300,26 @@ impl Request {
             0x06 => Verb::Close,
             other => return Err(FrameError::UnknownOpcode(other)),
         };
+        // Anything after the verb must be exactly one strict trace
+        // trailer: marker, span, flags with only bit 0 meaningful. The
+        // strictness keeps the round-trip oracle lossless — every
+        // successful decode re-encodes to the same bytes.
+        let trace = if r.remaining() > 0 {
+            let marker = r.u8()?;
+            if marker != TRACE_MARKER {
+                return Err(FrameError::BadTraceMarker(marker));
+            }
+            let span = r.u64()?;
+            let flags = r.u8()?;
+            if flags > 1 {
+                return Err(FrameError::BadTraceFlags(flags));
+            }
+            Some(TraceContext { span, sampled: flags == 1 })
+        } else {
+            None
+        };
         r.finish()?;
-        Ok(Request { session, verb })
+        Ok(Request { session, verb, trace })
     }
 }
 
@@ -341,6 +421,10 @@ impl<'a> Reader<'a> {
 
     fn u64(&mut self) -> Result<u64, FrameError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
     }
 
     fn string(&mut self) -> Result<String, FrameError> {
@@ -462,15 +546,67 @@ mod tests {
     #[test]
     fn request_round_trips() {
         for req in [
-            Request { session: 0, verb: Verb::Open { template: "fig3".into() } },
-            Request { session: 7, verb: Verb::Down { node: 3 } },
-            Request { session: u64::MAX, verb: Verb::Right { node: u64::MAX } },
-            Request { session: 1, verb: Verb::Fetch { node: 0 } },
-            Request { session: 2, verb: Verb::Select { node: 9, label: "zip".into() } },
-            Request { session: 3, verb: Verb::Close },
+            Request::new(0, Verb::Open { template: "fig3".into() }),
+            Request::new(7, Verb::Down { node: 3 }),
+            Request::new(u64::MAX, Verb::Right { node: u64::MAX }),
+            Request::new(1, Verb::Fetch { node: 0 }),
+            Request::new(2, Verb::Select { node: 9, label: "zip".into() }),
+            Request::new(3, Verb::Close),
         ] {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
         }
+    }
+
+    #[test]
+    fn traced_requests_round_trip() {
+        for req in [
+            Request::new(0, Verb::Open { template: "fig3".into() })
+                .with_trace(TraceContext { span: 1, sampled: true }),
+            Request::new(7, Verb::Down { node: 3 })
+                .with_trace(TraceContext { span: u64::MAX, sampled: false }),
+            Request::new(2, Verb::Select { node: 9, label: "zip".into() })
+                .with_trace(TraceContext { span: 0, sampled: true }),
+            Request::new(3, Verb::Close).with_trace(TraceContext { span: 42, sampled: true }),
+        ] {
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn context_free_bytes_decode_with_no_trace() {
+        // The exact PR-8 byte shape: session, opcode, args, nothing more.
+        let mut bytes = 9u64.to_le_bytes().to_vec();
+        bytes.push(0x02); // Down
+        bytes.extend_from_slice(&5u64.to_le_bytes());
+        let req = Request::decode(&bytes).unwrap();
+        assert_eq!(req, Request::new(9, Verb::Down { node: 5 }));
+        assert_eq!(req.trace, None);
+        assert_eq!(req.encode(), bytes, "context-free shape re-encodes identically");
+    }
+
+    #[test]
+    fn malformed_trace_trailers_are_typed() {
+        let base = Request::new(1, Verb::Fetch { node: 2 });
+        // Wrong marker byte after the verb.
+        let mut bad = base.clone().with_trace(TraceContext { span: 3, sampled: true }).encode();
+        let marker_at = bad.len() - 10;
+        bad[marker_at] = 0x55;
+        assert_eq!(Request::decode(&bad), Err(FrameError::BadTraceMarker(0x55)));
+        // Reserved flag bits set.
+        let mut bad = base.clone().with_trace(TraceContext { span: 3, sampled: true }).encode();
+        let n = bad.len();
+        bad[n - 1] = 0x02;
+        assert_eq!(Request::decode(&bad), Err(FrameError::BadTraceFlags(0x02)));
+        // Truncated trailer (marker present, span cut short).
+        let enc = base.with_trace(TraceContext { span: 3, sampled: true }).encode();
+        assert!(matches!(
+            Request::decode(&enc[..enc.len() - 4]),
+            Err(FrameError::Truncated { .. })
+        ));
+        // Extra bytes after a complete trailer.
+        let mut padded = enc.clone();
+        padded.push(0);
+        assert!(matches!(Request::decode(&padded), Err(FrameError::TrailingBytes { .. })));
     }
 
     #[test]
@@ -491,7 +627,7 @@ mod tests {
 
     #[test]
     fn unknown_opcode_and_tag_are_typed() {
-        let mut bad = Request { session: 1, verb: Verb::Close }.encode();
+        let mut bad = Request::new(1, Verb::Close).encode();
         bad[8] = 0x7F;
         assert_eq!(Request::decode(&bad), Err(FrameError::UnknownOpcode(0x7F)));
         let mut bad = Reply::End.encode();
@@ -501,19 +637,27 @@ mod tests {
 
     #[test]
     fn truncation_and_trailing_bytes_are_typed() {
-        let enc = Request { session: 1, verb: Verb::Down { node: 5 } }.encode();
+        let enc = Request::new(1, Verb::Down { node: 5 }).encode();
         assert!(matches!(
             Request::decode(&enc[..enc.len() - 1]),
             Err(FrameError::Truncated { .. })
         ));
+        // A byte past the verb is read as the start of a trace trailer:
+        // a non-marker byte is a typed marker error…
         let mut padded = enc.clone();
         padded.push(0);
-        assert_eq!(Request::decode(&padded), Err(FrameError::TrailingBytes { extra: 1 }));
+        assert_eq!(Request::decode(&padded), Err(FrameError::BadTraceMarker(0)));
+        // …and bytes past a *complete* trailer are trailing garbage.
+        let mut traced = Request::new(1, Verb::Down { node: 5 })
+            .with_trace(TraceContext { span: 9, sampled: true })
+            .encode();
+        traced.push(0);
+        assert_eq!(Request::decode(&traced), Err(FrameError::TrailingBytes { extra: 1 }));
     }
 
     #[test]
     fn bad_utf8_is_typed() {
-        let mut enc = Request { session: 0, verb: Verb::Open { template: "ab".into() } }.encode();
+        let mut enc = Request::new(0, Verb::Open { template: "ab".into() }).encode();
         let n = enc.len();
         enc[n - 1] = 0xFF; // clobber a UTF-8 byte inside the string
         enc[n - 2] = 0xFE;
@@ -536,7 +680,7 @@ mod tests {
 
     #[test]
     fn frames_round_trip_through_a_buffer() {
-        let req = Request { session: 5, verb: Verb::Select { node: 2, label: "home".into() } };
+        let req = Request::new(5, Verb::Select { node: 2, label: "home".into() });
         let mut wire = Vec::new();
         write_frame(&mut wire, &req.encode()).unwrap();
         let payload = read_frame(&mut wire.as_slice()).unwrap();

@@ -20,15 +20,30 @@
 //!   answered with a typed error; malformed frames get typed errors
 //!   without dropping the connection; degraded answers cross the wire as
 //!   [`Reply::DegradedLabel`], never as silently-empty labels.
+//!
+//! PR 9 adds the **observability plane**: request frames optionally carry
+//! a [`TraceContext`] so server-side spans parent on client spans (one
+//! merged cascade via [`mix_core::TraceLog::merge_remote`]), and the
+//! server exposes a live scrape surface ([`scrape`]): `/metrics`,
+//! `/healthz`, `/sessions`, `/slow`, per-verb RED series, and a
+//! slow-navigation log whose entries carry span ids.
 
 pub mod client;
 pub mod codec;
 pub mod pipe;
 pub mod pool;
+pub mod scrape;
 pub mod server;
 
 pub use client::{ClientError, FetchOutcome, OpenSession, VxdClient};
-pub use codec::{ErrorCode, FrameError, FrameStream, Reply, Request, Verb, MAX_FRAME};
+pub use codec::{
+    ErrorCode, FrameError, FrameStream, Reply, Request, TraceContext, Verb, MAX_FRAME,
+    TRACE_MARKER,
+};
 pub use pipe::{pipe, PipeEnd};
 pub use pool::{SessionSources, DEFAULT_SESSION_BATCH};
-pub use server::{ServerHandle, VxdServer, DEFAULT_MAX_SESSIONS};
+pub use scrape::HttpResponse;
+pub use server::{
+    ServerHandle, SessionInfo, SlowNav, SourceHealthInfo, VxdServer, DEFAULT_MAX_SESSIONS,
+    DEFAULT_SLOW_NAV_NS, VERB_LABELS,
+};

@@ -20,9 +20,9 @@
 
 use mix_buffer::{
     BufferNavigator, FillPolicy, FragmentCache, LxpWrapper, MetricsRegistry, SharedWrapper,
-    TreeWrapper,
+    SourceHealth, TreeWrapper,
 };
-use mix_core::SourceRegistry;
+use mix_core::{SourceRegistry, TraceSink};
 use mix_xml::{Document, Tree};
 use std::sync::Arc;
 
@@ -33,10 +33,20 @@ pub const DEFAULT_SESSION_BATCH: usize = 8;
 /// source, one fragment cache, one metrics registry — shared by every
 /// session the server opens.
 pub struct SessionSources {
-    sources: Vec<(String, SharedWrapper<Box<dyn LxpWrapper + Send>>)>,
+    sources: Vec<PooledSource>,
     cache: FragmentCache,
     metrics: MetricsRegistry,
     batch_limit: usize,
+}
+
+/// One shared source: the wrapper connection plus a pool-level
+/// [`SourceHealth`] cell every session's navigator records into, so
+/// `/healthz` sees one aggregated row per physical source rather than one
+/// per session.
+struct PooledSource {
+    name: String,
+    wrapper: SharedWrapper<Box<dyn LxpWrapper + Send>>,
+    health: SourceHealth,
 }
 
 impl SessionSources {
@@ -59,7 +69,11 @@ impl SessionSources {
     where
         W: LxpWrapper + Send + 'static,
     {
-        self.sources.push((name.into(), SharedWrapper::new(Box::new(wrapper))));
+        self.sources.push(PooledSource {
+            name: name.into(),
+            wrapper: SharedWrapper::new(Box::new(wrapper)),
+            health: SourceHealth::new(),
+        });
         self
     }
 
@@ -84,7 +98,15 @@ impl SessionSources {
 
     /// Registered source names, in registration order.
     pub fn names(&self) -> Vec<&str> {
-        self.sources.iter().map(|(n, _)| n.as_str()).collect()
+        self.sources.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// Pool-level health, one `(name, handle)` row per source. Every
+    /// session navigator over a source records into the same cell, so
+    /// these aggregate fault/retry/breaker state across all sessions —
+    /// the `/healthz` surface.
+    pub fn health(&self) -> Vec<(String, SourceHealth)> {
+        self.sources.iter().map(|s| (s.name.clone(), s.health.clone())).collect()
     }
 
     /// Build one session's private [`SourceRegistry`]: fresh batched
@@ -93,13 +115,35 @@ impl SessionSources {
     /// reading through the shared fragment cache.
     pub fn registry_for_session(&self) -> SourceRegistry {
         let mut reg = SourceRegistry::new();
-        for (name, shared) in &self.sources {
-            let nav = BufferNavigator::new(shared.clone(), name.clone())
+        for s in &self.sources {
+            let nav = BufferNavigator::new(s.wrapper.clone(), s.name.clone())
                 .batched(self.batch_limit)
-                .with_fragment_cache(self.cache.clone());
+                .with_fragment_cache(self.cache.clone())
+                .with_health(s.health.clone());
             let (health, stats) = (nav.health(), nav.stats());
-            reg.add_navigator_with_stats(name.clone(), nav, health, stats);
-            reg.set_source_cache(name, self.cache.clone());
+            reg.add_navigator_with_stats(s.name.clone(), nav, health, stats);
+            reg.set_source_cache(&s.name, self.cache.clone());
+        }
+        reg
+    }
+
+    /// Like [`Self::registry_for_session`], but every navigator shares
+    /// `trace` — the traced-session path. The engine built over this
+    /// registry adopts the sink, so one ring holds the whole cascade:
+    /// wire-span links, operator steps, and source fills, all under the
+    /// span ids [`mix_core::TraceLog::merge_remote`] stitches onto the
+    /// client's spans.
+    pub fn registry_for_session_traced(&self, trace: &TraceSink) -> SourceRegistry {
+        let mut reg = SourceRegistry::new();
+        for s in &self.sources {
+            let nav = BufferNavigator::new(s.wrapper.clone(), s.name.clone())
+                .batched(self.batch_limit)
+                .with_fragment_cache(self.cache.clone())
+                .with_health(s.health.clone())
+                .with_trace(trace.clone());
+            let (health, stats) = (nav.health(), nav.stats());
+            reg.add_navigator_traced(s.name.clone(), nav, health, stats, trace.clone());
+            reg.set_source_cache(&s.name, self.cache.clone());
         }
         reg
     }

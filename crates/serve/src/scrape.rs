@@ -1,0 +1,228 @@
+//! The live scrape plane: a minimal HTTP/1.1 endpoint on [`VxdServer`].
+//!
+//! A deployment serving thousands of sessions needs its observability
+//! reachable without holding the server handle. [`VxdServer::serve_http`]
+//! binds a tiny hand-rolled HTTP listener (GET only, one request per
+//! connection) exposing:
+//!
+//! | path        | body                                                     |
+//! |-------------|----------------------------------------------------------|
+//! | `/metrics`  | the shared registry in Prometheus text exposition format |
+//! | `/healthz`  | per-source pool-level health; `503` if any source is unavailable |
+//! | `/sessions` | the live session table (id, template, navs, age, traced) |
+//! | `/slow`     | the slow-navigation ring, span ids included              |
+//! | `/`         | an index of the above                                    |
+//!
+//! `/metrics` is exactly [`MetricsRegistry::render_prometheus`] output —
+//! the strict in-tree [`PromText`](mix_core::PromText) parser is its
+//! round-trip oracle (the `scrape-smoke` CI job gates on it). Everything
+//! here is read-only: scraping cannot perturb serving.
+//!
+//! [`MetricsRegistry::render_prometheus`]: mix_buffer::MetricsRegistry::render_prometheus
+
+use crate::server::{ServerHandle, VxdServer};
+use mix_buffer::HealthStatus;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// An HTTP response ready to serialize: status line + body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Numeric status (200, 404, …).
+    pub status: u16,
+    /// Reason phrase (`OK`, `Not Found`, …).
+    pub reason: &'static str,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    fn ok(content_type: &'static str, body: String) -> Self {
+        HttpResponse { status: 200, reason: "OK", content_type, body }
+    }
+
+    /// Serialize as an HTTP/1.1 response with `Connection: close`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            self.status,
+            self.reason,
+            self.content_type,
+            self.body.len(),
+            self.body
+        )
+        .into_bytes()
+    }
+}
+
+impl VxdServer {
+    /// Answer one scrape-plane path. Pure — the transport loop and tests
+    /// call this directly; `serve_http` is just this behind a socket.
+    pub fn http_response(&self, path: &str) -> HttpResponse {
+        // Ignore any query string: `/metrics?x=1` scrapes `/metrics`.
+        let path = path.split('?').next().unwrap_or(path);
+        match path {
+            "/metrics" => HttpResponse::ok(
+                "text/plain; version=0.0.4",
+                self.metrics().render_prometheus(),
+            ),
+            "/healthz" => {
+                let rows = self.source_health();
+                let unavailable =
+                    rows.iter().any(|r| r.status == HealthStatus::Unavailable);
+                let mut body = String::new();
+                for r in &rows {
+                    body.push_str(&format!(
+                        "{}: {:?} (degraded_ops {}, retries {})\n",
+                        r.source, r.status, r.degraded_ops, r.retries
+                    ));
+                }
+                if rows.is_empty() {
+                    body.push_str("no sources registered\n");
+                }
+                if unavailable {
+                    HttpResponse {
+                        status: 503,
+                        reason: "Service Unavailable",
+                        content_type: "text/plain",
+                        body,
+                    }
+                } else {
+                    HttpResponse::ok("text/plain", body)
+                }
+            }
+            "/sessions" => {
+                let mut body =
+                    String::from("session  template              navs      age_s  traced\n");
+                for r in self.sessions_table() {
+                    body.push_str(&format!(
+                        "{:<7}  {:<20}  {:<8}  {:<9.3}  {}\n",
+                        r.session, r.template, r.commands, r.age_secs, r.traced
+                    ));
+                }
+                HttpResponse::ok("text/plain", body)
+            }
+            "/slow" => {
+                let threshold = self.slow_nav_threshold();
+                let mut body = format!("threshold_ns: {threshold}\n");
+                for s in self.slow_navs() {
+                    let client = s
+                        .client_span
+                        .map(|c| format!(" client_span={c}"))
+                        .unwrap_or_default();
+                    body.push_str(&format!(
+                        "session={} verb={} elapsed_ns={} server_span={}{}\n",
+                        s.session, s.verb, s.elapsed_ns, s.server_span, client
+                    ));
+                }
+                HttpResponse::ok("text/plain", body)
+            }
+            "/" => HttpResponse::ok(
+                "text/plain",
+                "mix-serve scrape plane\n/metrics\n/healthz\n/sessions\n/slow\n".to_string(),
+            ),
+            _ => HttpResponse {
+                status: 404,
+                reason: "Not Found",
+                content_type: "text/plain",
+                body: format!("no route {path}\n"),
+            },
+        }
+    }
+
+    /// Serve the scrape plane over HTTP on `addr` (use `:0` for an
+    /// ephemeral port) until the returned handle shuts down. One thread,
+    /// one request per connection — scrape traffic, not serving traffic.
+    pub fn serve_http(&self, addr: &str) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let server = self.clone();
+        let stop2 = Arc::clone(&stop);
+        let accept = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop2.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let server = server.clone();
+                // Serial on purpose: a scrape is cheap and rare, and a
+                // single thread bounds what a scraper can cost the server.
+                let _ = serve_scrape_connection(&server, stream);
+            }
+        });
+        Ok(ServerHandle::new(local_addr, stop, accept))
+    }
+}
+
+/// Parse the request line of one HTTP connection and answer it.
+fn serve_scrape_connection(server: &VxdServer, stream: TcpStream) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or("/"));
+    let response = if method != "GET" {
+        HttpResponse {
+            status: 405,
+            reason: "Method Not Allowed",
+            content_type: "text/plain",
+            body: "scrape plane is GET-only\n".to_string(),
+        }
+    } else {
+        server.http_response(path)
+    };
+    // Headers after the request line are irrelevant to a GET — skip
+    // straight to the answer and close.
+    let mut stream = reader.into_inner();
+    stream.write_all(&response.to_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::SessionSources;
+    use mix_buffer::{FillPolicy, FragmentCache, MetricsRegistry};
+    use mix_xml::term::parse_term;
+
+    const QUERY: &str = "CONSTRUCT <all> $X {$X} </all> {} WHERE src items._ $X";
+
+    fn server() -> VxdServer {
+        let mut pool = SessionSources::new(FragmentCache::new(), MetricsRegistry::enabled());
+        pool.add_tree(
+            "src",
+            &parse_term("items[a[1],b[2]]").unwrap(),
+            FillPolicy::NodeAtATime,
+        );
+        let mut server = VxdServer::new(pool);
+        server.add_template("q", QUERY).unwrap();
+        server
+    }
+
+    #[test]
+    fn routes_answer_and_404_types() {
+        let server = server();
+        assert_eq!(server.http_response("/").status, 200);
+        assert_eq!(server.http_response("/metrics").status, 200);
+        assert_eq!(server.http_response("/healthz").status, 200);
+        assert_eq!(server.http_response("/sessions").status, 200);
+        assert_eq!(server.http_response("/slow").status, 200);
+        assert_eq!(server.http_response("/nope").status, 404);
+        assert_eq!(server.http_response("/metrics?job=x").status, 200);
+    }
+
+    #[test]
+    fn http_serialization_carries_content_length() {
+        let r = HttpResponse::ok("text/plain", "hello\n".to_string());
+        let bytes = r.to_bytes();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 6\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\nhello\n"), "{text}");
+    }
+}

@@ -29,14 +29,17 @@
 //!
 //! [`BufferNavigator`]: mix_buffer::BufferNavigator
 
-use crate::codec::{ErrorCode, FrameStream, Reply, Request, Verb};
+use crate::codec::{ErrorCode, FrameStream, Reply, Request, TraceContext, Verb};
 use crate::pool::SessionSources;
 use mix_algebra::{translate, Plan};
-use mix_buffer::{lock_unpoisoned, Counter, FragmentCache, Gauge, Histogram, MetricsRegistry};
-use mix_core::{Engine, EngineConfig, VNode};
+use mix_buffer::{
+    lock_unpoisoned, Counter, FragmentCache, Gauge, Histogram, HealthStatus, MetricsRegistry,
+    SourceHealth,
+};
+use mix_core::{Engine, EngineConfig, TraceKind, TraceLog, TraceSink, VNode};
 use mix_nav::{LabelPred, Navigator};
 use mix_xmas::parse_query;
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -47,6 +50,101 @@ use std::time::Instant;
 
 /// Default ceiling on concurrently open sessions.
 pub const DEFAULT_MAX_SESSIONS: usize = 65_536;
+
+/// Default slow-navigation threshold (10 ms), overridable with
+/// `MIX_SLOW_NAV_NS` or [`VxdServer::set_slow_nav_threshold`].
+pub const DEFAULT_SLOW_NAV_NS: u64 = 10_000_000;
+
+/// Entries the slow-navigation ring retains (oldest evicted first).
+pub const SLOW_NAV_CAPACITY: usize = 256;
+
+/// Closed traced sessions whose rings are retained for post-mortem
+/// inspection via [`VxdServer::session_trace`].
+pub const CLOSED_TRACE_CAPACITY: usize = 64;
+
+/// The metric label of each navigation verb (RED series are split on it).
+fn verb_label(verb: &Verb) -> Option<usize> {
+    match verb {
+        Verb::Down { .. } => Some(0),
+        Verb::Right { .. } => Some(1),
+        Verb::Fetch { .. } => Some(2),
+        Verb::Select { .. } => Some(3),
+        Verb::Open { .. } | Verb::Close => None,
+    }
+}
+
+/// Label values for the four navigation verbs, in `verb_label` order.
+pub const VERB_LABELS: [&str; 4] = ["d", "r", "f", "select"];
+
+/// The wire-span name of a verb (matches the engine's span names, so a
+/// merged trace shows one consistent command vocabulary).
+fn verb_span_name(verb: &Verb) -> &'static str {
+    match verb {
+        Verb::Open { .. } => "open",
+        Verb::Down { .. } => "d",
+        Verb::Right { .. } => "r",
+        Verb::Fetch { .. } => "f",
+        Verb::Select { .. } => "s",
+        Verb::Close => "close",
+    }
+}
+
+/// RED series for one navigation verb: rate (`total`), errors, duration.
+struct VerbStats {
+    total: Counter,
+    errors: Counter,
+    latency: Histogram,
+}
+
+/// One slow-navigation record: which session and verb crossed the
+/// threshold, how long it took, and the span ids that explain it —
+/// `server_span` indexes the session's flight recorder
+/// ([`VxdServer::why`]), `client_span` is the remote parent when the
+/// request carried a trace context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowNav {
+    /// The session that served the navigation.
+    pub session: u64,
+    /// Verb label (`d`/`r`/`f`/`select`).
+    pub verb: &'static str,
+    /// Wall-clock duration in nanoseconds.
+    pub elapsed_ns: u64,
+    /// The server-side span the navigation ran under (0 when the session
+    /// is untraced).
+    pub server_span: u64,
+    /// The client-side parent span, when the frame carried a context.
+    pub client_span: Option<u64>,
+}
+
+/// One row of the live session table ([`VxdServer::sessions_table`],
+/// `/sessions`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionInfo {
+    /// Session id.
+    pub session: u64,
+    /// The template the session navigates.
+    pub template: String,
+    /// Navigation verbs served so far.
+    pub commands: u64,
+    /// Seconds since the session opened.
+    pub age_secs: f64,
+    /// Is the session's flight recorder on (opened by a traced client)?
+    pub traced: bool,
+}
+
+/// One row of the health surface ([`VxdServer::source_health`],
+/// `/healthz`): pool-level per-source status aggregated across sessions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceHealthInfo {
+    /// Source name.
+    pub source: String,
+    /// Aggregated status across every session's navigator.
+    pub status: HealthStatus,
+    /// Operations that returned a degraded answer.
+    pub degraded_ops: u64,
+    /// Transient errors retried away.
+    pub retries: u64,
+}
 
 struct Template {
     plan: Plan,
@@ -67,6 +165,14 @@ struct Session {
     /// close.
     commands: Counter,
     panic_on_fetch: bool,
+    /// The session's flight recorder — enabled when the Open frame
+    /// carried a sampled [`TraceContext`], [`TraceSink::off`] otherwise
+    /// (so `MIX_TRACE_FORCE` cannot silently perturb untraced serving).
+    trace: TraceSink,
+    /// The template this session navigates (for the session table).
+    template: String,
+    /// When the session opened (for the session table).
+    opened_at: Instant,
 }
 
 impl Session {
@@ -92,8 +198,18 @@ struct ServerShared {
     closed_total: Counter,
     panics_total: Counter,
     degraded_total: Counter,
-    /// `mix_serve_nav_latency_ns` — one observation per navigation verb.
-    nav_latency: Histogram,
+    /// `mix_serve_nav_latency_ns{verb=…}` plus rate/error counters, one
+    /// entry per [`VERB_LABELS`] slot (the RED split).
+    verb_stats: [VerbStats; 4],
+    /// Slow-navigation threshold in ns (0 records every navigation).
+    slow_threshold_ns: AtomicU64,
+    /// `mix_serve_slow_navs_total` — navigations over the threshold.
+    slow_total: Counter,
+    /// The slow-navigation ring, newest last (cap [`SLOW_NAV_CAPACITY`]).
+    slow_navs: Mutex<VecDeque<SlowNav>>,
+    /// Rings of recently *closed* traced sessions, so a trace can be read
+    /// after the client hung up (cap [`CLOSED_TRACE_CAPACITY`]).
+    closed_traces: Mutex<VecDeque<(u64, TraceSink)>>,
 }
 
 /// A session-multiplexed VXD server (see module docs). Cheap to clone;
@@ -123,11 +239,32 @@ impl VxdServer {
             "DegradedLabel replies served",
             &[],
         );
-        let nav_latency = metrics.histogram(
-            "mix_serve_nav_latency_ns",
-            "server-side latency of one navigation verb",
+        let verb_stats = VERB_LABELS.map(|verb| VerbStats {
+            total: metrics.counter(
+                "mix_serve_verb_requests_total",
+                "navigation verbs served, by verb",
+                &[("verb", verb)],
+            ),
+            errors: metrics.counter(
+                "mix_serve_verb_errors_total",
+                "navigation verbs answered with an error, by verb",
+                &[("verb", verb)],
+            ),
+            latency: metrics.histogram(
+                "mix_serve_nav_latency_ns",
+                "server-side latency of one navigation verb",
+                &[("verb", verb)],
+            ),
+        });
+        let slow_total = metrics.counter(
+            "mix_serve_slow_navs_total",
+            "navigations slower than the slow-nav threshold",
             &[],
         );
+        let slow_threshold_ns = std::env::var("MIX_SLOW_NAV_NS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_SLOW_NAV_NS);
         VxdServer {
             shared: Arc::new(ServerShared {
                 templates: HashMap::new(),
@@ -142,7 +279,11 @@ impl VxdServer {
                 closed_total,
                 panics_total,
                 degraded_total,
-                nav_latency,
+                verb_stats,
+                slow_threshold_ns: AtomicU64::new(slow_threshold_ns),
+                slow_total,
+                slow_navs: Mutex::new(VecDeque::new()),
+                closed_traces: Mutex::new(VecDeque::new()),
             }),
         }
     }
@@ -209,23 +350,134 @@ impl VxdServer {
         self.shared.pool.cache()
     }
 
+    /// Change the slow-navigation threshold at runtime (ns; 0 records
+    /// every navigation). Initial value: `MIX_SLOW_NAV_NS` or
+    /// [`DEFAULT_SLOW_NAV_NS`].
+    pub fn set_slow_nav_threshold(&self, ns: u64) {
+        self.shared.slow_threshold_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// The current slow-navigation threshold in ns.
+    pub fn slow_nav_threshold(&self) -> u64 {
+        self.shared.slow_threshold_ns.load(Ordering::Relaxed)
+    }
+
+    /// The slow-navigation ring, oldest first.
+    pub fn slow_navs(&self) -> Vec<SlowNav> {
+        lock_unpoisoned(&self.shared.slow_navs).iter().cloned().collect()
+    }
+
+    /// The flight-recorder log of a traced session — live or recently
+    /// closed ([`CLOSED_TRACE_CAPACITY`] rings are retained past close).
+    /// `None` for unknown or untraced sessions.
+    pub fn session_trace(&self, id: u64) -> Option<TraceLog> {
+        if let Some(session) = lock_unpoisoned(&self.shared.sessions).get(&id).cloned() {
+            let s = lock_unpoisoned(&session);
+            if s.trace.is_enabled() {
+                return Some(TraceLog::from_sink(&s.trace));
+            }
+            return None;
+        }
+        lock_unpoisoned(&self.shared.closed_traces)
+            .iter()
+            .rev()
+            .find(|(sid, _)| *sid == id)
+            .map(|(_, sink)| TraceLog::from_sink(sink))
+    }
+
+    /// Explain one server-side span of a traced session: the recorded
+    /// events of that span, one line each — the lookup a [`SlowNav`]'s
+    /// `server_span` points at.
+    pub fn why(&self, session: u64, span: u64) -> Option<String> {
+        let log = self.session_trace(session)?;
+        let events = log.by_span(span);
+        if events.is_empty() {
+            return None;
+        }
+        Some(events.iter().map(|e| e.to_string()).collect::<Vec<_>>().join("\n"))
+    }
+
+    /// The live session table, one row per open session, session-id order.
+    pub fn sessions_table(&self) -> Vec<SessionInfo> {
+        let sessions: Vec<(u64, Arc<Mutex<Session>>)> = lock_unpoisoned(&self.shared.sessions)
+            .iter()
+            .map(|(id, s)| (*id, Arc::clone(s)))
+            .collect();
+        let mut rows: Vec<SessionInfo> = sessions
+            .into_iter()
+            .map(|(id, session)| {
+                let s = lock_unpoisoned(&session);
+                SessionInfo {
+                    session: id,
+                    template: s.template.clone(),
+                    commands: s.commands.get(),
+                    age_secs: s.opened_at.elapsed().as_secs_f64(),
+                    traced: s.trace.is_enabled(),
+                }
+            })
+            .collect();
+        rows.sort_by_key(|r| r.session);
+        rows
+    }
+
+    /// Pool-level per-source health, aggregated across every session's
+    /// navigators — the `/healthz` surface.
+    pub fn source_health(&self) -> Vec<SourceHealthInfo> {
+        self.shared
+            .pool
+            .health()
+            .into_iter()
+            .map(|(source, health): (String, SourceHealth)| {
+                let snap = health.snapshot();
+                SourceHealthInfo {
+                    source,
+                    status: snap.status,
+                    degraded_ops: snap.degraded_ops,
+                    retries: snap.retries,
+                }
+            })
+            .collect()
+    }
+
     /// Handle one request frame and produce its reply. This is the whole
     /// server semantics; connection loops and tests drive this directly.
+    ///
+    /// A frame with a sampled [`TraceContext`] links the server-side span
+    /// that serves it to the client span in the context — for `Open`, it
+    /// also turns the new session's flight recorder on. The reply bytes
+    /// are identical either way: tracing is pure observation.
     pub fn handle(&self, req: &Request) -> Reply {
+        let ctx = req.trace.filter(|c| c.sampled);
         match &req.verb {
-            Verb::Open { template } => self.open(template),
+            Verb::Open { template } => self.open(template, ctx),
             Verb::Close => {
+                // A traced close records its own span before teardown so
+                // the final frame is linked like every other.
+                if let Some(ctx) = ctx {
+                    if let Some(session) =
+                        lock_unpoisoned(&self.shared.sessions).get(&req.session).cloned()
+                    {
+                        let s = lock_unpoisoned(&session);
+                        if s.trace.is_enabled() {
+                            s.trace.begin_span("close");
+                            s.trace.emit(
+                                None,
+                                TraceKind::WireSpan { client_span: ctx.span, verb: "close" },
+                            );
+                        }
+                    }
+                }
                 if self.close_session(req.session) {
                     Reply::Closed
                 } else {
                     unknown_session(req.session)
                 }
             }
-            verb => self.navigate(req.session, verb),
+            verb => self.navigate(req.session, verb, ctx),
         }
     }
 
-    fn open(&self, template: &str) -> Reply {
+    fn open(&self, template: &str, ctx: Option<TraceContext>) -> Reply {
         let sh = &*self.shared;
         let Some(tpl) = sh.templates.get(template) else {
             return Reply::Error {
@@ -239,7 +491,19 @@ impl VxdServer {
                 msg: format!("at the {} concurrent-session limit", sh.max_sessions),
             };
         }
-        let registry = sh.pool.registry_for_session();
+        // A sampled Open turns the session's own flight recorder on: the
+        // engine and every session buffer share one ring, and the span-0
+        // wire link below lets the merge re-parent warm-up work onto the
+        // client's `open` span.
+        let trace = match ctx {
+            Some(_) => TraceSink::enabled(mix_core::DEFAULT_TRACE_CAPACITY),
+            None => TraceSink::off(),
+        };
+        let registry = if trace.is_enabled() {
+            sh.pool.registry_for_session_traced(&trace)
+        } else {
+            sh.pool.registry_for_session()
+        };
         let mut engine = match Engine::with_config(tpl.plan.clone(), &registry, sh.config) {
             Ok(e) => e,
             Err(e) => {
@@ -252,6 +516,13 @@ impl VxdServer {
             "navigation verbs served per session",
             &[("session", &id.to_string())],
         );
+        if let Some(ctx) = ctx {
+            // Engine warm-up above ran at span 0; link it to the client's
+            // `open` span and surface this ring's overflow counter under
+            // the session label (swept at close with the other series).
+            trace.emit(None, TraceKind::WireSpan { client_span: ctx.span, verb: "open" });
+            trace.bind_into(&sh.metrics, &[("session", &id.to_string())]);
+        }
         let root = engine.root();
         let mut session = Session {
             engine,
@@ -259,6 +530,9 @@ impl VxdServer {
             next_handle: 1,
             commands,
             panic_on_fetch: tpl.panic_on_fetch,
+            trace,
+            template: template.to_string(),
+            opened_at: Instant::now(),
         };
         let root_handle = session.intern(root);
         lock_unpoisoned(&sh.sessions).insert(id, Arc::new(Mutex::new(session)));
@@ -267,9 +541,13 @@ impl VxdServer {
         Reply::Opened { session: id, root: root_handle }
     }
 
-    fn navigate(&self, session_id: u64, verb: &Verb) -> Reply {
+    fn navigate(&self, session_id: u64, verb: &Verb, ctx: Option<TraceContext>) -> Reply {
         let sh = &*self.shared;
         let Some(session) = lock_unpoisoned(&sh.sessions).get(&session_id).cloned() else {
+            if let Some(vs) = verb_label(verb).map(|i| &sh.verb_stats[i]) {
+                vs.total.inc();
+                vs.errors.inc();
+            }
             return unknown_session(session_id);
         };
         let start = Instant::now();
@@ -281,7 +559,7 @@ impl VxdServer {
             let mut s = lock_unpoisoned(&session);
             s.commands.inc();
             let node = |s: &Session, h: u64| s.handles.get(&h).cloned();
-            match verb {
+            let reply = match verb {
                 Verb::Down { node: h } => match node(&s, *h) {
                     None => unknown_handle(*h),
                     Some(p) => match s.engine.down(&p) {
@@ -322,17 +600,58 @@ impl VxdServer {
                     },
                 },
                 Verb::Open { .. } | Verb::Close => unreachable!("handled in handle()"),
+            };
+            // The engine's nav verb began the server-side span; link it
+            // to the client span *after* the call so the wire-span event
+            // lands inside the span it describes. Error replies (unknown
+            // handle) began no span, so they carry no link.
+            if let Some(ctx) = ctx {
+                if s.trace.is_enabled() && !matches!(reply, Reply::Error { .. }) {
+                    s.trace.emit(
+                        None,
+                        TraceKind::WireSpan { client_span: ctx.span, verb: verb_span_name(verb) },
+                    );
+                }
             }
+            let server_span = if s.trace.is_enabled() { s.trace.current_span() } else { 0 };
+            (reply, server_span)
         }));
-        sh.nav_latency.observe(start.elapsed().as_nanos() as u64);
+        let elapsed_ns = start.elapsed().as_nanos() as u64;
+        let vs = verb_label(verb).map(|i| &sh.verb_stats[i]);
+        if let Some(vs) = vs {
+            vs.total.inc();
+            vs.latency.observe(elapsed_ns);
+        }
         match outcome {
-            Ok(reply) => {
+            Ok((reply, server_span)) => {
                 if matches!(reply, Reply::DegradedLabel { .. }) {
                     sh.degraded_total.inc();
+                }
+                if matches!(reply, Reply::Error { .. }) {
+                    if let Some(vs) = vs {
+                        vs.errors.inc();
+                    }
+                }
+                if elapsed_ns >= sh.slow_threshold_ns.load(Ordering::Relaxed) {
+                    sh.slow_total.inc();
+                    let mut ring = lock_unpoisoned(&sh.slow_navs);
+                    if ring.len() >= SLOW_NAV_CAPACITY {
+                        ring.pop_front();
+                    }
+                    ring.push_back(SlowNav {
+                        session: session_id,
+                        verb: VERB_LABELS[verb_label(verb).unwrap_or(0)],
+                        elapsed_ns,
+                        server_span,
+                        client_span: ctx.map(|c| c.span),
+                    });
                 }
                 reply
             }
             Err(_) => {
+                if let Some(vs) = vs {
+                    vs.errors.inc();
+                }
                 sh.panics_total.inc();
                 self.close_session(session_id);
                 Reply::Error {
@@ -351,6 +670,19 @@ impl VxdServer {
         let Some(session) = lock_unpoisoned(&sh.sessions).remove(&id) else {
             return false;
         };
+        // A traced session's ring outlives it (bounded), so the merge can
+        // run after the client hung up. The sink is an Arc'd ring, not
+        // the engine — the engine and its buffers still drop right here.
+        {
+            let s = lock_unpoisoned(&session);
+            if s.trace.is_enabled() {
+                let mut retained = lock_unpoisoned(&sh.closed_traces);
+                if retained.len() >= CLOSED_TRACE_CAPACITY {
+                    retained.pop_front();
+                }
+                retained.push_back((id, s.trace.clone()));
+            }
+        }
         drop(session);
         sh.metrics.unregister_labeled("session", &id.to_string());
         sh.sessions_gauge.sub_saturating(1);
@@ -438,6 +770,14 @@ pub struct ServerHandle {
 }
 
 impl ServerHandle {
+    pub(crate) fn new(
+        local_addr: SocketAddr,
+        stop: Arc<AtomicBool>,
+        accept: JoinHandle<()>,
+    ) -> Self {
+        ServerHandle { local_addr, stop, accept: Some(accept) }
+    }
+
     /// The bound address (use `:0` in `serve_tcp` for an ephemeral port).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr

@@ -123,7 +123,7 @@ fn malformed_frames_get_typed_errors_without_dropping_the_connection() {
     let mut frames = FrameStream::new(client_end);
 
     // Unknown opcode.
-    let mut bad = Request { session: 0, verb: Verb::Close }.encode();
+    let mut bad = Request::new(0, Verb::Close).encode();
     bad[8] = 0x7F;
     write_frame(frames_stream(&mut frames), &bad).unwrap();
     let reply = frames.recv_reply().unwrap();
@@ -136,7 +136,7 @@ fn malformed_frames_get_typed_errors_without_dropping_the_connection() {
 
     // The connection survived both: a well-formed Open still works.
     frames
-        .send_request(&Request { session: 0, verb: Verb::Open { template: "q".into() } })
+        .send_request(&Request::new(0, Verb::Open { template: "q".into() }))
         .unwrap();
     assert!(matches!(frames.recv_reply().unwrap(), Reply::Opened { .. }));
 

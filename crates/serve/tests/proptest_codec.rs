@@ -4,7 +4,9 @@
 //! silently mis-parse. The codec is the server's outer wall; these are
 //! the bricks-thrown-at-it tests.
 
-use mix_serve::codec::{read_frame, write_frame, ErrorCode, FrameError, Reply, Request, Verb};
+use mix_serve::codec::{
+    read_frame, write_frame, ErrorCode, FrameError, Reply, Request, TraceContext, Verb,
+};
 use proptest::prelude::*;
 
 fn arb_str() -> impl Strategy<Value = String> {
@@ -28,8 +30,58 @@ fn arb_verb() -> impl Strategy<Value = Verb> {
     ]
 }
 
+fn arb_trace() -> impl Strategy<Value = Option<TraceContext>> {
+    prop_oneof![
+        Just(None),
+        ((0u64..=u64::MAX), prop_oneof![Just(false), Just(true)])
+            .prop_map(|(span, sampled)| Some(TraceContext { span, sampled })),
+    ]
+}
+
 fn arb_request() -> impl Strategy<Value = Request> {
-    ((0u64..=u64::MAX), arb_verb()).prop_map(|(session, verb)| Request { session, verb })
+    ((0u64..=u64::MAX), arb_verb(), arb_trace()).prop_map(|(session, verb, trace)| {
+        let req = Request::new(session, verb);
+        match trace {
+            Some(ctx) => req.with_trace(ctx),
+            None => req,
+        }
+    })
+}
+
+/// The PR-8 context-free encoder, re-rolled by hand: session, opcode,
+/// verb args, nothing else. Back-compat oracle for the trailer change.
+fn encode_pr8(session: u64, verb: &Verb) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&session.to_le_bytes());
+    let put_str = |out: &mut Vec<u8>, s: &str| {
+        out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+        out.extend_from_slice(s.as_bytes());
+    };
+    match verb {
+        Verb::Open { template } => {
+            out.push(0x01);
+            put_str(&mut out, template);
+        }
+        Verb::Down { node } => {
+            out.push(0x02);
+            out.extend_from_slice(&node.to_le_bytes());
+        }
+        Verb::Right { node } => {
+            out.push(0x03);
+            out.extend_from_slice(&node.to_le_bytes());
+        }
+        Verb::Fetch { node } => {
+            out.push(0x04);
+            out.extend_from_slice(&node.to_le_bytes());
+        }
+        Verb::Select { node, label } => {
+            out.push(0x05);
+            out.extend_from_slice(&node.to_le_bytes());
+            put_str(&mut out, label);
+        }
+        Verb::Close => out.push(0x06),
+    }
+    out
 }
 
 fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
@@ -89,19 +141,59 @@ proptest! {
         }
     }
 
-    /// Any strict prefix of a valid encoding is a typed error, never a
-    /// silent partial parse.
+    /// Any strict prefix of a valid encoding is a typed error — except
+    /// the one prefix that is itself a complete valid encoding: cutting a
+    /// traced request exactly at the trailer boundary yields the
+    /// context-free form of the same request (that's the back-compat
+    /// contract, not a parser hole). Strictness still demands any
+    /// accepted prefix re-encode to exactly those bytes.
     #[test]
     fn every_truncation_is_a_typed_error(req in arb_request(), cut in 0usize..64) {
         let enc = req.encode();
         if cut < enc.len() {
-            let err = Request::decode(&enc[..cut]).expect_err("strict decoder");
-            prop_assert!(
-                matches!(err, FrameError::Truncated { .. } | FrameError::UnknownOpcode(_)
-                    | FrameError::BadUtf8),
-                "unexpected error class: {err}"
-            );
+            match Request::decode(&enc[..cut]) {
+                Ok(parsed) => prop_assert_eq!(parsed.encode(), &enc[..cut], "lossless parse only"),
+                Err(err) => prop_assert!(
+                    matches!(err, FrameError::Truncated { .. } | FrameError::UnknownOpcode(_)
+                        | FrameError::BadUtf8 | FrameError::BadTraceMarker(_)
+                        | FrameError::BadTraceFlags(_) | FrameError::TrailingBytes { .. }),
+                    "unexpected error class: {err}"
+                ),
+            }
         }
+    }
+
+    /// PR-8 byte strings — frames encoded before the trace trailer
+    /// existed — still decode, to the same request with no context, and
+    /// re-encode byte-identically.
+    #[test]
+    fn pr8_context_free_bytes_still_decode(session in 0u64..=u64::MAX, verb in arb_verb()) {
+        let legacy = encode_pr8(session, &verb);
+        let parsed = Request::decode(&legacy).expect("legacy frame decodes");
+        prop_assert_eq!(parsed.trace, None, "no invented context");
+        prop_assert_eq!(&parsed.session, &session);
+        prop_assert_eq!(&parsed.verb, &verb);
+        prop_assert_eq!(parsed.encode(), legacy, "same bytes both eras");
+    }
+
+    /// The trailer is strict: a wrong marker byte or reserved flag bits
+    /// are typed errors, not ignored decoration.
+    #[test]
+    fn trailer_corruption_is_typed(req in arb_request(), marker in 0u8..=255, flags in 2u8..=255) {
+        let base = Request::new(req.session, req.verb.clone());
+        let mut enc = base.with_trace(TraceContext { span: 7, sampled: true }).encode();
+        let len = enc.len();
+        if marker != 0x54 {
+            enc[len - 10] = marker;
+            prop_assert!(matches!(
+                Request::decode(&enc),
+                Err(FrameError::BadTraceMarker(_)) | Err(FrameError::Truncated { .. })
+                    | Err(FrameError::BadUtf8) | Err(FrameError::TrailingBytes { .. })
+            ));
+            enc[len - 10] = 0x54;
+        }
+        enc[len - 1] = flags;
+        prop_assert!(matches!(Request::decode(&enc), Err(FrameError::BadTraceFlags(_))));
     }
 
     /// Appending garbage to a valid encoding is always caught: either the

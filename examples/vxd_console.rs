@@ -234,7 +234,39 @@ fn main() {
                 }
             }
             Some("explain") => print!("{}", doc.explain_analyze()),
-            Some("metrics") => print!("{}", doc.metrics_snapshot().render_prometheus()),
+            Some("metrics") => {
+                let snap = doc.metrics_snapshot();
+                print!("{}", snap.render_prometheus());
+                // A quantile digest on top of the raw scrape: merge the
+                // samples of each histogram family (verb-labelled series
+                // fold into one) and answer p50/p90/p99 from the buckets
+                // — the same helpers EXPLAIN ANALYZE uses per operator.
+                let mut digests: Vec<(String, mix::buffer::HistogramSnapshot)> = Vec::new();
+                for s in &snap.samples {
+                    if let mix::buffer::SampleValue::Histogram(h) = &s.value {
+                        if h.count == 0 {
+                            continue;
+                        }
+                        match digests.iter_mut().find(|(n, _)| *n == s.name) {
+                            Some((_, agg)) => agg.merge(h),
+                            None => digests.push((s.name.clone(), h.clone())),
+                        }
+                    }
+                }
+                if !digests.is_empty() {
+                    println!("# quantiles (p50/p90/p99/max)");
+                    for (name, h) in &digests {
+                        println!(
+                            "#   {name}: {}/{}/{}/{} over {} observations",
+                            h.p50(),
+                            h.p90(),
+                            h.p99(),
+                            h.max,
+                            h.count
+                        );
+                    }
+                }
+            }
             Some("cache") => match (words.next(), words.next()) {
                 (Some("inv"), Some(src)) => {
                     let (entries, bytes) = cache.invalidate(src);
