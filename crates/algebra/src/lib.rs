@@ -27,12 +27,17 @@ pub mod plan;
 pub mod pred;
 pub mod rewrite;
 pub mod translate;
+pub mod views;
 
 pub use browsability::{classify, Browsability, NcCapabilities};
 pub use compose::compose;
 pub use plan::{GroupItem, OpId, Plan, PlanId, PlanNode};
 pub use pred::{BindPred, PredOperand};
 pub use translate::translate;
+pub use views::{
+    parse_view_source, view_source_name, RewriteResult, SemanticOutcome, ViewCatalog, ViewId,
+    VIEW_SOURCE_PREFIX,
+};
 
 /// Errors raised while building, validating, translating, or rewriting
 /// plans.

@@ -92,6 +92,9 @@ fn main() {
     if want("e20") {
         e20_observability();
     }
+    if want("e21") {
+        e21_semantic_cache();
+    }
 }
 
 /// Simulated cost units one LXP round trip costs (the latency term the
@@ -758,6 +761,221 @@ fn e17_shared_cache() {
         ("cache_insertions".to_string(), Json::Int(s.insertions)),
     ])
     .write("BENCH_E17.json");
+}
+
+/// E21 — the semantic answer cache vs the identity fragment cache on an
+/// overlapping-query workload. Sessions draw zipf-skewed from templates
+/// that all navigate one source; the shared fragment cache is
+/// budget-starved to a fraction of the source's wire footprint (a working
+/// set the identity cache cannot hold), so identity-cached repeats keep
+/// paying the wire — while the semantic catalog answers every repeated
+/// *query* from its recorded view with zero exchanges, because it caches
+/// answers, not fragments.
+fn e21_semantic_cache() {
+    banner("E21", "semantic answer cache vs identity fragment cache");
+    use mix_algebra::ViewCatalog;
+    use mix_buffer::{FillPolicy, FragmentCache, TreeWrapper};
+    use mix_core::SemanticOutcome;
+    use std::sync::Arc;
+
+    let doc = Arc::new(mix_xml::Document::from_tree(&gen::homes_doc(21, 150, 8)));
+
+    // Overlapping templates over homesSrc, most-popular first (all
+    // recordable fixed-depth shapes; they share fragments, not answers).
+    let templates: [(&str, &str); 6] = [
+        ("homes", "CONSTRUCT <hs> $H {$H} </hs> {} WHERE homesSrc homes.home $H"),
+        ("zips", "CONSTRUCT <zs> $Z {$Z} </zs> {} WHERE homesSrc homes.home.zip $Z"),
+        ("prices", "CONSTRUCT <ps> $P {$P} </ps> {} WHERE homesSrc homes.home.price $P"),
+        ("addrs", "CONSTRUCT <as> $A {$A} </as> {} WHERE homesSrc homes.home.addr $A"),
+        ("zipvals", "CONSTRUCT <vs> $V {$V} </vs> {} WHERE homesSrc homes.home.zip._ $V"),
+        (
+            "chained",
+            "CONSTRUCT <cs> $A {$A} </cs> {} \
+             WHERE homesSrc homes.home $H AND $H addr $A",
+        ),
+    ];
+
+    // One query session: fresh wrapper and buffer, shared fragment cache,
+    // optionally the shared catalog. Returns (answer, wire exchanges,
+    // wire bytes, semantic outcome).
+    let run = |query: &str,
+               cache: &FragmentCache,
+               catalog: Option<&ViewCatalog>|
+     -> (String, u64, u64, Option<SemanticOutcome>) {
+        let mut inner = TreeWrapper::new(FillPolicy::Chunked { n: 4 });
+        inner.add("homesSrc", doc.clone());
+        let nav = BufferNavigator::new(inner, "homesSrc").with_fragment_cache(cache.clone());
+        let (health, stats) = (nav.health(), nav.stats());
+        let mut reg = SourceRegistry::new();
+        reg.add_navigator_with_stats("homesSrc", nav, health, stats.clone());
+        reg.set_source_cache("homesSrc", cache.clone());
+        let config = match catalog {
+            Some(catalog) => {
+                reg.set_view_catalog(catalog.clone());
+                EngineConfig { semantic_cache: true, ..EngineConfig::default() }
+            }
+            None => EngineConfig::default(),
+        };
+        let mut engine = Engine::with_config(plan_for(query), &reg, config).unwrap();
+        let outcome = engine.semantic_outcome();
+        let answer = materialize(&mut engine);
+        if matches!(outcome, Some(SemanticOutcome::Miss | SemanticOutcome::Partial)) {
+            engine.record_view(&answer);
+        }
+        let s = stats.snapshot();
+        (answer.to_string(), s.requests + s.get_roots, s.bytes_received, outcome)
+    };
+
+    // Size the starvation budget from the measured wire footprint of one
+    // full uncached scan: a quarter of the working set.
+    let (_, probe_req, probe_bytes, _) =
+        run(templates[0].1, &FragmentCache::with_budget(0), None);
+    let budget = (probe_bytes / 4).max(1);
+    println!(
+        "source footprint: {probe_req} exchanges / {probe_bytes} B per full scan; \
+         shared cache budget {budget} B (working set cannot fit)"
+    );
+
+    // The zipf draw sequence, identical for both modes.
+    let zipf_cdf: Vec<f64> = {
+        let s = 1.1_f64;
+        let weights: Vec<f64> =
+            (0..templates.len()).map(|k| 1.0 / ((k + 1) as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut cum = 0.0;
+        weights.iter().map(|w| { cum += w / total; cum }).collect()
+    };
+    let mix64 = |mut z: u64| -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    const DRAWS: usize = 60;
+    let draws: Vec<usize> = (0..DRAWS as u64)
+        .map(|i| {
+            let u = mix64(i) as f64 / u64::MAX as f64;
+            zipf_cdf.iter().position(|&c| u <= c).unwrap_or(templates.len() - 1)
+        })
+        .collect();
+
+    // Per-mode totals plus the repeat-draw split: a "repeat" is any draw
+    // whose template already ran once in that mode.
+    struct ModeResult {
+        answers: Vec<String>,
+        requests: u64,
+        bytes: u64,
+        repeat_requests: u64,
+        repeat_bytes: u64,
+        covered: u64,
+        miss: u64,
+    }
+    let run_mode = |catalog: Option<&ViewCatalog>| -> ModeResult {
+        let cache = FragmentCache::with_budget(budget);
+        let mut seen = [false; 6];
+        let mut r = ModeResult {
+            answers: Vec::with_capacity(DRAWS),
+            requests: 0,
+            bytes: 0,
+            repeat_requests: 0,
+            repeat_bytes: 0,
+            covered: 0,
+            miss: 0,
+        };
+        for &t in &draws {
+            let (answer, req, bytes, outcome) = run(templates[t].1, &cache, catalog);
+            r.answers.push(answer);
+            r.requests += req;
+            r.bytes += bytes;
+            if seen[t] {
+                r.repeat_requests += req;
+                r.repeat_bytes += bytes;
+            }
+            seen[t] = true;
+            match outcome {
+                Some(SemanticOutcome::Covered) => r.covered += 1,
+                Some(_) => r.miss += 1,
+                None => {}
+            }
+        }
+        r
+    };
+
+    let identity = run_mode(None);
+    let catalog = ViewCatalog::new();
+    let semantic = run_mode(Some(&catalog));
+
+    assert_eq!(identity.answers, semantic.answers, "rewritten answers must be byte-identical");
+    assert!(identity.repeat_requests > 0, "the starved identity cache pays for repeats");
+    assert_eq!(
+        (semantic.repeat_requests, semantic.repeat_bytes),
+        (0, 0),
+        "every repeated query is answered from the catalog with zero wire"
+    );
+    assert_eq!(semantic.covered as usize + semantic.miss as usize, DRAWS);
+
+    let t = TablePrinter::new(
+        &["mode", "exchanges", "bytes", "sim cost", "repeat exch", "repeat bytes"],
+        &[22, 10, 10, 12, 12, 12],
+    );
+    let mut rows = Vec::new();
+    for (label, m) in [("identity (starved)", &identity), ("identity + semantic", &semantic)] {
+        t.row(&[
+            label.to_string(),
+            format!("{}", m.requests),
+            format!("{}", m.bytes),
+            format!("{}", simulated_cost(m.requests, m.bytes)),
+            format!("{}", m.repeat_requests),
+            format!("{}", m.repeat_bytes),
+        ]);
+        rows.push(Json::Obj(vec![
+            ("mode".to_string(), Json::str(label)),
+            ("exchanges".to_string(), Json::Int(m.requests)),
+            ("bytes".to_string(), Json::Int(m.bytes)),
+            ("simulated_cost".to_string(), Json::Int(simulated_cost(m.requests, m.bytes))),
+            ("repeat_exchanges".to_string(), Json::Int(m.repeat_requests)),
+            ("repeat_bytes".to_string(), Json::Int(m.repeat_bytes)),
+        ]));
+    }
+    println!(
+        "outcomes with the catalog: {} covered / {} miss over {DRAWS} zipf draws; \
+         views recorded: {}",
+        semantic.covered,
+        semantic.miss,
+        catalog.len()
+    );
+    println!(
+        "shape check: the identity cache cannot hold the working set, so repeated \
+         queries keep paying the wire ({} exchanges / {} B); the semantic catalog \
+         answers every repeat with ZERO exchanges, byte-identically.",
+        identity.repeat_requests, identity.repeat_bytes
+    );
+    if std::env::var("MIX_BENCH_ENFORCE").as_deref() == Ok("1") {
+        // The asserts above already gate; make the pass explicit for CI.
+        println!(
+            "MIX_BENCH_ENFORCE: covered repeats wire-free, identity repeats paid \
+             {} exchanges, answers byte-identical — pass",
+            identity.repeat_requests
+        );
+    }
+
+    Json::Obj(vec![
+        ("experiment".to_string(), Json::str("E21")),
+        (
+            "workload".to_string(),
+            Json::str("60 zipf-skewed draws over 6 overlapping homesSrc templates"),
+        ),
+        ("draws".to_string(), Json::Int(DRAWS as u64)),
+        ("cache_budget_bytes".to_string(), Json::Int(budget)),
+        ("full_scan_bytes".to_string(), Json::Int(probe_bytes)),
+        ("modes".to_string(), Json::Arr(rows)),
+        ("covered".to_string(), Json::Int(semantic.covered)),
+        ("miss".to_string(), Json::Int(semantic.miss)),
+        ("views_recorded".to_string(), Json::Int(catalog.len() as u64)),
+        ("answers_identical".to_string(), Json::Bool(true)),
+        ("covered_repeats_wire_free".to_string(), Json::Bool(true)),
+    ])
+    .write("BENCH_E21.json");
 }
 
 /// E18 — the concurrent multi-source engine. Every source pays a real

@@ -59,6 +59,10 @@ pub struct FragmentCacheStats {
     pub misses: u64,
     /// Entries admitted.
     pub insertions: u64,
+    /// Inserts that found a same-epoch entry already resident (a racing
+    /// worker filled the same hole first) and coalesced into a recency
+    /// refresh instead of a re-admission.
+    pub coalesced: u64,
     /// Entries evicted by LRU byte pressure.
     pub evictions: u64,
     /// Source-level invalidations (epoch bumps).
@@ -117,6 +121,7 @@ pub struct FragmentCache {
     hits: Counter,
     misses: Counter,
     insertions: Counter,
+    coalesced: Counter,
     evictions: Counter,
     invalidations: Counter,
     bytes: Gauge,
@@ -157,6 +162,7 @@ impl FragmentCache {
             hits: Counter::new(),
             misses: Counter::new(),
             insertions: Counter::new(),
+            coalesced: Counter::new(),
             evictions: Counter::new(),
             invalidations: Counter::new(),
             bytes: Gauge::new(),
@@ -233,6 +239,28 @@ impl FragmentCache {
         }
         let epoch = inner.epochs.get(source).copied().unwrap_or(0);
         let key = (source.to_string(), hole.clone());
+        if let Some(prior) = inner.entries.get(&key) {
+            if prior.epoch == epoch {
+                // A racing worker admitted this hole between our lookup
+                // miss and this insert. Keep the resident entry (hits may
+                // already share its allocation) and coalesce into a
+                // recency refresh, so concurrent prefetchers don't
+                // double-count insertions or churn the LRU.
+                inner.tick += 1;
+                let tick = inner.tick;
+                let old = inner
+                    .entries
+                    .get_mut(&key)
+                    .map(|e| std::mem::replace(&mut e.tick, tick))
+                    .expect("entry just observed");
+                inner.lru.remove(&old);
+                inner.lru.insert(tick, key);
+                drop(inner);
+                self.coalesced.inc();
+                self.sync_gauges();
+                return Vec::new();
+            }
+        }
         if let Some(prior) = inner.entries.remove(&key) {
             inner.cur_bytes -= prior.bytes;
             inner.lru.remove(&prior.tick);
@@ -348,6 +376,13 @@ impl FragmentCache {
         lock_unpoisoned(&self.inner).budget
     }
 
+    /// The current epoch of `source` (0 until first invalidated). The
+    /// semantic view catalog folds this into its staleness oracle, so a
+    /// fragment-level invalidation also retires every dependent view.
+    pub fn source_epoch(&self, source: &str) -> u64 {
+        lock_unpoisoned(&self.inner).epochs.get(source).copied().unwrap_or(0)
+    }
+
     /// A point-in-time copy of the cache-wide counters.
     pub fn stats(&self) -> FragmentCacheStats {
         let inner = lock_unpoisoned(&self.inner);
@@ -355,6 +390,7 @@ impl FragmentCache {
             hits: self.hits.get(),
             misses: self.misses.get(),
             insertions: self.insertions.get(),
+            coalesced: self.coalesced.get(),
             evictions: self.evictions.get(),
             invalidations: self.invalidations.get(),
             entries: inner.entries.len() as u64,
@@ -392,6 +428,12 @@ impl FragmentCache {
             "Replies admitted into the shared fragment cache",
             &[],
             &self.insertions,
+        );
+        registry.bind_counter(
+            "mix_fragcache_coalesced_total",
+            "Racing inserts coalesced onto an already-resident same-epoch entry",
+            &[],
+            &self.coalesced,
         );
         registry.bind_counter(
             "mix_fragcache_evictions_total",

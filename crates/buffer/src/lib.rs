@@ -99,7 +99,7 @@ pub use metrics::{
 };
 pub use pool::{configured_threads, lock_unpoisoned, run_parallel, wait_unpoisoned, OverlapGauge};
 pub use prefetch::Prefetcher;
-pub use retry::{RetryError, RetryPolicy};
+pub use retry::{RetryError, RetryPolicy, RetryState};
 pub use slow::SlowWrapper;
 pub use trace::{TraceEvent, TraceKind, TraceSink, DEFAULT_TRACE_CAPACITY};
 pub use treewrap::{FillPolicy, TreeWrapper};

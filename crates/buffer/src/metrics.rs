@@ -863,6 +863,7 @@ pub struct RetryMetrics {
     registry: MetricsRegistry,
     retries: Counter,
     breaker_opens: Counter,
+    breaker_closes: Counter,
 }
 
 impl RetryMetrics {
@@ -878,6 +879,11 @@ impl RetryMetrics {
             breaker_opens: registry.counter(
                 "mix_breaker_opens_total",
                 "Circuit-breaker openings (source quarantined)",
+                &[("source", source)],
+            ),
+            breaker_closes: registry.counter(
+                "mix_breaker_closes_total",
+                "Circuit-breaker closings (half-open probe succeeded)",
                 &[("source", source)],
             ),
         }
@@ -896,6 +902,14 @@ impl RetryMetrics {
     pub fn record_breaker_open(&self) {
         if self.registry.is_enabled() {
             self.breaker_opens.inc();
+        }
+    }
+
+    /// Record one breaker closing (a successful half-open probe).
+    #[inline]
+    pub fn record_breaker_close(&self) {
+        if self.registry.is_enabled() {
+            self.breaker_closes.inc();
         }
     }
 }

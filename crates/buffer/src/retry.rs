@@ -29,6 +29,11 @@ pub struct RetryPolicy {
     /// Consecutive exhausted requests before the circuit opens (0 =
     /// breaker disabled).
     pub breaker_threshold: u32,
+    /// Rejected calls while open before one *half-open probe* is let
+    /// through to the wrapper; a successful probe closes the circuit
+    /// again without any manual reset (0 = the breaker only ever closes
+    /// via [`RetryState::reset`]).
+    pub half_open_after: u32,
 }
 
 impl Default for RetryPolicy {
@@ -38,6 +43,7 @@ impl Default for RetryPolicy {
             base_backoff_cost: 16,
             max_backoff_cost: 1 << 10,
             breaker_threshold: 3,
+            half_open_after: 4,
         }
     }
 }
@@ -51,6 +57,7 @@ impl RetryPolicy {
             base_backoff_cost: 0,
             max_backoff_cost: 0,
             breaker_threshold: 0,
+            half_open_after: 0,
         }
     }
 
@@ -69,6 +76,9 @@ impl RetryPolicy {
 pub struct RetryState {
     consecutive_failures: u32,
     open: bool,
+    /// Calls rejected since the circuit opened (or since the last
+    /// half-open probe) — the half-open pacing counter.
+    rejected_while_open: u32,
 }
 
 /// Outcome of [`RetryState::run`].
@@ -167,7 +177,30 @@ impl RetryState {
         mut op: impl FnMut() -> Result<T, LxpError>,
     ) -> RetryResult<T> {
         if self.open {
-            return Err(RetryError::CircuitOpen);
+            self.rejected_while_open += 1;
+            if policy.half_open_after == 0 || self.rejected_while_open < policy.half_open_after {
+                return Err(RetryError::CircuitOpen);
+            }
+            // Half-open: let exactly one probe through. Success closes
+            // the circuit (and flips the health handle back, so /healthz
+            // recovers without a restart); failure re-arms the pacing
+            // counter and keeps the circuit open.
+            self.rejected_while_open = 0;
+            match op() {
+                Ok(v) => {
+                    self.open = false;
+                    self.consecutive_failures = 0;
+                    health.set_breaker(false);
+                    if let Some(m) = metrics {
+                        m.record_breaker_close();
+                    }
+                    if trace.is_enabled() {
+                        trace.emit(source, TraceKind::BreakerClose);
+                    }
+                    return Ok(v);
+                }
+                Err(_) => return Err(RetryError::CircuitOpen),
+            }
         }
         let attempts = policy.max_attempts.max(1);
         for attempt in 1..=attempts {
@@ -211,6 +244,7 @@ impl RetryState {
     pub fn reset(&mut self) {
         self.consecutive_failures = 0;
         self.open = false;
+        self.rejected_while_open = 0;
     }
 
     fn note_failure(
@@ -382,6 +416,98 @@ mod tests {
         let mut state = RetryState::new();
         let got = state.run(&policy, &health, flaky(2)).unwrap();
         assert_eq!(got, 42);
+    }
+
+    #[test]
+    fn half_open_probe_closes_the_breaker_on_success() {
+        let policy = RetryPolicy {
+            max_attempts: 1,
+            breaker_threshold: 1,
+            half_open_after: 2,
+            ..RetryPolicy::default()
+        };
+        let health = SourceHealth::new();
+        let mut state = RetryState::new();
+        let sink = TraceSink::enabled(32);
+        // Trip the breaker.
+        let _ = state
+            .run_traced(&policy, &health, &sink, Some("db"), "fill(h)", || {
+                Err::<(), _>(LxpError::SourceError("down".into()))
+            })
+            .unwrap_err();
+        assert!(state.is_open());
+        assert_eq!(health.status(), HealthStatus::Unavailable);
+        // First rejected call: no wrapper touch yet.
+        let mut called = false;
+        let err = state
+            .run(&policy, &health, || {
+                called = true;
+                Ok::<_, LxpError>(1)
+            })
+            .unwrap_err();
+        assert_eq!(err, RetryError::CircuitOpen);
+        assert!(!called, "still pacing before the probe");
+        // Second call is the half-open probe; it succeeds and the circuit
+        // closes, health recovers, and the closure is traced.
+        let got = state
+            .run_traced(&policy, &health, &sink, Some("db"), "fill(h)", || {
+                Ok::<_, LxpError>(7)
+            })
+            .unwrap();
+        assert_eq!(got, 7);
+        assert!(!state.is_open());
+        assert_eq!(health.status(), HealthStatus::Healthy);
+        assert!(sink.events().iter().any(|e| matches!(e.kind, TraceKind::BreakerClose)));
+    }
+
+    #[test]
+    fn failed_probe_keeps_the_circuit_open_and_re_paces() {
+        let policy = RetryPolicy {
+            max_attempts: 1,
+            breaker_threshold: 1,
+            half_open_after: 1,
+            ..RetryPolicy::default()
+        };
+        let health = SourceHealth::new();
+        let mut state = RetryState::new();
+        let down = || Err::<(), _>(LxpError::SourceError("down".into()));
+        let _ = state.run(&policy, &health, down).unwrap_err();
+        assert!(state.is_open());
+        // With half_open_after == 1 every open call is a probe; a failing
+        // probe reports CircuitOpen and the breaker stays open.
+        let err = state.run(&policy, &health, down).unwrap_err();
+        assert_eq!(err, RetryError::CircuitOpen);
+        assert!(state.is_open());
+        assert_eq!(health.status(), HealthStatus::Unavailable);
+        // Recovery on the next probe.
+        state.run(&policy, &health, || Ok::<_, LxpError>(1)).unwrap();
+        assert!(!state.is_open());
+    }
+
+    #[test]
+    fn half_open_disabled_keeps_rejecting_forever() {
+        let policy = RetryPolicy {
+            max_attempts: 1,
+            breaker_threshold: 1,
+            half_open_after: 0,
+            ..RetryPolicy::default()
+        };
+        let health = SourceHealth::new();
+        let mut state = RetryState::new();
+        let _ = state
+            .run(&policy, &health, || Err::<(), _>(LxpError::SourceError("x".into())))
+            .unwrap_err();
+        for _ in 0..16 {
+            let mut called = false;
+            let err = state
+                .run(&policy, &health, || {
+                    called = true;
+                    Ok::<_, LxpError>(1)
+                })
+                .unwrap_err();
+            assert_eq!(err, RetryError::CircuitOpen);
+            assert!(!called);
+        }
     }
 
     #[test]

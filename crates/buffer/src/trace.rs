@@ -251,6 +251,19 @@ pub enum TraceKind {
         /// Bytes recorded as waste (equals `bytes`).
         wasted: u64,
     },
+    /// The semantic answer cache classified a query at engine build time:
+    /// `covered` of `total` source branches were rewritten onto recorded
+    /// views (wire-free in-memory navigation). Emitted once per engine,
+    /// before any navigation, and deliberately neutral in the traffic
+    /// rollup — rewritten plans simply issue no wire events to reconcile.
+    SemanticRewrite {
+        /// The outcome label: `covered`, `partial`, or `miss`.
+        outcome: &'static str,
+        /// Branches rewritten onto views.
+        covered: u32,
+        /// Total source branches in the plan.
+        total: u32,
+    },
 }
 
 impl TraceKind {
@@ -280,6 +293,7 @@ impl TraceKind {
             TraceKind::WireRequest { .. } => "wire-request",
             TraceKind::WireSpan { .. } => "wire-span",
             TraceKind::FillManyFailed { .. } => "fill-many-failed",
+            TraceKind::SemanticRewrite { .. } => "semantic-rewrite",
         }
     }
 }
@@ -361,6 +375,9 @@ impl fmt::Display for TraceEvent {
                 "fill_many({critical} +{} holes) REJECTED after transfer: {items} items, {nodes} nodes / {bytes} B wasted",
                 holes.saturating_sub(1)
             ),
+            TraceKind::SemanticRewrite { outcome, covered, total } => {
+                write!(f, "semantic cache {outcome}: {covered}/{total} branches from views")
+            }
         }
     }
 }

@@ -128,6 +128,50 @@ fn fragment_cache_epoch_invalidation_never_serves_stale_entries() {
     }
 }
 
+/// The classic prefetch race, pinned: many workers miss on the same cold
+/// hole and then all try to insert the reply. Before the fix, every
+/// racing insert counted as a fresh insertion (and churned the resident
+/// entry), skewing hit/miss/insertion accounting under concurrent
+/// prefetch. Now exactly one insert is admitted; the others coalesce
+/// into recency refreshes, and the books balance exactly:
+/// `hits + misses == lookups` and `misses == insertions + coalesced`.
+#[test]
+fn racing_inserts_of_one_hole_coalesce_and_keep_stats_coherent() {
+    const WORKERS: usize = 16;
+    let cache = FragmentCache::with_budget(1 << 20);
+    let hole = "h0".to_string();
+
+    thread::scope(|scope| {
+        for w in 0..WORKERS {
+            let cache = cache.clone();
+            let hole = hole.clone();
+            scope.spawn(move || {
+                // lookup-miss → fetch → insert, the prefetch worker shape.
+                if cache.lookup("src", &hole).is_none() {
+                    let frags = Arc::new(vec![Fragment::leaf(format!("g{w}"))]);
+                    cache.insert("src", &hole, &frags);
+                }
+            });
+        }
+    });
+
+    let s = cache.stats();
+    assert_eq!(s.entries, 1, "one resident entry for one hole");
+    assert_eq!(s.insertions, 1, "exactly one racing insert is admitted");
+    assert_eq!(
+        s.insertions + s.coalesced,
+        s.misses,
+        "every miss resolved to one admission or one coalesce: {s:?}"
+    );
+    assert_eq!(s.hits + s.misses, WORKERS as u64, "one lookup per worker: {s:?}");
+    assert_eq!(s.evictions, 0, "coalescing never evicts");
+    // The survivor is the first admission; later replies were coalesced
+    // away, and every hit shares the survivor's allocation.
+    let resident = cache.lookup("src", &hole).expect("resident");
+    let again = cache.lookup("src", &hole).expect("resident");
+    assert!(Arc::ptr_eq(&resident, &again), "hits share one allocation");
+}
+
 /// N threads bump shared counters, gauges, and histograms while a
 /// snapshotter reads; every update must land (atomic, not lost) and
 /// snapshots must be monotone for counters.

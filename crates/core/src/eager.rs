@@ -67,7 +67,7 @@ impl Eager<'_> {
         if let Some(t) = self.sources.get(name) {
             return Ok(t.clone());
         }
-        let shared = self.registry.get(name)?;
+        let shared = self.registry.resolve(name)?;
         // Wrap the root element in the virtual document node so paths
         // consume the root element's label as their first step.
         let root = materialize(&mut **mix_buffer::lock_unpoisoned(&shared.nav));

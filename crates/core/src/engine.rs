@@ -12,14 +12,14 @@ use crate::metrics::{OpMetrics, NAV_CMDS};
 use crate::ops::OpState;
 use crate::registry::{SharedSource, SourceRegistry};
 use crate::EngineError;
-use mix_algebra::{Plan, PlanId, PlanNode};
+use mix_algebra::{Plan, PlanId, PlanNode, SemanticOutcome, ViewCatalog};
 use mix_buffer::{
     lock_unpoisoned, run_parallel, BufferStats, BufferStatsSnapshot, Counter, FragmentCache,
     HealthSnapshot, HealthStatus, MetricsRegistry, MetricsSnapshot, OverlapGauge, SourceHealth,
     TraceKind, TraceSink,
 };
 use mix_nav::{LabelPred, NavCounters, NavStats, Navigator};
-use mix_xml::{Document, Label};
+use mix_xml::{Document, Label, Tree};
 use std::collections::HashSet;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -52,6 +52,13 @@ pub struct EngineConfig {
     /// the `MIX_THREADS` environment default applies only through
     /// [`EngineConfig::concurrent`], never ambiently.
     pub threads: usize,
+    /// Rewrite the plan against the semantic answer cache before wiring
+    /// it to sources: when the registry carries a [`ViewCatalog`] and a
+    /// recorded view covers a source branch, the branch is replaced by
+    /// navigation over the cached answer — zero wire exchanges for the
+    /// covered part. Off by default; `MIX_SEMCACHE_FORCE=1` flips the
+    /// default for ad-hoc A/B runs without touching call sites.
+    pub semantic_cache: bool,
 }
 
 impl Default for EngineConfig {
@@ -64,8 +71,20 @@ impl Default for EngineConfig {
             use_select: false,
             hash_join: false,
             threads: 1,
+            semantic_cache: semcache_forced(),
         }
     }
+}
+
+/// Is `MIX_SEMCACHE_FORCE=1` set? When forced, every default-constructed
+/// [`EngineConfig`] opts into semantic-cache rewriting (still a no-op
+/// unless the registry carries a [`ViewCatalog`]). Read once per process.
+fn semcache_forced() -> bool {
+    use std::sync::OnceLock;
+    static FORCED: OnceLock<bool> = OnceLock::new();
+    *FORCED.get_or_init(|| {
+        std::env::var("MIX_SEMCACHE_FORCE").map(|v| v == "1" || v == "true").unwrap_or(false)
+    })
 }
 
 impl EngineConfig {
@@ -80,6 +99,28 @@ impl EngineConfig {
     pub fn concurrent() -> Self {
         EngineConfig { threads: mix_buffer::configured_threads(), ..EngineConfig::default() }
     }
+
+    /// The default configuration with semantic-cache rewriting on.
+    pub fn semantic_cache() -> Self {
+        EngineConfig { semantic_cache: true, ..EngineConfig::default() }
+    }
+}
+
+/// Build-time state of the semantic answer cache for one engine: the
+/// catalog consulted, the rewrite outcome, and what is needed to record
+/// this query's answer as a new view ([`Engine::record_view`]).
+struct SemanticState {
+    catalog: ViewCatalog,
+    outcome: SemanticOutcome,
+    /// Source branches served from recorded views / total source branches.
+    covered: u32,
+    total: u32,
+    /// The *original* (pre-rewrite) plan — the signature a recorded view
+    /// is filed under, so even a covered query can refresh the catalog.
+    record_plan: Plan,
+    /// Combined invalidation epoch of each base source, captured at build
+    /// time; views recorded against a since-bumped epoch are rejected.
+    epochs: Vec<(String, u64)>,
 }
 
 /// One wired source: the shared navigator plus its command counters and,
@@ -159,6 +200,10 @@ pub struct Engine {
     /// Whether the parallel source warm-up has run. It runs at most once,
     /// on the first client `d` (or an explicit [`Engine::warm_sources`]).
     warmed: bool,
+    /// Semantic-cache state, present when the build consulted a catalog
+    /// ([`EngineConfig::semantic_cache`] and a registry-attached
+    /// [`ViewCatalog`]).
+    semantic: Option<SemanticState>,
 }
 
 /// An attribution snapshot: the operator path (plan indices, outermost
@@ -209,6 +254,43 @@ impl Engine {
         registry: &SourceRegistry,
         config: EngineConfig,
     ) -> Result<Self, EngineError> {
+        // Semantic answer cache: before any wiring, try to rewrite the
+        // plan's source branches into navigations over recorded views.
+        // The rewrite is a pure plan transformation — covered branches
+        // read `~view:N` sources the registry resolves from the catalog.
+        let mut plan = plan;
+        let mut semantic: Option<SemanticState> = None;
+        if config.semantic_cache {
+            if let Some(catalog) = registry.view_catalog() {
+                let epochs: Vec<(String, u64)> = plan
+                    .source_names()
+                    .into_iter()
+                    .map(|s| {
+                        let e = registry.source_epoch(&s);
+                        (s, e)
+                    })
+                    .collect();
+                let total = plan
+                    .reachable()
+                    .iter()
+                    .filter(|id| matches!(plan.node(**id), PlanNode::Source { .. }))
+                    .count() as u32;
+                let rr =
+                    catalog.rewrite_against_views(&plan, &|s| registry.source_epoch(s));
+                semantic = Some(SemanticState {
+                    catalog,
+                    outcome: rr.outcome,
+                    covered: rr.used.len() as u32,
+                    total,
+                    record_plan: plan.clone(),
+                    epochs,
+                });
+                if let Some(rewritten) = rr.plan {
+                    plan = rewritten;
+                }
+            }
+        }
+
         plan.validate().map_err(|e| EngineError::new(e.message))?;
         let root_op = plan.root();
         if !matches!(plan.node(root_op), PlanNode::TupleDestroy { .. }) {
@@ -239,6 +321,30 @@ impl Engine {
         if let Some(cache) = &frag_cache {
             cache.bind_into(&metrics);
         }
+        // Surface the rewrite decision: one flight-recorder event and one
+        // bump of the per-outcome query counter, both in the adopted
+        // sinks so they land next to the wire traffic they explain.
+        if let Some(sem) = &semantic {
+            if trace.is_enabled() {
+                trace.emit(
+                    None,
+                    TraceKind::SemanticRewrite {
+                        outcome: sem.outcome.label(),
+                        covered: sem.covered,
+                        total: sem.total,
+                    },
+                );
+            }
+            if metrics.is_enabled() {
+                metrics
+                    .counter(
+                        "mix_semcache_queries_total",
+                        "Queries by semantic-cache rewrite outcome",
+                        &[("outcome", sem.outcome.label())],
+                    )
+                    .inc();
+            }
+        }
         let mut src_leaf_op = vec![0u32; sources.len()];
         for (i, op) in ops.iter().enumerate() {
             if let OpState::Source { src, .. } = op {
@@ -260,6 +366,7 @@ impl Engine {
             src_leaf_op,
             gauge: OverlapGauge::new(),
             warmed: false,
+            semantic,
         };
         engine.register_metric_series();
         Ok(engine)
@@ -419,6 +526,32 @@ impl Engine {
     /// clients read cache effectiveness and invalidate sources by hand.
     pub fn fragment_cache(&self) -> Option<FragmentCache> {
         self.frag_cache.clone()
+    }
+
+    /// The semantic-cache rewrite outcome for this engine's plan:
+    /// `Covered` (every source branch answered from recorded views,
+    /// zero wire exchanges), `Partial`, or `Miss`. `None` when the build
+    /// did not consult a catalog ([`EngineConfig::semantic_cache`] off or
+    /// no catalog on the registry).
+    pub fn semantic_outcome(&self) -> Option<SemanticOutcome> {
+        self.semantic.as_ref().map(|s| s.outcome)
+    }
+
+    /// Record this engine's fully materialized `answer` in the semantic
+    /// answer cache, filed under the *original* (pre-rewrite) plan's
+    /// signature and the source epochs captured at build time — so a
+    /// later query covered by this one navigates the recorded answer
+    /// instead of the wire. Returns `false` when no catalog was
+    /// consulted, the plan shape is not recordable, an equivalent view is
+    /// already recorded, or a source was invalidated since the build
+    /// (the stale-on-arrival guard).
+    pub fn record_view(&self, answer: &Tree) -> bool {
+        match &self.semantic {
+            Some(sem) => {
+                sem.catalog.record(&sem.record_plan, answer, &sem.epochs).is_some()
+            }
+            None => false,
+        }
     }
 
     /// Replace the engine's registry and re-register the engine-level
@@ -836,7 +969,7 @@ fn build_op(
             let idx = match sources.iter().position(|s| &s.name == name) {
                 Some(i) => i,
                 None => {
-                    let reg = registry.get(name)?;
+                    let reg = registry.resolve(name)?;
                     sources.push(SourceConn {
                         name: name.clone(),
                         nav: reg.nav,

@@ -72,6 +72,12 @@ pub use mix_buffer::{HealthSnapshot, HealthStatus, SourceHealth};
 // Same for the shared cross-query fragment cache surfaced through
 // `Engine::fragment_cache` / `VirtualDocument::fragment_cache`.
 pub use mix_buffer::{FragmentCache, FragmentCacheStats, SourceCacheStats};
+// And for the semantic answer cache consulted at engine build time
+// (`SourceRegistry::set_view_catalog`, `EngineConfig::semantic_cache`,
+// `Engine::semantic_outcome` / `Engine::record_view`).
+pub use mix_algebra::{
+    parse_view_source, view_source_name, SemanticOutcome, ViewCatalog, ViewId,
+};
 
 /// Errors raised while wiring a plan to sources.
 #[derive(Debug, Clone, PartialEq, Eq)]

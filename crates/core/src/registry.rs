@@ -1,6 +1,7 @@
 //! Source registry: wiring plan `source` leaves to navigable sources.
 
 use crate::EngineError;
+use mix_algebra::{parse_view_source, ViewCatalog};
 use mix_buffer::{BufferStats, FragmentCache, MetricsRegistry, SourceHealth, TraceSink};
 use mix_nav::{erase, DocNavigator, DynNavigator, Navigator};
 use mix_xml::Tree;
@@ -37,6 +38,12 @@ pub(crate) struct Registered {
 #[derive(Default)]
 pub struct SourceRegistry {
     sources: HashMap<String, Registered>,
+    /// The shared semantic answer cache, when one is attached
+    /// ([`SourceRegistry::set_view_catalog`]). Engines built from this
+    /// registry resolve `~view:N` plan leaves against it, and — with
+    /// [`EngineConfig::semantic_cache`](crate::EngineConfig) — rewrite new
+    /// plans against its recorded views before touching the wire.
+    view_catalog: Option<ViewCatalog>,
 }
 
 impl SourceRegistry {
@@ -226,11 +233,67 @@ impl SourceRegistry {
         self.add_navigator(name, DocNavigator::from_term(term))
     }
 
+    /// Attach the shared semantic answer cache. Engines built from this
+    /// registry can then resolve `~view:N` leaves (emitted by
+    /// [`ViewCatalog::rewrite_against_views`]) to zero-wire navigators
+    /// over the catalog's materialized answers. One catalog handle is
+    /// typically shared across every session of a server, so a view
+    /// recorded by one session answers the next session's query.
+    pub fn set_view_catalog(&mut self, catalog: ViewCatalog) -> &mut Self {
+        self.view_catalog = Some(catalog);
+        self
+    }
+
+    /// The attached semantic answer cache, if any.
+    pub fn view_catalog(&self) -> Option<ViewCatalog> {
+        self.view_catalog.clone()
+    }
+
+    /// The combined invalidation epoch for `name`: the source's
+    /// fragment-cache epoch (bumped by `FragmentCache::invalidate`) plus
+    /// the catalog's own epoch (bumped by
+    /// [`ViewCatalog::invalidate_source`]). A recorded view is only
+    /// served while the combined epoch it was recorded under still
+    /// matches — so invalidation through *either* channel retires the
+    /// dependent views.
+    pub fn source_epoch(&self, name: &str) -> u64 {
+        let cache_epoch = self
+            .sources
+            .get(name)
+            .and_then(|r| r.cache.as_ref())
+            .map(|c| c.source_epoch(name))
+            .unwrap_or(0);
+        let catalog_epoch =
+            self.view_catalog.as_ref().map(|c| c.source_epoch(name)).unwrap_or(0);
+        cache_epoch + catalog_epoch
+    }
+
     /// Shared handle to the navigator (and health, if any) for `name`.
-    pub(crate) fn get(&self, name: &str) -> Result<Registered, EngineError> {
-        self.sources.get(name).cloned().ok_or_else(|| {
-            EngineError::new(format!("plan references unknown source `{name}`"))
-        })
+    /// Registered sources win; otherwise a `~view:N` name resolves to a
+    /// fresh [`DocNavigator`] over the catalog's materialized answer —
+    /// the zero-wire backend a semantically rewritten plan navigates.
+    /// View-backed sources carry no health/stats/trace: they never touch
+    /// the wire, so there is nothing to observe.
+    pub(crate) fn resolve(&self, name: &str) -> Result<Registered, EngineError> {
+        if let Some(reg) = self.sources.get(name) {
+            return Ok(reg.clone());
+        }
+        if let Some(id) = parse_view_source(name) {
+            if let Some(doc) = self.view_catalog.as_ref().and_then(|c| c.view_doc(id)) {
+                return Ok(Registered {
+                    nav: Arc::new(Mutex::new(erase(DocNavigator::new(doc)))),
+                    health: None,
+                    stats: None,
+                    trace: None,
+                    metrics: None,
+                    cache: None,
+                });
+            }
+            return Err(EngineError::new(format!(
+                "plan references cached view `{name}` that is no longer in the catalog"
+            )));
+        }
+        Err(EngineError::new(format!("plan references unknown source `{name}`")))
     }
 
     /// Names currently registered.
@@ -251,11 +314,11 @@ mod tests {
         let mut names = reg.names();
         names.sort_unstable();
         assert_eq!(names, ["homesSrc", "schoolsSrc"]);
-        let a = reg.get("homesSrc").unwrap();
-        let b = reg.get("homesSrc").unwrap();
+        let a = reg.resolve("homesSrc").unwrap();
+        let b = reg.resolve("homesSrc").unwrap();
         assert!(Arc::ptr_eq(&a.nav, &b.nav), "same connection shared");
         assert!(a.health.is_none(), "plain navigators report no health");
-        assert!(reg.get("never").is_err());
+        assert!(reg.resolve("never").is_err());
     }
 
     #[test]
@@ -269,7 +332,7 @@ mod tests {
         let (health, stats) = (nav.health(), nav.stats());
         let mut reg = SourceRegistry::new();
         reg.add_navigator_with_stats("homesSrc", nav, health, stats.clone());
-        let got = reg.get("homesSrc").unwrap();
+        let got = reg.resolve("homesSrc").unwrap();
         let handle = got.stats.expect("stats registered");
         // Same shared cells: navigating through the registered connection
         // is visible on the caller's handle and vice versa.
@@ -287,7 +350,7 @@ mod tests {
         let health = nav.health();
         let mut reg = SourceRegistry::new();
         reg.add_navigator_with_health("homesSrc", nav, health.clone());
-        let got = reg.get("homesSrc").unwrap();
+        let got = reg.resolve("homesSrc").unwrap();
         let handle = got.health.expect("health registered");
         health.record_degraded(&"synthetic");
         assert_eq!(handle.snapshot().degraded_ops, 1, "same shared cells");

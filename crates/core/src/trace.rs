@@ -529,6 +529,11 @@ fn event_json(e: &TraceEvent) -> String {
             fields.push(format!("\"client_span\": {client_span}"));
             fields.push(format!("\"verb\": {}", json_str(verb)));
         }
+        TraceKind::SemanticRewrite { outcome, covered, total } => {
+            fields.push(format!("\"outcome\": {}", json_str(outcome)));
+            fields.push(format!("\"covered\": {covered}"));
+            fields.push(format!("\"total\": {total}"));
+        }
     }
     format!("{{{}}}", fields.join(", "))
 }

@@ -44,6 +44,6 @@ pub use pipe::{pipe, PipeEnd};
 pub use pool::{SessionSources, DEFAULT_SESSION_BATCH};
 pub use scrape::HttpResponse;
 pub use server::{
-    ServerHandle, SessionInfo, SlowNav, SourceHealthInfo, VxdServer, DEFAULT_MAX_SESSIONS,
-    DEFAULT_SLOW_NAV_NS, VERB_LABELS,
+    ServerHandle, SessionInfo, SlowNav, SourceHealthInfo, VxdServer, WhyAnswer,
+    DEFAULT_MAX_SESSIONS, DEFAULT_SLOW_NAV_NS, SEMCACHE_OUTCOME_LABELS, VERB_LABELS,
 };

@@ -22,7 +22,7 @@ use mix_buffer::{
     BufferNavigator, FillPolicy, FragmentCache, LxpWrapper, MetricsRegistry, SharedWrapper,
     SourceHealth, TreeWrapper,
 };
-use mix_core::{SourceRegistry, TraceSink};
+use mix_core::{SourceRegistry, TraceSink, ViewCatalog};
 use mix_xml::{Document, Tree};
 use std::sync::Arc;
 
@@ -35,6 +35,10 @@ pub const DEFAULT_SESSION_BATCH: usize = 8;
 pub struct SessionSources {
     sources: Vec<PooledSource>,
     cache: FragmentCache,
+    /// The shared semantic answer cache: recorded views are visible to
+    /// every session's registry, so one warmed template covers all later
+    /// sessions (the answer-level twin of the fragment cache).
+    catalog: ViewCatalog,
     metrics: MetricsRegistry,
     batch_limit: usize,
 }
@@ -54,7 +58,13 @@ impl SessionSources {
     /// are bound into the registry here, once — not per session.
     pub fn new(cache: FragmentCache, metrics: MetricsRegistry) -> Self {
         cache.bind_into(&metrics);
-        SessionSources { sources: Vec::new(), cache, metrics, batch_limit: DEFAULT_SESSION_BATCH }
+        SessionSources {
+            sources: Vec::new(),
+            cache,
+            catalog: ViewCatalog::new(),
+            metrics,
+            batch_limit: DEFAULT_SESSION_BATCH,
+        }
     }
 
     /// Override the per-session batched-fill limit.
@@ -91,6 +101,12 @@ impl SessionSources {
         self.cache.clone()
     }
 
+    /// The shared semantic answer cache (a cheap handle; all clones see
+    /// the same recorded views).
+    pub fn view_catalog(&self) -> ViewCatalog {
+        self.catalog.clone()
+    }
+
     /// The shared metrics registry.
     pub fn metrics(&self) -> MetricsRegistry {
         self.metrics.clone()
@@ -124,6 +140,7 @@ impl SessionSources {
             reg.add_navigator_with_stats(s.name.clone(), nav, health, stats);
             reg.set_source_cache(&s.name, self.cache.clone());
         }
+        reg.set_view_catalog(self.catalog.clone());
         reg
     }
 
@@ -145,6 +162,7 @@ impl SessionSources {
             reg.add_navigator_traced(s.name.clone(), nav, health, stats, trace.clone());
             reg.set_source_cache(&s.name, self.cache.clone());
         }
+        reg.set_view_catalog(self.catalog.clone());
         reg
     }
 }

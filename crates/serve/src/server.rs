@@ -36,7 +36,8 @@ use mix_buffer::{
     lock_unpoisoned, Counter, FragmentCache, Gauge, Histogram, HealthStatus, MetricsRegistry,
     SourceHealth,
 };
-use mix_core::{Engine, EngineConfig, TraceKind, TraceLog, TraceSink, VNode};
+use mix_core::{Engine, EngineConfig, SemanticOutcome, TraceKind, TraceLog, TraceSink, VNode};
+use mix_nav::explore::materialize;
 use mix_nav::{LabelPred, Navigator};
 use mix_xmas::parse_query;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -114,6 +115,51 @@ pub struct SlowNav {
     pub server_span: u64,
     /// The client-side parent span, when the frame carried a context.
     pub client_span: Option<u64>,
+}
+
+/// The typed answer of [`VxdServer::why`]: either the span's explanation
+/// or *which way* the lookup came up empty — an operator chasing a
+/// [`SlowNav`] entry must be able to tell "that span recorded nothing"
+/// from "the trace aged out of the retention buffer".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WhyAnswer {
+    /// The span's recorded events, one line each.
+    Explained(String),
+    /// The session exists (or existed) but never had a flight recorder.
+    Untraced,
+    /// The session was traced, but its ring has been evicted from the
+    /// bounded closed-trace buffer ([`CLOSED_TRACE_CAPACITY`]).
+    TraceEvicted,
+    /// The session's trace is available but records nothing at that span.
+    UnknownSpan,
+    /// No such session was ever opened.
+    UnknownSession,
+}
+
+impl WhyAnswer {
+    /// The explanation text, if there is one.
+    pub fn explanation(&self) -> Option<&str> {
+        match self {
+            WhyAnswer::Explained(text) => Some(text),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for WhyAnswer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WhyAnswer::Explained(text) => write!(f, "{text}"),
+            WhyAnswer::Untraced => write!(f, "session is untraced (no flight recorder)"),
+            WhyAnswer::TraceEvicted => write!(
+                f,
+                "trace evicted: the session closed more than {CLOSED_TRACE_CAPACITY} \
+                 traced sessions ago"
+            ),
+            WhyAnswer::UnknownSpan => write!(f, "the trace records nothing at that span"),
+            WhyAnswer::UnknownSession => write!(f, "no such session"),
+        }
+    }
 }
 
 /// One row of the live session table ([`VxdServer::sessions_table`],
@@ -210,7 +256,23 @@ struct ServerShared {
     /// Rings of recently *closed* traced sessions, so a trace can be read
     /// after the client hung up (cap [`CLOSED_TRACE_CAPACITY`]).
     closed_traces: Mutex<VecDeque<(u64, TraceSink)>>,
+    /// `mix_serve_semcache_total{outcome=covered|partial|miss}` — one
+    /// increment per session open under a semantic-cache engine config.
+    semcache_outcomes: [Counter; 3],
 }
+
+/// Metric-slot index of a semantic-rewrite outcome
+/// (order of [`SEMCACHE_OUTCOME_LABELS`]).
+fn outcome_slot(outcome: SemanticOutcome) -> usize {
+    match outcome {
+        SemanticOutcome::Covered => 0,
+        SemanticOutcome::Partial => 1,
+        SemanticOutcome::Miss => 2,
+    }
+}
+
+/// Label values of `mix_serve_semcache_total`, in `outcome_slot` order.
+pub const SEMCACHE_OUTCOME_LABELS: [&str; 3] = ["covered", "partial", "miss"];
 
 /// A session-multiplexed VXD server (see module docs). Cheap to clone;
 /// clones share the session table, the pool, and all metrics.
@@ -261,6 +323,13 @@ impl VxdServer {
             "navigations slower than the slow-nav threshold",
             &[],
         );
+        let semcache_outcomes = SEMCACHE_OUTCOME_LABELS.map(|outcome| {
+            metrics.counter(
+                "mix_serve_semcache_total",
+                "semantic-rewrite outcomes at session open, by outcome",
+                &[("outcome", outcome)],
+            )
+        });
         let slow_threshold_ns = std::env::var("MIX_SLOW_NAV_NS")
             .ok()
             .and_then(|v| v.parse().ok())
@@ -284,6 +353,7 @@ impl VxdServer {
                 slow_total,
                 slow_navs: Mutex::new(VecDeque::new()),
                 closed_traces: Mutex::new(VecDeque::new()),
+                semcache_outcomes,
             }),
         }
     }
@@ -333,6 +403,25 @@ impl VxdServer {
     pub fn with_engine_config(mut self, config: EngineConfig) -> Self {
         self.shared_mut().config = config;
         self
+    }
+
+    /// Materialize template `name` once over a pooled registry and record
+    /// the answer in the pool's shared [`ViewCatalog`] — after this, any
+    /// session whose query the view covers is answered entirely from the
+    /// catalog, with zero wire exchanges. Returns whether a new view was
+    /// recorded (`false`: the plan's shape is not recordable, or an
+    /// equivalent view is already cataloged).
+    ///
+    /// [`ViewCatalog`]: mix_core::ViewCatalog
+    pub fn warm_template(&self, name: &str) -> Result<bool, String> {
+        let sh = &*self.shared;
+        let tpl = sh.templates.get(name).ok_or_else(|| format!("no template `{name}`"))?;
+        let registry = sh.pool.registry_for_session();
+        let config = EngineConfig { semantic_cache: true, ..sh.config };
+        let mut engine = Engine::with_config(tpl.plan.clone(), &registry, config)
+            .map_err(|e| e.to_string())?;
+        let answer = materialize(&mut engine);
+        Ok(engine.record_view(&answer))
     }
 
     /// Sessions open right now.
@@ -387,14 +476,48 @@ impl VxdServer {
 
     /// Explain one server-side span of a traced session: the recorded
     /// events of that span, one line each — the lookup a [`SlowNav`]'s
-    /// `server_span` points at.
-    pub fn why(&self, session: u64, span: u64) -> Option<String> {
-        let log = self.session_trace(session)?;
-        let events = log.by_span(span);
-        if events.is_empty() {
-            return None;
+    /// `server_span` points at. Every way the lookup can come up empty is
+    /// a distinct [`WhyAnswer`] variant; in particular a slow-log entry
+    /// whose session's ring has aged out of the bounded closed-trace
+    /// buffer answers [`WhyAnswer::TraceEvicted`], not silence.
+    pub fn why(&self, session: u64, span: u64) -> WhyAnswer {
+        let explain = |log: TraceLog| {
+            let events = log.by_span(span);
+            if events.is_empty() {
+                return WhyAnswer::UnknownSpan;
+            }
+            WhyAnswer::Explained(
+                events.iter().map(|e| e.to_string()).collect::<Vec<_>>().join("\n"),
+            )
+        };
+        if let Some(live) = lock_unpoisoned(&self.shared.sessions).get(&session).cloned() {
+            let s = lock_unpoisoned(&live);
+            if !s.trace.is_enabled() {
+                return WhyAnswer::Untraced;
+            }
+            return explain(TraceLog::from_sink(&s.trace));
         }
-        Some(events.iter().map(|e| e.to_string()).collect::<Vec<_>>().join("\n"))
+        if let Some(sink) = lock_unpoisoned(&self.shared.closed_traces)
+            .iter()
+            .rev()
+            .find(|(sid, _)| *sid == session)
+            .map(|(_, sink)| sink.clone())
+        {
+            return explain(TraceLog::from_sink(&sink));
+        }
+        // Not live, no retained ring. Session ids are issued densely from
+        // 1, so anything outside the issued range never existed; inside
+        // it, a real server-side span (non-zero) proves the session was
+        // traced — its ring has been evicted from the bounded buffer.
+        let issued = self.shared.next_session.load(Ordering::Relaxed);
+        if session == 0 || session > issued {
+            return WhyAnswer::UnknownSession;
+        }
+        if span == 0 {
+            WhyAnswer::Untraced
+        } else {
+            WhyAnswer::TraceEvicted
+        }
     }
 
     /// The live session table, one row per open session, session-id order.
@@ -510,6 +633,9 @@ impl VxdServer {
                 return Reply::Error { code: ErrorCode::Internal, msg: e.to_string() };
             }
         };
+        if let Some(outcome) = engine.semantic_outcome() {
+            sh.semcache_outcomes[outcome_slot(outcome)].inc();
+        }
         let id = sh.next_session.fetch_add(1, Ordering::Relaxed) + 1;
         let commands = sh.metrics.counter(
             "mix_serve_session_commands_total",

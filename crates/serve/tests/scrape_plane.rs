@@ -4,9 +4,12 @@
 //! source's circuit breaker opens, `/sessions` must show live sessions,
 //! and `/slow` entries must carry span ids that `why` can explain.
 
-use mix_buffer::{FillPolicy, FragmentCache, MetricsRegistry};
+use mix_buffer::{
+    FillPolicy, FragmentCache, LxpError, MetricsRegistry, RetryPolicy, RetryState,
+};
 use mix_core::{PromText, TraceSink};
-use mix_serve::{pipe, SessionSources, VxdClient, VxdServer, VERB_LABELS};
+use mix_serve::server::CLOSED_TRACE_CAPACITY;
+use mix_serve::{pipe, SessionSources, VxdClient, VxdServer, WhyAnswer, VERB_LABELS};
 use mix_xml::term::parse_term;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -145,6 +148,112 @@ fn healthz_flips_to_503_when_a_breaker_opens() {
 }
 
 #[test]
+fn healthz_recovers_after_a_successful_half_open_probe() {
+    let pool = pool();
+    // The pool hands out the same shared health cell `/healthz`
+    // aggregates; drive it through the real retry layer so this covers
+    // the whole flap cycle, not just the `set_breaker` flips.
+    let health = pool.health().remove(0).1;
+    let mut server = VxdServer::new(pool);
+    server.add_template("q", QUERY).unwrap();
+    let http = server.serve_http("127.0.0.1:0").unwrap();
+
+    let policy = RetryPolicy {
+        max_attempts: 1,
+        breaker_threshold: 1,
+        half_open_after: 2,
+        ..RetryPolicy::default()
+    };
+    let mut state = RetryState::new();
+
+    // The source fails: the breaker opens and /healthz goes 503.
+    let r = state.run(&policy, &health, || -> Result<(), LxpError> {
+        Err(LxpError::SourceError("flap".into()))
+    });
+    assert!(r.is_err());
+    assert!(state.is_open());
+    let (status, body) = http_get(http.local_addr(), "/healthz");
+    assert_eq!(status, 503, "an open breaker is a failing health check");
+    assert!(body.contains("Unavailable"), "{body}");
+
+    // The source recovers. The first open call is a paced rejection —
+    // the check stays red — but the next is the half-open probe, and its
+    // success must flip /healthz back to 200 without any manual reset.
+    // (The regression: a recovered source stuck at 503 forever.)
+    let ok = || -> Result<(), LxpError> { Ok(()) };
+    assert!(state.run(&policy, &health, ok).is_err(), "paced rejection while open");
+    let (status, _) = http_get(http.local_addr(), "/healthz");
+    assert_eq!(status, 503, "still quarantined until the probe runs");
+    assert!(state.run(&policy, &health, ok).is_ok(), "the half-open probe succeeds");
+    assert!(!state.is_open());
+    let (status, body) = http_get(http.local_addr(), "/healthz");
+    assert_eq!(status, 200, "a successful probe restores the health check");
+    assert!(!body.contains("Unavailable"), "{body}");
+
+    http.shutdown();
+}
+
+/// Open one traced session over `server`, fetch once, close it, and
+/// return `(session id, the fetch's slow-log server span)`.
+fn traced_session_span(server: &VxdServer) -> (u64, u64) {
+    let (client_end, server_end) = pipe();
+    let server2 = server.clone();
+    let conn = std::thread::spawn(move || server2.serve_connection(server_end));
+    let mut client = VxdClient::new(client_end).with_trace(TraceSink::enabled(4096));
+    let open = client.open("q").unwrap();
+    client.fetch(open.session, open.root).unwrap();
+    let span = server
+        .slow_navs()
+        .iter()
+        .find(|s| s.session == open.session && s.verb == "f")
+        .expect("threshold 0 records the fetch")
+        .server_span;
+    client.close(open.session).unwrap();
+    drop(client);
+    conn.join().unwrap();
+    (open.session, span)
+}
+
+#[test]
+fn why_types_every_empty_answer_and_names_trace_eviction() {
+    let mut server = VxdServer::new(pool());
+    server.add_template("q", QUERY).unwrap();
+    // Threshold 0: every navigation lands in the slow log.
+    server.set_slow_nav_threshold(0);
+
+    let (session, span) = traced_session_span(&server);
+    assert!(span > 0, "traced sessions record real spans");
+
+    // Just closed: the retained ring still explains the span; a span the
+    // ring never recorded and a session never opened are each typed.
+    assert!(matches!(server.why(session, span), WhyAnswer::Explained(_)));
+    assert_eq!(server.why(session, u64::MAX), WhyAnswer::UnknownSpan);
+    assert_eq!(server.why(u64::MAX, span), WhyAnswer::UnknownSession);
+
+    // Churn CLOSED_TRACE_CAPACITY more traced sessions through: the
+    // first ring ages out of the bounded buffer, and the slow-log entry
+    // that outlived it now answers TraceEvicted — the regression was a
+    // silently-empty answer indistinguishable from "nothing recorded".
+    for _ in 0..CLOSED_TRACE_CAPACITY {
+        traced_session_span(&server);
+    }
+    assert_eq!(server.why(session, span), WhyAnswer::TraceEvicted);
+
+    // An untraced session's verbs record no spans at all: that is
+    // Untraced — live or closed — never TraceEvicted.
+    let (client_end, server_end) = pipe();
+    let server2 = server.clone();
+    let conn = std::thread::spawn(move || server2.serve_connection(server_end));
+    let mut client = VxdClient::new(client_end);
+    let open = client.open("q").unwrap();
+    assert_eq!(server.why(open.session, 0), WhyAnswer::Untraced);
+    client.close(open.session).unwrap();
+    drop(client);
+    conn.join().unwrap();
+    assert_eq!(server.why(open.session, 0), WhyAnswer::Untraced);
+}
+
+#[test]
 fn sessions_table_shows_live_sessions_and_slow_log_explains_spans() {
     let mut server = VxdServer::new(pool());
     server.add_template("q", QUERY).unwrap();
@@ -182,10 +291,11 @@ fn sessions_table_shows_live_sessions_and_slow_log_explains_spans() {
     assert!(body.contains("client_span="), "{body}");
 
     // `why <span>` explains the slow entry from the session's recorder.
-    let explanation = server
-        .why(open.session, nav.server_span)
-        .expect("the slow span is explainable");
-    assert!(!explanation.is_empty());
+    let explanation = server.why(open.session, nav.server_span);
+    assert!(
+        matches!(&explanation, WhyAnswer::Explained(text) if !text.is_empty()),
+        "the slow span is explainable: {explanation:?}"
+    );
 
     client.close(open.session).unwrap();
     drop(client);

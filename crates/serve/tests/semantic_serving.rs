@@ -1,0 +1,145 @@
+//! Serving through the semantic answer cache: [`VxdServer::warm_template`]
+//! materializes a template once and records the answer in the pool's
+//! shared `ViewCatalog`; every later session over the covered template is
+//! then answered with **zero** LXP exchanges — and byte-identical to an
+//! uncached serving run, because the rewrite is pure answer reuse.
+
+use mix_buffer::{FillPolicy, FragmentCache, MetricsRegistry, SlowWrapper, TreeWrapper};
+use mix_core::{EngineConfig, PromText};
+use mix_serve::{pipe, FetchOutcome, SessionSources, VxdClient, VxdServer};
+use mix_xml::term::parse_term;
+use mix_xml::Tree;
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const QUERY: &str = "CONSTRUCT <all> $X {$X} </all> {} WHERE src items._ $X";
+const SOURCE: &str = "items[a[x[1],y[2]],b[3],c[4,5],d,e[f[g[6]]]]";
+
+/// A pool over one counted source (as in `served_vs_inprocess.rs`): the
+/// counter sees every LXP exchange that actually crossed the wire.
+fn counted_pool() -> (SessionSources, Arc<AtomicU64>) {
+    let tree = parse_term(SOURCE).unwrap();
+    let mut inner = TreeWrapper::new(FillPolicy::NodeAtATime);
+    inner.add("src", Arc::new(mix_xml::Document::from_tree(&tree)));
+    let slow = SlowWrapper::new(inner, Duration::ZERO);
+    let exchanges = slow.exchange_counter();
+    let mut pool = SessionSources::new(FragmentCache::new(), MetricsRegistry::enabled());
+    pool.add_wrapper("src", slow);
+    (pool, exchanges)
+}
+
+/// Materialize a full subtree through the wire client.
+fn client_materialize<S: Read + Write>(
+    client: &mut VxdClient<S>,
+    session: u64,
+    node: u64,
+) -> Tree {
+    let label = match client.fetch_checked(session, node).unwrap() {
+        FetchOutcome::Complete(l) => l,
+        FetchOutcome::Degraded { sources, .. } => {
+            panic!("semantic serving must not degrade (sources: {sources:?})")
+        }
+    };
+    let mut children = Vec::new();
+    let mut cur = client.down(session, node).unwrap();
+    while let Some(c) = cur {
+        children.push(client_materialize(client, session, c));
+        cur = client.right(session, c).unwrap();
+    }
+    Tree::node(label, children)
+}
+
+/// Serve one session over `server` and materialize its whole answer.
+fn serve_once(server: &VxdServer) -> String {
+    let (client_end, server_end) = pipe();
+    let server2 = server.clone();
+    let conn = std::thread::spawn(move || server2.serve_connection(server_end));
+    let mut client = VxdClient::new(client_end);
+    let open = client.open("q").unwrap();
+    let answer = client_materialize(&mut client, open.session, open.root).to_string();
+    client.close(open.session).unwrap();
+    drop(client);
+    conn.join().unwrap();
+    answer
+}
+
+#[test]
+fn warmed_template_serves_covered_sessions_with_zero_wire_exchanges() {
+    // Baseline: an uncached serving run over an identical pool.
+    let (pool, _) = counted_pool();
+    let mut server = VxdServer::new(pool);
+    server.add_template("q", QUERY).unwrap();
+    let baseline = serve_once(&server);
+
+    // Semantic serving: the same deployment with the cache on.
+    let (pool, exchanges) = counted_pool();
+    let catalog = pool.view_catalog();
+    let mut server = VxdServer::new(pool);
+    server.add_template("q", QUERY).unwrap();
+    let server = server
+        .with_engine_config(EngineConfig { semantic_cache: true, ..EngineConfig::default() });
+
+    // Warming pays the wire exactly once and files one view.
+    assert!(server.warm_template("q").unwrap(), "the template's answer is recordable");
+    assert_eq!(catalog.len(), 1);
+    let warm_cost = exchanges.load(Ordering::Relaxed);
+    assert!(warm_cost > 0, "warming materialized through the source");
+    // Re-warming is a no-op: the equivalent view is already cataloged.
+    assert!(!server.warm_template("q").unwrap());
+    assert!(server.warm_template("nope").is_err(), "unknown templates are typed errors");
+
+    // Two covered sessions: byte-identical answers, not one exchange.
+    for _ in 0..2 {
+        assert_eq!(serve_once(&server), baseline, "covered serving changed the bytes");
+    }
+    assert_eq!(
+        exchanges.load(Ordering::Relaxed),
+        warm_cost,
+        "covered sessions are answered entirely from the catalog"
+    );
+
+    // The per-outcome counter is on the scrape surface.
+    let parsed = PromText::parse(&server.metrics().render_prometheus()).unwrap();
+    let family = parsed
+        .families
+        .iter()
+        .find(|f| f.name == "mix_serve_semcache_total")
+        .expect("semcache outcome family is exported");
+    let covered_label = (String::from("outcome"), String::from("covered"));
+    let covered: f64 = family
+        .series
+        .iter()
+        .filter(|s| s.labels.contains(&covered_label))
+        .map(|s| s.value)
+        .sum();
+    assert_eq!(covered, 2.0, "both sessions opened covered");
+}
+
+#[test]
+fn catalog_invalidation_sends_sessions_back_to_the_wire() {
+    let (pool, exchanges) = counted_pool();
+    let catalog = pool.view_catalog();
+    let mut server = VxdServer::new(pool);
+    server.add_template("q", QUERY).unwrap();
+    let server = server
+        .with_engine_config(EngineConfig { semantic_cache: true, ..EngineConfig::default() });
+
+    assert!(server.warm_template("q").unwrap());
+    let warmed = serve_once(&server);
+    let covered_cost = exchanges.load(Ordering::Relaxed);
+
+    // The source changes: the epoch bumps retire the recorded view AND
+    // the cached fragments (a stale identity cache would otherwise
+    // absorb the refetch), so the next session pays the wire again —
+    // same bytes, fresh fetch.
+    assert_eq!(catalog.invalidate_source("src"), 1);
+    let (entries, _) = server.cache().invalidate("src");
+    assert!(entries > 0, "warming populated the fragment cache");
+    assert_eq!(serve_once(&server), warmed, "post-invalidation answer differs");
+    assert!(
+        exchanges.load(Ordering::Relaxed) > covered_cost,
+        "invalidation sent the session back to the source"
+    );
+}

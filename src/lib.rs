@@ -84,8 +84,8 @@ pub mod prelude {
         RetryPolicy, SlowWrapper, TreeWrapper,
     };
     pub use mix_core::{
-        eager, Degraded, Engine, EngineConfig, PromText, SourceRegistry, TraceKind, TraceLog,
-        TraceSink, VirtualDocument, VirtualElement,
+        eager, Degraded, Engine, EngineConfig, PromText, SemanticOutcome, SourceRegistry,
+        TraceKind, TraceLog, TraceSink, ViewCatalog, VirtualDocument, VirtualElement,
     };
     pub use mix_nav::{explore::materialize, LabelPred, Navigator};
     pub use mix_serve::{SessionSources, VxdClient, VxdServer};

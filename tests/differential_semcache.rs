@@ -1,0 +1,197 @@
+//! Property-based differential testing for the semantic answer cache: on
+//! random documents and a structurally diverse query pool, rewriting a
+//! plan against recorded views must be *observationally invisible* —
+//! byte-identical answers whether the catalog is absent, empty, or warm —
+//! while a covered repeat costs zero wire exchanges and invalidation
+//! restores both the wire traffic and the identical bytes.
+
+use mix::prelude::*;
+use mix::wrappers::gen::random_tree;
+use proptest::prelude::*;
+
+const LABELS: &[&str] = &["a", "b", "c", "x"];
+
+/// The same structurally diverse query pool as `tests/differential.rs`.
+/// Indices 4 (Kleene star) and 7 (grouped pair) are not recordable-view
+/// shapes: the catalog must leave them untouched (identity rewrite).
+fn query_pool() -> Vec<&'static str> {
+    vec![
+        "CONSTRUCT <out> $V {$V} </out> {} WHERE src _ $V",
+        "CONSTRUCT <out> $V {$V} </out> {} WHERE src _._ $V",
+        "CONSTRUCT <out> $V {$V} </out> {} WHERE src _.a $V",
+        "CONSTRUCT <out> $V {$V} </out> {} WHERE src (a|b)._ $V",
+        "CONSTRUCT <out> $V {$V} </out> {} WHERE src _.a*.b $V",
+        "CONSTRUCT <out> $W {$W} </out> {} WHERE src _._ $V AND $V a $W",
+        r#"CONSTRUCT <out> $V {$V} </out> {} WHERE src _._ $V AND $V _ $W AND $W = "a""#,
+        "CONSTRUCT <out> <g> $W $V {$V} </g> {$W} </out> {} WHERE src _._ $V AND $V _ $W",
+    ]
+}
+
+/// Is the pool query at `qidx` a recordable (and self-covering) shape?
+fn recordable(qidx: usize) -> bool {
+    !matches!(qidx, 4 | 7)
+}
+
+/// An engine over `tree` behind a buffered chunked wrapper, optionally
+/// faulty, optionally consulting a shared [`ViewCatalog`]. Returns the
+/// engine plus the buffer's stats and health handles.
+fn sem_engine(
+    tree: &mix::xml::Tree,
+    query: &str,
+    chunk: usize,
+    fault: Option<FaultConfig>,
+    catalog: Option<ViewCatalog>,
+) -> (Engine, mix::buffer::BufferStats, mix::buffer::SourceHealth) {
+    let plan = translate(&parse_query(query).unwrap()).unwrap();
+    let inner = TreeWrapper::single(tree, FillPolicy::Chunked { n: chunk });
+    let policy = if fault.is_some() {
+        RetryPolicy { max_attempts: 2, ..RetryPolicy::default() }
+    } else {
+        RetryPolicy::none()
+    };
+    let cfg = fault.unwrap_or(FaultConfig::transient(0, 0.0));
+    let nav = BufferNavigator::with_retry(FaultyWrapper::new(inner, cfg), "doc", policy);
+    let (stats, health) = (nav.stats(), nav.health());
+    let mut reg = SourceRegistry::new();
+    reg.add_navigator("src", nav);
+    let config = match catalog {
+        Some(catalog) => {
+            reg.set_view_catalog(catalog);
+            EngineConfig::semantic_cache()
+        }
+        None => EngineConfig::default(),
+    };
+    (Engine::with_config(plan, &reg, config).unwrap(), stats, health)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    #[test]
+    fn rewritten_equals_unrewritten_and_a_covered_repeat_is_zero_wire(
+        seed in 0u64..5_000,
+        nodes in 1usize..30,
+        qidx in 0usize..8,
+        chunk in 1usize..5,
+    ) {
+        let tree = random_tree(seed, nodes, LABELS);
+        let query = query_pool()[qidx];
+
+        // (a) No catalog at all — the baseline answer.
+        let (mut off, _, _) = sem_engine(&tree, query, chunk, None, None);
+        let baseline = materialize(&mut off);
+
+        // (b) Empty catalog: a miss, identical answer, then record.
+        let catalog = ViewCatalog::new();
+        let (mut cold, _, _) =
+            sem_engine(&tree, query, chunk, None, Some(catalog.clone()));
+        prop_assert_eq!(cold.semantic_outcome(), Some(SemanticOutcome::Miss));
+        prop_assert_eq!(&materialize(&mut cold), &baseline, "empty-catalog answer differs");
+        let recorded = cold.record_view(&baseline);
+        prop_assert_eq!(
+            recorded, recordable(qidx),
+            "recordability disagrees with the pinned query-pool shape"
+        );
+
+        // (c) The identical repeat: byte-identical always; covered (and
+        // wire-free) exactly when the shape was recordable.
+        let (mut warm, warm_stats, _) =
+            sem_engine(&tree, query, chunk, None, Some(catalog.clone()));
+        prop_assert_eq!(&materialize(&mut warm), &baseline, "warm answer differs");
+        if recorded {
+            prop_assert_eq!(warm.semantic_outcome(), Some(SemanticOutcome::Covered));
+            let w = warm_stats.snapshot();
+            prop_assert_eq!(w.requests, 0, "covered repeat exchanged wire traffic");
+            prop_assert_eq!(w.bytes_received, 0);
+        } else {
+            prop_assert_eq!(warm.semantic_outcome(), Some(SemanticOutcome::Miss));
+        }
+    }
+
+    #[test]
+    fn semantic_rewrite_is_transparent_under_faults(
+        seed in 0u64..5_000,
+        nodes in 1usize..30,
+        qidx in 0usize..8,
+        chunk in 1usize..5,
+        fault_seed in 1u64..999,
+    ) {
+        let tree = random_tree(seed, nodes, LABELS);
+        let query = query_pool()[qidx];
+        let fault = FaultConfig::transient(fault_seed, 0.25);
+
+        // An empty catalog is an identity rewrite: the same fault
+        // schedule produces byte-identical answers AND identical
+        // degradation reports, catalog on or off.
+        let (mut off, _, off_health) = sem_engine(&tree, query, chunk, Some(fault), None);
+        let a = materialize(&mut off);
+        let (mut on, _, on_health) =
+            sem_engine(&tree, query, chunk, Some(fault), Some(ViewCatalog::new()));
+        let b = materialize(&mut on);
+        prop_assert_eq!(&a, &b, "the identity rewrite changed the degraded answer");
+        let (ha, hb) = (off_health.snapshot(), on_health.snapshot());
+        prop_assert_eq!(ha.status, hb.status, "identity rewrite changed the health status");
+        prop_assert_eq!(ha.degraded_ops, hb.degraded_ops);
+        prop_assert_eq!(ha.retries, hb.retries);
+
+        // A covered query over a wire that fails EVERY exchange is
+        // pristine: nothing touches the wire, nothing degrades.
+        if recordable(qidx) {
+            let catalog = ViewCatalog::new();
+            let (mut clean, _, _) =
+                sem_engine(&tree, query, chunk, None, Some(catalog.clone()));
+            let baseline = materialize(&mut clean);
+            prop_assert!(clean.record_view(&baseline));
+            let (mut dead, dead_stats, dead_health) = sem_engine(
+                &tree, query, chunk, Some(FaultConfig::outage_after(0)),
+                Some(catalog.clone()),
+            );
+            prop_assert_eq!(dead.semantic_outcome(), Some(SemanticOutcome::Covered));
+            prop_assert_eq!(
+                &materialize(&mut dead), &baseline,
+                "covered answer over a dead wire differs"
+            );
+            prop_assert_eq!(dead_stats.snapshot().requests, 0);
+            prop_assert_eq!(dead_health.snapshot().degraded_ops, 0, "the dead wire was felt");
+        }
+    }
+
+    #[test]
+    fn invalidation_purges_views_and_the_refetch_is_byte_identical(
+        seed in 0u64..5_000,
+        nodes in 1usize..30,
+        qidx in 0usize..8,
+        chunk in 1usize..5,
+    ) {
+        let tree = random_tree(seed, nodes, LABELS);
+        let query = query_pool()[qidx];
+        if !recordable(qidx) {
+            return Ok(());
+        }
+
+        let catalog = ViewCatalog::new();
+        let (mut cold, _, _) = sem_engine(&tree, query, chunk, None, Some(catalog.clone()));
+        let baseline = materialize(&mut cold);
+        prop_assert!(cold.record_view(&baseline));
+
+        let (warm, _, _) = sem_engine(&tree, query, chunk, None, Some(catalog.clone()));
+        prop_assert_eq!(warm.semantic_outcome(), Some(SemanticOutcome::Covered));
+
+        // Epoch bump: every dependent view is purged; the next session
+        // misses, pays the wire again, and re-derives identical bytes.
+        prop_assert_eq!(catalog.invalidate_source("src"), 1);
+        prop_assert_eq!(catalog.len(), 0, "the dependent view survived invalidation");
+        let (mut fresh, fresh_stats, _) =
+            sem_engine(&tree, query, chunk, None, Some(catalog.clone()));
+        prop_assert_eq!(fresh.semantic_outcome(), Some(SemanticOutcome::Miss));
+        prop_assert_eq!(&materialize(&mut fresh), &baseline, "post-invalidation differs");
+        prop_assert!(fresh_stats.snapshot().requests > 0, "invalidation restored traffic");
+
+        // Re-recording under the new epoch restores coverage.
+        prop_assert!(fresh.record_view(&baseline));
+        let (again, again_stats, _) =
+            sem_engine(&tree, query, chunk, None, Some(catalog.clone()));
+        prop_assert_eq!(again.semantic_outcome(), Some(SemanticOutcome::Covered));
+        prop_assert_eq!(again_stats.snapshot().requests, 0);
+    }
+}
